@@ -1,0 +1,138 @@
+//! Graphviz DOT export of adder graphs.
+//!
+//! Multiplier-block structure is easiest to review visually — the paper's
+//! own Figures 2-4 are graph drawings. `to_dot` renders the shift-add DAG
+//! with node constants, edge shifts/signs, and output taps, ready for
+//! `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::netlist::{AdderGraph, Node, NodeId, Term};
+
+/// Renders the graph in Graphviz DOT syntax. Nodes are labeled with their
+/// constant multiple of `x`; edges carry `<<k` / `neg` annotations; outputs
+/// appear as boxes.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{to_dot, AdderGraph, Term};
+///
+/// let mut g = AdderGraph::new();
+/// let x = g.input();
+/// let n = g.add(Term::shifted(x, 3), Term::negated(x))?;
+/// g.push_output("c0", Term::of(n), 7);
+/// let dot = to_dot(&g, "block");
+/// assert!(dot.starts_with("digraph block"));
+/// assert!(dot.contains("7x"));
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+pub fn to_dot(graph: &AdderGraph, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "    rankdir=LR;");
+    let _ = writeln!(s, "    node [fontname=\"monospace\"];");
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let id = NodeId::from_index(i);
+        match node {
+            Node::Input => {
+                let _ = writeln!(s, "    n{i} [label=\"x\", shape=circle];");
+            }
+            Node::Add { .. } => {
+                let _ = writeln!(
+                    s,
+                    "    n{i} [label=\"{}x\\nd{}\", shape=ellipse];",
+                    graph.value(id),
+                    graph.depth(id)
+                );
+            }
+        }
+    }
+    let edge_label = |t: &Term| {
+        let mut l = String::new();
+        if t.shift > 0 {
+            let _ = write!(l, "<<{}", t.shift);
+        }
+        if t.negate {
+            if !l.is_empty() {
+                l.push(' ');
+            }
+            l.push_str("neg");
+        }
+        l
+    };
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            for t in [lhs, rhs] {
+                let _ = writeln!(
+                    s,
+                    "    n{} -> n{i} [label=\"{}\"];",
+                    t.node.index(),
+                    edge_label(t)
+                );
+            }
+        }
+    }
+    for (k, o) in graph.outputs().iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    o{k} [label=\"{} = {}x\", shape=box];",
+            o.label, o.expected
+        );
+        let _ = writeln!(
+            s,
+            "    n{} -> o{k} [label=\"{}\", style=dashed];",
+            o.term.node.index(),
+            edge_label(&o.term)
+        );
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_multiplier_block;
+    use mrp_numrep::Repr;
+
+    fn sample() -> AdderGraph {
+        let (mut g, outs) = simple_multiplier_block(&[45, -23], Repr::Csd).unwrap();
+        for (i, (&t, &c)) in outs.iter().zip(&[45i64, -23]).enumerate() {
+            g.push_output(format!("c{i}"), t, c);
+        }
+        g
+    }
+
+    #[test]
+    fn dot_has_all_nodes_and_outputs() {
+        let g = sample();
+        let dot = to_dot(&g, "g");
+        for i in 0..g.len() {
+            assert!(dot.contains(&format!("n{i} [")), "node n{i} missing");
+        }
+        assert!(dot.contains("c0 = 45x"));
+        assert!(dot.contains("c1 = -23x"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_edge_count_matches_structure() {
+        let g = sample();
+        let dot = to_dot(&g, "g");
+        let solid_edges = dot
+            .lines()
+            .filter(|l| l.contains("->") && !l.contains("dashed"))
+            .count();
+        assert_eq!(solid_edges, 2 * g.adder_count());
+        let dashed = dot.lines().filter(|l| l.contains("dashed")).count();
+        assert_eq!(dashed, g.outputs().len());
+    }
+
+    #[test]
+    fn negations_and_shifts_labeled() {
+        let dot = to_dot(&sample(), "g");
+        assert!(dot.contains("<<"));
+        assert!(dot.contains("neg"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Batch evaluation helpers.
+
+use crate::netlist::AdderGraph;
+
+/// Evaluates every registered output of `graph` for each input sample,
+/// returning one row per sample (column order = output order).
+///
+/// Uses structural propagation, so the result reflects the actual adder
+/// network, not the tracked constants.
+///
+/// # Panics
+///
+/// Panics if any intermediate value overflows `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{evaluate_all, simple_multiplier_block};
+/// use mrp_numrep::Repr;
+///
+/// let (mut g, outs) = simple_multiplier_block(&[3, 5], Repr::Csd)?;
+/// g.push_output("c0", outs[0], 3);
+/// g.push_output("c1", outs[1], 5);
+/// let rows = evaluate_all(&g, &[2, 10]);
+/// assert_eq!(rows, vec![vec![6, 10], vec![30, 50]]);
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+pub fn evaluate_all(graph: &AdderGraph, samples: &[i64]) -> Vec<Vec<i64>> {
+    samples
+        .iter()
+        .map(|&x| {
+            let vals = graph.evaluate_structural(x);
+            graph
+                .outputs()
+                .iter()
+                .map(|o| {
+                    if o.expected == 0 {
+                        return 0;
+                    }
+                    let raw = (vals[o.term.node.index()] as i128) << o.term.shift;
+                    let v = if o.term.negate { -raw } else { raw };
+                    i64::try_from(v).expect("output overflows i64")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Term;
+    use mrp_numrep::Repr;
+
+    #[test]
+    fn zero_outputs_evaluate_to_zero() {
+        let mut g = AdderGraph::new();
+        let t = g.build_constant(0, Repr::Csd).unwrap();
+        g.push_output("zero", t, 0);
+        assert_eq!(evaluate_all(&g, &[5]), vec![vec![0]]);
+    }
+
+    #[test]
+    fn negated_shifted_outputs() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        g.push_output("m4", Term::negated_shifted(x, 2), -4);
+        assert_eq!(evaluate_all(&g, &[3, -1]), vec![vec![-12], vec![4]]);
+    }
+}

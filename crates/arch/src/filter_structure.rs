@@ -1,0 +1,217 @@
+//! The full transposed-direct-form FIR filter around a multiplier block.
+//!
+//! In the TDF structure (Fig. 4 of the MRPF paper), the input sample feeds
+//! the multiplier block, whose outputs `c_i · x(n)` enter a chain of
+//! registers and structural adders producing
+//! `y(n) = Σ c_i x(n − i)`. The multiplier block is where all the schemes
+//! differ; the delay/add chain is identical for every scheme, so the paper's
+//! comparisons count multiplier-block adders only. This module provides a
+//! bit-exact software model of the whole filter to verify generated
+//! architectures end to end.
+
+use crate::netlist::AdderGraph;
+
+/// A complete integer-coefficient FIR filter: a multiplier block plus the
+/// TDF register/adder chain.
+///
+/// The multiplier block must expose one output per tap, labeled in tap
+/// order, with `expected` equal to the tap coefficient (outputs with
+/// `expected = 0` are allowed and contribute nothing).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{simple_multiplier_block, FirFilter, direct_fir};
+/// use mrp_numrep::Repr;
+///
+/// let coeffs = [3i64, -1, 4];
+/// let (mut g, outs) = simple_multiplier_block(&coeffs, Repr::Csd)?;
+/// for (i, (&t, &c)) in outs.iter().zip(&coeffs).enumerate() {
+///     g.push_output(format!("c{i}"), t, c);
+/// }
+/// let filter = FirFilter::new(g);
+/// let x = [1i64, 0, 0, 2];
+/// assert_eq!(filter.filter(&x), direct_fir(&coeffs, &x));
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    block: AdderGraph,
+}
+
+impl FirFilter {
+    /// Wraps a multiplier block whose outputs are the tap products in tap
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has no outputs.
+    pub fn new(block: AdderGraph) -> Self {
+        assert!(
+            !block.outputs().is_empty(),
+            "multiplier block must have at least one output per tap"
+        );
+        FirFilter { block }
+    }
+
+    /// Tap coefficients (the outputs' expected constants, in order).
+    pub fn coefficients(&self) -> Vec<i64> {
+        self.block.outputs().iter().map(|o| o.expected).collect()
+    }
+
+    /// Number of taps.
+    pub fn tap_count(&self) -> usize {
+        self.block.outputs().len()
+    }
+
+    /// Adders in the multiplier block (the paper's comparison metric).
+    pub fn multiplier_adders(&self) -> usize {
+        self.block.adder_count()
+    }
+
+    /// Structural adders of the TDF tap-summation chain (`taps − 1`),
+    /// identical for every multiplier-block scheme.
+    pub fn structural_adders(&self) -> usize {
+        self.tap_count().saturating_sub(1)
+    }
+
+    /// Borrow the multiplier block.
+    pub fn block(&self) -> &AdderGraph {
+        &self.block
+    }
+
+    /// Runs the filter over `input`, returning one output per input sample
+    /// (zero initial state), computed through the actual adder network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any intermediate overflows `i64`.
+    pub fn filter(&self, input: &[i64]) -> Vec<i64> {
+        let taps = self.tap_count();
+        // TDF register chain: s_k(n) = c_k·x(n) + s_{k+1}(n−1), with
+        // s_taps ≡ 0 and y(n) = s_0(n). `state[k]` holds s_k(n−1); an extra
+        // always-zero slot at index `taps` keeps the update uniform.
+        let mut state = vec![0i64; taps + 1];
+        let mut out = Vec::with_capacity(input.len());
+        for &x in input {
+            let vals = self.block.evaluate_structural(x);
+            let products: Vec<i64> = self
+                .block
+                .outputs()
+                .iter()
+                .map(|o| {
+                    if o.expected == 0 {
+                        0
+                    } else {
+                        let raw = (vals[o.term.node.index()] as i128) << o.term.shift;
+                        let v = if o.term.negate { -raw } else { raw };
+                        i64::try_from(v).expect("product overflows i64")
+                    }
+                })
+                .collect();
+            // Ascending k: state[k+1] is still the previous cycle's value
+            // when read, because we overwrite index k before reading k + 1.
+            for k in 0..taps {
+                state[k] = products[k]
+                    .checked_add(state[k + 1])
+                    .expect("accumulator overflows i64");
+            }
+            out.push(state[0]);
+        }
+        out
+    }
+}
+
+/// Reference direct-form convolution `y(n) = Σ c_i x(n − i)` with zero
+/// initial state — the golden model the generated architectures are checked
+/// against.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::direct_fir;
+/// assert_eq!(direct_fir(&[1, 2], &[1, 0, 3]), vec![1, 2, 3]);
+/// ```
+pub fn direct_fir(coeffs: &[i64], input: &[i64]) -> Vec<i64> {
+    input
+        .iter()
+        .enumerate()
+        .map(|(n, _)| {
+            let mut acc = 0i128;
+            for (i, &c) in coeffs.iter().enumerate() {
+                if n >= i {
+                    acc += c as i128 * input[n - i] as i128;
+                }
+            }
+            i64::try_from(acc).expect("reference output overflows i64")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_multiplier_block;
+    use mrp_numrep::Repr;
+
+    fn make_filter(coeffs: &[i64]) -> FirFilter {
+        let (mut g, outs) = simple_multiplier_block(coeffs, Repr::Csd).unwrap();
+        for (i, (&t, &c)) in outs.iter().zip(coeffs).enumerate() {
+            g.push_output(format!("c{i}"), t, c);
+        }
+        FirFilter::new(g)
+    }
+
+    #[test]
+    fn impulse_response_is_coefficients() {
+        let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+        let f = make_filter(&coeffs);
+        let mut input = vec![0i64; 8];
+        input[0] = 1;
+        assert_eq!(f.filter(&input), coeffs.to_vec());
+    }
+
+    #[test]
+    fn matches_direct_convolution_on_random_input() {
+        let coeffs = [3i64, -7, 0, 12, -1];
+        let f = make_filter(&coeffs);
+        let mut seed = 99u64;
+        let input: Vec<i64> = (0..64)
+            .map(|_| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((seed >> 40) as i64) - (1 << 23)
+            })
+            .collect();
+        assert_eq!(f.filter(&input), direct_fir(&coeffs, &input));
+    }
+
+    #[test]
+    fn single_tap_filter() {
+        let f = make_filter(&[5]);
+        assert_eq!(f.filter(&[1, 2, 3]), vec![5, 10, 15]);
+        assert_eq!(f.structural_adders(), 0);
+    }
+
+    #[test]
+    fn zero_taps_contribute_nothing() {
+        let f = make_filter(&[0, 3, 0]);
+        assert_eq!(f.filter(&[1, 1, 1, 1]), direct_fir(&[0, 3, 0], &[1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn adder_accounting() {
+        let coeffs = [7i64, 9];
+        let f = make_filter(&coeffs);
+        assert_eq!(f.multiplier_adders(), 2); // 7 = 8-1, 9 = 8+1
+        assert_eq!(f.structural_adders(), 1);
+        assert_eq!(f.coefficients(), coeffs.to_vec());
+    }
+
+    #[test]
+    fn negative_input_and_coeffs() {
+        let coeffs = [-6i64, 11, -13];
+        let f = make_filter(&coeffs);
+        let input = [-3i64, 5, -7, 9];
+        assert_eq!(f.filter(&input), direct_fir(&coeffs, &input));
+    }
+}

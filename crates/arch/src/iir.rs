@@ -1,0 +1,304 @@
+//! Fixed-point transposed-direct-form IIR filters around multiplierless
+//! coefficient blocks.
+//!
+//! §1 of the MRPF paper: the MRP transformation applies to "any
+//! applications which can be expressed as a vector scaling operation like
+//! transposed direct form IIR filters". A TDF-II IIR contains *two* vector
+//! scaling operations — the feed-forward taps multiply the input `x(n)`,
+//! the feedback taps multiply the output `y(n)` — each realizable as a
+//! multiplierless [`AdderGraph`].
+
+use crate::netlist::AdderGraph;
+
+/// Quantizes real IIR coefficients `b / a` (with `a[0] = 1`) to integers
+/// with `shift` fraction bits: `b_int = round(b · 2^shift)`, and likewise
+/// for `a`. The implied `a_int[0]` is exactly `2^shift`.
+///
+/// # Panics
+///
+/// Panics if `a` is empty, `a[0]` is not 1 (within 1e-9), or
+/// `shift >= 32`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::quantize_iir;
+/// let (b, a) = quantize_iir(&[0.25, 0.5], &[1.0, -0.5], 8);
+/// assert_eq!(b, vec![64, 128]);
+/// assert_eq!(a, vec![256, -128]);
+/// ```
+pub fn quantize_iir(b: &[f64], a: &[f64], shift: u32) -> (Vec<i64>, Vec<i64>) {
+    assert!(!a.is_empty(), "denominator must be non-empty");
+    assert!(
+        (a[0] - 1.0).abs() < 1e-9,
+        "denominator must be normalized (a[0] = 1)"
+    );
+    assert!(shift < 32, "shift must be below 32");
+    let scale = (1i64 << shift) as f64;
+    let q = |v: f64| (v * scale).round() as i64;
+    (
+        b.iter().copied().map(q).collect(),
+        a.iter().copied().map(q).collect(),
+    )
+}
+
+/// A fixed-point TDF-II IIR filter: two multiplierless coefficient blocks
+/// plus the shared register chain, evaluated bit-exactly.
+///
+/// Construction takes the quantized integer coefficients; the blocks are
+/// built with whatever scheme the caller chose (simple, CSE, MRP, …) as
+/// long as each block's outputs are the coefficients in order:
+/// `b_block` outputs `b_0 … b_M`, `a_block` outputs `a_1 … a_N` (the
+/// leading `a_0 = 2^shift` is the output scaling, not a multiplier).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{simple_multiplier_block, quantize_iir, IirFixedPoint};
+/// use mrp_numrep::Repr;
+///
+/// let (b, a) = quantize_iir(&[0.25, 0.25], &[1.0, -0.5], 10);
+/// let (mut bb, bo) = simple_multiplier_block(&b, Repr::Csd)?;
+/// for (i, (&t, &c)) in bo.iter().zip(&b).enumerate() {
+///     bb.push_output(format!("b{i}"), t, c);
+/// }
+/// let (mut ab, ao) = simple_multiplier_block(&a[1..], Repr::Csd)?;
+/// for (i, (&t, &c)) in ao.iter().zip(&a[1..]).enumerate() {
+///     ab.push_output(format!("a{}", i + 1), t, c);
+/// }
+/// let iir = IirFixedPoint::new(bb, ab, 10);
+/// let y = iir.filter(&[1 << 10, 0, 0, 0]);
+/// assert_eq!(y[0], 256); // b0 * x >> shift = 0.25
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IirFixedPoint {
+    b_block: AdderGraph,
+    a_block: AdderGraph,
+    shift: u32,
+}
+
+impl IirFixedPoint {
+    /// Wraps the two coefficient blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feed-forward block has no outputs or `shift >= 32`.
+    pub fn new(b_block: AdderGraph, a_block: AdderGraph, shift: u32) -> Self {
+        assert!(
+            !b_block.outputs().is_empty(),
+            "feed-forward block needs at least b0"
+        );
+        assert!(shift < 32, "shift must be below 32");
+        IirFixedPoint {
+            b_block,
+            a_block,
+            shift,
+        }
+    }
+
+    /// Feed-forward coefficients (`b_0 …`).
+    pub fn b(&self) -> Vec<i64> {
+        self.b_block.outputs().iter().map(|o| o.expected).collect()
+    }
+
+    /// Feedback coefficients (`a_1 …`; `a_0 = 2^shift` implied).
+    pub fn a_tail(&self) -> Vec<i64> {
+        self.a_block.outputs().iter().map(|o| o.expected).collect()
+    }
+
+    /// Total multiplier-block adders across both blocks.
+    pub fn multiplier_adders(&self) -> usize {
+        self.b_block.adder_count() + self.a_block.adder_count()
+    }
+
+    /// Fraction bits of the coefficient quantization.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Runs the filter over `input` (zero initial state), rounding the
+    /// output to the nearest integer at each step:
+    ///
+    /// `y(n) = round( (b·x chain − a·y chain) / 2^shift )`
+    ///
+    /// computed through the actual adder networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any intermediate overflows `i64` (choose input magnitudes
+    /// accordingly).
+    pub fn filter(&self, input: &[i64]) -> Vec<i64> {
+        let b_outs = |x: i64| -> Vec<i64> {
+            let vals = self.b_block.evaluate_structural(x);
+            self.b_block
+                .outputs()
+                .iter()
+                .map(|o| {
+                    if o.expected == 0 {
+                        0
+                    } else {
+                        let raw = (vals[o.term.node.index()] as i128) << o.term.shift;
+                        i64::try_from(if o.term.negate { -raw } else { raw })
+                            .expect("b product overflows")
+                    }
+                })
+                .collect()
+        };
+        let a_outs = |y: i64| -> Vec<i64> {
+            let vals = self.a_block.evaluate_structural(y);
+            self.a_block
+                .outputs()
+                .iter()
+                .map(|o| {
+                    if o.expected == 0 {
+                        0
+                    } else {
+                        let raw = (vals[o.term.node.index()] as i128) << o.term.shift;
+                        i64::try_from(if o.term.negate { -raw } else { raw })
+                            .expect("a product overflows")
+                    }
+                })
+                .collect()
+        };
+        let nb = self.b_block.outputs().len();
+        let na = self.a_block.outputs().len();
+        let n = nb.max(na + 1);
+        // TDF-II: y = (b0 x + s1) >> shift; s_k = b_k x - a_k y + s_{k+1}.
+        let mut state = vec![0i64; n + 1];
+        let half = 1i64 << self.shift >> 1;
+        let mut out = Vec::with_capacity(input.len());
+        for &x in input {
+            let bx = b_outs(x);
+            let y_full = bx[0].checked_add(state[1]).expect("accumulator overflow");
+            // Round-to-nearest (ties away from zero keeps symmetry simple).
+            let y = if y_full >= 0 {
+                (y_full + half) >> self.shift
+            } else {
+                -((-y_full + half) >> self.shift)
+            };
+            let ay = a_outs(y);
+            for k in 1..n {
+                let b_k = bx.get(k).copied().unwrap_or(0);
+                let a_k = ay.get(k - 1).copied().unwrap_or(0);
+                state[k] = b_k
+                    .checked_sub(a_k)
+                    .and_then(|v| v.checked_add(state[k + 1]))
+                    .expect("state overflow");
+            }
+            out.push(y);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_multiplier_block;
+    use mrp_numrep::Repr;
+
+    fn build(b: &[i64], a_tail: &[i64], shift: u32) -> IirFixedPoint {
+        let (mut bb, bo) = simple_multiplier_block(b, Repr::Csd).unwrap();
+        for (i, (&t, &c)) in bo.iter().zip(b).enumerate() {
+            bb.push_output(format!("b{i}"), t, c);
+        }
+        let (mut ab, ao) = simple_multiplier_block(a_tail, Repr::Csd).unwrap();
+        for (i, (&t, &c)) in ao.iter().zip(a_tail).enumerate() {
+            ab.push_output(format!("a{}", i + 1), t, c);
+        }
+        IirFixedPoint::new(bb, ab, shift)
+    }
+
+    #[test]
+    fn pure_fir_degenerate_case() {
+        // No feedback: behaves exactly like an FIR with output shift.
+        let shift = 8;
+        let f = build(&[256, 128], &[0], shift);
+        let y = f.filter(&[256, 0, 0]);
+        assert_eq!(y, vec![256, 128, 0]);
+    }
+
+    #[test]
+    fn one_pole_lowpass_steps_to_dc_gain() {
+        // y[n] = 0.25 x[n] + 0.75 y[n-1]: DC gain 1.
+        let shift = 12;
+        let scale = 1i64 << shift;
+        let f = build(&[scale / 4], &[-(3 * scale / 4)], shift);
+        let y = f.filter(&vec![1000; 400]);
+        let last = *y.last().unwrap();
+        assert!((last - 1000).abs() <= 2, "settled to {last}");
+    }
+
+    #[test]
+    fn matches_float_reference_within_lsbs() {
+        use self::mrp_filters_testless::float_df2t;
+        // 2nd-order Butterworth-ish float reference implemented inline.
+        let b = [0.2, 0.4, 0.2];
+        let a = [1.0, -0.3, 0.1];
+        let shift = 14;
+        let (bi, ai) = quantize_iir(&b, &a, shift);
+        let f = build(&bi, &ai[1..], shift);
+        let n = 128;
+        let mut seed = 5u64;
+        let input: Vec<i64> = (0..n)
+            .map(|_| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((seed >> 48) as i64) - (1 << 15)
+            })
+            .collect();
+        let y_int = f.filter(&input);
+        let y_ref = float_df2t(&b, &a, &input);
+        for (yi, yr) in y_int.iter().zip(&y_ref) {
+            assert!(
+                (*yi as f64 - yr).abs() < 4.0,
+                "fixed {yi} vs float {yr}"
+            );
+        }
+    }
+
+    /// Minimal float DF2T reference local to the tests (the real designer
+    /// lives in mrp-filters, which this crate must not depend on).
+    mod mrp_filters_testless {
+        pub fn float_df2t(b: &[f64], a: &[f64], input: &[i64]) -> Vec<f64> {
+            let n = a.len().max(b.len());
+            let mut state = vec![0.0f64; n];
+            let mut out = Vec::with_capacity(input.len());
+            for &xi in input {
+                let x = xi as f64;
+                let y = b[0] * x + state[1];
+                for k in 1..n {
+                    let bk = b.get(k).copied().unwrap_or(0.0);
+                    let ak = a.get(k).copied().unwrap_or(0.0);
+                    let next = state.get(k + 1).copied().unwrap_or(0.0);
+                    state[k] = bk * x - ak * y + next;
+                }
+                out.push(y);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn quantize_iir_basics() {
+        let (b, a) = quantize_iir(&[0.5, -0.125], &[1.0, 0.75], 4);
+        assert_eq!(b, vec![8, -2]);
+        assert_eq!(a, vec![16, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized")]
+    fn quantize_rejects_unnormalized_denominator() {
+        quantize_iir(&[1.0], &[2.0, 0.5], 8);
+    }
+
+    #[test]
+    fn adder_accounting_spans_both_blocks() {
+        let f = build(&[7, 9], &[45], 6);
+        assert_eq!(
+            f.multiplier_adders(),
+            f.b().iter().map(|&c| mrp_numrep::adder_cost(c, Repr::Csd) as usize).sum::<usize>()
+                + f.a_tail().iter().map(|&c| mrp_numrep::adder_cost(c, Repr::Csd) as usize).sum::<usize>()
+        );
+    }
+}

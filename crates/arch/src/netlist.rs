@@ -1,0 +1,681 @@
+//! The shift-add adder-graph netlist.
+
+use std::fmt;
+
+use mrp_numrep::Repr;
+
+/// Error cases of [`AdderGraph`] construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A node id referenced a node that does not exist in this graph.
+    UnknownNode(usize),
+    /// An intermediate constant value overflowed the `i64` tracking range.
+    ValueOverflow,
+    /// A constant could not be built (e.g. `i64::MIN`).
+    UnbuildableConstant(i64),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::UnknownNode(id) => write!(f, "node id {id} does not exist in this graph"),
+            ArchError::ValueOverflow => write!(f, "constant value overflowed i64"),
+            ArchError::UnbuildableConstant(c) => write!(f, "constant {c} cannot be built"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// Identifier of a node inside one [`AdderGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index (stable for the graph's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds an id from a raw index obtained via [`NodeId::index`] or by
+    /// enumerating [`AdderGraph::nodes`]. Passing an index from a different
+    /// graph gives an id the target graph will reject or misinterpret.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+/// An operand reference: a node output, left-shifted by `shift` bits and
+/// optionally negated. Shifts and negations are free wiring in the paper's
+/// cost model, which is why they live on the edge rather than in a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Term {
+    /// Source node.
+    pub node: NodeId,
+    /// Left shift applied to the node output.
+    pub shift: u32,
+    /// Whether the shifted value is negated.
+    pub negate: bool,
+}
+
+impl Term {
+    /// Plain reference to a node output.
+    pub fn of(node: NodeId) -> Self {
+        Term {
+            node,
+            shift: 0,
+            negate: false,
+        }
+    }
+
+    /// Node output shifted left by `shift`.
+    pub fn shifted(node: NodeId, shift: u32) -> Self {
+        Term {
+            node,
+            shift,
+            negate: false,
+        }
+    }
+
+    /// Negated node output.
+    pub fn negated(node: NodeId) -> Self {
+        Term {
+            node,
+            shift: 0,
+            negate: true,
+        }
+    }
+
+    /// Negated, shifted node output.
+    pub fn negated_shifted(node: NodeId, shift: u32) -> Self {
+        Term {
+            node,
+            shift,
+            negate: true,
+        }
+    }
+}
+
+/// One node of the adder graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// The single input `x` (constant value 1).
+    Input,
+    /// A two-input adder/subtractor combining two terms.
+    Add {
+        /// Left operand.
+        lhs: Term,
+        /// Right operand.
+        rhs: Term,
+    },
+}
+
+/// A labeled output of the multiplier block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// Human-readable label (e.g. a tap index).
+    pub label: String,
+    /// The term producing the output value.
+    pub term: Term,
+    /// The constant the output is supposed to multiply `x` by.
+    pub expected: i64,
+}
+
+/// A DAG of shift-add nodes computing integer multiples of one input.
+///
+/// Every node's constant multiple of `x` is tracked exactly; evaluation is
+/// bit-exact in `i64` (via `i128` intermediates).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{AdderGraph, Term};
+/// let mut g = AdderGraph::new();
+/// let x = g.input();
+/// let three = g.add(Term::shifted(x, 1), Term::of(x))?; // 2x + x
+/// let nine = g.add(Term::shifted(three, 1), Term::of(three))?; // 6x + 3x
+/// assert_eq!(g.value(nine), 9);
+/// assert_eq!(g.depth(nine), 2);
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdderGraph {
+    nodes: Vec<Node>,
+    values: Vec<i64>,
+    depths: Vec<u32>,
+    outputs: Vec<Output>,
+}
+
+impl AdderGraph {
+    /// Creates a graph containing only the input node.
+    pub fn new() -> Self {
+        AdderGraph {
+            nodes: vec![Node::Input],
+            values: vec![1],
+            depths: vec![0],
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The input node (value 1).
+    pub fn input(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes including the input.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` only for a freshly constructed graph with no adders.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of adders (all nodes except the input).
+    pub fn adder_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Borrow the node list (index = [`NodeId::index`]).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Registered outputs.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// The exact constant multiple of `x` that `node` computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not from this graph.
+    pub fn value(&self, node: NodeId) -> i64 {
+        self.values[node.0]
+    }
+
+    /// Adder depth of `node` (input = 0; an adder is 1 + max operand depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not from this graph.
+    pub fn depth(&self, node: NodeId) -> u32 {
+        self.depths[node.0]
+    }
+
+    /// Maximum adder depth over all nodes (the multiplier-block critical
+    /// path in adder stages).
+    pub fn max_depth(&self) -> u32 {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Constant value of a term (node value shifted/negated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term's node is not from this graph or its shifted
+    /// value overflows.
+    pub fn term_value(&self, term: Term) -> i64 {
+        let v = self
+            .values[term.node.0]
+            .checked_shl(term.shift)
+            .filter(|v| (v >> term.shift) == self.values[term.node.0])
+            .expect("term value overflows i64");
+        if term.negate {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Adds a two-input adder combining `lhs` and `rhs`; returns the new
+    /// node. If an existing node already computes the same constant, a new
+    /// node is still created — deduplication is the optimizer's job, and
+    /// keeping duplicates makes adder counting faithful to the synthesized
+    /// structure.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::UnknownNode`] for a foreign node id;
+    /// [`ArchError::ValueOverflow`] if the resulting constant leaves `i64`.
+    pub fn add(&mut self, lhs: Term, rhs: Term) -> Result<NodeId, ArchError> {
+        for t in [&lhs, &rhs] {
+            if t.node.0 >= self.nodes.len() {
+                return Err(ArchError::UnknownNode(t.node.0));
+            }
+        }
+        let value = self
+            .checked_term_value(lhs)
+            .and_then(|a| self.checked_term_value(rhs).and_then(|b| a.checked_add(b)))
+            .ok_or(ArchError::ValueOverflow)?;
+        let depth = 1 + self.depths[lhs.node.0].max(self.depths[rhs.node.0]);
+        self.nodes.push(Node::Add { lhs, rhs });
+        self.values.push(value);
+        self.depths.push(depth);
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    fn checked_term_value(&self, term: Term) -> Option<i64> {
+        let base = self.values[term.node.0];
+        let shifted = base.checked_shl(term.shift)?;
+        if (shifted >> term.shift) != base {
+            return None;
+        }
+        if term.negate {
+            shifted.checked_neg()
+        } else {
+            Some(shifted)
+        }
+    }
+
+    /// Finds an existing node computing exactly `value` (not a shift of it).
+    pub fn find_value(&self, value: i64) -> Option<NodeId> {
+        self.values.iter().position(|&v| v == value).map(NodeId)
+    }
+
+    /// Finds an existing node whose value is a power-of-two multiple of (or
+    /// equal to) an odd part matching `value`'s, returning the node and the
+    /// term (shift + sign) that produces `value` from it.
+    pub fn find_shift_of(&self, value: i64) -> Option<Term> {
+        if value == 0 {
+            return None;
+        }
+        let want = mrp_numrep::odd_part(value);
+        for (i, &v) in self.values.iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            let have = mrp_numrep::odd_part(v);
+            if have.odd == want.odd && have.shift <= want.shift {
+                return Some(Term {
+                    node: NodeId(i),
+                    shift: want.shift - have.shift,
+                    negate: have.negative != want.negative,
+                });
+            }
+        }
+        None
+    }
+
+    /// Builds (or reuses) a sub-network computing `constant · x` by digit
+    /// recoding under `repr`, returning the producing term. An existing
+    /// node with the same odd part is reused via a free shift/negation.
+    ///
+    /// `constant = 0` has no hardware realization; the input term is
+    /// returned as a placeholder and callers must treat zero taps as absent
+    /// (the filter builders drop outputs with `expected = 0`).
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::UnbuildableConstant`] for `i64::MIN`;
+    /// [`ArchError::ValueOverflow`] on overflow.
+    pub fn build_constant(&mut self, constant: i64, repr: Repr) -> Result<Term, ArchError> {
+        if constant == i64::MIN {
+            return Err(ArchError::UnbuildableConstant(constant));
+        }
+        if constant == 0 {
+            // No hardware: callers treat zero taps as absent. Represent as
+            // input with shift 0 — never evaluated because expected = 0
+            // outputs are dropped by the filter builders.
+            return Ok(Term::of(self.input()));
+        }
+        // Reuse an existing node when the value (or a shift of it) exists.
+        if let Some(t) = self.find_shift_of(constant) {
+            return Ok(t);
+        }
+        let digits = match repr {
+            Repr::TwosComplement | Repr::SignMagnitude => mrp_numrep::binary_digits(constant),
+            Repr::Csd | Repr::Spt => mrp_numrep::csd(constant),
+        };
+        let terms = digits.terms();
+        debug_assert!(!terms.is_empty());
+        // Chain the signed power-of-two terms two at a time.
+        let x = self.input();
+        let mk = |(k, s): (u32, i64)| Term {
+            node: x,
+            shift: k,
+            negate: s < 0,
+        };
+        if terms.len() == 1 {
+            return Ok(mk(terms[0]));
+        }
+        let mut acc = self.add(mk(terms[0]), mk(terms[1]))?;
+        for &t in &terms[2..] {
+            acc = self.add(Term::of(acc), mk(t))?;
+        }
+        Ok(Term::of(acc))
+    }
+
+    /// Like [`AdderGraph::build_constant`], but also tries the exact
+    /// two-adder SCM plans of [`mrp_numrep::scm2_plan`]: constants whose
+    /// digit recoding would need three or more adders but that factor as
+    /// `a·b` or offset as `±a·2^i ± 2^j` (both pieces weight ≤ 2) are
+    /// built with two adders. Used for SEED networks, where the constants
+    /// are few and worth the stronger search; the plain digit-recoded
+    /// builder stays available as the paper-faithful baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AdderGraph::build_constant`].
+    pub fn build_constant_optimal(
+        &mut self,
+        constant: i64,
+        repr: Repr,
+    ) -> Result<Term, ArchError> {
+        if constant == i64::MIN {
+            return Err(ArchError::UnbuildableConstant(constant));
+        }
+        if constant == 0 {
+            return Ok(Term::of(self.input()));
+        }
+        if let Some(t) = self.find_shift_of(constant) {
+            return Ok(t);
+        }
+        let p = mrp_numrep::odd_part(constant);
+        let digit_cost = mrp_numrep::adder_cost(p.odd, repr);
+        if digit_cost >= 3 && p.odd <= 1 << 48 {
+            if let Some(plan) = mrp_numrep::scm2_plan(p.odd, 26) {
+                let x = self.input();
+                let term_of = |src: mrp_numrep::ScmSrc, prev: NodeId| match src {
+                    mrp_numrep::ScmSrc::Input => x,
+                    mrp_numrep::ScmSrc::Prev => prev,
+                };
+                let s0 = plan[0];
+                let first = self.add(
+                    Term {
+                        node: term_of(s0.lhs, x),
+                        shift: s0.lhs_shift,
+                        negate: s0.lhs_negate,
+                    },
+                    Term {
+                        node: term_of(s0.rhs, x),
+                        shift: s0.rhs_shift,
+                        negate: s0.rhs_negate,
+                    },
+                )?;
+                let s1 = plan[1];
+                let second = self.add(
+                    Term {
+                        node: term_of(s1.lhs, first),
+                        shift: s1.lhs_shift,
+                        negate: s1.lhs_negate,
+                    },
+                    Term {
+                        node: term_of(s1.rhs, first),
+                        shift: s1.rhs_shift,
+                        negate: s1.rhs_negate,
+                    },
+                )?;
+                debug_assert_eq!(self.value(second), p.odd);
+                return Ok(Term {
+                    node: second,
+                    shift: p.shift,
+                    negate: p.negative,
+                });
+            }
+        }
+        self.build_constant(constant, repr)
+    }
+
+    /// Registers a labeled output.
+    pub fn push_output(&mut self, label: impl Into<String>, term: Term, expected: i64) {
+        self.outputs.push(Output {
+            label: label.into(),
+            term,
+            expected,
+        });
+    }
+
+    /// Fanout of each node: how many adder operands and outputs consume
+    /// it. High-fanout nodes are the drive-strength concern behind the
+    /// paper's β discussion (§3.3); feed the maximum into
+    /// `mrp_hwcost::fanout_penalty`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrp_arch::{AdderGraph, Term};
+    /// let mut g = AdderGraph::new();
+    /// let x = g.input();
+    /// let a = g.add(Term::shifted(x, 1), Term::of(x))?; // x used twice
+    /// g.push_output("o", Term::of(a), 3);
+    /// assert_eq!(g.fanouts(), vec![2, 1]);
+    /// # Ok::<(), mrp_arch::ArchError>(())
+    /// ```
+    pub fn fanouts(&self) -> Vec<usize> {
+        let mut f = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            if let Node::Add { lhs, rhs } = node {
+                f[lhs.node.0] += 1;
+                f[rhs.node.0] += 1;
+            }
+        }
+        for o in &self.outputs {
+            if o.expected != 0 {
+                f[o.term.node.0] += 1;
+            }
+        }
+        f
+    }
+
+    /// Largest fanout in the graph (0 for an empty graph).
+    pub fn max_fanout(&self) -> usize {
+        self.fanouts().into_iter().max().unwrap_or(0)
+    }
+
+    /// Evaluates a single node for input `x`, bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result overflows `i64` or `node` is foreign.
+    pub fn evaluate_node(&self, node: NodeId, x: i64) -> i64 {
+        let v = self.values[node.0] as i128 * x as i128;
+        i64::try_from(v).expect("evaluation overflows i64")
+    }
+
+    /// Evaluates a term for input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow or a foreign node.
+    pub fn evaluate_term(&self, term: Term, x: i64) -> i64 {
+        let v = self.term_value(term) as i128 * x as i128;
+        i64::try_from(v).expect("evaluation overflows i64")
+    }
+
+    /// Structural bit-exact evaluation of *every node* by propagating `x`
+    /// through the adders (not via the tracked constants), returning the
+    /// node values. Used to cross-check the tracked constants.
+    pub fn evaluate_structural(&self, x: i64) -> Vec<i64> {
+        let mut out = vec![0i64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            out[i] = match node {
+                Node::Input => x,
+                Node::Add { lhs, rhs } => {
+                    let term = |t: &Term| {
+                        let v = (out[t.node.0] as i128) << t.shift;
+                        if t.negate {
+                            -v
+                        } else {
+                            v
+                        }
+                    };
+                    i64::try_from(term(lhs) + term(rhs)).expect("structural overflow")
+                }
+            };
+        }
+        out
+    }
+
+    /// Verifies every registered output against `expected · x` for the
+    /// given sample inputs, using structural evaluation. Returns the first
+    /// failing `(label, x)` pair, or `None` when all pass.
+    pub fn verify_outputs(&self, samples: &[i64]) -> Option<(String, i64)> {
+        for &x in samples {
+            let vals = self.evaluate_structural(x);
+            for o in &self.outputs {
+                if o.expected == 0 {
+                    continue;
+                }
+                let v = {
+                    let raw = (vals[o.term.node.0] as i128) << o.term.shift;
+                    if o.term.negate {
+                        -raw
+                    } else {
+                        raw
+                    }
+                };
+                if v != o.expected as i128 * x as i128 {
+                    return Some((o.label.clone(), x));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_only_graph() {
+        let g = AdderGraph::new();
+        assert_eq!(g.adder_count(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.value(g.input()), 1);
+        assert_eq!(g.max_depth(), 0);
+    }
+
+    #[test]
+    fn values_track_adds() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let five = g.add(Term::shifted(x, 2), Term::of(x)).unwrap();
+        assert_eq!(g.value(five), 5);
+        let twenty_three = g
+            .add(Term::shifted(five, 2), Term::of(g.input()))
+            .unwrap(); // 20 + 3? no: 20 + 1 = 21
+        assert_eq!(g.value(twenty_three), 21);
+        assert_eq!(g.depth(twenty_three), 2);
+    }
+
+    #[test]
+    fn structural_matches_tracked() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+        let b = g.add(Term::shifted(a, 2), Term::of(x)).unwrap(); // 29
+        let c = g.add(Term::of(b), Term::negated_shifted(a, 1)).unwrap(); // 15
+        assert_eq!(g.value(c), 15);
+        for xv in [-17i64, 0, 1, 123] {
+            let vals = g.evaluate_structural(xv);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(v, g.values[i] * xv);
+            }
+        }
+    }
+
+    #[test]
+    fn find_shift_of_matches_odd_parts() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let three = g.add(Term::shifted(x, 1), Term::of(x)).unwrap();
+        // 12 = 3 << 2
+        let t = g.find_shift_of(12).unwrap();
+        assert_eq!(t.node, three);
+        assert_eq!(t.shift, 2);
+        assert!(!t.negate);
+        // -6 = -(3 << 1)
+        let t = g.find_shift_of(-6).unwrap();
+        assert_eq!(t.node, three);
+        assert_eq!(t.shift, 1);
+        assert!(t.negate);
+        // 5: nothing
+        assert!(g.find_shift_of(5).is_none());
+        // 1 and powers of two come from the input node.
+        let t = g.find_shift_of(8).unwrap();
+        assert_eq!(t.node, x);
+        assert_eq!(t.shift, 3);
+    }
+
+    #[test]
+    fn build_constant_reuses_nodes() {
+        let mut g = AdderGraph::new();
+        let t7 = g.build_constant(7, Repr::Csd).unwrap();
+        assert_eq!(g.adder_count(), 1);
+        // 14 = 7 << 1: free.
+        let t14 = g.build_constant(14, Repr::Csd).unwrap();
+        assert_eq!(g.adder_count(), 1);
+        assert_eq!(t14.node, t7.node);
+        assert_eq!(t14.shift, t7.shift + 1);
+        // -7: free negation.
+        let tm7 = g.build_constant(-7, Repr::Csd).unwrap();
+        assert_eq!(g.adder_count(), 1);
+        assert!(tm7.negate);
+    }
+
+    #[test]
+    fn build_constant_csd_chain() {
+        let mut g = AdderGraph::new();
+        // 45 = 101101b; CSD: 45 = 32+8+4+1 w=4? csd(45): 45=101101 ->
+        // 10-10-101? weight is msd_weight(45).
+        let w = mrp_numrep::msd_weight(45);
+        let t = g.build_constant(45, Repr::Csd).unwrap();
+        assert_eq!(g.adder_count() as u32, w - 1);
+        assert_eq!(g.term_value(t), 45);
+    }
+
+    #[test]
+    fn outputs_verify() {
+        let mut g = AdderGraph::new();
+        let t = g.build_constant(23, Repr::Csd).unwrap();
+        g.push_output("c0", t, 23);
+        assert_eq!(g.verify_outputs(&[-5, 0, 1, 99]), None);
+        // A wrong expectation is caught.
+        let t2 = g.build_constant(9, Repr::Csd).unwrap();
+        g.push_output("c1", t2, 10);
+        let fail = g.verify_outputs(&[1]);
+        assert_eq!(fail, Some(("c1".to_string(), 1)));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let big = g.add(Term::shifted(x, 62), Term::of(x)).unwrap();
+        assert!(matches!(
+            g.add(Term::shifted(big, 2), Term::of(big)),
+            Err(ArchError::ValueOverflow)
+        ));
+    }
+
+    #[test]
+    fn foreign_node_rejected() {
+        let mut g = AdderGraph::new();
+        let bogus = Term::of(NodeId(42));
+        assert!(matches!(
+            g.add(bogus, bogus),
+            Err(ArchError::UnknownNode(42))
+        ));
+    }
+
+    #[test]
+    fn zero_constant_is_placeholder() {
+        let mut g = AdderGraph::new();
+        let t = g.build_constant(0, Repr::Csd).unwrap();
+        assert_eq!(t.node, g.input());
+        assert_eq!(g.adder_count(), 0);
+    }
+
+    #[test]
+    fn min_constant_rejected() {
+        let mut g = AdderGraph::new();
+        assert!(matches!(
+            g.build_constant(i64::MIN, Repr::Csd),
+            Err(ArchError::UnbuildableConstant(_))
+        ));
+    }
+}

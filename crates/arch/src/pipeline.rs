@@ -1,0 +1,230 @@
+//! Pipeline-cut analysis of adder graphs.
+//!
+//! §4 of the MRPF paper argues that the MRP structure "provides a natural
+//! place to pipeline the filter": cutting between the SEED multiplication
+//! network and the overhead add network registers only the few SEED
+//! values, whereas the irregular CSE structure forces many signals across
+//! any cut. This module quantifies that claim: the register cost of
+//! placing a pipeline boundary at any adder depth.
+
+use crate::netlist::{AdderGraph, Node, NodeId};
+
+/// Number of pipeline registers needed to cut the graph at adder depth
+/// `cut`: every *distinct* signal produced at depth ≤ `cut` and consumed
+/// (by an adder or a registered output) at depth > `cut` needs one
+/// register; fanout shares it.
+///
+/// The input `x` itself counts when it feeds logic beyond the cut (it must
+/// be delayed to stay phase-aligned).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{cut_registers, AdderGraph, Term};
+///
+/// let mut g = AdderGraph::new();
+/// let x = g.input();
+/// let a = g.add(Term::shifted(x, 3), Term::negated(x))?; // depth 1
+/// let b = g.add(Term::of(a), Term::shifted(x, 1))?;      // depth 2
+/// g.push_output("o", Term::of(b), g.value(b));
+/// // Cutting after depth 1: `a` and `x` cross.
+/// assert_eq!(cut_registers(&g, 1), 2);
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+pub fn cut_registers(graph: &AdderGraph, cut: u32) -> usize {
+    let n = graph.len();
+    let mut crosses = vec![false; n];
+    let consumer = |src: NodeId, consumer_depth: u32, crosses: &mut Vec<bool>| {
+        if graph.depth(src) <= cut && consumer_depth > cut {
+            crosses[src.index()] = true;
+        }
+    };
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            let d = graph.depth(NodeId::from_index(i));
+            consumer(lhs.node, d, &mut crosses);
+            consumer(rhs.node, d, &mut crosses);
+        }
+    }
+    // Outputs live after the deepest logic; an output whose producing node
+    // is at or below the cut needs its signal carried across.
+    for o in graph.outputs() {
+        if o.expected != 0 && graph.depth(o.term.node) <= cut {
+            crosses[o.term.node.index()] = true;
+        }
+    }
+    crosses.iter().filter(|&&c| c).count()
+}
+
+/// Register cost of every *useful* single cut: depths `1..max_depth`,
+/// where both resulting stages contain logic. (Depth 0 would register only
+/// the input; at or beyond `max_depth` only the outputs — neither shortens
+/// the critical path.)
+pub fn cut_profile(graph: &AdderGraph) -> Vec<(u32, usize)> {
+    (1..graph.max_depth())
+        .map(|d| (d, cut_registers(graph, d)))
+        .collect()
+}
+
+/// The cheapest single pipeline cut `(depth, registers)`, or `None` for a
+/// combinational-depth-≤1 graph that has nothing to cut.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{best_cut, simple_multiplier_block};
+/// use mrp_numrep::Repr;
+///
+/// let (mut g, outs) = simple_multiplier_block(&[45, 90, 23], Repr::Csd)?;
+/// for (i, &t) in outs.iter().enumerate() {
+///     g.push_output(format!("c{i}"), t, g.term_value(t));
+/// }
+/// if let Some((depth, regs)) = best_cut(&g) {
+///     assert!(depth < g.max_depth());
+///     assert!(regs > 0);
+/// }
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+pub fn best_cut(graph: &AdderGraph) -> Option<(u32, usize)> {
+    cut_profile(graph)
+        .into_iter()
+        .min_by_key(|&(d, regs)| (regs, d))
+}
+
+/// The cheapest cut among those that *balance* the pipeline: the slower
+/// stage is at most `ceil(max_depth / 2)` adders deep, so the cut actually
+/// doubles the achievable clock. Falls back to `None` when the graph is
+/// too shallow to split.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{best_balanced_cut, simple_multiplier_block};
+/// use mrp_numrep::Repr;
+///
+/// let (mut g, outs) = simple_multiplier_block(&[173, 219], Repr::Csd)?;
+/// for (i, &t) in outs.iter().enumerate() {
+///     g.push_output(format!("c{i}"), t, g.term_value(t));
+/// }
+/// if let Some((depth, _regs)) = best_balanced_cut(&g) {
+///     let half = g.max_depth().div_ceil(2);
+///     assert!(depth <= half && g.max_depth() - depth <= half);
+/// }
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+pub fn best_balanced_cut(graph: &AdderGraph) -> Option<(u32, usize)> {
+    let max = graph.max_depth();
+    let half = max.div_ceil(2);
+    cut_profile(graph)
+        .into_iter()
+        .filter(|&(d, _)| d <= half && max - d <= half)
+        .min_by_key(|&(d, regs)| (regs, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Term;
+    use crate::simple_multiplier_block;
+    use mrp_numrep::Repr;
+
+    /// Chain: x -> a(d1) -> b(d2) -> c(d3), single output on c.
+    fn chain() -> AdderGraph {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 1), Term::of(x)).unwrap();
+        let b = g.add(Term::shifted(a, 1), Term::of(x)).unwrap();
+        let c = g.add(Term::shifted(b, 1), Term::of(x)).unwrap();
+        g.push_output("o", Term::of(c), g.value(c));
+        g
+    }
+
+    #[test]
+    fn chain_cut_counts() {
+        let g = chain();
+        // Cut after depth 1: `a` crosses (into b) and `x` crosses (into b
+        // and c) => 2 registers.
+        assert_eq!(cut_registers(&g, 1), 2);
+        // Cut after depth 2: `b` and `x` cross => 2.
+        assert_eq!(cut_registers(&g, 2), 2);
+        // Cut at depth 0: only x crosses.
+        assert_eq!(cut_registers(&g, 0), 1);
+    }
+
+    #[test]
+    fn profile_covers_useful_depths() {
+        let g = chain();
+        let p = cut_profile(&g);
+        assert_eq!(p.len(), g.max_depth() as usize - 1);
+        assert_eq!(p[0], (1, 2));
+    }
+
+    #[test]
+    fn best_cut_picks_minimum() {
+        let g = chain();
+        let (d, regs) = best_cut(&g).unwrap();
+        assert_eq!(regs, 2);
+        assert!(d >= 1);
+    }
+
+    #[test]
+    fn balanced_cut_halves_depth() {
+        let g = chain(); // depth 3
+        let (d, _) = best_balanced_cut(&g).unwrap();
+        assert!(d <= 2 && 3 - d <= 2);
+    }
+
+    #[test]
+    fn no_cut_in_flat_graph() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        g.push_output("o", Term::shifted(x, 2), 4);
+        assert_eq!(best_cut(&g), None);
+    }
+
+    #[test]
+    fn output_at_shallow_depth_crosses() {
+        // Two outputs: one deep, one shallow; cutting mid-graph must carry
+        // the shallow output's signal across.
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 1), Term::of(x)).unwrap(); // depth 1
+        let b = g.add(Term::shifted(a, 2), Term::of(a)).unwrap(); // depth 2
+        g.push_output("shallow", Term::of(a), g.value(a));
+        g.push_output("deep", Term::of(b), g.value(b));
+        // Cut after depth 1: `a` crosses (feeds b AND the shallow output).
+        assert_eq!(cut_registers(&g, 1), 1);
+    }
+
+    #[test]
+    fn fanout_shares_registers() {
+        // One node feeding three consumers beyond the cut costs 1 register.
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 1), Term::of(x)).unwrap();
+        let mut outs = Vec::new();
+        for k in 0..3 {
+            let n = g.add(Term::shifted(a, k + 1), Term::of(a)).unwrap();
+            outs.push(n);
+        }
+        for (i, &n) in outs.iter().enumerate() {
+            g.push_output(format!("o{i}"), Term::of(n), g.value(n));
+        }
+        // Cut after depth 1: only `a` crosses (x feeds nothing deeper).
+        assert_eq!(cut_registers(&g, 1), 1);
+    }
+
+    #[test]
+    fn wide_simple_block_has_wide_cuts() {
+        let constants: Vec<i64> = (0..12).map(|k| 2 * k * k + 4 * k + 3).collect();
+        let (mut g, outs) = simple_multiplier_block(&constants, Repr::Csd).unwrap();
+        for (i, (&t, &c)) in outs.iter().zip(&constants).enumerate() {
+            g.push_output(format!("c{i}"), t, c);
+        }
+        if let Some((_, regs)) = best_cut(&g) {
+            // Independent chains: every chain crosses any full cut, so the
+            // register cost is at least a few signals.
+            assert!(regs >= 2);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Structural Verilog emission for adder-graph multiplier blocks.
+//!
+//! The generated module has one signed input `x` and one signed output per
+//! registered graph output. Shifts become `<<<` on signed wires, negations
+//! become unary minus; every adder node becomes one `assign`. The module is
+//! plain synthesizable Verilog-2001 so the MRPF architectures can be pushed
+//! through any synthesis flow, mirroring the paper's DesignWare evaluation.
+
+use std::fmt::Write as _;
+
+use crate::netlist::{AdderGraph, Node, Term};
+
+/// Emits a synthesizable Verilog module for the multiplier block.
+///
+/// `width` is the input wordlength; internal wires are sized
+/// `width + growth` where `growth` covers the worst-case constant (log2 of
+/// the largest absolute node value, plus one sign bit).
+///
+/// # Panics
+///
+/// Panics if the graph has no outputs or `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{emit_verilog, simple_multiplier_block};
+/// use mrp_numrep::Repr;
+///
+/// let (mut g, outs) = simple_multiplier_block(&[7], Repr::Csd)?;
+/// g.push_output("c0", outs[0], 7);
+/// let v = emit_verilog(&g, "mult_block", 16);
+/// assert!(v.contains("module mult_block"));
+/// assert!(v.contains("output signed"));
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+pub fn emit_verilog(graph: &AdderGraph, name: &str, width: u32) -> String {
+    assert!(width > 0, "input width must be positive");
+    assert!(
+        !graph.outputs().is_empty(),
+        "emit_verilog needs at least one output"
+    );
+    // Wordlength growth: ceil(log2(max |constant|)) + 1 (sign).
+    let max_const = graph
+        .outputs()
+        .iter()
+        .map(|o| o.expected.unsigned_abs())
+        .chain(graph.nodes().iter().enumerate().map(|(i, _)| {
+            graph
+                .value(crate::netlist::NodeId(i))
+                .unsigned_abs()
+        }))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let growth = 64 - max_const.leading_zeros() + 1;
+    let w = width + growth;
+    let msb = w - 1;
+
+    let term_expr = |t: &Term| -> String {
+        let base = if t.node.index() == 0 {
+            "x_ext".to_string()
+        } else {
+            format!("n{}", t.node.index())
+        };
+        let shifted = if t.shift > 0 {
+            format!("({base} <<< {})", t.shift)
+        } else {
+            base
+        };
+        if t.negate {
+            format!("(-{shifted})")
+        } else {
+            shifted
+        }
+    };
+
+    let mut v = String::new();
+    let _ = writeln!(v, "// Auto-generated multiplierless constant block.");
+    let _ = writeln!(
+        v,
+        "// {} adders, depth {}, internal width {w}.",
+        graph.adder_count(),
+        graph.max_depth()
+    );
+    let _ = writeln!(v, "module {name} (");
+    let _ = writeln!(v, "    input  signed [{}:0] x,", width - 1);
+    let outs = graph.outputs();
+    for (i, o) in outs.iter().enumerate() {
+        let comma = if i + 1 == outs.len() { "" } else { "," };
+        let _ = writeln!(
+            v,
+            "    output signed [{msb}:0] {}{comma} // {} * x",
+            sanitize(&o.label),
+            o.expected
+        );
+    }
+    let _ = writeln!(v, ");");
+    let _ = writeln!(v, "    wire signed [{msb}:0] x_ext = x;");
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            let _ = writeln!(
+                v,
+                "    wire signed [{msb}:0] n{i} = {} + {}; // {} * x",
+                term_expr(lhs),
+                term_expr(rhs),
+                graph.value(crate::netlist::NodeId(i))
+            );
+        }
+    }
+    for o in outs {
+        let expr = if o.expected == 0 {
+            format!("{{{w}{{1'b0}}}}")
+        } else {
+            term_expr(&o.term)
+        };
+        let _ = writeln!(v, "    assign {} = {expr};", sanitize(&o.label));
+    }
+    let _ = writeln!(v, "endmodule");
+    v
+}
+
+/// Makes a label a legal Verilog identifier.
+fn sanitize(label: &str) -> String {
+    let mut s: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, 'o');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_multiplier_block;
+    use mrp_numrep::Repr;
+
+    fn block(constants: &[i64]) -> AdderGraph {
+        let (mut g, outs) = simple_multiplier_block(constants, Repr::Csd).unwrap();
+        for (i, (&t, &c)) in outs.iter().zip(constants).enumerate() {
+            g.push_output(format!("c{i}"), t, c);
+        }
+        g
+    }
+
+    #[test]
+    fn emits_module_skeleton() {
+        let v = emit_verilog(&block(&[7, 12]), "mb", 12);
+        assert!(v.starts_with("// Auto-generated"));
+        assert!(v.contains("module mb ("));
+        assert!(v.contains("endmodule"));
+        assert!(v.contains("input  signed [11:0] x"));
+    }
+
+    #[test]
+    fn every_adder_becomes_a_wire() {
+        let g = block(&[45, 23]);
+        let v = emit_verilog(&g, "mb", 16);
+        let wires = v.matches("wire signed").count();
+        // One x_ext wire plus one per adder.
+        assert_eq!(wires, 1 + g.adder_count());
+    }
+
+    #[test]
+    fn zero_output_is_tied_low() {
+        let g = block(&[0, 3]);
+        let v = emit_verilog(&g, "mb", 8);
+        assert!(v.contains("{1'b0}"));
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        g.push_output("tap[3]", crate::netlist::Term::of(x), 1);
+        let v = emit_verilog(&g, "mb", 8);
+        assert!(v.contains("tap_3_"));
+        assert!(!v.contains("tap[3]"));
+    }
+
+    #[test]
+    fn negative_constants_use_negation() {
+        let g = block(&[-7]);
+        let v = emit_verilog(&g, "mb", 8);
+        assert!(v.contains("(-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn rejects_outputless_graph() {
+        emit_verilog(&AdderGraph::new(), "mb", 8);
+    }
+}

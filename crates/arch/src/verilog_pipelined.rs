@@ -1,0 +1,258 @@
+//! Pipelined Verilog emission: one register cut at a chosen adder depth.
+//!
+//! §4 of the MRPF paper argues the SEED/overhead boundary is the natural
+//! pipeline point. This emitter makes that concrete: it places registers
+//! on every signal crossing the requested depth (the same crossing set
+//! [`crate::cut_registers`] counts), producing a two-stage module with one
+//! cycle of latency — verifiable by `mrp-vsim`'s clocked simulator.
+
+use std::fmt::Write as _;
+
+use crate::netlist::{AdderGraph, Node, NodeId, Term};
+
+/// Emits a two-stage pipelined module cut at adder depth `cut`
+/// (`1 ≤ cut < max_depth`). Every output has a latency of exactly one
+/// clock; shallow outputs are carried through the pipeline registers so
+/// all taps stay phase-aligned.
+///
+/// # Panics
+///
+/// Panics if the graph has no outputs, `width == 0`, or `cut` is outside
+/// `1..max_depth`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{emit_verilog_pipelined, AdderGraph, Term};
+///
+/// let mut g = AdderGraph::new();
+/// let x = g.input();
+/// let a = g.add(Term::shifted(x, 3), Term::negated(x))?;   // 7x, depth 1
+/// let b = g.add(Term::shifted(a, 2), Term::of(x))?;        // 29x, depth 2
+/// g.push_output("c0", Term::of(b), 29);
+/// let v = emit_verilog_pipelined(&g, "pipe", 12, 1);
+/// assert!(v.contains("posedge clk"));
+/// assert!(v.contains("reg signed"));
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+pub fn emit_verilog_pipelined(graph: &AdderGraph, name: &str, width: u32, cut: u32) -> String {
+    assert!(width > 0, "input width must be positive");
+    assert!(
+        !graph.outputs().is_empty(),
+        "pipelined emission needs at least one output"
+    );
+    assert!(
+        cut >= 1 && cut < graph.max_depth(),
+        "cut {cut} must be within 1..{}",
+        graph.max_depth()
+    );
+    let max_const = graph
+        .outputs()
+        .iter()
+        .map(|o| o.expected.unsigned_abs())
+        .chain(
+            graph
+                .nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| graph.value(NodeId::from_index(i)).unsigned_abs()),
+        )
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let growth = 64 - max_const.leading_zeros() + 1;
+    let w = width + growth;
+    let msb = w - 1;
+
+    // Crossing set: identical logic to cut_registers.
+    let n = graph.len();
+    let mut crosses = vec![false; n];
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            let d = graph.depth(NodeId::from_index(i));
+            for t in [lhs, rhs] {
+                if graph.depth(t.node) <= cut && d > cut {
+                    crosses[t.node.index()] = true;
+                }
+            }
+        }
+    }
+    for o in graph.outputs() {
+        if o.expected != 0 && graph.depth(o.term.node) <= cut {
+            crosses[o.term.node.index()] = true;
+        }
+    }
+
+    let base_name = |id: NodeId| {
+        if id.index() == 0 {
+            "x_ext".to_string()
+        } else {
+            format!("n{}", id.index())
+        }
+    };
+    // Stage-2 consumers read the registered copy of crossing sources.
+    let staged_name = |id: NodeId, deep: bool| {
+        let b = base_name(id);
+        if deep && crosses[id.index()] {
+            format!("{b}_q")
+        } else {
+            b
+        }
+    };
+    let term_expr = |t: &Term, deep: bool| {
+        let base = staged_name(t.node, deep);
+        let shifted = if t.shift > 0 {
+            format!("({base} <<< {})", t.shift)
+        } else {
+            base
+        };
+        if t.negate {
+            format!("(-{shifted})")
+        } else {
+            shifted
+        }
+    };
+
+    let mut v = String::new();
+    let _ = writeln!(
+        v,
+        "// Auto-generated pipelined constant block: cut at depth {cut}, latency 1."
+    );
+    let _ = writeln!(v, "module {name} (");
+    let _ = writeln!(v, "    input clk,");
+    let _ = writeln!(v, "    input  signed [{}:0] x,", width - 1);
+    let outs = graph.outputs();
+    for (i, o) in outs.iter().enumerate() {
+        let comma = if i + 1 == outs.len() { "" } else { "," };
+        let _ = writeln!(
+            v,
+            "    output signed [{msb}:0] {}{comma} // {} * x, 1 cycle late",
+            sanitize(&o.label),
+            o.expected
+        );
+    }
+    let _ = writeln!(v, ");");
+    let _ = writeln!(v, "    wire signed [{msb}:0] x_ext = x;");
+    // Stage 1 combinational wires.
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            if graph.depth(NodeId::from_index(i)) <= cut {
+                let _ = writeln!(
+                    v,
+                    "    wire signed [{msb}:0] n{i} = {} + {}; // {} * x",
+                    term_expr(lhs, false),
+                    term_expr(rhs, false),
+                    graph.value(NodeId::from_index(i))
+                );
+            }
+        }
+    }
+    // Pipeline registers.
+    for (i, &crossing) in crosses.iter().enumerate() {
+        if crossing {
+            let _ = writeln!(
+                v,
+                "    reg signed [{msb}:0] {}_q;",
+                base_name(NodeId::from_index(i))
+            );
+        }
+    }
+    let _ = writeln!(v, "    always @(posedge clk) begin");
+    for (i, &crossing) in crosses.iter().enumerate() {
+        if crossing {
+            let b = base_name(NodeId::from_index(i));
+            let _ = writeln!(v, "        {b}_q <= {b};");
+        }
+    }
+    let _ = writeln!(v, "    end");
+    // Stage 2 wires.
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            if graph.depth(NodeId::from_index(i)) > cut {
+                let _ = writeln!(
+                    v,
+                    "    wire signed [{msb}:0] n{i} = {} + {}; // {} * x",
+                    term_expr(lhs, true),
+                    term_expr(rhs, true),
+                    graph.value(NodeId::from_index(i))
+                );
+            }
+        }
+    }
+    // Outputs: deep ones direct, shallow ones via their register.
+    for o in outs {
+        let expr = if o.expected == 0 {
+            format!("{{{w}{{1'b0}}}}")
+        } else {
+            term_expr(&o.term, true)
+        };
+        let _ = writeln!(v, "    assign {} = {expr};", sanitize(&o.label));
+    }
+    let _ = writeln!(v, "endmodule");
+    v
+}
+
+fn sanitize(label: &str) -> String {
+    let mut s: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, 'o');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Term;
+
+    fn two_stage() -> AdderGraph {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+        let b = g.add(Term::shifted(a, 2), Term::of(x)).unwrap(); // 29
+        g.push_output("deep", Term::of(b), 29);
+        g.push_output("shallow", Term::of(a), 7);
+        g
+    }
+
+    #[test]
+    fn emits_clocked_skeleton() {
+        let v = emit_verilog_pipelined(&two_stage(), "pipe", 10, 1);
+        assert!(v.contains("input clk"));
+        assert!(v.contains("always @(posedge clk) begin"));
+        assert!(v.contains("n1_q <= n1;"));
+        assert!(v.contains("x_ext_q <= x_ext;"));
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn deep_nodes_read_registered_sources() {
+        let v = emit_verilog_pipelined(&two_stage(), "pipe", 10, 1);
+        // n2 (depth 2) must read n1_q and x_ext_q.
+        let n2_line = v
+            .lines()
+            .find(|l| l.contains("n2 ="))
+            .expect("stage-2 wire present");
+        assert!(n2_line.contains("n1_q"), "{n2_line}");
+        assert!(n2_line.contains("x_ext_q"), "{n2_line}");
+    }
+
+    #[test]
+    fn shallow_output_uses_register() {
+        let v = emit_verilog_pipelined(&two_stage(), "pipe", 10, 1);
+        let line = v
+            .lines()
+            .find(|l| l.contains("assign shallow"))
+            .expect("shallow assign");
+        assert!(line.contains("n1_q"), "{line}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cut")]
+    fn rejects_out_of_range_cut() {
+        emit_verilog_pipelined(&two_stage(), "pipe", 10, 5);
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion bench: Hartley CSE and graph-MCM runtime on the example
+//! coefficient sets (baseline cost behind Figure 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrp_bench::quantized_example;
+use mrp_cse::{graph_mcm, hartley_cse};
+use mrp_filters::example_filters;
+use mrp_numrep::Scaling;
+
+fn primaries(coeffs: &[i64]) -> Vec<i64> {
+    let mut p: Vec<i64> = coeffs
+        .iter()
+        .filter(|&&c| c != 0)
+        .map(|&c| mrp_numrep::odd_part(c).odd)
+        .filter(|&o| o > 1)
+        .collect();
+    p.sort_unstable();
+    p.dedup();
+    p
+}
+
+fn bench_cse(c: &mut Criterion) {
+    let suite = example_filters();
+    let mut group = c.benchmark_group("hartley_cse");
+    group.sample_size(10);
+    for ex in [&suite[2], &suite[7], &suite[11]] {
+        let p = primaries(&quantized_example(ex, 16, Scaling::Uniform));
+        group.bench_with_input(BenchmarkId::new("primaries", p.len()), &p, |b, p| {
+            b.iter(|| hartley_cse(std::hint::black_box(p)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("graph_mcm");
+    group.sample_size(10);
+    for ex in [&suite[2], &suite[7]] {
+        let p = primaries(&quantized_example(ex, 12, Scaling::Uniform));
+        group.bench_with_input(BenchmarkId::new("primaries", p.len()), &p, |b, p| {
+            b.iter(|| graph_mcm(std::hint::black_box(p), 14).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cse);
+criterion_main!(benches);

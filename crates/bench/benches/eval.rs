@@ -1,0 +1,50 @@
+//! Criterion bench: bit-exact filtering throughput of generated
+//! architectures versus the direct-convolution golden model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrp_arch::{direct_fir, FirFilter};
+use mrp_bench::quantized_example;
+use mrp_core::{MrpConfig, MrpOptimizer};
+use mrp_filters::example_filters;
+use mrp_numrep::Scaling;
+
+fn input_samples(n: usize) -> Vec<i64> {
+    let mut seed = 0xDEADBEEFu64;
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 40) as i64) - (1 << 23)
+        })
+        .collect()
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let ex = &example_filters()[4];
+    let coeffs = quantized_example(ex, 12, Scaling::Uniform);
+    let result = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .unwrap();
+    let filter = FirFilter::new(result.graph.clone());
+    let input = input_samples(1024);
+
+    let mut group = c.benchmark_group("filter_eval");
+    group.sample_size(20);
+    group.bench_with_input(
+        BenchmarkId::new("mrpf_structural", coeffs.len()),
+        &input,
+        |b, input| {
+            b.iter(|| filter.filter(std::hint::black_box(input)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("direct_convolution", coeffs.len()),
+        &input,
+        |b, input| {
+            b.iter(|| direct_fir(std::hint::black_box(&coeffs), std::hint::black_box(input)));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 6: MRPF vs simple (SPT), **uniformly scaled** coefficients.
+//!
+//! For each of the 12 example filters and W ∈ {8, 12, 16, 20}, prints the
+//! MRPF multiplier-block adder count normalized by the simple
+//! (per-coefficient SPT) implementation. The paper reports ≈ 60 % average
+//! reduction (ratio ≈ 0.4) and ≈ 0.3 adders per tap at W = 16 for filters
+//! above 20 taps.
+
+use mrp_bench::{evaluate_suite, mean, print_header, WORDLENGTHS};
+use mrp_core::MrpConfig;
+use mrp_numrep::Scaling;
+
+fn main() {
+    print_header(
+        "Figure 6 — MRPF vs Simple (SPT), uniformly scaled",
+        "rows: example filters; columns: adder ratio MRPF/simple per wordlength",
+    );
+    let config = MrpConfig::default();
+    let mut per_w: Vec<Vec<f64>> = vec![Vec::new(); WORDLENGTHS.len()];
+    println!(
+        "{:<4} {:<6} {:>8} {:>8} {:>8} {:>8}",
+        "ex", "type", "W=8", "W=12", "W=16", "W=20"
+    );
+    let suites: Vec<_> = WORDLENGTHS
+        .iter()
+        .map(|&w| evaluate_suite(w, Scaling::Uniform, &config))
+        .collect();
+    for row in 0..suites[0].len() {
+        let cell0 = &suites[0][row];
+        print!("{:<4} {:<6}", cell0.example, cell0.label);
+        for (wi, suite) in suites.iter().enumerate() {
+            let r = suite[row].mrp_vs_simple();
+            per_w[wi].push(r);
+            print!(" {r:>8.3}");
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(72));
+    print!("{:<11}", "average");
+    for ratios in &per_w {
+        print!(" {:>8.3}", mean(ratios));
+    }
+    println!();
+    // Adders-per-tap headline at W = 16 for the larger filters.
+    let w16 = &suites[2];
+    let big: Vec<f64> = w16
+        .iter()
+        .filter(|c| c.coeffs.len() > 20)
+        .map(|c| c.report.mrp as f64 / c.coeffs.len() as f64)
+        .collect();
+    println!(
+        "adders per tap (W=16, >20 taps): {:.3}   [paper: ~0.3]",
+        mean(&big)
+    );
+    let all: Vec<f64> = per_w.iter().flatten().copied().collect();
+    println!(
+        "overall average reduction vs simple: {:.1} %   [paper: ~60 %]",
+        (1.0 - mean(&all)) * 100.0
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 8: MRPF+CSE vs CSE, (a) uniformly and (b) maximally scaled.
+//!
+//! Both schemes use signed-digit coefficients (CSE on CSD, per Hartley);
+//! every cell is the MRPF+CSE adder count normalized by plain CSE. The
+//! paper reports 17 % (uniform) and 15 % (maximal) average improvement,
+//! and 66 % / 74 % combined reduction versus the simple implementation.
+
+use mrp_bench::{evaluate_suite, mean, print_header, Cell, WORDLENGTHS};
+use mrp_core::MrpConfig;
+use mrp_numrep::Scaling;
+
+fn run_part(title: &str, scaling: Scaling, config: &MrpConfig) -> Vec<Vec<Cell>> {
+    print_header(title, "rows: example filters; columns: MRPF+CSE / CSE per wordlength");
+    let suites: Vec<Vec<Cell>> = WORDLENGTHS
+        .iter()
+        .map(|&w| evaluate_suite(w, scaling, config))
+        .collect();
+    let mut per_w: Vec<Vec<f64>> = vec![Vec::new(); WORDLENGTHS.len()];
+    println!(
+        "{:<4} {:<6} {:>8} {:>8} {:>8} {:>8}",
+        "ex", "type", "W=8", "W=12", "W=16", "W=20"
+    );
+    for row in 0..suites[0].len() {
+        let cell0 = &suites[0][row];
+        print!("{:<4} {:<6}", cell0.example, cell0.label);
+        for (wi, suite) in suites.iter().enumerate() {
+            let r = suite[row].mrp_cse_vs_cse();
+            per_w[wi].push(r);
+            print!(" {r:>8.3}");
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(72));
+    print!("{:<11}", "average");
+    for ratios in &per_w {
+        print!(" {:>8.3}", mean(ratios));
+    }
+    println!();
+    let all: Vec<f64> = per_w.iter().flatten().copied().collect();
+    println!(
+        "average improvement over CSE: {:.1} %   [paper: ~15-17 %]",
+        (1.0 - mean(&all)) * 100.0
+    );
+    // Combined reduction vs simple.
+    let combined: Vec<f64> = suites
+        .iter()
+        .flatten()
+        .map(|c| mrp_bench::ratio(c.report.mrp_cse, c.report.simple))
+        .collect();
+    println!(
+        "combined MRPF+CSE reduction vs simple: {:.1} %   [paper: 66 % uniform / 74 % maximal]",
+        (1.0 - mean(&combined)) * 100.0
+    );
+    suites
+}
+
+fn main() {
+    let config = MrpConfig::default();
+    run_part(
+        "Figure 8a — MRPF+CSE vs CSE, uniformly scaled",
+        Scaling::Uniform,
+        &config,
+    );
+    println!();
+    run_part(
+        "Figure 8b — MRPF+CSE vs CSE, maximally scaled",
+        Scaling::Maximal,
+        &config,
+    );
+}

@@ -1,0 +1,109 @@
+//! Headline summary: every paper claim in one run, including the
+//! synthesized-cost view through the CLA adder model (the paper's "7 % and
+//! 16 % improvement ... using carry lookahead adder ... in .25 µ").
+
+use mrp_bench::{evaluate_suite, mean, print_header, ratio, WORDLENGTHS};
+use mrp_core::MrpConfig;
+use mrp_hwcost::{block_cost, AdderKind, Technology};
+use mrp_numrep::Scaling;
+
+fn main() {
+    let config = MrpConfig::default();
+    let tech = Technology::cmos025();
+    print_header(
+        "Summary — every headline claim of the MRPF paper",
+        "12 example filters x W in {8,12,16,20} x {uniform, maximal} scaling",
+    );
+
+    let mut mrp_vs_simple_uni = Vec::new();
+    let mut mrp_vs_simple_max = Vec::new();
+    let mut mrpcse_vs_cse = Vec::new();
+    let mut mrpcse_vs_simple_uni = Vec::new();
+    let mut mrpcse_vs_simple_max = Vec::new();
+    let mut area_mrpcse_vs_simple = Vec::new();
+    let mut area_mrpcse_vs_cse = Vec::new();
+    let mut adders_per_tap_w16 = Vec::new();
+
+    for scaling in [Scaling::Uniform, Scaling::Maximal] {
+        for &w in &WORDLENGTHS {
+            let cells = evaluate_suite(w, scaling, &config);
+            for c in &cells {
+                let r_simple = ratio(c.report.mrp, c.report.simple);
+                let r_cse = ratio(c.report.mrp_cse, c.report.cse);
+                let r_comb = ratio(c.report.mrp_cse, c.report.simple);
+                match scaling {
+                    Scaling::Uniform => {
+                        mrp_vs_simple_uni.push(r_simple);
+                        mrpcse_vs_simple_uni.push(r_comb);
+                    }
+                    Scaling::Maximal => {
+                        mrp_vs_simple_max.push(r_simple);
+                        mrpcse_vs_simple_max.push(r_comb);
+                    }
+                }
+                mrpcse_vs_cse.push(r_cse);
+                // Synthesized view: CLA-model area at datapath width
+                // W + 8 guard bits.
+                let width = w + 8;
+                let area = |adders: usize| {
+                    block_cost(
+                        adders,
+                        4,
+                        AdderKind::CarryLookahead,
+                        width,
+                        0.25,
+                        100.0,
+                        &tech,
+                    )
+                    .area_um2
+                };
+                area_mrpcse_vs_simple.push(ratio(
+                    area(c.report.mrp_cse) as usize,
+                    area(c.report.simple).max(1.0) as usize,
+                ));
+                area_mrpcse_vs_cse.push(ratio(
+                    area(c.report.mrp_cse) as usize,
+                    area(c.report.cse).max(1.0) as usize,
+                ));
+                if w == 16 && scaling == Scaling::Uniform && c.coeffs.len() > 20 {
+                    adders_per_tap_w16.push(c.report.mrp as f64 / c.coeffs.len() as f64);
+                }
+            }
+        }
+    }
+
+    let pct = |ratios: &[f64]| (1.0 - mean(ratios)) * 100.0;
+    println!("claim                                         measured      paper");
+    println!(
+        "MRPF vs simple, uniform scaling            {:>8.1} %      ~60 %",
+        pct(&mrp_vs_simple_uni)
+    );
+    println!(
+        "MRPF vs simple, maximal scaling            {:>8.1} %      40-60 %",
+        pct(&mrp_vs_simple_max)
+    );
+    println!(
+        "MRPF+CSE vs CSE (all cells)                {:>8.1} %      15-17 %",
+        pct(&mrpcse_vs_cse)
+    );
+    println!(
+        "MRPF+CSE vs simple, uniform                {:>8.1} %      66 %",
+        pct(&mrpcse_vs_simple_uni)
+    );
+    println!(
+        "MRPF+CSE vs simple, maximal                {:>8.1} %      74 %",
+        pct(&mrpcse_vs_simple_max)
+    );
+    println!(
+        "adders/tap, W=16 uniform, >20 taps         {:>8.3}        ~0.3",
+        mean(&adders_per_tap_w16)
+    );
+    println!(
+        "CLA-model area, MRPF+CSE vs simple         {:>8.1} %      ~70 % (7 % claim is vs adder-count-matched netlists)",
+        pct(&area_mrpcse_vs_simple)
+    );
+    println!(
+        "CLA-model area, MRPF+CSE vs CSE            {:>8.1} %      ~16 %",
+        pct(&area_mrpcse_vs_cse)
+    );
+}

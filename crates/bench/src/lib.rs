@@ -1,0 +1,147 @@
+//! Shared plumbing for the figure/table regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every binary follows the same recipe: design the Table 1 example suite,
+//! quantize to the wordlength/scaling under test, run each optimization
+//! scheme, and print the normalized rows the paper plots. See DESIGN.md §4
+//! for the experiment ↔ binary index and EXPERIMENTS.md for recorded
+//! output.
+
+use mrp_core::{adder_report, AdderReport, MrpConfig};
+use mrp_filters::{example_filters, ExampleFilter};
+use mrp_numrep::{quantize, Scaling};
+
+/// The wordlengths every figure sweeps.
+pub const WORDLENGTHS: [u32; 4] = [8, 12, 16, 20];
+
+/// One evaluated (filter, wordlength, scaling) cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// 1-based example index.
+    pub example: usize,
+    /// Short label such as `PM LP`.
+    pub label: String,
+    /// Coefficient wordlength.
+    pub wordlength: u32,
+    /// Scaling policy.
+    pub scaling: Scaling,
+    /// Quantized integer taps (full, unfolded).
+    pub coeffs: Vec<i64>,
+    /// Adder counts under every scheme.
+    pub report: AdderReport,
+}
+
+impl Cell {
+    /// `MRPF / simple` — the y-axis of Figures 6 and 7.
+    pub fn mrp_vs_simple(&self) -> f64 {
+        ratio(self.report.mrp, self.report.simple)
+    }
+
+    /// `MRPF+CSE / CSE` — the y-axis of Figure 8.
+    pub fn mrp_cse_vs_cse(&self) -> f64 {
+        ratio(self.report.mrp_cse, self.report.cse)
+    }
+}
+
+/// Safe ratio: `0/0 = 1` (both schemes found the taps free).
+pub fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        if num == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Designs one example and quantizes it.
+///
+/// # Panics
+///
+/// Panics if the example fails to design or quantize — the suite is
+/// test-verified, so this signals a build problem worth failing loudly on.
+pub fn quantized_example(example: &ExampleFilter, wordlength: u32, scaling: Scaling) -> Vec<i64> {
+    let taps = example
+        .design()
+        .unwrap_or_else(|e| panic!("example {} failed to design: {e}", example.index));
+    quantize(&taps, wordlength, scaling)
+        .unwrap_or_else(|e| panic!("example {} failed to quantize: {e}", example.index))
+        .values
+}
+
+/// Evaluates the full example suite at one wordlength/scaling.
+///
+/// # Panics
+///
+/// Panics on design/quantize/optimize failure (see
+/// [`quantized_example`]).
+pub fn evaluate_suite(wordlength: u32, scaling: Scaling, config: &MrpConfig) -> Vec<Cell> {
+    example_filters()
+        .iter()
+        .map(|ex| {
+            let coeffs = quantized_example(ex, wordlength, scaling);
+            let report = adder_report(&coeffs, config)
+                .unwrap_or_else(|e| panic!("example {} failed to optimize: {e}", ex.index));
+            Cell {
+                example: ex.index,
+                label: ex.label(),
+                wordlength,
+                scaling,
+                coeffs,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Geometric-mean-free average of a slice (plain arithmetic mean).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Prints the standard figure header.
+pub fn print_header(title: &str, detail: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{detail}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert_eq!(ratio(0, 0), 1.0);
+        assert_eq!(ratio(5, 10), 0.5);
+        assert!(ratio(1, 0).is_infinite());
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn quantized_example_produces_integers() {
+        let ex = &example_filters()[0];
+        let q = quantized_example(ex, 10, Scaling::Uniform);
+        assert_eq!(q.len(), ex.order + 1);
+        assert!(q.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn one_cell_evaluates() {
+        let suite = example_filters();
+        let coeffs = quantized_example(&suite[1], 10, Scaling::Uniform);
+        let rep = mrp_core::adder_report(&coeffs, &MrpConfig::default()).unwrap();
+        assert!(rep.mrp <= rep.simple);
+    }
+}

@@ -1,0 +1,319 @@
+//! Subcommand implementations.
+
+use std::fmt;
+
+use mrp_arch::emit_verilog;
+use mrp_core::{adder_report, MrpConfig, MrpOptimizer, SeedOptimizer};
+use mrp_filters::{butterworth_fir, least_squares, remez, FilterSpec};
+use mrp_numrep::{quantize, Repr, Scaling};
+
+use crate::args::{Args, ParseArgsError};
+
+/// CLI-level errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ParseArgsError> for CliError {
+    fn from(e: ParseArgsError) -> Self {
+        CliError(e.0)
+    }
+}
+
+macro_rules! bail {
+    ($($t:tt)*) => { return Err(CliError(format!($($t)*))) };
+}
+
+/// Usage text shown by `mrpf help` and on errors.
+pub const USAGE: &str = "\
+mrpf — multiplierless FIR synthesis (MRPF reproduction)
+
+USAGE:
+  mrpf design   --kind lowpass|highpass|bandpass|bandstop --fp F --fs F
+                [--fp2 F --fs2 F] [--order N] [--method pm|ls|bw]
+                [--w BITS --scaling uniform|maximal]
+  mrpf optimize C0,C1,...  [--repr spt|sm] [--beta B] [--depth D]
+                [--seed direct|cse|recursive] [--exact]
+  mrpf emit     C0,C1,...  [--name MODULE] [--width BITS] [--seed ...]
+  mrpf compare  C0,C1,...
+  mrpf respond  C0,C1,...  [--points N] (magnitude response table)
+  mrpf help
+";
+
+/// Runs one parsed command line, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message for any invalid input.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "design" => design(args),
+        "optimize" => optimize(args),
+        "emit" => emit(args),
+        "compare" => compare(args),
+        "respond" => respond(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => bail!("unknown subcommand `{other}`\n\n{USAGE}"),
+    }
+}
+
+fn parse_coeffs(args: &Args) -> Result<Vec<i64>, CliError> {
+    let Some(raw) = args.positional.first() else {
+        bail!("expected a comma-separated coefficient list, e.g. 70,66,17,9");
+    };
+    raw.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<i64>()
+                .map_err(|_| CliError(format!("`{tok}` is not an integer coefficient")))
+        })
+        .collect()
+}
+
+fn parse_config(args: &Args) -> Result<MrpConfig, CliError> {
+    let repr = match args.get_str("repr", "spt").as_str() {
+        "spt" | "csd" => Repr::Spt,
+        "sm" => Repr::SignMagnitude,
+        "binary" => Repr::TwosComplement,
+        other => bail!("unknown representation `{other}` (use spt|sm|binary)"),
+    };
+    let seed_optimizer = match args.get_str("seed", "direct").as_str() {
+        "direct" => SeedOptimizer::Direct,
+        "cse" => SeedOptimizer::Cse,
+        "recursive" => SeedOptimizer::Recursive { levels: 2 },
+        other => bail!("unknown seed optimizer `{other}` (use direct|cse|recursive)"),
+    };
+    let depth = args.get_usize("depth", 0)?;
+    Ok(MrpConfig {
+        repr,
+        beta: args.get_f64("beta", 0.5)?,
+        max_shift: None,
+        max_depth: if depth == 0 { None } else { Some(depth as u32) },
+        seed_optimizer,
+        exact_cover: args.flag("exact"),
+    })
+}
+
+fn design(args: &Args) -> Result<String, CliError> {
+    let fp = args.get_f64("fp", 0.1)?;
+    let fs = args.get_f64("fs", 0.2)?;
+    let rp = args.get_f64("rp", 0.5)?;
+    let rs = args.get_f64("rs", 50.0)?;
+    let spec = match args.get_str("kind", "lowpass").as_str() {
+        "lowpass" => FilterSpec::lowpass(fp, fs, rp, rs),
+        "highpass" => FilterSpec::highpass(fs, fp, rp, rs),
+        "bandpass" => FilterSpec::bandpass(
+            fs,
+            fp,
+            args.get_f64("fp2", 0.3)?,
+            args.get_f64("fs2", 0.4)?,
+            rp,
+            rs,
+        ),
+        "bandstop" => FilterSpec::bandstop(
+            fp,
+            fs,
+            args.get_f64("fs2", 0.3)?,
+            args.get_f64("fp2", 0.4)?,
+            rp,
+            rs,
+        ),
+        other => bail!("unknown filter kind `{other}`"),
+    };
+    let order = args.get_usize("order", 40)?;
+    let taps = match args.get_str("method", "pm").as_str() {
+        "pm" => remez(order, &spec.to_bands()),
+        "ls" => least_squares(order, &spec.to_bands()),
+        "bw" => butterworth_fir(order, 6, (fp + fs) / 2.0),
+        other => bail!("unknown design method `{other}` (use pm|ls|bw)"),
+    }
+    .map_err(|e| CliError(format!("design failed: {e}")))?;
+    let w = args.get_usize("w", 0)?;
+    if w == 0 {
+        // Float output.
+        let rows: Vec<String> = taps.iter().map(|t| format!("{t:.10}")).collect();
+        return Ok(rows.join("\n"));
+    }
+    let scaling = match args.get_str("scaling", "uniform").as_str() {
+        "uniform" => Scaling::Uniform,
+        "maximal" => Scaling::Maximal,
+        other => bail!("unknown scaling `{other}` (use uniform|maximal)"),
+    };
+    let q = quantize(&taps, w as u32, scaling).map_err(|e| CliError(e.to_string()))?;
+    let rows: Vec<String> = q.values.iter().map(i64::to_string).collect();
+    Ok(rows.join(","))
+}
+
+fn optimize(args: &Args) -> Result<String, CliError> {
+    let coeffs = parse_coeffs(args)?;
+    let cfg = parse_config(args)?;
+    let result = MrpOptimizer::new(cfg)
+        .optimize(&coeffs)
+        .map_err(|e| CliError(e.to_string()))?;
+    let (roots, colors) = result.seed_size();
+    Ok(format!(
+        "taps: {}\nSEED roots: {:?}\nSEED colors: {:?}\nSEED size: ({roots},{colors})\n\
+         adders: seed {} + overhead {} = {}\ntree height: {}\nverified: bit-exact",
+        coeffs.len(),
+        result.seed_roots,
+        result.seed_colors,
+        result.stats.seed_adders,
+        result.stats.overhead_adders,
+        result.total_adders(),
+        result.stats.tree_height,
+    ))
+}
+
+fn emit(args: &Args) -> Result<String, CliError> {
+    let coeffs = parse_coeffs(args)?;
+    let cfg = parse_config(args)?;
+    let result = MrpOptimizer::new(cfg)
+        .optimize(&coeffs)
+        .map_err(|e| CliError(e.to_string()))?;
+    let width = args.get_usize("width", 16)? as u32;
+    if width == 0 || width > 48 {
+        bail!("--width must be within 1..=48");
+    }
+    let name = args.get_str("name", "mrpf_block");
+    Ok(emit_verilog(&result.graph, &name, width))
+}
+
+fn compare(args: &Args) -> Result<String, CliError> {
+    let coeffs = parse_coeffs(args)?;
+    let rep = adder_report(&coeffs, &MrpConfig::default()).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "scheme      adders\nsimple      {:>6}\nCSE         {:>6}\nMRPF        {:>6}\nMRPF+CSE    {:>6}\n\
+         (primaries: {}, SEED {:?})",
+        rep.simple, rep.cse, rep.mrp, rep.mrp_cse, rep.primaries, rep.seed
+    ))
+}
+
+fn respond(args: &Args) -> Result<String, CliError> {
+    let coeffs = parse_coeffs(args)?;
+    let points = args.get_usize("points", 16)?;
+    if !(2..=4096).contains(&points) {
+        bail!("--points must be within 2..=4096");
+    }
+    let taps: Vec<f64> = coeffs.iter().map(|&c| c as f64).collect();
+    let dc: f64 = taps.iter().sum::<f64>().abs().max(1e-12);
+    let mut out = String::from("f        |H| (norm)   dB\n");
+    for i in 0..points {
+        let f = 0.5 * i as f64 / (points - 1) as f64;
+        let m = mrp_filters::response::magnitude(&taps, f) / dc;
+        out.push_str(&format!(
+            "{f:<8.4} {m:<12.5} {:>7.1}\n",
+            20.0 * m.max(1e-12).log10()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, CliError> {
+        let args = Args::parse(line.split_whitespace().map(String::from))?;
+        run(&args)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_line("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_line("frobnicate").is_err());
+    }
+
+    #[test]
+    fn optimize_paper_example() {
+        let out = run_line("optimize 70,66,17,9,27,41,56,11").unwrap();
+        assert!(out.contains("bit-exact"));
+        assert!(out.contains("SEED size"));
+    }
+
+    #[test]
+    fn optimize_rejects_garbage_coeffs() {
+        assert!(run_line("optimize 1,2,three").is_err());
+        assert!(run_line("optimize").is_err());
+    }
+
+    #[test]
+    fn emit_produces_verilog() {
+        let out = run_line("emit 7,9,45 --name blk --width 12").unwrap();
+        assert!(out.contains("module blk"));
+        assert!(out.contains("endmodule"));
+    }
+
+    #[test]
+    fn emit_validates_width() {
+        assert!(run_line("emit 7 --width 99").is_err());
+    }
+
+    #[test]
+    fn compare_lists_all_schemes() {
+        let out = run_line("compare 70,66,17,9,27,41,56,11").unwrap();
+        for scheme in ["simple", "CSE", "MRPF", "MRPF+CSE"] {
+            assert!(out.contains(scheme), "missing {scheme}");
+        }
+    }
+
+    #[test]
+    fn design_float_output() {
+        let out = run_line("design --kind lowpass --fp 0.1 --fs 0.2 --order 20").unwrap();
+        assert_eq!(out.lines().count(), 21);
+    }
+
+    #[test]
+    fn design_quantized_output_chains_into_optimize() {
+        let out =
+            run_line("design --kind lowpass --fp 0.1 --fs 0.2 --order 24 --w 12").unwrap();
+        let opt = run_line(&format!("optimize {out}")).unwrap();
+        assert!(opt.contains("bit-exact"));
+    }
+
+    #[test]
+    fn design_rejects_bad_method() {
+        assert!(run_line("design --method magic").is_err());
+    }
+
+    #[test]
+    fn seed_and_repr_options() {
+        let out =
+            run_line("optimize 70,66,17,9,27,41,56,11 --seed cse --repr sm --depth 3").unwrap();
+        assert!(out.contains("adders"));
+    }
+}
+#[cfg(test)]
+mod respond_tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn run_line(line: &str) -> Result<String, CliError> {
+        let args = Args::parse(line.split_whitespace().map(String::from))?;
+        run(&args)
+    }
+
+    #[test]
+    fn respond_prints_table() {
+        let out = run_line("respond 1,2,3,2,1 --points 8").unwrap();
+        assert_eq!(out.lines().count(), 9);
+        // DC row is normalized to 1.
+        assert!(out.lines().nth(1).unwrap().contains("1.00000"));
+    }
+
+    #[test]
+    fn respond_validates_points() {
+        assert!(run_line("respond 1,2 --points 1").is_err());
+        assert!(run_line("respond 1,2 --points 9999").is_err());
+    }
+}

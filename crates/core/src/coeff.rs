@@ -1,0 +1,187 @@
+//! Coefficient normalization (Steps 1-2 of the MRP algorithm).
+//!
+//! Signs, power-of-two shifts, zeros, and duplicates are free in hardware,
+//! so the optimization operates on the distinct positive odd *primary*
+//! coefficients; every original coefficient maps back to a primary through
+//! a free shift/negation.
+
+use mrp_numrep::odd_part;
+
+use crate::error::MrpError;
+
+/// How one original coefficient maps onto the primary set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoeffMapping {
+    /// The coefficient is zero — no hardware at all.
+    Zero,
+    /// `c = ±2^shift` — a free shift of the input.
+    PowerOfTwo { shift: u32, negate: bool },
+    /// `c = ±2^shift · primaries[index]`.
+    Primary {
+        index: usize,
+        shift: u32,
+        negate: bool,
+    },
+}
+
+/// The normalized coefficient set: distinct positive odd primaries plus the
+/// mapping from each original coefficient.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_core::CoeffSet;
+///
+/// let set = CoeffSet::new(&[70, -35, 0, 8, 17, 34])?;
+/// // 70 = 2·35 and -35 share the primary 35; 0 and 8 are free;
+/// // 17 and 34 share the primary 17.
+/// assert_eq!(set.primaries(), &[35, 17]);
+/// # Ok::<(), mrp_core::MrpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoeffSet {
+    original: Vec<i64>,
+    primaries: Vec<i64>,
+    mapping: Vec<CoeffMapping>,
+}
+
+impl CoeffSet {
+    /// Normalizes a coefficient vector.
+    ///
+    /// # Errors
+    ///
+    /// [`MrpError::Empty`] for an empty slice;
+    /// [`MrpError::CoefficientTooLarge`] when `|c| > 2^48`.
+    pub fn new(coeffs: &[i64]) -> Result<Self, MrpError> {
+        if coeffs.is_empty() {
+            return Err(MrpError::Empty);
+        }
+        if let Some(&c) = coeffs
+            .iter()
+            .find(|&&c| c == i64::MIN || c.unsigned_abs() > 1 << 48)
+        {
+            return Err(MrpError::CoefficientTooLarge(c));
+        }
+        let mut primaries: Vec<i64> = Vec::new();
+        let mapping = coeffs
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    return CoeffMapping::Zero;
+                }
+                let p = odd_part(c);
+                if p.odd == 1 {
+                    return CoeffMapping::PowerOfTwo {
+                        shift: p.shift,
+                        negate: p.negative,
+                    };
+                }
+                let index = primaries.iter().position(|&v| v == p.odd).unwrap_or_else(|| {
+                    primaries.push(p.odd);
+                    primaries.len() - 1
+                });
+                CoeffMapping::Primary {
+                    index,
+                    shift: p.shift,
+                    negate: p.negative,
+                }
+            })
+            .collect();
+        Ok(CoeffSet {
+            original: coeffs.to_vec(),
+            primaries,
+            mapping,
+        })
+    }
+
+    /// The original coefficients, as given.
+    pub fn original(&self) -> &[i64] {
+        &self.original
+    }
+
+    /// Distinct positive odd primaries, in first-appearance order. These
+    /// are the vertices of the color graph.
+    pub fn primaries(&self) -> &[i64] {
+        &self.primaries
+    }
+
+    /// Number of primaries (graph vertices).
+    pub fn primary_count(&self) -> usize {
+        self.primaries.len()
+    }
+
+    pub(crate) fn mapping(&self) -> &[CoeffMapping] {
+        &self.mapping
+    }
+
+    /// Default maximum SID shift: one past the bit length of the largest
+    /// primary (the paper's `W`), clamped to `[4, 26]` to bound edge
+    /// enumeration.
+    pub fn default_max_shift(&self) -> u32 {
+        let max = self.primaries.iter().copied().max().unwrap_or(1);
+        (64 - (max as u64).leading_zeros() + 1).clamp(4, 26)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_shifts_and_signs() {
+        let s = CoeffSet::new(&[3, 6, -12, 24, 5]).unwrap();
+        assert_eq!(s.primaries(), &[3, 5]);
+        assert_eq!(
+            s.mapping()[2],
+            CoeffMapping::Primary {
+                index: 0,
+                shift: 2,
+                negate: true
+            }
+        );
+    }
+
+    #[test]
+    fn zeros_and_powers_are_free() {
+        let s = CoeffSet::new(&[0, 1, -2, 64]).unwrap();
+        assert!(s.primaries().is_empty());
+        assert_eq!(s.mapping()[0], CoeffMapping::Zero);
+        assert_eq!(
+            s.mapping()[2],
+            CoeffMapping::PowerOfTwo {
+                shift: 1,
+                negate: true
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_empty_and_huge() {
+        assert_eq!(CoeffSet::new(&[]), Err(MrpError::Empty));
+        assert!(matches!(
+            CoeffSet::new(&[1 << 50]),
+            Err(MrpError::CoefficientTooLarge(_))
+        ));
+        assert!(matches!(
+            CoeffSet::new(&[i64::MIN]),
+            Err(MrpError::CoefficientTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn paper_example_is_all_primary() {
+        // {70, 66, 17, 9, 27, 41, 56, 11}: odd parts 35, 33, 17, 9, 27, 41, 7, 11.
+        let s = CoeffSet::new(&[70, 66, 17, 9, 27, 41, 56, 11]).unwrap();
+        assert_eq!(s.primary_count(), 8);
+        assert_eq!(s.primaries(), &[35, 33, 17, 9, 27, 41, 7, 11]);
+    }
+
+    #[test]
+    fn default_shift_tracks_magnitude() {
+        let small = CoeffSet::new(&[3, 5]).unwrap();
+        let big = CoeffSet::new(&[65535, 32767]).unwrap();
+        assert!(big.default_max_shift() > small.default_max_shift());
+        assert!(small.default_max_shift() >= 4);
+        assert!(big.default_max_shift() <= 26);
+    }
+}

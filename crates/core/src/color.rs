@@ -1,0 +1,258 @@
+//! The SID-colored coefficient multigraph (§2, §3.1 of the paper).
+//!
+//! Vertices are primary coefficients. For every ordered pair `(i, j)`,
+//! shift `0 ≤ L ≤ W`, and sign `s ∈ {+1, −1}`, there is an edge colored by
+//! the shift-inclusive differential `ξ = c_j − s·2^L·c_i`. Colors are
+//! normalized to their positive odd part (the *primary color*); all edges of
+//! one color class are realized by a single shared computation `k · x`
+//! plus free shifts, which is what makes cover-based sharing pay off.
+
+use std::collections::HashMap;
+
+use mrp_numrep::{nonzero_digits, odd_part, Repr};
+
+/// One SID edge `c_to = sign_base·2^base_shift·c_from + sign_color·2^color_shift·color`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SidEdge {
+    /// Predecessor vertex (index into the primaries).
+    pub from: usize,
+    /// Covered vertex.
+    pub to: usize,
+    /// Shift `L` applied to the predecessor.
+    pub base_shift: u32,
+    /// Whether the predecessor term is subtracted.
+    pub base_negate: bool,
+    /// Primary color (positive odd).
+    pub color: i64,
+    /// Shift applied to the color value.
+    pub color_shift: u32,
+    /// Whether the color term is subtracted.
+    pub color_negate: bool,
+}
+
+impl SidEdge {
+    /// Checks the defining identity against the vertex values.
+    pub fn is_consistent(&self, primaries: &[i64]) -> bool {
+        let base = (primaries[self.from] << self.base_shift)
+            * if self.base_negate { -1 } else { 1 };
+        let color = (self.color << self.color_shift) * if self.color_negate { -1 } else { 1 };
+        base + color == primaries[self.to]
+    }
+}
+
+/// The color-class view of the multigraph: every distinct primary color,
+/// its cost, and the edges (hence vertices) it can cover.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_core::{CoeffSet, ColorGraph};
+/// use mrp_numrep::Repr;
+///
+/// let set = CoeffSet::new(&[70, 66, 17, 9, 27, 41, 56, 11])?;
+/// let graph = ColorGraph::build(set.primaries(), 8, Repr::Spt);
+/// // The paper's example: colors 3 and 5 cover every vertex.
+/// let c3 = graph.color_index(3).unwrap();
+/// let c5 = graph.color_index(5).unwrap();
+/// let mut covered: Vec<bool> = vec![false; 8];
+/// for &ci in &[c3, c5] {
+///     for e in graph.edges_of(ci) {
+///         covered[e.to] = true;
+///     }
+/// }
+/// assert!(covered.iter().all(|&c| c));
+/// # Ok::<(), mrp_core::MrpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColorGraph {
+    colors: Vec<i64>,
+    costs: Vec<u32>,
+    edges: Vec<Vec<SidEdge>>,
+    index: HashMap<i64, usize>,
+    vertex_count: usize,
+}
+
+impl ColorGraph {
+    /// Enumerates all SID edges among `primaries` with shifts up to
+    /// `max_shift` and groups them into color classes, with costs measured
+    /// under `repr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shifted value overflows `i64` (prevented upstream by
+    /// [`crate::CoeffSet`]'s magnitude cap when `max_shift ≤ 26`).
+    pub fn build(primaries: &[i64], max_shift: u32, repr: Repr) -> Self {
+        let mut index: HashMap<i64, usize> = HashMap::new();
+        let mut colors: Vec<i64> = Vec::new();
+        let mut costs: Vec<u32> = Vec::new();
+        let mut edges: Vec<Vec<SidEdge>> = Vec::new();
+        for (i, &ci) in primaries.iter().enumerate() {
+            for (j, &cj) in primaries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for l in 0..=max_shift {
+                    let shifted = ci.checked_shl(l).expect("primary shift overflows");
+                    assert!(
+                        (shifted >> l) == ci,
+                        "primary shift overflows i64 (value {ci}, shift {l})"
+                    );
+                    for base_negate in [false, true] {
+                        let base = if base_negate { -shifted } else { shifted };
+                        let xi = cj - base;
+                        if xi == 0 {
+                            continue;
+                        }
+                        let p = odd_part(xi);
+                        let slot = *index.entry(p.odd).or_insert_with(|| {
+                            colors.push(p.odd);
+                            costs.push(nonzero_digits(p.odd, repr));
+                            edges.push(Vec::new());
+                            colors.len() - 1
+                        });
+                        edges[slot].push(SidEdge {
+                            from: i,
+                            to: j,
+                            base_shift: l,
+                            base_negate,
+                            color: p.odd,
+                            color_shift: p.shift,
+                            color_negate: p.negative,
+                        });
+                    }
+                }
+            }
+        }
+        ColorGraph {
+            colors,
+            costs,
+            edges,
+            index,
+            vertex_count: primaries.len(),
+        }
+    }
+
+    /// Number of vertices the graph was built over.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of distinct color classes.
+    pub fn color_count(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// The primary color values, by class index.
+    pub fn colors(&self) -> &[i64] {
+        &self.colors
+    }
+
+    /// Adder-relevant cost (nonzero digits) of color class `ci`.
+    pub fn cost(&self, ci: usize) -> u32 {
+        self.costs[ci]
+    }
+
+    /// Edges belonging to color class `ci`.
+    pub fn edges_of(&self, ci: usize) -> &[SidEdge] {
+        &self.edges[ci]
+    }
+
+    /// Class index of a primary color value.
+    pub fn color_index(&self, color: i64) -> Option<usize> {
+        self.index.get(&color).copied()
+    }
+
+    /// The set of vertices class `ci` can cover (deduplicated, sorted).
+    pub fn color_set(&self, ci: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self.edges[ci].iter().map(|e| e.to).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: [i64; 8] = [70, 66, 17, 9, 27, 41, 56, 11];
+
+    fn paper_graph() -> (Vec<i64>, ColorGraph) {
+        let set = crate::CoeffSet::new(&PAPER).unwrap();
+        let primaries = set.primaries().to_vec();
+        let g = ColorGraph::build(&primaries, 8, Repr::Spt);
+        (primaries, g)
+    }
+
+    #[test]
+    fn all_edges_are_consistent() {
+        let (primaries, g) = paper_graph();
+        for ci in 0..g.color_count() {
+            for e in g.edges_of(ci) {
+                assert!(e.is_consistent(&primaries), "bad edge {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_bound() {
+        // At most 2(W+1)·M(M−1) edges (paper §3.1).
+        let (primaries, g) = paper_graph();
+        let m = primaries.len();
+        let total: usize = (0..g.color_count()).map(|ci| g.edges_of(ci).len()).sum();
+        assert!(total <= 2 * 9 * m * (m - 1));
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn colors_are_positive_odd() {
+        let (_, g) = paper_graph();
+        for &c in g.colors() {
+            assert!(c > 0);
+            assert_eq!(c % 2, 1);
+        }
+    }
+
+    #[test]
+    fn paper_colors_3_and_5_cover_everything() {
+        let (primaries, g) = paper_graph();
+        let mut covered = vec![false; primaries.len()];
+        for color in [3i64, 5] {
+            let ci = g.color_index(color).expect("color exists");
+            for v in g.color_set(ci) {
+                covered[v] = true;
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c),
+            "colors 3 and 5 must cover all vertices as in Fig. 2"
+        );
+    }
+
+    #[test]
+    fn costs_match_repr() {
+        let (_, g) = paper_graph();
+        for (ci, &c) in g.colors().iter().enumerate() {
+            assert_eq!(g.cost(ci), nonzero_digits(c, Repr::Spt));
+        }
+    }
+
+    #[test]
+    fn sm_and_spt_graphs_differ_in_costs() {
+        let set = crate::CoeffSet::new(&PAPER).unwrap();
+        let spt = ColorGraph::build(set.primaries(), 8, Repr::Spt);
+        let sm = ColorGraph::build(set.primaries(), 8, Repr::SignMagnitude);
+        assert_eq!(spt.color_count(), sm.color_count());
+        let diff = (0..spt.color_count())
+            .filter(|&ci| spt.cost(ci) != sm.cost(ci))
+            .count();
+        assert!(diff > 0, "SPT and SM should cost some colors differently");
+    }
+
+    #[test]
+    fn single_vertex_graph_has_no_edges() {
+        let g = ColorGraph::build(&[7], 8, Repr::Spt);
+        assert_eq!(g.color_count(), 0);
+        assert_eq!(g.vertex_count(), 1);
+    }
+}

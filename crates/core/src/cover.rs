@@ -1,0 +1,210 @@
+//! Greedy weighted-minimum-set-cover color selection (Steps 4-5).
+//!
+//! Each round selects the color class maximizing the benefit function
+//! (Eq. 1 of the paper)
+//!
+//! ```text
+//! f = β·frequency − (1−β)·cost        0 ≤ β ≤ 1
+//! ```
+//!
+//! where `frequency` is the number of still-uncovered vertices the class
+//! can reach and `cost` is the nonzero-digit count of the primary color.
+//! Frequencies are recomputed after every selection (Step 5c).
+
+use crate::color::ColorGraph;
+
+/// Result of the color-cover pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverSolution {
+    /// Selected primary colors, in selection order.
+    pub colors: Vec<i64>,
+    /// Selected class indices into the [`ColorGraph`].
+    pub class_indices: Vec<usize>,
+    /// Vertices that equal a selected color up to shift (Step 6): they need
+    /// no predecessor and no overhead add.
+    pub free_vertices: Vec<usize>,
+}
+
+impl CoverSolution {
+    /// Whether vertex `v` was marked free by Step 6.
+    pub fn is_free(&self, v: usize) -> bool {
+        self.free_vertices.contains(&v)
+    }
+}
+
+/// Runs the greedy WMSC selection over `graph` with benefit parameter
+/// `beta` (0.5 ⇒ interconnect-neutral, per §3.3).
+///
+/// `primaries` must be the vertex values the graph was built from (used by
+/// the Step 6 free-vertex check).
+///
+/// # Panics
+///
+/// Panics if `beta` is outside `[0, 1]` or `primaries.len()` disagrees with
+/// the graph.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_core::{select_colors, CoeffSet, ColorGraph};
+/// use mrp_numrep::Repr;
+///
+/// let set = CoeffSet::new(&[70, 66, 17, 9, 27, 41, 56, 11])?;
+/// let graph = ColorGraph::build(set.primaries(), 8, Repr::Spt);
+/// let cover = select_colors(&graph, set.primaries(), 0.5);
+/// assert!(!cover.colors.is_empty());
+/// # Ok::<(), mrp_core::MrpError>(())
+/// ```
+pub fn select_colors(graph: &ColorGraph, primaries: &[i64], beta: f64) -> CoverSolution {
+    assert!((0.0..=1.0).contains(&beta), "beta must be within [0, 1]");
+    assert_eq!(
+        primaries.len(),
+        graph.vertex_count(),
+        "primaries/graph mismatch"
+    );
+    let n = graph.vertex_count();
+    let mut covered = vec![false; n];
+    let mut remaining = n;
+    // Precompute color sets once; frequencies are recomputed per round
+    // against the covered mask.
+    let color_sets: Vec<Vec<usize>> = (0..graph.color_count())
+        .map(|ci| graph.color_set(ci))
+        .collect();
+    let mut selected_classes: Vec<usize> = Vec::new();
+    let mut selected_colors: Vec<i64> = Vec::new();
+    let mut used = vec![false; graph.color_count()];
+    while remaining > 0 && selected_classes.len() < graph.color_count() {
+        let mut best: Option<(usize, f64)> = None;
+        for ci in 0..graph.color_count() {
+            if used[ci] {
+                continue;
+            }
+            let freq = color_sets[ci].iter().filter(|&&v| !covered[v]).count();
+            if freq == 0 {
+                continue;
+            }
+            let f = beta * freq as f64 - (1.0 - beta) * graph.cost(ci) as f64;
+            let better = match best {
+                None => true,
+                Some((bci, bf)) => {
+                    f > bf
+                        || (f == bf && graph.colors()[ci] < graph.colors()[bci])
+                }
+            };
+            if better {
+                best = Some((ci, f));
+            }
+        }
+        let Some((ci, _)) = best else { break };
+        used[ci] = true;
+        selected_classes.push(ci);
+        selected_colors.push(graph.colors()[ci]);
+        for &v in &color_sets[ci] {
+            if !covered[v] {
+                covered[v] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    // Step 6: vertices whose value equals a selected color (primaries are
+    // odd, colors are odd, so equality is exact).
+    let free_vertices: Vec<usize> = (0..n)
+        .filter(|&v| selected_colors.contains(&primaries[v]))
+        .collect();
+    CoverSolution {
+        colors: selected_colors,
+        class_indices: selected_classes,
+        free_vertices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoeffSet;
+    use mrp_numrep::Repr;
+
+    const PAPER: [i64; 8] = [70, 66, 17, 9, 27, 41, 56, 11];
+
+    fn cover_for(coeffs: &[i64], beta: f64) -> (Vec<i64>, ColorGraph, CoverSolution) {
+        let set = CoeffSet::new(coeffs).unwrap();
+        let primaries = set.primaries().to_vec();
+        let graph = ColorGraph::build(&primaries, 8, Repr::Spt);
+        let cover = select_colors(&graph, &primaries, beta);
+        (primaries, graph, cover)
+    }
+
+    #[test]
+    fn cover_reaches_every_vertex() {
+        let (primaries, graph, cover) = cover_for(&PAPER, 0.5);
+        let mut covered = vec![false; primaries.len()];
+        for &ci in &cover.class_indices {
+            for v in graph.color_set(ci) {
+                covered[v] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn paper_example_selects_small_colors() {
+        // The paper's Fig. 2 solution is {3, 5}; the greedy must find a
+        // similarly small, low-cost cover (exact set depends on
+        // tie-breaking).
+        let (_, _, cover) = cover_for(&PAPER, 0.5);
+        assert!(
+            cover.colors.len() <= 4,
+            "cover {:?} is too large",
+            cover.colors
+        );
+        let max_cost = cover
+            .colors
+            .iter()
+            .map(|&c| mrp_numrep::nonzero_digits(c, Repr::Spt))
+            .max()
+            .unwrap();
+        assert!(max_cost <= 2, "colors {:?} too expensive", cover.colors);
+    }
+
+    #[test]
+    fn low_beta_prefers_cheaper_colors() {
+        let coeffs: Vec<i64> = vec![89, 107, 173, 211, 251, 303, 355, 405];
+        let (_, _, cheap) = cover_for(&coeffs, 0.1);
+        let (_, _, share) = cover_for(&coeffs, 0.9);
+        let avg_cost = |c: &CoverSolution| {
+            c.colors
+                .iter()
+                .map(|&v| mrp_numrep::nonzero_digits(v, Repr::Spt) as f64)
+                .sum::<f64>()
+                / c.colors.len() as f64
+        };
+        assert!(
+            avg_cost(&cheap) <= avg_cost(&share) + 1e-9,
+            "beta=0.1 should not pick costlier colors on average"
+        );
+    }
+
+    #[test]
+    fn free_vertices_match_colors() {
+        // Force a coefficient equal to a likely color: 3.
+        let (primaries, _, cover) = cover_for(&[3, 7, 11, 19], 0.5);
+        for &v in &cover.free_vertices {
+            assert!(cover.colors.contains(&primaries[v]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        let set = CoeffSet::new(&PAPER).unwrap();
+        let graph = ColorGraph::build(set.primaries(), 8, Repr::Spt);
+        select_colors(&graph, set.primaries(), 1.5);
+    }
+
+    #[test]
+    fn single_vertex_needs_no_colors() {
+        let (_, _, cover) = cover_for(&[7, 14], 0.5);
+        // One primary, no edges, nothing to cover beyond the root.
+        assert!(cover.colors.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type of the MRP optimizer.
+
+use std::fmt;
+
+use mrp_arch::ArchError;
+
+/// Errors the optimizer can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrpError {
+    /// The coefficient vector was empty.
+    Empty,
+    /// A coefficient magnitude exceeds the supported range (`2^48`), which
+    /// keeps edge-color enumeration and value tracking exact.
+    CoefficientTooLarge(i64),
+    /// Architecture construction failed (overflow in a generated network).
+    Arch(ArchError),
+    /// Configuration rejected (e.g. β outside `[0, 1]`).
+    BadConfig(String),
+}
+
+impl fmt::Display for MrpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrpError::Empty => write!(f, "coefficient vector is empty"),
+            MrpError::CoefficientTooLarge(c) => {
+                write!(f, "coefficient {c} exceeds the supported magnitude 2^48")
+            }
+            MrpError::Arch(e) => write!(f, "architecture construction failed: {e}"),
+            MrpError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MrpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrpError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for MrpError {
+    fn from(e: ArchError) -> Self {
+        MrpError::Arch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MrpError::Empty.to_string().contains("empty"));
+        assert!(MrpError::CoefficientTooLarge(1 << 50)
+            .to_string()
+            .contains("2^48"));
+        assert!(MrpError::from(ArchError::ValueOverflow)
+            .to_string()
+            .contains("overflow"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error as _;
+        let e = MrpError::from(ArchError::ValueOverflow);
+        assert!(e.source().is_some());
+        assert!(MrpError::Empty.source().is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! Exact (branch-and-bound) color cover for small instances.
+//!
+//! The WMSC is NP-complete (§3.2), so the paper uses a greedy heuristic.
+//! For small coefficient sets an exact minimum-cost cover is tractable and
+//! gives both a quality yardstick for the greedy and a better answer when
+//! the filter is tiny. The search branches on the most-constrained
+//! uncovered vertex, prunes on the incumbent cost, and gives up
+//! deterministically after a node budget (falling back to the greedy).
+
+use crate::color::ColorGraph;
+use crate::cover::{select_colors, CoverSolution};
+
+/// Node-expansion budget before the search falls back to greedy.
+const NODE_BUDGET: usize = 200_000;
+
+/// Finds a minimum-total-cost color cover by branch and bound, or the
+/// greedy cover when the instance is infeasible within the node budget.
+/// The returned solution is never worse (by total color cost) than the
+/// greedy one.
+///
+/// # Panics
+///
+/// Panics if `primaries.len()` disagrees with the graph.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_core::{select_colors, select_colors_exact, CoeffSet, ColorGraph};
+/// use mrp_numrep::Repr;
+///
+/// let set = CoeffSet::new(&[70, 66, 17, 9, 27, 41, 56, 11])?;
+/// let graph = ColorGraph::build(set.primaries(), 8, Repr::Spt);
+/// let greedy = select_colors(&graph, set.primaries(), 0.5);
+/// let exact = select_colors_exact(&graph, set.primaries());
+/// let cost = |c: &mrp_core::CoverSolution| -> u32 {
+///     c.colors.iter().map(|&v| mrp_numrep::nonzero_digits(v, Repr::Spt)).sum()
+/// };
+/// assert!(cost(&exact) <= cost(&greedy));
+/// # Ok::<(), mrp_core::MrpError>(())
+/// ```
+pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSolution {
+    assert_eq!(
+        primaries.len(),
+        graph.vertex_count(),
+        "primaries/graph mismatch"
+    );
+    let n = graph.vertex_count();
+    let greedy = select_colors(graph, primaries, 0.5);
+    if n == 0 || graph.color_count() == 0 {
+        return greedy;
+    }
+    let color_sets: Vec<Vec<usize>> = (0..graph.color_count())
+        .map(|ci| graph.color_set(ci))
+        .collect();
+    // Per-vertex candidate classes.
+    let mut covering: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, set) in color_sets.iter().enumerate() {
+        for &v in set {
+            covering[v].push(ci);
+        }
+    }
+    if covering.iter().any(Vec::is_empty) {
+        // Some vertex has no incoming color at all (single-vertex graphs);
+        // the greedy path (roots) handles it.
+        return greedy;
+    }
+    let greedy_cost: u32 = greedy
+        .class_indices
+        .iter()
+        .map(|&ci| graph.cost(ci))
+        .sum();
+
+    struct Search<'a> {
+        graph: &'a ColorGraph,
+        color_sets: &'a [Vec<usize>],
+        covering: &'a [Vec<usize>],
+        best_cost: u32,
+        best: Option<Vec<usize>>,
+        nodes: usize,
+    }
+
+    impl Search<'_> {
+        fn go(&mut self, covered: &mut Vec<bool>, chosen: &mut Vec<usize>, cost: u32) {
+            if self.nodes >= NODE_BUDGET {
+                return;
+            }
+            self.nodes += 1;
+            if cost >= self.best_cost {
+                return;
+            }
+            // Most-constrained uncovered vertex.
+            let pick = (0..covered.len())
+                .filter(|&v| !covered[v])
+                .min_by_key(|&v| self.covering[v].len());
+            let Some(v) = pick else {
+                // Full cover, strictly better than incumbent.
+                self.best_cost = cost;
+                self.best = Some(chosen.clone());
+                return;
+            };
+            // Branch on each class covering v, cheapest first.
+            let mut candidates = self.covering[v].clone();
+            candidates.sort_by_key(|&ci| self.graph.cost(ci));
+            for ci in candidates {
+                if chosen.contains(&ci) {
+                    continue;
+                }
+                let newly: Vec<usize> = self.color_sets[ci]
+                    .iter()
+                    .copied()
+                    .filter(|&u| !covered[u])
+                    .collect();
+                if newly.is_empty() {
+                    continue;
+                }
+                for &u in &newly {
+                    covered[u] = true;
+                }
+                chosen.push(ci);
+                self.go(covered, chosen, cost + self.graph.cost(ci));
+                chosen.pop();
+                for &u in &newly {
+                    covered[u] = false;
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        graph,
+        color_sets: &color_sets,
+        covering: &covering,
+        best_cost: greedy_cost + 1, // accept equal-cost greedy as incumbent
+        best: None,
+        nodes: 0,
+    };
+    search.go(&mut vec![false; n], &mut Vec::new(), 0);
+
+    match search.best {
+        Some(class_indices) if search.nodes < NODE_BUDGET => {
+            let colors: Vec<i64> = class_indices
+                .iter()
+                .map(|&ci| graph.colors()[ci])
+                .collect();
+            let free_vertices: Vec<usize> = (0..n)
+                .filter(|&v| colors.contains(&primaries[v]))
+                .collect();
+            CoverSolution {
+                colors,
+                class_indices,
+                free_vertices,
+            }
+        }
+        _ => greedy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoeffSet;
+    use mrp_numrep::Repr;
+
+    fn covers(graph: &ColorGraph, sol: &CoverSolution) -> bool {
+        let mut covered = vec![false; graph.vertex_count()];
+        for &ci in &sol.class_indices {
+            for v in graph.color_set(ci) {
+                covered[v] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    fn run(coeffs: &[i64]) -> (ColorGraph, CoverSolution, CoverSolution, Vec<i64>) {
+        let set = CoeffSet::new(coeffs).unwrap();
+        let primaries = set.primaries().to_vec();
+        let graph = ColorGraph::build(&primaries, 6, Repr::Spt);
+        let greedy = select_colors(&graph, &primaries, 0.5);
+        let exact = select_colors_exact(&graph, &primaries);
+        (graph, greedy, exact, primaries)
+    }
+
+    fn cost(graph: &ColorGraph, sol: &CoverSolution) -> u32 {
+        sol.class_indices.iter().map(|&ci| graph.cost(ci)).sum()
+    }
+
+    #[test]
+    fn exact_covers_and_never_loses() {
+        for coeffs in [
+            vec![70i64, 66, 17, 9, 27, 41, 56, 11],
+            vec![23, 45, 77, 101, 173],
+            vec![13, 57, 99, 201],
+            vec![341, 173, 219, 85, 49],
+        ] {
+            let (graph, greedy, exact, _) = run(&coeffs);
+            assert!(covers(&graph, &exact), "exact cover incomplete: {coeffs:?}");
+            assert!(
+                cost(&graph, &exact) <= cost(&graph, &greedy),
+                "exact worse than greedy on {coeffs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_matches_known_optimum_on_paper_example() {
+        let (graph, _, exact, _) = run(&[70, 66, 17, 9, 27, 41, 56, 11]);
+        // The paper's hand cover {3, 5} costs 4; the optimum is <= 4.
+        assert!(cost(&graph, &exact) <= 4, "cost {}", cost(&graph, &exact));
+    }
+
+    #[test]
+    fn free_vertices_consistent() {
+        let (_, _, exact, primaries) = run(&[3, 7, 11, 19, 23]);
+        for &v in &exact.free_vertices {
+            assert!(exact.colors.contains(&primaries[v]));
+        }
+    }
+
+    #[test]
+    fn degenerate_instances_fall_back() {
+        // Single primary: no colors at all.
+        let (_, greedy, exact, _) = run(&[7, 14]);
+        assert_eq!(greedy, exact);
+    }
+}

@@ -1,0 +1,210 @@
+//! The predecessor algorithm: MST over plain differential coefficients.
+//!
+//! Before MRPF, Muhammad & Roy (the paper's refs [4, 5]) ordered
+//! *shift-free* differential computations with a minimum spanning tree: the
+//! complete undirected graph over primary coefficients weighs edge
+//! `(i, j)` by the digit cost of `c_j − c_i`, the MST picks the cheapest
+//! difference structure, and one vertex per component is realized directly.
+//! MRPF generalizes this with shift-inclusive differences and set-cover
+//! sharing of the difference *values*; this module implements the
+//! predecessor faithfully so benchmarks can attribute the improvement.
+
+use mrp_arch::{AdderGraph, Term};
+use mrp_graph::{kruskal, Edge};
+use mrp_numrep::nonzero_digits;
+
+use crate::coeff::{CoeffMapping, CoeffSet};
+use crate::error::MrpError;
+use crate::optimizer::MrpConfig;
+
+/// Result of the MST-differential transformation.
+#[derive(Debug, Clone)]
+pub struct MstDiffResult {
+    /// The multiplier block, outputs registered per original coefficient.
+    pub graph: AdderGraph,
+    /// One producing term per original coefficient.
+    pub outputs: Vec<Term>,
+    /// The root coefficient realized directly.
+    pub root: Option<i64>,
+}
+
+impl MstDiffResult {
+    /// Total adders in the block.
+    pub fn total_adders(&self) -> usize {
+        self.graph.adder_count()
+    }
+}
+
+/// Runs the MST-differential optimization: primaries become vertices, the
+/// MST of digit-cost differences is built, the minimum-cost vertex anchors
+/// the tree, and every tree edge costs the difference's digit chain plus
+/// one combining add.
+///
+/// # Errors
+///
+/// Propagates normalization and construction errors as [`MrpError`].
+///
+/// # Examples
+///
+/// ```
+/// use mrp_core::{mst_differential, MrpConfig};
+///
+/// let r = mst_differential(&[70, 66, 17, 9, 27, 41, 56, 11], &MrpConfig::default())?;
+/// assert_eq!(r.graph.verify_outputs(&[1, -3, 50]), None);
+/// # Ok::<(), mrp_core::MrpError>(())
+/// ```
+pub fn mst_differential(coeffs: &[i64], config: &MrpConfig) -> Result<MstDiffResult, MrpError> {
+    let set = CoeffSet::new(coeffs)?;
+    let primaries = set.primaries();
+    let mut graph = AdderGraph::new();
+    let x = graph.input();
+
+    let mut vertex_terms: Vec<Option<Term>> = vec![None; primaries.len()];
+    if !primaries.is_empty() {
+        // Complete undirected difference graph.
+        let mut edges = Vec::new();
+        for i in 0..primaries.len() {
+            for j in (i + 1)..primaries.len() {
+                let cost = nonzero_digits(primaries[j] - primaries[i], config.repr);
+                edges.push(Edge::new(i, j, cost));
+            }
+        }
+        let picked = kruskal(primaries.len(), &edges);
+        // Adjacency of the spanning tree.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); primaries.len()];
+        for &e in &picked {
+            adj[edges[e].u].push(edges[e].v);
+            adj[edges[e].v].push(edges[e].u);
+        }
+        // Root: cheapest direct realization.
+        let root = (0..primaries.len())
+            .min_by_key(|&v| (nonzero_digits(primaries[v], config.repr), v))
+            .expect("non-empty primaries");
+        vertex_terms[root] = Some(graph.build_constant(primaries[root], config.repr)?);
+        // BFS over the tree; each child = parent + difference chain.
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut seen = vec![false; primaries.len()];
+        seen[root] = true;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u].clone() {
+                if seen[v] {
+                    continue;
+                }
+                seen[v] = true;
+                let parent = vertex_terms[u].expect("visited in order");
+                let d = primaries[v] - primaries[u];
+                let term = if d == 0 {
+                    parent
+                } else {
+                    let dterm = graph.build_constant(d, config.repr)?;
+                    Term::of(graph.add(parent, dterm)?)
+                };
+                debug_assert_eq!(graph.term_value(term), primaries[v]);
+                vertex_terms[v] = Some(term);
+                queue.push_back(v);
+            }
+        }
+    }
+
+    // Map original coefficients.
+    let mut outputs = Vec::with_capacity(coeffs.len());
+    for (idx, m) in set.mapping().iter().enumerate() {
+        let term = match *m {
+            CoeffMapping::Zero => Term::of(x),
+            CoeffMapping::PowerOfTwo { shift, negate } => Term {
+                node: x,
+                shift,
+                negate,
+            },
+            CoeffMapping::Primary {
+                index,
+                shift,
+                negate,
+            } => {
+                let base = vertex_terms[index].expect("all primaries realized");
+                Term {
+                    node: base.node,
+                    shift: base.shift + shift,
+                    negate: base.negate != negate,
+                }
+            }
+        };
+        graph.push_output(format!("c{idx}"), term, coeffs[idx]);
+        outputs.push(term);
+    }
+    let root = set
+        .primaries()
+        .iter()
+        .copied()
+        .min_by_key(|&v| nonzero_digits(v, config.repr));
+    Ok(MstDiffResult {
+        graph,
+        outputs,
+        root,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::MrpOptimizer;
+
+    const PAPER: [i64; 8] = [70, 66, 17, 9, 27, 41, 56, 11];
+
+    fn verify(coeffs: &[i64]) -> MstDiffResult {
+        let r = mst_differential(coeffs, &MrpConfig::default()).unwrap();
+        assert_eq!(r.graph.verify_outputs(&[-17, 0, 1, 3, 999]), None);
+        r
+    }
+
+    #[test]
+    fn bit_exact_on_paper_example() {
+        verify(&PAPER);
+    }
+
+    #[test]
+    fn handles_trivial_inputs() {
+        for coeffs in [vec![0i64], vec![1, 2, 4], vec![7], vec![-3, 6]] {
+            let r = verify(&coeffs);
+            assert_eq!(r.outputs.len(), coeffs.len());
+        }
+    }
+
+    #[test]
+    fn smooth_coefficients_are_cheap() {
+        // Dense values with tiny differences: the MST finds the chain.
+        let coeffs = [1365i64, 1367, 1371, 1373, 1381];
+        let r = verify(&coeffs);
+        // Root cost ~5 plus one add per remaining vertex (differences are
+        // powers of two or two-digit).
+        assert!(
+            r.total_adders() <= 10,
+            "MST-diff used {} adders",
+            r.total_adders()
+        );
+    }
+
+    #[test]
+    fn mrp_beats_or_matches_mst_diff() {
+        // The shift-inclusive generalization should never lose on the
+        // paper's own example, and usually wins on real filters.
+        let mst = verify(&PAPER);
+        let mrp = MrpOptimizer::new(MrpConfig::default())
+            .optimize(&PAPER)
+            .unwrap();
+        assert!(
+            mrp.total_adders() <= mst.total_adders(),
+            "MRP {} vs MST-diff {}",
+            mrp.total_adders(),
+            mst.total_adders()
+        );
+    }
+
+    #[test]
+    fn root_is_cheapest_primary() {
+        // Primaries: 35 (weight 3), 33, 17, 9 (weight 2 each); the
+        // first-seen minimum-weight primary anchors the tree.
+        let r = verify(&[70, 66, 17, 9]);
+        assert_eq!(r.root, Some(33));
+    }
+}

@@ -1,0 +1,110 @@
+//! Comparison reporting across optimization schemes.
+
+use mrp_cse::{cse_adder_count, simple_adder_count};
+use mrp_numrep::Repr;
+
+use crate::error::MrpError;
+use crate::optimizer::{MrpConfig, MrpOptimizer, SeedOptimizer};
+use crate::CoeffSet;
+
+/// Adder counts of one coefficient set under every scheme the paper
+/// compares (plus MRP alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderReport {
+    /// Per-coefficient digit recoding (the "simple" TDF baseline).
+    pub simple: usize,
+    /// Hartley CSE on the primary coefficients.
+    pub cse: usize,
+    /// MRP with a direct SEED network.
+    pub mrp: usize,
+    /// MRP with CSE on the SEED network (the paper's headline combination).
+    pub mrp_cse: usize,
+    /// SEED size of the MRP run, as `(roots, colors)`.
+    pub seed: (usize, usize),
+    /// Number of primary coefficients (vertices optimized).
+    pub primaries: usize,
+}
+
+impl AdderReport {
+    /// Fractional reduction of `scheme` versus `baseline`
+    /// (`1 − scheme/baseline`); zero when the baseline is empty.
+    pub fn reduction(scheme: usize, baseline: usize) -> f64 {
+        if baseline == 0 {
+            0.0
+        } else {
+            1.0 - scheme as f64 / baseline as f64
+        }
+    }
+}
+
+/// Computes every scheme's adder count for one coefficient vector under a
+/// common configuration (the CSE baseline always uses CSD digits, as in
+/// the paper).
+///
+/// # Errors
+///
+/// Propagates [`MrpError`] from normalization or optimization.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_core::{adder_report, MrpConfig};
+///
+/// let rep = adder_report(&[70, 66, 17, 9, 27, 41, 56, 11], &MrpConfig::default())?;
+/// assert!(rep.mrp <= rep.simple);
+/// assert!(rep.mrp_cse <= rep.mrp);
+/// # Ok::<(), mrp_core::MrpError>(())
+/// ```
+pub fn adder_report(coeffs: &[i64], config: &MrpConfig) -> Result<AdderReport, MrpError> {
+    let set = CoeffSet::new(coeffs)?;
+    let simple = simple_adder_count(coeffs, config.repr);
+    let cse = cse_adder_count(set.primaries());
+    let mrp_result = MrpOptimizer::new(*config).optimize(coeffs)?;
+    let mut cse_cfg = *config;
+    cse_cfg.seed_optimizer = SeedOptimizer::Cse;
+    let mrp_cse_result = MrpOptimizer::new(cse_cfg).optimize(coeffs)?;
+    Ok(AdderReport {
+        simple,
+        cse,
+        mrp: mrp_result.total_adders(),
+        mrp_cse: mrp_cse_result.total_adders(),
+        seed: mrp_result.seed_size(),
+        primaries: set.primary_count(),
+    })
+}
+
+/// Convenience: the simple-baseline cost under a representation (re-export
+/// site for benches).
+pub fn simple_cost(coeffs: &[i64], repr: Repr) -> usize {
+    simple_adder_count(coeffs, repr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_orders_schemes_sanely() {
+        let coeffs: Vec<i64> = (1..30).map(|k| (k * k * 7 + k + 3) | 1).collect();
+        let rep = adder_report(&coeffs, &MrpConfig::default()).unwrap();
+        assert!(rep.mrp <= rep.simple, "MRP must not exceed simple");
+        assert!(rep.mrp_cse <= rep.mrp, "MRP+CSE must not exceed MRP");
+        assert!(rep.primaries > 0);
+    }
+
+    #[test]
+    fn reduction_math() {
+        assert_eq!(AdderReport::reduction(50, 100), 0.5);
+        assert_eq!(AdderReport::reduction(100, 100), 0.0);
+        assert_eq!(AdderReport::reduction(3, 0), 0.0);
+    }
+
+    #[test]
+    fn report_on_paper_example() {
+        let rep = adder_report(&[70, 66, 17, 9, 27, 41, 56, 11], &MrpConfig::default()).unwrap();
+        // The paper's example: simple SPT needs ~14 adders; MRP single
+        // digits: SEED {70,66,3,5} → far fewer.
+        assert!(rep.simple >= 10);
+        assert!(rep.mrp <= rep.simple - 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain (shift-free) differential-coefficient baseline.
+//!
+//! The MRPF paper builds on earlier differential-coefficient work
+//! (its refs [4, 5], and the DECOR transform of ref [10]): compute
+//! `P_i = c_i·x` from the *previous tap's* product as
+//! `P_i = (c_i − c_{i−1})·x + P_{i−1}`, hoping the tap-to-tap differences
+//! are simpler numbers than the taps. MRP generalizes this in two ways —
+//! free shifts inside the difference (SID coefficients) and graph-optimized
+//! ordering instead of the fixed tap order. This module implements the
+//! fixed-order baseline so benchmarks can show what each generalization
+//! buys.
+
+use mrp_arch::{AdderGraph, ArchError, Term};
+use mrp_numrep::{adder_cost, Repr};
+
+/// Adder count of the sequential differential-coefficient scheme: the
+/// first tap pays its full digit cost; every later tap pays the digit cost
+/// of its difference from the previous tap plus one reconstruction add
+/// (differences of zero are free).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_cse::differential_adder_count;
+/// use mrp_numrep::Repr;
+///
+/// // Slowly varying taps: differences are cheap.
+/// let smooth = [100i64, 96, 92, 90, 92, 96, 100];
+/// let wild = [100i64, -3, 77, -51, 23, -99, 64];
+/// assert!(differential_adder_count(&smooth, Repr::Csd)
+///         < differential_adder_count(&wild, Repr::Csd));
+/// ```
+pub fn differential_adder_count(coeffs: &[i64], repr: Repr) -> usize {
+    let mut total = 0usize;
+    let mut prev = 0i64;
+    for &c in coeffs {
+        let d = c - prev;
+        if d != 0 {
+            total += adder_cost(d, repr) as usize;
+            if prev != 0 {
+                total += 1; // reconstruction add P_i = d·x + P_{i-1}
+            }
+        }
+        prev = c;
+    }
+    total
+}
+
+/// Builds the sequential differential architecture, returning one term per
+/// tap. The chain depth equals the tap count, which is why the paper's
+/// reordering matters for delay.
+///
+/// # Errors
+///
+/// Propagates [`ArchError`] on overflow.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_cse::differential_block;
+/// use mrp_numrep::Repr;
+///
+/// let coeffs = [12i64, 14, 15];
+/// let (g, outs) = differential_block(&coeffs, Repr::Csd)?;
+/// assert_eq!(g.evaluate_term(outs[2], 3), 45);
+/// # Ok::<(), mrp_cse::ArchError>(())
+/// ```
+pub fn differential_block(
+    coeffs: &[i64],
+    repr: Repr,
+) -> Result<(AdderGraph, Vec<Term>), ArchError> {
+    let mut g = AdderGraph::new();
+    let mut outs: Vec<Term> = Vec::with_capacity(coeffs.len());
+    let mut prev: Option<(Term, i64)> = None;
+    for &c in coeffs {
+        let term = match prev {
+            None => g.build_constant(c, repr)?,
+            Some((pterm, pval)) => {
+                let d = c - pval;
+                if d == 0 {
+                    pterm
+                } else if c == 0 {
+                    g.build_constant(0, repr)?
+                } else {
+                    let dterm = g.build_constant(d, repr)?;
+                    if pval == 0 {
+                        dterm
+                    } else {
+                        Term::of(g.add(pterm, dterm)?)
+                    }
+                }
+            }
+        };
+        outs.push(term);
+        prev = Some((term, c));
+    }
+    Ok((g, outs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify(coeffs: &[i64]) -> AdderGraph {
+        let (mut g, outs) = differential_block(coeffs, Repr::Csd).unwrap();
+        for (i, (&t, &c)) in outs.iter().zip(coeffs).enumerate() {
+            g.push_output(format!("c{i}"), t, c);
+        }
+        assert_eq!(
+            g.verify_outputs(&[-9, 0, 1, 4, 321]),
+            None,
+            "differential block wrong for {coeffs:?}"
+        );
+        g
+    }
+
+    #[test]
+    fn correct_for_arbitrary_taps() {
+        verify(&[70, 66, 17, 9, 27, 41, 56, 11]);
+        verify(&[0, 5, 5, -5, 0, 3]);
+        verify(&[1]);
+    }
+
+    #[test]
+    fn smooth_taps_are_cheap() {
+        // Individually expensive taps (CSD weight 6) whose adjacent
+        // differences are powers of two: differential wins clearly.
+        let smooth = [1365i64, 1367, 1369, 1373, 1369, 1367, 1365];
+        let count = differential_adder_count(&smooth, Repr::Csd);
+        let simple = crate::simple_adder_count(&smooth, Repr::Csd);
+        assert!(count < simple, "differential {count} vs simple {simple}");
+    }
+
+    #[test]
+    fn repeated_taps_are_free() {
+        assert_eq!(differential_adder_count(&[9, 9, 9, 9], Repr::Csd), 1);
+    }
+
+    #[test]
+    fn leading_zero_taps() {
+        let g = verify(&[0, 0, 7]);
+        assert_eq!(g.adder_count(), 1); // just 7 = 8 - 1
+    }
+
+    #[test]
+    fn count_matches_built_graph_on_dense_taps() {
+        // No shift sharing between differences here, so the analytic count
+        // upper-bounds the built graph (build_constant may still reuse).
+        let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+        let g = verify(&coeffs);
+        assert!(g.adder_count() <= differential_adder_count(&coeffs, Repr::Csd));
+    }
+
+    #[test]
+    fn weak_correlation_makes_it_ineffective() {
+        // The paper's critique of DECOR-style schemes: with weakly
+        // correlated coefficients the differences are no simpler.
+        let wild = [70i64, -66, 17, -9, 27, -41, 56, -11];
+        let diff = differential_adder_count(&wild, Repr::Csd);
+        let simple = crate::simple_adder_count(&wild, Repr::Csd);
+        assert!(diff + 2 >= simple, "differential should not win here");
+    }
+}

@@ -1,0 +1,544 @@
+//! Iterative Hartley-style common subexpression elimination.
+
+use std::collections::HashMap;
+
+use mrp_arch::{AdderGraph, ArchError, Term};
+use mrp_numrep::csd;
+
+use crate::pattern::{Pattern, PatternKey};
+
+/// Where a term's value comes from: the filter input or an extracted
+/// subexpression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TermSource {
+    /// The filter input `x` (value 1).
+    Input,
+    /// Subexpression by index into [`CseResult::subexpressions`].
+    Sub(usize),
+}
+
+/// One signed, shifted term of a coefficient's decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CseTerm {
+    /// Value source.
+    pub source: TermSource,
+    /// Left shift.
+    pub shift: u32,
+    /// Whether the term is subtracted.
+    pub negative: bool,
+}
+
+impl CseTerm {
+    fn value(&self, sub_values: &[i64]) -> i64 {
+        let base = match self.source {
+            TermSource::Input => 1,
+            TermSource::Sub(i) => sub_values[i],
+        };
+        let v = base.checked_shl(self.shift).expect("term overflows i64");
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// One extracted subexpression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubExpr {
+    /// The canonical pattern it implements.
+    pub key: PatternKey,
+    /// Its constant multiple of the input.
+    pub value: i64,
+}
+
+/// Output of [`hartley_cse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CseResult {
+    /// Extracted subexpressions, in extraction order (later ones may
+    /// reference earlier ones).
+    pub subexpressions: Vec<SubExpr>,
+    /// Remaining term decomposition, one list per input coefficient.
+    pub coeff_terms: Vec<Vec<CseTerm>>,
+    /// The input coefficients.
+    pub coeffs: Vec<i64>,
+}
+
+impl CseResult {
+    /// Total adder count: one per subexpression plus, per coefficient, one
+    /// less than its remaining term count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrp_cse::hartley_cse;
+    /// let r = hartley_cse(&[5, 5 << 3]); // both are the "101" pattern
+    /// assert_eq!(r.adders(), 1);
+    /// ```
+    pub fn adders(&self) -> usize {
+        self.subexpressions.len()
+            + self
+                .coeff_terms
+                .iter()
+                .map(|t| t.len().saturating_sub(1))
+                .sum::<usize>()
+    }
+
+    /// Values of the subexpressions, in order.
+    pub fn sub_values(&self) -> Vec<i64> {
+        self.subexpressions.iter().map(|s| s.value).collect()
+    }
+
+    /// Materializes the CSE solution as a fresh adder graph; see
+    /// [`CseResult::build_into`] for composing into an existing graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArchError`] on overflow (cannot happen for coefficient
+    /// sets within the filter wordlengths this crate targets).
+    pub fn build_graph(&self) -> Result<(AdderGraph, Vec<Term>), ArchError> {
+        let mut g = AdderGraph::new();
+        let terms = self.build_into(&mut g)?;
+        Ok((g, terms))
+    }
+
+    /// Materializes the CSE solution into an existing graph, returning one
+    /// producing term per coefficient. Used by the MRP+CSE combination to
+    /// compress a SEED multiplication network in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArchError`] on overflow.
+    pub fn build_into(&self, g: &mut AdderGraph) -> Result<Vec<Term>, ArchError> {
+        let x = g.input();
+        let mut sub_nodes = Vec::with_capacity(self.subexpressions.len());
+        for s in &self.subexpressions {
+            let src = |t: TermSource| match t {
+                TermSource::Input => x,
+                TermSource::Sub(i) => sub_nodes[i],
+            };
+            let lhs = Term::of(src(s.key.low));
+            let rhs = Term {
+                node: src(s.key.high),
+                shift: s.key.distance,
+                negate: !s.key.same_sign,
+            };
+            let node = g.add(lhs, rhs)?;
+            debug_assert_eq!(g.value(node), s.value);
+            sub_nodes.push(node);
+        }
+        let mut outputs = Vec::with_capacity(self.coeff_terms.len());
+        for (terms, &c) in self.coeff_terms.iter().zip(&self.coeffs) {
+            let term_of = |t: &CseTerm| Term {
+                node: match t.source {
+                    TermSource::Input => x,
+                    TermSource::Sub(i) => sub_nodes[i],
+                },
+                shift: t.shift,
+                negate: t.negative,
+            };
+            let out = match terms.len() {
+                0 => Term::of(x), // zero coefficient placeholder
+                1 => term_of(&terms[0]),
+                _ => {
+                    let mut acc = g.add(term_of(&terms[0]), term_of(&terms[1]))?;
+                    for t in &terms[2..] {
+                        acc = g.add(Term::of(acc), term_of(t))?;
+                    }
+                    Term::of(acc)
+                }
+            };
+            if c != 0 {
+                debug_assert_eq!(g.term_value(out), c, "coefficient {c} mismatch");
+            }
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+}
+
+/// Merges duplicate terms: identical (source, shift, sign) pairs become one
+/// term shifted up (free), exact opposites cancel. Repeats to fixpoint.
+fn normalize(terms: &mut Vec<CseTerm>) {
+    loop {
+        let mut changed = false;
+        'outer: for i in 0..terms.len() {
+            for j in (i + 1)..terms.len() {
+                if terms[i].source == terms[j].source && terms[i].shift == terms[j].shift {
+                    if terms[i].negative == terms[j].negative {
+                        // t + t = t << 1.
+                        terms[i].shift += 1;
+                        terms.remove(j);
+                    } else {
+                        // t - t = 0.
+                        terms.remove(j);
+                        terms.remove(i);
+                    }
+                    changed = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Runs iterative CSE on the CSD decompositions of `coeffs`: the digit-pair
+/// pattern with the most non-overlapping occurrences is extracted, all its
+/// occurrences are replaced by a reference term, and the process repeats
+/// until no pattern occurs at least twice. Nested patterns (pairs involving
+/// earlier subexpressions) are found in later rounds.
+///
+/// # Panics
+///
+/// Panics if a coefficient is `i64::MIN` or `|c| > 2^62` (CSD limits).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_cse::hartley_cse;
+///
+/// // 45 = 101101b; CSD 10-10-101? Either way, 45 and 90 share everything.
+/// let r = hartley_cse(&[45, 90, 23]);
+/// let total: i64 = r.coeffs.iter().sum();
+/// assert_eq!(total, 45 + 90 + 23);
+/// assert!(r.adders() <= 5);
+/// ```
+pub fn hartley_cse(coeffs: &[i64]) -> CseResult {
+    let mut coeff_terms: Vec<Vec<CseTerm>> = coeffs
+        .iter()
+        .map(|&c| {
+            csd(c)
+                .terms()
+                .into_iter()
+                .map(|(k, s)| CseTerm {
+                    source: TermSource::Input,
+                    shift: k,
+                    negative: s < 0,
+                })
+                .collect()
+        })
+        .collect();
+    let mut subexpressions: Vec<SubExpr> = Vec::new();
+
+    loop {
+        let sub_values: Vec<i64> = subexpressions.iter().map(|s| s.value).collect();
+        // Enumerate all in-coefficient pairs and group them by canonical
+        // pattern key.
+        let mut occurrences: HashMap<PatternKey, Vec<(usize, usize, usize)>> = HashMap::new();
+        for (ci, terms) in coeff_terms.iter().enumerate() {
+            for a in 0..terms.len() {
+                for b in (a + 1)..terms.len() {
+                    if let Some((key, _)) = canonical_pair(&terms[a], &terms[b], &sub_values) {
+                        occurrences.entry(key).or_default().push((ci, a, b));
+                    }
+                }
+            }
+        }
+        // For each key, count non-overlapping occurrences greedily.
+        type BestPattern = Option<(PatternKey, Vec<(usize, usize, usize)>)>;
+        let mut best: BestPattern = None;
+        for (key, pairs) in occurrences {
+            let selected = select_disjoint(&pairs);
+            if selected.len() < 2 {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bk, bs)) => {
+                    selected.len() > bs.len()
+                        || (selected.len() == bs.len()
+                            && pattern_abs_value(&key, &sub_values)
+                                < pattern_abs_value(bk, &sub_values))
+                        || (selected.len() == bs.len()
+                            && pattern_abs_value(&key, &sub_values)
+                                == pattern_abs_value(bk, &sub_values)
+                            && key < *bk)
+                }
+            };
+            if better {
+                best = Some((key, selected));
+            }
+        }
+        let Some((key, selected)) = best else { break };
+        let value = Pattern::new(key).value(&sub_values);
+        let sub_idx = subexpressions.len();
+        subexpressions.push(SubExpr { key, value });
+        // Replace each selected occurrence: drop the pair, insert one
+        // reference term carrying the occurrence's sign and base shift.
+        let mut by_coeff: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+        for (ci, a, b) in selected {
+            by_coeff.entry(ci).or_default().push((a, b));
+        }
+        for (ci, pairs) in by_coeff {
+            let terms = &mut coeff_terms[ci];
+            let mut remove: Vec<usize> = Vec::new();
+            let mut insert: Vec<CseTerm> = Vec::new();
+            for (a, b) in pairs {
+                let (_, occ) = canonical_pair(&terms[a], &terms[b], &sub_values)
+                    .expect("selected pair still canonicalizes");
+                remove.push(a);
+                remove.push(b);
+                insert.push(CseTerm {
+                    source: TermSource::Sub(sub_idx),
+                    shift: occ.base_shift,
+                    negative: occ.negated,
+                });
+            }
+            remove.sort_unstable();
+            remove.dedup();
+            for &idx in remove.iter().rev() {
+                terms.remove(idx);
+            }
+            terms.extend(insert);
+            normalize(terms);
+        }
+    }
+
+    let result = CseResult {
+        subexpressions,
+        coeff_terms,
+        coeffs: coeffs.to_vec(),
+    };
+    // Invariant: the decomposition still sums to each coefficient.
+    debug_assert!({
+        let sv = result.sub_values();
+        result
+            .coeff_terms
+            .iter()
+            .zip(&result.coeffs)
+            .all(|(terms, &c)| terms.iter().map(|t| t.value(&sv)).sum::<i64>() == c)
+    });
+    result
+}
+
+/// How an occurrence maps onto its canonical pattern.
+struct Occurrence {
+    base_shift: u32,
+    negated: bool,
+}
+
+/// Canonicalizes an unordered term pair into a pattern key plus occurrence
+/// placement, or `None` for degenerate pairs (zero value, overflow).
+fn canonical_pair(
+    t1: &CseTerm,
+    t2: &CseTerm,
+    sub_values: &[i64],
+) -> Option<(PatternKey, Occurrence)> {
+    // Order by shift; tie-break by source so the key is canonical.
+    let (lo, hi) = if (t1.shift, t1.source) <= (t2.shift, t2.source) {
+        (t1, t2)
+    } else {
+        (t2, t1)
+    };
+    let distance = hi.shift - lo.shift;
+    // Same source at the same shift is handled by `normalize`, not CSE.
+    if distance == 0 && lo.source == hi.source {
+        return None;
+    }
+    let key = PatternKey {
+        low: lo.source,
+        high: hi.source,
+        distance,
+        same_sign: lo.negative == hi.negative,
+    };
+    // Reject pairs whose pattern value overflows or is zero.
+    let lo_v = match lo.source {
+        TermSource::Input => 1i64,
+        TermSource::Sub(i) => sub_values[i],
+    };
+    let hi_v = match hi.source {
+        TermSource::Input => 1i64,
+        TermSource::Sub(i) => sub_values[i],
+    };
+    let shifted = hi_v.checked_shl(distance)?;
+    if (shifted >> distance) != hi_v {
+        return None;
+    }
+    let value = if key.same_sign {
+        lo_v.checked_add(shifted)?
+    } else {
+        lo_v.checked_sub(shifted)?
+    };
+    if value == 0 {
+        return None;
+    }
+    Some((
+        key,
+        Occurrence {
+            base_shift: lo.shift,
+            negated: lo.negative,
+        },
+    ))
+}
+
+fn pattern_abs_value(key: &PatternKey, sub_values: &[i64]) -> i64 {
+    Pattern::new(*key).value(sub_values).abs()
+}
+
+/// Greedy selection of pairwise-disjoint occurrences (no term reused).
+fn select_disjoint(pairs: &[(usize, usize, usize)]) -> Vec<(usize, usize, usize)> {
+    let mut used: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut out = Vec::new();
+    for &(ci, a, b) in pairs {
+        let u = used.entry(ci).or_default();
+        if !u.contains(&a) && !u.contains(&b) {
+            u.push(a);
+            u.push(b);
+            out.push((ci, a, b));
+        }
+    }
+    out
+}
+
+/// Convenience: the CSE adder count for a coefficient set.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_cse::cse_adder_count;
+/// assert_eq!(cse_adder_count(&[0, 1, 8]), 0);
+/// ```
+pub fn cse_adder_count(coeffs: &[i64]) -> usize {
+    hartley_cse(coeffs).adders()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_adder_count;
+    use mrp_numrep::Repr;
+
+    fn verify(coeffs: &[i64]) -> CseResult {
+        let r = hartley_cse(coeffs);
+        let (mut g, outs) = r.build_graph().unwrap();
+        for (i, (&t, &c)) in outs.iter().zip(coeffs).enumerate() {
+            g.push_output(format!("c{i}"), t, c);
+        }
+        assert_eq!(
+            g.verify_outputs(&[-7, -1, 0, 1, 3, 12345]),
+            None,
+            "CSE graph wrong for {coeffs:?}"
+        );
+        assert_eq!(g.adder_count(), r.adders(), "adder accounting mismatch");
+        r
+    }
+
+    #[test]
+    fn shares_obvious_pattern() {
+        // 5 = 101 and 40 = 101000 share the "101" pattern entirely.
+        let r = verify(&[5, 40]);
+        assert_eq!(r.adders(), 1);
+        assert_eq!(r.subexpressions.len(), 1);
+        assert_eq!(r.subexpressions[0].value.abs(), 5);
+    }
+
+    #[test]
+    fn never_worse_than_simple() {
+        let sets: [&[i64]; 5] = [
+            &[23, 39, 101, 77],
+            &[45, 90, 180, 47],
+            &[7, 11, 13, 17, 19],
+            &[173, 346, 217, 85],
+            &[255, 511, 1023],
+        ];
+        for coeffs in sets {
+            let r = verify(coeffs);
+            assert!(
+                r.adders() <= simple_adder_count(coeffs, Repr::Csd) + coeffs.len(),
+                "CSE blew up on {coeffs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_power_coefficients_cost_nothing() {
+        let r = verify(&[0, 1, 2, -16]);
+        assert_eq!(r.adders(), 0);
+    }
+
+    #[test]
+    fn single_coefficient_intra_sharing() {
+        // 0b10100101 = 165 = 101 pattern at shifts 0 and 5: 5 + 160 = 165.
+        let r = verify(&[165]);
+        assert_eq!(r.adders(), 2); // one subexpression + one combine
+    }
+
+    #[test]
+    fn negative_coefficients() {
+        let r = verify(&[-45, 45, -90]);
+        // Sign and shift are free: all three share one realization of 45.
+        assert!(r.adders() <= mrp_numrep::adder_cost(45, Repr::Csd) as usize);
+    }
+
+    #[test]
+    fn nested_extraction() {
+        // Four copies of a 4-digit value built from two levels of pattern.
+        // 0x1111 = 4369 = (1 + 16)(1 + 256) in digit terms.
+        let r = verify(&[0x1111, 0x11110, 0x2222, 0x4444]);
+        assert!(
+            r.adders() <= 3,
+            "nested sharing should need <= 3 adders, got {}",
+            r.adders()
+        );
+    }
+
+    #[test]
+    fn worked_paper_example_improves() {
+        // The paper's 8-tap example coefficients.
+        let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+        let r = verify(&coeffs);
+        let simple = simple_adder_count(&coeffs, Repr::Csd);
+        assert!(
+            r.adders() <= simple,
+            "CSE ({}) worse than simple ({simple})",
+            r.adders()
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = hartley_cse(&[]);
+        assert_eq!(r.adders(), 0);
+        assert!(r.coeff_terms.is_empty());
+    }
+
+    #[test]
+    fn normalize_merges_duplicates() {
+        let mut terms = vec![
+            CseTerm {
+                source: TermSource::Input,
+                shift: 2,
+                negative: false,
+            },
+            CseTerm {
+                source: TermSource::Input,
+                shift: 2,
+                negative: false,
+            },
+        ];
+        normalize(&mut terms);
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].shift, 3);
+    }
+
+    #[test]
+    fn normalize_cancels_opposites() {
+        let mut terms = vec![
+            CseTerm {
+                source: TermSource::Input,
+                shift: 1,
+                negative: false,
+            },
+            CseTerm {
+                source: TermSource::Input,
+                shift: 1,
+                negative: true,
+            },
+        ];
+        normalize(&mut terms);
+        assert!(terms.is_empty());
+    }
+}

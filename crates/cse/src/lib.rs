@@ -1,0 +1,133 @@
+//! Common subexpression elimination (CSE) and graph-MCM baselines.
+//!
+//! The MRPF paper compares against — and composes with — the classic
+//! Hartley-style CSE on canonical signed digit coefficients: digit pairs
+//! like `101` (`x + 4x`) or `10-1` (`4x − x`) recurring across the
+//! coefficient set are extracted once, shared, and reused, saving one adder
+//! per additional occurrence.
+//!
+//! * [`hartley_cse`] — iterative most-frequent-pattern-first extraction
+//!   over CSD digit vectors, with nested patterns (subexpressions over
+//!   subexpressions) supported;
+//! * [`CseResult::build_graph`] — materializes the result as a verifiable
+//!   [`mrp_arch::AdderGraph`];
+//! * [`cse_adder_count`] — the scalar complexity metric used by the
+//!   paper's figures;
+//! * [`graph_mcm`] — a Bull-Horrocks-style graph MCM heuristic, an extra
+//!   baseline beyond the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrp_cse::{cse_adder_count, simple_adder_count};
+//! use mrp_numrep::Repr;
+//!
+//! // 23 = 10111b and 39 = 100111b share the "111" (CSD 100-1) tail.
+//! let coeffs = [23i64, 39];
+//! assert!(cse_adder_count(&coeffs) <= simple_adder_count(&coeffs, Repr::Csd));
+//! ```
+
+#![warn(missing_docs)]
+
+mod differential;
+mod hartley;
+mod mcm;
+mod pattern;
+
+pub use differential::{differential_adder_count, differential_block};
+pub use hartley::{cse_adder_count, hartley_cse, CseResult, CseTerm, SubExpr, TermSource};
+pub use mrp_arch::ArchError;
+pub use mcm::{graph_mcm, mcm_adder_count};
+pub use pattern::{Pattern, PatternKey};
+
+/// Adder count of the "simple" transposed-direct-form baseline: one
+/// independent digit-recoded multiplier per tap, with no sharing between
+/// taps (each coefficient pays its own `nzd − 1` adders, as a plain TDF
+/// netlist would).
+///
+/// This is the denominator of the paper's Figures 6 and 7.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_cse::simple_adder_count;
+/// use mrp_numrep::Repr;
+/// // Three taps, each its own multiplier (shifted copies are NOT shared).
+/// assert_eq!(simple_adder_count(&[7, 14, -28], Repr::Csd), 3);
+/// ```
+pub fn simple_adder_count(coeffs: &[i64], repr: mrp_numrep::Repr) -> usize {
+    coeffs
+        .iter()
+        .map(|&c| mrp_numrep::adder_cost(c, repr) as usize)
+        .sum()
+}
+
+/// Adder count of the simple baseline *with free odd-part sharing*:
+/// coefficients that are shifts or negations of one another pay once.
+/// Stronger than the paper's TDF baseline; useful as a lower bound on any
+/// per-coefficient scheme.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_cse::shared_simple_adder_count;
+/// use mrp_numrep::Repr;
+/// assert_eq!(shared_simple_adder_count(&[7, 14, -28], Repr::Csd), 1);
+/// ```
+pub fn shared_simple_adder_count(coeffs: &[i64], repr: mrp_numrep::Repr) -> usize {
+    let mut seen_odd: Vec<i64> = Vec::new();
+    let mut total = 0usize;
+    for &c in coeffs {
+        if c == 0 {
+            continue;
+        }
+        let odd = mrp_numrep::odd_part(c).odd;
+        if seen_odd.contains(&odd) {
+            continue;
+        }
+        seen_odd.push(odd);
+        total += mrp_numrep::adder_cost(odd, repr) as usize;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_numrep::Repr;
+
+    #[test]
+    fn simple_count_ignores_zero_and_powers() {
+        assert_eq!(simple_adder_count(&[0, 1, 2, 4, -8], Repr::Csd), 0);
+        assert_eq!(shared_simple_adder_count(&[0, 1, 2, 4, -8], Repr::Csd), 0);
+    }
+
+    #[test]
+    fn simple_count_is_per_tap() {
+        assert_eq!(
+            simple_adder_count(&[3, 6, 12], Repr::Csd),
+            3 * simple_adder_count(&[3], Repr::Csd)
+        );
+    }
+
+    #[test]
+    fn shared_count_shares_odd_parts() {
+        assert_eq!(
+            shared_simple_adder_count(&[3, 6, 12], Repr::Csd),
+            shared_simple_adder_count(&[3], Repr::Csd)
+        );
+        assert!(
+            shared_simple_adder_count(&[3, 5, 6], Repr::Csd)
+                <= simple_adder_count(&[3, 5, 6], Repr::Csd)
+        );
+    }
+
+    #[test]
+    fn simple_count_spt_not_above_binary() {
+        let coeffs = [23i64, 45, 255, 127, 99];
+        assert!(
+            simple_adder_count(&coeffs, Repr::Csd)
+                <= simple_adder_count(&coeffs, Repr::TwosComplement)
+        );
+    }
+}

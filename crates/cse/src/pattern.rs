@@ -1,0 +1,126 @@
+//! Digit-pair patterns.
+//!
+//! A pattern is an unordered-in-value, ordered-in-position pair of terms:
+//! a *low* term at some shift `p` and a *high* term at shift `p + distance`.
+//! Two occurrences match when their term sources, distance, and relative
+//! sign agree; the absolute sign and shift are free (wiring). Patterns are
+//! canonicalized so the low term is positive.
+
+use crate::hartley::TermSource;
+
+/// Canonical identity of a digit-pair pattern.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_cse::{PatternKey, Pattern};
+/// use mrp_cse::TermSource;
+///
+/// // "101" = x + x<<2.
+/// let k = PatternKey {
+///     low: TermSource::Input,
+///     high: TermSource::Input,
+///     distance: 2,
+///     same_sign: true,
+/// };
+/// assert_eq!(Pattern::new(k).value(&[]), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternKey {
+    /// Source of the lower-shift term.
+    pub low: TermSource,
+    /// Source of the higher-shift term.
+    pub high: TermSource,
+    /// Shift distance between the two terms (`> 0`, or `0` only when the
+    /// sources differ).
+    pub distance: u32,
+    /// Whether the two terms carry the same sign.
+    pub same_sign: bool,
+}
+
+/// A pattern plus derived data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pattern {
+    /// Canonical identity.
+    pub key: PatternKey,
+}
+
+impl Pattern {
+    /// Wraps a key.
+    pub fn new(key: PatternKey) -> Self {
+        Pattern { key }
+    }
+
+    /// Constant multiple of the filter input this pattern computes, with
+    /// the low term taken positive. `sub_values[i]` must give the value of
+    /// subexpression `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced subexpression index is out of range or the
+    /// value overflows `i64`.
+    pub fn value(&self, sub_values: &[i64]) -> i64 {
+        let src = |s: TermSource| -> i64 {
+            match s {
+                TermSource::Input => 1,
+                TermSource::Sub(i) => sub_values[i],
+            }
+        };
+        let low = src(self.key.low);
+        let high = src(self.key.high)
+            .checked_shl(self.key.distance)
+            .expect("pattern value overflows i64");
+        if self.key.same_sign {
+            low.checked_add(high)
+        } else {
+            low.checked_sub(high)
+        }
+        .expect("pattern value overflows i64")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(d: u32, same: bool) -> PatternKey {
+        PatternKey {
+            low: TermSource::Input,
+            high: TermSource::Input,
+            distance: d,
+            same_sign: same,
+        }
+    }
+
+    #[test]
+    fn basic_values() {
+        assert_eq!(Pattern::new(key(1, true)).value(&[]), 3); // 1 + 2
+        assert_eq!(Pattern::new(key(1, false)).value(&[]), -1); // 1 - 2
+        assert_eq!(Pattern::new(key(3, true)).value(&[]), 9); // 1 + 8
+        assert_eq!(Pattern::new(key(3, false)).value(&[]), -7); // 1 - 8
+    }
+
+    #[test]
+    fn nested_values() {
+        // Sub(0) has value 5; pattern Sub(0) + Sub(0)<<4 = 5 + 80 = 85.
+        let k = PatternKey {
+            low: TermSource::Sub(0),
+            high: TermSource::Sub(0),
+            distance: 4,
+            same_sign: true,
+        };
+        assert_eq!(Pattern::new(k).value(&[5]), 85);
+    }
+
+    #[test]
+    fn mixed_sources() {
+        // x - Sub(0)<<1 with Sub(0) = 3: 1 - 6 = -5.
+        let k = PatternKey {
+            low: TermSource::Input,
+            high: TermSource::Sub(0),
+            distance: 1,
+            same_sign: false,
+        };
+        assert_eq!(Pattern::new(k).value(&[3]), -5);
+    }
+}

@@ -1,0 +1,180 @@
+//! Butterworth-magnitude FIR design by frequency sampling.
+//!
+//! The "BW" example filters in Table 1 of the MRPF paper are Butterworth
+//! designs. Butterworth is natively an IIR family; the standard FIR
+//! realization — used here — samples the maximally flat Butterworth
+//! magnitude `|H(f)| = 1 / sqrt(1 + (f/fc)^{2n})` on a uniform DFT grid and
+//! inverts it with a linear-phase constraint, yielding symmetric taps whose
+//! response interpolates the prototype exactly at the sample points.
+
+use crate::spec::DesignError;
+
+/// Designs a linear-phase FIR approximation of an `analog_order`-pole
+/// Butterworth response with -3 dB cutoff `fc` (normalized, `0 < fc < 0.5`),
+/// using `order + 1` taps (`order` even).
+///
+/// Larger `analog_order` sharpens the roll-off; larger `order` reduces the
+/// interpolation error between DFT samples.
+///
+/// # Errors
+///
+/// [`DesignError::BadOrder`] for zero/odd/oversized FIR orders or a zero
+/// analog order; [`DesignError::BadBandEdges`] when `fc` is outside
+/// `(0, 0.5)`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::butterworth_fir;
+/// use mrp_filters::response::amplitude_response;
+///
+/// let taps = butterworth_fir(40, 6, 0.15)?;
+/// // Maximally flat passband, -3 dB at the cutoff, monotone stopband.
+/// assert!(amplitude_response(&taps, 0.01) > 0.99);
+/// let half = amplitude_response(&taps, 0.15);
+/// assert!((half - 1.0 / 2f64.sqrt()).abs() < 0.05);
+/// assert!(amplitude_response(&taps, 0.4).abs() < 0.05);
+/// # Ok::<(), mrp_filters::DesignError>(())
+/// ```
+pub fn butterworth_fir(order: usize, analog_order: u32, fc: f64) -> Result<Vec<f64>, DesignError> {
+    if order == 0 || !order.is_multiple_of(2) || order > 512 || analog_order == 0 {
+        return Err(DesignError::BadOrder(order));
+    }
+    if !(fc > 0.0 && fc < 0.5) {
+        return Err(DesignError::BadBandEdges);
+    }
+    let mag = move |f: f64| 1.0 / (1.0 + (f / fc).powi(2 * analog_order as i32)).sqrt();
+    Ok(frequency_sample(order, mag))
+}
+
+/// Frequency-sampling design of a type I linear-phase FIR from an arbitrary
+/// nonnegative magnitude prototype `mag(f)`, `f ∈ [0, 0.5]`.
+///
+/// Exposed for custom prototypes (raised cosine, Gaussian, ...); the
+/// Butterworth wrapper is the paper-relevant entry point.
+///
+/// # Panics
+///
+/// Panics if `order` is odd (callers validate first).
+pub fn frequency_sample(order: usize, mag: impl Fn(f64) -> f64) -> Vec<f64> {
+    assert!(order.is_multiple_of(2), "type I designs need an even order");
+    let n = order + 1;
+    let l = order / 2;
+    // Desired zero-phase amplitude samples at f_m = m / N.
+    let samples: Vec<f64> = (0..=l)
+        .map(|m| {
+            let f = m as f64 / n as f64;
+            mag(f.min(0.5))
+        })
+        .collect();
+    // Inverse cosine series (same inversion as the Remez back end).
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut c = vec![0.0; l + 1];
+    for (k, ck) in c.iter_mut().enumerate() {
+        let mut acc = samples[0];
+        for (m, &a) in samples.iter().enumerate().skip(1) {
+            acc += 2.0 * a * (two_pi * k as f64 * m as f64 / n as f64).cos();
+        }
+        *ck = if k == 0 {
+            acc / n as f64
+        } else {
+            2.0 * acc / n as f64
+        };
+    }
+    let mut h = vec![0.0; n];
+    h[l] = c[0];
+    for k in 1..=l {
+        h[l - k] = c[k] / 2.0;
+        h[l + k] = c[k] / 2.0;
+    }
+    h
+}
+
+/// Picks a Butterworth analog order whose magnitude meets a low-pass spec:
+/// at least `1 - dp` at `fp` and at most `ds` at `fs`.
+///
+/// Returns `None` if no order up to 40 satisfies the spec.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::analog_order_for;
+/// let n = analog_order_for(0.1, 0.25, 0.05, 0.01);
+/// assert!(n.is_some());
+/// ```
+pub fn analog_order_for(fp: f64, fs: f64, dp: f64, ds: f64) -> Option<u32> {
+    (1..=40).find(|&n| {
+        let fc = fp / ((1.0 / (1.0 - dp).powi(2) - 1.0).powf(1.0 / (2.0 * n as f64)));
+        let hp = 1.0 / (1.0 + (fp / fc).powi(2 * n as i32)).sqrt();
+        let hs = 1.0 / (1.0 + (fs / fc).powi(2 * n as i32)).sqrt();
+        hp >= 1.0 - dp && hs <= ds
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::amplitude_response;
+
+    #[test]
+    fn interpolates_prototype_at_dft_points() {
+        let order = 32;
+        let n = order + 1;
+        let taps = butterworth_fir(order, 4, 0.2).unwrap();
+        for m in 0..=order / 2 {
+            let f = m as f64 / n as f64;
+            let want = 1.0 / (1.0 + (f / 0.2f64).powi(8)).sqrt();
+            let got = amplitude_response(&taps, f);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "sample {m}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_magnitude() {
+        let taps = butterworth_fir(60, 5, 0.18).unwrap();
+        let mut prev = amplitude_response(&taps, 0.0);
+        for i in 1..=60 {
+            let f = 0.45 * i as f64 / 60.0;
+            let a = amplitude_response(&taps, f);
+            // Allow tiny interpolation wiggle.
+            assert!(a <= prev + 0.02, "not monotone near f={f}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn sharper_with_analog_order() {
+        let soft = butterworth_fir(48, 2, 0.2).unwrap();
+        let hard = butterworth_fir(48, 10, 0.2).unwrap();
+        let at = |t: &Vec<f64>, f: f64| amplitude_response(t, f).abs();
+        assert!(at(&hard, 0.35) < at(&soft, 0.35));
+        assert!(at(&hard, 0.1) > at(&soft, 0.1) - 0.01);
+    }
+
+    #[test]
+    fn dc_gain_unity() {
+        let taps = butterworth_fir(24, 6, 0.25).unwrap();
+        let dc: f64 = taps.iter().sum();
+        assert!((dc - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(butterworth_fir(13, 4, 0.2).is_err());
+        assert!(butterworth_fir(0, 4, 0.2).is_err());
+        assert!(butterworth_fir(20, 0, 0.2).is_err());
+        assert!(butterworth_fir(20, 4, 0.0).is_err());
+        assert!(butterworth_fir(20, 4, 0.6).is_err());
+    }
+
+    #[test]
+    fn order_selection_meets_spec() {
+        let n = analog_order_for(0.1, 0.2, 0.05, 0.01).unwrap();
+        assert!(n >= 3);
+        // Impossible spec.
+        assert!(analog_order_for(0.2, 0.201, 1e-6, 1e-9).is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! The twelve example filters of Table 1 of the MRPF paper.
+//!
+//! The scanned paper preserves the *structure* of Table 1 — twelve
+//! symmetric filters, design methods `BW PM LS BW PM LS PM PM LS LS PM LS`,
+//! types `LP LP LP LP BS BS BS LP BS LP BP BP` — but garbles the numeric
+//! `f_p/f_s/R_p/R_s/order` columns. The specifications below reconstruct a
+//! plausible suite with the same structure and with orders spanning small
+//! to large, so that SEED sizes grow across the table like the paper's
+//! `(3,6) … (35,45)` column. See DESIGN.md §5 for the substitution note.
+
+use crate::butterworth::{analog_order_for, butterworth_fir};
+use crate::leastsq::least_squares;
+use crate::remez::remez;
+use crate::spec::{DesignError, DesignMethod, FilterKind, FilterSpec};
+
+/// One row of the Table 1 example suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExampleFilter {
+    /// 1-based example number matching the paper's columns.
+    pub index: usize,
+    /// Design method (BW / PM / LS).
+    pub method: DesignMethod,
+    /// Band edges and ripple targets.
+    pub spec: FilterSpec,
+    /// FIR order (even; the filter has `order + 1` symmetric taps).
+    pub order: usize,
+}
+
+impl ExampleFilter {
+    /// Short label like `"PM BS"` as printed in the paper's table header.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.method, self.spec.kind)
+    }
+
+    /// Designs the filter, returning `order + 1` symmetric taps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the designer's [`DesignError`]; the shipped suite is
+    /// test-verified to design cleanly.
+    pub fn design(&self) -> Result<Vec<f64>, DesignError> {
+        match self.method {
+            DesignMethod::ParksMcClellan => remez(self.order, &self.spec.to_bands()),
+            DesignMethod::LeastSquares => least_squares(self.order, &self.spec.to_bands()),
+            DesignMethod::Butterworth => {
+                let FilterKind::Lowpass { fp, fs } = self.spec.kind else {
+                    // The Table 1 suite only uses BW for low-pass rows.
+                    return Err(DesignError::BadBandEdges);
+                };
+                let dp = 1.0 - 10f64.powf(-self.spec.rp_db / 20.0);
+                let ds = 10f64.powf(-self.spec.rs_db / 20.0);
+                let n = analog_order_for(fp, fs, dp, ds).unwrap_or(8);
+                butterworth_fir(self.order, n, (fp + fs) / 2.0)
+            }
+        }
+    }
+
+    /// Number of *distinct* coefficient positions after symmetric folding
+    /// (`order/2 + 1`), the vector length the MRP optimizer actually sees.
+    pub fn folded_length(&self) -> usize {
+        self.order / 2 + 1
+    }
+}
+
+/// The reconstructed Table 1 suite: twelve filters with the paper's method
+/// and type layout and increasing order.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::example_filters;
+/// let suite = example_filters();
+/// assert_eq!(suite.len(), 12);
+/// assert_eq!(suite[0].label(), "BW LP");
+/// assert_eq!(suite[10].label(), "PM BP");
+/// ```
+pub fn example_filters() -> Vec<ExampleFilter> {
+    let rows: [(DesignMethod, FilterSpec, usize); 12] = [
+        (
+            DesignMethod::Butterworth,
+            FilterSpec::lowpass(0.10, 0.22, 0.5, 40.0),
+            16,
+        ),
+        (
+            DesignMethod::ParksMcClellan,
+            FilterSpec::lowpass(0.10, 0.18, 0.5, 45.0),
+            24,
+        ),
+        (
+            DesignMethod::LeastSquares,
+            FilterSpec::lowpass(0.08, 0.15, 0.5, 50.0),
+            32,
+        ),
+        (
+            DesignMethod::Butterworth,
+            FilterSpec::lowpass(0.15, 0.26, 0.5, 45.0),
+            40,
+        ),
+        (
+            DesignMethod::ParksMcClellan,
+            FilterSpec::bandstop(0.10, 0.17, 0.30, 0.37, 0.5, 45.0),
+            48,
+        ),
+        (
+            DesignMethod::LeastSquares,
+            FilterSpec::bandstop(0.12, 0.18, 0.32, 0.38, 0.5, 50.0),
+            56,
+        ),
+        (
+            DesignMethod::ParksMcClellan,
+            FilterSpec::bandstop(0.08, 0.14, 0.28, 0.34, 0.3, 50.0),
+            64,
+        ),
+        (
+            DesignMethod::ParksMcClellan,
+            FilterSpec::lowpass(0.12, 0.17, 0.3, 55.0),
+            72,
+        ),
+        (
+            DesignMethod::LeastSquares,
+            FilterSpec::bandstop(0.10, 0.16, 0.34, 0.40, 0.3, 55.0),
+            90,
+        ),
+        (
+            DesignMethod::LeastSquares,
+            FilterSpec::lowpass(0.20, 0.245, 0.3, 55.0),
+            110,
+        ),
+        (
+            DesignMethod::ParksMcClellan,
+            FilterSpec::bandpass(0.08, 0.13, 0.27, 0.32, 0.3, 55.0),
+            130,
+        ),
+        (
+            DesignMethod::LeastSquares,
+            FilterSpec::bandpass(0.10, 0.145, 0.305, 0.35, 0.3, 60.0),
+            150,
+        ),
+    ];
+    rows.into_iter()
+        .enumerate()
+        .map(|(i, (method, spec, order))| ExampleFilter {
+            index: i + 1,
+            method,
+            spec,
+            order,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::measure_ripple;
+
+    #[test]
+    fn layout_matches_paper_header() {
+        let suite = example_filters();
+        let methods: Vec<String> = suite.iter().map(|e| e.method.to_string()).collect();
+        assert_eq!(
+            methods,
+            ["BW", "PM", "LS", "BW", "PM", "LS", "PM", "PM", "LS", "LS", "PM", "LS"]
+        );
+        let kinds: Vec<String> = suite.iter().map(|e| e.spec.kind.to_string()).collect();
+        assert_eq!(
+            kinds,
+            ["LP", "LP", "LP", "LP", "BS", "BS", "BS", "LP", "BS", "LP", "BP", "BP"]
+        );
+    }
+
+    #[test]
+    fn orders_increase() {
+        let suite = example_filters();
+        for w in suite.windows(2) {
+            assert!(w[0].order < w[1].order);
+        }
+    }
+
+    #[test]
+    fn all_orders_even() {
+        for e in example_filters() {
+            assert_eq!(e.order % 2, 0, "example {} has odd order", e.index);
+        }
+    }
+
+    #[test]
+    fn every_example_designs() {
+        for e in example_filters() {
+            let taps = e.design().unwrap_or_else(|err| {
+                panic!("example {} ({}) failed to design: {err}", e.index, e.label())
+            });
+            assert_eq!(taps.len(), e.order + 1);
+            // Symmetric.
+            for k in 0..taps.len() / 2 {
+                assert!(
+                    (taps[k] - taps[taps.len() - 1 - k]).abs() < 1e-9,
+                    "example {} not symmetric",
+                    e.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn designs_have_reasonable_selectivity() {
+        for e in example_filters() {
+            let taps = e.design().unwrap();
+            let rep = measure_ripple(&taps, &e.spec.to_bands(), 256);
+            assert!(
+                rep.stopband_atten_db > 20.0,
+                "example {} ({}): only {:.1} dB stopband",
+                e.index,
+                e.label(),
+                rep.stopband_atten_db
+            );
+            assert!(
+                rep.passband_deviation < 0.15,
+                "example {} ({}): passband deviation {:.3}",
+                e.index,
+                e.label(),
+                rep.passband_deviation
+            );
+        }
+    }
+
+    #[test]
+    fn folded_length() {
+        let suite = example_filters();
+        assert_eq!(suite[0].folded_length(), 9);
+        assert_eq!(suite[11].folded_length(), 76);
+    }
+}

@@ -1,0 +1,139 @@
+//! Half-band FIR design.
+//!
+//! A half-band low-pass (cutoff at `f = 0.25`, symmetric transition) has
+//! every even-indexed tap zero except the center — half the multipliers
+//! vanish structurally before any optimization runs, which makes half-band
+//! decimators a showcase workload for multiplierless synthesis: the MRP
+//! optimizer sees only the odd taps.
+
+use crate::kaiser::{kaiser, kaiser_beta};
+use crate::spec::{BandSpec, DesignError};
+
+/// Designs a half-band low-pass of the given order (`order ≡ 2 (mod 4)`
+/// gives the canonical type with zero even taps; we require
+/// `order % 4 == 2`), with transition half-width `delta` around `0.25` and
+/// the requested stopband attenuation (Kaiser-windowed).
+///
+/// The returned taps satisfy `h[center] = 0.5` (within window scaling) and
+/// `h[center ± 2k] = 0` exactly.
+///
+/// # Errors
+///
+/// [`DesignError::BadOrder`] unless `order % 4 == 2` and `order ≤ 510`;
+/// [`DesignError::BadBandEdges`] unless `0 < delta < 0.25`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::halfband;
+///
+/// let taps = halfband(30, 0.05, 60.0)?;
+/// let center = taps.len() / 2;
+/// assert!((taps[center] - 0.5).abs() < 1e-9);
+/// // Even-offset taps are exactly zero.
+/// assert_eq!(taps[center + 2], 0.0);
+/// assert_eq!(taps[center - 4], 0.0);
+/// # Ok::<(), mrp_filters::DesignError>(())
+/// ```
+pub fn halfband(order: usize, delta: f64, atten_db: f64) -> Result<Vec<f64>, DesignError> {
+    if order % 4 != 2 || order > 510 {
+        return Err(DesignError::BadOrder(order));
+    }
+    if !(delta > 0.0 && delta < 0.25) {
+        return Err(DesignError::BadBandEdges);
+    }
+    // Kaiser design of the symmetric-band low-pass...
+    let bands = [
+        BandSpec {
+            low: 0.0,
+            high: 0.25 - delta,
+            desired: 1.0,
+            weight: 1.0,
+        },
+        BandSpec {
+            low: 0.25 + delta,
+            high: 0.5,
+            desired: 0.0,
+            weight: 1.0,
+        },
+    ];
+    let mut taps = kaiser(order, &bands, kaiser_beta(atten_db))?;
+    // ...then impose the exact half-band structure: the windowed-sinc of a
+    // symmetric band is already ~0 at even offsets; snap them to exactly 0
+    // and the center to exactly 0.5 (the snap is within the design's own
+    // ripple for any sane spec).
+    let center = order / 2;
+    for (i, t) in taps.iter_mut().enumerate() {
+        let offset = i.abs_diff(center);
+        if offset == 0 {
+            *t = 0.5;
+        } else if offset % 2 == 0 {
+            *t = 0.0;
+        }
+    }
+    Ok(taps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::amplitude_response;
+
+    #[test]
+    fn structure_holds() {
+        let taps = halfband(46, 0.04, 70.0).unwrap();
+        let center = taps.len() / 2;
+        assert_eq!(taps[center], 0.5);
+        let zeros = taps
+            .iter()
+            .enumerate()
+            .filter(|&(i, &t)| i.abs_diff(center) % 2 == 0 && i != center && t == 0.0)
+            .count();
+        assert_eq!(zeros, taps.len() / 2 - 1);
+    }
+
+    #[test]
+    fn response_is_halfband_symmetric() {
+        // |H(f)| + |H(0.5 - f)| == 1 exactly for a true half-band filter.
+        let taps = halfband(38, 0.05, 60.0).unwrap();
+        for i in 1..20 {
+            let f = 0.23 * i as f64 / 20.0;
+            let sum = amplitude_response(&taps, f) + amplitude_response(&taps, 0.5 - f);
+            assert!((sum - 1.0).abs() < 1e-9, "f={f}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn passband_and_stopband() {
+        let taps = halfband(46, 0.05, 60.0).unwrap();
+        assert!(amplitude_response(&taps, 0.05) > 0.99);
+        assert!(amplitude_response(&taps, 0.45).abs() < 0.01);
+    }
+
+    #[test]
+    fn rejects_wrong_order_class() {
+        assert!(halfband(32, 0.05, 60.0).is_err()); // 32 % 4 == 0
+        assert!(halfband(31, 0.05, 60.0).is_err());
+        assert!(halfband(30, 0.0, 60.0).is_err());
+        assert!(halfband(30, 0.3, 60.0).is_err());
+    }
+
+    #[test]
+    fn optimizing_a_halfband_sees_only_odd_taps() {
+        // Quantize and count nonzero taps: (order/2 + 1) odd taps + center.
+        let taps = halfband(30, 0.06, 50.0).unwrap();
+        let q = mrp_numrep_stub::quantize_like(&taps, 12);
+        let nonzero = q.iter().filter(|&&v| v != 0).count();
+        assert_eq!(nonzero, 16 + 1); // 16 odd taps + center
+    }
+
+    /// Local quantizer mirror (mrp-filters must not depend on the
+    /// quantizer crate just for one test).
+    mod mrp_numrep_stub {
+        pub fn quantize_like(taps: &[f64], w: u32) -> Vec<i64> {
+            let max = taps.iter().fold(0.0f64, |m, t| m.max(t.abs()));
+            let full = ((1i64 << (w - 1)) - 1) as f64;
+            taps.iter().map(|t| (t / max * full).round() as i64).collect()
+        }
+    }
+}

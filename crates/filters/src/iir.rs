@@ -1,0 +1,342 @@
+//! IIR design substrate: classic analog prototypes through the bilinear
+//! transform.
+//!
+//! The MRPF paper notes (§1) that the MRP transformation "can be directly
+//! applied to any applications which can be expressed as a vector scaling
+//! operation like transposed direct form IIR filters". This module supplies
+//! the IIR designs — Butterworth and Chebyshev type I low-pass — whose
+//! numerator and denominator coefficient vectors the optimizer can then
+//! share, and the response analysis to verify them.
+
+use std::f64::consts::PI;
+
+use crate::spec::DesignError;
+
+/// Transfer-function coefficients `b / a` with `a[0] = 1`.
+///
+/// `H(z) = (b0 + b1 z^-1 + …) / (1 + a1 z^-1 + …)`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::iir::{butterworth_iir, IirFilter};
+/// let f = butterworth_iir(4, 0.2)?;
+/// assert_eq!(f.b.len(), 5);
+/// assert_eq!(f.a.len(), 5);
+/// assert!((f.a[0] - 1.0).abs() < 1e-12);
+/// # Ok::<(), mrp_filters::DesignError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IirFilter {
+    /// Numerator (feed-forward) coefficients.
+    pub b: Vec<f64>,
+    /// Denominator (feedback) coefficients, `a[0] = 1`.
+    pub a: Vec<f64>,
+}
+
+impl IirFilter {
+    /// Complex frequency response at normalized frequency `f`, as
+    /// `(re, im)`.
+    pub fn frequency_response(&self, f: f64) -> (f64, f64) {
+        let eval = |c: &[f64]| {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (n, &v) in c.iter().enumerate() {
+                let phase = -2.0 * PI * f * n as f64;
+                re += v * phase.cos();
+                im += v * phase.sin();
+            }
+            (re, im)
+        };
+        let (nr, ni) = eval(&self.b);
+        let (dr, di) = eval(&self.a);
+        let den = dr * dr + di * di;
+        ((nr * dr + ni * di) / den, (ni * dr - nr * di) / den)
+    }
+
+    /// Magnitude response `|H(e^{j2πf})|`.
+    pub fn magnitude(&self, f: f64) -> f64 {
+        let (re, im) = self.frequency_response(f);
+        re.hypot(im)
+    }
+
+    /// Filters a float signal in direct form II transposed.
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let n = self.a.len().max(self.b.len());
+        let mut state = vec![0.0f64; n];
+        let mut out = Vec::with_capacity(input.len());
+        for &x in input {
+            let y = self.b[0] * x + state[1];
+            for k in 1..n {
+                let b = self.b.get(k).copied().unwrap_or(0.0);
+                let a = self.a.get(k).copied().unwrap_or(0.0);
+                let next = state.get(k + 1).copied().unwrap_or(0.0);
+                state[k] = b * x - a * y + next;
+            }
+            out.push(y);
+        }
+        out
+    }
+
+    /// Returns `true` when every denominator root lies strictly inside the
+    /// unit circle (checked via the Jury-like reflection-coefficient test).
+    pub fn is_stable(&self) -> bool {
+        // Schur-Cohn recursion on the denominator.
+        let mut a: Vec<f64> = self.a.clone();
+        while a.len() > 1 {
+            let k = *a.last().expect("non-empty") / a[0];
+            if k.abs() >= 1.0 {
+                return false;
+            }
+            let n = a.len();
+            let mut next = Vec::with_capacity(n - 1);
+            for i in 0..n - 1 {
+                next.push((a[i] - k * a[n - 1 - i]) / (1.0 - k * k));
+            }
+            a = next;
+        }
+        true
+    }
+}
+
+/// Polynomial multiply (convolution) of real coefficient vectors.
+fn poly_mul(p: &[f64], q: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; p.len() + q.len() - 1];
+    for (i, &pi) in p.iter().enumerate() {
+        for (j, &qj) in q.iter().enumerate() {
+            out[i + j] += pi * qj;
+        }
+    }
+    out
+}
+
+/// One second-order (or first-order) digital section from an analog pole
+/// pair via the bilinear transform with pre-warping constant `c`.
+///
+/// Analog section: `1 / (s² − 2·re·s + |p|²)` for a conjugate pair
+/// `re ± j·im`, or `1 / (s − re)` for a real pole.
+fn bilinear_pole_section(re: f64, im: f64, c: f64) -> (Vec<f64>, Vec<f64>, f64) {
+    if im.abs() < 1e-12 {
+        // First order: 1/(s - re), s = c (1 - z)/(1 + z) [z = z^-1].
+        let a0 = c - re;
+        let a1 = -(c + re);
+        // numerator (1 + z^-1), gain 1/a0 folded out.
+        (vec![1.0, 1.0], vec![1.0, a1 / a0], 1.0 / a0)
+    } else {
+        // Second order: 1/((s - p)(s - p*)) = 1/(s^2 - 2 re s + m), m=|p|^2.
+        let m = re * re + im * im;
+        let a0 = c * c - 2.0 * re * c + m;
+        let a1 = 2.0 * (m - c * c);
+        let a2 = c * c + 2.0 * re * c + m;
+        (
+            vec![1.0, 2.0, 1.0],
+            vec![1.0, a1 / a0, a2 / a0],
+            1.0 / a0,
+        )
+    }
+}
+
+fn assemble_lowpass(
+    poles: &[(f64, f64)],
+    c: f64,
+) -> IirFilter {
+    let mut b = vec![1.0];
+    let mut a = vec![1.0];
+    for &(re, im) in poles {
+        let (bs, as_, _gain) = bilinear_pole_section(re, im, c);
+        b = poly_mul(&b, &bs);
+        a = poly_mul(&a, &as_);
+    }
+    // Normalize DC gain to 1.
+    let num_dc: f64 = b.iter().sum();
+    let den_dc: f64 = a.iter().sum();
+    let g = den_dc / num_dc;
+    for v in &mut b {
+        *v *= g;
+    }
+    IirFilter { b, a }
+}
+
+/// Butterworth low-pass IIR of the given `order` and -3 dB cutoff `fc`
+/// (normalized, `0 < fc < 0.5`), via the bilinear transform.
+///
+/// # Errors
+///
+/// [`DesignError::BadOrder`] for order 0 or above 24;
+/// [`DesignError::BadBandEdges`] for a cutoff outside `(0, 0.5)`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::iir::butterworth_iir;
+/// let f = butterworth_iir(6, 0.15)?;
+/// assert!((f.magnitude(0.0) - 1.0).abs() < 1e-9);
+/// assert!((f.magnitude(0.15) - 1.0 / 2f64.sqrt()).abs() < 1e-6);
+/// assert!(f.magnitude(0.4) < 1e-3);
+/// assert!(f.is_stable());
+/// # Ok::<(), mrp_filters::DesignError>(())
+/// ```
+pub fn butterworth_iir(order: u32, fc: f64) -> Result<IirFilter, DesignError> {
+    if order == 0 || order > 24 {
+        return Err(DesignError::BadOrder(order as usize));
+    }
+    if !(fc > 0.0 && fc < 0.5) {
+        return Err(DesignError::BadBandEdges);
+    }
+    // Pre-warped analog cutoff; unit-cutoff poles scaled by wc.
+    let c = 1.0 / (PI * fc).tan();
+    let n = order as i32;
+    let mut poles = Vec::new();
+    for k in 0..(n / 2) {
+        let theta = PI * (2.0 * k as f64 + 1.0) / (2.0 * n as f64) + PI / 2.0;
+        poles.push((theta.cos(), theta.sin().abs()));
+    }
+    if n % 2 == 1 {
+        poles.push((-1.0, 0.0));
+    }
+    Ok(assemble_lowpass(&poles, c))
+}
+
+/// Chebyshev type I low-pass IIR: equiripple passband of `ripple_db` dB,
+/// passband edge `fp`.
+///
+/// # Errors
+///
+/// [`DesignError::BadOrder`] / [`DesignError::BadBandEdges`] as for
+/// [`butterworth_iir`]; ripple must be positive and below 6 dB.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::iir::chebyshev1_iir;
+/// let f = chebyshev1_iir(5, 0.15, 1.0)?;
+/// assert!(f.is_stable());
+/// // Equiripple passband: stays within the 1 dB band.
+/// let floor = 10f64.powf(-1.0 / 20.0);
+/// for i in 0..=20 {
+///     let m = f.magnitude(0.15 * i as f64 / 20.0);
+///     assert!(m > floor - 1e-6 && m < 1.0 + 1e-6, "{m}");
+/// }
+/// # Ok::<(), mrp_filters::DesignError>(())
+/// ```
+pub fn chebyshev1_iir(order: u32, fp: f64, ripple_db: f64) -> Result<IirFilter, DesignError> {
+    if order == 0 || order > 24 {
+        return Err(DesignError::BadOrder(order as usize));
+    }
+    if !(fp > 0.0 && fp < 0.5 && ripple_db > 0.0 && ripple_db < 6.0) {
+        return Err(DesignError::BadBandEdges);
+    }
+    let c = 1.0 / (PI * fp).tan();
+    let n = order as i32;
+    let eps = (10f64.powf(ripple_db / 10.0) - 1.0).sqrt();
+    let mu = (1.0 / eps).asinh() / n as f64;
+    let mut poles = Vec::new();
+    for k in 0..(n / 2) {
+        let theta = PI * (2.0 * k as f64 + 1.0) / (2.0 * n as f64) + PI / 2.0;
+        poles.push((mu.sinh() * theta.cos(), (mu.cosh() * theta.sin()).abs()));
+    }
+    if n % 2 == 1 {
+        poles.push((-mu.sinh(), 0.0));
+    }
+    let mut f = assemble_lowpass(&poles, c);
+    // Even-order Chebyshev I has DC gain 1/sqrt(1+eps^2); undo the unit-DC
+    // normalization accordingly.
+    if n % 2 == 0 {
+        let g = 1.0 / (1.0 + eps * eps).sqrt();
+        for v in &mut f.b {
+            *v *= g;
+        }
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterworth_monotone() {
+        let f = butterworth_iir(5, 0.2).unwrap();
+        let mut prev = f.magnitude(0.0);
+        for i in 1..=50 {
+            let m = f.magnitude(0.5 * i as f64 / 50.0);
+            assert!(m <= prev + 1e-9, "not monotone");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn butterworth_cutoff_is_3db() {
+        for order in [2u32, 3, 6, 9] {
+            let f = butterworth_iir(order, 0.18).unwrap();
+            let m = f.magnitude(0.18);
+            assert!(
+                (m - 1.0 / 2f64.sqrt()).abs() < 1e-6,
+                "order {order}: |H(fc)| = {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_order_is_sharper() {
+        let lo = butterworth_iir(2, 0.2).unwrap();
+        let hi = butterworth_iir(8, 0.2).unwrap();
+        assert!(hi.magnitude(0.35) < lo.magnitude(0.35));
+    }
+
+    #[test]
+    fn all_designs_stable() {
+        for order in 1..=12 {
+            assert!(butterworth_iir(order, 0.1).unwrap().is_stable());
+            assert!(butterworth_iir(order, 0.4).unwrap().is_stable());
+            assert!(chebyshev1_iir(order, 0.2, 0.5).unwrap().is_stable());
+        }
+    }
+
+    #[test]
+    fn instability_detected() {
+        let f = IirFilter {
+            b: vec![1.0],
+            a: vec![1.0, -2.5, 1.5], // root outside unit circle
+        };
+        assert!(!f.is_stable());
+    }
+
+    #[test]
+    fn chebyshev_ripple_bounded() {
+        let f = chebyshev1_iir(6, 0.2, 1.0).unwrap();
+        let floor = 10f64.powf(-1.0 / 20.0);
+        let mut min = f64::INFINITY;
+        for i in 0..=100 {
+            let m = f.magnitude(0.2 * i as f64 / 100.0);
+            assert!(m <= 1.0 + 1e-9);
+            min = min.min(m);
+        }
+        // Equiripple: the passband minimum touches the ripple floor.
+        assert!((min - floor).abs() < 1e-3, "min {min} vs floor {floor}");
+    }
+
+    #[test]
+    fn chebyshev_sharper_than_butterworth() {
+        let bw = butterworth_iir(5, 0.2).unwrap();
+        let ch = chebyshev1_iir(5, 0.2, 1.0).unwrap();
+        assert!(ch.magnitude(0.3) < bw.magnitude(0.3));
+    }
+
+    #[test]
+    fn time_domain_filter_matches_impulse_dc() {
+        let f = butterworth_iir(3, 0.25).unwrap();
+        // Long step input settles to DC gain = 1.
+        let y = f.filter(&vec![1.0; 400]);
+        assert!((y.last().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(butterworth_iir(0, 0.2).is_err());
+        assert!(butterworth_iir(30, 0.2).is_err());
+        assert!(butterworth_iir(4, 0.0).is_err());
+        assert!(chebyshev1_iir(4, 0.2, 0.0).is_err());
+        assert!(chebyshev1_iir(4, 0.2, 9.0).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Kaiser-window FIR design (extension beyond the paper's three methods).
+
+use crate::spec::{BandSpec, DesignError};
+use crate::window::{window, WindowKind};
+
+/// Kaiser shape parameter for a stopband attenuation of `atten_db`
+/// (standard empirical formula).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::kaiser_beta;
+/// assert!(kaiser_beta(20.0) == 0.0);
+/// assert!(kaiser_beta(60.0) > 5.0);
+/// ```
+pub fn kaiser_beta(atten_db: f64) -> f64 {
+    if atten_db > 50.0 {
+        0.1102 * (atten_db - 8.7)
+    } else if atten_db >= 21.0 {
+        0.5842 * (atten_db - 21.0).powf(0.4) + 0.07886 * (atten_db - 21.0)
+    } else {
+        0.0
+    }
+}
+
+/// Estimated even filter order for attenuation `atten_db` and normalized
+/// transition width `delta_f` (Kaiser's formula, rounded up to even).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::kaiser_order;
+/// let n = kaiser_order(60.0, 0.05);
+/// assert!(n >= 40 && n % 2 == 0);
+/// ```
+pub fn kaiser_order(atten_db: f64, delta_f: f64) -> usize {
+    let n = ((atten_db - 7.95) / (14.36 * delta_f)).ceil() as usize;
+    n + n % 2
+}
+
+/// Windowed-sinc design: the ideal multiband amplitude is realized by a
+/// sum of ideal band-pass impulse responses, then tapered by a Kaiser
+/// window with the given `beta`.
+///
+/// Bands with `desired = 0` contribute nothing; transition regions follow
+/// the window's natural roll-off.
+///
+/// # Errors
+///
+/// [`DesignError::BadOrder`] for zero/odd/oversized orders,
+/// [`DesignError::NoBands`]/[`DesignError::BadBandEdges`] for invalid bands.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::{kaiser, kaiser_beta, FilterSpec};
+/// use mrp_filters::response::amplitude_response;
+///
+/// let bands = FilterSpec::lowpass(0.10, 0.20, 0.5, 60.0).to_bands();
+/// let taps = kaiser(48, &bands, kaiser_beta(60.0))?;
+/// assert!(amplitude_response(&taps, 0.03) > 0.95);
+/// assert!(amplitude_response(&taps, 0.30).abs() < 0.01);
+/// # Ok::<(), mrp_filters::DesignError>(())
+/// ```
+pub fn kaiser(order: usize, bands: &[BandSpec], beta: f64) -> Result<Vec<f64>, DesignError> {
+    if order == 0 || !order.is_multiple_of(2) || order > 512 {
+        return Err(DesignError::BadOrder(order));
+    }
+    BandSpec::validate(bands)?;
+    let n = order + 1;
+    let mid = order as f64 / 2.0;
+    let w = window(WindowKind::Kaiser(beta), n);
+    let sinc = |x: f64| {
+        if x.abs() < 1e-12 {
+            1.0
+        } else {
+            (std::f64::consts::PI * x).sin() / (std::f64::consts::PI * x)
+        }
+    };
+    // Ideal impulse response: sum over pass regions. For each band with
+    // desired amplitude d over [f1, f2], h_ideal[n] += d * (2 f2 sinc(2 f2 t)
+    // - 2 f1 sinc(2 f1 t)), where t = n - mid. Band centers are extended to
+    // the middle of adjacent transitions so the -6 dB point lands there.
+    let mut edges: Vec<(f64, f64, f64)> = Vec::new(); // (f1, f2, desired)
+    for (i, b) in bands.iter().enumerate() {
+        if b.desired == 0.0 {
+            continue;
+        }
+        let lo = if i == 0 {
+            b.low
+        } else {
+            (bands[i - 1].high + b.low) / 2.0
+        };
+        let hi = if i + 1 == bands.len() {
+            b.high
+        } else {
+            (b.high + bands[i + 1].low) / 2.0
+        };
+        edges.push((lo, hi, b.desired));
+    }
+    let taps: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 - mid;
+            let mut h = 0.0;
+            for &(f1, f2, d) in &edges {
+                h += d * (2.0 * f2 * sinc(2.0 * f2 * t) - 2.0 * f1 * sinc(2.0 * f1 * t));
+            }
+            h * w[i]
+        })
+        .collect();
+    Ok(taps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::{amplitude_response, measure_ripple};
+    use crate::spec::FilterSpec;
+
+    #[test]
+    fn lowpass_attenuation_scales_with_beta() {
+        let bands = FilterSpec::lowpass(0.10, 0.20, 0.5, 60.0).to_bands();
+        let soft = kaiser(48, &bands, 2.0).unwrap();
+        let hard = kaiser(48, &bands, 8.0).unwrap();
+        let rs = |t: &Vec<f64>| measure_ripple(t, &bands, 512).stopband_atten_db;
+        assert!(rs(&hard) > rs(&soft));
+    }
+
+    #[test]
+    fn symmetric_taps() {
+        let bands = FilterSpec::lowpass(0.1, 0.2, 0.5, 60.0).to_bands();
+        let taps = kaiser(30, &bands, 5.0).unwrap();
+        for k in 0..taps.len() / 2 {
+            assert!((taps[k] - taps[taps.len() - 1 - k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bandpass_design() {
+        let bands = FilterSpec::bandpass(0.08, 0.16, 0.26, 0.34, 0.5, 50.0).to_bands();
+        let taps = kaiser(64, &bands, kaiser_beta(50.0)).unwrap();
+        assert!(amplitude_response(&taps, 0.21) > 0.9);
+        assert!(amplitude_response(&taps, 0.02).abs() < 0.05);
+        assert!(amplitude_response(&taps, 0.45).abs() < 0.05);
+    }
+
+    #[test]
+    fn order_formula_monotone() {
+        assert!(kaiser_order(80.0, 0.05) > kaiser_order(40.0, 0.05));
+        assert!(kaiser_order(60.0, 0.02) > kaiser_order(60.0, 0.1));
+    }
+
+    #[test]
+    fn beta_formula_regions() {
+        assert_eq!(kaiser_beta(10.0), 0.0);
+        assert!(kaiser_beta(30.0) > 0.0);
+        assert!(kaiser_beta(70.0) > kaiser_beta(30.0));
+    }
+
+    #[test]
+    fn rejects_odd_order() {
+        let bands = FilterSpec::lowpass(0.1, 0.2, 0.5, 60.0).to_bands();
+        assert!(matches!(
+            kaiser(11, &bands, 5.0),
+            Err(DesignError::BadOrder(11))
+        ));
+    }
+}

@@ -1,0 +1,170 @@
+//! Weighted least-squares linear-phase FIR design.
+//!
+//! Minimizes `∫ W(f) (A(f) − D(f))² df` over the design bands for a type I
+//! amplitude `A(f) = Σ_{k=0}^{L} a_k cos(2πkf)`. The normal equations
+//! `Q a = b` are assembled by trapezoidal integration on a dense per-band
+//! grid and solved with [`crate::solve_dense`].
+
+use crate::linalg::solve_dense;
+use crate::spec::{BandSpec, DesignError};
+
+/// Designs a least-squares type I FIR filter of even `order`
+/// (`order + 1` symmetric taps) over the weighted `bands`. Transition
+/// regions (between bands) are "don't care".
+///
+/// # Errors
+///
+/// * [`DesignError::BadOrder`] — zero, odd, or > 512.
+/// * [`DesignError::NoBands`] / [`DesignError::BadBandEdges`] — bad bands.
+/// * [`DesignError::SingularSystem`] — bands too narrow to determine all
+///   coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::{least_squares, FilterSpec};
+/// use mrp_filters::response::amplitude_response;
+///
+/// let bands = FilterSpec::lowpass(0.10, 0.20, 0.5, 50.0).to_bands();
+/// let taps = least_squares(32, &bands)?;
+/// assert!(amplitude_response(&taps, 0.05) > 0.95);
+/// assert!(amplitude_response(&taps, 0.35).abs() < 0.05);
+/// # Ok::<(), mrp_filters::DesignError>(())
+/// ```
+pub fn least_squares(order: usize, bands: &[BandSpec]) -> Result<Vec<f64>, DesignError> {
+    if order == 0 || !order.is_multiple_of(2) || order > 512 {
+        return Err(DesignError::BadOrder(order));
+    }
+    BandSpec::validate(bands)?;
+    let l = order / 2;
+    let n = l + 1;
+    // Integration grid: enough points to resolve the highest basis
+    // frequency cos(2πLf).
+    let points_per_band = (8 * n).max(64);
+    let mut q = vec![0.0f64; n * n];
+    let mut b = vec![0.0f64; n];
+    let two_pi = 2.0 * std::f64::consts::PI;
+    for band in bands {
+        let h = (band.high - band.low) / (points_per_band - 1) as f64;
+        for i in 0..points_per_band {
+            let f = band.low + h * i as f64;
+            // Trapezoid endpoint halving.
+            let trap = if i == 0 || i + 1 == points_per_band {
+                0.5
+            } else {
+                1.0
+            };
+            let wdf = band.weight * trap * h;
+            let basis: Vec<f64> = (0..n).map(|k| (two_pi * k as f64 * f).cos()).collect();
+            for r in 0..n {
+                b[r] += wdf * band.desired * basis[r];
+                for c in r..n {
+                    q[r * n + c] += wdf * basis[r] * basis[c];
+                }
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for r in 0..n {
+        for c in 0..r {
+            q[r * n + c] = q[c * n + r];
+        }
+    }
+    let a = solve_dense(q, b)?;
+    // a_k are the cosine-series coefficients; expand to symmetric taps.
+    let mut h = vec![0.0; order + 1];
+    h[l] = a[0];
+    for k in 1..=l {
+        h[l - k] = a[k] / 2.0;
+        h[l + k] = a[k] / 2.0;
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::{amplitude_response, measure_ripple};
+    use crate::spec::FilterSpec;
+
+    #[test]
+    fn lowpass_basic_shape() {
+        let bands = FilterSpec::lowpass(0.10, 0.20, 0.5, 50.0).to_bands();
+        let taps = least_squares(40, &bands).unwrap();
+        assert!(amplitude_response(&taps, 0.02) > 0.95);
+        assert!(amplitude_response(&taps, 0.35).abs() < 0.02);
+    }
+
+    #[test]
+    fn symmetric_taps() {
+        let bands = FilterSpec::lowpass(0.1, 0.2, 0.5, 40.0).to_bands();
+        let taps = least_squares(26, &bands).unwrap();
+        for k in 0..taps.len() / 2 {
+            assert_eq!(taps[k], taps[taps.len() - 1 - k]);
+        }
+    }
+
+    #[test]
+    fn ls_beats_pm_in_energy_pm_beats_ls_in_peak() {
+        // The defining trade-off between the two designs.
+        let bands = FilterSpec::lowpass(0.10, 0.18, 0.5, 40.0).to_bands();
+        let ls = least_squares(36, &bands).unwrap();
+        let pm = crate::remez(36, &bands).unwrap();
+        let grid = 1024;
+        let stop = &bands[1];
+        let energy = |taps: &[f64]| -> f64 {
+            (0..grid)
+                .map(|i| {
+                    let f = stop.low + (stop.high - stop.low) * i as f64 / (grid - 1) as f64;
+                    amplitude_response(taps, f).powi(2)
+                })
+                .sum()
+        };
+        let peak = |taps: &[f64]| measure_ripple(taps, &bands, grid).stopband_deviation;
+        assert!(
+            energy(&ls) <= energy(&pm),
+            "LS stopband energy should not exceed PM"
+        );
+        assert!(
+            peak(&pm) <= peak(&ls) * 1.05,
+            "PM peak error should not exceed LS"
+        );
+    }
+
+    #[test]
+    fn bandpass_works() {
+        let bands = FilterSpec::bandpass(0.08, 0.15, 0.25, 0.32, 0.5, 40.0).to_bands();
+        let taps = least_squares(48, &bands).unwrap();
+        assert!(amplitude_response(&taps, 0.20) > 0.9);
+        assert!(amplitude_response(&taps, 0.02).abs() < 0.1);
+    }
+
+    #[test]
+    fn rejects_bad_order() {
+        let bands = FilterSpec::lowpass(0.1, 0.2, 0.5, 40.0).to_bands();
+        assert!(matches!(
+            least_squares(7, &bands),
+            Err(DesignError::BadOrder(7))
+        ));
+        assert!(matches!(
+            least_squares(0, &bands),
+            Err(DesignError::BadOrder(0))
+        ));
+    }
+
+    #[test]
+    fn higher_order_reduces_stopband_energy() {
+        let bands = FilterSpec::lowpass(0.10, 0.16, 0.5, 60.0).to_bands();
+        let lo = least_squares(20, &bands).unwrap();
+        let hi = least_squares(60, &bands).unwrap();
+        let e = |taps: &[f64]| {
+            (0..512)
+                .map(|i| {
+                    let f = 0.16 + (0.5 - 0.16) * i as f64 / 511.0;
+                    amplitude_response(taps, f).powi(2)
+                })
+                .sum::<f64>()
+        };
+        assert!(e(&hi) < e(&lo) / 10.0);
+    }
+}

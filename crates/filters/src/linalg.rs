@@ -1,0 +1,136 @@
+//! Minimal dense linear algebra: Gaussian elimination with partial
+//! pivoting, sized for the small normal-equation systems of least-squares
+//! filter design (tens of unknowns).
+
+use crate::spec::DesignError;
+
+/// Solves `A x = b` for a dense row-major `n × n` matrix `a`.
+///
+/// # Errors
+///
+/// Returns [`DesignError::SingularSystem`] when a pivot smaller than
+/// `1e-12 · max|A|` is encountered.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len() * b.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::solve_dense;
+/// // 2x + y = 5, x - y = 1  =>  x = 2, y = 1
+/// let x = solve_dense(vec![2.0, 1.0, 1.0, -1.0], vec![5.0, 1.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), mrp_filters::DesignError>(())
+/// ```
+pub fn solve_dense(mut a: Vec<f64>, mut b: Vec<f64>) -> Result<Vec<f64>, DesignError> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+    let scale = a.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1.0);
+    let tol = 1e-12 * scale;
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1 * n + col]
+                    .abs()
+                    .partial_cmp(&a[r2 * n + col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty column range");
+        if a[pivot_row * n + col].abs() < tol {
+            return Err(DesignError::SingularSystem);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        let x = solve_dense(vec![1.0, 0.0, 0.0, 1.0], vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let x = solve_dense(vec![0.0, 1.0, 1.0, 0.0], vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let r = solve_dense(vec![1.0, 2.0, 2.0, 4.0], vec![1.0, 2.0]);
+        assert_eq!(r, Err(DesignError::SingularSystem));
+    }
+
+    #[test]
+    fn random_spd_round_trip() {
+        // Build A = M^T M + I (SPD), pick x, check A\(Ax) == x.
+        let n = 8;
+        let mut seed = 12345u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let m: Vec<f64> = (0..n * n).map(|_| rnd()).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    s += m[k * n + i] * m[k * n + j];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            b[i] = (0..n).map(|j| a[i * n + j] * x_true[j]).sum();
+        }
+        let x = solve_dense(a, b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn one_by_one() {
+        let x = solve_dense(vec![4.0], vec![8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+}

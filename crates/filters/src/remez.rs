@@ -1,0 +1,408 @@
+//! Parks-McClellan equiripple FIR design via the Remez exchange algorithm.
+//!
+//! Implements type I (even-order, symmetric) linear-phase designs, which is
+//! what the symmetric example filters of the MRPF paper use. Each exchange
+//! iteration solves the alternation system
+//!
+//! ```text
+//! Σ_{k=0}^{L} a_k cos(2πk f_m) + (−1)^m δ / W(f_m) = D(f_m),   m = 0..L+1
+//! ```
+//!
+//! directly for the cosine coefficients and the ripple `δ` (a
+//! Chebyshev-Vandermonde system — well conditioned because extremal points
+//! are Chebyshev-distributed in `x = cos 2πf`), then moves the extremal
+//! frequencies to the local maxima of the weighted error until the ripple
+//! equalizes.
+
+use crate::linalg::solve_dense;
+use crate::spec::{BandSpec, DesignError};
+
+/// Tuning knobs for [`remez_with_options`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemezOptions {
+    /// Grid points allocated per extremal frequency (default 16).
+    pub grid_density: usize,
+    /// Maximum exchange iterations before giving up (default 64).
+    pub max_iterations: usize,
+    /// Relative ripple-flatness tolerance for convergence (default 1e-3).
+    pub tolerance: f64,
+}
+
+impl Default for RemezOptions {
+    fn default() -> Self {
+        RemezOptions {
+            grid_density: 16,
+            max_iterations: 64,
+            tolerance: 1e-3,
+        }
+    }
+}
+
+/// Designs an equiripple type I FIR filter of the given even `order`
+/// (producing `order + 1` symmetric taps) over the weighted `bands`.
+///
+/// # Errors
+///
+/// * [`DesignError::BadOrder`] — `order` is zero, odd, or above 512.
+/// * [`DesignError::BadBandEdges`] / [`DesignError::NoBands`] — invalid
+///   band list.
+/// * [`DesignError::NoConvergence`] — the exchange failed to stabilize.
+/// * [`DesignError::SingularSystem`] — degenerate extremal system (bands
+///   far too narrow for the order).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::{remez, FilterSpec};
+/// use mrp_filters::response::amplitude_response;
+///
+/// let bands = FilterSpec::lowpass(0.08, 0.16, 0.5, 50.0).to_bands();
+/// let taps = remez(40, &bands)?;
+/// assert!(amplitude_response(&taps, 0.02) > 0.9);
+/// assert!(amplitude_response(&taps, 0.3).abs() < 0.05);
+/// # Ok::<(), mrp_filters::DesignError>(())
+/// ```
+pub fn remez(order: usize, bands: &[BandSpec]) -> Result<Vec<f64>, DesignError> {
+    remez_with_options(order, bands, RemezOptions::default())
+}
+
+/// [`remez`] with explicit [`RemezOptions`].
+///
+/// # Errors
+///
+/// Same as [`remez`].
+pub fn remez_with_options(
+    order: usize,
+    bands: &[BandSpec],
+    opts: RemezOptions,
+) -> Result<Vec<f64>, DesignError> {
+    if order == 0 || !order.is_multiple_of(2) || order > 512 {
+        return Err(DesignError::BadOrder(order));
+    }
+    BandSpec::validate(bands)?;
+    let l = order / 2; // highest cosine index
+    let r = l + 2; // number of extremal frequencies
+
+    let grid = build_grid(bands, r, opts.grid_density);
+    if grid.freqs.len() < r {
+        return Err(DesignError::BadBandEdges);
+    }
+
+    // Initial extrema: spread uniformly over the grid.
+    let mut ext: Vec<usize> = (0..r)
+        .map(|k| k * (grid.freqs.len() - 1) / (r - 1))
+        .collect();
+
+    let mut best: Option<(f64, Vec<f64>)> = None; // (flatness, coeffs)
+    let mut last_delta = 0.0;
+    for _ in 0..opts.max_iterations {
+        let (delta, coeffs) = solve_alternation(&grid, &ext)?;
+        last_delta = delta;
+        // Weighted error over the whole grid.
+        let err: Vec<f64> = (0..grid.freqs.len())
+            .map(|i| grid.weight[i] * (eval_cos(&coeffs, grid.freqs[i]) - grid.desired[i]))
+            .collect();
+        let max_err = err.iter().fold(0.0f64, |m, e| m.max(e.abs()));
+        // Flatness: how far the worst grid error exceeds the ripple level.
+        let flatness = (max_err - delta.abs()) / delta.abs().max(1e-15);
+        if best.as_ref().is_none_or(|(bf, _)| flatness < *bf) {
+            best = Some((flatness, coeffs.clone()));
+        }
+        if flatness <= opts.tolerance {
+            break;
+        }
+        let new_ext = exchange(&grid, &err, &ext, r);
+        if new_ext == ext {
+            break;
+        }
+        ext = new_ext;
+    }
+    match best {
+        // Accept anything within 10x of tolerance from the best iterate —
+        // dense-grid quantization keeps the last sliver of ripple from
+        // flattening on some specs, with no practical effect on the design.
+        Some((flatness, coeffs)) if flatness <= 10.0 * opts.tolerance => {
+            Ok(taps_from_cosine(&coeffs))
+        }
+        _ => Err(DesignError::NoConvergence {
+            iterations: opts.max_iterations,
+            delta: last_delta,
+        }),
+    }
+}
+
+/// Evaluates `Σ a_k cos(2πkf)`.
+fn eval_cos(coeffs: &[f64], f: f64) -> f64 {
+    let w = 2.0 * std::f64::consts::PI * f;
+    coeffs
+        .iter()
+        .enumerate()
+        .map(|(k, &a)| a * (w * k as f64).cos())
+        .sum()
+}
+
+/// Expands cosine-series coefficients into `2L + 1` symmetric taps.
+fn taps_from_cosine(coeffs: &[f64]) -> Vec<f64> {
+    let l = coeffs.len() - 1;
+    let mut h = vec![0.0; 2 * l + 1];
+    h[l] = coeffs[0];
+    for k in 1..=l {
+        h[l - k] = coeffs[k] / 2.0;
+        h[l + k] = coeffs[k] / 2.0;
+    }
+    h
+}
+
+/// Dense design grid.
+struct Grid {
+    freqs: Vec<f64>,
+    desired: Vec<f64>,
+    weight: Vec<f64>,
+    /// Half-open index ranges, one per band, for per-band extremum search.
+    band_ranges: Vec<(usize, usize)>,
+}
+
+fn build_grid(bands: &[BandSpec], r: usize, density: usize) -> Grid {
+    let total_width: f64 = bands.iter().map(|b| b.high - b.low).sum();
+    let total_points = (r * density).max(2 * r);
+    let mut freqs = Vec::new();
+    let mut desired = Vec::new();
+    let mut weight = Vec::new();
+    let mut band_ranges = Vec::new();
+    for b in bands {
+        let share = ((b.high - b.low) / total_width * total_points as f64).ceil() as usize;
+        let points = share.max(density.min(8)).max(2);
+        let start = freqs.len();
+        for i in 0..points {
+            let f = b.low + (b.high - b.low) * i as f64 / (points - 1) as f64;
+            freqs.push(f);
+            desired.push(b.desired);
+            weight.push(b.weight);
+        }
+        band_ranges.push((start, freqs.len()));
+    }
+    Grid {
+        freqs,
+        desired,
+        weight,
+        band_ranges,
+    }
+}
+
+/// Solves the alternation system on the current extremal set, returning the
+/// ripple `delta` and the cosine coefficients `a_0..a_L`.
+fn solve_alternation(grid: &Grid, ext: &[usize]) -> Result<(f64, Vec<f64>), DesignError> {
+    let r = ext.len();
+    let l = r - 2;
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut a = vec![0.0f64; r * r];
+    let mut b = vec![0.0f64; r];
+    for (m, &gi) in ext.iter().enumerate() {
+        let f = grid.freqs[gi];
+        for k in 0..=l {
+            a[m * r + k] = (two_pi * k as f64 * f).cos();
+        }
+        let s = if m % 2 == 0 { 1.0 } else { -1.0 };
+        a[m * r + l + 1] = s / grid.weight[gi];
+        b[m] = grid.desired[gi];
+    }
+    let x = solve_dense(a, b)?;
+    let delta = x[r - 1];
+    Ok((delta, x[..=l].to_vec()))
+}
+
+/// Finds the next extremal set: local maxima of `|err|` per band, merged
+/// with the previous extrema (whose solved errors alternate exactly), then
+/// the maximum-weight sign-alternating subsequence of length exactly `r`
+/// selected by dynamic programming.
+fn exchange(grid: &Grid, err: &[f64], old_ext: &[usize], r: usize) -> Vec<usize> {
+    let mut candidates: Vec<usize> = Vec::new();
+    for &(start, end) in &grid.band_ranges {
+        for i in start..end {
+            let left_ok = i == start || err[i].abs() >= err[i - 1].abs();
+            let right_ok = i + 1 == end || err[i].abs() >= err[i + 1].abs();
+            if left_ok && right_ok && err[i] != 0.0 {
+                candidates.push(i);
+            }
+        }
+    }
+    // The previous extrema always alternate (the alternation solve pins
+    // their errors to ±δ), so merging them in guarantees an alternating
+    // subsequence of length r exists.
+    candidates.extend(old_ext.iter().copied().filter(|&i| err[i] != 0.0));
+    candidates.sort_unstable();
+    candidates.dedup();
+    if candidates.len() < r {
+        // Degenerate (e.g. zero error everywhere): keep the old set.
+        return old_ext.to_vec();
+    }
+    // DP: best[c][j] = max total |err| of an alternating subsequence of
+    // length c ending at candidate j. Rolling per-sign prefix maxima give
+    // O(candidates · r).
+    let c_len = candidates.len();
+    let neg_inf = f64::NEG_INFINITY;
+    // parent[c][j] = index (into candidates) of previous element.
+    let mut score = vec![vec![neg_inf; c_len]; r + 1];
+    let mut parent = vec![vec![usize::MAX; c_len]; r + 1];
+    // prefix_best[sign][c] = (score, j) best over candidates processed so far.
+    let mut prefix_best = [vec![(neg_inf, usize::MAX); r + 1], vec![(neg_inf, usize::MAX); r + 1]];
+    #[allow(clippy::needless_range_loop)] // j indexes several parallel tables
+    for j in 0..c_len {
+        let e = err[candidates[j]];
+        let w = e.abs();
+        let sign_idx = usize::from(e > 0.0);
+        score[1][j] = w;
+        for c in 2..=r {
+            let (prev_score, prev_j) = prefix_best[1 - sign_idx][c - 1];
+            if prev_score > neg_inf {
+                score[c][j] = prev_score + w;
+                parent[c][j] = prev_j;
+            }
+        }
+        for c in 1..=r {
+            if score[c][j] > prefix_best[sign_idx][c].0 {
+                prefix_best[sign_idx][c] = (score[c][j], j);
+            }
+        }
+    }
+    // Reconstruct the best length-r chain.
+    let mut end_j = usize::MAX;
+    let mut best_score = neg_inf;
+    for (j, &s) in score[r].iter().enumerate() {
+        if s > best_score {
+            best_score = s;
+            end_j = j;
+        }
+    }
+    if end_j == usize::MAX {
+        return old_ext.to_vec();
+    }
+    let mut chain = Vec::with_capacity(r);
+    let mut c = r;
+    let mut j = end_j;
+    while j != usize::MAX {
+        chain.push(candidates[j]);
+        j = parent[c][j];
+        c -= 1;
+    }
+    chain.reverse();
+    debug_assert_eq!(chain.len(), r);
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::{amplitude_response, measure_ripple};
+    use crate::spec::FilterSpec;
+
+    #[test]
+    fn lowpass_meets_loose_spec() {
+        let spec = FilterSpec::lowpass(0.10, 0.18, 0.5, 40.0);
+        let taps = remez(32, &spec.to_bands()).unwrap();
+        let rep = measure_ripple(&taps, &spec.to_bands(), 512);
+        assert!(
+            rep.stopband_atten_db > 30.0,
+            "attenuation {}",
+            rep.stopband_atten_db
+        );
+        assert!(rep.passband_deviation < 0.05);
+    }
+
+    #[test]
+    fn taps_are_symmetric() {
+        let bands = FilterSpec::lowpass(0.1, 0.2, 0.5, 50.0).to_bands();
+        let taps = remez(20, &bands).unwrap();
+        for k in 0..taps.len() / 2 {
+            assert!((taps[k] - taps[taps.len() - 1 - k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_order_improves_attenuation() {
+        let bands = FilterSpec::lowpass(0.10, 0.16, 0.5, 80.0).to_bands();
+        let lo = remez(24, &bands).unwrap();
+        let hi = remez(56, &bands).unwrap();
+        let rl = measure_ripple(&lo, &bands, 512);
+        let rh = measure_ripple(&hi, &bands, 512);
+        assert!(
+            rh.stopband_atten_db > rl.stopband_atten_db + 10.0,
+            "{} vs {}",
+            rh.stopband_atten_db,
+            rl.stopband_atten_db
+        );
+    }
+
+    #[test]
+    fn bandpass_shape() {
+        let spec = FilterSpec::bandpass(0.08, 0.15, 0.25, 0.32, 0.5, 40.0);
+        let taps = remez(50, &spec.to_bands()).unwrap();
+        assert!(amplitude_response(&taps, 0.20) > 0.9);
+        assert!(amplitude_response(&taps, 0.02).abs() < 0.1);
+        assert!(amplitude_response(&taps, 0.45).abs() < 0.1);
+    }
+
+    #[test]
+    fn bandstop_shape() {
+        let spec = FilterSpec::bandstop(0.10, 0.18, 0.30, 0.38, 0.5, 40.0);
+        let taps = remez(50, &spec.to_bands()).unwrap();
+        assert!(amplitude_response(&taps, 0.03) > 0.9);
+        assert!(amplitude_response(&taps, 0.24).abs() < 0.1);
+        assert!(amplitude_response(&taps, 0.46) > 0.9);
+    }
+
+    #[test]
+    fn equiripple_in_passband() {
+        // The hallmark of PM designs: ripple extremes have nearly equal
+        // magnitude.
+        let bands = FilterSpec::lowpass(0.12, 0.20, 0.5, 40.0).to_bands();
+        let taps = remez(36, &bands).unwrap();
+        let mut peaks = Vec::new();
+        let mut prev = amplitude_response(&taps, 0.0) - 1.0;
+        let mut rising = true;
+        for i in 1..=600 {
+            let f = 0.12 * i as f64 / 600.0;
+            let e = amplitude_response(&taps, f) - 1.0;
+            if rising && e < prev {
+                peaks.push(prev.abs());
+                rising = false;
+            } else if !rising && e > prev {
+                peaks.push(prev.abs());
+                rising = true;
+            }
+            prev = e;
+        }
+        assert!(peaks.len() >= 3, "expected several ripple peaks");
+        let max = peaks.iter().copied().fold(0.0f64, f64::max);
+        let min = peaks.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(min > 0.5 * max, "ripple not equalized: min {min}, max {max}");
+    }
+
+    #[test]
+    fn rejects_odd_order() {
+        let bands = FilterSpec::lowpass(0.1, 0.2, 0.5, 40.0).to_bands();
+        assert_eq!(remez(31, &bands).unwrap_err(), DesignError::BadOrder(31));
+    }
+
+    #[test]
+    fn rejects_empty_bands() {
+        assert_eq!(remez(10, &[]).unwrap_err(), DesignError::NoBands);
+    }
+
+    #[test]
+    fn dc_gain_close_to_unity_for_lowpass() {
+        let bands = FilterSpec::lowpass(0.1, 0.2, 0.5, 50.0).to_bands();
+        let taps = remez(28, &bands).unwrap();
+        let dc: f64 = taps.iter().sum();
+        assert!((dc - 1.0).abs() < 0.05, "dc gain {dc}");
+    }
+
+    #[test]
+    fn large_order_is_stable() {
+        let bands = FilterSpec::lowpass(0.10, 0.13, 0.5, 80.0).to_bands();
+        let taps = remez(120, &bands).unwrap();
+        assert_eq!(taps.len(), 121);
+        let rep = measure_ripple(&taps, &bands, 1024);
+        assert!(rep.stopband_atten_db > 40.0);
+    }
+}

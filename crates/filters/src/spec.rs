@@ -1,0 +1,353 @@
+//! Filter specifications: band edges, ripple targets, and design metadata.
+//!
+//! Frequencies are normalized to the sampling rate: `0.5` is Nyquist.
+
+use std::fmt;
+
+/// Error cases shared by the designers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignError {
+    /// The requested order is zero, odd (type I designs need even order),
+    /// or too large for the implementation.
+    BadOrder(usize),
+    /// A band edge is outside `[0, 0.5]` or edges are not increasing.
+    BadBandEdges,
+    /// No bands were supplied.
+    NoBands,
+    /// The Remez exchange failed to converge within the iteration limit.
+    NoConvergence {
+        /// Iterations attempted before giving up.
+        iterations: usize,
+        /// Last ripple estimate, for diagnosing near-misses.
+        delta: f64,
+    },
+    /// The normal-equation system was singular (bands too narrow for the
+    /// requested order, typically).
+    SingularSystem,
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::BadOrder(n) => {
+                write!(f, "order {n} is not a positive even number <= 512")
+            }
+            DesignError::BadBandEdges => {
+                write!(f, "band edges must be increasing and within [0, 0.5]")
+            }
+            DesignError::NoBands => write!(f, "at least one band is required"),
+            DesignError::NoConvergence { iterations, delta } => write!(
+                f,
+                "remez exchange did not converge after {iterations} iterations (delta = {delta})"
+            ),
+            DesignError::SingularSystem => write!(f, "least-squares normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// One frequency band with a desired amplitude and an error weight.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::BandSpec;
+/// let pass = BandSpec { low: 0.0, high: 0.1, desired: 1.0, weight: 1.0 };
+/// assert!(pass.contains(0.05));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandSpec {
+    /// Lower band edge (normalized frequency).
+    pub low: f64,
+    /// Upper band edge (normalized frequency).
+    pub high: f64,
+    /// Desired zero-phase amplitude inside the band (usually `1.0` or `0.0`).
+    pub desired: f64,
+    /// Relative error weight inside the band.
+    pub weight: f64,
+}
+
+impl BandSpec {
+    /// Whether `f` lies inside the band (inclusive).
+    pub fn contains(&self, f: f64) -> bool {
+        (self.low..=self.high).contains(&f)
+    }
+
+    /// Validates the band list used by every designer.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::NoBands`] for an empty list,
+    /// [`DesignError::BadBandEdges`] for out-of-range, non-increasing, or
+    /// overlapping edges.
+    pub fn validate(bands: &[BandSpec]) -> Result<(), DesignError> {
+        if bands.is_empty() {
+            return Err(DesignError::NoBands);
+        }
+        let mut prev_high = -1.0f64;
+        for b in bands {
+            if !(0.0..=0.5).contains(&b.low)
+                || !(0.0..=0.5).contains(&b.high)
+                || b.low >= b.high
+                || b.low <= prev_high
+                || !b.weight.is_finite()
+                || b.weight <= 0.0
+                || !b.desired.is_finite()
+            {
+                return Err(DesignError::BadBandEdges);
+            }
+            prev_high = b.high;
+        }
+        Ok(())
+    }
+}
+
+/// Frequency-selective shape of a filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterKind {
+    /// Pass `[0, fp]`, stop `[fs, 0.5]`.
+    Lowpass {
+        /// Passband edge.
+        fp: f64,
+        /// Stopband edge.
+        fs: f64,
+    },
+    /// Stop `[0, fs]`, pass `[fp, 0.5]`.
+    Highpass {
+        /// Stopband edge.
+        fs: f64,
+        /// Passband edge.
+        fp: f64,
+    },
+    /// Stop, pass, stop.
+    Bandpass {
+        /// Lower stopband edge.
+        fs1: f64,
+        /// Lower passband edge.
+        fp1: f64,
+        /// Upper passband edge.
+        fp2: f64,
+        /// Upper stopband edge.
+        fs2: f64,
+    },
+    /// Pass, stop, pass (notch).
+    Bandstop {
+        /// Lower passband edge.
+        fp1: f64,
+        /// Lower stopband edge.
+        fs1: f64,
+        /// Upper stopband edge.
+        fs2: f64,
+        /// Upper passband edge.
+        fp2: f64,
+    },
+}
+
+impl fmt::Display for FilterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterKind::Lowpass { .. } => write!(f, "LP"),
+            FilterKind::Highpass { .. } => write!(f, "HP"),
+            FilterKind::Bandpass { .. } => write!(f, "BP"),
+            FilterKind::Bandstop { .. } => write!(f, "BS"),
+        }
+    }
+}
+
+/// Design method labels used by Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignMethod {
+    /// Butterworth-magnitude frequency sampling ("BW").
+    Butterworth,
+    /// Parks-McClellan equiripple ("PM").
+    ParksMcClellan,
+    /// Weighted least squares ("LS").
+    LeastSquares,
+}
+
+impl fmt::Display for DesignMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignMethod::Butterworth => write!(f, "BW"),
+            DesignMethod::ParksMcClellan => write!(f, "PM"),
+            DesignMethod::LeastSquares => write!(f, "LS"),
+        }
+    }
+}
+
+/// A complete filter specification: shape plus ripple targets.
+///
+/// `rp_db` is the allowed peak-to-peak passband ripple in dB, `rs_db` the
+/// required stopband attenuation in dB — the `R_p`/`R_s` columns of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterSpec {
+    /// Band-edge layout.
+    pub kind: FilterKind,
+    /// Passband ripple budget in dB.
+    pub rp_db: f64,
+    /// Stopband attenuation target in dB.
+    pub rs_db: f64,
+}
+
+impl FilterSpec {
+    /// Low-pass specification.
+    pub fn lowpass(fp: f64, fs: f64, rp_db: f64, rs_db: f64) -> Self {
+        FilterSpec {
+            kind: FilterKind::Lowpass { fp, fs },
+            rp_db,
+            rs_db,
+        }
+    }
+
+    /// High-pass specification.
+    pub fn highpass(fs: f64, fp: f64, rp_db: f64, rs_db: f64) -> Self {
+        FilterSpec {
+            kind: FilterKind::Highpass { fs, fp },
+            rp_db,
+            rs_db,
+        }
+    }
+
+    /// Band-pass specification.
+    pub fn bandpass(fs1: f64, fp1: f64, fp2: f64, fs2: f64, rp_db: f64, rs_db: f64) -> Self {
+        FilterSpec {
+            kind: FilterKind::Bandpass { fs1, fp1, fp2, fs2 },
+            rp_db,
+            rs_db,
+        }
+    }
+
+    /// Band-stop (notch) specification.
+    pub fn bandstop(fp1: f64, fs1: f64, fs2: f64, fp2: f64, rp_db: f64, rs_db: f64) -> Self {
+        FilterSpec {
+            kind: FilterKind::Bandstop { fp1, fs1, fs2, fp2 },
+            rp_db,
+            rs_db,
+        }
+    }
+
+    /// Expands the spec into designer band lists, weighting stopbands by the
+    /// ratio of ripple budgets (the textbook `δp/δs` weighting).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrp_filters::FilterSpec;
+    /// let bands = FilterSpec::lowpass(0.1, 0.2, 0.5, 60.0).to_bands();
+    /// assert_eq!(bands.len(), 2);
+    /// assert_eq!(bands[0].desired, 1.0);
+    /// assert_eq!(bands[1].desired, 0.0);
+    /// assert!(bands[1].weight > bands[0].weight);
+    /// ```
+    pub fn to_bands(&self) -> Vec<BandSpec> {
+        // Ripple magnitudes from the dB targets.
+        let dp = (10f64.powf(self.rp_db / 20.0) - 1.0) / (10f64.powf(self.rp_db / 20.0) + 1.0);
+        let ds = 10f64.powf(-self.rs_db / 20.0);
+        let stop_weight = (dp / ds).max(1e-3);
+        let pass = |lo: f64, hi: f64| BandSpec {
+            low: lo,
+            high: hi,
+            desired: 1.0,
+            weight: 1.0,
+        };
+        let stop = |lo: f64, hi: f64| BandSpec {
+            low: lo,
+            high: hi,
+            desired: 0.0,
+            weight: stop_weight,
+        };
+        match self.kind {
+            FilterKind::Lowpass { fp, fs } => vec![pass(0.0, fp), stop(fs, 0.5)],
+            FilterKind::Highpass { fs, fp } => vec![stop(0.0, fs), pass(fp, 0.5)],
+            FilterKind::Bandpass { fs1, fp1, fp2, fs2 } => {
+                vec![stop(0.0, fs1), pass(fp1, fp2), stop(fs2, 0.5)]
+            }
+            FilterKind::Bandstop { fp1, fs1, fs2, fp2 } => {
+                vec![pass(0.0, fp1), stop(fs1, fs2), pass(fp2, 0.5)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_good_bands() {
+        let bands = FilterSpec::lowpass(0.1, 0.2, 0.5, 60.0).to_bands();
+        assert!(BandSpec::validate(&bands).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(BandSpec::validate(&[]), Err(DesignError::NoBands));
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let bands = [
+            BandSpec {
+                low: 0.0,
+                high: 0.3,
+                desired: 1.0,
+                weight: 1.0,
+            },
+            BandSpec {
+                low: 0.2,
+                high: 0.5,
+                desired: 0.0,
+                weight: 1.0,
+            },
+        ];
+        assert_eq!(BandSpec::validate(&bands), Err(DesignError::BadBandEdges));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let bands = [BandSpec {
+            low: 0.1,
+            high: 0.6,
+            desired: 1.0,
+            weight: 1.0,
+        }];
+        assert_eq!(BandSpec::validate(&bands), Err(DesignError::BadBandEdges));
+    }
+
+    #[test]
+    fn validate_rejects_bad_weight() {
+        let bands = [BandSpec {
+            low: 0.1,
+            high: 0.2,
+            desired: 1.0,
+            weight: 0.0,
+        }];
+        assert_eq!(BandSpec::validate(&bands), Err(DesignError::BadBandEdges));
+    }
+
+    #[test]
+    fn bandpass_layout() {
+        let bands = FilterSpec::bandpass(0.08, 0.15, 0.25, 0.32, 0.5, 50.0).to_bands();
+        assert_eq!(bands.len(), 3);
+        assert_eq!(bands[1].desired, 1.0);
+        assert_eq!(bands[0].desired, 0.0);
+        assert_eq!(bands[2].desired, 0.0);
+    }
+
+    #[test]
+    fn bandstop_layout() {
+        let bands = FilterSpec::bandstop(0.1, 0.18, 0.3, 0.38, 0.5, 50.0).to_bands();
+        assert_eq!(bands.len(), 3);
+        assert_eq!(bands[1].desired, 0.0);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(DesignMethod::ParksMcClellan.to_string(), "PM");
+        assert_eq!(
+            FilterKind::Lowpass { fp: 0.1, fs: 0.2 }.to_string(),
+            "LP"
+        );
+    }
+}

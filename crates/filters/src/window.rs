@@ -1,0 +1,143 @@
+//! Window functions for windowed-sinc FIR design.
+
+use std::fmt;
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowKind {
+    /// Rectangular (no taper).
+    Rectangular,
+    /// Hamming: `0.54 - 0.46 cos`.
+    Hamming,
+    /// Hann: raised cosine.
+    Hann,
+    /// Blackman: three-term cosine.
+    Blackman,
+    /// Kaiser with shape parameter `beta`.
+    Kaiser(f64),
+}
+
+impl fmt::Display for WindowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowKind::Rectangular => write!(f, "rectangular"),
+            WindowKind::Hamming => write!(f, "hamming"),
+            WindowKind::Hann => write!(f, "hann"),
+            WindowKind::Blackman => write!(f, "blackman"),
+            WindowKind::Kaiser(b) => write!(f, "kaiser(beta={b})"),
+        }
+    }
+}
+
+/// Modified Bessel function of the first kind, order zero, by power series.
+pub(crate) fn bessel_i0(x: f64) -> f64 {
+    let mut sum = 1.0;
+    let mut term = 1.0;
+    let half_x = x / 2.0;
+    for k in 1..64 {
+        term *= (half_x / k as f64) * (half_x / k as f64);
+        sum += term;
+        if term < 1e-18 * sum {
+            break;
+        }
+    }
+    sum
+}
+
+/// Samples the window of length `n` (symmetric, `w[0] = w[n-1]`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_filters::{window, WindowKind};
+/// let w = window(WindowKind::Hann, 9);
+/// assert!((w[4] - 1.0).abs() < 1e-12); // center of an odd Hann window
+/// assert!(w[0] < 1e-12);
+/// ```
+pub fn window(kind: WindowKind, n: usize) -> Vec<f64> {
+    assert!(n > 0, "window length must be positive");
+    if n == 1 {
+        return vec![1.0];
+    }
+    let m = (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / m; // 0..1
+            let c = (2.0 * std::f64::consts::PI * t).cos();
+            match kind {
+                WindowKind::Rectangular => 1.0,
+                WindowKind::Hamming => 0.54 - 0.46 * c,
+                WindowKind::Hann => 0.5 - 0.5 * c,
+                WindowKind::Blackman => {
+                    let c2 = (4.0 * std::f64::consts::PI * t).cos();
+                    0.42 - 0.5 * c + 0.08 * c2
+                }
+                WindowKind::Kaiser(beta) => {
+                    let r = 2.0 * t - 1.0; // -1..1
+                    bessel_i0(beta * (1.0 - r * r).max(0.0).sqrt()) / bessel_i0(beta)
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hamming,
+            WindowKind::Hann,
+            WindowKind::Blackman,
+            WindowKind::Kaiser(6.0),
+        ] {
+            let w = window(kind, 17);
+            for i in 0..8 {
+                assert!((w[i] - w[16 - i]).abs() < 1e-12, "{kind} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn windows_peak_at_center() {
+        for kind in [
+            WindowKind::Hamming,
+            WindowKind::Hann,
+            WindowKind::Blackman,
+            WindowKind::Kaiser(8.0),
+        ] {
+            let w = window(kind, 33);
+            let max = w.iter().copied().fold(0.0f64, f64::max);
+            assert!((w[16] - max).abs() < 1e-12, "{kind} peak not centered");
+        }
+    }
+
+    #[test]
+    fn kaiser_beta_zero_is_rectangular() {
+        let k = window(WindowKind::Kaiser(0.0), 11);
+        for v in k {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bessel_i0_known_values() {
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+        // I0(1) ~ 1.2660658777520084
+        assert!((bessel_i0(1.0) - 1.2660658777520084).abs() < 1e-12);
+        // I0(5) ~ 27.239871823604442
+        assert!((bessel_i0(5.0) - 27.239871823604442).abs() < 1e-9);
+    }
+
+    #[test]
+    fn length_one_window() {
+        assert_eq!(window(WindowKind::Hann, 1), vec![1.0]);
+    }
+}

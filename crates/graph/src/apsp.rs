@@ -1,0 +1,198 @@
+//! All-pairs shortest paths (Floyd-Warshall) and the distance-matrix view
+//! used for spanning-tree root selection.
+//!
+//! Stage A of the MRP algorithm computes the distance matrix of the cover
+//! subgraph; per connected sub-matrix `M_l`, the row maximum `m_t` is the
+//! tree height if vertex `t` is chosen as root, and the root minimizing
+//! `m_t` is selected (§3.4, Fig. 3a).
+
+/// Dense distance matrix; `None` means unreachable (the `∞` entries of the
+/// paper's sparse matrix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<Option<u64>>,
+}
+
+impl DistanceMatrix {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the 0-vertex matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Shortest distance from `u` to `v`, or `None` when unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn get(&self, u: usize, v: usize) -> Option<u64> {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        self.dist[u * self.n + v]
+    }
+
+    /// Eccentricity of `u` *restricted to vertices it can reach*: the
+    /// maximum finite distance in row `u` (the paper's `m_t`). `Some(0)`
+    /// for an isolated vertex.
+    pub fn eccentricity(&self, u: usize) -> Option<u64> {
+        let row = &self.dist[u * self.n..(u + 1) * self.n];
+        row.iter().copied().flatten().max()
+    }
+
+    /// Among `candidates`, the vertex with the smallest eccentricity that
+    /// still reaches every other candidate; ties broken by lowest index.
+    /// Returns `None` when `candidates` is empty or no candidate reaches
+    /// all the others.
+    ///
+    /// This is exactly the paper's root-selection rule applied to one
+    /// connected sub-graph.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mrp_graph::floyd_warshall;
+    /// // Path 0 -> 1 -> 2 (directed)
+    /// let d = floyd_warshall(3, &[(0, 1, 1), (1, 2, 1)]);
+    /// assert_eq!(d.best_root(&[0, 1, 2]), Some((0, 2)));
+    /// ```
+    pub fn best_root(&self, candidates: &[usize]) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for &u in candidates {
+            // u must reach every other candidate for a spanning tree rooted
+            // at u to exist.
+            if candidates
+                .iter()
+                .any(|&v| v != u && self.get(u, v).is_none())
+            {
+                continue;
+            }
+            let ecc = candidates
+                .iter()
+                .filter(|&&v| v != u)
+                .map(|&v| self.get(u, v).expect("checked reachable"))
+                .max()
+                .unwrap_or(0);
+            let better = match best {
+                None => true,
+                Some((bu, be)) => ecc < be || (ecc == be && u < bu),
+            };
+            if better {
+                best = Some((u, ecc));
+            }
+        }
+        best
+    }
+}
+
+/// Floyd-Warshall over `n` vertices and directed weighted edges
+/// `(from, to, weight)`. Self-distances are `0`; parallel edges keep the
+/// minimum weight.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_graph::floyd_warshall;
+/// let d = floyd_warshall(3, &[(0, 1, 2), (1, 2, 2), (0, 2, 10)]);
+/// assert_eq!(d.get(0, 2), Some(4));
+/// assert_eq!(d.get(2, 0), None);
+/// ```
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is `>= n`.
+pub fn floyd_warshall(n: usize, edges: &[(usize, usize, u64)]) -> DistanceMatrix {
+    let mut dist = vec![None; n * n];
+    for v in 0..n {
+        dist[v * n + v] = Some(0);
+    }
+    for &(u, v, w) in edges {
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+        let slot = &mut dist[u * n + v];
+        *slot = Some(slot.map_or(w, |old| old.min(w)));
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let Some(dik) = dist[i * n + k] else { continue };
+            for j in 0..n {
+                let Some(dkj) = dist[k * n + j] else {
+                    continue;
+                };
+                let through = dik + dkj;
+                let slot = &mut dist[i * n + j];
+                *slot = Some(slot.map_or(through, |old| old.min(through)));
+            }
+        }
+    }
+    DistanceMatrix { n, dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_distances() {
+        let d = floyd_warshall(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert_eq!(d.get(0, 3), Some(3));
+        assert_eq!(d.get(3, 0), None);
+        assert_eq!(d.get(2, 2), Some(0));
+    }
+
+    #[test]
+    fn picks_shorter_route() {
+        let d = floyd_warshall(3, &[(0, 1, 5), (1, 2, 5), (0, 2, 100)]);
+        assert_eq!(d.get(0, 2), Some(10));
+    }
+
+    #[test]
+    fn parallel_edges_take_min() {
+        let d = floyd_warshall(2, &[(0, 1, 9), (0, 1, 3)]);
+        assert_eq!(d.get(0, 1), Some(3));
+    }
+
+    #[test]
+    fn eccentricity_of_star_center() {
+        let d = floyd_warshall(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        assert_eq!(d.eccentricity(0), Some(1));
+        // Leaves reach nothing, so their eccentricity is 0 over the empty
+        // reachable set (excluding self-distance 0 they still have self 0).
+        assert_eq!(d.eccentricity(1), Some(0));
+    }
+
+    #[test]
+    fn best_root_minimizes_height() {
+        // Chain with bidirectional edges: middle vertex is the best root.
+        let mut edges = Vec::new();
+        for i in 0..4 {
+            edges.push((i, i + 1, 1));
+            edges.push((i + 1, i, 1));
+        }
+        let d = floyd_warshall(5, &edges);
+        assert_eq!(d.best_root(&[0, 1, 2, 3, 4]), Some((2, 2)));
+    }
+
+    #[test]
+    fn best_root_requires_reaching_all() {
+        // 0 -> 1, 2 isolated: no root covers {0,1,2}.
+        let d = floyd_warshall(3, &[(0, 1, 1)]);
+        assert_eq!(d.best_root(&[0, 1, 2]), None);
+        assert_eq!(d.best_root(&[0, 1]), Some((0, 1)));
+    }
+
+    #[test]
+    fn best_root_empty_candidates() {
+        let d = floyd_warshall(2, &[(0, 1, 1)]);
+        assert_eq!(d.best_root(&[]), None);
+    }
+
+    #[test]
+    fn singleton() {
+        let d = floyd_warshall(1, &[]);
+        assert_eq!(d.get(0, 0), Some(0));
+        assert_eq!(d.best_root(&[0]), Some((0, 0)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Depth-limited breadth-first layering.
+//!
+//! Used to build depth-constrained spanning trees: Table 1 of the MRPF paper
+//! reports SEED sizes "under depth constraint of 3", i.e. no coefficient may
+//! be more than three overhead adds away from a root.
+
+use std::collections::VecDeque;
+
+/// Result of a depth-limited BFS from one root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsLayers {
+    /// `parent[v]` is the BFS-tree parent, `usize::MAX` for the root and
+    /// for unreached vertices.
+    pub parent: Vec<usize>,
+    /// `depth[v]` is the BFS depth, `None` when unreached.
+    pub depth: Vec<Option<u32>>,
+    /// Vertices reached, in visit order (root first).
+    pub order: Vec<usize>,
+}
+
+impl BfsLayers {
+    /// Whether `v` was reached within the depth limit.
+    pub fn reached(&self, v: usize) -> bool {
+        self.depth[v].is_some()
+    }
+
+    /// Height of the BFS tree (maximum depth over reached vertices).
+    pub fn height(&self) -> u32 {
+        self.depth.iter().flatten().copied().max().unwrap_or(0)
+    }
+}
+
+/// Breadth-first search from `root` along directed adjacency lists `adj`,
+/// descending at most `max_depth` levels (`max_depth = 0` reaches only the
+/// root itself).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_graph::bfs_layers;
+/// let adj = vec![vec![1], vec![2], vec![3], vec![]];
+/// let b = bfs_layers(&adj, 0, 2);
+/// assert!(b.reached(2));
+/// assert!(!b.reached(3)); // depth 3 > limit 2
+/// assert_eq!(b.height(), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `root >= adj.len()` or an adjacency entry is out of range.
+pub fn bfs_layers(adj: &[Vec<usize>], root: usize, max_depth: u32) -> BfsLayers {
+    let n = adj.len();
+    assert!(root < n, "root {root} out of range for {n} vertices");
+    let mut parent = vec![usize::MAX; n];
+    let mut depth = vec![None; n];
+    let mut order = Vec::new();
+    let mut q = VecDeque::new();
+    depth[root] = Some(0);
+    order.push(root);
+    q.push_back(root);
+    while let Some(u) = q.pop_front() {
+        let du = depth[u].expect("queued vertices have depth");
+        if du == max_depth {
+            continue;
+        }
+        for &v in &adj[u] {
+            assert!(v < n, "adjacency entry {v} out of range for n={n}");
+            if depth[v].is_none() {
+                depth[v] = Some(du + 1);
+                parent[v] = u;
+                order.push(v);
+                q.push_back(v);
+            }
+        }
+    }
+    BfsLayers {
+        parent,
+        depth,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect()
+    }
+
+    #[test]
+    fn reaches_whole_chain_with_big_limit() {
+        let b = bfs_layers(&chain(5), 0, 10);
+        assert_eq!(b.order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.height(), 4);
+        assert_eq!(b.parent[4], 3);
+    }
+
+    #[test]
+    fn depth_limit_cuts_chain() {
+        let b = bfs_layers(&chain(5), 0, 2);
+        assert!(b.reached(2));
+        assert!(!b.reached(3));
+    }
+
+    #[test]
+    fn zero_depth_reaches_only_root() {
+        let b = bfs_layers(&chain(3), 0, 0);
+        assert_eq!(b.order, vec![0]);
+        assert_eq!(b.height(), 0);
+    }
+
+    #[test]
+    fn shortest_path_tree() {
+        // Diamond: 0 -> 1 -> 3, 0 -> 2 -> 3; 3 is at depth 2 via either.
+        let adj = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let b = bfs_layers(&adj, 0, 5);
+        assert_eq!(b.depth[3], Some(2));
+        assert_eq!(b.parent[3], 1); // first-discovered parent wins
+    }
+
+    #[test]
+    fn directedness_respected() {
+        let adj = vec![vec![], vec![0]];
+        let b = bfs_layers(&adj, 0, 5);
+        assert!(!b.reached(1));
+    }
+}

@@ -1,0 +1,68 @@
+//! Weakly connected components of a directed graph.
+//!
+//! The cover sub-graph produced by the greedy set cover "consists of one or
+//! several disconnected graphs" (§3.4); each weakly connected component gets
+//! its own spanning tree and root.
+
+use crate::unionfind::UnionFind;
+
+/// Groups `0..n` into weakly connected components under the directed edges
+/// `(from, to)`. Components are returned sorted by their smallest vertex,
+/// and vertices within a component are sorted ascending.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_graph::weakly_connected_components;
+/// let comps = weakly_connected_components(5, &[(0, 1), (3, 2)]);
+/// assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is `>= n`.
+pub fn weakly_connected_components(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+        uf.union(u, v);
+    }
+    let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for v in 0..n {
+        let r = uf.find(v);
+        by_root.entry(r).or_default().push(v);
+    }
+    let mut comps: Vec<Vec<usize>> = by_root.into_values().collect();
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_isolated() {
+        let comps = weakly_connected_components(3, &[]);
+        assert_eq!(comps, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let a = weakly_connected_components(3, &[(0, 1), (1, 2)]);
+        let b = weakly_connected_components(3, &[(1, 0), (2, 1)]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(weakly_connected_components(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn self_loops_are_harmless() {
+        let comps = weakly_connected_components(2, &[(0, 0), (1, 1)]);
+        assert_eq!(comps.len(), 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimum spanning tree / forest algorithms.
+//!
+//! The MRPF paper prefers a minimum spanning tree of the coefficient graph
+//! because its small depth translates directly into filter delay (§2, §3.2).
+
+use crate::unionfind::UnionFind;
+
+/// An undirected weighted edge between dense vertex indices.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_graph::Edge;
+/// let e = Edge::new(0, 3, 7u32);
+/// assert_eq!((e.u, e.v, e.weight), (0, 3, 7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge<W> {
+    /// First endpoint.
+    pub u: usize,
+    /// Second endpoint.
+    pub v: usize,
+    /// Edge weight.
+    pub weight: W,
+}
+
+impl<W> Edge<W> {
+    /// Creates an edge `u — v` with the given weight.
+    pub fn new(u: usize, v: usize, weight: W) -> Self {
+        Edge { u, v, weight }
+    }
+}
+
+/// Kruskal's algorithm over `n` vertices; returns indices into `edges` of a
+/// minimum spanning forest (a tree per connected component).
+///
+/// Ties are broken by edge order, making the result deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_graph::{kruskal, Edge};
+/// let edges = [Edge::new(0, 1, 1u64), Edge::new(1, 2, 2), Edge::new(0, 2, 3)];
+/// assert_eq!(kruskal(3, &edges), vec![0, 1]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if an edge references a vertex `>= n` or a weight comparison is
+/// undefined (e.g. NaN).
+pub fn kruskal<W: Copy + PartialOrd>(n: usize, edges: &[Edge<W>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by(|&a, &b| {
+        edges[a]
+            .weight
+            .partial_cmp(&edges[b].weight)
+            .expect("edge weights must be totally ordered")
+            .then(a.cmp(&b))
+    });
+    let mut uf = UnionFind::new(n);
+    let mut chosen = Vec::new();
+    for i in order {
+        let e = &edges[i];
+        if uf.union(e.u, e.v) {
+            chosen.push(i);
+            if chosen.len() + 1 == n {
+                break;
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Prim's algorithm from `root`, restricted to the connected component of
+/// `root`. Returns `(parent, order)` where `parent[v]` is the tree parent
+/// (`usize::MAX` for the root and unreachable vertices) and `order` lists
+/// reached vertices in insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_graph::{prim, Edge};
+/// let edges = [Edge::new(0, 1, 5u64), Edge::new(1, 2, 1), Edge::new(0, 2, 2)];
+/// let (parent, order) = prim(3, &edges, 0);
+/// assert_eq!(parent[2], 0); // 0-2 is cheaper than 0-1
+/// assert_eq!(parent[1], 2); // then 2-1
+/// assert_eq!(order[0], 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `root >= n`, an edge endpoint is out of range, or weights
+/// compare as NaN.
+pub fn prim<W: Copy + PartialOrd>(
+    n: usize,
+    edges: &[Edge<W>],
+    root: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(root < n, "root {root} out of range for {n} vertices");
+    // Adjacency list of (neighbor, weight).
+    let mut adj: Vec<Vec<(usize, W)>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[e.u].push((e.v, e.weight));
+        adj[e.v].push((e.u, e.weight));
+    }
+    let mut parent = vec![usize::MAX; n];
+    let mut in_tree = vec![false; n];
+    let mut order = Vec::new();
+    // Candidate best edge into each vertex: (weight, from).
+    let mut best: Vec<Option<(W, usize)>> = vec![None; n];
+    in_tree[root] = true;
+    order.push(root);
+    let frontier_updates = |v: usize, best: &mut Vec<Option<(W, usize)>>| {
+        for &(to, w) in &adj[v] {
+            let better = match &best[to] {
+                None => true,
+                Some((bw, _)) => w
+                    .partial_cmp(bw)
+                    .expect("edge weights must be totally ordered")
+                    .is_lt(),
+            };
+            if better {
+                best[to] = Some((w, v));
+            }
+        }
+    };
+    frontier_updates(root, &mut best);
+    loop {
+        // Pick the cheapest frontier vertex not yet in the tree.
+        let mut pick: Option<(usize, W)> = None;
+        for v in 0..n {
+            if in_tree[v] {
+                continue;
+            }
+            if let Some((w, _)) = best[v] {
+                let better = match &pick {
+                    None => true,
+                    Some((_, pw)) => w
+                        .partial_cmp(pw)
+                        .expect("edge weights must be totally ordered")
+                        .is_lt(),
+                };
+                if better {
+                    pick = Some((v, w));
+                }
+            }
+        }
+        let Some((v, _)) = pick else { break };
+        in_tree[v] = true;
+        parent[v] = best[v].expect("picked vertex has a best edge").1;
+        order.push(v);
+        frontier_updates(v, &mut best);
+    }
+    (parent, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total<W: Copy + std::iter::Sum>(edges: &[Edge<W>], picked: &[usize]) -> W {
+        picked.iter().map(|&i| edges[i].weight).sum()
+    }
+
+    #[test]
+    fn kruskal_triangle() {
+        let edges = [
+            Edge::new(0, 1, 10u64),
+            Edge::new(1, 2, 1),
+            Edge::new(0, 2, 2),
+        ];
+        let t = kruskal(3, &edges);
+        assert_eq!(total(&edges, &t), 3);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn kruskal_forest_on_disconnected() {
+        let edges = [Edge::new(0, 1, 1u64), Edge::new(2, 3, 1)];
+        let t = kruskal(4, &edges);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn kruskal_empty() {
+        assert!(kruskal::<u64>(0, &[]).is_empty());
+        assert!(kruskal::<u64>(3, &[]).is_empty());
+    }
+
+    #[test]
+    fn kruskal_matches_prim_total_weight() {
+        // Deterministic pseudo-random graph.
+        let mut edges = Vec::new();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let n = 12;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                edges.push(Edge::new(u, v, (seed >> 33) % 1000));
+            }
+        }
+        let k = kruskal(n, &edges);
+        let (parent, order) = prim(n, &edges, 0);
+        assert_eq!(order.len(), n);
+        let prim_total: u64 = (0..n)
+            .filter(|&v| parent[v] != usize::MAX)
+            .map(|v| {
+                edges
+                    .iter()
+                    .filter(|e| {
+                        (e.u == v && e.v == parent[v]) || (e.v == v && e.u == parent[v])
+                    })
+                    .map(|e| e.weight)
+                    .min()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total(&edges, &k), prim_total);
+    }
+
+    #[test]
+    fn prim_stays_in_component() {
+        let edges = [Edge::new(0, 1, 1u64), Edge::new(2, 3, 1)];
+        let (parent, order) = prim(4, &edges, 0);
+        assert_eq!(order, vec![0, 1]);
+        assert_eq!(parent[2], usize::MAX);
+        assert_eq!(parent[3], usize::MAX);
+    }
+
+    #[test]
+    fn float_weights_work() {
+        let edges = [
+            Edge::new(0, 1, 0.5f64),
+            Edge::new(1, 2, 0.25),
+            Edge::new(0, 2, 0.75),
+        ];
+        let t = kruskal(3, &edges);
+        assert_eq!(t, vec![0, 1]);
+    }
+}

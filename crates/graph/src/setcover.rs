@@ -1,0 +1,211 @@
+//! Greedy weighted minimum set cover.
+//!
+//! Selecting the cheapest set of edge colors that visit every coefficient
+//! vertex is a weighted minimum set cover (WMSC) — NP-complete, solved
+//! greedily (§3.2). This module hosts a generic cost-effectiveness greedy
+//! (the classic `ln n`-approximation). The MRP-specific *benefit function*
+//! variant (Eq. 1 of the paper) lives in `mrp-core`, which drives its own
+//! selection loop because frequencies must be recomputed per round.
+
+/// One candidate set of a set-cover instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverSet {
+    /// Elements of the universe `0..universe` this set covers.
+    pub elements: Vec<usize>,
+    /// Cost of choosing this set (must be non-negative).
+    pub cost: f64,
+}
+
+impl CoverSet {
+    /// Creates a set from its elements and cost.
+    pub fn new(elements: Vec<usize>, cost: f64) -> Self {
+        CoverSet { elements, cost }
+    }
+}
+
+/// Outcome of [`greedy_set_cover`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetCoverSolution {
+    /// Indices of the chosen sets, in selection order.
+    pub chosen: Vec<usize>,
+    /// Total cost of the chosen sets.
+    pub total_cost: f64,
+    /// Elements that no candidate set covers (empty when the instance is
+    /// feasible).
+    pub uncovered: Vec<usize>,
+}
+
+impl SetCoverSolution {
+    /// Whether every universe element was covered.
+    pub fn is_complete(&self) -> bool {
+        self.uncovered.is_empty()
+    }
+}
+
+/// Classic greedy weighted set cover: repeatedly choose the set minimizing
+/// `cost / newly_covered`, until the universe `0..universe` is covered or no
+/// set makes progress. Zero-cost sets that cover something are always taken
+/// first.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_graph::{greedy_set_cover, CoverSet};
+/// let sets = vec![
+///     CoverSet::new(vec![0, 1, 2], 3.0),
+///     CoverSet::new(vec![0, 1], 1.0),
+///     CoverSet::new(vec![2], 1.0),
+/// ];
+/// let sol = greedy_set_cover(3, &sets);
+/// assert!(sol.is_complete());
+/// assert_eq!(sol.total_cost, 2.0); // {0,1} + {2} beats the 3.0 set
+/// ```
+///
+/// # Panics
+///
+/// Panics if a set contains an element `>= universe` or a negative/NaN cost.
+pub fn greedy_set_cover(universe: usize, sets: &[CoverSet]) -> SetCoverSolution {
+    // Normalize: validate and deduplicate elements so duplicate entries in a
+    // set cannot skew the newly-covered count.
+    let sets: Vec<CoverSet> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            assert!(
+                s.cost >= 0.0 && s.cost.is_finite(),
+                "set {i} has invalid cost {}",
+                s.cost
+            );
+            if let Some(&e) = s.elements.iter().find(|&&e| e >= universe) {
+                panic!("set {i} covers element {e} outside universe 0..{universe}");
+            }
+            let mut elements = s.elements.clone();
+            elements.sort_unstable();
+            elements.dedup();
+            CoverSet {
+                elements,
+                cost: s.cost,
+            }
+        })
+        .collect();
+    let mut covered = vec![false; universe];
+    let mut remaining = universe;
+    let mut chosen = Vec::new();
+    let mut total_cost = 0.0;
+    let mut used = vec![false; sets.len()];
+    while remaining > 0 {
+        let mut best: Option<(usize, f64, usize)> = None; // (idx, ratio, new)
+        for (i, s) in sets.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let new = s.elements.iter().filter(|&&e| !covered[e]).count();
+            if new == 0 {
+                continue;
+            }
+            let ratio = s.cost / new as f64;
+            let better = match &best {
+                None => true,
+                Some((bi, br, _)) => ratio < *br || (ratio == *br && i < *bi),
+            };
+            if better {
+                best = Some((i, ratio, new));
+            }
+        }
+        let Some((i, _, new)) = best else { break };
+        used[i] = true;
+        chosen.push(i);
+        total_cost += sets[i].cost;
+        for &e in &sets[i].elements {
+            if !covered[e] {
+                covered[e] = true;
+            }
+        }
+        remaining -= new;
+    }
+    let uncovered = (0..universe).filter(|&e| !covered[e]).collect();
+    SetCoverSolution {
+        chosen,
+        total_cost,
+        uncovered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_everything_when_feasible() {
+        let sets = vec![
+            CoverSet::new(vec![0, 1], 1.0),
+            CoverSet::new(vec![2, 3], 1.0),
+            CoverSet::new(vec![4], 1.0),
+        ];
+        let sol = greedy_set_cover(5, &sets);
+        assert!(sol.is_complete());
+        assert_eq!(sol.chosen.len(), 3);
+    }
+
+    #[test]
+    fn reports_uncoverable_elements() {
+        let sets = vec![CoverSet::new(vec![0], 1.0)];
+        let sol = greedy_set_cover(3, &sets);
+        assert!(!sol.is_complete());
+        assert_eq!(sol.uncovered, vec![1, 2]);
+    }
+
+    #[test]
+    fn prefers_cost_effective_sets() {
+        let sets = vec![
+            CoverSet::new(vec![0, 1, 2, 3], 10.0), // ratio 2.5
+            CoverSet::new(vec![0, 1], 2.0),        // ratio 1.0
+            CoverSet::new(vec![2, 3], 2.0),        // ratio 1.0
+        ];
+        let sol = greedy_set_cover(4, &sets);
+        assert_eq!(sol.chosen, vec![1, 2]);
+        assert_eq!(sol.total_cost, 4.0);
+    }
+
+    #[test]
+    fn zero_cost_sets_win() {
+        let sets = vec![
+            CoverSet::new(vec![0, 1], 5.0),
+            CoverSet::new(vec![0], 0.0),
+            CoverSet::new(vec![1], 0.0),
+        ];
+        let sol = greedy_set_cover(2, &sets);
+        assert_eq!(sol.total_cost, 0.0);
+    }
+
+    #[test]
+    fn empty_universe_is_trivially_covered() {
+        let sol = greedy_set_cover(0, &[]);
+        assert!(sol.is_complete());
+        assert!(sol.chosen.is_empty());
+    }
+
+    #[test]
+    fn greedy_known_worst_case_still_covers() {
+        // Classic example where greedy is suboptimal but must still cover.
+        let sets = vec![
+            CoverSet::new(vec![0, 1, 2, 3], 1.0 + 1e-6),
+            CoverSet::new(vec![0, 1], 0.5),
+            CoverSet::new(vec![2, 3], 1.0),
+        ];
+        let sol = greedy_set_cover(4, &sets);
+        assert!(sol.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn rejects_out_of_range_elements() {
+        greedy_set_cover(2, &[CoverSet::new(vec![5], 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost")]
+    fn rejects_negative_cost() {
+        greedy_set_cover(1, &[CoverSet::new(vec![0], -1.0)]);
+    }
+}

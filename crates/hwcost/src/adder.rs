@@ -1,0 +1,127 @@
+//! Adder area/delay models.
+
+use crate::tech::Technology;
+
+/// Adder microarchitecture styles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdderKind {
+    /// Ripple carry: smallest, delay linear in width.
+    RippleCarry,
+    /// Carry lookahead (4-bit groups, tree lookahead): the paper's
+    /// DesignWare reference; delay logarithmic in width.
+    CarryLookahead,
+    /// Carry save (3:2 compressor stage): constant delay, produces a
+    /// redundant sum that needs a final carry-propagate stage.
+    CarrySave,
+}
+
+/// NAND2-equivalent gate count of a `width`-bit adder.
+///
+/// Models: a full adder is 9 gate equivalents; 4-bit lookahead groups add
+/// ~5 gates of carry logic per bit; a carry-save stage is one full adder
+/// per bit with no carry chain.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_hwcost::{adder_gates, AdderKind};
+/// assert_eq!(adder_gates(AdderKind::RippleCarry, 8), 72);
+/// assert!(adder_gates(AdderKind::CarryLookahead, 8) > 72);
+/// ```
+pub fn adder_gates(kind: AdderKind, width: u32) -> u32 {
+    match kind {
+        AdderKind::RippleCarry => 9 * width,
+        AdderKind::CarryLookahead => 9 * width + 5 * width + 4 * width.div_ceil(4),
+        AdderKind::CarrySave => 9 * width,
+    }
+}
+
+/// Adder area in µm² under the given technology.
+pub fn adder_area(kind: AdderKind, width: u32, tech: &Technology) -> f64 {
+    adder_gates(kind, width) as f64 * tech.gate_area_um2
+}
+
+/// Adder propagation delay in ns under the given technology.
+///
+/// Ripple carry: 2 gate delays per bit of carry chain. Carry lookahead:
+/// 4 gate delays of local PG/sum logic plus 2 per lookahead tree level
+/// (base-4). Carry save: one full-adder delay.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_hwcost::{adder_delay, AdderKind, Technology};
+/// let t = Technology::cmos025();
+/// assert!(adder_delay(AdderKind::CarrySave, 64, &t)
+///         < adder_delay(AdderKind::CarryLookahead, 64, &t));
+/// ```
+pub fn adder_delay(kind: AdderKind, width: u32, tech: &Technology) -> f64 {
+    let gate_delays = match kind {
+        AdderKind::RippleCarry => 2.0 * width as f64,
+        AdderKind::CarryLookahead => {
+            let groups = width.div_ceil(4).max(1);
+            let levels = (groups as f64).log(4.0).ceil().max(1.0);
+            4.0 + 2.0 * levels
+        }
+        AdderKind::CarrySave => 2.0,
+    };
+    gate_delays * tech.gate_delay_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rca_delay_linear() {
+        let t = Technology::cmos025();
+        let d8 = adder_delay(AdderKind::RippleCarry, 8, &t);
+        let d16 = adder_delay(AdderKind::RippleCarry, 16, &t);
+        assert!((d16 / d8 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cla_delay_sublinear() {
+        let t = Technology::cmos025();
+        let d8 = adder_delay(AdderKind::CarryLookahead, 8, &t);
+        let d64 = adder_delay(AdderKind::CarryLookahead, 64, &t);
+        assert!(d64 < 3.0 * d8);
+    }
+
+    #[test]
+    fn cla_faster_than_rca_at_width() {
+        let t = Technology::cmos025();
+        for w in [16u32, 24, 32, 48] {
+            assert!(
+                adder_delay(AdderKind::CarryLookahead, w, &t)
+                    < adder_delay(AdderKind::RippleCarry, w, &t)
+            );
+        }
+    }
+
+    #[test]
+    fn area_ordering() {
+        let t = Technology::cmos025();
+        for w in [8u32, 16, 32] {
+            assert!(
+                adder_area(AdderKind::CarryLookahead, w, &t)
+                    > adder_area(AdderKind::RippleCarry, w, &t)
+            );
+            assert_eq!(
+                adder_area(AdderKind::CarrySave, w, &t),
+                adder_area(AdderKind::RippleCarry, w, &t)
+            );
+        }
+    }
+
+    #[test]
+    fn gates_scale_with_width() {
+        for kind in [
+            AdderKind::RippleCarry,
+            AdderKind::CarryLookahead,
+            AdderKind::CarrySave,
+        ] {
+            assert!(adder_gates(kind, 32) > adder_gates(kind, 16));
+        }
+    }
+}

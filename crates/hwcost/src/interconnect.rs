@@ -1,0 +1,85 @@
+//! Interconnect / fanout penalty model and its link to the β knob.
+//!
+//! §3.3 of the MRPF paper: "In deep sub-micron technologies, it may be
+//! cheaper to compute more than to share more because of the drive
+//! requirement caused by computation re-use." The benefit function's β
+//! trades vertex coverage (sharing, high fanout) against implementation
+//! cost (more adders, low fanout). The paper models the issue but does not
+//! propose how to pick β; this module supplies a defensible default mapping
+//! from a technology's wire-to-gate capacitance ratio.
+
+use crate::tech::Technology;
+
+/// Extra switched capacitance (in gate-capacitance units) of driving a net
+/// with the given fanout: each branch beyond the first costs
+/// `wire_cap_per_fanout`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_hwcost::{fanout_penalty, Technology};
+/// let t = Technology::cmos025();
+/// assert_eq!(fanout_penalty(1, &t), 0.0);
+/// assert!(fanout_penalty(8, &t) > fanout_penalty(2, &t));
+/// ```
+pub fn fanout_penalty(fanout: usize, tech: &Technology) -> f64 {
+    fanout.saturating_sub(1) as f64 * tech.wire_cap_per_fanout
+}
+
+/// Maps a technology to a benefit-function β (Eq. 1 of the paper):
+///
+/// * `β = 0.5` when interconnect is free (sharing and cost weighted
+///   equally);
+/// * β shrinks below 0.5 as the wire-to-gate capacitance ratio grows,
+///   de-emphasizing high-fanout colors.
+///
+/// The mapping is `β = 0.5 / (1 + wire_cap_per_fanout)`, clamped to
+/// `[0.1, 0.5]` — a smooth, monotone version of the paper's qualitative
+/// rule.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_hwcost::{beta_for_technology, Technology};
+/// let b025 = beta_for_technology(&Technology::cmos025());
+/// let b013 = beta_for_technology(&Technology::cmos013());
+/// assert!(b013 < b025); // finer node => more interconnect-averse
+/// assert!((0.1..=0.5).contains(&b025));
+/// ```
+pub fn beta_for_technology(tech: &Technology) -> f64 {
+    (0.5 / (1.0 + tech.wire_cap_per_fanout)).clamp(0.1, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_penalty_for_single_fanout() {
+        let t = Technology::cmos025();
+        assert_eq!(fanout_penalty(0, &t), 0.0);
+        assert_eq!(fanout_penalty(1, &t), 0.0);
+    }
+
+    #[test]
+    fn penalty_linear_in_branches() {
+        let t = Technology::cmos025();
+        let p2 = fanout_penalty(2, &t);
+        let p5 = fanout_penalty(5, &t);
+        assert!((p5 / p2 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_ideal_wires_is_half() {
+        let mut t = Technology::cmos025();
+        t.wire_cap_per_fanout = 0.0;
+        assert_eq!(beta_for_technology(&t), 0.5);
+    }
+
+    #[test]
+    fn beta_clamped_below() {
+        let mut t = Technology::cmos025();
+        t.wire_cap_per_fanout = 100.0;
+        assert_eq!(beta_for_technology(&t), 0.1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Hardware cost models for adder-based architectures.
+//!
+//! The MRPF paper reports complexity "when using carry lookahead adder
+//! synthesized from Synopsys DesignWare library in 0.25 µ technology". The
+//! PDK is not reproducible, so this crate substitutes an analytic gate-count
+//! model (documented in DESIGN.md §5): adder area and delay as functions of
+//! wordlength and adder style, scaled by a technology parameter set. The
+//! *ranking* between architectures — the quantity every figure in the paper
+//! compares — depends only on adder counts and wordlengths, which the model
+//! preserves.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrp_hwcost::{AdderKind, Technology, adder_area, adder_delay};
+//!
+//! let tech = Technology::cmos025();
+//! let cla = adder_delay(AdderKind::CarryLookahead, 32, &tech);
+//! let rca = adder_delay(AdderKind::RippleCarry, 32, &tech);
+//! assert!(cla < rca); // lookahead is faster at wide words
+//! assert!(adder_area(AdderKind::CarryLookahead, 32, &tech)
+//!         > adder_area(AdderKind::RippleCarry, 32, &tech)); // ...and bigger
+//! ```
+
+#![warn(missing_docs)]
+
+mod adder;
+mod interconnect;
+mod power;
+mod report;
+mod tech;
+
+pub use adder::{adder_area, adder_delay, adder_gates, AdderKind};
+pub use interconnect::{beta_for_technology, fanout_penalty};
+pub use power::{switched_capacitance, PowerEstimate};
+pub use report::{block_cost, BlockCost};
+pub use tech::Technology;

@@ -1,0 +1,99 @@
+//! Switched-capacitance power proxy.
+//!
+//! The paper's premise is that in a multiplierless filter "add operations
+//! ... dominate the power consumption": dynamic power tracks the number of
+//! adders times their width times switching activity. This module makes
+//! that proxy explicit so benchmark output can be reported in mW-class
+//! units instead of raw adder counts.
+
+use crate::adder::{adder_gates, AdderKind};
+use crate::tech::Technology;
+
+/// Result of [`switched_capacitance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimate {
+    /// Total switched capacitance per clock, in fF.
+    pub capacitance_ff: f64,
+    /// Dynamic power at the given frequency, in mW.
+    pub dynamic_mw: f64,
+}
+
+/// Estimates dynamic power of `adders` adders of the given width:
+/// `P = α · C · V² · f` with `C` the total gate capacitance of the adders.
+///
+/// `activity` is the average node switching probability per cycle
+/// (0.1-0.5 typical for filter datapaths); `freq_mhz` the clock rate.
+///
+/// # Panics
+///
+/// Panics if `activity` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_hwcost::{switched_capacitance, AdderKind, Technology};
+/// let t = Technology::cmos025();
+/// let p10 = switched_capacitance(10, AdderKind::CarryLookahead, 24, 0.25, 100.0, &t);
+/// let p20 = switched_capacitance(20, AdderKind::CarryLookahead, 24, 0.25, 100.0, &t);
+/// assert!((p20.dynamic_mw / p10.dynamic_mw - 2.0).abs() < 1e-9);
+/// ```
+pub fn switched_capacitance(
+    adders: usize,
+    kind: AdderKind,
+    width: u32,
+    activity: f64,
+    freq_mhz: f64,
+    tech: &Technology,
+) -> PowerEstimate {
+    assert!(
+        (0.0..=1.0).contains(&activity),
+        "activity must be within [0, 1]"
+    );
+    let gates = adders as f64 * adder_gates(kind, width) as f64;
+    let capacitance_ff = gates * tech.gate_cap_ff * activity;
+    // P = C V^2 f: fF · V² · MHz = 1e-15 F · V² · 1e6 Hz = 1e-9 W = 1e-6 mW.
+    let dynamic_mw = capacitance_ff * tech.vdd * tech.vdd * freq_mhz * 1e-6;
+    PowerEstimate {
+        capacitance_ff,
+        dynamic_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_linear_in_adders_and_activity() {
+        let t = Technology::cmos025();
+        let base = switched_capacitance(5, AdderKind::RippleCarry, 16, 0.2, 50.0, &t);
+        let twice_adders = switched_capacitance(10, AdderKind::RippleCarry, 16, 0.2, 50.0, &t);
+        let twice_activity = switched_capacitance(5, AdderKind::RippleCarry, 16, 0.4, 50.0, &t);
+        assert!((twice_adders.dynamic_mw / base.dynamic_mw - 2.0).abs() < 1e-9);
+        assert!((twice_activity.dynamic_mw / base.dynamic_mw - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_adders_zero_power() {
+        let t = Technology::cmos025();
+        let p = switched_capacitance(0, AdderKind::CarryLookahead, 24, 0.3, 100.0, &t);
+        assert_eq!(p.dynamic_mw, 0.0);
+        assert_eq!(p.capacitance_ff, 0.0);
+    }
+
+    #[test]
+    fn lower_vdd_lowers_power_quadratically() {
+        let t025 = Technology::cmos025();
+        let mut t_low = t025.clone();
+        t_low.vdd /= 2.0;
+        let hi = switched_capacitance(8, AdderKind::RippleCarry, 16, 0.25, 100.0, &t025);
+        let lo = switched_capacitance(8, AdderKind::RippleCarry, 16, 0.25, 100.0, &t_low);
+        assert!((hi.dynamic_mw / lo.dynamic_mw - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity")]
+    fn rejects_bad_activity() {
+        switched_capacitance(1, AdderKind::RippleCarry, 8, 1.5, 10.0, &Technology::cmos025());
+    }
+}

@@ -1,0 +1,85 @@
+//! Aggregate cost report for one multiplier block.
+
+use crate::adder::{adder_area, adder_delay, AdderKind};
+use crate::power::switched_capacitance;
+use crate::tech::Technology;
+
+/// Synthesized-style cost summary of an adder network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCost {
+    /// Number of two-input adders.
+    pub adders: usize,
+    /// Total cell area in µm².
+    pub area_um2: f64,
+    /// Critical-path delay in ns (`depth` adders in series).
+    pub critical_path_ns: f64,
+    /// Dynamic power in mW at the given activity/frequency.
+    pub dynamic_mw: f64,
+}
+
+/// Computes the cost of a block with `adders` adders and a critical path of
+/// `depth` adder stages, all of the given style and datapath width.
+///
+/// `activity` and `freq_mhz` parameterize the power proxy (defaults in the
+/// benches: 0.25 and 100 MHz).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_hwcost::{block_cost, AdderKind, Technology};
+/// let t = Technology::cmos025();
+/// let a = block_cost(10, 3, AdderKind::CarryLookahead, 24, 0.25, 100.0, &t);
+/// let b = block_cost(20, 3, AdderKind::CarryLookahead, 24, 0.25, 100.0, &t);
+/// assert!(b.area_um2 > a.area_um2);
+/// assert_eq!(a.critical_path_ns, b.critical_path_ns); // same depth
+/// ```
+pub fn block_cost(
+    adders: usize,
+    depth: u32,
+    kind: AdderKind,
+    width: u32,
+    activity: f64,
+    freq_mhz: f64,
+    tech: &Technology,
+) -> BlockCost {
+    let area_um2 = adders as f64 * adder_area(kind, width, tech);
+    let critical_path_ns = depth as f64 * adder_delay(kind, width, tech);
+    let power = switched_capacitance(adders, kind, width, activity, freq_mhz, tech);
+    BlockCost {
+        adders,
+        area_um2,
+        critical_path_ns,
+        dynamic_mw: power.dynamic_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_block_costs_nothing() {
+        let t = Technology::cmos025();
+        let c = block_cost(0, 0, AdderKind::CarryLookahead, 16, 0.25, 100.0, &t);
+        assert_eq!(c.area_um2, 0.0);
+        assert_eq!(c.critical_path_ns, 0.0);
+        assert_eq!(c.dynamic_mw, 0.0);
+    }
+
+    #[test]
+    fn area_and_power_scale_with_adders() {
+        let t = Technology::cmos025();
+        let one = block_cost(1, 1, AdderKind::RippleCarry, 16, 0.25, 100.0, &t);
+        let ten = block_cost(10, 1, AdderKind::RippleCarry, 16, 0.25, 100.0, &t);
+        assert!((ten.area_um2 / one.area_um2 - 10.0).abs() < 1e-9);
+        assert!((ten.dynamic_mw / one.dynamic_mw - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_scales_with_depth_only() {
+        let t = Technology::cmos025();
+        let shallow = block_cost(100, 2, AdderKind::CarryLookahead, 24, 0.25, 100.0, &t);
+        let deep = block_cost(10, 6, AdderKind::CarryLookahead, 24, 0.25, 100.0, &t);
+        assert!(deep.critical_path_ns > shallow.critical_path_ns);
+    }
+}

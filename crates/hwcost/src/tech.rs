@@ -1,0 +1,96 @@
+//! Technology parameter sets.
+
+/// Normalized technology parameters used by the area/delay/power models.
+///
+/// Values are calibrated to textbook numbers for a generic 0.25 µm CMOS
+/// standard-cell library; they set absolute scales only — architecture
+/// rankings are independent of them.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_hwcost::Technology;
+/// let t = Technology::cmos025();
+/// assert!(t.gate_delay_ns > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Area of one NAND2-equivalent gate in µm².
+    pub gate_area_um2: f64,
+    /// Propagation delay of one NAND2-equivalent gate in ns.
+    pub gate_delay_ns: f64,
+    /// Switched capacitance of one gate in fF.
+    pub gate_cap_ff: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Wire capacitance per fanout branch, in gate-capacitance units.
+    /// Deep-submicron processes have larger values, penalizing the heavy
+    /// computation re-use that a large β favours (§3.3 of the paper).
+    pub wire_cap_per_fanout: f64,
+}
+
+impl Technology {
+    /// Generic 0.25 µm CMOS parameters (the paper's technology node).
+    pub fn cmos025() -> Self {
+        Technology {
+            name: "generic 0.25um CMOS",
+            gate_area_um2: 40.0,
+            gate_delay_ns: 0.15,
+            gate_cap_ff: 6.0,
+            vdd: 2.5,
+            wire_cap_per_fanout: 0.5,
+        }
+    }
+
+    /// Generic 0.13 µm CMOS: smaller/faster gates, relatively more
+    /// expensive wires (for interconnect-sensitivity studies).
+    pub fn cmos013() -> Self {
+        Technology {
+            name: "generic 0.13um CMOS",
+            gate_area_um2: 12.0,
+            gate_delay_ns: 0.06,
+            gate_cap_ff: 2.5,
+            vdd: 1.2,
+            wire_cap_per_fanout: 1.2,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::cmos025()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for t in [Technology::cmos025(), Technology::cmos013()] {
+            assert!(t.gate_area_um2 > 0.0);
+            assert!(t.gate_delay_ns > 0.0);
+            assert!(t.gate_cap_ff > 0.0);
+            assert!(t.vdd > 0.0);
+            assert!(t.wire_cap_per_fanout >= 0.0);
+        }
+    }
+
+    #[test]
+    fn scaling_direction() {
+        let old = Technology::cmos025();
+        let new = Technology::cmos013();
+        assert!(new.gate_area_um2 < old.gate_area_um2);
+        assert!(new.gate_delay_ns < old.gate_delay_ns);
+        // Wires get relatively worse with scaling.
+        assert!(new.wire_cap_per_fanout > old.wire_cap_per_fanout);
+    }
+
+    #[test]
+    fn default_is_cmos025() {
+        assert_eq!(Technology::default(), Technology::cmos025());
+    }
+}

@@ -1,0 +1,49 @@
+//! Number-representation substrate for multiplierless filter synthesis.
+//!
+//! The MRPF paper measures the hardware cost of multiplying a data sample by
+//! a fixed coefficient as the number of *nonzero digits* of that coefficient
+//! in a chosen number representation: plain binary, sign-magnitude (SM), or
+//! a signed-digit representation (canonical signed digit, CSD, equivalently
+//! minimal signed-powers-of-two, SPT). An `n`-nonzero-digit constant costs
+//! `n - 1` adders.
+//!
+//! This crate provides:
+//!
+//! * [`DigitVec`] — an LSB-first signed-digit vector with exact round-trip
+//!   to [`i64`];
+//! * [`csd`] / [`binary_digits`] — digit recodings;
+//! * [`Repr`] — the representation selector with [`nonzero_digits`] and
+//!   [`adder_cost`] metrics;
+//! * [`odd_part`] — odd/shift factorization used to identify coefficients
+//!   that are free shifts of one another;
+//! * [`quantize`] and [`Scaling`] — uniform and maximal coefficient scaling
+//!   of real-valued filter taps into `W`-bit integers.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrp_numrep::{csd, Repr, nonzero_digits};
+//!
+//! // 7 = 8 - 1 in CSD: two nonzero digits instead of three in binary.
+//! assert_eq!(csd(7).nonzero_count(), 2);
+//! assert_eq!(nonzero_digits(7, Repr::Csd), 2);
+//! assert_eq!(nonzero_digits(7, Repr::TwosComplement), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod digits;
+mod fixed;
+mod oddpart;
+mod scaling;
+mod scm;
+mod sptq;
+
+pub use digits::{binary_digits, csd, msd_weight, DigitVec, ParseDigitError, SignedDigit};
+pub use fixed::{adder_cost, nonzero_digits, Repr};
+pub use oddpart::{is_power_of_two_or_zero, odd_part, OddPart};
+pub use scaling::{
+    quantize, quantize_uniform_with_scale, reconstruct, QuantizeError, QuantizedCoeffs, Scaling,
+};
+pub use scm::{optimal_scm_cost, scm2_plan, Scm2Plan, ScmSrc, ScmStep};
+pub use sptq::{quantize_spt_limited, round_to_spt};

@@ -1,0 +1,133 @@
+//! Odd-part factorization of coefficients.
+//!
+//! Two coefficients whose magnitudes share an odd part differ only by a
+//! power-of-two shift, which costs nothing in hardware. The MRP algorithm
+//! (Step 2) therefore groups coefficients by odd part, keeps the smallest
+//! member as the *primary* coefficient, and treats the rest as free
+//! *secondary* coefficients. The same equivalence defines *color classes*
+//! of SID coefficients.
+
+/// Result of factoring `v = sign · odd · 2^shift`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_numrep::odd_part;
+/// let p = odd_part(-96);
+/// assert_eq!((p.odd, p.shift, p.negative), (3, 5, true));
+/// assert_eq!(p.reassemble(), -96);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OddPart {
+    /// The positive odd factor (`0` only when the input was `0`).
+    pub odd: i64,
+    /// The power-of-two exponent stripped from the magnitude.
+    pub shift: u32,
+    /// Whether the original value was negative.
+    pub negative: bool,
+}
+
+impl OddPart {
+    /// Reconstructs the original value.
+    pub fn reassemble(&self) -> i64 {
+        let m = self.odd << self.shift;
+        if self.negative {
+            -m
+        } else {
+            m
+        }
+    }
+}
+
+/// Factor `v` into sign, odd part, and power-of-two shift.
+///
+/// `odd_part(0)` returns `odd = 0, shift = 0, negative = false`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_numrep::odd_part;
+/// assert_eq!(odd_part(12).odd, 3);
+/// assert_eq!(odd_part(12).shift, 2);
+/// assert_eq!(odd_part(7).shift, 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `v == i64::MIN`.
+pub fn odd_part(v: i64) -> OddPart {
+    assert!(v != i64::MIN, "i64::MIN has no representable magnitude");
+    if v == 0 {
+        return OddPart {
+            odd: 0,
+            shift: 0,
+            negative: false,
+        };
+    }
+    let negative = v < 0;
+    let m = v.unsigned_abs();
+    let shift = m.trailing_zeros();
+    OddPart {
+        odd: (m >> shift) as i64,
+        shift,
+        negative,
+    }
+}
+
+/// Returns `true` when `|v|` is zero or a power of two, i.e. multiplying by
+/// `v` requires no adders at all.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_numrep::is_power_of_two_or_zero;
+/// assert!(is_power_of_two_or_zero(0));
+/// assert!(is_power_of_two_or_zero(-16));
+/// assert!(!is_power_of_two_or_zero(48));
+/// ```
+pub fn is_power_of_two_or_zero(v: i64) -> bool {
+    v == 0 || (v != i64::MIN && v.unsigned_abs().is_power_of_two())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for v in -4096..=4096 {
+            assert_eq!(odd_part(v).reassemble(), v);
+        }
+    }
+
+    #[test]
+    fn odd_is_odd() {
+        for v in 1..4096 {
+            assert_eq!(odd_part(v).odd % 2, 1);
+        }
+    }
+
+    #[test]
+    fn shift_classes() {
+        // 3, 6, 12, 24 share odd part 3.
+        for v in [3i64, 6, 12, 24, -3, -48] {
+            assert_eq!(odd_part(v).odd, 3);
+        }
+    }
+
+    #[test]
+    fn zero_case() {
+        let p = odd_part(0);
+        assert_eq!(p.odd, 0);
+        assert_eq!(p.reassemble(), 0);
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two_or_zero(1));
+        assert!(is_power_of_two_or_zero(1 << 40));
+        assert!(!is_power_of_two_or_zero(3));
+        assert!(!is_power_of_two_or_zero(-12));
+        assert!(is_power_of_two_or_zero(-4));
+    }
+}

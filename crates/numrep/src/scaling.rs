@@ -1,0 +1,402 @@
+//! Coefficient quantization under uniform and maximal scaling.
+//!
+//! The MRPF evaluation compares two ways of turning real filter taps into
+//! `W`-bit integers:
+//!
+//! * **Uniform scaling** — all taps share one scale factor: the largest tap
+//!   maps to full scale and small taps keep only a few significant bits.
+//!   Coefficients are sparse in nonzero digits, so multiplier blocks are
+//!   cheap, at the price of quantization noise on small taps.
+//! * **Maximal scaling** — every tap is individually normalized so that its
+//!   `W`-bit mantissa uses all `W` significant bits, with a per-tap
+//!   power-of-two exponent (free wiring in hardware). Precision is maximal
+//!   and so is digit density, which is why the paper reports markedly higher
+//!   complexity for maximally scaled coefficients.
+
+use std::fmt;
+
+/// Scaling policy for coefficient quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scaling {
+    /// One shared scale factor; taps keep their natural relative magnitude.
+    #[default]
+    Uniform,
+    /// Per-tap normalization to a full `W`-bit mantissa plus a free
+    /// power-of-two exponent.
+    Maximal,
+}
+
+impl fmt::Display for Scaling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scaling::Uniform => write!(f, "uniform"),
+            Scaling::Maximal => write!(f, "maximal"),
+        }
+    }
+}
+
+/// Error cases of [`quantize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantizeError {
+    /// The coefficient slice was empty.
+    Empty,
+    /// Every coefficient was exactly zero, so no scale factor exists.
+    AllZero,
+    /// Wordlength outside the supported `1..=31` range.
+    BadWordlength(u32),
+    /// A coefficient was not finite.
+    NotFinite(usize),
+}
+
+impl fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantizeError::Empty => write!(f, "no coefficients to quantize"),
+            QuantizeError::AllZero => write!(f, "all coefficients are zero"),
+            QuantizeError::BadWordlength(w) => {
+                write!(f, "wordlength {w} is outside the supported range 1..=31")
+            }
+            QuantizeError::NotFinite(i) => write!(f, "coefficient {i} is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+/// Integer coefficients produced by [`quantize`], with enough metadata to
+/// reconstruct the real values they stand for.
+///
+/// The represented coefficient is
+/// `values[i] as f64 * 2f64.powi(shifts[i]) * scale`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_numrep::{quantize, Scaling};
+///
+/// let q = quantize(&[0.5, -0.25, 0.125], 8, Scaling::Uniform)?;
+/// assert_eq!(q.values.len(), 3);
+/// let back = q.reconstruct();
+/// assert!((back[0] - 0.5).abs() < 1e-2);
+/// # Ok::<(), mrp_numrep::QuantizeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedCoeffs {
+    /// Signed integer mantissas, one per tap.
+    pub values: Vec<i64>,
+    /// Per-tap binary exponent (always `-(W-1)` under uniform scaling).
+    pub shifts: Vec<i32>,
+    /// The wordlength `W` the mantissas fit in (including no sign bit;
+    /// `|values[i]| < 2^W`).
+    pub wordlength: u32,
+    /// Which scaling policy produced these values.
+    pub scaling: Scaling,
+    /// Global scale factor (the largest input magnitude).
+    pub scale: f64,
+}
+
+impl QuantizedCoeffs {
+    /// Real coefficient values these integers stand for.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        self.values
+            .iter()
+            .zip(&self.shifts)
+            .map(|(&v, &s)| v as f64 * 2f64.powi(s) * self.scale)
+            .collect()
+    }
+
+    /// Largest absolute reconstruction error against `original`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original.len() != self.values.len()`.
+    pub fn max_error(&self, original: &[f64]) -> f64 {
+        assert_eq!(original.len(), self.values.len(), "length mismatch");
+        self.reconstruct()
+            .iter()
+            .zip(original)
+            .map(|(r, o)| (r - o).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if there are no taps.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+fn validate(coeffs: &[f64], wordlength: u32) -> Result<f64, QuantizeError> {
+    if coeffs.is_empty() {
+        return Err(QuantizeError::Empty);
+    }
+    if wordlength == 0 || wordlength > 31 {
+        return Err(QuantizeError::BadWordlength(wordlength));
+    }
+    if let Some(i) = coeffs.iter().position(|c| !c.is_finite()) {
+        return Err(QuantizeError::NotFinite(i));
+    }
+    let max = coeffs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+    if max == 0.0 {
+        return Err(QuantizeError::AllZero);
+    }
+    Ok(max)
+}
+
+/// Quantize real coefficients to `W`-bit integers under the given scaling
+/// policy (Step 1 of the MRP algorithm normalizes by the largest
+/// coefficient; both policies here do that first).
+///
+/// # Errors
+///
+/// Returns [`QuantizeError`] for an empty or all-zero slice, a non-finite
+/// coefficient, or a wordlength outside `1..=31`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_numrep::{quantize, Scaling};
+///
+/// let taps = [0.9, 0.04, -0.3];
+/// let uni = quantize(&taps, 8, Scaling::Uniform)?;
+/// let max = quantize(&taps, 8, Scaling::Maximal)?;
+/// // Maximal scaling always reconstructs at least as accurately.
+/// assert!(max.max_error(&taps) <= uni.max_error(&taps) + 1e-12);
+/// # Ok::<(), mrp_numrep::QuantizeError>(())
+/// ```
+pub fn quantize(
+    coeffs: &[f64],
+    wordlength: u32,
+    scaling: Scaling,
+) -> Result<QuantizedCoeffs, QuantizeError> {
+    let max = validate(coeffs, wordlength)?;
+    match scaling {
+        Scaling::Uniform => Ok(quantize_uniform_with_scale(coeffs, wordlength, max)),
+        Scaling::Maximal => Ok(quantize_maximal(coeffs, wordlength, max)),
+    }
+}
+
+/// Uniform quantization with an explicit full-scale reference `scale`
+/// (normally the largest coefficient magnitude). Exposed separately so
+/// callers can quantize several related coefficient sets against one common
+/// scale.
+///
+/// # Panics
+///
+/// Panics if `scale <= 0`, `scale` is not finite, or `wordlength` is outside
+/// `1..=31`.
+pub fn quantize_uniform_with_scale(
+    coeffs: &[f64],
+    wordlength: u32,
+    scale: f64,
+) -> QuantizedCoeffs {
+    assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+    assert!(
+        (1..=31).contains(&wordlength),
+        "wordlength must be in 1..=31"
+    );
+    let full = ((1i64 << (wordlength - 1)) - 1).max(1) as f64;
+    let values: Vec<i64> = coeffs
+        .iter()
+        .map(|&c| (c / scale * full).round() as i64)
+        .collect();
+    let shift = -((wordlength as i32) - 1);
+    // Represented value: v * 2^shift * scale ~ v/full * scale; the tiny
+    // full-vs-2^(W-1) discrepancy is folded into the scale so that
+    // reconstruct() is exact for full-scale inputs.
+    let adjusted_scale = scale * (2f64.powi(-shift) / full);
+    QuantizedCoeffs {
+        shifts: vec![shift; coeffs.len()],
+        values,
+        wordlength,
+        scaling: Scaling::Uniform,
+        scale: adjusted_scale,
+    }
+}
+
+fn quantize_maximal(coeffs: &[f64], wordlength: u32, scale: f64) -> QuantizedCoeffs {
+    let w = wordlength;
+    let lo = 1i64 << (w - 1); // smallest W-significant-bit magnitude
+    let hi = 1i64 << w; // exclusive upper bound
+    let mut values = Vec::with_capacity(coeffs.len());
+    let mut shifts = Vec::with_capacity(coeffs.len());
+    for &c in coeffs {
+        if c == 0.0 {
+            values.push(0);
+            shifts.push(0);
+            continue;
+        }
+        let v = c.abs() / scale; // in (0, 1]
+        // Find e such that round(v * 2^e) lands in [2^(w-1), 2^w).
+        let mut e = (w as i32 - 1) - v.log2().floor() as i32;
+        let mut m = (v * 2f64.powi(e)).round() as i64;
+        // Rounding can push us out of range on either side; renormalize.
+        while m >= hi {
+            e -= 1;
+            m = (v * 2f64.powi(e)).round() as i64;
+        }
+        while m < lo {
+            e += 1;
+            m = (v * 2f64.powi(e)).round() as i64;
+        }
+        debug_assert!((lo..hi).contains(&m));
+        values.push(if c < 0.0 { -m } else { m });
+        shifts.push(-e);
+    }
+    QuantizedCoeffs {
+        values,
+        shifts,
+        wordlength,
+        scaling: Scaling::Maximal,
+        scale,
+    }
+}
+
+/// Convenience wrapper: reconstruct real values from raw parts, matching
+/// [`QuantizedCoeffs::reconstruct`].
+pub fn reconstruct(values: &[i64], shifts: &[i32], scale: f64) -> Vec<f64> {
+    values
+        .iter()
+        .zip(shifts)
+        .map(|(&v, &s)| v as f64 * 2f64.powi(s) * scale)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_taps() -> Vec<f64> {
+        vec![0.9, -0.45, 0.2, 0.0123, -0.007, 0.0, 0.31]
+    }
+
+    #[test]
+    fn uniform_full_scale_hits_max() {
+        let q = quantize(&example_taps(), 12, Scaling::Uniform).unwrap();
+        let max = q.values.iter().map(|v| v.abs()).max().unwrap();
+        assert_eq!(max, (1 << 11) - 1);
+    }
+
+    #[test]
+    fn uniform_values_fit_wordlength() {
+        for w in [4, 8, 12, 16, 20] {
+            let q = quantize(&example_taps(), w, Scaling::Uniform).unwrap();
+            for &v in &q.values {
+                assert!(v.abs() < 1 << w, "value {v} exceeds {w} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_mantissas_use_full_width() {
+        for w in [4, 8, 12, 16, 20] {
+            let q = quantize(&example_taps(), w, Scaling::Maximal).unwrap();
+            for &v in &q.values {
+                if v != 0 {
+                    assert!(
+                        (1i64 << (w - 1)..1i64 << w).contains(&v.abs()),
+                        "mantissa {v} not full-width for W={w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_more_accurate_than_uniform() {
+        let taps = example_taps();
+        for w in [6, 8, 10, 12] {
+            let u = quantize(&taps, w, Scaling::Uniform).unwrap();
+            let m = quantize(&taps, w, Scaling::Maximal).unwrap();
+            assert!(
+                m.max_error(&taps) <= u.max_error(&taps) + 1e-15,
+                "maximal should not be less accurate (W={w})"
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_by_lsb() {
+        let taps = example_taps();
+        let w = 10;
+        let u = quantize(&taps, w, Scaling::Uniform).unwrap();
+        // Uniform LSB is max/full; allow half an LSB of rounding.
+        let lsb = 0.9 / (((1i64 << (w - 1)) - 1) as f64);
+        assert!(u.max_error(&taps) <= 0.5 * lsb + 1e-12);
+    }
+
+    #[test]
+    fn zero_tap_stays_zero() {
+        let q = quantize(&example_taps(), 8, Scaling::Maximal).unwrap();
+        assert_eq!(q.values[5], 0);
+        assert_eq!(q.reconstruct()[5], 0.0);
+    }
+
+    #[test]
+    fn signs_preserved() {
+        for scaling in [Scaling::Uniform, Scaling::Maximal] {
+            let q = quantize(&example_taps(), 12, scaling).unwrap();
+            for (&v, &c) in q.values.iter().zip(&example_taps()) {
+                if c != 0.0 {
+                    assert_eq!(v.signum() as f64, c.signum(), "{scaling}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            quantize(&[], 8, Scaling::Uniform).unwrap_err(),
+            QuantizeError::Empty
+        );
+        assert_eq!(
+            quantize(&[0.0, 0.0], 8, Scaling::Uniform).unwrap_err(),
+            QuantizeError::AllZero
+        );
+        assert_eq!(
+            quantize(&[0.5], 0, Scaling::Uniform).unwrap_err(),
+            QuantizeError::BadWordlength(0)
+        );
+        assert_eq!(
+            quantize(&[0.5], 32, Scaling::Maximal).unwrap_err(),
+            QuantizeError::BadWordlength(32)
+        );
+        assert_eq!(
+            quantize(&[f64::NAN], 8, Scaling::Uniform).unwrap_err(),
+            QuantizeError::NotFinite(0)
+        );
+    }
+
+    #[test]
+    fn display_and_errors_format() {
+        assert_eq!(Scaling::Uniform.to_string(), "uniform");
+        assert_eq!(Scaling::Maximal.to_string(), "maximal");
+        assert!(QuantizeError::AllZero.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn reconstruct_free_function_matches_method() {
+        let q = quantize(&example_taps(), 9, Scaling::Maximal).unwrap();
+        assert_eq!(reconstruct(&q.values, &q.shifts, q.scale), q.reconstruct());
+    }
+
+    #[test]
+    fn maximal_handles_tiny_taps() {
+        let taps = [1.0, 1e-9];
+        let q = quantize(&taps, 16, Scaling::Maximal).unwrap();
+        assert!(q.max_error(&taps) < 1e-13);
+    }
+
+    #[test]
+    fn uniform_with_custom_scale() {
+        let q = quantize_uniform_with_scale(&[0.25, 0.5], 8, 1.0);
+        // 0.5 maps to half of full scale.
+        assert_eq!(q.values[1], 64);
+        assert_eq!(q.values[0], 32);
+    }
+}

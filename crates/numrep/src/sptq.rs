@@ -1,0 +1,169 @@
+//! Digit-budget (SPT-constrained) coefficient quantization.
+//!
+//! Classic multiplierless design practice (the paper's ref [11] lineage):
+//! instead of rounding each tap to the nearest `W`-bit integer, round it to
+//! the nearest value representable with at most `max_digits` signed
+//! power-of-two terms. The multiplier block cost is then bounded *a
+//! priori* — at most `max_digits − 1` adders per tap before any sharing —
+//! at a controlled accuracy cost.
+
+use crate::scaling::{QuantizeError, QuantizedCoeffs, Scaling};
+
+/// Rounds integer `v` to the nearest value whose CSD weight is at most
+/// `max_digits`, by greedily keeping the most significant signed digits.
+///
+/// Greedy truncation of the CSD expansion is within half of the last kept
+/// digit of the true nearest — tight enough for coefficient work and
+/// always representable.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_numrep::{round_to_spt, msd_weight};
+/// let r = round_to_spt(1227, 2); // 10011001011b
+/// assert!(msd_weight(r) <= 2);
+/// assert!((r - 1227).abs() <= 64);
+/// assert_eq!(round_to_spt(96, 4), 96); // already representable
+/// ```
+///
+/// # Panics
+///
+/// Panics if `max_digits == 0` or `|v| > 2^48`.
+pub fn round_to_spt(v: i64, max_digits: u32) -> i64 {
+    assert!(max_digits > 0, "max_digits must be positive");
+    assert!(
+        v != i64::MIN && v.unsigned_abs() <= 1 << 48,
+        "value out of supported range"
+    );
+    let mut remaining = v;
+    let mut acc = 0i64;
+    for _ in 0..max_digits {
+        if remaining == 0 {
+            break;
+        }
+        // Largest signed power of two not overshooting by more than half.
+        let mag = remaining.unsigned_abs();
+        let bit = 63 - mag.leading_zeros();
+        let low = 1i64 << bit;
+        let high = low << 1;
+        // Pick the closer of 2^bit and 2^(bit+1).
+        let term = if (high - mag as i64).abs() < (mag as i64 - low).abs() {
+            high
+        } else {
+            low
+        };
+        let signed = if remaining < 0 { -term } else { term };
+        acc += signed;
+        remaining -= signed;
+    }
+    acc
+}
+
+/// Quantizes real coefficients under a *digit budget*: first uniform
+/// scaling to `wordlength` bits, then each tap rounded to at most
+/// `max_digits` signed power-of-two terms.
+///
+/// # Errors
+///
+/// Propagates [`QuantizeError`] from the underlying uniform quantization;
+/// rejects `max_digits == 0` as [`QuantizeError::BadWordlength`].
+///
+/// # Examples
+///
+/// ```
+/// use mrp_numrep::{msd_weight, quantize_spt_limited};
+///
+/// let taps = [0.9, 0.43, -0.317, 0.051];
+/// let q = quantize_spt_limited(&taps, 12, 3)?;
+/// for &v in &q.values {
+///     assert!(msd_weight(v) <= 3);
+/// }
+/// # Ok::<(), mrp_numrep::QuantizeError>(())
+/// ```
+pub fn quantize_spt_limited(
+    coeffs: &[f64],
+    wordlength: u32,
+    max_digits: u32,
+) -> Result<QuantizedCoeffs, QuantizeError> {
+    if max_digits == 0 {
+        return Err(QuantizeError::BadWordlength(0));
+    }
+    let mut q = crate::scaling::quantize(coeffs, wordlength, Scaling::Uniform)?;
+    for v in &mut q.values {
+        *v = round_to_spt(*v, max_digits);
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digits::msd_weight;
+
+    #[test]
+    fn weight_bound_holds() {
+        for v in -3000..3000i64 {
+            for d in 1..5 {
+                assert!(
+                    msd_weight(round_to_spt(v, d)) <= d,
+                    "round_to_spt({v}, {d}) too heavy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn representable_values_pass_through() {
+        for v in [-96i64, 0, 1, 7, 45, 80, 1024] {
+            let w = msd_weight(v);
+            if w > 0 {
+                assert_eq!(round_to_spt(v, w), v, "{v} should be exact at weight {w}");
+            }
+        }
+        assert_eq!(round_to_spt(0, 3), 0);
+    }
+
+    #[test]
+    fn error_shrinks_with_budget() {
+        let v = 1_000_003i64;
+        let mut prev_err = i64::MAX;
+        for d in 1..8 {
+            let err = (round_to_spt(v, d) - v).abs();
+            assert!(err <= prev_err, "error grew at budget {d}");
+            prev_err = err;
+        }
+        assert_eq!(prev_err, 0); // weight(1000003) <= 7? if not, near zero
+    }
+
+    #[test]
+    fn quantize_limited_bounds_every_tap() {
+        let taps: Vec<f64> = (0..33)
+            .map(|i| ((i as f64) * 0.7).sin() * 0.8)
+            .collect();
+        let q = quantize_spt_limited(&taps, 14, 2).unwrap();
+        for &v in &q.values {
+            assert!(msd_weight(v) <= 2);
+        }
+        // Accuracy degrades vs unconstrained quantization but stays sane.
+        assert!(q.max_error(&taps) < 0.05);
+    }
+
+    #[test]
+    fn rejects_zero_budget() {
+        assert!(quantize_spt_limited(&[0.5], 10, 0).is_err());
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_last_digit() {
+        for v in 1..5000i64 {
+            let r = round_to_spt(v, 2);
+            // With two digits the residual is below half the second digit's
+            // weight — conservatively, a quarter of the leading power.
+            let lead = 1i64 << (63 - v.unsigned_abs().leading_zeros());
+            assert!(
+                (r - v).abs() <= lead / 4 + 1,
+                "round_to_spt({v}, 2) = {r}, lead {lead}"
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the number-representation substrate.
+
+use mrp_numrep::{
+    adder_cost, binary_digits, csd, is_power_of_two_or_zero, msd_weight, nonzero_digits, odd_part,
+    quantize, Repr, Scaling,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn csd_round_trip(v in -(1i64 << 40)..(1i64 << 40)) {
+        prop_assert_eq!(csd(v).value(), v);
+    }
+
+    #[test]
+    fn csd_is_canonical(v in -(1i64 << 40)..(1i64 << 40)) {
+        prop_assert!(csd(v).is_csd());
+    }
+
+    #[test]
+    fn csd_weight_at_most_binary(v in 0i64..(1i64 << 40)) {
+        prop_assert!(csd(v).nonzero_count() <= binary_digits(v).nonzero_count());
+    }
+
+    #[test]
+    fn csd_weight_sign_symmetric(v in 1i64..(1i64 << 40)) {
+        prop_assert_eq!(msd_weight(v), msd_weight(-v));
+    }
+
+    #[test]
+    fn csd_shift_invariant(v in 1i64..(1i64 << 30), k in 0u32..8) {
+        // Multiplying by 2^k must not change the digit weight.
+        prop_assert_eq!(msd_weight(v), msd_weight(v << k));
+    }
+
+    #[test]
+    fn binary_round_trip(v in -(1i64 << 40)..(1i64 << 40)) {
+        prop_assert_eq!(binary_digits(v).value(), v);
+    }
+
+    #[test]
+    fn odd_part_round_trip(v in -(1i64 << 40)..(1i64 << 40)) {
+        prop_assert_eq!(odd_part(v).reassemble(), v);
+    }
+
+    #[test]
+    fn odd_part_really_odd(v in 1i64..(1i64 << 40)) {
+        prop_assert_eq!(odd_part(v).odd & 1, 1);
+    }
+
+    #[test]
+    fn adder_cost_zero_iff_trivial(v in -(1i64 << 30)..(1i64 << 30)) {
+        for r in Repr::ALL {
+            let free = adder_cost(v, r) == 0;
+            prop_assert_eq!(free, is_power_of_two_or_zero(v),
+                "repr {} value {}", r, v);
+        }
+    }
+
+    #[test]
+    fn nonzero_digits_shift_invariant(v in 1i64..(1i64 << 30), k in 0u32..8) {
+        for r in Repr::ALL {
+            prop_assert_eq!(nonzero_digits(v, r), nonzero_digits(v << k, r));
+        }
+    }
+
+    #[test]
+    fn quantize_uniform_within_range(
+        taps in prop::collection::vec(-1.0f64..1.0, 1..64),
+        w in 2u32..20,
+    ) {
+        prop_assume!(taps.iter().any(|t| t.abs() > 1e-9));
+        let q = quantize(&taps, w, Scaling::Uniform).unwrap();
+        for &v in &q.values {
+            prop_assert!(v.abs() < 1 << w);
+        }
+    }
+
+    #[test]
+    fn quantize_maximal_full_width(
+        taps in prop::collection::vec(-1.0f64..1.0, 1..64),
+        w in 2u32..20,
+    ) {
+        prop_assume!(taps.iter().any(|t| t.abs() > 1e-9));
+        let q = quantize(&taps, w, Scaling::Maximal).unwrap();
+        for &v in &q.values {
+            if v != 0 {
+                prop_assert!((1i64 << (w - 1)..1i64 << w).contains(&v.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_error_shrinks_with_wordlength(
+        taps in prop::collection::vec(-1.0f64..1.0, 2..32),
+    ) {
+        prop_assume!(taps.iter().any(|t| t.abs() > 1e-3));
+        let e8 = quantize(&taps, 8, Scaling::Uniform).unwrap().max_error(&taps);
+        let e16 = quantize(&taps, 16, Scaling::Uniform).unwrap().max_error(&taps);
+        prop_assert!(e16 <= e8 + 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Deterministic test-signal generators.
+//!
+//! All generators are reproducible (no external RNG): noise uses a fixed
+//! LCG so failures replay exactly.
+
+/// Unit impulse of length `n` with amplitude `amp` at sample 0.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_sim::signal::impulse;
+/// let x = impulse(4, 100);
+/// assert_eq!(x, vec![100, 0, 0, 0]);
+/// ```
+pub fn impulse(n: usize, amp: i64) -> Vec<i64> {
+    let mut v = vec![0; n];
+    if n > 0 {
+        v[0] = amp;
+    }
+    v
+}
+
+/// Step of length `n` with amplitude `amp`.
+pub fn step(n: usize, amp: i64) -> Vec<i64> {
+    vec![amp; n]
+}
+
+/// Integer-rounded sine tone at normalized frequency `f` (cycles/sample)
+/// with the given peak amplitude.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_sim::signal::sine;
+/// let x = sine(8, 0.25, 1000.0); // quarter-rate tone
+/// assert_eq!(x[0], 0);
+/// assert_eq!(x[1], 1000);
+/// assert_eq!(x[2], 0);
+/// assert_eq!(x[3], -1000);
+/// ```
+pub fn sine(n: usize, f: f64, amplitude: f64) -> Vec<i64> {
+    (0..n)
+        .map(|i| (amplitude * (2.0 * std::f64::consts::PI * f * i as f64).sin()).round() as i64)
+        .collect()
+}
+
+/// Sum of two tones, for stopband-rejection tests.
+pub fn two_tone(n: usize, f1: f64, a1: f64, f2: f64, a2: f64) -> Vec<i64> {
+    let t1 = sine(n, f1, a1);
+    let t2 = sine(n, f2, a2);
+    t1.iter().zip(&t2).map(|(&a, &b)| a + b).collect()
+}
+
+/// Deterministic uniform white noise in `[-amp, amp]` from a fixed LCG
+/// seeded by `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_sim::signal::white_noise;
+/// let a = white_noise(16, 100, 7);
+/// let b = white_noise(16, 100, 7);
+/// assert_eq!(a, b); // reproducible
+/// assert!(a.iter().all(|&v| v.abs() <= 100));
+/// ```
+pub fn white_noise(n: usize, amp: i64, seed: u64) -> Vec<i64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            ((2.0 * u - 1.0) * amp as f64).round() as i64
+        })
+        .collect()
+}
+
+/// Linear chirp sweeping `f0 → f1` over `n` samples.
+pub fn chirp(n: usize, f0: f64, f1: f64, amplitude: f64) -> Vec<i64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let f = f0 + (f1 - f0) * t / n.max(1) as f64 / 2.0;
+            (amplitude * (2.0 * std::f64::consts::PI * f * t).sin()).round() as i64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_and_step() {
+        assert_eq!(impulse(3, 5), vec![5, 0, 0]);
+        assert_eq!(step(3, 5), vec![5, 5, 5]);
+        assert!(impulse(0, 5).is_empty());
+    }
+
+    #[test]
+    fn sine_peak_amplitude() {
+        let x = sine(1000, 0.013, 500.0);
+        let max = x.iter().map(|v| v.abs()).max().unwrap();
+        assert!((495..=500).contains(&max));
+    }
+
+    #[test]
+    fn noise_amplitude_bounded_and_zero_meanish() {
+        let x = white_noise(10_000, 1000, 42);
+        assert!(x.iter().all(|&v| v.abs() <= 1000));
+        let mean: f64 = x.iter().map(|&v| v as f64).sum::<f64>() / x.len() as f64;
+        assert!(mean.abs() < 30.0, "mean {mean}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(white_noise(64, 100, 1), white_noise(64, 100, 2));
+    }
+
+    #[test]
+    fn two_tone_superposes() {
+        let t = two_tone(16, 0.25, 100.0, 0.125, 50.0);
+        let a = sine(16, 0.25, 100.0);
+        let b = sine(16, 0.125, 50.0);
+        for i in 0..16 {
+            assert_eq!(t[i], a[i] + b[i]);
+        }
+    }
+
+    #[test]
+    fn chirp_is_bounded() {
+        let x = chirp(512, 0.01, 0.4, 300.0);
+        assert!(x.iter().all(|&v| v.abs() <= 300));
+    }
+}

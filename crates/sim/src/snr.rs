@@ -1,0 +1,88 @@
+//! Signal-to-error-ratio measurement between a fixed-point architecture
+//! and its floating-point reference.
+
+/// Breakdown of an SNR measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrReport {
+    /// Reference signal power (mean square).
+    pub signal_power: f64,
+    /// Error power (mean square of the difference).
+    pub error_power: f64,
+    /// `10 log10(signal/error)`; `f64::INFINITY` for a bit-exact match.
+    pub snr_db: f64,
+}
+
+/// Computes the SNR of `measured` against the floating-point `reference`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_sim::snr_db;
+/// let reference = [100.0, -50.0, 25.0];
+/// let measured = [100i64, -50, 25];
+/// assert!(snr_db(&measured, &reference).snr_db.is_infinite());
+/// ```
+pub fn snr_db(measured: &[i64], reference: &[f64]) -> SnrReport {
+    assert_eq!(measured.len(), reference.len(), "length mismatch");
+    assert!(!measured.is_empty(), "empty signals");
+    let n = measured.len() as f64;
+    let signal_power = reference.iter().map(|r| r * r).sum::<f64>() / n;
+    let error_power = measured
+        .iter()
+        .zip(reference)
+        .map(|(&m, &r)| {
+            let e = m as f64 - r;
+            e * e
+        })
+        .sum::<f64>()
+        / n;
+    let snr_db = if error_power == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal_power / error_power).log10()
+    };
+    SnrReport {
+        signal_power,
+        error_power,
+        snr_db,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_is_infinite() {
+        let r = snr_db(&[5, -3], &[5.0, -3.0]);
+        assert!(r.snr_db.is_infinite());
+        assert_eq!(r.error_power, 0.0);
+    }
+
+    #[test]
+    fn known_snr() {
+        // Signal power 100, error power 1 => 20 dB.
+        let reference = vec![10.0f64; 64];
+        let measured = vec![11i64; 64];
+        let r = snr_db(&measured, &reference);
+        assert!((r.snr_db - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_degrades_with_error() {
+        let reference = vec![100.0f64; 32];
+        let small = snr_db(&vec![101i64; 32], &reference).snr_db;
+        let large = snr_db(&vec![110i64; 32], &reference).snr_db;
+        assert!(small > large);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        snr_db(&[1], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Block-based streaming around a multiplierless FIR with output
+//! width control.
+
+use mrp_arch::FirFilter;
+
+/// What happens when an output exceeds the configured output width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowMode {
+    /// Clamp to the representable range (the usual DSP datapath choice).
+    #[default]
+    Saturate,
+    /// Two's-complement wraparound (what unchecked hardware does).
+    Wrap,
+}
+
+/// A streaming FIR: processes arbitrary-size blocks while carrying the
+/// filter state between calls, and constrains outputs to `output_width`
+/// bits with the chosen overflow behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{simple_multiplier_block, FirFilter};
+/// use mrp_numrep::Repr;
+/// use mrp_sim::{OverflowMode, StreamingFir};
+///
+/// let coeffs = [3i64, -1, 4];
+/// let (mut g, outs) = simple_multiplier_block(&coeffs, Repr::Csd)?;
+/// for (i, (&t, &c)) in outs.iter().zip(&coeffs).enumerate() {
+///     g.push_output(format!("c{i}"), t, c);
+/// }
+/// let mut s = StreamingFir::new(FirFilter::new(g), 32, OverflowMode::Saturate);
+/// // Streaming in two blocks equals filtering in one shot.
+/// let mut out = s.process(&[1, 0]);
+/// out.extend(s.process(&[0, 2]));
+/// assert_eq!(out, vec![3, -1, 4, 6]);
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingFir {
+    filter: FirFilter,
+    history: Vec<i64>,
+    output_width: u32,
+    mode: OverflowMode,
+    samples_processed: u64,
+}
+
+impl StreamingFir {
+    /// Wraps a filter with an output width (2..=63 bits) and overflow mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_width` is outside `2..=63`.
+    pub fn new(filter: FirFilter, output_width: u32, mode: OverflowMode) -> Self {
+        assert!(
+            (2..=63).contains(&output_width),
+            "output width must be within 2..=63"
+        );
+        StreamingFir {
+            filter,
+            history: Vec::new(),
+            output_width,
+            mode,
+            samples_processed: 0,
+        }
+    }
+
+    /// Total samples processed since construction or the last
+    /// [`StreamingFir::reset`].
+    pub fn samples_processed(&self) -> u64 {
+        self.samples_processed
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.samples_processed = 0;
+    }
+
+    /// Processes one block, returning one output per input sample.
+    pub fn process(&mut self, block: &[i64]) -> Vec<i64> {
+        // Prepend retained history, filter, and emit only the new tail.
+        let taps = self.filter.tap_count();
+        let mut input = self.history.clone();
+        input.extend_from_slice(block);
+        let full = self.filter.filter(&input);
+        let out: Vec<i64> = full[self.history.len()..]
+            .iter()
+            .map(|&y| self.constrain(y))
+            .collect();
+        // Keep the last taps-1 samples as state for the next block.
+        let keep = taps.saturating_sub(1).min(input.len());
+        self.history = input[input.len() - keep..].to_vec();
+        self.samples_processed += block.len() as u64;
+        out
+    }
+
+    fn constrain(&self, y: i64) -> i64 {
+        let max = (1i64 << (self.output_width - 1)) - 1;
+        let min = -(1i64 << (self.output_width - 1));
+        match self.mode {
+            OverflowMode::Saturate => y.clamp(min, max),
+            OverflowMode::Wrap => {
+                let shift = 64 - self.output_width;
+                (y << shift) >> shift
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_arch::{direct_fir, simple_multiplier_block};
+    use mrp_numrep::Repr;
+
+    fn filter(coeffs: &[i64]) -> FirFilter {
+        let (mut g, outs) = simple_multiplier_block(coeffs, Repr::Csd).unwrap();
+        for (i, (&t, &c)) in outs.iter().zip(coeffs).enumerate() {
+            g.push_output(format!("c{i}"), t, c);
+        }
+        FirFilter::new(g)
+    }
+
+    #[test]
+    fn blocked_equals_batch() {
+        let coeffs = [5i64, -2, 7, 1];
+        let input: Vec<i64> = (0..40).map(|i| (i * 13 % 29) - 14).collect();
+        let batch = direct_fir(&coeffs, &input);
+        let mut s = StreamingFir::new(filter(&coeffs), 40, OverflowMode::Saturate);
+        let mut out = Vec::new();
+        for chunk in input.chunks(7) {
+            out.extend(s.process(chunk));
+        }
+        assert_eq!(out, batch);
+        assert_eq!(s.samples_processed(), 40);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let coeffs = [1000i64];
+        let mut s = StreamingFir::new(filter(&coeffs), 8, OverflowMode::Saturate);
+        assert_eq!(s.process(&[1000]), vec![127]);
+        assert_eq!(s.process(&[-1000]), vec![-128]);
+    }
+
+    #[test]
+    fn wrap_wraps() {
+        let coeffs = [1i64];
+        let mut s = StreamingFir::new(filter(&coeffs), 8, OverflowMode::Wrap);
+        assert_eq!(s.process(&[128]), vec![-128]);
+        assert_eq!(s.process(&[256]), vec![0]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let coeffs = [1i64, 1];
+        let mut s = StreamingFir::new(filter(&coeffs), 16, OverflowMode::Saturate);
+        s.process(&[7]);
+        s.reset();
+        assert_eq!(s.process(&[1]), vec![1]); // no leftover 7
+        assert_eq!(s.samples_processed(), 1);
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        let coeffs = [3i64];
+        let mut s = StreamingFir::new(filter(&coeffs), 16, OverflowMode::Saturate);
+        assert!(s.process(&[]).is_empty());
+        assert_eq!(s.process(&[2]), vec![6]);
+    }
+}

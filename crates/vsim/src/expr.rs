@@ -1,0 +1,119 @@
+//! Expression AST and width-exact evaluation.
+
+use std::collections::HashMap;
+
+/// Expression over named signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Signal reference.
+    Ident(String),
+    /// All-zero constant (`{N{1'b0}}`).
+    Zero,
+    /// Arithmetic (sign-preserving) left shift by a constant.
+    Shl(Box<Expr>, u32),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Two's-complement addition.
+    Add(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates in `width`-bit two's complement: every intermediate is
+    /// wrapped to `width` bits and sign-extended, exactly as `wire signed
+    /// [width-1:0]` arithmetic behaves after assignment.
+    ///
+    /// Unknown identifiers evaluate to an error string naming the signal.
+    pub fn eval(&self, env: &HashMap<String, i64>, width: u32) -> Result<i64, String> {
+        let v = match self {
+            Expr::Ident(name) => *env
+                .get(name)
+                .ok_or_else(|| format!("unknown signal `{name}`"))?,
+            Expr::Zero => 0,
+            Expr::Shl(inner, k) => {
+                let base = inner.eval(env, width)?;
+                base.wrapping_shl(*k)
+            }
+            Expr::Neg(inner) => inner.eval(env, width)?.wrapping_neg(),
+            Expr::Add(a, b) => a
+                .eval(env, width)?
+                .wrapping_add(b.eval(env, width)?),
+        };
+        Ok(truncate(v, width))
+    }
+
+    /// Names of all referenced signals.
+    pub fn idents(&self) -> Vec<&str> {
+        match self {
+            Expr::Ident(n) => vec![n.as_str()],
+            Expr::Zero => vec![],
+            Expr::Shl(e, _) | Expr::Neg(e) => e.idents(),
+            Expr::Add(a, b) => {
+                let mut v = a.idents();
+                v.extend(b.idents());
+                v
+            }
+        }
+    }
+}
+
+/// Wraps `v` to `width` bits with sign extension.
+pub(crate) fn truncate(v: i64, width: u32) -> i64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        return v;
+    }
+    let shift = 64 - width;
+    (v << shift) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn basic_arith() {
+        let e = Expr::Add(
+            Box::new(Expr::Shl(Box::new(Expr::Ident("x".into())), 3)),
+            Box::new(Expr::Neg(Box::new(Expr::Ident("x".into())))),
+        );
+        assert_eq!(e.eval(&env(&[("x", 5)]), 32).unwrap(), 35);
+    }
+
+    #[test]
+    fn wrapping_at_width() {
+        // 8-bit: 127 + 1 wraps to -128.
+        let e = Expr::Add(
+            Box::new(Expr::Ident("a".into())),
+            Box::new(Expr::Ident("b".into())),
+        );
+        assert_eq!(e.eval(&env(&[("a", 127), ("b", 1)]), 8).unwrap(), -128);
+    }
+
+    #[test]
+    fn shift_wraps_too() {
+        let e = Expr::Shl(Box::new(Expr::Ident("x".into())), 7);
+        assert_eq!(e.eval(&env(&[("x", 1)]), 8).unwrap(), -128);
+    }
+
+    #[test]
+    fn unknown_ident_reported() {
+        let e = Expr::Ident("nope".into());
+        assert!(e.eval(&env(&[]), 16).unwrap_err().contains("nope"));
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert_eq!(Expr::Zero.eval(&env(&[]), 12).unwrap(), 0);
+    }
+
+    #[test]
+    fn truncate_sign_extends() {
+        assert_eq!(truncate(0xFF, 8), -1);
+        assert_eq!(truncate(0x7F, 8), 127);
+        assert_eq!(truncate(-1, 64), -1);
+    }
+}

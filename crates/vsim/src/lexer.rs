@@ -1,0 +1,222 @@
+//! Tokenizer for the structural Verilog subset.
+
+use std::fmt;
+
+/// Token categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`module`, `wire`, signal names…).
+    Ident(String),
+    /// Decimal integer literal.
+    Number(u64),
+    /// The sized binary zero literal `1'b0`.
+    ZeroBit,
+    /// One of the punctuation/operator tokens.
+    Punct(&'static str),
+}
+
+/// A token plus its 1-based line for error messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Source line.
+    pub line: usize,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::ZeroBit => write!(f, "1'b0"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+        }
+    }
+}
+
+/// Splits `src` into tokens, dropping `//` comments.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let code = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let mut chars = code.char_indices().peekable();
+        while let Some(&(i, c)) = chars.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut end = i;
+                    while let Some(&(j, c2)) = chars.peek() {
+                        if c2.is_ascii_alphanumeric() || c2 == '_' {
+                            end = j + c2.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Ident(code[i..end].to_string()),
+                        line: line_no,
+                    });
+                }
+                c if c.is_ascii_digit() => {
+                    let mut end = i;
+                    while let Some(&(j, c2)) = chars.peek() {
+                        if c2.is_ascii_digit() {
+                            end = j + 1;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    // `1'b0` sized literal?
+                    if code[end..].starts_with("'b0") {
+                        for _ in 0..3 {
+                            chars.next();
+                        }
+                        out.push(Token {
+                            kind: TokenKind::ZeroBit,
+                            line: line_no,
+                        });
+                    } else {
+                        let n: u64 = code[i..end]
+                            .parse()
+                            .map_err(|_| format!("line {line_no}: bad number"))?;
+                        out.push(Token {
+                            kind: TokenKind::Number(n),
+                            line: line_no,
+                        });
+                    }
+                }
+                '<' => {
+                    chars.next();
+                    if let Some(&(_, '=')) = chars.peek() {
+                        chars.next();
+                        out.push(Token {
+                            kind: TokenKind::Punct("<="),
+                            line: line_no,
+                        });
+                        continue;
+                    }
+                    let mut count = 1;
+                    while count < 3 {
+                        match chars.peek() {
+                            Some(&(_, '<')) => {
+                                chars.next();
+                                count += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    if count != 3 {
+                        return Err(format!(
+                            "line {line_no}: expected `<<<` or `<=`, found {} `<`",
+                            count
+                        ));
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Punct("<<<"),
+                        line: line_no,
+                    });
+                }
+                '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | ':' | '=' | '+' | '-' | '@' => {
+                    chars.next();
+                    let p = match c {
+                        '(' => "(",
+                        ')' => ")",
+                        '[' => "[",
+                        ']' => "]",
+                        '{' => "{",
+                        '}' => "}",
+                        ',' => ",",
+                        ';' => ";",
+                        ':' => ":",
+                        '=' => "=",
+                        '+' => "+",
+                        '@' => "@",
+                        _ => "-",
+                    };
+                    out.push(Token {
+                        kind: TokenKind::Punct(p),
+                        line: line_no,
+                    });
+                }
+                other => {
+                    return Err(format!("line {line_no}: unexpected character `{other}`"));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_declaration() {
+        let toks = lex("wire signed [15:0] n1 = (x <<< 3) + (-x);").unwrap();
+        let kinds: Vec<String> = toks.iter().map(|t| t.kind.to_string()).collect();
+        assert!(kinds.contains(&"`<<<`".to_string()));
+        assert!(kinds.contains(&"`wire`".to_string()));
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Punct(";"));
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let toks = lex("x // the input\n").unwrap();
+        assert_eq!(toks.len(), 1);
+    }
+
+    #[test]
+    fn zero_literal() {
+        let toks = lex("{24{1'b0}}").unwrap();
+        assert_eq!(
+            toks.iter().map(|t| &t.kind).collect::<Vec<_>>(),
+            vec![
+                &TokenKind::Punct("{"),
+                &TokenKind::Number(24),
+                &TokenKind::Punct("{"),
+                &TokenKind::ZeroBit,
+                &TokenKind::Punct("}"),
+                &TokenKind::Punct("}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_partial_shift() {
+        assert!(lex("a << b").is_err());
+    }
+
+    #[test]
+    fn nonblocking_assign_and_at() {
+        let toks = lex("always @(posedge clk) q <= d;").unwrap();
+        let kinds: Vec<String> = toks.iter().map(|t| t.kind.to_string()).collect();
+        assert!(kinds.contains(&"`@`".to_string()));
+        assert!(kinds.contains(&"`<=`".to_string()));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        assert!(lex("a ? b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\nc").unwrap();
+        assert_eq!(toks[2].line, 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! Structural Verilog subset parser and simulator.
+//!
+//! `mrp-arch` emits multiplier blocks as plain Verilog-2001. This crate
+//! closes the verification loop: it parses that subset back into a netlist
+//! and simulates it with width-exact two's-complement arithmetic, so the
+//! *emitted text* — not just the in-memory graph — is checked against the
+//! golden model. The subset covers what a synthesizable constant-multiplier
+//! block needs:
+//!
+//! * one `module … endmodule` with `input signed [msb:0]` and
+//!   `output signed [msb:0]` ports;
+//! * `wire signed [msb:0] name = expr;` declarations;
+//! * `assign name = expr;` statements;
+//! * expressions over identifiers with `+`, unary `-`, arithmetic shift
+//!   left `<<<`, parentheses, and the all-zero replication literal
+//!   `{N{1'b0}}`;
+//! * `// line comments` anywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrp_vsim::Module;
+//!
+//! let src = r#"
+//! module mult (
+//!     input  signed [7:0] x,
+//!     output signed [15:0] y
+//! );
+//!     wire signed [15:0] x_ext = x;
+//!     wire signed [15:0] n1 = (x_ext <<< 3) + (-x_ext); // 7x
+//!     assign y = n1;
+//! endmodule
+//! "#;
+//! let m = Module::parse(src)?;
+//! assert_eq!(m.name, "mult");
+//! assert_eq!(m.evaluate(5)?, vec![35]);
+//! # Ok::<(), mrp_vsim::VerilogError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod expr;
+mod lexer;
+mod module;
+
+pub use expr::Expr;
+pub use lexer::{Token, TokenKind};
+pub use module::{Module, Port, VerilogError};

@@ -1,0 +1,605 @@
+//! Module parser and simulator.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::{truncate, Expr};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Error with a line-referenced message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerilogError(pub String);
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for VerilogError {}
+
+/// A declared port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Signal name.
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+}
+
+/// A parsed structural module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// The single input port.
+    pub input: Port,
+    /// The clock port name, when the module is sequential.
+    pub clock: Option<String>,
+    /// Output ports, in declaration order.
+    pub outputs: Vec<Port>,
+    /// Wire declarations `(name, width, expr)`, in order.
+    pub wires: Vec<(String, u32, Expr)>,
+    /// Register declarations, in order.
+    pub regs: Vec<Port>,
+    /// Nonblocking updates `(target reg, expr)` from the `always` block.
+    pub updates: Vec<(String, Expr)>,
+    /// `assign` statements `(target, expr)`, in order.
+    pub assigns: Vec<(String, Expr)>,
+}
+
+/// Recursive-descent parser state.
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn next(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl fmt::Display) -> VerilogError {
+        VerilogError(format!("line {}: {msg}", self.line()))
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), VerilogError> {
+        match self.next() {
+            Some(TokenKind::Punct(got)) if got == p => Ok(()),
+            other => Err(self.err(format!(
+                "expected `{p}`, found {}",
+                other.map_or("end of input".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, VerilogError> {
+        match self.next() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            other => Err(self.err(format!(
+                "expected identifier, found {}",
+                other.map_or("end of input".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), VerilogError> {
+        let s = self.expect_ident()?;
+        if s == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found `{s}`")))
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64, VerilogError> {
+        match self.next() {
+            Some(TokenKind::Number(n)) => Ok(n),
+            other => Err(self.err(format!(
+                "expected number, found {}",
+                other.map_or("end of input".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    /// `signed [msb:0]` → width.
+    fn range(&mut self) -> Result<u32, VerilogError> {
+        self.expect_keyword("signed")?;
+        self.expect_punct("[")?;
+        let msb = self.expect_number()?;
+        self.expect_punct(":")?;
+        let lsb = self.expect_number()?;
+        self.expect_punct("]")?;
+        if lsb != 0 || msb >= 64 {
+            return Err(self.err("only [msb:0] ranges below 64 bits are supported"));
+        }
+        Ok(msb as u32 + 1)
+    }
+
+    /// expr := unary ('+' unary)*
+    fn expr(&mut self) -> Result<Expr, VerilogError> {
+        let mut acc = self.unary()?;
+        while self.peek() == Some(&TokenKind::Punct("+")) {
+            self.next();
+            let rhs = self.unary()?;
+            acc = Expr::Add(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    /// unary := '-' unary | shifted
+    fn unary(&mut self) -> Result<Expr, VerilogError> {
+        if self.peek() == Some(&TokenKind::Punct("-")) {
+            self.next();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.shifted()
+    }
+
+    /// shifted := primary ('<<<' NUMBER)?
+    fn shifted(&mut self) -> Result<Expr, VerilogError> {
+        let base = self.primary()?;
+        if self.peek() == Some(&TokenKind::Punct("<<<")) {
+            self.next();
+            let k = self.expect_number()?;
+            if k >= 64 {
+                return Err(self.err("shift amount too large"));
+            }
+            return Ok(Expr::Shl(Box::new(base), k as u32));
+        }
+        Ok(base)
+    }
+
+    /// primary := IDENT | '(' expr ')' | '{' N '{' 1'b0 '}' '}'
+    fn primary(&mut self) -> Result<Expr, VerilogError> {
+        match self.next() {
+            Some(TokenKind::Ident(name)) => Ok(Expr::Ident(name)),
+            Some(TokenKind::Punct("(")) => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(TokenKind::Punct("{")) => {
+                let _n = self.expect_number()?;
+                self.expect_punct("{")?;
+                match self.next() {
+                    Some(TokenKind::ZeroBit) => {}
+                    _ => return Err(self.err("expected 1'b0 in replication")),
+                }
+                self.expect_punct("}")?;
+                self.expect_punct("}")?;
+                Ok(Expr::Zero)
+            }
+            other => Err(self.err(format!(
+                "expected expression, found {}",
+                other.map_or("end of input".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+}
+
+impl Module {
+    /// Parses one module from the supported subset.
+    ///
+    /// # Errors
+    ///
+    /// [`VerilogError`] with a line-referenced message on any deviation
+    /// from the subset grammar.
+    pub fn parse(src: &str) -> Result<Module, VerilogError> {
+        let tokens = lex(src).map_err(VerilogError)?;
+        let mut p = Parser { tokens, pos: 0 };
+        p.expect_keyword("module")?;
+        let name = p.expect_ident()?;
+        p.expect_punct("(")?;
+        let mut input: Option<Port> = None;
+        let mut clock: Option<String> = None;
+        let mut outputs = Vec::new();
+        loop {
+            match p.next() {
+                Some(TokenKind::Ident(dir)) if dir == "input" => {
+                    // Either `input clk` (1 bit) or `input signed [..] x`.
+                    match p.peek() {
+                        Some(TokenKind::Ident(kw)) if kw == "signed" => {
+                            let width = p.range()?;
+                            let pname = p.expect_ident()?;
+                            if input.is_some() {
+                                return Err(p.err("multiple data inputs are not supported"));
+                            }
+                            input = Some(Port { name: pname, width });
+                        }
+                        _ => {
+                            let cname = p.expect_ident()?;
+                            if clock.is_some() {
+                                return Err(p.err("multiple clocks are not supported"));
+                            }
+                            clock = Some(cname);
+                        }
+                    }
+                }
+                Some(TokenKind::Ident(dir)) if dir == "output" => {
+                    let width = p.range()?;
+                    let pname = p.expect_ident()?;
+                    outputs.push(Port { name: pname, width });
+                }
+                other => {
+                    return Err(p.err(format!(
+                        "expected `input` or `output`, found {}",
+                        other.map_or("end of input".to_string(), |t| t.to_string())
+                    )))
+                }
+            }
+            match p.next() {
+                Some(TokenKind::Punct(",")) => continue,
+                Some(TokenKind::Punct(")")) => break,
+                other => {
+                    return Err(p.err(format!(
+                        "expected `,` or `)`, found {}",
+                        other.map_or("end of input".to_string(), |t| t.to_string())
+                    )))
+                }
+            }
+        }
+        p.expect_punct(";")?;
+        let input = input.ok_or_else(|| p.err("module has no input port"))?;
+
+        let mut wires = Vec::new();
+        let mut regs: Vec<Port> = Vec::new();
+        let mut updates: Vec<(String, Expr)> = Vec::new();
+        let mut assigns: Vec<(String, Expr)> = Vec::new();
+        loop {
+            match p.next() {
+                Some(TokenKind::Ident(kw)) if kw == "reg" => {
+                    let width = p.range()?;
+                    let rname = p.expect_ident()?;
+                    p.expect_punct(";")?;
+                    regs.push(Port { name: rname, width });
+                }
+                Some(TokenKind::Ident(kw)) if kw == "always" => {
+                    p.expect_punct("@")?;
+                    p.expect_punct("(")?;
+                    p.expect_keyword("posedge")?;
+                    let cname = p.expect_ident()?;
+                    if clock.as_deref() != Some(cname.as_str()) {
+                        return Err(p.err(format!("unknown clock `{cname}`")));
+                    }
+                    p.expect_punct(")")?;
+                    p.expect_keyword("begin")?;
+                    loop {
+                        match p.peek() {
+                            Some(TokenKind::Ident(kw)) if kw == "end" => {
+                                p.next();
+                                break;
+                            }
+                            _ => {
+                                let target = p.expect_ident()?;
+                                p.expect_punct("<=")?;
+                                let e = p.expr()?;
+                                p.expect_punct(";")?;
+                                updates.push((target, e));
+                            }
+                        }
+                    }
+                }
+                Some(TokenKind::Ident(kw)) if kw == "wire" => {
+                    let width = p.range()?;
+                    let wname = p.expect_ident()?;
+                    p.expect_punct("=")?;
+                    let e = p.expr()?;
+                    p.expect_punct(";")?;
+                    wires.push((wname, width, e));
+                }
+                Some(TokenKind::Ident(kw)) if kw == "assign" => {
+                    let target = p.expect_ident()?;
+                    p.expect_punct("=")?;
+                    let e = p.expr()?;
+                    p.expect_punct(";")?;
+                    assigns.push((target, e));
+                }
+                Some(TokenKind::Ident(kw)) if kw == "endmodule" => break,
+                other => {
+                    return Err(p.err(format!(
+                        "expected `wire`, `assign`, or `endmodule`, found {}",
+                        other.map_or("end of input".to_string(), |t| t.to_string())
+                    )))
+                }
+            }
+        }
+        let module = Module {
+            name,
+            input,
+            clock,
+            outputs,
+            wires,
+            regs,
+            updates,
+            assigns,
+        };
+        module.check()?;
+        Ok(module)
+    }
+
+    /// Static checks: every referenced signal is declared (registers are
+    /// state, so they may be read by any wire regardless of source order),
+    /// every output is assigned exactly once, and every nonblocking update
+    /// targets a declared register.
+    fn check(&self) -> Result<(), VerilogError> {
+        let mut known: Vec<&str> = vec![self.input.name.as_str()];
+        known.extend(self.regs.iter().map(|r| r.name.as_str()));
+        for (wname, _, e) in &self.wires {
+            for id in e.idents() {
+                if !known.contains(&id) {
+                    return Err(VerilogError(format!(
+                        "wire `{wname}` uses `{id}` before declaration"
+                    )));
+                }
+            }
+            known.push(wname.as_str());
+        }
+        for (target, e) in &self.updates {
+            if !self.regs.iter().any(|r| &r.name == target) {
+                return Err(VerilogError(format!(
+                    "nonblocking assignment to non-register `{target}`"
+                )));
+            }
+            for id in e.idents() {
+                if !known.contains(&id) {
+                    return Err(VerilogError(format!(
+                        "update of `{target}` uses undeclared `{id}`"
+                    )));
+                }
+            }
+        }
+        for r in &self.regs {
+            let count = self.updates.iter().filter(|(t, _)| t == &r.name).count();
+            if count != 1 {
+                return Err(VerilogError(format!(
+                    "register `{}` updated {count} times",
+                    r.name
+                )));
+            }
+        }
+        for out in &self.outputs {
+            let count = self
+                .assigns
+                .iter()
+                .filter(|(t, _)| *t == out.name)
+                .count();
+            if count != 1 {
+                return Err(VerilogError(format!(
+                    "output `{}` assigned {count} times",
+                    out.name
+                )));
+            }
+        }
+        for (target, e) in &self.assigns {
+            if !self.outputs.iter().any(|o| &o.name == target) {
+                return Err(VerilogError(format!(
+                    "assign target `{target}` is not an output"
+                )));
+            }
+            for id in e.idents() {
+                if !known.contains(&id) {
+                    return Err(VerilogError(format!(
+                        "assign to `{target}` uses undeclared `{id}`"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the module has a clock and registers.
+    pub fn is_sequential(&self) -> bool {
+        self.clock.is_some() && !self.regs.is_empty()
+    }
+
+    /// Fresh register state (all zeros), for [`Module::step`].
+    pub fn new_state(&self) -> Vec<i64> {
+        vec![0; self.regs.len()]
+    }
+
+    /// Advances a sequential module by one clock: applies `x`, settles the
+    /// combinational logic against the *current* register state, samples
+    /// the outputs, then commits the nonblocking updates into `state`.
+    ///
+    /// # Errors
+    ///
+    /// [`VerilogError`] on evaluation of undeclared signals or a state
+    /// vector of the wrong length.
+    pub fn step(&self, state: &mut Vec<i64>, x: i64) -> Result<Vec<i64>, VerilogError> {
+        if state.len() != self.regs.len() {
+            return Err(VerilogError(format!(
+                "state holds {} registers, module has {}",
+                state.len(),
+                self.regs.len()
+            )));
+        }
+        let mut env: HashMap<String, i64> = HashMap::new();
+        env.insert(self.input.name.clone(), truncate(x, self.input.width));
+        for (r, &v) in self.regs.iter().zip(state.iter()) {
+            env.insert(r.name.clone(), truncate(v, r.width));
+        }
+        for (name, width, e) in &self.wires {
+            let v = e.eval(&env, *width).map_err(VerilogError)?;
+            env.insert(name.clone(), v);
+        }
+        // Sample outputs before the edge.
+        let mut by_name: HashMap<&str, &Expr> = HashMap::new();
+        for (target, e) in &self.assigns {
+            by_name.insert(target.as_str(), e);
+        }
+        let outputs: Result<Vec<i64>, VerilogError> = self
+            .outputs
+            .iter()
+            .map(|o| {
+                let e = by_name
+                    .get(o.name.as_str())
+                    .ok_or_else(|| VerilogError(format!("output `{}` unassigned", o.name)))?;
+                e.eval(&env, o.width).map_err(VerilogError)
+            })
+            .collect();
+        let outputs = outputs?;
+        // Commit nonblocking updates simultaneously.
+        let mut next = state.clone();
+        for (target, e) in &self.updates {
+            let idx = self
+                .regs
+                .iter()
+                .position(|r| &r.name == target)
+                .expect("checked at parse time");
+            next[idx] = e
+                .eval(&env, self.regs[idx].width)
+                .map_err(VerilogError)?;
+        }
+        *state = next;
+        Ok(outputs)
+    }
+
+    /// Simulates a *combinational* module for one input value, returning
+    /// the outputs in declaration order with width-exact two's-complement
+    /// arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// [`VerilogError`] if the module is sequential (use [`Module::step`])
+    /// or evaluation references an unknown signal.
+    pub fn evaluate(&self, x: i64) -> Result<Vec<i64>, VerilogError> {
+        if self.is_sequential() {
+            return Err(VerilogError(
+                "module is sequential; drive it with step()".to_string(),
+            ));
+        }
+        let mut env: HashMap<String, i64> = HashMap::new();
+        env.insert(self.input.name.clone(), truncate(x, self.input.width));
+        for (name, width, e) in &self.wires {
+            let v = e.eval(&env, *width).map_err(VerilogError)?;
+            env.insert(name.clone(), v);
+        }
+        let mut by_name: HashMap<&str, &Expr> = HashMap::new();
+        for (target, e) in &self.assigns {
+            by_name.insert(target.as_str(), e);
+        }
+        self.outputs
+            .iter()
+            .map(|o| {
+                let e = by_name
+                    .get(o.name.as_str())
+                    .ok_or_else(|| VerilogError(format!("output `{}` unassigned", o.name)))?;
+                e.eval(&env, o.width).map_err(VerilogError)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+// a comment
+module mult (
+    input  signed [7:0] x,
+    output signed [19:0] seven, // 7 * x
+    output signed [19:0] zero
+);
+    wire signed [19:0] x_ext = x;
+    wire signed [19:0] n1 = (x_ext <<< 3) + (-x_ext);
+    assign seven = n1;
+    assign zero = {20{1'b0}};
+endmodule
+"#;
+
+    #[test]
+    fn parses_and_evaluates() {
+        let m = Module::parse(SRC).unwrap();
+        assert_eq!(m.name, "mult");
+        assert_eq!(m.input.width, 8);
+        assert_eq!(m.outputs.len(), 2);
+        assert_eq!(m.evaluate(5).unwrap(), vec![35, 0]);
+        assert_eq!(m.evaluate(-3).unwrap(), vec![-21, 0]);
+    }
+
+    #[test]
+    fn input_is_truncated_to_port_width() {
+        let m = Module::parse(SRC).unwrap();
+        // 8-bit input: 130 wraps to -126.
+        assert_eq!(m.evaluate(130).unwrap(), vec![7 * -126, 0]);
+    }
+
+    #[test]
+    fn rejects_use_before_declaration() {
+        let bad = r#"
+module m (
+    input  signed [7:0] x,
+    output signed [15:0] y
+);
+    wire signed [15:0] a = b + x;
+    wire signed [15:0] b = x;
+    assign y = a;
+endmodule
+"#;
+        let err = Module::parse(bad).unwrap_err();
+        assert!(err.0.contains("before declaration"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unassigned_output() {
+        let bad = r#"
+module m (
+    input  signed [7:0] x,
+    output signed [15:0] y
+);
+    wire signed [15:0] a = x;
+endmodule
+"#;
+        assert!(Module::parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_double_assign() {
+        let bad = r#"
+module m (
+    input  signed [7:0] x,
+    output signed [15:0] y
+);
+    assign y = x;
+    assign y = x;
+endmodule
+"#;
+        assert!(Module::parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_assign_to_non_output() {
+        let bad = r#"
+module m (
+    input  signed [7:0] x,
+    output signed [15:0] y
+);
+    assign z = x;
+    assign y = x;
+endmodule
+"#;
+        let err = Module::parse(bad).unwrap_err();
+        assert!(err.0.contains("not an output"));
+    }
+
+    #[test]
+    fn error_messages_carry_lines() {
+        let bad = "module m (\n    input signed [7:0] x\n";
+        let err = Module::parse(bad).unwrap_err();
+        assert!(err.0.starts_with("line "), "{err}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Clocked round-trip: pipelined Verilog emitted by `mrp-arch` simulates
+//! cycle-accurately with exactly one clock of latency.
+
+use mrp_arch::{emit_verilog_pipelined, AdderGraph, Term};
+use mrp_core::{MrpConfig, MrpOptimizer};
+use mrp_vsim::Module;
+
+fn drive(module: &Module, inputs: &[i64]) -> Vec<Vec<i64>> {
+    let mut state = module.new_state();
+    inputs
+        .iter()
+        .map(|&x| module.step(&mut state, x).expect("step"))
+        .collect()
+}
+
+#[test]
+fn hand_built_two_stage_pipeline() {
+    let mut g = AdderGraph::new();
+    let x = g.input();
+    let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+    let b = g.add(Term::shifted(a, 2), Term::of(x)).unwrap(); // 29
+    g.push_output("deep", Term::of(b), 29);
+    g.push_output("shallow", Term::of(a), 7);
+    let src = emit_verilog_pipelined(&g, "pipe", 12, 1);
+    let module = Module::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    assert!(module.is_sequential());
+
+    let inputs = [5i64, -3, 0, 100, 7];
+    let outs = drive(&module, &inputs);
+    // Cycle 0 output reflects zeroed registers: both stage-2 operands of
+    // the deep node and the shallow output's register are still zero.
+    assert_eq!(outs[0], vec![0, 0]);
+    // From cycle 1 on, outputs are exactly the products of x(t-1).
+    for t in 1..inputs.len() {
+        assert_eq!(
+            outs[t][0],
+            29 * inputs[t - 1],
+            "deep output at cycle {t}"
+        );
+        assert_eq!(outs[t][1], 7 * inputs[t - 1], "shallow output at cycle {t}");
+    }
+}
+
+#[test]
+fn mrpf_block_pipelines_and_simulates() {
+    let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+    let r = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .unwrap();
+    let depth = r.graph.max_depth();
+    assert!(depth >= 2, "example too shallow to pipeline");
+    let cut = depth / 2;
+    let src = emit_verilog_pipelined(&r.graph, "mrpf_pipe", 14, cut.max(1));
+    let module = Module::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+
+    let inputs = [0i64, 3, -7, 12, 100, -100, 1];
+    let outs = drive(&module, &inputs);
+    for t in 1..inputs.len() {
+        for (k, &c) in coeffs.iter().enumerate() {
+            assert_eq!(
+                outs[t][k],
+                c * inputs[t - 1],
+                "tap {k} at cycle {t}\n{src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn register_count_matches_cut_registers() {
+    let coeffs = [173i64, 219, 85, 341];
+    let r = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .unwrap();
+    let depth = r.graph.max_depth();
+    if depth < 2 {
+        return;
+    }
+    let cut = 1;
+    let src = emit_verilog_pipelined(&r.graph, "p", 12, cut);
+    let module = Module::parse(&src).unwrap();
+    assert_eq!(module.regs.len(), mrp_arch::cut_registers(&r.graph, cut));
+}
+
+#[test]
+fn combinational_module_rejects_step_free_evaluate() {
+    let coeffs = [45i64];
+    let r = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .unwrap();
+    let src = mrp_arch::emit_verilog(&r.graph, "comb", 12);
+    let module = Module::parse(&src).unwrap();
+    assert!(!module.is_sequential());
+    assert!(module.evaluate(3).is_ok());
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn random_blocks_pipeline_cycle_accurately(
+            coeffs in proptest::collection::vec(2i64..(1i64 << 12), 2..10),
+            inputs in proptest::collection::vec(-500i64..500, 2..8),
+        ) {
+            let r = MrpOptimizer::new(MrpConfig::default()).optimize(&coeffs).unwrap();
+            let depth = r.graph.max_depth();
+            prop_assume!(depth >= 2);
+            let src = emit_verilog_pipelined(&r.graph, "p", 14, depth / 2);
+            let module = Module::parse(&src)
+                .map_err(|e| TestCaseError::fail(format!("parse: {e}")))?;
+            let outs = drive(&module, &inputs);
+            for t in 1..inputs.len() {
+                for (k, &c) in coeffs.iter().enumerate() {
+                    prop_assert_eq!(outs[t][k], c * inputs[t - 1],
+                        "tap {} cycle {}", k, t);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Round-trip tests: Verilog emitted by `mrp-arch` parses and simulates
+//! to exactly the golden products, for every optimization scheme.
+
+use mrp_arch::emit_verilog;
+use mrp_core::{MrpConfig, MrpOptimizer, SeedOptimizer};
+use mrp_cse::hartley_cse;
+use mrp_numrep::Repr;
+use mrp_vsim::Module;
+use proptest::prelude::*;
+
+fn check_roundtrip(graph: &mrp_arch::AdderGraph, coeffs: &[i64], width: u32) {
+    let src = emit_verilog(graph, "dut", width);
+    let module = Module::parse(&src)
+        .unwrap_or_else(|e| panic!("emitted Verilog failed to parse: {e}\n{src}"));
+    assert_eq!(module.outputs.len(), coeffs.len());
+    let bound = 1i64 << (width - 1);
+    for x in [-bound, -1, 0, 1, 3, bound - 1] {
+        let outs = module.evaluate(x).expect("simulation");
+        for (i, (&got, &c)) in outs.iter().zip(coeffs).enumerate() {
+            assert_eq!(got, c * x, "output {i} for x={x}\n{src}");
+        }
+    }
+}
+
+#[test]
+fn mrpf_verilog_roundtrips() {
+    let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+    let r = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .unwrap();
+    check_roundtrip(&r.graph, &coeffs, 12);
+}
+
+#[test]
+fn mrpf_cse_verilog_roundtrips() {
+    let coeffs = [173i64, -346, 217, 85, 0, 1024];
+    let cfg = MrpConfig {
+        seed_optimizer: SeedOptimizer::Cse,
+        ..MrpConfig::default()
+    };
+    let r = MrpOptimizer::new(cfg).optimize(&coeffs).unwrap();
+    // Zero coefficients emit tied-low outputs; exclude them from the
+    // product check by checking only nonzero columns.
+    let src = emit_verilog(&r.graph, "dut", 12);
+    let module = Module::parse(&src).unwrap();
+    for x in [-7i64, 0, 13] {
+        let outs = module.evaluate(x).unwrap();
+        for (i, &c) in coeffs.iter().enumerate() {
+            if c != 0 {
+                assert_eq!(outs[i], c * x);
+            }
+        }
+    }
+}
+
+#[test]
+fn cse_block_verilog_roundtrips() {
+    let coeffs = [45i64, 90, 23, 105];
+    let cse = hartley_cse(&coeffs);
+    let (mut g, outs) = cse.build_graph().unwrap();
+    for (i, (&t, &c)) in outs.iter().zip(&coeffs).enumerate() {
+        g.push_output(format!("c{i}"), t, c);
+    }
+    check_roundtrip(&g, &coeffs, 14);
+}
+
+#[test]
+fn simple_block_verilog_roundtrips() {
+    let coeffs = [255i64, -513, 77];
+    let (mut g, outs) = mrp_arch::simple_multiplier_block(&coeffs, Repr::Csd).unwrap();
+    for (i, (&t, &c)) in outs.iter().zip(&coeffs).enumerate() {
+        g.push_output(format!("c{i}"), t, c);
+    }
+    check_roundtrip(&g, &coeffs, 11);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_mrpf_blocks_roundtrip(
+        coeffs in prop::collection::vec(-(1i64 << 12)..(1i64 << 12), 1..12),
+    ) {
+        prop_assume!(coeffs.iter().any(|&c| c != 0));
+        let r = MrpOptimizer::new(MrpConfig::default()).optimize(&coeffs).unwrap();
+        let src = emit_verilog(&r.graph, "dut", 14);
+        let module = Module::parse(&src).map_err(|e| {
+            TestCaseError::fail(format!("parse failed: {e}"))
+        })?;
+        for x in [-11i64, 0, 1, 9] {
+            let outs = module.evaluate(x).unwrap();
+            for (i, &c) in coeffs.iter().enumerate() {
+                if c != 0 {
+                    prop_assert_eq!(outs[i], c * x);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Ablation of the benefit-function weight β (Eq. 1): sweep β from
+//! cost-averse (interconnect-dominated technology) to coverage-greedy and
+//! watch the adder count, SEED size, and color fanout move — the paper's
+//! §3.3 discussion made quantitative.
+//!
+//! Run with `cargo run --example beta_sweep`.
+
+use mrpf::core::{MrpConfig, MrpOptimizer};
+use mrpf::filters::example_filters;
+use mrpf::hwcost::{beta_for_technology, Technology};
+use mrpf::numrep::{quantize, Scaling};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ex = &example_filters()[7]; // 72nd-order PM low-pass
+    let taps = ex.design()?;
+    let coeffs = quantize(&taps, 16, Scaling::Uniform)?.values;
+    println!("filter: example {} ({}), {} taps", ex.index, ex.label(), coeffs.len());
+    println!();
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>12}",
+        "beta", "adders", "roots", "colors", "tree height"
+    );
+    for i in 0..=10 {
+        let beta = i as f64 / 10.0;
+        let cfg = MrpConfig {
+            beta,
+            ..MrpConfig::default()
+        };
+        let r = MrpOptimizer::new(cfg).optimize(&coeffs)?;
+        let (roots, colors) = r.seed_size();
+        println!(
+            "{beta:>5.1} {:>8} {roots:>8} {colors:>8} {:>12}",
+            r.total_adders(),
+            r.stats.tree_height
+        );
+    }
+    println!();
+    for tech in [Technology::cmos025(), Technology::cmos013()] {
+        println!(
+            "suggested beta for {}: {:.3}",
+            tech.name,
+            beta_for_technology(&tech)
+        );
+    }
+    Ok(())
+}

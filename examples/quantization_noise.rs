@@ -1,0 +1,62 @@
+//! Quantization-noise study: sweep the coefficient wordlength and measure,
+//! through the *actual MRPF adder network*, the output SNR against the
+//! floating-point design and the stopband rejection of a real two-tone
+//! signal — connecting the static adder-count trade-off of Figures 6/7 to
+//! dynamic signal quality.
+//!
+//! Run with `cargo run --release --example quantization_noise`.
+
+use mrpf::arch::FirFilter;
+use mrpf::core::{MrpConfig, MrpOptimizer};
+use mrpf::filters::{remez, FilterSpec};
+use mrpf::numrep::{quantize, Scaling};
+use mrpf::sim::{goertzel_db, signal, snr_db};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = FilterSpec::lowpass(0.10, 0.18, 0.3, 60.0);
+    let taps = remez(54, &spec.to_bands())?;
+    println!("55-tap PM low-pass; sweeping coefficient wordlength\n");
+    println!(
+        "{:>4} {:>8} {:>12} {:>16} {:>14}",
+        "W", "adders", "SNR (dB)", "stop tone (dB)", "pass tone (dB)"
+    );
+
+    let n = 8192;
+    let x = signal::two_tone(n, 0.05, 8000.0, 0.30, 8000.0);
+    let x_f: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+
+    for w in [6u32, 8, 10, 12, 14, 16] {
+        let q = quantize(&taps, w, Scaling::Uniform)?;
+        let result = MrpOptimizer::new(MrpConfig::default()).optimize(&q.values)?;
+        let filter = FirFilter::new(result.graph.clone());
+        let y = filter.filter(&x);
+
+        // Float reference with the same integer gain.
+        let gain: f64 = q.values.iter().map(|&v| v as f64).sum::<f64>()
+            / taps.iter().sum::<f64>();
+        let reference: Vec<f64> = (0..n)
+            .map(|k| {
+                let mut acc = 0.0;
+                for (i, &t) in taps.iter().enumerate() {
+                    if k >= i {
+                        acc += t * x_f[k - i];
+                    }
+                }
+                acc * gain
+            })
+            .collect();
+        let snr = snr_db(&y, &reference).snr_db;
+        let full_scale = 8000.0 * gain;
+        let settled = &y[200..];
+        println!(
+            "{w:>4} {:>8} {:>12.1} {:>16.1} {:>14.1}",
+            result.total_adders(),
+            snr,
+            goertzel_db(settled, 0.30, full_scale),
+            goertzel_db(settled, 0.05, full_scale),
+        );
+    }
+    println!("\nSNR climbs ~6 dB/bit; stopband rejection saturates at the design's");
+    println!("attenuation once quantization noise drops below the ripple floor.");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # mrpf — Minimally Redundant Parallel Filters
+//!
+//! Umbrella crate for the MRPF reproduction workspace (Choo, Muhammad, Roy,
+//! *"MRPF: An Architectural Transformation for Synthesis of
+//! High-Performance and Low-Power Digital Filters"*, DATE 2003).
+//!
+//! Each subsystem lives in its own crate and is re-exported here under a
+//! short module name:
+//!
+//! * [`numrep`] — CSD/SPT/SM recodings, quantization, scaling.
+//! * [`graph`] — MST, all-pairs shortest paths, weighted set cover.
+//! * [`filters`] — Parks-McClellan / least-squares / Butterworth FIR design.
+//! * [`arch`] — shift-add adder-graph IR, bit-exact evaluation, Verilog.
+//! * [`hwcost`] — adder area/delay/power models.
+//! * [`cse`] — common subexpression elimination and MCM baselines.
+//! * [`core`] — the MRP optimization itself.
+//!
+//! # Examples
+//!
+//! Optimize the paper's worked 8-tap example and count adders:
+//!
+//! ```
+//! use mrpf::core::{MrpConfig, MrpOptimizer};
+//!
+//! let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+//! let result = MrpOptimizer::new(MrpConfig::default()).optimize(&coeffs)?;
+//! assert!(result.total_adders() < 16);
+//! # Ok::<(), mrpf::core::MrpError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mrp_arch as arch;
+pub use mrp_core as core;
+pub use mrp_cse as cse;
+pub use mrp_filters as filters;
+pub use mrp_graph as graph;
+pub use mrp_hwcost as hwcost;
+pub use mrp_numrep as numrep;
+pub use mrp_sim as sim;
+pub use mrp_vsim as vsim;

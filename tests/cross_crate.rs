@@ -1,0 +1,84 @@
+//! Integration test: cross-crate seams — numrep ↔ filters quantization,
+//! hwcost reporting over real architectures, Verilog emission of CSE and
+//! MCM blocks.
+
+use mrpf::arch::emit_verilog;
+use mrpf::core::{MrpConfig, MrpOptimizer};
+use mrpf::cse::{graph_mcm, hartley_cse};
+use mrpf::filters::{kaiser, kaiser_beta, FilterSpec};
+use mrpf::hwcost::{block_cost, AdderKind, Technology};
+use mrpf::numrep::{msd_weight, quantize, Scaling};
+
+#[test]
+fn quantized_kaiser_design_optimizes() {
+    let bands = FilterSpec::lowpass(0.12, 0.20, 0.3, 60.0).to_bands();
+    let taps = kaiser(54, &bands, kaiser_beta(60.0)).unwrap();
+    let q = quantize(&taps, 14, Scaling::Uniform).unwrap();
+    let r = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&q.values)
+        .unwrap();
+    assert_eq!(r.graph.verify_outputs(&[1, -1, 12345]), None);
+}
+
+#[test]
+fn hwcost_ranks_schemes_like_adder_counts() {
+    let coeffs: Vec<i64> = (0..20).map(|k| (k * k * 313 + 7 * k + 11) - 2000).collect();
+    let rep = mrpf::core::adder_report(&coeffs, &MrpConfig::default()).unwrap();
+    let tech = Technology::cmos025();
+    let area = |adders: usize| {
+        block_cost(adders, 4, AdderKind::CarryLookahead, 20, 0.25, 100.0, &tech).area_um2
+    };
+    // Area ranking mirrors adder-count ranking (the substitution argument
+    // of DESIGN.md §5).
+    assert!(area(rep.mrp) <= area(rep.simple));
+    assert!(area(rep.mrp_cse) <= area(rep.cse));
+}
+
+#[test]
+fn cse_and_mcm_blocks_emit_verilog() {
+    let coeffs = [173i64, 346, 217, 85];
+    let cse = hartley_cse(&coeffs);
+    let (mut g, outs) = cse.build_graph().unwrap();
+    for (i, (&t, &c)) in outs.iter().zip(&coeffs).enumerate() {
+        g.push_output(format!("c{i}"), t, c);
+    }
+    let v = emit_verilog(&g, "cse_block", 12);
+    assert!(v.contains("module cse_block"));
+
+    let (mut g, outs) = graph_mcm(&coeffs, 12).unwrap();
+    for (i, (&t, &c)) in outs.iter().zip(&coeffs).enumerate() {
+        g.push_output(format!("c{i}"), t, c);
+    }
+    let v = emit_verilog(&g, "mcm_block", 12);
+    assert!(v.contains("module mcm_block"));
+}
+
+#[test]
+fn msd_weight_drives_simple_cost() {
+    // The numrep cost metric and the cse crate's baseline agree.
+    let coeffs = [99i64, -1023, 768, 0];
+    let expected: usize = coeffs
+        .iter()
+        .map(|&c| (msd_weight(c).saturating_sub(1)) as usize)
+        .sum();
+    assert_eq!(
+        mrpf::cse::simple_adder_count(&coeffs, mrpf::numrep::Repr::Spt),
+        expected
+    );
+}
+
+#[test]
+fn quantization_wordlength_controls_mrp_cost() {
+    // More bits => denser coefficients => costlier architectures, for both
+    // the baseline and MRP (the wordlength axis of every figure).
+    let bands = FilterSpec::lowpass(0.10, 0.18, 0.3, 55.0).to_bands();
+    let taps = mrpf::filters::remez(40, &bands).unwrap();
+    let cost = |w: u32| {
+        let q = quantize(&taps, w, Scaling::Maximal).unwrap();
+        MrpOptimizer::new(MrpConfig::default())
+            .optimize(&q.values)
+            .unwrap()
+            .total_adders()
+    };
+    assert!(cost(16) >= cost(8));
+}

@@ -1,0 +1,94 @@
+//! Integration test: the complete paper pipeline for every Table 1 example
+//! filter — design, quantize, transform, and verify arithmetic and
+//! frequency response.
+
+use mrpf::arch::{direct_fir, FirFilter};
+use mrpf::core::{MrpConfig, MrpOptimizer, SeedOptimizer};
+use mrpf::filters::response::measure_ripple;
+use mrpf::filters::example_filters;
+use mrpf::numrep::{quantize, Scaling};
+
+fn noise(n: usize, seed0: u64) -> Vec<i64> {
+    let mut seed = seed0;
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 46) as i64) - (1 << 17)
+        })
+        .collect()
+}
+
+#[test]
+fn every_example_filter_round_trips() {
+    let cfg = MrpConfig {
+        max_depth: Some(3),
+        seed_optimizer: SeedOptimizer::Cse,
+        ..MrpConfig::default()
+    };
+    for ex in example_filters() {
+        let taps = ex.design().unwrap();
+        let q = quantize(&taps, 12, Scaling::Uniform).unwrap();
+        let result = MrpOptimizer::new(cfg)
+            .optimize(&q.values)
+            .unwrap_or_else(|e| panic!("example {} failed: {e}", ex.index));
+        // Arithmetic: generated architecture == direct convolution.
+        let filter = FirFilter::new(result.graph.clone());
+        let input = noise(96, ex.index as u64 * 77 + 1);
+        assert_eq!(
+            filter.filter(&input),
+            direct_fir(&q.values, &input),
+            "example {} architecture mismatch",
+            ex.index
+        );
+    }
+}
+
+#[test]
+fn quantization_preserves_selectivity() {
+    // 16-bit uniform quantization must not destroy the designed response.
+    for ex in example_filters().iter().take(8) {
+        let taps = ex.design().unwrap();
+        let bands = ex.spec.to_bands();
+        let before = measure_ripple(&taps, &bands, 256);
+        let q = quantize(&taps, 16, Scaling::Uniform).unwrap();
+        let after = measure_ripple(&q.reconstruct(), &bands, 256);
+        assert!(
+            after.stopband_atten_db > before.stopband_atten_db.min(55.0) - 8.0,
+            "example {}: {:.1} dB -> {:.1} dB after quantization",
+            ex.index,
+            before.stopband_atten_db,
+            after.stopband_atten_db
+        );
+    }
+}
+
+#[test]
+fn maximal_scaling_is_more_accurate_but_denser() {
+    use mrpf::cse::simple_adder_count;
+    use mrpf::numrep::Repr;
+    let ex = &example_filters()[7];
+    let taps = ex.design().unwrap();
+    let uni = quantize(&taps, 12, Scaling::Uniform).unwrap();
+    let max = quantize(&taps, 12, Scaling::Maximal).unwrap();
+    assert!(max.max_error(&taps) <= uni.max_error(&taps) + 1e-12);
+    // Denser digits => costlier simple implementation (the Fig. 7 premise).
+    assert!(
+        simple_adder_count(&max.values, Repr::Spt) > simple_adder_count(&uni.values, Repr::Spt)
+    );
+}
+
+#[test]
+fn depth_constraint_carries_through_the_whole_pipeline() {
+    let ex = &example_filters()[9];
+    let taps = ex.design().unwrap();
+    let q = quantize(&taps, 16, Scaling::Maximal).unwrap();
+    for depth in [1u32, 2, 3] {
+        let cfg = MrpConfig {
+            max_depth: Some(depth),
+            ..MrpConfig::default()
+        };
+        let r = MrpOptimizer::new(cfg).optimize(&q.values).unwrap();
+        assert!(r.stats.tree_height <= depth);
+        assert_eq!(r.graph.verify_outputs(&[1, -3, 255]), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration test: every optimization scheme — simple, CSE, graph MCM,
+//! MRPF, MRPF+CSE — produces an architecture computing exactly the same
+//! filter.
+
+use mrpf::arch::{direct_fir, simple_multiplier_block, FirFilter};
+use mrpf::core::{MrpConfig, MrpOptimizer, SeedOptimizer};
+use mrpf::cse::{graph_mcm, hartley_cse};
+use mrpf::numrep::Repr;
+
+fn noise(n: usize) -> Vec<i64> {
+    let mut seed = 0xC0FFEEu64;
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 46) as i64) - (1 << 17)
+        })
+        .collect()
+}
+
+/// Builds a FirFilter per scheme and checks all agree with the golden
+/// direct convolution.
+fn check_all_schemes(coeffs: &[i64]) {
+    let input = noise(128);
+    let golden = direct_fir(coeffs, &input);
+
+    // Simple per-tap.
+    let (mut g, outs) = simple_multiplier_block(coeffs, Repr::Csd).unwrap();
+    for (i, (&t, &c)) in outs.iter().zip(coeffs).enumerate() {
+        g.push_output(format!("c{i}"), t, c);
+    }
+    assert_eq!(FirFilter::new(g).filter(&input), golden, "simple");
+
+    // Hartley CSE.
+    let cse = hartley_cse(coeffs);
+    let (mut g, outs) = cse.build_graph().unwrap();
+    for (i, (&t, &c)) in outs.iter().zip(coeffs).enumerate() {
+        g.push_output(format!("c{i}"), t, c);
+    }
+    assert_eq!(FirFilter::new(g).filter(&input), golden, "cse");
+
+    // Graph MCM.
+    let (mut g, outs) = graph_mcm(coeffs, 16).unwrap();
+    for (i, (&t, &c)) in outs.iter().zip(coeffs).enumerate() {
+        g.push_output(format!("c{i}"), t, c);
+    }
+    assert_eq!(FirFilter::new(g).filter(&input), golden, "mcm");
+
+    // MRPF and MRPF+CSE.
+    for seed_opt in [
+        SeedOptimizer::Direct,
+        SeedOptimizer::Cse,
+        SeedOptimizer::Recursive { levels: 1 },
+    ] {
+        let cfg = MrpConfig {
+            seed_optimizer: seed_opt,
+            ..MrpConfig::default()
+        };
+        let r = MrpOptimizer::new(cfg).optimize(coeffs).unwrap();
+        assert_eq!(
+            FirFilter::new(r.graph.clone()).filter(&input),
+            golden,
+            "mrp {seed_opt:?}"
+        );
+    }
+}
+
+#[test]
+fn paper_example_equivalence() {
+    check_all_schemes(&[70, 66, 17, 9, 27, 41, 56, 11]);
+}
+
+#[test]
+fn signed_sparse_equivalence() {
+    check_all_schemes(&[-113, 0, 57, -2048, 339, 339, -57, 1]);
+}
+
+#[test]
+fn dense_wide_equivalence() {
+    let coeffs: Vec<i64> = (0..24).map(|k| (k * k * 401 + k * 17 + 3) - 4000).collect();
+    check_all_schemes(&coeffs);
+}
+
+#[test]
+fn symmetric_filter_equivalence() {
+    // Linear-phase style symmetric taps.
+    let half = [13i64, -44, 92, -150, 211, 260];
+    let coeffs: Vec<i64> = half
+        .iter()
+        .chain(half.iter().rev().skip(1))
+        .copied()
+        .collect();
+    check_all_schemes(&coeffs);
+}

@@ -1,0 +1,124 @@
+//! Integration test: aggregate paper claims hold in *shape* across the
+//! Table 1 suite (who wins and roughly by how much — not absolute
+//! numbers; see EXPERIMENTS.md).
+
+use mrpf::core::{adder_report, MrpConfig};
+use mrpf::filters::example_filters;
+use mrpf::numrep::{quantize, Scaling};
+
+fn suite_reports(wordlength: u32, scaling: Scaling) -> Vec<mrpf::core::AdderReport> {
+    example_filters()
+        .iter()
+        .map(|ex| {
+            let taps = ex.design().unwrap();
+            let coeffs = quantize(&taps, wordlength, scaling).unwrap().values;
+            adder_report(&coeffs, &MrpConfig::default()).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn mrpf_beats_simple_on_every_example_at_w16_uniform() {
+    for (i, rep) in suite_reports(16, Scaling::Uniform).iter().enumerate() {
+        assert!(
+            rep.mrp < rep.simple,
+            "example {}: MRP {} vs simple {}",
+            i + 1,
+            rep.mrp,
+            rep.simple
+        );
+    }
+}
+
+#[test]
+fn average_reduction_vs_simple_is_papers_regime() {
+    // Paper: ~60 % average under uniform scaling. Accept anything past
+    // 40 % — the shape claim, robust to greedy tie-breaking.
+    let reps = suite_reports(16, Scaling::Uniform);
+    let avg_ratio: f64 = reps
+        .iter()
+        .map(|r| r.mrp as f64 / r.simple.max(1) as f64)
+        .sum::<f64>()
+        / reps.len() as f64;
+    assert!(
+        avg_ratio < 0.6,
+        "average MRPF/simple ratio {avg_ratio:.3} too weak (paper ~0.4)"
+    );
+}
+
+#[test]
+fn mrp_cse_never_loses_to_cse() {
+    for scaling in [Scaling::Uniform, Scaling::Maximal] {
+        for (i, rep) in suite_reports(12, scaling).iter().enumerate() {
+            assert!(
+                rep.mrp_cse <= rep.cse,
+                "example {} ({scaling}): MRPF+CSE {} vs CSE {}",
+                i + 1,
+                rep.mrp_cse,
+                rep.cse
+            );
+        }
+    }
+}
+
+#[test]
+fn maximal_scaling_is_costlier_than_uniform() {
+    // The Fig. 6 vs Fig. 7 premise: maximal scaling densifies digits.
+    let uni = suite_reports(16, Scaling::Uniform);
+    let max = suite_reports(16, Scaling::Maximal);
+    let total = |reps: &[mrpf::core::AdderReport]| reps.iter().map(|r| r.simple).sum::<usize>();
+    assert!(
+        total(&max) > total(&uni),
+        "maximal {} should exceed uniform {}",
+        total(&max),
+        total(&uni)
+    );
+}
+
+#[test]
+fn seed_size_grows_with_filter_order() {
+    // Table 1's trend: SEED grows from (3,6)-class to (35,45)-class as the
+    // order climbs.
+    let reps = suite_reports(16, Scaling::Maximal);
+    let first: usize = reps[..3].iter().map(|r| r.seed.0 + r.seed.1).sum();
+    let last: usize = reps[9..].iter().map(|r| r.seed.0 + r.seed.1).sum();
+    assert!(
+        last > first,
+        "SEED sizes should grow with order: first three {first}, last three {last}"
+    );
+}
+
+#[test]
+fn savings_grow_with_tap_count() {
+    // Paper: "especially for the filters with larger than 20 filter taps".
+    let reps = suite_reports(16, Scaling::Uniform);
+    let ratio = |r: &mrpf::core::AdderReport| r.mrp as f64 / r.simple.max(1) as f64;
+    let small = ratio(&reps[0]);
+    let large = (ratio(&reps[10]) + ratio(&reps[11])) / 2.0;
+    assert!(
+        large < small,
+        "large filters ({large:.3}) should save more than small ones ({small:.3})"
+    );
+}
+
+#[test]
+fn sid_coefficients_beat_plain_differential() {
+    // MRP's two generalizations over the differential-coefficient lineage
+    // (shift-inclusive differences + graph-chosen ordering) must beat the
+    // fixed-tap-order, shift-free baseline on the example suite.
+    use mrpf::cse::differential_adder_count;
+    use mrpf::numrep::Repr;
+    let mut mrp_total = 0usize;
+    let mut diff_total = 0usize;
+    for ex in example_filters().iter().take(8) {
+        let taps = ex.design().unwrap();
+        let coeffs = quantize(&taps, 14, Scaling::Uniform).unwrap().values;
+        let rep = adder_report(&coeffs, &MrpConfig::default()).unwrap();
+        mrp_total += rep.mrp;
+        diff_total += differential_adder_count(&coeffs, Repr::Spt);
+    }
+    assert!(
+        mrp_total < diff_total,
+        "MRP {mrp_total} should beat plain differential {diff_total}"
+    );
+}

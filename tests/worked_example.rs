@@ -1,0 +1,84 @@
+//! Integration test: the paper's worked 8-tap example (§3.5) through the
+//! full public API, exercising every crate together.
+
+use mrpf::arch::{direct_fir, emit_verilog, FirFilter};
+use mrpf::core::{select_colors, CoeffSet, ColorGraph, MrpConfig, MrpOptimizer};
+use mrpf::cse::simple_adder_count;
+use mrpf::numrep::Repr;
+
+const PAPER: [i64; 8] = [70, 66, 17, 9, 27, 41, 56, 11];
+
+#[test]
+fn colors_3_and_5_cover_the_graph() {
+    // Figure 2 of the paper: colors 3 and 5 cover every vertex.
+    let set = CoeffSet::new(&PAPER).unwrap();
+    let graph = ColorGraph::build(set.primaries(), 8, Repr::Spt);
+    let mut covered = vec![false; set.primary_count()];
+    for color in [3i64, 5] {
+        let ci = graph.color_index(color).expect("color exists in the graph");
+        for v in graph.color_set(ci) {
+            covered[v] = true;
+        }
+    }
+    assert!(covered.iter().all(|&c| c));
+}
+
+#[test]
+fn greedy_finds_a_cover_no_worse_than_the_papers() {
+    let set = CoeffSet::new(&PAPER).unwrap();
+    let graph = ColorGraph::build(set.primaries(), 8, Repr::Spt);
+    let cover = select_colors(&graph, set.primaries(), 0.5);
+    // The paper's hand solution uses 2 colors of total cost 4 (3 and 5).
+    let total_cost: u32 = cover
+        .colors
+        .iter()
+        .map(|&c| mrpf::numrep::nonzero_digits(c, Repr::Spt))
+        .sum();
+    assert!(cover.colors.len() <= 3, "cover {:?}", cover.colors);
+    assert!(total_cost <= 4, "cover cost {total_cost} ({:?})", cover.colors);
+}
+
+#[test]
+fn mrpf_architecture_is_bit_exact_and_small() {
+    let result = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&PAPER)
+        .unwrap();
+    assert_eq!(result.graph.verify_outputs(&[-100, -1, 0, 1, 17, 9999]), None);
+    let simple = simple_adder_count(&PAPER, Repr::Spt);
+    assert!(
+        result.total_adders() < simple,
+        "{} vs simple {simple}",
+        result.total_adders()
+    );
+    // The paper reaches tree height 2 under no depth constraint.
+    assert!(result.stats.tree_height <= 3);
+}
+
+#[test]
+fn full_filter_matches_golden_model() {
+    let result = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&PAPER)
+        .unwrap();
+    let filter = FirFilter::new(result.graph.clone());
+    let mut seed = 42u64;
+    let input: Vec<i64> = (0..200)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 48) as i64) - (1 << 15)
+        })
+        .collect();
+    assert_eq!(filter.filter(&input), direct_fir(&PAPER, &input));
+}
+
+#[test]
+fn verilog_emission_names_every_tap() {
+    let result = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&PAPER)
+        .unwrap();
+    let v = emit_verilog(&result.graph, "worked_example", 16);
+    for i in 0..PAPER.len() {
+        assert!(v.contains(&format!("c{i}")), "output c{i} missing");
+    }
+    assert!(v.contains("module worked_example"));
+    assert!(v.contains("endmodule"));
+}
