@@ -29,7 +29,9 @@ pub fn evaluate_all(graph: &AdderGraph, samples: &[i64]) -> Vec<Vec<i64>> {
     samples
         .iter()
         .map(|&x| {
-            let vals = graph.evaluate_structural(x);
+            let vals = graph
+                .evaluate_structural(x)
+                .expect("structural evaluation overflows i64");
             graph
                 .outputs()
                 .iter()

@@ -94,7 +94,10 @@ impl FirFilter {
         let mut state = vec![0i64; taps + 1];
         let mut out = Vec::with_capacity(input.len());
         for &x in input {
-            let vals = self.block.evaluate_structural(x);
+            let vals = self
+                .block
+                .evaluate_structural(x)
+                .expect("multiplier-block evaluation overflows i64");
             let products: Vec<i64> = self
                 .block
                 .outputs()
@@ -195,7 +198,10 @@ mod tests {
     #[test]
     fn zero_taps_contribute_nothing() {
         let f = make_filter(&[0, 3, 0]);
-        assert_eq!(f.filter(&[1, 1, 1, 1]), direct_fir(&[0, 3, 0], &[1, 1, 1, 1]));
+        assert_eq!(
+            f.filter(&[1, 1, 1, 1]),
+            direct_fir(&[0, 3, 0], &[1, 1, 1, 1])
+        );
     }
 
     #[test]

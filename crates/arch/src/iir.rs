@@ -130,7 +130,10 @@ impl IirFixedPoint {
     /// accordingly).
     pub fn filter(&self, input: &[i64]) -> Vec<i64> {
         let b_outs = |x: i64| -> Vec<i64> {
-            let vals = self.b_block.evaluate_structural(x);
+            let vals = self
+                .b_block
+                .evaluate_structural(x)
+                .expect("IIR feedforward evaluation overflows i64");
             self.b_block
                 .outputs()
                 .iter()
@@ -146,7 +149,10 @@ impl IirFixedPoint {
                 .collect()
         };
         let a_outs = |y: i64| -> Vec<i64> {
-            let vals = self.a_block.evaluate_structural(y);
+            let vals = self
+                .a_block
+                .evaluate_structural(y)
+                .expect("IIR feedback evaluation overflows i64");
             self.a_block
                 .outputs()
                 .iter()
@@ -250,10 +256,7 @@ mod tests {
         let y_int = f.filter(&input);
         let y_ref = float_df2t(&b, &a, &input);
         for (yi, yr) in y_int.iter().zip(&y_ref) {
-            assert!(
-                (*yi as f64 - yr).abs() < 4.0,
-                "fixed {yi} vs float {yr}"
-            );
+            assert!((*yi as f64 - yr).abs() < 4.0, "fixed {yi} vs float {yr}");
         }
     }
 
@@ -297,8 +300,14 @@ mod tests {
         let f = build(&[7, 9], &[45], 6);
         assert_eq!(
             f.multiplier_adders(),
-            f.b().iter().map(|&c| mrp_numrep::adder_cost(c, Repr::Csd) as usize).sum::<usize>()
-                + f.a_tail().iter().map(|&c| mrp_numrep::adder_cost(c, Repr::Csd) as usize).sum::<usize>()
+            f.b()
+                .iter()
+                .map(|&c| mrp_numrep::adder_cost(c, Repr::Csd) as usize)
+                .sum::<usize>()
+                + f.a_tail()
+                    .iter()
+                    .map(|&c| mrp_numrep::adder_cost(c, Repr::Csd) as usize)
+                    .sum::<usize>()
         );
     }
 }

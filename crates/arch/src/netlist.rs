@@ -216,18 +216,24 @@ impl AdderGraph {
     /// # Panics
     ///
     /// Panics if the term's node is not from this graph or its shifted
-    /// value overflows.
+    /// value overflows. Use [`AdderGraph::try_term_value`] for a checked
+    /// variant.
     pub fn term_value(&self, term: Term) -> i64 {
-        let v = self
-            .values[term.node.0]
-            .checked_shl(term.shift)
-            .filter(|v| (v >> term.shift) == self.values[term.node.0])
-            .expect("term value overflows i64");
-        if term.negate {
-            -v
-        } else {
-            v
+        self.try_term_value(term).expect("term value overflows i64")
+    }
+
+    /// Constant value of a term, with overflow reported as an error.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::UnknownNode`] for a foreign node id;
+    /// [`ArchError::ValueOverflow`] if the shifted value leaves `i64`.
+    pub fn try_term_value(&self, term: Term) -> Result<i64, ArchError> {
+        if term.node.0 >= self.nodes.len() {
+            return Err(ArchError::UnknownNode(term.node.0));
         }
+        self.checked_term_value(term)
+            .ok_or(ArchError::ValueOverflow)
     }
 
     /// Adds a two-input adder combining `lhs` and `rhs`; returns the new
@@ -341,11 +347,41 @@ impl AdderGraph {
         if terms.len() == 1 {
             return Ok(mk(terms[0]));
         }
-        let mut acc = self.add(mk(terms[0]), mk(terms[1]))?;
-        for &t in &terms[2..] {
-            acc = self.add(Term::of(acc), mk(t))?;
+        // Chain partials (prefix sums of the digit terms) are themselves
+        // reusable: an existing node computing the same odd part replaces
+        // the partial for free. Scan backward for the furthest realized
+        // prefix and start the chain there — reusing mid-chain instead
+        // would orphan the partial adders already built.
+        let tv = |(k, s): (u32, i64)| {
+            let v = 1i128 << k;
+            if s < 0 {
+                -v
+            } else {
+                v
+            }
+        };
+        let mut prefix = Vec::with_capacity(terms.len());
+        let mut sum = 0i128;
+        for &t in &terms {
+            sum += tv(t);
+            prefix.push(sum);
         }
-        Ok(Term::of(acc))
+        let mut start = 0;
+        let mut acc = mk(terms[0]);
+        for i in (1..terms.len() - 1).rev() {
+            if let Some(t) = i64::try_from(prefix[i])
+                .ok()
+                .and_then(|v| self.find_shift_of(v))
+            {
+                acc = t;
+                start = i;
+                break;
+            }
+        }
+        for &t in &terms[start + 1..] {
+            acc = Term::of(self.add(acc, mk(t))?);
+        }
+        Ok(acc)
     }
 
     /// Like [`AdderGraph::build_constant`], but also tries the exact
@@ -359,11 +395,7 @@ impl AdderGraph {
     /// # Errors
     ///
     /// Same as [`AdderGraph::build_constant`].
-    pub fn build_constant_optimal(
-        &mut self,
-        constant: i64,
-        repr: Repr,
-    ) -> Result<Term, ArchError> {
+    pub fn build_constant_optimal(&mut self, constant: i64, repr: Repr) -> Result<Term, ArchError> {
         if constant == i64::MIN {
             return Err(ArchError::UnbuildableConstant(constant));
         }
@@ -378,35 +410,56 @@ impl AdderGraph {
         if digit_cost >= 3 && p.odd <= 1 << 48 {
             if let Some(plan) = mrp_numrep::scm2_plan(p.odd, 26) {
                 let x = self.input();
-                let term_of = |src: mrp_numrep::ScmSrc, prev: NodeId| match src {
-                    mrp_numrep::ScmSrc::Input => x,
-                    mrp_numrep::ScmSrc::Prev => prev,
-                };
                 let s0 = plan[0];
-                let first = self.add(
-                    Term {
-                        node: term_of(s0.lhs, x),
-                        shift: s0.lhs_shift,
-                        negate: s0.lhs_negate,
+                // Both step-0 operands are the input, so its value is a sum
+                // of two signed powers of two; an existing node may already
+                // compute it (e.g. a color primary shared with this plan).
+                let sp2 = |shift: u32, negate: bool| {
+                    let v = 1i128 << shift;
+                    if negate {
+                        -v
+                    } else {
+                        v
+                    }
+                };
+                let first_value =
+                    sp2(s0.lhs_shift, s0.lhs_negate) + sp2(s0.rhs_shift, s0.rhs_negate);
+                let first = match i64::try_from(first_value)
+                    .ok()
+                    .and_then(|v| self.find_shift_of(v))
+                {
+                    Some(t) => t,
+                    None => Term::of(self.add(
+                        Term {
+                            node: x,
+                            shift: s0.lhs_shift,
+                            negate: s0.lhs_negate,
+                        },
+                        Term {
+                            node: x,
+                            shift: s0.rhs_shift,
+                            negate: s0.rhs_negate,
+                        },
+                    )?),
+                };
+                // Fold the reuse term's free shift/negation into step 1's
+                // Prev operands.
+                let operand = |src: mrp_numrep::ScmSrc, shift: u32, negate: bool| match src {
+                    mrp_numrep::ScmSrc::Input => Term {
+                        node: x,
+                        shift,
+                        negate,
                     },
-                    Term {
-                        node: term_of(s0.rhs, x),
-                        shift: s0.rhs_shift,
-                        negate: s0.rhs_negate,
+                    mrp_numrep::ScmSrc::Prev => Term {
+                        node: first.node,
+                        shift: shift + first.shift,
+                        negate: negate != first.negate,
                     },
-                )?;
+                };
                 let s1 = plan[1];
                 let second = self.add(
-                    Term {
-                        node: term_of(s1.lhs, first),
-                        shift: s1.lhs_shift,
-                        negate: s1.lhs_negate,
-                    },
-                    Term {
-                        node: term_of(s1.rhs, first),
-                        shift: s1.rhs_shift,
-                        negate: s1.rhs_negate,
-                    },
+                    operand(s1.lhs, s1.lhs_shift, s1.lhs_negate),
+                    operand(s1.rhs, s1.rhs_shift, s1.rhs_negate),
                 )?;
                 debug_assert_eq!(self.value(second), p.odd);
                 return Ok(Term {
@@ -467,28 +520,37 @@ impl AdderGraph {
 
     /// Evaluates a single node for input `x`, bit-exactly.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the result overflows `i64` or `node` is foreign.
-    pub fn evaluate_node(&self, node: NodeId, x: i64) -> i64 {
+    /// [`ArchError::UnknownNode`] for a foreign node id;
+    /// [`ArchError::ValueOverflow`] if the product leaves `i64`.
+    pub fn evaluate_node(&self, node: NodeId, x: i64) -> Result<i64, ArchError> {
+        if node.0 >= self.nodes.len() {
+            return Err(ArchError::UnknownNode(node.0));
+        }
         let v = self.values[node.0] as i128 * x as i128;
-        i64::try_from(v).expect("evaluation overflows i64")
+        i64::try_from(v).map_err(|_| ArchError::ValueOverflow)
     }
 
     /// Evaluates a term for input `x`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on overflow or a foreign node.
-    pub fn evaluate_term(&self, term: Term, x: i64) -> i64 {
-        let v = self.term_value(term) as i128 * x as i128;
-        i64::try_from(v).expect("evaluation overflows i64")
+    /// [`ArchError::UnknownNode`] for a foreign node id;
+    /// [`ArchError::ValueOverflow`] if any intermediate leaves `i64`.
+    pub fn evaluate_term(&self, term: Term, x: i64) -> Result<i64, ArchError> {
+        let v = self.try_term_value(term)? as i128 * x as i128;
+        i64::try_from(v).map_err(|_| ArchError::ValueOverflow)
     }
 
     /// Structural bit-exact evaluation of *every node* by propagating `x`
     /// through the adders (not via the tracked constants), returning the
     /// node values. Used to cross-check the tracked constants.
-    pub fn evaluate_structural(&self, x: i64) -> Vec<i64> {
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::ValueOverflow`] if any node value leaves `i64`.
+    pub fn evaluate_structural(&self, x: i64) -> Result<Vec<i64>, ArchError> {
         let mut out = vec![0i64; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             out[i] = match node {
@@ -502,19 +564,23 @@ impl AdderGraph {
                             v
                         }
                     };
-                    i64::try_from(term(lhs) + term(rhs)).expect("structural overflow")
+                    i64::try_from(term(lhs) + term(rhs)).map_err(|_| ArchError::ValueOverflow)?
                 }
             };
         }
-        out
+        Ok(out)
     }
 
     /// Verifies every registered output against `expected · x` for the
     /// given sample inputs, using structural evaluation. Returns the first
-    /// failing `(label, x)` pair, or `None` when all pass.
+    /// failing `(label, x)` pair, or `None` when all pass. An `i64`
+    /// overflow during structural evaluation is reported as a failure at
+    /// the offending sample with the label `"<overflow>"`.
     pub fn verify_outputs(&self, samples: &[i64]) -> Option<(String, i64)> {
         for &x in samples {
-            let vals = self.evaluate_structural(x);
+            let Ok(vals) = self.evaluate_structural(x) else {
+                return Some(("<overflow>".to_string(), x));
+            };
             for o in &self.outputs {
                 if o.expected == 0 {
                     continue;
@@ -555,9 +621,7 @@ mod tests {
         let x = g.input();
         let five = g.add(Term::shifted(x, 2), Term::of(x)).unwrap();
         assert_eq!(g.value(five), 5);
-        let twenty_three = g
-            .add(Term::shifted(five, 2), Term::of(g.input()))
-            .unwrap(); // 20 + 3? no: 20 + 1 = 21
+        let twenty_three = g.add(Term::shifted(five, 2), Term::of(g.input())).unwrap(); // 20 + 3? no: 20 + 1 = 21
         assert_eq!(g.value(twenty_three), 21);
         assert_eq!(g.depth(twenty_three), 2);
     }
@@ -571,7 +635,7 @@ mod tests {
         let c = g.add(Term::of(b), Term::negated_shifted(a, 1)).unwrap(); // 15
         assert_eq!(g.value(c), 15);
         for xv in [-17i64, 0, 1, 123] {
-            let vals = g.evaluate_structural(xv);
+            let vals = g.evaluate_structural(xv).unwrap();
             for (i, &v) in vals.iter().enumerate() {
                 assert_eq!(v, g.values[i] * xv);
             }

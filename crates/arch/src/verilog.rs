@@ -44,11 +44,13 @@ pub fn emit_verilog(graph: &AdderGraph, name: &str, width: u32) -> String {
         .outputs()
         .iter()
         .map(|o| o.expected.unsigned_abs())
-        .chain(graph.nodes().iter().enumerate().map(|(i, _)| {
+        .chain(
             graph
-                .value(crate::netlist::NodeId(i))
-                .unsigned_abs()
-        }))
+                .nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| graph.value(crate::netlist::NodeId(i)).unsigned_abs()),
+        )
         .max()
         .unwrap_or(1)
         .max(1);
@@ -123,7 +125,13 @@ pub fn emit_verilog(graph: &AdderGraph, name: &str, width: u32) -> String {
 fn sanitize(label: &str) -> String {
     let mut s: String = label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, 'o');

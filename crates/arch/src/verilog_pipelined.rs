@@ -195,7 +195,13 @@ pub fn emit_verilog_pipelined(graph: &AdderGraph, name: &str, width: u32, cut: u
 fn sanitize(label: &str) -> String {
     let mut s: String = label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, 'o');

@@ -1,60 +1,70 @@
 //! Property-based tests: any coefficient set yields a bit-exact
-//! multiplier block and filter.
+//! multiplier block and filter (deterministic harness).
 
 use mrp_arch::{direct_fir, evaluate_all, simple_multiplier_block, FirFilter};
 use mrp_numrep::Repr;
-use proptest::prelude::*;
+use mrp_ptest::run_cases;
 
-proptest! {
-    #[test]
-    fn simple_block_is_exact(
-        constants in prop::collection::vec(-(1i64 << 20)..(1i64 << 20), 1..24),
-        xs in prop::collection::vec(-(1i64 << 20)..(1i64 << 20), 1..8),
-    ) {
+const B20: i64 = 1 << 20;
+
+#[test]
+fn simple_block_is_exact() {
+    run_cases("simple_block_is_exact", 128, |rng| {
+        let constants = rng.vec_i64(1, 24, -B20, B20);
+        let xs = rng.vec_i64(1, 8, -B20, B20);
         for repr in [Repr::Csd, Repr::TwosComplement] {
             let (mut g, outs) = simple_multiplier_block(&constants, repr).unwrap();
             for (i, (&t, &c)) in outs.iter().zip(&constants).enumerate() {
                 g.push_output(format!("c{i}"), t, c);
             }
-            prop_assert_eq!(g.verify_outputs(&xs), None);
+            assert_eq!(g.verify_outputs(&xs), None);
             let rows = evaluate_all(&g, &xs);
             for (row, &x) in rows.iter().zip(&xs) {
                 for (v, &c) in row.iter().zip(&constants) {
-                    prop_assert_eq!(*v, c * x);
+                    assert_eq!(*v, c * x);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn adder_count_matches_repr_cost_with_sharing_bound(
-        constants in prop::collection::vec(-(1i64 << 16)..(1i64 << 16), 1..16),
-    ) {
-        let (g, _) = simple_multiplier_block(&constants, Repr::Csd).unwrap();
-        let upper: u32 = constants.iter().map(|&c| mrp_numrep::adder_cost(c, Repr::Csd)).sum();
-        // Odd-part sharing can only reduce the count.
-        prop_assert!((g.adder_count() as u32) <= upper);
-    }
+#[test]
+fn adder_count_matches_repr_cost_with_sharing_bound() {
+    run_cases(
+        "adder_count_matches_repr_cost_with_sharing_bound",
+        256,
+        |rng| {
+            let constants = rng.vec_i64(1, 16, -(1 << 16), 1 << 16);
+            let (g, _) = simple_multiplier_block(&constants, Repr::Csd).unwrap();
+            let upper: u32 = constants
+                .iter()
+                .map(|&c| mrp_numrep::adder_cost(c, Repr::Csd))
+                .sum();
+            // Odd-part sharing can only reduce the count.
+            assert!((g.adder_count() as u32) <= upper);
+        },
+    );
+}
 
-    #[test]
-    fn filter_matches_direct_convolution(
-        constants in prop::collection::vec(-(1i64 << 14)..(1i64 << 14), 1..12),
-        input in prop::collection::vec(-(1i64 << 14)..(1i64 << 14), 0..48),
-    ) {
-        prop_assume!(!constants.is_empty());
+#[test]
+fn filter_matches_direct_convolution() {
+    run_cases("filter_matches_direct_convolution", 128, |rng| {
+        let constants = rng.vec_i64(1, 12, -(1 << 14), 1 << 14);
+        let input = rng.vec_i64(0, 48, -(1 << 14), 1 << 14);
         let (mut g, outs) = simple_multiplier_block(&constants, Repr::Csd).unwrap();
         for (i, (&t, &c)) in outs.iter().zip(&constants).enumerate() {
             g.push_output(format!("c{i}"), t, c);
         }
         let f = FirFilter::new(g);
-        prop_assert_eq!(f.filter(&input), direct_fir(&constants, &input));
-    }
+        assert_eq!(f.filter(&input), direct_fir(&constants, &input));
+    });
+}
 
-    #[test]
-    fn depth_bounded_by_adder_chain(
-        constants in prop::collection::vec(1i64..(1i64 << 16), 1..8),
-    ) {
+#[test]
+fn depth_bounded_by_adder_chain() {
+    run_cases("depth_bounded_by_adder_chain", 256, |rng| {
+        let constants = rng.vec_i64(1, 8, 1, 1 << 16);
         let (g, _) = simple_multiplier_block(&constants, Repr::Csd).unwrap();
-        prop_assert!(g.max_depth() as usize <= g.adder_count());
-    }
+        assert!(g.max_depth() as usize <= g.adder_count());
+    });
 }

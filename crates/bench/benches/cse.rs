@@ -1,8 +1,8 @@
-//! Criterion bench: Hartley CSE and graph-MCM runtime on the example
+//! Timing bench: Hartley CSE and graph-MCM runtime on the example
 //! coefficient sets (baseline cost behind Figure 8).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrp_bench::quantized_example;
+use mrp_bench::timing::bench;
 use mrp_cse::{graph_mcm, hartley_cse};
 use mrp_filters::example_filters;
 use mrp_numrep::Scaling;
@@ -19,28 +19,20 @@ fn primaries(coeffs: &[i64]) -> Vec<i64> {
     p
 }
 
-fn bench_cse(c: &mut Criterion) {
+fn main() {
     let suite = example_filters();
-    let mut group = c.benchmark_group("hartley_cse");
-    group.sample_size(10);
+
     for ex in [&suite[2], &suite[7], &suite[11]] {
         let p = primaries(&quantized_example(ex, 16, Scaling::Uniform));
-        group.bench_with_input(BenchmarkId::new("primaries", p.len()), &p, |b, p| {
-            b.iter(|| hartley_cse(std::hint::black_box(p)));
+        bench("hartley_cse", &format!("primaries_{}", p.len()), 10, || {
+            hartley_cse(std::hint::black_box(&p))
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("graph_mcm");
-    group.sample_size(10);
     for ex in [&suite[2], &suite[7]] {
         let p = primaries(&quantized_example(ex, 12, Scaling::Uniform));
-        group.bench_with_input(BenchmarkId::new("primaries", p.len()), &p, |b, p| {
-            b.iter(|| graph_mcm(std::hint::black_box(p), 14).unwrap());
+        bench("graph_mcm", &format!("primaries_{}", p.len()), 10, || {
+            graph_mcm(std::hint::black_box(&p), 14).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cse);
-criterion_main!(benches);

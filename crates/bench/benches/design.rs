@@ -1,40 +1,28 @@
-//! Criterion bench: FIR design runtime (Remez vs least squares vs
+//! Timing bench: FIR design runtime (Remez vs least squares vs
 //! Butterworth frequency sampling) across orders — the substrate cost of
 //! regenerating Table 1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrp_bench::timing::bench;
 use mrp_filters::{butterworth_fir, least_squares, remez, FilterSpec};
 
-fn bench_design(c: &mut Criterion) {
+fn main() {
     let bands = FilterSpec::lowpass(0.10, 0.16, 0.5, 50.0).to_bands();
 
-    let mut group = c.benchmark_group("remez");
-    group.sample_size(10);
     for order in [24usize, 48, 96] {
-        group.bench_with_input(BenchmarkId::new("order", order), &order, |b, &order| {
-            b.iter(|| remez(order, std::hint::black_box(&bands)).unwrap());
+        bench("remez", &format!("order_{order}"), 10, || {
+            remez(order, std::hint::black_box(&bands)).unwrap()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("least_squares");
-    group.sample_size(10);
     for order in [24usize, 48, 96] {
-        group.bench_with_input(BenchmarkId::new("order", order), &order, |b, &order| {
-            b.iter(|| least_squares(order, std::hint::black_box(&bands)).unwrap());
+        bench("least_squares", &format!("order_{order}"), 10, || {
+            least_squares(order, std::hint::black_box(&bands)).unwrap()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("butterworth_fir");
-    group.sample_size(20);
     for order in [24usize, 48, 96] {
-        group.bench_with_input(BenchmarkId::new("order", order), &order, |b, &order| {
-            b.iter(|| butterworth_fir(order, 6, std::hint::black_box(0.15)).unwrap());
+        bench("butterworth_fir", &format!("order_{order}"), 20, || {
+            butterworth_fir(order, 6, std::hint::black_box(0.15)).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_design);
-criterion_main!(benches);

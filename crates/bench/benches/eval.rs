@@ -1,9 +1,9 @@
-//! Criterion bench: bit-exact filtering throughput of generated
+//! Timing bench: bit-exact filtering throughput of generated
 //! architectures versus the direct-convolution golden model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrp_arch::{direct_fir, FirFilter};
-use mrp_bench::quantized_example;
+use mrp_bench::timing::bench;
+use mrp_bench::{assert_lint_clean, quantized_example};
 use mrp_core::{MrpConfig, MrpOptimizer};
 use mrp_filters::example_filters;
 use mrp_numrep::Scaling;
@@ -18,33 +18,26 @@ fn input_samples(n: usize) -> Vec<i64> {
         .collect()
 }
 
-fn bench_eval(c: &mut Criterion) {
+fn main() {
     let ex = &example_filters()[4];
     let coeffs = quantized_example(ex, 12, Scaling::Uniform);
     let result = MrpOptimizer::new(MrpConfig::default())
         .optimize(&coeffs)
         .unwrap();
+    assert_lint_clean(&result.graph, "eval bench block");
     let filter = FirFilter::new(result.graph.clone());
     let input = input_samples(1024);
 
-    let mut group = c.benchmark_group("filter_eval");
-    group.sample_size(20);
-    group.bench_with_input(
-        BenchmarkId::new("mrpf_structural", coeffs.len()),
-        &input,
-        |b, input| {
-            b.iter(|| filter.filter(std::hint::black_box(input)));
-        },
+    bench(
+        "filter_eval",
+        &format!("mrpf_structural_{}", coeffs.len()),
+        20,
+        || filter.filter(std::hint::black_box(&input)),
     );
-    group.bench_with_input(
-        BenchmarkId::new("direct_convolution", coeffs.len()),
-        &input,
-        |b, input| {
-            b.iter(|| direct_fir(std::hint::black_box(&coeffs), std::hint::black_box(input)));
-        },
+    bench(
+        "filter_eval",
+        &format!("direct_convolution_{}", coeffs.len()),
+        20,
+        || direct_fir(std::hint::black_box(&coeffs), std::hint::black_box(&input)),
     );
-    group.finish();
 }
-
-criterion_group!(benches, bench_eval);
-criterion_main!(benches);

@@ -1,60 +1,54 @@
-//! Criterion bench: MRP optimization runtime vs tap count and wordlength
+//! Timing bench: MRP optimization runtime vs tap count and wordlength
 //! (the sweep behind Figures 6 and 7).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrp_bench::quantized_example;
+use mrp_bench::timing::bench;
+use mrp_bench::{assert_lint_clean, quantized_example};
 use mrp_core::{MrpConfig, MrpOptimizer, SeedOptimizer};
 use mrp_filters::example_filters;
 use mrp_numrep::Scaling;
 
-fn bench_optimize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mrp_optimize");
-    group.sample_size(10);
+fn main() {
     let suite = example_filters();
+
     for ex in [&suite[0], &suite[4], &suite[8], &suite[11]] {
         let coeffs = quantized_example(ex, 16, Scaling::Uniform);
-        group.bench_with_input(
-            BenchmarkId::new("taps", coeffs.len()),
-            &coeffs,
-            |b, coeffs| {
-                let opt = MrpOptimizer::new(MrpConfig::default());
-                b.iter(|| opt.optimize(std::hint::black_box(coeffs)).unwrap());
-            },
+        let opt = MrpOptimizer::new(MrpConfig::default());
+        let r = opt.optimize(&coeffs).unwrap();
+        assert_lint_clean(&r.graph, &format!("example {} at w=16", ex.index));
+        bench(
+            "mrp_optimize",
+            &format!("taps_{}", coeffs.len()),
+            10,
+            || opt.optimize(std::hint::black_box(&coeffs)).unwrap(),
         );
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("mrp_optimize_wordlength");
-    group.sample_size(10);
     let ex = &suite[6];
     for w in [8u32, 12, 16, 20] {
         let coeffs = quantized_example(ex, w, Scaling::Maximal);
-        group.bench_with_input(BenchmarkId::new("w", w), &coeffs, |b, coeffs| {
-            let opt = MrpOptimizer::new(MrpConfig::default());
-            b.iter(|| opt.optimize(std::hint::black_box(coeffs)).unwrap());
+        let opt = MrpOptimizer::new(MrpConfig::default());
+        let r = opt.optimize(&coeffs).unwrap();
+        assert_lint_clean(&r.graph, &format!("example {} at w={w}", ex.index));
+        bench("mrp_optimize_wordlength", &format!("w_{w}"), 10, || {
+            opt.optimize(std::hint::black_box(&coeffs)).unwrap()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("mrp_seed_optimizer");
-    group.sample_size(10);
     let coeffs = quantized_example(&suite[8], 16, Scaling::Uniform);
     for (name, seed) in [
         ("direct", SeedOptimizer::Direct),
         ("cse", SeedOptimizer::Cse),
         ("recursive", SeedOptimizer::Recursive { levels: 1 }),
     ] {
-        group.bench_with_input(BenchmarkId::new("seed", name), &coeffs, |b, coeffs| {
-            let cfg = MrpConfig {
-                seed_optimizer: seed,
-                ..MrpConfig::default()
-            };
-            let opt = MrpOptimizer::new(cfg);
-            b.iter(|| opt.optimize(std::hint::black_box(coeffs)).unwrap());
+        let cfg = MrpConfig {
+            seed_optimizer: seed,
+            ..MrpConfig::default()
+        };
+        let opt = MrpOptimizer::new(cfg);
+        let r = opt.optimize(&coeffs).unwrap();
+        assert_lint_clean(&r.graph, &format!("seed optimizer {name}"));
+        bench("mrp_seed_optimizer", &format!("seed_{name}"), 10, || {
+            opt.optimize(std::hint::black_box(&coeffs)).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_optimize);
-criterion_main!(benches);

@@ -64,7 +64,10 @@ fn main() {
         "Ablation 2 — depth constraint vs SEED size and adders",
         "Table 1 uses depth 3; unconstrained trees trade delay for SEED",
     );
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "depth", "adders", "roots", "colors", "height");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8}",
+        "depth", "adders", "roots", "colors", "height"
+    );
     for depth in [1u32, 2, 3, 4, 6, u32::MAX] {
         let cfg = MrpConfig {
             max_depth: Some(depth),
@@ -106,7 +109,10 @@ fn main() {
         "Ablation 4 — benefit weight beta vs adders and SEED",
         "beta < 0.5 de-emphasizes sharing (interconnect-averse, §3.3)",
     );
-    println!("{:>6} {:>8} {:>8} {:>8}", "beta", "adders", "roots", "colors");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8}",
+        "beta", "adders", "roots", "colors"
+    );
     for i in 0..=10 {
         let beta = i as f64 / 10.0;
         let cfg = MrpConfig {

@@ -10,7 +10,10 @@ use mrp_core::MrpConfig;
 use mrp_numrep::Scaling;
 
 fn run_part(title: &str, scaling: Scaling, config: &MrpConfig) -> Vec<Vec<Cell>> {
-    print_header(title, "rows: example filters; columns: MRPF+CSE / CSE per wordlength");
+    print_header(
+        title,
+        "rows: example filters; columns: MRPF+CSE / CSE per wordlength",
+    );
     let suites: Vec<Vec<Cell>> = WORDLENGTHS
         .iter()
         .map(|&w| evaluate_suite(w, scaling, config))

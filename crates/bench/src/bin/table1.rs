@@ -14,14 +14,12 @@ fn band_edges(kind: &FilterKind) -> (String, String) {
     match *kind {
         FilterKind::Lowpass { fp, fs } => (format!("{fp:.3}"), format!("{fs:.3}")),
         FilterKind::Highpass { fs, fp } => (format!("{fp:.3}"), format!("{fs:.3}")),
-        FilterKind::Bandpass { fs1, fp1, fp2, fs2 } => (
-            format!("{fp1:.2}-{fp2:.2}"),
-            format!("{fs1:.2}/{fs2:.2}"),
-        ),
-        FilterKind::Bandstop { fp1, fs1, fs2, fp2 } => (
-            format!("{fp1:.2}/{fp2:.2}"),
-            format!("{fs1:.2}-{fs2:.2}"),
-        ),
+        FilterKind::Bandpass { fs1, fp1, fp2, fs2 } => {
+            (format!("{fp1:.2}-{fp2:.2}"), format!("{fs1:.2}/{fs2:.2}"))
+        }
+        FilterKind::Bandstop { fp1, fs1, fs2, fp2 } => {
+            (format!("{fp1:.2}/{fp2:.2}"), format!("{fs1:.2}-{fs2:.2}"))
+        }
     }
 }
 

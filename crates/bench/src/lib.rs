@@ -1,5 +1,5 @@
 //! Shared plumbing for the figure/table regeneration binaries and the
-//! Criterion benches.
+//! timing benches.
 //!
 //! Every binary follows the same recipe: design the Table 1 example suite,
 //! quantize to the wordlength/scaling under test, run each optimization
@@ -7,9 +7,27 @@
 //! for the experiment ↔ binary index and EXPERIMENTS.md for recorded
 //! output.
 
+pub mod timing;
+
 use mrp_core::{adder_report, AdderReport, MrpConfig};
 use mrp_filters::{example_filters, ExampleFilter};
 use mrp_numrep::{quantize, Scaling};
+
+/// Lints a generated adder graph and panics on any finding: the bench
+/// binaries report numbers straight out of the pipeline, so a netlist that
+/// fails static analysis would silently poison the published tables.
+///
+/// # Panics
+///
+/// Panics with the rendered lint report when the graph is not clean.
+pub fn assert_lint_clean(graph: &mrp_arch::AdderGraph, context: &str) {
+    let report = mrp_lint::lint_graph(graph, &mrp_lint::LintConfig::default());
+    assert!(
+        report.is_clean(),
+        "lint found problems in {context}:\n{}",
+        report.render_pretty()
+    );
+}
 
 /// The wordlengths every figure sweeps.
 pub const WORDLENGTHS: [u32; 4] = [8, 12, 16, 20];

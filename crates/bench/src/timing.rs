@@ -1,0 +1,96 @@
+//! Wall-clock micro-timing for the `benches/` binaries.
+//!
+//! The workspace builds offline, so the benches use plain
+//! [`std::time::Instant`] instead of an external harness: warm up, run a
+//! fixed iteration count, and report the per-iteration mean and minimum.
+//! The numbers are indicative (no outlier rejection) but deterministic in
+//! shape and dependency-free.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-iteration timing of one benchmark case.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Iterations timed.
+    pub iters: u32,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest single iteration, nanoseconds.
+    pub min_ns: f64,
+}
+
+impl Measurement {
+    /// Formats nanoseconds with an adaptive unit.
+    pub fn format_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+}
+
+/// Times `f` for `iters` iterations after `warmup` untimed runs.
+pub fn measure<R>(iters: u32, warmup: u32, mut f: impl FnMut() -> R) -> Measurement {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut min_ns = f64::INFINITY;
+    let total = Instant::now();
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        black_box(f());
+        min_ns = min_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    let mean_ns = total.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    Measurement {
+        iters: iters.max(1),
+        mean_ns,
+        min_ns,
+    }
+}
+
+/// Times `f` and prints one aligned `group/label` result row.
+pub fn bench<R>(group: &str, label: &str, iters: u32, f: impl FnMut() -> R) {
+    let m = measure(iters, 2, f);
+    println!(
+        "{:<44} mean {:>12}   min {:>12}   ({} iters)",
+        format!("{group}/{label}"),
+        Measurement::format_ns(m.mean_ns),
+        Measurement::format_ns(m.min_ns),
+        m.iters
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations() {
+        let mut n = 0u64;
+        let m = measure(10, 3, || n += 1);
+        assert_eq!(m.iters, 10);
+        assert_eq!(n, 13); // warmup + timed
+        assert!(m.min_ns <= m.mean_ns * 1.5 + 1.0);
+    }
+
+    #[test]
+    fn zero_iters_clamped() {
+        let m = measure(0, 0, || ());
+        assert_eq!(m.iters, 1);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(Measurement::format_ns(12.0).ends_with("ns"));
+        assert!(Measurement::format_ns(12_000.0).ends_with("µs"));
+        assert!(Measurement::format_ns(12_000_000.0).ends_with("ms"));
+        assert!(Measurement::format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -5,6 +5,7 @@ use std::fmt;
 use mrp_arch::emit_verilog;
 use mrp_core::{adder_report, MrpConfig, MrpOptimizer, SeedOptimizer};
 use mrp_filters::{butterworth_fir, least_squares, remez, FilterSpec};
+use mrp_lint::{lint_graph, lint_verilog, LintConfig};
 use mrp_numrep::{quantize, Repr, Scaling};
 
 use crate::args::{Args, ParseArgsError};
@@ -44,6 +45,7 @@ USAGE:
   mrpf emit     C0,C1,...  [--name MODULE] [--width BITS] [--seed ...]
   mrpf compare  C0,C1,...
   mrpf respond  C0,C1,...  [--points N] (magnitude response table)
+  mrpf lint     C0,C1,...  [--width BITS] [--fanout N] [--json] [--seed ...]
   mrpf help
 ";
 
@@ -59,6 +61,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "emit" => emit(args),
         "compare" => compare(args),
         "respond" => respond(args),
+        "lint" => lint(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail!("unknown subcommand `{other}`\n\n{USAGE}"),
     }
@@ -195,6 +198,38 @@ fn compare(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn lint(args: &Args) -> Result<String, CliError> {
+    let coeffs = parse_coeffs(args)?;
+    let cfg = parse_config(args)?;
+    let result = MrpOptimizer::new(cfg)
+        .optimize(&coeffs)
+        .map_err(|e| CliError(e.to_string()))?;
+    let width = args.get_usize("width", 16)? as u32;
+    if width == 0 || width > 48 {
+        bail!("--width must be within 1..=48");
+    }
+    let fanout = args.get_usize("fanout", 0)?;
+    let lint_cfg = LintConfig {
+        input_width: width,
+        expected_depth: None,
+        fanout_warn: if fanout == 0 { None } else { Some(fanout) },
+    };
+    let mut report = lint_graph(&result.graph, &lint_cfg);
+    if result.graph.outputs().iter().any(|o| o.expected != 0) {
+        let src = emit_verilog(&result.graph, "lint_dut", width);
+        report.merge(lint_verilog(&result.graph, &src, &lint_cfg));
+    }
+    let rendered = if args.flag("json") {
+        report.render_json()
+    } else {
+        report.render_pretty()
+    };
+    if report.has_errors() {
+        return Err(CliError(rendered));
+    }
+    Ok(rendered)
+}
+
 fn respond(args: &Args) -> Result<String, CliError> {
     let coeffs = parse_coeffs(args)?;
     let points = args.get_usize("points", 16)?;
@@ -275,8 +310,7 @@ mod tests {
 
     #[test]
     fn design_quantized_output_chains_into_optimize() {
-        let out =
-            run_line("design --kind lowpass --fp 0.1 --fs 0.2 --order 24 --w 12").unwrap();
+        let out = run_line("design --kind lowpass --fp 0.1 --fs 0.2 --order 24 --w 12").unwrap();
         let opt = run_line(&format!("optimize {out}")).unwrap();
         assert!(opt.contains("bit-exact"));
     }
@@ -284,6 +318,24 @@ mod tests {
     #[test]
     fn design_rejects_bad_method() {
         assert!(run_line("design --method magic").is_err());
+    }
+
+    #[test]
+    fn lint_reports_clean_block() {
+        let out = run_line("lint 70,66,17,9,27,41,56,11").unwrap();
+        assert!(out.contains("0 error(s)"), "unexpected: {out}");
+    }
+
+    #[test]
+    fn lint_json_output() {
+        let out = run_line("lint 7,9,45 --json --width 12").unwrap();
+        assert!(out.contains("\"diagnostics\""), "unexpected: {out}");
+        assert!(out.contains("\"stats\""), "unexpected: {out}");
+    }
+
+    #[test]
+    fn lint_validates_width() {
+        assert!(run_line("lint 7,9 --width 99").is_err());
     }
 
     #[test]

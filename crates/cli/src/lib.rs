@@ -7,6 +7,7 @@
 //! mrpf optimize <c0,c1,...>   [--repr spt|sm] [--beta B] [--depth D] [--seed direct|cse|recursive]
 //! mrpf emit     <c0,c1,...>   [--name module] [--width W] (Verilog to stdout)
 //! mrpf compare  <c0,c1,...>   (adder counts under every scheme)
+//! mrpf lint     <c0,c1,...>   [--width W] [--json] (static analysis report)
 //! ```
 //!
 //! All subcommands are implemented as library functions returning strings,

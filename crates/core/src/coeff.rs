@@ -76,10 +76,13 @@ impl CoeffSet {
                         negate: p.negative,
                     };
                 }
-                let index = primaries.iter().position(|&v| v == p.odd).unwrap_or_else(|| {
-                    primaries.push(p.odd);
-                    primaries.len() - 1
-                });
+                let index = primaries
+                    .iter()
+                    .position(|&v| v == p.odd)
+                    .unwrap_or_else(|| {
+                        primaries.push(p.odd);
+                        primaries.len() - 1
+                    });
                 CoeffMapping::Primary {
                     index,
                     shift: p.shift,

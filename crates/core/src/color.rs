@@ -33,8 +33,8 @@ pub struct SidEdge {
 impl SidEdge {
     /// Checks the defining identity against the vertex values.
     pub fn is_consistent(&self, primaries: &[i64]) -> bool {
-        let base = (primaries[self.from] << self.base_shift)
-            * if self.base_negate { -1 } else { 1 };
+        let base =
+            (primaries[self.from] << self.base_shift) * if self.base_negate { -1 } else { 1 };
         let color = (self.color << self.color_shift) * if self.color_negate { -1 } else { 1 };
         base + color == primaries[self.to]
     }

@@ -86,10 +86,7 @@ pub fn select_colors(graph: &ColorGraph, primaries: &[i64], beta: f64) -> CoverS
             let f = beta * freq as f64 - (1.0 - beta) * graph.cost(ci) as f64;
             let better = match best {
                 None => true,
-                Some((bci, bf)) => {
-                    f > bf
-                        || (f == bf && graph.colors()[ci] < graph.colors()[bci])
-                }
+                Some((bci, bf)) => f > bf || (f == bf && graph.colors()[ci] < graph.colors()[bci]),
             };
             if better {
                 best = Some((ci, f));

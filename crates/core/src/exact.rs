@@ -64,11 +64,7 @@ pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSoluti
         // the greedy path (roots) handles it.
         return greedy;
     }
-    let greedy_cost: u32 = greedy
-        .class_indices
-        .iter()
-        .map(|&ci| graph.cost(ci))
-        .sum();
+    let greedy_cost: u32 = greedy.class_indices.iter().map(|&ci| graph.cost(ci)).sum();
 
     struct Search<'a> {
         graph: &'a ColorGraph,
@@ -138,13 +134,9 @@ pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSoluti
 
     match search.best {
         Some(class_indices) if search.nodes < NODE_BUDGET => {
-            let colors: Vec<i64> = class_indices
-                .iter()
-                .map(|&ci| graph.colors()[ci])
-                .collect();
-            let free_vertices: Vec<usize> = (0..n)
-                .filter(|&v| colors.contains(&primaries[v]))
-                .collect();
+            let colors: Vec<i64> = class_indices.iter().map(|&ci| graph.colors()[ci]).collect();
+            let free_vertices: Vec<usize> =
+                (0..n).filter(|&v| colors.contains(&primaries[v])).collect();
             CoverSolution {
                 colors,
                 class_indices,

@@ -28,7 +28,7 @@
 //! let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
 //! let result = MrpOptimizer::new(MrpConfig::default()).optimize(&coeffs)?;
 //! // Bit-exact by construction; spot-check one product anyway.
-//! assert_eq!(result.graph.evaluate_term(result.outputs[4], 3), 27 * 3);
+//! assert_eq!(result.graph.evaluate_term(result.outputs[4], 3)?, 27 * 3);
 //! // Far fewer adders than one multiplier per tap.
 //! assert!(result.total_adders() < 16);
 //! # Ok::<(), mrp_core::MrpError>(())

@@ -1,6 +1,8 @@
 //! The end-to-end MRP optimizer: cover → forest → SEED network → overhead
 //! network → verified adder graph.
 
+use std::collections::{HashMap, HashSet};
+
 use mrp_arch::{AdderGraph, Term};
 use mrp_cse::hartley_cse;
 use mrp_numrep::{nonzero_digits, Repr};
@@ -77,6 +79,10 @@ pub struct MrpStats {
     pub colors: usize,
     /// Tallest spanning tree.
     pub tree_height: u32,
+    /// Adder depth of the deepest node in the realized block (the
+    /// critical path of the multiplier network). Filled in by
+    /// [`MrpOptimizer::optimize`]; intermediate builders leave it 0.
+    pub critical_path: u32,
 }
 
 /// Output of [`MrpOptimizer::optimize`].
@@ -191,12 +197,27 @@ impl MrpOptimizer {
             None,
             "generated MRP network is not bit-exact"
         );
+        // Debug builds run the full static analyzer over every netlist the
+        // optimizer emits. Errors (broken structure, wrong coefficients,
+        // stale depth caches) are optimizer bugs; warnings (missed sharing
+        // on adversarial inputs) are quality hints and stay non-fatal.
+        #[cfg(debug_assertions)]
+        {
+            let report = mrp_lint::lint_graph(&graph, &mrp_lint::LintConfig::default());
+            debug_assert!(
+                !report.has_errors(),
+                "optimizer produced a netlist that fails lint:\n{}",
+                report.render_pretty()
+            );
+        }
+        let mut stats = built.stats;
+        stats.critical_path = graph.max_depth();
         Ok(MrpResult {
             graph,
             outputs,
             seed_roots: built.seed_roots,
             seed_colors: built.seed_colors,
-            stats: built.stats,
+            stats,
         })
     }
 }
@@ -233,6 +254,7 @@ fn realize_vector(
                 roots: values.len(),
                 colors: 0,
                 tree_height: 0,
+                critical_path: 0,
             },
         });
     }
@@ -311,6 +333,7 @@ fn realize_vector(
                 roots: values.len(),
                 colors: 0,
                 tree_height: 0,
+                critical_path: 0,
             },
         });
     }
@@ -343,16 +366,40 @@ fn realize_vector(
     for &r in &forest.roots {
         vertex_terms[r] = Some(seed_term_of(values[r]));
     }
+    // An edge's vertex value can already exist in the graph (as a SEED
+    // chain partial, or a shift of another realized value); reusing the
+    // node drops the overhead adder. The guard: skipping an edge must not
+    // orphan its realized color node — a color stays live if its term is
+    // the input (free shifts), some free vertex consumes it, another edge
+    // has already consumed it, or other edges still want it.
+    let mut color_pending: HashMap<i64, usize> = HashMap::new();
+    for te in &forest.edges {
+        *color_pending.entry(te.edge.color).or_default() += 1;
+    }
+    let mut color_live: HashSet<i64> = HashSet::new();
     for &v in &forest.free_vertices {
         if vertex_terms[v].is_none() {
             // values[v] equals a used color (odd = odd), shift 0.
             vertex_terms[v] = Some(seed_term_of(values[v]));
+            color_live.insert(values[v]);
         }
     }
+    let input = graph.input();
     for te in &forest.edges {
         let e = te.edge;
-        let parent = vertex_terms[e.from].expect("topological order");
         let color_term = seed_term_of(e.color);
+        *color_pending.get_mut(&e.color).expect("edge color counted") -= 1;
+        let color_safe = color_term.node == input
+            || color_live.contains(&e.color)
+            || color_pending[&e.color] > 0;
+        if color_safe {
+            if let Some(t) = graph.find_shift_of(values[te.vertex]) {
+                vertex_terms[te.vertex] = Some(t);
+                continue;
+            }
+        }
+        color_live.insert(e.color);
+        let parent = vertex_terms[e.from].expect("topological order");
         let lhs = Term {
             node: parent.node,
             shift: parent.shift + e.base_shift,
@@ -382,6 +429,7 @@ fn realize_vector(
             roots: forest.roots.len(),
             colors: used_colors.len(),
             tree_height: forest.height,
+            critical_path: 0,
         },
     })
 }
@@ -454,7 +502,11 @@ mod tests {
         assert_eq!(r.outputs.len(), coeffs.len());
         for (i, &c) in coeffs.iter().enumerate() {
             if c != 0 {
-                assert_eq!(r.graph.evaluate_term(r.outputs[i], 7), c * 7, "c[{i}]");
+                assert_eq!(
+                    r.graph.evaluate_term(r.outputs[i], 7).unwrap(),
+                    c * 7,
+                    "c[{i}]"
+                );
             }
         }
     }
@@ -463,7 +515,10 @@ mod tests {
     fn depth_constraint_limits_height() {
         let coeffs: Vec<i64> = (1..40).map(|k| 2 * k + 1).collect();
         for d in [1u32, 2, 3] {
-            let cfg = MrpConfig { max_depth: Some(d), ..MrpConfig::default() };
+            let cfg = MrpConfig {
+                max_depth: Some(d),
+                ..MrpConfig::default()
+            };
             let r = optimize(&coeffs, cfg);
             assert!(r.stats.tree_height <= d);
         }
@@ -472,8 +527,14 @@ mod tests {
     #[test]
     fn tighter_depth_grows_seed() {
         let coeffs: Vec<i64> = (1..60).map(|k| (3 * k * k + 7 * k + 1) | 1).collect();
-        let tight_cfg = MrpConfig { max_depth: Some(1), ..MrpConfig::default() };
-        let loose_cfg = MrpConfig { max_depth: Some(8), ..MrpConfig::default() };
+        let tight_cfg = MrpConfig {
+            max_depth: Some(1),
+            ..MrpConfig::default()
+        };
+        let loose_cfg = MrpConfig {
+            max_depth: Some(8),
+            ..MrpConfig::default()
+        };
         let tight = optimize(&coeffs, tight_cfg);
         let loose = optimize(&coeffs, loose_cfg);
         assert!(tight.seed_roots.len() >= loose.seed_roots.len());
@@ -483,7 +544,10 @@ mod tests {
     fn cse_on_seed_never_hurts_much() {
         let coeffs: Vec<i64> = (1..50).map(|k| (k * k * 13 + k * 5 + 3) | 1).collect();
         let direct = optimize(&coeffs, MrpConfig::default());
-        let cse_cfg = MrpConfig { seed_optimizer: SeedOptimizer::Cse, ..MrpConfig::default() };
+        let cse_cfg = MrpConfig {
+            seed_optimizer: SeedOptimizer::Cse,
+            ..MrpConfig::default()
+        };
         let with_cse = optimize(&coeffs, cse_cfg);
         assert!(
             with_cse.total_adders() <= direct.total_adders(),
@@ -496,7 +560,10 @@ mod tests {
     #[test]
     fn recursive_seed_works() {
         let coeffs: Vec<i64> = (1..64).map(|k| (k * 37 + 11) | 1).collect();
-        let cfg = MrpConfig { seed_optimizer: SeedOptimizer::Recursive { levels: 2 }, ..MrpConfig::default() };
+        let cfg = MrpConfig {
+            seed_optimizer: SeedOptimizer::Recursive { levels: 2 },
+            ..MrpConfig::default()
+        };
         let r = optimize(&coeffs, cfg);
         assert!(r.total_adders() > 0);
     }
@@ -511,7 +578,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_beta() {
-        let cfg = MrpConfig { beta: 2.0, ..MrpConfig::default() };
+        let cfg = MrpConfig {
+            beta: 2.0,
+            ..MrpConfig::default()
+        };
         assert!(matches!(
             MrpOptimizer::new(cfg).optimize(&PAPER),
             Err(MrpError::BadConfig(_))
@@ -520,7 +590,10 @@ mod tests {
 
     #[test]
     fn sm_representation_also_works() {
-        let cfg = MrpConfig { repr: Repr::SignMagnitude, ..MrpConfig::default() };
+        let cfg = MrpConfig {
+            repr: Repr::SignMagnitude,
+            ..MrpConfig::default()
+        };
         let r = optimize(&PAPER, cfg);
         assert!(r.total_adders() < 20);
     }

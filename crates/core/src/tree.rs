@@ -127,10 +127,7 @@ pub fn build_forest(
     // Per weakly connected component without a source, pick the APSP root.
     let dist = floyd_warshall(
         n,
-        &pairs
-            .iter()
-            .map(|&(u, v)| (u, v, 1u64))
-            .collect::<Vec<_>>(),
+        &pairs.iter().map(|&(u, v)| (u, v, 1u64)).collect::<Vec<_>>(),
     );
     for comp in weakly_connected_components(n, &pairs) {
         if comp.iter().any(|v| sources.contains(v)) {
@@ -153,10 +150,7 @@ pub fn build_forest(
                 let root = *comp
                     .iter()
                     .max_by_key(|&&u| {
-                        let reach = comp
-                            .iter()
-                            .filter(|&&v| dist.get(u, v).is_some())
-                            .count();
+                        let reach = comp.iter().filter(|&&v| dist.get(u, v).is_some()).count();
                         (reach, std::cmp::Reverse(direct_cost(u)))
                     })
                     .expect("non-empty component");

@@ -1,85 +1,128 @@
 //! Property tests: the MRP optimizer always produces a bit-exact network
-//! that never loses to the per-coefficient baseline.
+//! that never loses to the per-coefficient baseline (deterministic
+//! harness).
 
 use mrp_core::{MrpConfig, MrpOptimizer, SeedOptimizer};
 use mrp_cse::simple_adder_count;
-use proptest::prelude::*;
+use mrp_ptest::{run_cases, Rng};
 
-fn coeff_vec() -> impl Strategy<Value = Vec<i64>> {
-    prop::collection::vec(-(1i64 << 16)..(1i64 << 16), 1..28)
+fn coeff_vec(rng: &mut Rng) -> Vec<i64> {
+    rng.vec_i64(1, 28, -(1 << 16), 1 << 16)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn mrp_network_is_bit_exact(coeffs in coeff_vec()) {
-        let r = MrpOptimizer::new(MrpConfig::default()).optimize(&coeffs).unwrap();
-        prop_assert_eq!(r.graph.verify_outputs(&[-13, -1, 0, 1, 3, 255, 10007]), None);
+#[test]
+fn mrp_network_is_bit_exact() {
+    run_cases("mrp_network_is_bit_exact", 48, |rng| {
+        let coeffs = coeff_vec(rng);
+        let r = MrpOptimizer::new(MrpConfig::default())
+            .optimize(&coeffs)
+            .unwrap();
+        assert_eq!(
+            r.graph.verify_outputs(&[-13, -1, 0, 1, 3, 255, 10007]),
+            None
+        );
         for (i, &c) in coeffs.iter().enumerate() {
             if c != 0 {
-                prop_assert_eq!(r.graph.evaluate_term(r.outputs[i], 11), c * 11);
+                assert_eq!(r.graph.evaluate_term(r.outputs[i], 11).unwrap(), c * 11);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn mrp_not_worse_than_simple(coeffs in coeff_vec()) {
+#[test]
+fn mrp_not_worse_than_simple() {
+    run_cases("mrp_not_worse_than_simple", 48, |rng| {
+        let coeffs = coeff_vec(rng);
         let cfg = MrpConfig::default();
         let r = MrpOptimizer::new(cfg).optimize(&coeffs).unwrap();
         let simple = simple_adder_count(&coeffs, cfg.repr);
-        prop_assert!(
+        assert!(
             r.total_adders() <= simple.max(1),
-            "MRP {} vs simple {}", r.total_adders(), simple
+            "MRP {} vs simple {}",
+            r.total_adders(),
+            simple
         );
-    }
+    });
+}
 
-    #[test]
-    fn depth_constraint_always_respected(
-        coeffs in coeff_vec(),
-        depth in 1u32..5,
-    ) {
-        let cfg = MrpConfig { max_depth: Some(depth), ..MrpConfig::default() };
+#[test]
+fn depth_constraint_always_respected() {
+    run_cases("depth_constraint_always_respected", 48, |rng| {
+        let coeffs = coeff_vec(rng);
+        let depth = rng.u32_in(1, 5);
+        let cfg = MrpConfig {
+            max_depth: Some(depth),
+            ..MrpConfig::default()
+        };
         let r = MrpOptimizer::new(cfg).optimize(&coeffs).unwrap();
-        prop_assert!(r.stats.tree_height <= depth);
-        prop_assert_eq!(r.graph.verify_outputs(&[1, -7]), None);
-    }
+        assert!(r.stats.tree_height <= depth);
+        assert_eq!(r.graph.verify_outputs(&[1, -7]), None);
+    });
+}
 
-    #[test]
-    fn seed_members_are_positive_odd(coeffs in coeff_vec()) {
-        let r = MrpOptimizer::new(MrpConfig::default()).optimize(&coeffs).unwrap();
+#[test]
+fn seed_members_are_positive_odd() {
+    run_cases("seed_members_are_positive_odd", 48, |rng| {
+        let coeffs = coeff_vec(rng);
+        let r = MrpOptimizer::new(MrpConfig::default())
+            .optimize(&coeffs)
+            .unwrap();
         for &v in r.seed_roots.iter().chain(&r.seed_colors) {
-            prop_assert!(v > 0 && v % 2 == 1, "SEED member {} not positive odd", v);
+            assert!(v > 0 && v % 2 == 1, "SEED member {v} not positive odd");
         }
-    }
+    });
+}
 
-    #[test]
-    fn cse_seed_is_bit_exact(coeffs in coeff_vec()) {
-        let cfg = MrpConfig { seed_optimizer: SeedOptimizer::Cse, ..MrpConfig::default() };
+#[test]
+fn cse_seed_is_bit_exact() {
+    run_cases("cse_seed_is_bit_exact", 48, |rng| {
+        let coeffs = coeff_vec(rng);
+        let cfg = MrpConfig {
+            seed_optimizer: SeedOptimizer::Cse,
+            ..MrpConfig::default()
+        };
         let r = MrpOptimizer::new(cfg).optimize(&coeffs).unwrap();
-        prop_assert_eq!(r.graph.verify_outputs(&[-2, 0, 5, 999]), None);
-    }
+        assert_eq!(r.graph.verify_outputs(&[-2, 0, 5, 999]), None);
+    });
+}
 
-    #[test]
-    fn recursive_seed_is_bit_exact(coeffs in coeff_vec()) {
-        let cfg = MrpConfig { seed_optimizer: SeedOptimizer::Recursive { levels: 1 }, ..MrpConfig::default() };
+#[test]
+fn recursive_seed_is_bit_exact() {
+    run_cases("recursive_seed_is_bit_exact", 48, |rng| {
+        let coeffs = coeff_vec(rng);
+        let cfg = MrpConfig {
+            seed_optimizer: SeedOptimizer::Recursive { levels: 1 },
+            ..MrpConfig::default()
+        };
         let r = MrpOptimizer::new(cfg).optimize(&coeffs).unwrap();
-        prop_assert_eq!(r.graph.verify_outputs(&[-2, 0, 5, 999]), None);
-    }
+        assert_eq!(r.graph.verify_outputs(&[-2, 0, 5, 999]), None);
+    });
+}
 
-    #[test]
-    fn beta_sweep_stays_exact(coeffs in coeff_vec(), beta in 0.0f64..=1.0) {
-        let cfg = MrpConfig { beta, ..MrpConfig::default() };
+#[test]
+fn beta_sweep_stays_exact() {
+    run_cases("beta_sweep_stays_exact", 48, |rng| {
+        let coeffs = coeff_vec(rng);
+        let beta = rng.f64_unit();
+        let cfg = MrpConfig {
+            beta,
+            ..MrpConfig::default()
+        };
         let r = MrpOptimizer::new(cfg).optimize(&coeffs).unwrap();
-        prop_assert_eq!(r.graph.verify_outputs(&[1, 42]), None);
-    }
+        assert_eq!(r.graph.verify_outputs(&[1, 42]), None);
+    });
+}
 
-    #[test]
-    fn stats_decompose_total(coeffs in coeff_vec()) {
-        let r = MrpOptimizer::new(MrpConfig::default()).optimize(&coeffs).unwrap();
-        prop_assert_eq!(
+#[test]
+fn stats_decompose_total() {
+    run_cases("stats_decompose_total", 48, |rng| {
+        let coeffs = coeff_vec(rng);
+        let r = MrpOptimizer::new(MrpConfig::default())
+            .optimize(&coeffs)
+            .unwrap();
+        assert_eq!(
             r.stats.seed_adders + r.stats.overhead_adders,
             r.total_adders()
         );
-    }
+    });
 }

@@ -62,7 +62,7 @@ pub fn differential_adder_count(coeffs: &[i64], repr: Repr) -> usize {
 ///
 /// let coeffs = [12i64, 14, 15];
 /// let (g, outs) = differential_block(&coeffs, Repr::Csd)?;
-/// assert_eq!(g.evaluate_term(outs[2], 3), 45);
+/// assert_eq!(g.evaluate_term(outs[2], 3)?, 45);
 /// # Ok::<(), mrp_cse::ArchError>(())
 /// ```
 pub fn differential_block(

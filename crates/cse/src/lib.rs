@@ -36,8 +36,8 @@ mod pattern;
 
 pub use differential::{differential_adder_count, differential_block};
 pub use hartley::{cse_adder_count, hartley_cse, CseResult, CseTerm, SubExpr, TermSource};
-pub use mrp_arch::ArchError;
 pub use mcm::{graph_mcm, mcm_adder_count};
+pub use mrp_arch::ArchError;
 pub use pattern::{Pattern, PatternKey};
 
 /// Adder count of the "simple" transposed-direct-form baseline: one

@@ -27,7 +27,7 @@ use mrp_numrep::{odd_part, Repr};
 /// let (g, outs) = graph_mcm(&[7, 21, 49], 8)?;
 /// // 7 = 8-1; 21 = 7+14; 49 = 7·7 = 56-7 or 7+42 — one add each from 7.
 /// assert_eq!(g.adder_count(), 3);
-/// assert_eq!(g.evaluate_term(outs[2], 2), 98);
+/// assert_eq!(g.evaluate_term(outs[2], 2)?, 98);
 /// # Ok::<(), mrp_cse::ArchError>(())
 /// ```
 pub fn graph_mcm(targets: &[i64], max_shift: u32) -> Result<(AdderGraph, Vec<Term>), ArchError> {
@@ -35,18 +35,17 @@ pub fn graph_mcm(targets: &[i64], max_shift: u32) -> Result<(AdderGraph, Vec<Ter
     let mut outs: Vec<Option<Term>> = vec![None; targets.len()];
 
     // Resolve trivial targets (zero, powers of two, shifts of existing).
-    let resolve_trivial =
-        |g: &AdderGraph, outs: &mut Vec<Option<Term>>| {
-            for (i, &t) in targets.iter().enumerate() {
-                if outs[i].is_none() {
-                    if t == 0 {
-                        outs[i] = Some(Term::of(g.input()));
-                    } else if let Some(term) = g.find_shift_of(t) {
-                        outs[i] = Some(term);
-                    }
+    let resolve_trivial = |g: &AdderGraph, outs: &mut Vec<Option<Term>>| {
+        for (i, &t) in targets.iter().enumerate() {
+            if outs[i].is_none() {
+                if t == 0 {
+                    outs[i] = Some(Term::of(g.input()));
+                } else if let Some(term) = g.find_shift_of(t) {
+                    outs[i] = Some(term);
                 }
             }
-        };
+        }
+    };
     resolve_trivial(&g, &mut outs);
 
     while outs.iter().any(Option::is_none) {
@@ -205,9 +204,9 @@ mod tests {
     #[test]
     fn paper_example_mcm() {
         let g = verify(&[70, 66, 17, 9, 27, 41, 56, 11]);
-        assert!(g.adder_count() <= crate::simple_adder_count(
-            &[70, 66, 17, 9, 27, 41, 56, 11],
-            Repr::Csd
-        ));
+        assert!(
+            g.adder_count()
+                <= crate::simple_adder_count(&[70, 66, 17, 9, 27, 41, 56, 11], Repr::Csd)
+        );
     }
 }

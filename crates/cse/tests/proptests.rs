@@ -1,61 +1,69 @@
 //! Property tests: CSE and MCM results are always bit-exact and never
-//! worse than the trivial baselines by more than the accounting allows.
+//! worse than the trivial baselines by more than the accounting allows
+//! (deterministic harness).
 
 use mrp_cse::{graph_mcm, hartley_cse, simple_adder_count};
 use mrp_numrep::Repr;
-use proptest::prelude::*;
+use mrp_ptest::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cse_graph_is_exact(
-        coeffs in prop::collection::vec(-(1i64 << 16)..(1i64 << 16), 1..20),
-    ) {
+#[test]
+fn cse_graph_is_exact() {
+    run_cases("cse_graph_is_exact", 64, |rng| {
+        let coeffs = rng.vec_i64(1, 20, -(1 << 16), 1 << 16);
         let r = hartley_cse(&coeffs);
         let (mut g, outs) = r.build_graph().unwrap();
         for (i, (&t, &c)) in outs.iter().zip(&coeffs).enumerate() {
             g.push_output(format!("c{i}"), t, c);
         }
-        prop_assert_eq!(g.verify_outputs(&[-11, 0, 1, 2, 987]), None);
-        prop_assert_eq!(g.adder_count(), r.adders());
-    }
+        assert_eq!(g.verify_outputs(&[-11, 0, 1, 2, 987]), None);
+        assert_eq!(g.adder_count(), r.adders());
+    });
+}
 
-    #[test]
-    fn cse_decomposition_sums_to_coefficients(
-        coeffs in prop::collection::vec(-(1i64 << 20)..(1i64 << 20), 1..16),
-    ) {
+#[test]
+fn cse_decomposition_sums_to_coefficients() {
+    run_cases("cse_decomposition_sums_to_coefficients", 64, |rng| {
+        let coeffs = rng.vec_i64(1, 16, -(1 << 20), 1 << 20);
         let r = hartley_cse(&coeffs);
         let sv = r.sub_values();
         for (terms, &c) in r.coeff_terms.iter().zip(&coeffs) {
-            let sum: i64 = terms.iter().map(|t| {
-                let base = match t.source {
-                    mrp_cse::TermSource::Input => 1,
-                    mrp_cse::TermSource::Sub(i) => sv[i],
-                };
-                let v = base << t.shift;
-                if t.negative { -v } else { v }
-            }).sum();
-            prop_assert_eq!(sum, c);
+            let sum: i64 = terms
+                .iter()
+                .map(|t| {
+                    let base = match t.source {
+                        mrp_cse::TermSource::Input => 1,
+                        mrp_cse::TermSource::Sub(i) => sv[i],
+                    };
+                    let v = base << t.shift;
+                    if t.negative {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .sum();
+            assert_eq!(sum, c);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mcm_graph_is_exact(
-        coeffs in prop::collection::vec(-(1i64 << 12)..(1i64 << 12), 1..10),
-    ) {
+#[test]
+fn mcm_graph_is_exact() {
+    run_cases("mcm_graph_is_exact", 64, |rng| {
+        let coeffs = rng.vec_i64(1, 10, -(1 << 12), 1 << 12);
         let (mut g, outs) = graph_mcm(&coeffs, 13).unwrap();
         for (i, (&t, &c)) in outs.iter().zip(&coeffs).enumerate() {
             g.push_output(format!("c{i}"), t, c);
         }
-        prop_assert_eq!(g.verify_outputs(&[-5, 0, 1, 3]), None);
-    }
+        assert_eq!(g.verify_outputs(&[-5, 0, 1, 3]), None);
+    });
+}
 
-    #[test]
-    fn mcm_not_worse_than_simple(
-        coeffs in prop::collection::vec(1i64..(1i64 << 12), 1..10),
-    ) {
+#[test]
+fn mcm_not_worse_than_simple() {
+    run_cases("mcm_not_worse_than_simple", 64, |rng| {
+        let coeffs = rng.vec_i64(1, 10, 1, 1 << 12);
         let (g, _) = graph_mcm(&coeffs, 13).unwrap();
-        prop_assert!(g.adder_count() <= simple_adder_count(&coeffs, Repr::Csd));
-    }
+        assert!(g.adder_count() <= simple_adder_count(&coeffs, Repr::Csd));
+    });
 }

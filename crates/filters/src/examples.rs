@@ -187,7 +187,11 @@ mod tests {
     fn every_example_designs() {
         for e in example_filters() {
             let taps = e.design().unwrap_or_else(|err| {
-                panic!("example {} ({}) failed to design: {err}", e.index, e.label())
+                panic!(
+                    "example {} ({}) failed to design: {err}",
+                    e.index,
+                    e.label()
+                )
             });
             assert_eq!(taps.len(), e.order + 1);
             // Symmetric.

@@ -133,7 +133,9 @@ mod tests {
         pub fn quantize_like(taps: &[f64], w: u32) -> Vec<i64> {
             let max = taps.iter().fold(0.0f64, |m, t| m.max(t.abs()));
             let full = ((1i64 << (w - 1)) - 1) as f64;
-            taps.iter().map(|t| (t / max * full).round() as i64).collect()
+            taps.iter()
+                .map(|t| (t / max * full).round() as i64)
+                .collect()
         }
     }
 }

@@ -128,18 +128,11 @@ fn bilinear_pole_section(re: f64, im: f64, c: f64) -> (Vec<f64>, Vec<f64>, f64) 
         let a0 = c * c - 2.0 * re * c + m;
         let a1 = 2.0 * (m - c * c);
         let a2 = c * c + 2.0 * re * c + m;
-        (
-            vec![1.0, 2.0, 1.0],
-            vec![1.0, a1 / a0, a2 / a0],
-            1.0 / a0,
-        )
+        (vec![1.0, 2.0, 1.0], vec![1.0, a1 / a0, a2 / a0], 1.0 / a0)
     }
 }
 
-fn assemble_lowpass(
-    poles: &[(f64, f64)],
-    c: f64,
-) -> IirFilter {
+fn assemble_lowpass(poles: &[(f64, f64)], c: f64) -> IirFilter {
     let mut b = vec![1.0];
     let mut a = vec![1.0];
     for &(re, im) in poles {

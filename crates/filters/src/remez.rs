@@ -245,7 +245,10 @@ fn exchange(grid: &Grid, err: &[f64], old_ext: &[usize], r: usize) -> Vec<usize>
     let mut score = vec![vec![neg_inf; c_len]; r + 1];
     let mut parent = vec![vec![usize::MAX; c_len]; r + 1];
     // prefix_best[sign][c] = (score, j) best over candidates processed so far.
-    let mut prefix_best = [vec![(neg_inf, usize::MAX); r + 1], vec![(neg_inf, usize::MAX); r + 1]];
+    let mut prefix_best = [
+        vec![(neg_inf, usize::MAX); r + 1],
+        vec![(neg_inf, usize::MAX); r + 1],
+    ];
     #[allow(clippy::needless_range_loop)] // j indexes several parallel tables
     for j in 0..c_len {
         let e = err[candidates[j]];
@@ -375,7 +378,10 @@ mod tests {
         assert!(peaks.len() >= 3, "expected several ripple peaks");
         let max = peaks.iter().copied().fold(0.0f64, f64::max);
         let min = peaks.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(min > 0.5 * max, "ripple not equalized: min {min}, max {max}");
+        assert!(
+            min > 0.5 * max,
+            "ripple not equalized: min {min}, max {max}"
+        );
     }
 
     #[test]

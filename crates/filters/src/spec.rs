@@ -345,9 +345,6 @@ mod tests {
     #[test]
     fn display_labels() {
         assert_eq!(DesignMethod::ParksMcClellan.to_string(), "PM");
-        assert_eq!(
-            FilterKind::Lowpass { fp: 0.1, fs: 0.2 }.to_string(),
-            "LP"
-        );
+        assert_eq!(FilterKind::Lowpass { fp: 0.1, fs: 0.2 }.to_string(), "LP");
     }
 }

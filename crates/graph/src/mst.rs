@@ -208,9 +208,7 @@ mod tests {
             .map(|v| {
                 edges
                     .iter()
-                    .filter(|e| {
-                        (e.u == v && e.v == parent[v]) || (e.v == v && e.u == parent[v])
-                    })
+                    .filter(|e| (e.u == v && e.v == parent[v]) || (e.v == v && e.u == parent[v]))
                     .map(|e| e.weight)
                     .min()
                     .unwrap()

@@ -94,6 +94,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "activity")]
     fn rejects_bad_activity() {
-        switched_capacitance(1, AdderKind::RippleCarry, 8, 1.5, 10.0, &Technology::cmos025());
+        switched_capacitance(
+            1,
+            AdderKind::RippleCarry,
+            8,
+            1.5,
+            10.0,
+            &Technology::cmos025(),
+        );
     }
 }

@@ -1,0 +1,107 @@
+//! Depth / critical-path analysis.
+//!
+//! Recomputes every node's adder depth from the structure and checks it
+//! against the graph's cached depths and, when provided, against the
+//! critical path the optimizer reported (the paper's depth constraint is a
+//! hard design parameter, so a silent mismatch would invalidate Table 1
+//! style accounting).
+
+use mrp_arch::{AdderGraph, Node, NodeId};
+
+use crate::diag::{Diagnostic, LintCode, LintReport};
+use crate::LintConfig;
+
+/// Recomputed adder depth of every node, index = node index. Operand
+/// references that are not strictly earlier are treated as depth 0 so the
+/// recompute stays total on malformed graphs (the structure pass reports
+/// those separately).
+pub fn recompute_depths(graph: &AdderGraph) -> Vec<u32> {
+    let mut d = vec![0u32; graph.len()];
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            let of = |j: usize| if j < i { d[j] } else { 0 };
+            d[i] = 1 + of(lhs.node.index()).max(of(rhs.node.index()));
+        }
+    }
+    d
+}
+
+pub(crate) fn run(graph: &AdderGraph, config: &LintConfig, report: &mut LintReport) {
+    let depths = recompute_depths(graph);
+    let max = depths.iter().copied().max().unwrap_or(0);
+    report.stats.max_depth = max;
+
+    for (i, &d) in depths.iter().enumerate() {
+        let cached = graph.depth(NodeId::from_index(i));
+        if d != cached {
+            report.push(
+                Diagnostic::new(
+                    LintCode::DepthCacheMismatch,
+                    format!("cached depth {cached} but structural depth is {d}"),
+                )
+                .at_node(i),
+            );
+        }
+    }
+
+    if let Some(expected) = config.expected_depth {
+        if max != expected {
+            report.push(Diagnostic::new(
+                LintCode::DepthMismatch,
+                format!(
+                    "optimizer reported a critical path of {expected} adder stage(s) \
+                     but the netlist has {max}"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_arch::Term;
+
+    fn two_level() -> AdderGraph {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap();
+        let b = g.add(Term::shifted(a, 2), Term::of(x)).unwrap();
+        g.push_output("c0", Term::of(b), 29);
+        g
+    }
+
+    #[test]
+    fn recompute_matches_cache() {
+        let g = two_level();
+        assert_eq!(recompute_depths(&g), vec![0, 1, 2]);
+        let mut r = LintReport::default();
+        run(&g, &LintConfig::default(), &mut r);
+        assert!(r.is_clean(), "{}", r.render_pretty());
+        assert_eq!(r.stats.max_depth, 2);
+    }
+
+    #[test]
+    fn expected_depth_mismatch_detected() {
+        let g = two_level();
+        let cfg = LintConfig {
+            expected_depth: Some(3),
+            ..LintConfig::default()
+        };
+        let mut r = LintReport::default();
+        run(&g, &cfg, &mut r);
+        assert_eq!(r.with_code(LintCode::DepthMismatch).len(), 1);
+    }
+
+    #[test]
+    fn matching_expected_depth_is_clean() {
+        let g = two_level();
+        let cfg = LintConfig {
+            expected_depth: Some(2),
+            ..LintConfig::default()
+        };
+        let mut r = LintReport::default();
+        run(&g, &cfg, &mut r);
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,184 @@
+//! Coefficient-equivalence checking.
+//!
+//! Re-derives each node's constant multiple of `x` symbolically from the
+//! adder structure alone (never consulting the tracked value cache), then
+//! verifies the cache and every registered output coefficient against the
+//! derivation. A mismatch pinpoints which node or output edge breaks the
+//! reconstruction — the failure mode of a buggy SEED/overhead edge in the
+//! MRP decomposition.
+
+use mrp_arch::{AdderGraph, Node, NodeId, Term};
+use mrp_numrep::odd_part;
+
+use crate::diag::{Diagnostic, LintCode, LintReport};
+use crate::LintConfig;
+
+/// Symbolically derived constants, index = node index; `None` past the
+/// first node whose derivation leaves the `i64` tracking range.
+fn derive_values(graph: &AdderGraph) -> Result<Vec<i64>, usize> {
+    let mut vals = vec![0i64; graph.len()];
+    for (i, node) in graph.nodes().iter().enumerate() {
+        vals[i] = match node {
+            Node::Input => 1,
+            Node::Add { lhs, rhs } => {
+                let term = |t: &Term| -> Option<i128> {
+                    let j = t.node.index();
+                    if j >= i {
+                        return None; // structure pass reports this
+                    }
+                    let v = (vals[j] as i128).checked_shl(t.shift)?;
+                    Some(if t.negate { -v } else { v })
+                };
+                let sum = term(lhs).and_then(|a| term(rhs).map(|b| a + b));
+                match sum.and_then(|v| i64::try_from(v).ok()) {
+                    Some(v) => v,
+                    None => return Err(i),
+                }
+            }
+        };
+    }
+    Ok(vals)
+}
+
+pub(crate) fn run(graph: &AdderGraph, _config: &LintConfig, report: &mut LintReport) {
+    let vals = match derive_values(graph) {
+        Ok(v) => v,
+        Err(i) => {
+            report.push(
+                Diagnostic::new(
+                    LintCode::WidthOverflow,
+                    "symbolic derivation leaves the 63-bit tracking range",
+                )
+                .at_node(i),
+            );
+            return;
+        }
+    };
+
+    // Tracked cache vs. derivation.
+    for (i, &v) in vals.iter().enumerate() {
+        let tracked = graph.value(NodeId::from_index(i));
+        if v != tracked {
+            report.push(
+                Diagnostic::new(
+                    LintCode::TrackedValueMismatch,
+                    format!("tracked value {tracked}·x but the adders compute {v}·x"),
+                )
+                .at_node(i),
+            );
+        }
+    }
+
+    // Output coefficients vs. derivation.
+    for o in graph.outputs() {
+        if o.expected == 0 {
+            continue;
+        }
+        let j = o.term.node.index();
+        if j >= vals.len() {
+            continue; // structure pass reports this
+        }
+        let Some(got) =
+            (vals[j] as i128)
+                .checked_shl(o.term.shift)
+                .map(|v| if o.term.negate { -v } else { v })
+        else {
+            report.push(
+                Diagnostic::new(
+                    LintCode::WidthOverflow,
+                    format!(
+                        "output `{}` shift {} leaves the analysis range",
+                        o.label, o.term.shift
+                    ),
+                )
+                .at_signal(o.label.clone()),
+            );
+            continue;
+        };
+        if got != o.expected as i128 {
+            let hint = if odd_part(got.clamp(i64::MIN as i128, i64::MAX as i128) as i64).odd
+                == odd_part(o.expected).odd
+            {
+                "shift/sign error on the output edge"
+            } else {
+                "output is wired to the wrong node"
+            };
+            report.push(
+                Diagnostic::new(
+                    LintCode::CoeffMismatch,
+                    format!(
+                        "output `{}` reconstructs {got}·x but expects {}·x; driven by \
+                         node {j} ({}·x) shifted by {}{} — {hint}",
+                        o.label,
+                        o.expected,
+                        vals[j],
+                        o.term.shift,
+                        if o.term.negate { ", negated" } else { "" },
+                    ),
+                )
+                .at_signal(o.label.clone()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_arch::Term;
+
+    fn lint(graph: &AdderGraph) -> LintReport {
+        let mut r = LintReport::default();
+        run(graph, &LintConfig::default(), &mut r);
+        r
+    }
+
+    #[test]
+    fn correct_network_is_clean() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+        let b = g.add(Term::shifted(a, 2), Term::of(x)).unwrap(); // 29
+        g.push_output("c0", Term::of(b), 29);
+        g.push_output("c1", Term::negated_shifted(a, 1), -14);
+        assert!(lint(&g).is_clean());
+    }
+
+    #[test]
+    fn wrong_expected_coefficient_detected_with_shift_hint() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 1), Term::of(x)).unwrap(); // 3
+                                                                  // Expecting 6 but wiring shift 0: same odd part, wrong shift.
+        g.push_output("c0", Term::of(a), 6);
+        let r = lint(&g);
+        let bad = r.with_code(LintCode::CoeffMismatch);
+        assert_eq!(bad.len(), 1);
+        assert!(
+            bad[0].message.contains("shift/sign error"),
+            "{}",
+            bad[0].message
+        );
+        assert_eq!(bad[0].signal.as_deref(), Some("c0"));
+    }
+
+    #[test]
+    fn wrong_node_detected() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 1), Term::of(x)).unwrap(); // 3
+        g.push_output("c0", Term::of(a), 7);
+        let r = lint(&g);
+        let bad = r.with_code(LintCode::CoeffMismatch);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("wrong node"), "{}", bad[0].message);
+    }
+
+    #[test]
+    fn zero_expected_outputs_are_skipped() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        g.push_output("z", Term::of(x), 0);
+        assert!(lint(&g).is_clean());
+    }
+}

@@ -1,0 +1,115 @@
+//! Static analysis for multiplierless adder networks and their RTL.
+//!
+//! The MRP pipeline turns a coefficient vector into an adder-graph netlist
+//! and then into structural Verilog; every stage is an opportunity for a
+//! silent wiring, width, or accounting bug that bit-exact spot checks can
+//! miss. This crate lints both artifacts and reports findings with stable
+//! `MRPnnn` codes (see [`LintCode`]), severities, and source-node
+//! provenance:
+//!
+//! * **structure** (`MRP00x`) — dead nodes, malformed references,
+//!   non-topological order, redundant adders (free shifts burned as
+//!   hardware), exact duplicate adders (missed CSE), fanout;
+//! * **width** (`MRP01x`) — bit-width inference through shifts and adds,
+//!   checked against the widths the emitted Verilog declares;
+//! * **equivalence** (`MRP02x`) — symbolic re-derivation of every constant
+//!   from the adder structure, verified against the tracked values, the
+//!   registered output coefficients, and a simulation of the RTL;
+//! * **depth** (`MRP03x`) — recomputed critical path, checked against the
+//!   graph's depth cache and the optimizer's reported depth.
+//!
+//! # Examples
+//!
+//! ```
+//! use mrp_arch::{AdderGraph, Term};
+//! use mrp_lint::{lint_graph, LintCode, LintConfig};
+//!
+//! let mut g = AdderGraph::new();
+//! let x = g.input();
+//! let seven = g.add(Term::shifted(x, 3), Term::negated(x))?;
+//! let dead = g.add(Term::shifted(x, 2), Term::of(x))?; // 5·x, never used
+//! g.push_output("c0", Term::of(seven), 7);
+//! let report = lint_graph(&g, &LintConfig::default());
+//! assert_eq!(report.with_code(LintCode::DeadNode).len(), 1);
+//! assert_eq!(report.with_code(LintCode::DeadNode)[0].node, Some(dead.index()));
+//! # Ok::<(), mrp_arch::ArchError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod depth;
+mod diag;
+mod equiv;
+mod rtl;
+mod structure;
+pub mod width;
+
+pub use depth::recompute_depths;
+pub use diag::{Diagnostic, LintCode, LintReport, LintStats, Severity};
+
+use mrp_arch::AdderGraph;
+
+/// Lint configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Input wordlength the network is analyzed at (1..=63 bits).
+    pub input_width: u32,
+    /// Critical path the optimizer reported, in adder stages; when set,
+    /// a recomputed mismatch raises `MRP031`.
+    pub expected_depth: Option<u32>,
+    /// Fanout threshold above which `MRP006` fires; `None` disables the
+    /// check (fanout still lands in the stats).
+    pub fanout_warn: Option<usize>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            input_width: 16,
+            expected_depth: None,
+            fanout_warn: None,
+        }
+    }
+}
+
+/// Lints an adder-graph netlist: structure, widths, coefficient
+/// equivalence, and depth.
+///
+/// # Panics
+///
+/// Panics if `config.input_width` is outside `1..=63` (wider inputs leave
+/// the `i64` analysis range).
+pub fn lint_graph(graph: &AdderGraph, config: &LintConfig) -> LintReport {
+    assert!(
+        (1..=63).contains(&config.input_width),
+        "input width {} outside 1..=63",
+        config.input_width
+    );
+    let mut report = LintReport::default();
+    structure::run(graph, config, &mut report);
+    width::run(graph, config, &mut report);
+    equiv::run(graph, config, &mut report);
+    depth::run(graph, config, &mut report);
+    report
+}
+
+/// Lints emitted Verilog against the netlist it was generated from:
+/// parseability, structural shape, declared wire/port widths versus the
+/// inferred requirements, and a width-exact simulation of the products.
+///
+/// Covers both the combinational ([`mrp_arch::emit_verilog`]) and the
+/// pipelined ([`mrp_arch::emit_verilog_pipelined`]) emitters.
+///
+/// # Panics
+///
+/// Panics if `config.input_width` is outside `1..=63`.
+pub fn lint_verilog(graph: &AdderGraph, source: &str, config: &LintConfig) -> LintReport {
+    assert!(
+        (1..=63).contains(&config.input_width),
+        "input width {} outside 1..=63",
+        config.input_width
+    );
+    let mut report = LintReport::default();
+    rtl::run(graph, source, config, &mut report);
+    report
+}

@@ -1,0 +1,267 @@
+//! Structural invariants: reachability, topology, redundancy, fanout.
+
+use mrp_arch::{AdderGraph, Node, NodeId};
+use mrp_numrep::odd_part;
+
+use crate::diag::{Diagnostic, LintCode, LintReport};
+use crate::LintConfig;
+
+pub(crate) fn run(graph: &AdderGraph, config: &LintConfig, report: &mut LintReport) {
+    let n = graph.len();
+    report.stats.nodes = n;
+    report.stats.adders = graph.adder_count();
+
+    let live_outputs: Vec<_> = graph.outputs().iter().filter(|o| o.expected != 0).collect();
+    report.stats.outputs = live_outputs.len();
+
+    if live_outputs.is_empty() && graph.adder_count() > 0 {
+        report.push(Diagnostic::new(
+            LintCode::NoOutputs,
+            "graph has adders but registers no nonzero outputs",
+        ));
+    }
+
+    // Reference validity + topological order. `AdderGraph::add` can only
+    // reference existing nodes, so these are defensive; they also guard the
+    // later passes, which index node vectors by operand id.
+    let mut refs_ok = true;
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            for t in [lhs, rhs] {
+                let j = t.node.index();
+                if j >= n {
+                    report.push(
+                        Diagnostic::new(
+                            LintCode::UnknownNodeRef,
+                            format!("adder operand references nonexistent node {j}"),
+                        )
+                        .at_node(i),
+                    );
+                    refs_ok = false;
+                } else if j >= i {
+                    report.push(
+                        Diagnostic::new(
+                            LintCode::NotTopological,
+                            format!("adder at index {i} reads node {j} (not strictly earlier)"),
+                        )
+                        .at_node(i),
+                    );
+                    refs_ok = false;
+                }
+            }
+        }
+    }
+    for o in graph.outputs() {
+        if o.term.node.index() >= n {
+            report.push(
+                Diagnostic::new(
+                    LintCode::UnknownNodeRef,
+                    format!(
+                        "output `{}` references nonexistent node {}",
+                        o.label,
+                        o.term.node.index()
+                    ),
+                )
+                .at_signal(o.label.clone()),
+            );
+            refs_ok = false;
+        }
+    }
+    if !refs_ok {
+        // Reachability and redundancy would index out of bounds.
+        return;
+    }
+
+    // Dead nodes: adders not reachable from any nonzero output.
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = live_outputs.iter().map(|o| o.term.node.index()).collect();
+    while let Some(i) = stack.pop() {
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        if let Node::Add { lhs, rhs } = graph.nodes()[i] {
+            stack.push(lhs.node.index());
+            stack.push(rhs.node.index());
+        }
+    }
+    for (i, &alive) in live.iter().enumerate().skip(1) {
+        if !alive {
+            report.push(
+                Diagnostic::new(
+                    LintCode::DeadNode,
+                    format!(
+                        "adder computing {}·x drives no output",
+                        graph.value(NodeId::from_index(i))
+                    ),
+                )
+                .at_node(i),
+            );
+        }
+    }
+
+    // Redundant adders: the sum is zero, or a pure shift/negation of one of
+    // its own operands — free wiring spent as hardware.
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            let v = graph.value(NodeId::from_index(i));
+            if v == 0 {
+                report.push(
+                    Diagnostic::new(LintCode::RedundantAdder, "adder output is constant zero")
+                        .at_node(i),
+                );
+                continue;
+            }
+            for t in [lhs, rhs] {
+                let ov = graph.value(t.node);
+                if ov != 0 && odd_part(v).odd == odd_part(ov).odd {
+                    report.push(
+                        Diagnostic::new(
+                            LintCode::RedundantAdder,
+                            format!(
+                                "adder computing {v}·x is a free shift/negation of its \
+                                 operand node {} ({ov}·x)",
+                                t.node.index()
+                            ),
+                        )
+                        .at_node(i),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    // Exact duplicates: two adders computing the same constant. The second
+    // one is the wasted instance (a shift-free reuse was available).
+    for i in 1..n {
+        let v = graph.value(NodeId::from_index(i));
+        if v == 0 {
+            continue;
+        }
+        if let Some(first) = (1..i).find(|&j| graph.value(NodeId::from_index(j)) == v) {
+            report.push(
+                Diagnostic::new(
+                    LintCode::DuplicateNode,
+                    format!("adder duplicates node {first} (both compute {v}·x); missed CSE"),
+                )
+                .at_node(i),
+            );
+        }
+    }
+
+    // Fanout.
+    let fanouts = graph.fanouts();
+    report.stats.max_fanout = fanouts.iter().copied().max().unwrap_or(0);
+    if let Some(limit) = config.fanout_warn {
+        for (i, &f) in fanouts.iter().enumerate() {
+            if f > limit {
+                report.push(
+                    Diagnostic::new(
+                        LintCode::HighFanout,
+                        format!("fanout {f} exceeds the configured threshold {limit}"),
+                    )
+                    .at_node(i),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_arch::Term;
+
+    fn lint(graph: &AdderGraph, config: &LintConfig) -> LintReport {
+        let mut r = LintReport::default();
+        run(graph, config, &mut r);
+        r
+    }
+
+    #[test]
+    fn clean_chain_has_no_findings() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+        let b = g.add(Term::shifted(a, 2), Term::of(x)).unwrap(); // 29
+        g.push_output("c0", Term::of(b), 29);
+        let r = lint(&g, &LintConfig::default());
+        assert!(r.is_clean(), "{}", r.render_pretty());
+        assert_eq!(r.stats.adders, 2);
+    }
+
+    #[test]
+    fn dead_node_detected() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+        let _dead = g.add(Term::shifted(x, 2), Term::of(x)).unwrap(); // 5, unused
+        g.push_output("c0", Term::of(a), 7);
+        let r = lint(&g, &LintConfig::default());
+        let dead = r.with_code(LintCode::DeadNode);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].node, Some(2));
+    }
+
+    #[test]
+    fn redundant_adder_detected() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        // x + x = 2x: a free shift burned as an adder.
+        let two = g.add(Term::of(x), Term::of(x)).unwrap();
+        g.push_output("c0", Term::of(two), 2);
+        let r = lint(&g, &LintConfig::default());
+        assert_eq!(r.with_code(LintCode::RedundantAdder).len(), 1);
+    }
+
+    #[test]
+    fn zero_sum_adder_detected() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let z = g.add(Term::of(x), Term::negated(x)).unwrap();
+        g.push_output("c0", Term::of(z), 0);
+        let r = lint(&g, &LintConfig::default());
+        assert_eq!(r.with_code(LintCode::RedundantAdder).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_nodes_detected() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 1), Term::of(x)).unwrap(); // 3
+        let b = g.add(Term::shifted(x, 2), Term::negated(x)).unwrap(); // 3 again
+        g.push_output("c0", Term::of(a), 3);
+        g.push_output("c1", Term::of(b), 3);
+        let r = lint(&g, &LintConfig::default());
+        let dups = r.with_code(LintCode::DuplicateNode);
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].node, Some(b.index()));
+    }
+
+    #[test]
+    fn no_outputs_warned() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        g.add(Term::shifted(x, 3), Term::negated(x)).unwrap();
+        let r = lint(&g, &LintConfig::default());
+        assert_eq!(r.with_code(LintCode::NoOutputs).len(), 1);
+    }
+
+    #[test]
+    fn fanout_gate_fires_only_when_configured() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 1), Term::of(x)).unwrap(); // x fanout 2
+        g.push_output("c0", Term::of(a), 3);
+        let silent = lint(&g, &LintConfig::default());
+        assert!(silent.with_code(LintCode::HighFanout).is_empty());
+        let cfg = LintConfig {
+            fanout_warn: Some(1),
+            ..LintConfig::default()
+        };
+        let noisy = lint(&g, &cfg);
+        assert_eq!(noisy.with_code(LintCode::HighFanout).len(), 1);
+        assert_eq!(noisy.stats.max_fanout, 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! The acceptance bar for the linter itself: every netlist the default
+//! MRP and MRP+CSE pipelines produce for the paper's example filters must
+//! lint clean — both the graph passes and the RTL cross-check on the
+//! emitted Verilog.
+
+use mrp_arch::emit_verilog;
+use mrp_core::{MrpConfig, MrpOptimizer, SeedOptimizer};
+use mrp_filters::example_filters;
+use mrp_lint::{lint_graph, lint_verilog, LintConfig};
+use mrp_numrep::{quantize, Scaling};
+
+fn quantized(index: usize, wordlength: u32) -> Vec<i64> {
+    let suite = example_filters();
+    let ex = &suite[index];
+    let taps = ex.design().expect("design");
+    quantize(&taps, wordlength, Scaling::Uniform)
+        .expect("quantize")
+        .values
+}
+
+fn check_pipeline(seed: SeedOptimizer, name: &str) {
+    let width = 16u32;
+    let config = LintConfig {
+        input_width: width,
+        ..LintConfig::default()
+    };
+    for index in 0..example_filters().len() {
+        let coeffs = quantized(index, 12);
+        let cfg = MrpConfig {
+            seed_optimizer: seed,
+            ..MrpConfig::default()
+        };
+        let r = MrpOptimizer::new(cfg).optimize(&coeffs).unwrap();
+        let mut report = lint_graph(&r.graph, &config);
+        if r.graph.outputs().iter().any(|o| o.expected != 0) {
+            let src = emit_verilog(&r.graph, "lint_dut", width);
+            report.merge(lint_verilog(&r.graph, &src, &config));
+        }
+        assert!(
+            report.is_clean(),
+            "{name} pipeline, example {}: lint not clean\n{}",
+            index + 1,
+            report.render_pretty()
+        );
+    }
+}
+
+#[test]
+fn default_mrp_pipeline_lints_clean() {
+    check_pipeline(SeedOptimizer::Direct, "MRP");
+}
+
+#[test]
+fn mrp_cse_pipeline_lints_clean() {
+    check_pipeline(SeedOptimizer::Cse, "MRP+CSE");
+}
+
+#[test]
+fn depth_cross_check_passes_on_real_pipelines() {
+    let coeffs = quantized(4, 12);
+    let r = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .unwrap();
+    let config = LintConfig {
+        expected_depth: Some(r.graph.max_depth()),
+        ..LintConfig::default()
+    };
+    let report = lint_graph(&r.graph, &config);
+    assert!(report.is_clean(), "{}", report.render_pretty());
+}

@@ -1,0 +1,95 @@
+//! Width round-trip: emit Verilog for the paper's example filters, parse
+//! it back with the RTL simulator, and check every declared wire width
+//! against the linter's inferred minimum for that node. The emitter uses
+//! one uniform internal width, so each declared width must cover the
+//! widest value any node settles to — and the block-level minimum safe
+//! width must agree with the widest inferred node.
+
+use std::collections::HashMap;
+
+use mrp_arch::emit_verilog;
+use mrp_core::{MrpConfig, MrpOptimizer};
+use mrp_filters::example_filters;
+use mrp_lint::width::node_widths;
+use mrp_numrep::{quantize, Scaling};
+use mrp_vsim::Module;
+
+const INPUT_WIDTH: u32 = 16;
+
+fn optimized(index: usize) -> mrp_core::MrpResult {
+    let ex = &example_filters()[index];
+    let taps = ex.design().expect("design");
+    let coeffs = quantize(&taps, 12, Scaling::Uniform)
+        .expect("quantize")
+        .values;
+    MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .expect("optimize")
+}
+
+#[test]
+fn declared_wire_widths_cover_lint_inferred_widths() {
+    for index in 0..example_filters().len() {
+        let r = optimized(index);
+        if !r.graph.outputs().iter().any(|o| o.expected != 0) {
+            continue;
+        }
+        let src = emit_verilog(&r.graph, "dut", INPUT_WIDTH);
+        let module = Module::parse(&src).expect("emitted Verilog parses");
+        let required = node_widths(&r.graph, INPUT_WIDTH);
+
+        let declared: HashMap<&str, u32> = module
+            .wires
+            .iter()
+            .map(|(name, width, _)| (name.as_str(), *width))
+            .collect();
+        let mut checked = 0usize;
+        for (i, &need) in required.iter().enumerate().skip(1) {
+            let name = format!("n{i}");
+            let Some(&have) = declared.get(name.as_str()) else {
+                continue; // unreferenced nodes may be pruned by the emitter
+            };
+            assert!(
+                have >= need,
+                "example {}: wire {name} declared {have} bits, lint needs {need}",
+                index + 1
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "example {}: no adder wires checked", index + 1);
+
+        // The block's min safe width is exactly the widest inferred node.
+        let widest = required.iter().copied().max().unwrap();
+        let report = mrp_lint::lint_graph(&r.graph, &mrp_lint::LintConfig::default());
+        assert_eq!(report.stats.min_safe_width, widest);
+    }
+}
+
+#[test]
+fn emitted_widths_are_not_wastefully_wide_at_block_level() {
+    // The emitter sizes every internal wire uniformly from the largest
+    // coefficient; that uniform width must be at least the lint minimum
+    // (otherwise values would wrap) for each example filter.
+    for index in 0..example_filters().len() {
+        let r = optimized(index);
+        if !r.graph.outputs().iter().any(|o| o.expected != 0) {
+            continue;
+        }
+        let src = emit_verilog(&r.graph, "dut", INPUT_WIDTH);
+        let module = Module::parse(&src).expect("emitted Verilog parses");
+        let required = node_widths(&r.graph, INPUT_WIDTH);
+        let widest = required.iter().copied().max().unwrap();
+        let uniform = module
+            .wires
+            .iter()
+            .filter(|(name, _, _)| name.starts_with('n'))
+            .map(|(_, w, _)| *w)
+            .max()
+            .expect("internal wires");
+        assert!(
+            uniform >= widest,
+            "example {}: uniform width {uniform} below lint minimum {widest}",
+            index + 1
+        );
+    }
+}

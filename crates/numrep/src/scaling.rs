@@ -189,11 +189,7 @@ pub fn quantize(
 ///
 /// Panics if `scale <= 0`, `scale` is not finite, or `wordlength` is outside
 /// `1..=31`.
-pub fn quantize_uniform_with_scale(
-    coeffs: &[f64],
-    wordlength: u32,
-    scale: f64,
-) -> QuantizedCoeffs {
+pub fn quantize_uniform_with_scale(coeffs: &[f64], wordlength: u32, scale: f64) -> QuantizedCoeffs {
     assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
     assert!(
         (1..=31).contains(&wordlength),
@@ -231,7 +227,7 @@ fn quantize_maximal(coeffs: &[f64], wordlength: u32, scale: f64) -> QuantizedCoe
             continue;
         }
         let v = c.abs() / scale; // in (0, 1]
-        // Find e such that round(v * 2^e) lands in [2^(w-1), 2^w).
+                                 // Find e such that round(v * 2^e) lands in [2^(w-1), 2^w).
         let mut e = (w as i32 - 1) - v.log2().floor() as i32;
         let mut m = (v * 2f64.powi(e)).round() as i64;
         // Rounding can push us out of range on either side; renormalize.

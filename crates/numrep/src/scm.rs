@@ -105,7 +105,10 @@ pub type Scm2Plan = [ScmStep; 2];
 /// assert_eq!(plan[1].eval(1, a), 45);
 /// ```
 pub fn scm2_plan(c: i64, max_shift: u32) -> Option<Scm2Plan> {
-    assert!(c > 0 && c % 2 == 1, "scm2_plan needs a positive odd constant");
+    assert!(
+        c > 0 && c % 2 == 1,
+        "scm2_plan needs a positive odd constant"
+    );
     assert!(max_shift <= 40, "max_shift too large");
     if csd(c).nonzero_count() <= 2 {
         return None; // zero- or one-adder constant
@@ -206,7 +209,12 @@ mod tests {
     #[test]
     fn classic_multiplicative_constants() {
         // Products of two weight-2 factors.
-        for (c, factors) in [(45i64, (5, 9)), (105, (15, 7)), (25, (5, 5)), (153, (17, 9))] {
+        for (c, factors) in [
+            (45i64, (5, 9)),
+            (105, (15, 7)),
+            (25, (5, 5)),
+            (153, (17, 9)),
+        ] {
             assert_eq!(optimal_scm_cost(c, 12), 2, "{c} = {factors:?}");
             let plan = scm2_plan(c, 12).unwrap();
             let a = plan[0].eval(1, 0);

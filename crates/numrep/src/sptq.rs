@@ -137,9 +137,7 @@ mod tests {
 
     #[test]
     fn quantize_limited_bounds_every_tap() {
-        let taps: Vec<f64> = (0..33)
-            .map(|i| ((i as f64) * 0.7).sin() * 0.8)
-            .collect();
+        let taps: Vec<f64> = (0..33).map(|i| ((i as f64) * 0.7).sin() * 0.8).collect();
         let q = quantize_spt_limited(&taps, 14, 2).unwrap();
         for &v in &q.values {
             assert!(msd_weight(v) <= 2);

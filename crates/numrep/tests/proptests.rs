@@ -1,102 +1,148 @@
-//! Property-based tests for the number-representation substrate.
+//! Property-based tests for the number-representation substrate
+//! (deterministic harness).
 
 use mrp_numrep::{
     adder_cost, binary_digits, csd, is_power_of_two_or_zero, msd_weight, nonzero_digits, odd_part,
     quantize, Repr, Scaling,
 };
-use proptest::prelude::*;
+use mrp_ptest::run_cases;
 
-proptest! {
-    #[test]
-    fn csd_round_trip(v in -(1i64 << 40)..(1i64 << 40)) {
-        prop_assert_eq!(csd(v).value(), v);
-    }
+const B40: i64 = 1 << 40;
+const B30: i64 = 1 << 30;
 
-    #[test]
-    fn csd_is_canonical(v in -(1i64 << 40)..(1i64 << 40)) {
-        prop_assert!(csd(v).is_csd());
-    }
+#[test]
+fn csd_round_trip() {
+    run_cases("csd_round_trip", 512, |rng| {
+        let v = rng.i64_in(-B40, B40);
+        assert_eq!(csd(v).value(), v);
+    });
+}
 
-    #[test]
-    fn csd_weight_at_most_binary(v in 0i64..(1i64 << 40)) {
-        prop_assert!(csd(v).nonzero_count() <= binary_digits(v).nonzero_count());
-    }
+#[test]
+fn csd_is_canonical() {
+    run_cases("csd_is_canonical", 512, |rng| {
+        let v = rng.i64_in(-B40, B40);
+        assert!(csd(v).is_csd());
+    });
+}
 
-    #[test]
-    fn csd_weight_sign_symmetric(v in 1i64..(1i64 << 40)) {
-        prop_assert_eq!(msd_weight(v), msd_weight(-v));
-    }
+#[test]
+fn csd_weight_at_most_binary() {
+    run_cases("csd_weight_at_most_binary", 512, |rng| {
+        let v = rng.i64_in(0, B40);
+        assert!(csd(v).nonzero_count() <= binary_digits(v).nonzero_count());
+    });
+}
 
-    #[test]
-    fn csd_shift_invariant(v in 1i64..(1i64 << 30), k in 0u32..8) {
+#[test]
+fn csd_weight_sign_symmetric() {
+    run_cases("csd_weight_sign_symmetric", 512, |rng| {
+        let v = rng.i64_in(1, B40);
+        assert_eq!(msd_weight(v), msd_weight(-v));
+    });
+}
+
+#[test]
+fn csd_shift_invariant() {
+    run_cases("csd_shift_invariant", 512, |rng| {
+        let v = rng.i64_in(1, B30);
+        let k = rng.u32_in(0, 8);
         // Multiplying by 2^k must not change the digit weight.
-        prop_assert_eq!(msd_weight(v), msd_weight(v << k));
-    }
+        assert_eq!(msd_weight(v), msd_weight(v << k));
+    });
+}
 
-    #[test]
-    fn binary_round_trip(v in -(1i64 << 40)..(1i64 << 40)) {
-        prop_assert_eq!(binary_digits(v).value(), v);
-    }
+#[test]
+fn binary_round_trip() {
+    run_cases("binary_round_trip", 512, |rng| {
+        let v = rng.i64_in(-B40, B40);
+        assert_eq!(binary_digits(v).value(), v);
+    });
+}
 
-    #[test]
-    fn odd_part_round_trip(v in -(1i64 << 40)..(1i64 << 40)) {
-        prop_assert_eq!(odd_part(v).reassemble(), v);
-    }
+#[test]
+fn odd_part_round_trip() {
+    run_cases("odd_part_round_trip", 512, |rng| {
+        let v = rng.i64_in(-B40, B40);
+        assert_eq!(odd_part(v).reassemble(), v);
+    });
+}
 
-    #[test]
-    fn odd_part_really_odd(v in 1i64..(1i64 << 40)) {
-        prop_assert_eq!(odd_part(v).odd & 1, 1);
-    }
+#[test]
+fn odd_part_really_odd() {
+    run_cases("odd_part_really_odd", 512, |rng| {
+        let v = rng.i64_in(1, B40);
+        assert_eq!(odd_part(v).odd & 1, 1);
+    });
+}
 
-    #[test]
-    fn adder_cost_zero_iff_trivial(v in -(1i64 << 30)..(1i64 << 30)) {
+#[test]
+fn adder_cost_zero_iff_trivial() {
+    run_cases("adder_cost_zero_iff_trivial", 512, |rng| {
+        let v = rng.i64_in(-B30, B30);
         for r in Repr::ALL {
             let free = adder_cost(v, r) == 0;
-            prop_assert_eq!(free, is_power_of_two_or_zero(v),
-                "repr {} value {}", r, v);
+            assert_eq!(free, is_power_of_two_or_zero(v), "repr {r} value {v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn nonzero_digits_shift_invariant(v in 1i64..(1i64 << 30), k in 0u32..8) {
+#[test]
+fn nonzero_digits_shift_invariant() {
+    run_cases("nonzero_digits_shift_invariant", 512, |rng| {
+        let v = rng.i64_in(1, B30);
+        let k = rng.u32_in(0, 8);
         for r in Repr::ALL {
-            prop_assert_eq!(nonzero_digits(v, r), nonzero_digits(v << k, r));
+            assert_eq!(nonzero_digits(v, r), nonzero_digits(v << k, r));
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantize_uniform_within_range(
-        taps in prop::collection::vec(-1.0f64..1.0, 1..64),
-        w in 2u32..20,
-    ) {
-        prop_assume!(taps.iter().any(|t| t.abs() > 1e-9));
+#[test]
+fn quantize_uniform_within_range() {
+    run_cases("quantize_uniform_within_range", 128, |rng| {
+        let taps = rng.vec_f64(1, 64, -1.0, 1.0);
+        let w = rng.u32_in(2, 20);
+        if !taps.iter().any(|t| t.abs() > 1e-9) {
+            return;
+        }
         let q = quantize(&taps, w, Scaling::Uniform).unwrap();
         for &v in &q.values {
-            prop_assert!(v.abs() < 1 << w);
+            assert!(v.abs() < 1 << w);
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantize_maximal_full_width(
-        taps in prop::collection::vec(-1.0f64..1.0, 1..64),
-        w in 2u32..20,
-    ) {
-        prop_assume!(taps.iter().any(|t| t.abs() > 1e-9));
+#[test]
+fn quantize_maximal_full_width() {
+    run_cases("quantize_maximal_full_width", 128, |rng| {
+        let taps = rng.vec_f64(1, 64, -1.0, 1.0);
+        let w = rng.u32_in(2, 20);
+        if !taps.iter().any(|t| t.abs() > 1e-9) {
+            return;
+        }
         let q = quantize(&taps, w, Scaling::Maximal).unwrap();
         for &v in &q.values {
             if v != 0 {
-                prop_assert!((1i64 << (w - 1)..1i64 << w).contains(&v.abs()));
+                assert!((1i64 << (w - 1)..1i64 << w).contains(&v.abs()));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantize_error_shrinks_with_wordlength(
-        taps in prop::collection::vec(-1.0f64..1.0, 2..32),
-    ) {
-        prop_assume!(taps.iter().any(|t| t.abs() > 1e-3));
-        let e8 = quantize(&taps, 8, Scaling::Uniform).unwrap().max_error(&taps);
-        let e16 = quantize(&taps, 16, Scaling::Uniform).unwrap().max_error(&taps);
-        prop_assert!(e16 <= e8 + 1e-12);
-    }
+#[test]
+fn quantize_error_shrinks_with_wordlength() {
+    run_cases("quantize_error_shrinks_with_wordlength", 128, |rng| {
+        let taps = rng.vec_f64(2, 32, -1.0, 1.0);
+        if !taps.iter().any(|t| t.abs() > 1e-3) {
+            return;
+        }
+        let e8 = quantize(&taps, 8, Scaling::Uniform)
+            .unwrap()
+            .max_error(&taps);
+        let e16 = quantize(&taps, 16, Scaling::Uniform)
+            .unwrap()
+            .max_error(&taps);
+        assert!(e16 <= e8 + 1e-12);
+    });
 }

@@ -34,11 +34,7 @@ fn stopband_tone_is_rejected_as_designed() {
     // Output is scaled by the integer coefficient gain; compare the ratio
     // against the designed amplitude response ratio.
     let gain_scale = |f: f64| {
-        amplitude_response(
-            &q.values.iter().map(|&v| v as f64).collect::<Vec<_>>(),
-            f,
-        )
-        .abs()
+        amplitude_response(&q.values.iter().map(|&v| v as f64).collect::<Vec<_>>(), f).abs()
     };
     let designed_rejection = gain_scale(pass_f) / gain_scale(stop_f).max(1e-9);
     let measured_rejection = pass_level / stop_level.max(1e-9);
@@ -66,8 +62,7 @@ fn snr_improves_with_wordlength() {
         let y = filter.filter(&x);
         // Reference: float convolution with the exact real taps, scaled by
         // the quantization gain (values are c * 2^(W-1)-ish).
-        let scale: f64 = q.values.iter().map(|&v| v as f64).sum::<f64>()
-            / taps.iter().sum::<f64>();
+        let scale: f64 = q.values.iter().map(|&v| v as f64).sum::<f64>() / taps.iter().sum::<f64>();
         let reference: Vec<f64> = (0..x.len())
             .map(|n| {
                 let mut acc = 0.0;

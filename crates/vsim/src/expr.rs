@@ -34,9 +34,7 @@ impl Expr {
                 base.wrapping_shl(*k)
             }
             Expr::Neg(inner) => inner.eval(env, width)?.wrapping_neg(),
-            Expr::Add(a, b) => a
-                .eval(env, width)?
-                .wrapping_add(b.eval(env, width)?),
+            Expr::Add(a, b) => a.eval(env, width)?.wrapping_add(b.eval(env, width)?),
         };
         Ok(truncate(v, width))
     }

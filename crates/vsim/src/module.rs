@@ -371,11 +371,7 @@ impl Module {
             }
         }
         for out in &self.outputs {
-            let count = self
-                .assigns
-                .iter()
-                .filter(|(t, _)| *t == out.name)
-                .count();
+            let count = self.assigns.iter().filter(|(t, _)| *t == out.name).count();
             if count != 1 {
                 return Err(VerilogError(format!(
                     "output `{}` assigned {count} times",
@@ -459,9 +455,7 @@ impl Module {
                 .iter()
                 .position(|r| &r.name == target)
                 .expect("checked at parse time");
-            next[idx] = e
-                .eval(&env, self.regs[idx].width)
-                .map_err(VerilogError)?;
+            next[idx] = e.eval(&env, self.regs[idx].width).map_err(VerilogError)?;
         }
         *state = next;
         Ok(outputs)

@@ -32,11 +32,7 @@ fn hand_built_two_stage_pipeline() {
     assert_eq!(outs[0], vec![0, 0]);
     // From cycle 1 on, outputs are exactly the products of x(t-1).
     for t in 1..inputs.len() {
-        assert_eq!(
-            outs[t][0],
-            29 * inputs[t - 1],
-            "deep output at cycle {t}"
-        );
+        assert_eq!(outs[t][0], 29 * inputs[t - 1], "deep output at cycle {t}");
         assert_eq!(outs[t][1], 7 * inputs[t - 1], "shallow output at cycle {t}");
     }
 }
@@ -57,11 +53,7 @@ fn mrpf_block_pipelines_and_simulates() {
     let outs = drive(&module, &inputs);
     for t in 1..inputs.len() {
         for (k, &c) in coeffs.iter().enumerate() {
-            assert_eq!(
-                outs[t][k],
-                c * inputs[t - 1],
-                "tap {k} at cycle {t}\n{src}"
-            );
+            assert_eq!(outs[t][k], c * inputs[t - 1], "tap {k} at cycle {t}\n{src}");
         }
     }
 }
@@ -94,31 +86,25 @@ fn combinational_module_rejects_step_free_evaluate() {
     assert!(module.evaluate(3).is_ok());
 }
 
-mod prop {
-    use super::*;
-    use proptest::prelude::*;
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        #[test]
-        fn random_blocks_pipeline_cycle_accurately(
-            coeffs in proptest::collection::vec(2i64..(1i64 << 12), 2..10),
-            inputs in proptest::collection::vec(-500i64..500, 2..8),
-        ) {
-            let r = MrpOptimizer::new(MrpConfig::default()).optimize(&coeffs).unwrap();
-            let depth = r.graph.max_depth();
-            prop_assume!(depth >= 2);
-            let src = emit_verilog_pipelined(&r.graph, "p", 14, depth / 2);
-            let module = Module::parse(&src)
-                .map_err(|e| TestCaseError::fail(format!("parse: {e}")))?;
-            let outs = drive(&module, &inputs);
-            for t in 1..inputs.len() {
-                for (k, &c) in coeffs.iter().enumerate() {
-                    prop_assert_eq!(outs[t][k], c * inputs[t - 1],
-                        "tap {} cycle {}", k, t);
-                }
+#[test]
+fn random_blocks_pipeline_cycle_accurately() {
+    mrp_ptest::run_cases("random_blocks_pipeline_cycle_accurately", 16, |rng| {
+        let coeffs = rng.vec_i64(2, 10, 2, 1 << 12);
+        let inputs = rng.vec_i64(2, 8, -500, 500);
+        let r = MrpOptimizer::new(MrpConfig::default())
+            .optimize(&coeffs)
+            .unwrap();
+        let depth = r.graph.max_depth();
+        if depth < 2 {
+            return;
+        }
+        let src = emit_verilog_pipelined(&r.graph, "p", 14, depth / 2);
+        let module = Module::parse(&src).unwrap_or_else(|e| panic!("parse: {e}\n{src}"));
+        let outs = drive(&module, &inputs);
+        for t in 1..inputs.len() {
+            for (k, &c) in coeffs.iter().enumerate() {
+                assert_eq!(outs[t][k], c * inputs[t - 1], "tap {k} cycle {t}");
             }
         }
-    }
+    });
 }

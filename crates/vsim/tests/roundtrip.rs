@@ -5,8 +5,8 @@ use mrp_arch::emit_verilog;
 use mrp_core::{MrpConfig, MrpOptimizer, SeedOptimizer};
 use mrp_cse::hartley_cse;
 use mrp_numrep::Repr;
+use mrp_ptest::run_cases;
 use mrp_vsim::Module;
-use proptest::prelude::*;
 
 fn check_roundtrip(graph: &mrp_arch::AdderGraph, coeffs: &[i64], width: u32) {
     let src = emit_verilog(graph, "dut", width);
@@ -74,26 +74,25 @@ fn simple_block_verilog_roundtrips() {
     check_roundtrip(&g, &coeffs, 11);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_mrpf_blocks_roundtrip(
-        coeffs in prop::collection::vec(-(1i64 << 12)..(1i64 << 12), 1..12),
-    ) {
-        prop_assume!(coeffs.iter().any(|&c| c != 0));
-        let r = MrpOptimizer::new(MrpConfig::default()).optimize(&coeffs).unwrap();
+#[test]
+fn random_mrpf_blocks_roundtrip() {
+    run_cases("random_mrpf_blocks_roundtrip", 24, |rng| {
+        let coeffs = rng.vec_i64(1, 12, -(1 << 12), 1 << 12);
+        if !coeffs.iter().any(|&c| c != 0) {
+            return;
+        }
+        let r = MrpOptimizer::new(MrpConfig::default())
+            .optimize(&coeffs)
+            .unwrap();
         let src = emit_verilog(&r.graph, "dut", 14);
-        let module = Module::parse(&src).map_err(|e| {
-            TestCaseError::fail(format!("parse failed: {e}"))
-        })?;
+        let module = Module::parse(&src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
         for x in [-11i64, 0, 1, 9] {
             let outs = module.evaluate(x).unwrap();
             for (i, &c) in coeffs.iter().enumerate() {
                 if c != 0 {
-                    prop_assert_eq!(outs[i], c * x);
+                    assert_eq!(outs[i], c * x);
                 }
             }
         }
-    }
+    });
 }

@@ -14,7 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ex = &example_filters()[7]; // 72nd-order PM low-pass
     let taps = ex.design()?;
     let coeffs = quantize(&taps, 16, Scaling::Uniform)?.values;
-    println!("filter: example {} ({}), {} taps", ex.index, ex.label(), coeffs.len());
+    println!(
+        "filter: example {} ({}), {} taps",
+        ex.index,
+        ex.label(),
+        coeffs.len()
+    );
     println!();
     println!(
         "{:>5} {:>8} {:>8} {:>8} {:>12}",

@@ -1,0 +1,24 @@
+//! Scratch: dump the example-4 netlist to find duplicate adders.
+
+use mrp_core::{MrpConfig, MrpOptimizer};
+use mrp_filters::example_filters;
+use mrp_numrep::{quantize, Scaling};
+
+fn main() {
+    let ex = &example_filters()[3];
+    let taps = ex.design().unwrap();
+    let coeffs = quantize(&taps, 12, Scaling::Uniform).unwrap().values;
+    println!("coeffs: {coeffs:?}");
+    let r = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .unwrap();
+    println!("seed_roots {:?} colors {:?}", r.seed_roots, r.seed_colors);
+    for (i, n) in r.graph.nodes().iter().enumerate() {
+        println!(
+            "node {i}: value {} depth {} {:?}",
+            r.graph.value(mrp_arch::NodeId::from_index(i)),
+            r.graph.depth(mrp_arch::NodeId::from_index(i)),
+            n
+        );
+    }
+}

@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let y = filter.filter(&x);
 
         // Float reference with the same integer gain.
-        let gain: f64 = q.values.iter().map(|&v| v as f64).sum::<f64>()
-            / taps.iter().sum::<f64>();
+        let gain: f64 = q.values.iter().map(|&v| v as f64).sum::<f64>() / taps.iter().sum::<f64>();
         let reference: Vec<f64> = (0..n)
             .map(|k| {
                 let mut acc = 0.0;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4eeb0aa1f9a3c861.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4eeb0aa1f9a3c861: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-b09d25510c3d3c93.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-b09d25510c3d3c93.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

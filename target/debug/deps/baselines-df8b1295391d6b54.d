@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-df8b1295391d6b54.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/baselines-df8b1295391d6b54: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-8163bced29d75498.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-8163bced29d75498: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cse-f8a95798120e80f8.d: crates/bench/benches/cse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse-f8a95798120e80f8.rmeta: crates/bench/benches/cse.rs Cargo.toml
+
+crates/bench/benches/cse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design-186ce3f96aa65fca.d: crates/bench/benches/design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign-186ce3f96aa65fca.rmeta: crates/bench/benches/design.rs Cargo.toml
+
+crates/bench/benches/design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

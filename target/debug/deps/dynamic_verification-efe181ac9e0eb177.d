@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_verification-efe181ac9e0eb177.d: crates/sim/tests/dynamic_verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_verification-efe181ac9e0eb177.rmeta: crates/sim/tests/dynamic_verification.rs Cargo.toml
+
+crates/sim/tests/dynamic_verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

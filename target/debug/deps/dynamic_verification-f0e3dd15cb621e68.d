@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_verification-f0e3dd15cb621e68.d: crates/sim/tests/dynamic_verification.rs
+
+/root/repo/target/debug/deps/dynamic_verification-f0e3dd15cb621e68: crates/sim/tests/dynamic_verification.rs
+
+crates/sim/tests/dynamic_verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e63a900d1dfe0b32.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e63a900d1dfe0b32: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-abb7eda5f4124d4a.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-abb7eda5f4124d4a.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-cacf2b054fc336fc.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-cacf2b054fc336fc: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eval-24e3c98c10d9cf9f.d: crates/bench/benches/eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval-24e3c98c10d9cf9f.rmeta: crates/bench/benches/eval.rs Cargo.toml
+
+crates/bench/benches/eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

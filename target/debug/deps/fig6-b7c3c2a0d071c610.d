@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b7c3c2a0d071c610.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b7c3c2a0d071c610: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-498469817519f970.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-498469817519f970: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

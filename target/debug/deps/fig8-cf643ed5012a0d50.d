@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-cf643ed5012a0d50.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-cf643ed5012a0d50: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/greedy_quality-26c0389f3d3658eb.d: crates/core/tests/greedy_quality.rs
+
+/root/repo/target/debug/deps/greedy_quality-26c0389f3d3658eb: crates/core/tests/greedy_quality.rs
+
+crates/core/tests/greedy_quality.rs:

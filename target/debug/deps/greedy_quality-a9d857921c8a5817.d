@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/greedy_quality-a9d857921c8a5817.d: crates/core/tests/greedy_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgreedy_quality-a9d857921c8a5817.rmeta: crates/core/tests/greedy_quality.rs Cargo.toml
+
+crates/core/tests/greedy_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mrp_arch-39866e6a26b042c1.d: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs
+
+/root/repo/target/debug/deps/libmrp_arch-39866e6a26b042c1.rlib: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs
+
+/root/repo/target/debug/deps/libmrp_arch-39866e6a26b042c1.rmeta: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/dot.rs:
+crates/arch/src/eval.rs:
+crates/arch/src/filter_structure.rs:
+crates/arch/src/iir.rs:
+crates/arch/src/netlist.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/verilog.rs:
+crates/arch/src/verilog_pipelined.rs:

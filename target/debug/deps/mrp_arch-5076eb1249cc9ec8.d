@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mrp_arch-5076eb1249cc9ec8.d: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs
+
+/root/repo/target/debug/deps/mrp_arch-5076eb1249cc9ec8: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/dot.rs:
+crates/arch/src/eval.rs:
+crates/arch/src/filter_structure.rs:
+crates/arch/src/iir.rs:
+crates/arch/src/netlist.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/verilog.rs:
+crates/arch/src/verilog_pipelined.rs:

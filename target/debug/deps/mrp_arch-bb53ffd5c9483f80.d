@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mrp_arch-bb53ffd5c9483f80.d: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_arch-bb53ffd5c9483f80.rmeta: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/dot.rs:
+crates/arch/src/eval.rs:
+crates/arch/src/filter_structure.rs:
+crates/arch/src/iir.rs:
+crates/arch/src/netlist.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/verilog.rs:
+crates/arch/src/verilog_pipelined.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

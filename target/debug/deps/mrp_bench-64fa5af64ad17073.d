@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mrp_bench-64fa5af64ad17073.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/mrp_bench-64fa5af64ad17073: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

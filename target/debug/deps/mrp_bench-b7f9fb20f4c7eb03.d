@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mrp_bench-b7f9fb20f4c7eb03.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libmrp_bench-b7f9fb20f4c7eb03.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libmrp_bench-b7f9fb20f4c7eb03.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

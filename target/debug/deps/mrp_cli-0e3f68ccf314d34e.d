@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mrp_cli-0e3f68ccf314d34e.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/mrp_cli-0e3f68ccf314d34e: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mrp_cli-3728962e98bb9dad.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/mrp_cli-3728962e98bb9dad: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

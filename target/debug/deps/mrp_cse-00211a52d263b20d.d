@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mrp_cse-00211a52d263b20d.d: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_cse-00211a52d263b20d.rmeta: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs Cargo.toml
+
+crates/cse/src/lib.rs:
+crates/cse/src/differential.rs:
+crates/cse/src/hartley.rs:
+crates/cse/src/mcm.rs:
+crates/cse/src/pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

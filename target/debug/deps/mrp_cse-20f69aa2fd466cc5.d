@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mrp_cse-20f69aa2fd466cc5.d: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+/root/repo/target/debug/deps/mrp_cse-20f69aa2fd466cc5: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+crates/cse/src/lib.rs:
+crates/cse/src/differential.rs:
+crates/cse/src/hartley.rs:
+crates/cse/src/mcm.rs:
+crates/cse/src/pattern.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mrp_cse-e5710e36e72687bb.d: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+/root/repo/target/debug/deps/libmrp_cse-e5710e36e72687bb.rlib: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+/root/repo/target/debug/deps/libmrp_cse-e5710e36e72687bb.rmeta: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+crates/cse/src/lib.rs:
+crates/cse/src/differential.rs:
+crates/cse/src/hartley.rs:
+crates/cse/src/mcm.rs:
+crates/cse/src/pattern.rs:

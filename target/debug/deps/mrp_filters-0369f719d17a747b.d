@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mrp_filters-0369f719d17a747b.d: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+/root/repo/target/debug/deps/libmrp_filters-0369f719d17a747b.rlib: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+/root/repo/target/debug/deps/libmrp_filters-0369f719d17a747b.rmeta: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+crates/filters/src/lib.rs:
+crates/filters/src/butterworth.rs:
+crates/filters/src/examples.rs:
+crates/filters/src/halfband.rs:
+crates/filters/src/iir.rs:
+crates/filters/src/kaiser.rs:
+crates/filters/src/leastsq.rs:
+crates/filters/src/linalg.rs:
+crates/filters/src/remez.rs:
+crates/filters/src/response.rs:
+crates/filters/src/spec.rs:
+crates/filters/src/window.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mrp_filters-43c6379147df8458.d: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+/root/repo/target/debug/deps/mrp_filters-43c6379147df8458: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+crates/filters/src/lib.rs:
+crates/filters/src/butterworth.rs:
+crates/filters/src/examples.rs:
+crates/filters/src/halfband.rs:
+crates/filters/src/iir.rs:
+crates/filters/src/kaiser.rs:
+crates/filters/src/leastsq.rs:
+crates/filters/src/linalg.rs:
+crates/filters/src/remez.rs:
+crates/filters/src/response.rs:
+crates/filters/src/spec.rs:
+crates/filters/src/window.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mrp_filters-aa8a86e8b46bb8ab.d: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_filters-aa8a86e8b46bb8ab.rmeta: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs Cargo.toml
+
+crates/filters/src/lib.rs:
+crates/filters/src/butterworth.rs:
+crates/filters/src/examples.rs:
+crates/filters/src/halfband.rs:
+crates/filters/src/iir.rs:
+crates/filters/src/kaiser.rs:
+crates/filters/src/leastsq.rs:
+crates/filters/src/linalg.rs:
+crates/filters/src/remez.rs:
+crates/filters/src/response.rs:
+crates/filters/src/spec.rs:
+crates/filters/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mrp_graph-679665ef9cf48d91.d: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_graph-679665ef9cf48d91.rmeta: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/apsp.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/components.rs:
+crates/graph/src/mst.rs:
+crates/graph/src/setcover.rs:
+crates/graph/src/unionfind.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mrp_graph-8d3a8b9a0e704e31.d: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs
+
+/root/repo/target/debug/deps/libmrp_graph-8d3a8b9a0e704e31.rlib: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs
+
+/root/repo/target/debug/deps/libmrp_graph-8d3a8b9a0e704e31.rmeta: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/apsp.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/components.rs:
+crates/graph/src/mst.rs:
+crates/graph/src/setcover.rs:
+crates/graph/src/unionfind.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mrp_hwcost-5b08de943e294b79.d: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs
+
+/root/repo/target/debug/deps/libmrp_hwcost-5b08de943e294b79.rlib: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs
+
+/root/repo/target/debug/deps/libmrp_hwcost-5b08de943e294b79.rmeta: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs
+
+crates/hwcost/src/lib.rs:
+crates/hwcost/src/adder.rs:
+crates/hwcost/src/interconnect.rs:
+crates/hwcost/src/power.rs:
+crates/hwcost/src/report.rs:
+crates/hwcost/src/tech.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mrp_hwcost-8a1c515cb0ce455d.d: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs
+
+/root/repo/target/debug/deps/mrp_hwcost-8a1c515cb0ce455d: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs
+
+crates/hwcost/src/lib.rs:
+crates/hwcost/src/adder.rs:
+crates/hwcost/src/interconnect.rs:
+crates/hwcost/src/power.rs:
+crates/hwcost/src/report.rs:
+crates/hwcost/src/tech.rs:

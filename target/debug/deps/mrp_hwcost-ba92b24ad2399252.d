@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mrp_hwcost-ba92b24ad2399252.d: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_hwcost-ba92b24ad2399252.rmeta: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs Cargo.toml
+
+crates/hwcost/src/lib.rs:
+crates/hwcost/src/adder.rs:
+crates/hwcost/src/interconnect.rs:
+crates/hwcost/src/power.rs:
+crates/hwcost/src/report.rs:
+crates/hwcost/src/tech.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mrp_hwcost-c2661cfe3c0e010b.d: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_hwcost-c2661cfe3c0e010b.rmeta: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs Cargo.toml
+
+crates/hwcost/src/lib.rs:
+crates/hwcost/src/adder.rs:
+crates/hwcost/src/interconnect.rs:
+crates/hwcost/src/power.rs:
+crates/hwcost/src/report.rs:
+crates/hwcost/src/tech.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mrp_lint-1e2c17233f0bb387.d: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+/root/repo/target/debug/deps/mrp_lint-1e2c17233f0bb387: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/depth.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/equiv.rs:
+crates/lint/src/rtl.rs:
+crates/lint/src/structure.rs:
+crates/lint/src/width.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mrp_lint-98d21529375f242d.d: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_lint-98d21529375f242d.rmeta: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/depth.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/equiv.rs:
+crates/lint/src/rtl.rs:
+crates/lint/src/structure.rs:
+crates/lint/src/width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mrp_lint-ce4855644002f1e0.d: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+/root/repo/target/debug/deps/libmrp_lint-ce4855644002f1e0.rlib: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+/root/repo/target/debug/deps/libmrp_lint-ce4855644002f1e0.rmeta: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/depth.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/equiv.rs:
+crates/lint/src/rtl.rs:
+crates/lint/src/structure.rs:
+crates/lint/src/width.rs:

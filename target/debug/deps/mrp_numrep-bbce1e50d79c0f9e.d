@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mrp_numrep-bbce1e50d79c0f9e.d: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+/root/repo/target/debug/deps/mrp_numrep-bbce1e50d79c0f9e: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+crates/numrep/src/lib.rs:
+crates/numrep/src/digits.rs:
+crates/numrep/src/fixed.rs:
+crates/numrep/src/oddpart.rs:
+crates/numrep/src/scaling.rs:
+crates/numrep/src/scm.rs:
+crates/numrep/src/sptq.rs:

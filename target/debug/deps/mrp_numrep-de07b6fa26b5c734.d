@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mrp_numrep-de07b6fa26b5c734.d: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_numrep-de07b6fa26b5c734.rmeta: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs Cargo.toml
+
+crates/numrep/src/lib.rs:
+crates/numrep/src/digits.rs:
+crates/numrep/src/fixed.rs:
+crates/numrep/src/oddpart.rs:
+crates/numrep/src/scaling.rs:
+crates/numrep/src/scm.rs:
+crates/numrep/src/sptq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

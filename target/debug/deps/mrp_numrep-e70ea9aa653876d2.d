@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mrp_numrep-e70ea9aa653876d2.d: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+/root/repo/target/debug/deps/libmrp_numrep-e70ea9aa653876d2.rlib: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+/root/repo/target/debug/deps/libmrp_numrep-e70ea9aa653876d2.rmeta: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+crates/numrep/src/lib.rs:
+crates/numrep/src/digits.rs:
+crates/numrep/src/fixed.rs:
+crates/numrep/src/oddpart.rs:
+crates/numrep/src/scaling.rs:
+crates/numrep/src/scm.rs:
+crates/numrep/src/sptq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mrp_ptest-699e92bee0ccfe3d.d: crates/ptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_ptest-699e92bee0ccfe3d.rmeta: crates/ptest/src/lib.rs Cargo.toml
+
+crates/ptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mrp_ptest-94c24d56c1a4b8a6.d: crates/ptest/src/lib.rs
+
+/root/repo/target/debug/deps/libmrp_ptest-94c24d56c1a4b8a6.rlib: crates/ptest/src/lib.rs
+
+/root/repo/target/debug/deps/libmrp_ptest-94c24d56c1a4b8a6.rmeta: crates/ptest/src/lib.rs
+
+crates/ptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mrp_ptest-d62a18f1656bb665.d: crates/ptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_ptest-d62a18f1656bb665.rmeta: crates/ptest/src/lib.rs Cargo.toml
+
+crates/ptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mrp_ptest-f5012196c3693fd1.d: crates/ptest/src/lib.rs
+
+/root/repo/target/debug/deps/mrp_ptest-f5012196c3693fd1: crates/ptest/src/lib.rs
+
+crates/ptest/src/lib.rs:

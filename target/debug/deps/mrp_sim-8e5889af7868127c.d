@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mrp_sim-8e5889af7868127c.d: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_sim-8e5889af7868127c.rmeta: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/goertzel.rs:
+crates/sim/src/signal.rs:
+crates/sim/src/snr.rs:
+crates/sim/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mrp_sim-cd9d2fc1ff10fb7c.d: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs
+
+/root/repo/target/debug/deps/mrp_sim-cd9d2fc1ff10fb7c: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/goertzel.rs:
+crates/sim/src/signal.rs:
+crates/sim/src/snr.rs:
+crates/sim/src/stream.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mrp_sim-d40f20d97c424d34.d: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs
+
+/root/repo/target/debug/deps/libmrp_sim-d40f20d97c424d34.rlib: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs
+
+/root/repo/target/debug/deps/libmrp_sim-d40f20d97c424d34.rmeta: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/goertzel.rs:
+crates/sim/src/signal.rs:
+crates/sim/src/snr.rs:
+crates/sim/src/stream.rs:

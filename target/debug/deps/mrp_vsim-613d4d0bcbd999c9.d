@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mrp_vsim-613d4d0bcbd999c9.d: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+/root/repo/target/debug/deps/mrp_vsim-613d4d0bcbd999c9: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+crates/vsim/src/lib.rs:
+crates/vsim/src/expr.rs:
+crates/vsim/src/lexer.rs:
+crates/vsim/src/module.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mrp_vsim-b45bffc0e665aa81.d: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_vsim-b45bffc0e665aa81.rmeta: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs Cargo.toml
+
+crates/vsim/src/lib.rs:
+crates/vsim/src/expr.rs:
+crates/vsim/src/lexer.rs:
+crates/vsim/src/module.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mrp_vsim-ee3396b404c30917.d: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+/root/repo/target/debug/deps/libmrp_vsim-ee3396b404c30917.rlib: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+/root/repo/target/debug/deps/libmrp_vsim-ee3396b404c30917.rmeta: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+crates/vsim/src/lib.rs:
+crates/vsim/src/expr.rs:
+crates/vsim/src/lexer.rs:
+crates/vsim/src/module.rs:

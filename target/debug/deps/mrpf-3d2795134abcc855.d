@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mrpf-3d2795134abcc855.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mrpf-3d2795134abcc855: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

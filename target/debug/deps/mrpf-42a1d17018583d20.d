@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mrpf-42a1d17018583d20.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mrpf-42a1d17018583d20: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

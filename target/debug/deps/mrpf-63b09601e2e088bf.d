@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mrpf-63b09601e2e088bf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrpf-63b09601e2e088bf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mrpf-690e4e67ca1a7b92.d: src/lib.rs
+
+/root/repo/target/debug/deps/mrpf-690e4e67ca1a7b92: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mrpf-6d27166bd6d1de90.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mrpf-6d27166bd6d1de90: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

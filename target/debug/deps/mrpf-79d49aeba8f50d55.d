@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mrpf-79d49aeba8f50d55.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmrpf-79d49aeba8f50d55.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmrpf-79d49aeba8f50d55.rmeta: src/lib.rs
+
+src/lib.rs:

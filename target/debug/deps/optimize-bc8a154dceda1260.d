@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimize-bc8a154dceda1260.d: crates/bench/benches/optimize.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimize-bc8a154dceda1260.rmeta: crates/bench/benches/optimize.rs Cargo.toml
+
+crates/bench/benches/optimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

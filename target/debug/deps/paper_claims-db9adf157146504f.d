@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-db9adf157146504f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-db9adf157146504f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

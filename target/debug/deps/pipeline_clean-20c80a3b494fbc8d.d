@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_clean-20c80a3b494fbc8d.d: crates/lint/tests/pipeline_clean.rs
+
+/root/repo/target/debug/deps/pipeline_clean-20c80a3b494fbc8d: crates/lint/tests/pipeline_clean.rs
+
+crates/lint/tests/pipeline_clean.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_clean-da58c9404c42ab08.d: crates/lint/tests/pipeline_clean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_clean-da58c9404c42ab08.rmeta: crates/lint/tests/pipeline_clean.rs Cargo.toml
+
+crates/lint/tests/pipeline_clean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

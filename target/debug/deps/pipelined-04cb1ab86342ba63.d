@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipelined-04cb1ab86342ba63.d: crates/vsim/tests/pipelined.rs
+
+/root/repo/target/debug/deps/pipelined-04cb1ab86342ba63: crates/vsim/tests/pipelined.rs
+
+crates/vsim/tests/pipelined.rs:

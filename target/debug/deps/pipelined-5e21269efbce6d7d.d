@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipelined-5e21269efbce6d7d.d: crates/vsim/tests/pipelined.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipelined-5e21269efbce6d7d.rmeta: crates/vsim/tests/pipelined.rs Cargo.toml
+
+crates/vsim/tests/pipelined.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

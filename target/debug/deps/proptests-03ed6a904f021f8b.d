@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-03ed6a904f021f8b.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-03ed6a904f021f8b: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2de6622d2789bd56.d: crates/numrep/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2de6622d2789bd56: crates/numrep/tests/proptests.rs
+
+crates/numrep/tests/proptests.rs:

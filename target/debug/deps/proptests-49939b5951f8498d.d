@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-49939b5951f8498d.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-49939b5951f8498d: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5690c6e197b24de5.d: crates/graph/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5690c6e197b24de5.rmeta: crates/graph/tests/proptests.rs Cargo.toml
+
+crates/graph/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

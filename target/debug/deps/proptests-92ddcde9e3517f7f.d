@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-92ddcde9e3517f7f.d: crates/arch/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-92ddcde9e3517f7f.rmeta: crates/arch/tests/proptests.rs Cargo.toml
+
+crates/arch/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9fdf389c56dd319e.d: crates/arch/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9fdf389c56dd319e: crates/arch/tests/proptests.rs
+
+crates/arch/tests/proptests.rs:

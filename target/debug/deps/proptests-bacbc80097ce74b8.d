@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-bacbc80097ce74b8.d: crates/numrep/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-bacbc80097ce74b8.rmeta: crates/numrep/tests/proptests.rs Cargo.toml
+
+crates/numrep/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-fc49a93f4d689120.d: crates/cse/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-fc49a93f4d689120.rmeta: crates/cse/tests/proptests.rs Cargo.toml
+
+crates/cse/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

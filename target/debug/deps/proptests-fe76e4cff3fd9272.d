@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fe76e4cff3fd9272.d: crates/cse/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fe76e4cff3fd9272: crates/cse/tests/proptests.rs
+
+crates/cse/tests/proptests.rs:

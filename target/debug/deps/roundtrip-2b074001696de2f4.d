@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-2b074001696de2f4.d: crates/vsim/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-2b074001696de2f4.rmeta: crates/vsim/tests/roundtrip.rs Cargo.toml
+
+crates/vsim/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-8c2258c66aad28cd.d: crates/vsim/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-8c2258c66aad28cd: crates/vsim/tests/roundtrip.rs
+
+crates/vsim/tests/roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-534681a54e83e4e0.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-534681a54e83e4e0: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-60e3854b68dcd39a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-60e3854b68dcd39a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

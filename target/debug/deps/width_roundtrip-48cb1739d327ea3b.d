@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/width_roundtrip-48cb1739d327ea3b.d: crates/lint/tests/width_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwidth_roundtrip-48cb1739d327ea3b.rmeta: crates/lint/tests/width_roundtrip.rs Cargo.toml
+
+crates/lint/tests/width_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

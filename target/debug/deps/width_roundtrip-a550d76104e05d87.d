@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/width_roundtrip-a550d76104e05d87.d: crates/lint/tests/width_roundtrip.rs
+
+/root/repo/target/debug/deps/width_roundtrip-a550d76104e05d87: crates/lint/tests/width_roundtrip.rs
+
+crates/lint/tests/width_roundtrip.rs:

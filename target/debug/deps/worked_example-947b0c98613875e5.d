@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/worked_example-947b0c98613875e5.d: tests/worked_example.rs
+
+/root/repo/target/debug/deps/worked_example-947b0c98613875e5: tests/worked_example.rs
+
+tests/worked_example.rs:

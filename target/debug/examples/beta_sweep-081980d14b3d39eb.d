@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/beta_sweep-081980d14b3d39eb.d: examples/beta_sweep.rs
+
+/root/repo/target/debug/examples/beta_sweep-081980d14b3d39eb: examples/beta_sweep.rs
+
+examples/beta_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dct_scaling-fdc0590b550d4df0.d: examples/dct_scaling.rs
+
+/root/repo/target/debug/examples/dct_scaling-fdc0590b550d4df0: examples/dct_scaling.rs
+
+examples/dct_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/debug_lint-3889e60556bb25c2.d: examples/debug_lint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdebug_lint-3889e60556bb25c2.rmeta: examples/debug_lint.rs Cargo.toml
+
+examples/debug_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

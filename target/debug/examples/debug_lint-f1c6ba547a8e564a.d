@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debug_lint-f1c6ba547a8e564a.d: examples/debug_lint.rs
+
+/root/repo/target/debug/examples/debug_lint-f1c6ba547a8e564a: examples/debug_lint.rs
+
+examples/debug_lint.rs:

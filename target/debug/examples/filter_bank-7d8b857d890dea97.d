@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filter_bank-7d8b857d890dea97.d: examples/filter_bank.rs
+
+/root/repo/target/debug/examples/filter_bank-7d8b857d890dea97: examples/filter_bank.rs
+
+examples/filter_bank.rs:

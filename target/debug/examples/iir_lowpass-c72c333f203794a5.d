@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/iir_lowpass-c72c333f203794a5.d: examples/iir_lowpass.rs Cargo.toml
+
+/root/repo/target/debug/examples/libiir_lowpass-c72c333f203794a5.rmeta: examples/iir_lowpass.rs Cargo.toml
+
+examples/iir_lowpass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

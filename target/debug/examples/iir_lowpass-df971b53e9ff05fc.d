@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iir_lowpass-df971b53e9ff05fc.d: examples/iir_lowpass.rs
+
+/root/repo/target/debug/examples/iir_lowpass-df971b53e9ff05fc: examples/iir_lowpass.rs
+
+examples/iir_lowpass.rs:

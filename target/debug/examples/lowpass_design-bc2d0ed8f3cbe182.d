@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lowpass_design-bc2d0ed8f3cbe182.d: examples/lowpass_design.rs
+
+/root/repo/target/debug/examples/lowpass_design-bc2d0ed8f3cbe182: examples/lowpass_design.rs
+
+examples/lowpass_design.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quantization_noise-a34ea27baec5d127.d: examples/quantization_noise.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquantization_noise-a34ea27baec5d127.rmeta: examples/quantization_noise.rs Cargo.toml
+
+examples/quantization_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

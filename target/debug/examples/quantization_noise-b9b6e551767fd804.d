@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quantization_noise-b9b6e551767fd804.d: examples/quantization_noise.rs
+
+/root/repo/target/debug/examples/quantization_noise-b9b6e551767fd804: examples/quantization_noise.rs
+
+examples/quantization_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a91e85616036ae79.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a91e85616036ae79: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rtl_export-5258d059cb00a31d.d: examples/rtl_export.rs
+
+/root/repo/target/debug/examples/rtl_export-5258d059cb00a31d: examples/rtl_export.rs
+
+examples/rtl_export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rtl_export-dbd4d024325fc13a.d: examples/rtl_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/librtl_export-dbd4d024325fc13a.rmeta: examples/rtl_export.rs Cargo.toml
+
+examples/rtl_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

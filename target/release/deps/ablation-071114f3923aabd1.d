@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-071114f3923aabd1.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-071114f3923aabd1: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

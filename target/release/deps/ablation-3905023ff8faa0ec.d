@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-3905023ff8faa0ec.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-3905023ff8faa0ec: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

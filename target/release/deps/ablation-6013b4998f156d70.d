@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-6013b4998f156d70.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-6013b4998f156d70: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-0e845d4ef5267580.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/release/deps/baselines-0e845d4ef5267580: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-2d58c496a7c1a607.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/release/deps/baselines-2d58c496a7c1a607: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-c0dfee2e6ae1bfcd.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/release/deps/baselines-c0dfee2e6ae1bfcd: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

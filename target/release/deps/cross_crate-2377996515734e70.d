@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_crate-2377996515734e70.d: tests/cross_crate.rs
+
+/root/repo/target/release/deps/cross_crate-2377996515734e70: tests/cross_crate.rs
+
+tests/cross_crate.rs:

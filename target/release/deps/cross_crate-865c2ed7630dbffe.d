@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_crate-865c2ed7630dbffe.d: tests/cross_crate.rs
+
+/root/repo/target/release/deps/cross_crate-865c2ed7630dbffe: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dynamic_verification-38e8dda37c2684ec.d: crates/sim/tests/dynamic_verification.rs
+
+/root/repo/target/release/deps/dynamic_verification-38e8dda37c2684ec: crates/sim/tests/dynamic_verification.rs
+
+crates/sim/tests/dynamic_verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dynamic_verification-fca01b99693097e9.d: crates/sim/tests/dynamic_verification.rs
+
+/root/repo/target/release/deps/dynamic_verification-fca01b99693097e9: crates/sim/tests/dynamic_verification.rs
+
+crates/sim/tests/dynamic_verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-113e138d33acd047.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-113e138d33acd047: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-774eeb49a15bd3b3.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-774eeb49a15bd3b3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-b13781996bbaf284.d: tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-b13781996bbaf284: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-f5f7233ef389272d.d: tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-f5f7233ef389272d: tests/equivalence.rs
+
+tests/equivalence.rs:

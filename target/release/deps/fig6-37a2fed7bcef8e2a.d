@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-37a2fed7bcef8e2a.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-37a2fed7bcef8e2a: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-d0c846a8776d482b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-d0c846a8776d482b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-55a45c6341cc62dd.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-55a45c6341cc62dd: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

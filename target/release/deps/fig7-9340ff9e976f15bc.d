@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-9340ff9e976f15bc.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-9340ff9e976f15bc: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

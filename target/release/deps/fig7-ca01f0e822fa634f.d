@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-ca01f0e822fa634f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-ca01f0e822fa634f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-a548c1c9c2370744.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-a548c1c9c2370744: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-a84990a4df5528ae.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-a84990a4df5528ae: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

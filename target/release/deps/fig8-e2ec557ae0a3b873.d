@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-e2ec557ae0a3b873.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-e2ec557ae0a3b873: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

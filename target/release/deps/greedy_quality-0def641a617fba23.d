@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/greedy_quality-0def641a617fba23.d: crates/core/tests/greedy_quality.rs
+
+/root/repo/target/release/deps/greedy_quality-0def641a617fba23: crates/core/tests/greedy_quality.rs
+
+crates/core/tests/greedy_quality.rs:

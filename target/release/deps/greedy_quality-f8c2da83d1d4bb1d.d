@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/greedy_quality-f8c2da83d1d4bb1d.d: crates/core/tests/greedy_quality.rs
+
+/root/repo/target/release/deps/greedy_quality-f8c2da83d1d4bb1d: crates/core/tests/greedy_quality.rs
+
+crates/core/tests/greedy_quality.rs:

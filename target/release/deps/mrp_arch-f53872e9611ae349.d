@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mrp_arch-f53872e9611ae349.d: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs
+
+/root/repo/target/release/deps/libmrp_arch-f53872e9611ae349.rlib: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs
+
+/root/repo/target/release/deps/libmrp_arch-f53872e9611ae349.rmeta: crates/arch/src/lib.rs crates/arch/src/dot.rs crates/arch/src/eval.rs crates/arch/src/filter_structure.rs crates/arch/src/iir.rs crates/arch/src/netlist.rs crates/arch/src/pipeline.rs crates/arch/src/verilog.rs crates/arch/src/verilog_pipelined.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/dot.rs:
+crates/arch/src/eval.rs:
+crates/arch/src/filter_structure.rs:
+crates/arch/src/iir.rs:
+crates/arch/src/netlist.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/verilog.rs:
+crates/arch/src/verilog_pipelined.rs:

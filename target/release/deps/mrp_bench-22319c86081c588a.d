@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mrp_bench-22319c86081c588a.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/mrp_bench-22319c86081c588a: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

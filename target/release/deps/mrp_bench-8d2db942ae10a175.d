@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mrp_bench-8d2db942ae10a175.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libmrp_bench-8d2db942ae10a175.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libmrp_bench-8d2db942ae10a175.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mrp_bench-b672c422b2723c1b.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/mrp_bench-b672c422b2723c1b: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

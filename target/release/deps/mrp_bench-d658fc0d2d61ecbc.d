@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mrp_bench-d658fc0d2d61ecbc.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libmrp_bench-d658fc0d2d61ecbc.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libmrp_bench-d658fc0d2d61ecbc.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

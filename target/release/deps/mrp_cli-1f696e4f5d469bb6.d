@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mrp_cli-1f696e4f5d469bb6.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/mrp_cli-1f696e4f5d469bb6: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mrp_cli-47f77b8759f6d08d.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/mrp_cli-47f77b8759f6d08d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

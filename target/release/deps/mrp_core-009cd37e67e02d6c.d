@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mrp_core-009cd37e67e02d6c.d: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/mrp_core-009cd37e67e02d6c: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coeff.rs:
+crates/core/src/color.rs:
+crates/core/src/cover.rs:
+crates/core/src/error.rs:
+crates/core/src/exact.rs:
+crates/core/src/mst_diff.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/report.rs:
+crates/core/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mrp_core-4822e1ef0fcc8b9d.d: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/libmrp_core-4822e1ef0fcc8b9d.rlib: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/libmrp_core-4822e1ef0fcc8b9d.rmeta: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coeff.rs:
+crates/core/src/color.rs:
+crates/core/src/cover.rs:
+crates/core/src/error.rs:
+crates/core/src/exact.rs:
+crates/core/src/mst_diff.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/report.rs:
+crates/core/src/tree.rs:

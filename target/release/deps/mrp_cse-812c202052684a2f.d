@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mrp_cse-812c202052684a2f.d: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+/root/repo/target/release/deps/mrp_cse-812c202052684a2f: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+crates/cse/src/lib.rs:
+crates/cse/src/differential.rs:
+crates/cse/src/hartley.rs:
+crates/cse/src/mcm.rs:
+crates/cse/src/pattern.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mrp_cse-bad991a44d13a4c7.d: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+/root/repo/target/release/deps/libmrp_cse-bad991a44d13a4c7.rlib: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+/root/repo/target/release/deps/libmrp_cse-bad991a44d13a4c7.rmeta: crates/cse/src/lib.rs crates/cse/src/differential.rs crates/cse/src/hartley.rs crates/cse/src/mcm.rs crates/cse/src/pattern.rs
+
+crates/cse/src/lib.rs:
+crates/cse/src/differential.rs:
+crates/cse/src/hartley.rs:
+crates/cse/src/mcm.rs:
+crates/cse/src/pattern.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/mrp_filters-79df303fd7d998ef.d: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+/root/repo/target/release/deps/libmrp_filters-79df303fd7d998ef.rlib: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+/root/repo/target/release/deps/libmrp_filters-79df303fd7d998ef.rmeta: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+crates/filters/src/lib.rs:
+crates/filters/src/butterworth.rs:
+crates/filters/src/examples.rs:
+crates/filters/src/halfband.rs:
+crates/filters/src/iir.rs:
+crates/filters/src/kaiser.rs:
+crates/filters/src/leastsq.rs:
+crates/filters/src/linalg.rs:
+crates/filters/src/remez.rs:
+crates/filters/src/response.rs:
+crates/filters/src/spec.rs:
+crates/filters/src/window.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mrp_filters-dedd2b33b091d1ba.d: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+/root/repo/target/release/deps/mrp_filters-dedd2b33b091d1ba: crates/filters/src/lib.rs crates/filters/src/butterworth.rs crates/filters/src/examples.rs crates/filters/src/halfband.rs crates/filters/src/iir.rs crates/filters/src/kaiser.rs crates/filters/src/leastsq.rs crates/filters/src/linalg.rs crates/filters/src/remez.rs crates/filters/src/response.rs crates/filters/src/spec.rs crates/filters/src/window.rs
+
+crates/filters/src/lib.rs:
+crates/filters/src/butterworth.rs:
+crates/filters/src/examples.rs:
+crates/filters/src/halfband.rs:
+crates/filters/src/iir.rs:
+crates/filters/src/kaiser.rs:
+crates/filters/src/leastsq.rs:
+crates/filters/src/linalg.rs:
+crates/filters/src/remez.rs:
+crates/filters/src/response.rs:
+crates/filters/src/spec.rs:
+crates/filters/src/window.rs:

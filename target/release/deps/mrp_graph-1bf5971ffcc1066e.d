@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mrp_graph-1bf5971ffcc1066e.d: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs
+
+/root/repo/target/release/deps/libmrp_graph-1bf5971ffcc1066e.rlib: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs
+
+/root/repo/target/release/deps/libmrp_graph-1bf5971ffcc1066e.rmeta: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/apsp.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/components.rs:
+crates/graph/src/mst.rs:
+crates/graph/src/setcover.rs:
+crates/graph/src/unionfind.rs:

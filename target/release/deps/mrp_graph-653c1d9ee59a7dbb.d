@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mrp_graph-653c1d9ee59a7dbb.d: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs
+
+/root/repo/target/release/deps/mrp_graph-653c1d9ee59a7dbb: crates/graph/src/lib.rs crates/graph/src/apsp.rs crates/graph/src/bfs.rs crates/graph/src/components.rs crates/graph/src/mst.rs crates/graph/src/setcover.rs crates/graph/src/unionfind.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/apsp.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/components.rs:
+crates/graph/src/mst.rs:
+crates/graph/src/setcover.rs:
+crates/graph/src/unionfind.rs:

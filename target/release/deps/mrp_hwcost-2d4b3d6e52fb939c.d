@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mrp_hwcost-2d4b3d6e52fb939c.d: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs
+
+/root/repo/target/release/deps/libmrp_hwcost-2d4b3d6e52fb939c.rlib: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs
+
+/root/repo/target/release/deps/libmrp_hwcost-2d4b3d6e52fb939c.rmeta: crates/hwcost/src/lib.rs crates/hwcost/src/adder.rs crates/hwcost/src/interconnect.rs crates/hwcost/src/power.rs crates/hwcost/src/report.rs crates/hwcost/src/tech.rs
+
+crates/hwcost/src/lib.rs:
+crates/hwcost/src/adder.rs:
+crates/hwcost/src/interconnect.rs:
+crates/hwcost/src/power.rs:
+crates/hwcost/src/report.rs:
+crates/hwcost/src/tech.rs:

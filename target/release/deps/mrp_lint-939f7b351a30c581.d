@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mrp_lint-939f7b351a30c581.d: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+/root/repo/target/release/deps/mrp_lint-939f7b351a30c581: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/depth.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/equiv.rs:
+crates/lint/src/rtl.rs:
+crates/lint/src/structure.rs:
+crates/lint/src/width.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mrp_lint-b14341c482bc4844.d: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+/root/repo/target/release/deps/libmrp_lint-b14341c482bc4844.rlib: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+/root/repo/target/release/deps/libmrp_lint-b14341c482bc4844.rmeta: crates/lint/src/lib.rs crates/lint/src/depth.rs crates/lint/src/diag.rs crates/lint/src/equiv.rs crates/lint/src/rtl.rs crates/lint/src/structure.rs crates/lint/src/width.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/depth.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/equiv.rs:
+crates/lint/src/rtl.rs:
+crates/lint/src/structure.rs:
+crates/lint/src/width.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mrp_numrep-2c7683f9fdea6320.d: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+/root/repo/target/release/deps/libmrp_numrep-2c7683f9fdea6320.rlib: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+/root/repo/target/release/deps/libmrp_numrep-2c7683f9fdea6320.rmeta: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+crates/numrep/src/lib.rs:
+crates/numrep/src/digits.rs:
+crates/numrep/src/fixed.rs:
+crates/numrep/src/oddpart.rs:
+crates/numrep/src/scaling.rs:
+crates/numrep/src/scm.rs:
+crates/numrep/src/sptq.rs:

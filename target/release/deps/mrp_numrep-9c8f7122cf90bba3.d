@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mrp_numrep-9c8f7122cf90bba3.d: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+/root/repo/target/release/deps/mrp_numrep-9c8f7122cf90bba3: crates/numrep/src/lib.rs crates/numrep/src/digits.rs crates/numrep/src/fixed.rs crates/numrep/src/oddpart.rs crates/numrep/src/scaling.rs crates/numrep/src/scm.rs crates/numrep/src/sptq.rs
+
+crates/numrep/src/lib.rs:
+crates/numrep/src/digits.rs:
+crates/numrep/src/fixed.rs:
+crates/numrep/src/oddpart.rs:
+crates/numrep/src/scaling.rs:
+crates/numrep/src/scm.rs:
+crates/numrep/src/sptq.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mrp_ptest-105bc57b1aca0ff1.d: crates/ptest/src/lib.rs
+
+/root/repo/target/release/deps/libmrp_ptest-105bc57b1aca0ff1.rlib: crates/ptest/src/lib.rs
+
+/root/repo/target/release/deps/libmrp_ptest-105bc57b1aca0ff1.rmeta: crates/ptest/src/lib.rs
+
+crates/ptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mrp_ptest-e6ad24c2907505e0.d: crates/ptest/src/lib.rs
+
+/root/repo/target/release/deps/mrp_ptest-e6ad24c2907505e0: crates/ptest/src/lib.rs
+
+crates/ptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mrp_sim-357fbe3e523031fb.d: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs
+
+/root/repo/target/release/deps/mrp_sim-357fbe3e523031fb: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/goertzel.rs:
+crates/sim/src/signal.rs:
+crates/sim/src/snr.rs:
+crates/sim/src/stream.rs:

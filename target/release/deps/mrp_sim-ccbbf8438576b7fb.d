@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mrp_sim-ccbbf8438576b7fb.d: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs
+
+/root/repo/target/release/deps/mrp_sim-ccbbf8438576b7fb: crates/sim/src/lib.rs crates/sim/src/goertzel.rs crates/sim/src/signal.rs crates/sim/src/snr.rs crates/sim/src/stream.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/goertzel.rs:
+crates/sim/src/signal.rs:
+crates/sim/src/snr.rs:
+crates/sim/src/stream.rs:

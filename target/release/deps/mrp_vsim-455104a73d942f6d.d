@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mrp_vsim-455104a73d942f6d.d: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+/root/repo/target/release/deps/mrp_vsim-455104a73d942f6d: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+crates/vsim/src/lib.rs:
+crates/vsim/src/expr.rs:
+crates/vsim/src/lexer.rs:
+crates/vsim/src/module.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mrp_vsim-4820a0507d06e964.d: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+/root/repo/target/release/deps/libmrp_vsim-4820a0507d06e964.rlib: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+/root/repo/target/release/deps/libmrp_vsim-4820a0507d06e964.rmeta: crates/vsim/src/lib.rs crates/vsim/src/expr.rs crates/vsim/src/lexer.rs crates/vsim/src/module.rs
+
+crates/vsim/src/lib.rs:
+crates/vsim/src/expr.rs:
+crates/vsim/src/lexer.rs:
+crates/vsim/src/module.rs:

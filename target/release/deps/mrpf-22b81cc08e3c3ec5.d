@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mrpf-22b81cc08e3c3ec5.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mrpf-22b81cc08e3c3ec5: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

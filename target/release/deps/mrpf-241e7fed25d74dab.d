@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mrpf-241e7fed25d74dab.d: src/lib.rs
+
+/root/repo/target/release/deps/libmrpf-241e7fed25d74dab.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmrpf-241e7fed25d74dab.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mrpf-396405fa790c8b0b.d: src/lib.rs
+
+/root/repo/target/release/deps/libmrpf-396405fa790c8b0b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmrpf-396405fa790c8b0b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mrpf-3f55d53dce535979.d: src/lib.rs
+
+/root/repo/target/release/deps/mrpf-3f55d53dce535979: src/lib.rs
+
+src/lib.rs:

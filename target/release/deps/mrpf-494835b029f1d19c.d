@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mrpf-494835b029f1d19c.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mrpf-494835b029f1d19c: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

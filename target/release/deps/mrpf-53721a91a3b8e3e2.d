@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mrpf-53721a91a3b8e3e2.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mrpf-53721a91a3b8e3e2: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

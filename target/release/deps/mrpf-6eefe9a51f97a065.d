@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mrpf-6eefe9a51f97a065.d: src/lib.rs
+
+/root/repo/target/release/deps/mrpf-6eefe9a51f97a065: src/lib.rs
+
+src/lib.rs:

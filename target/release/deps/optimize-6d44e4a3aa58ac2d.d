@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimize-6d44e4a3aa58ac2d.d: crates/bench/benches/optimize.rs
+
+/root/repo/target/release/deps/optimize-6d44e4a3aa58ac2d: crates/bench/benches/optimize.rs
+
+crates/bench/benches/optimize.rs:

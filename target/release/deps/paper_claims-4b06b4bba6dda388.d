@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-4b06b4bba6dda388.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-4b06b4bba6dda388: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-6199711dd60dc5df.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-6199711dd60dc5df: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_clean-294f5f9ae54dd71f.d: crates/lint/tests/pipeline_clean.rs
+
+/root/repo/target/release/deps/pipeline_clean-294f5f9ae54dd71f: crates/lint/tests/pipeline_clean.rs
+
+crates/lint/tests/pipeline_clean.rs:

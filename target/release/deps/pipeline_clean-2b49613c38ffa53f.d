@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_clean-2b49613c38ffa53f.d: crates/lint/tests/pipeline_clean.rs
+
+/root/repo/target/release/deps/pipeline_clean-2b49613c38ffa53f: crates/lint/tests/pipeline_clean.rs
+
+crates/lint/tests/pipeline_clean.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipelined-58bfa00480b2084f.d: crates/vsim/tests/pipelined.rs
+
+/root/repo/target/release/deps/pipelined-58bfa00480b2084f: crates/vsim/tests/pipelined.rs
+
+crates/vsim/tests/pipelined.rs:

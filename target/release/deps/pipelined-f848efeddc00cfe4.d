@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipelined-f848efeddc00cfe4.d: crates/vsim/tests/pipelined.rs
+
+/root/repo/target/release/deps/pipelined-f848efeddc00cfe4: crates/vsim/tests/pipelined.rs
+
+crates/vsim/tests/pipelined.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-00364804d00d7f2d.d: crates/arch/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-00364804d00d7f2d: crates/arch/tests/proptests.rs
+
+crates/arch/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-19cb19d1856a499b.d: crates/cse/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-19cb19d1856a499b: crates/cse/tests/proptests.rs
+
+crates/cse/tests/proptests.rs:

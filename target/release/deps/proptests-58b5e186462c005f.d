@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-58b5e186462c005f.d: crates/numrep/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-58b5e186462c005f: crates/numrep/tests/proptests.rs
+
+crates/numrep/tests/proptests.rs:

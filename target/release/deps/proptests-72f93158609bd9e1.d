@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-72f93158609bd9e1.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-72f93158609bd9e1: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

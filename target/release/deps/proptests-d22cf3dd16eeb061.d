@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-d22cf3dd16eeb061.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-d22cf3dd16eeb061: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-ef9c58277c41fa4a.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-ef9c58277c41fa4a: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

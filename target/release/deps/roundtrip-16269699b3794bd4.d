@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-16269699b3794bd4.d: crates/vsim/tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-16269699b3794bd4: crates/vsim/tests/roundtrip.rs
+
+crates/vsim/tests/roundtrip.rs:

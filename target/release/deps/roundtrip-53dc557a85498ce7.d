@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-53dc557a85498ce7.d: crates/vsim/tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-53dc557a85498ce7: crates/vsim/tests/roundtrip.rs
+
+crates/vsim/tests/roundtrip.rs:

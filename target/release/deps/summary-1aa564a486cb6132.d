@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-1aa564a486cb6132.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-1aa564a486cb6132: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

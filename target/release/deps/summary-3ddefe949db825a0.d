@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-3ddefe949db825a0.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-3ddefe949db825a0: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-f5df7bebeb5dc2b6.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-f5df7bebeb5dc2b6: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-280535d67c6406ea.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-280535d67c6406ea: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-8d515a00d06b58e9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-8d515a00d06b58e9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

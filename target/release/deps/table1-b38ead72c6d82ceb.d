@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b38ead72c6d82ceb.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-b38ead72c6d82ceb: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

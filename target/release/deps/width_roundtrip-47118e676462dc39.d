@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/width_roundtrip-47118e676462dc39.d: crates/lint/tests/width_roundtrip.rs
+
+/root/repo/target/release/deps/width_roundtrip-47118e676462dc39: crates/lint/tests/width_roundtrip.rs
+
+crates/lint/tests/width_roundtrip.rs:

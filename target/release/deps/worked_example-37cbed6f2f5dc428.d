@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/worked_example-37cbed6f2f5dc428.d: tests/worked_example.rs
+
+/root/repo/target/release/deps/worked_example-37cbed6f2f5dc428: tests/worked_example.rs
+
+tests/worked_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/worked_example-a2a16ac8d61f5375.d: tests/worked_example.rs
+
+/root/repo/target/release/deps/worked_example-a2a16ac8d61f5375: tests/worked_example.rs
+
+tests/worked_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/beta_sweep-484c6cfc4c6c9e00.d: examples/beta_sweep.rs
+
+/root/repo/target/release/examples/beta_sweep-484c6cfc4c6c9e00: examples/beta_sweep.rs
+
+examples/beta_sweep.rs:

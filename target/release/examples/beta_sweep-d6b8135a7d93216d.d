@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/beta_sweep-d6b8135a7d93216d.d: examples/beta_sweep.rs
+
+/root/repo/target/release/examples/beta_sweep-d6b8135a7d93216d: examples/beta_sweep.rs
+
+examples/beta_sweep.rs:

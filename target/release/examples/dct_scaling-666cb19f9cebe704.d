@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dct_scaling-666cb19f9cebe704.d: examples/dct_scaling.rs
+
+/root/repo/target/release/examples/dct_scaling-666cb19f9cebe704: examples/dct_scaling.rs
+
+examples/dct_scaling.rs:

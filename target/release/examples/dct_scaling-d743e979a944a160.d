@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dct_scaling-d743e979a944a160.d: examples/dct_scaling.rs
+
+/root/repo/target/release/examples/dct_scaling-d743e979a944a160: examples/dct_scaling.rs
+
+examples/dct_scaling.rs:

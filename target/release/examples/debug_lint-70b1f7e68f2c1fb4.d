@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_lint-70b1f7e68f2c1fb4.d: examples/debug_lint.rs
+
+/root/repo/target/release/examples/debug_lint-70b1f7e68f2c1fb4: examples/debug_lint.rs
+
+examples/debug_lint.rs:

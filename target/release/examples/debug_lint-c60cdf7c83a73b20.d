@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_lint-c60cdf7c83a73b20.d: examples/debug_lint.rs
+
+/root/repo/target/release/examples/debug_lint-c60cdf7c83a73b20: examples/debug_lint.rs
+
+examples/debug_lint.rs:

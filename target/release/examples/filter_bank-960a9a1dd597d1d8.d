@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/filter_bank-960a9a1dd597d1d8.d: examples/filter_bank.rs
+
+/root/repo/target/release/examples/filter_bank-960a9a1dd597d1d8: examples/filter_bank.rs
+
+examples/filter_bank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/filter_bank-f5b25c24dd30794e.d: examples/filter_bank.rs
+
+/root/repo/target/release/examples/filter_bank-f5b25c24dd30794e: examples/filter_bank.rs
+
+examples/filter_bank.rs:

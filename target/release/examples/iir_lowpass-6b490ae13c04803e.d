@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/iir_lowpass-6b490ae13c04803e.d: examples/iir_lowpass.rs
+
+/root/repo/target/release/examples/iir_lowpass-6b490ae13c04803e: examples/iir_lowpass.rs
+
+examples/iir_lowpass.rs:

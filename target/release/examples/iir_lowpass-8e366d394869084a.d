@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/iir_lowpass-8e366d394869084a.d: examples/iir_lowpass.rs
+
+/root/repo/target/release/examples/iir_lowpass-8e366d394869084a: examples/iir_lowpass.rs
+
+examples/iir_lowpass.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lowpass_design-3f05ec0e4abda7ee.d: examples/lowpass_design.rs
+
+/root/repo/target/release/examples/lowpass_design-3f05ec0e4abda7ee: examples/lowpass_design.rs
+
+examples/lowpass_design.rs:

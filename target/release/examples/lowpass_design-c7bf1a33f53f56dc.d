@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lowpass_design-c7bf1a33f53f56dc.d: examples/lowpass_design.rs
+
+/root/repo/target/release/examples/lowpass_design-c7bf1a33f53f56dc: examples/lowpass_design.rs
+
+examples/lowpass_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quantization_noise-be65919e02e451f8.d: examples/quantization_noise.rs
+
+/root/repo/target/release/examples/quantization_noise-be65919e02e451f8: examples/quantization_noise.rs
+
+examples/quantization_noise.rs:

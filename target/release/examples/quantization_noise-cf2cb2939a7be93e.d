@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quantization_noise-cf2cb2939a7be93e.d: examples/quantization_noise.rs
+
+/root/repo/target/release/examples/quantization_noise-cf2cb2939a7be93e: examples/quantization_noise.rs
+
+examples/quantization_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6fdaa60ff7ab0cb7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6fdaa60ff7ab0cb7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8759ff749c3f2a6e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8759ff749c3f2a6e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rtl_export-872d020cdbc424fa.d: examples/rtl_export.rs
+
+/root/repo/target/release/examples/rtl_export-872d020cdbc424fa: examples/rtl_export.rs
+
+examples/rtl_export.rs:

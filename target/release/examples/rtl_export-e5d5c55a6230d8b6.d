@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rtl_export-e5d5c55a6230d8b6.d: examples/rtl_export.rs
+
+/root/repo/target/release/examples/rtl_export-e5d5c55a6230d8b6: examples/rtl_export.rs
+
+examples/rtl_export.rs:

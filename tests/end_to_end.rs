@@ -4,8 +4,8 @@
 
 use mrpf::arch::{direct_fir, FirFilter};
 use mrpf::core::{MrpConfig, MrpOptimizer, SeedOptimizer};
-use mrpf::filters::response::measure_ripple;
 use mrpf::filters::example_filters;
+use mrpf::filters::response::measure_ripple;
 use mrpf::numrep::{quantize, Scaling};
 
 fn noise(n: usize, seed0: u64) -> Vec<i64> {

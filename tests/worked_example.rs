@@ -35,7 +35,11 @@ fn greedy_finds_a_cover_no_worse_than_the_papers() {
         .map(|&c| mrpf::numrep::nonzero_digits(c, Repr::Spt))
         .sum();
     assert!(cover.colors.len() <= 3, "cover {:?}", cover.colors);
-    assert!(total_cost <= 4, "cover cost {total_cost} ({:?})", cover.colors);
+    assert!(
+        total_cost <= 4,
+        "cover cost {total_cost} ({:?})",
+        cover.colors
+    );
 }
 
 #[test]
@@ -43,7 +47,10 @@ fn mrpf_architecture_is_bit_exact_and_small() {
     let result = MrpOptimizer::new(MrpConfig::default())
         .optimize(&PAPER)
         .unwrap();
-    assert_eq!(result.graph.verify_outputs(&[-100, -1, 0, 1, 17, 9999]), None);
+    assert_eq!(
+        result.graph.verify_outputs(&[-100, -1, 0, 1, 17, 9999]),
+        None
+    );
     let simple = simple_adder_count(&PAPER, Repr::Spt);
     assert!(
         result.total_adders() < simple,
