@@ -57,4 +57,5 @@ fn main() {
         "overall average reduction vs simple: {:.1} %   [paper: ~60 %]",
         (1.0 - mean(&all)) * 100.0
     );
+    println!("{}", mrp_bench::rung_banner(suites.iter().flatten()));
 }

@@ -49,4 +49,5 @@ fn main() {
         "reduction at W∈{{16,20}}: {:.1} %   [paper: ~40 %]",
         (1.0 - mean(&large_w)) * 100.0
     );
+    println!("{}", mrp_bench::rung_banner(suites.iter().flatten()));
 }

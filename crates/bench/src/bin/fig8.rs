@@ -54,6 +54,7 @@ fn run_part(title: &str, scaling: Scaling, config: &MrpConfig) -> Vec<Vec<Cell>>
         "combined MRPF+CSE reduction vs simple: {:.1} %   [paper: 66 % uniform / 74 % maximal]",
         (1.0 - mean(&combined)) * 100.0
     );
+    println!("{}", mrp_bench::rung_banner(suites.iter().flatten()));
     suites
 }
 

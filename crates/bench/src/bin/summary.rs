@@ -23,6 +23,7 @@ fn main() {
     let mut area_mrpcse_vs_simple = Vec::new();
     let mut area_mrpcse_vs_cse = Vec::new();
     let mut adders_per_tap_w16 = Vec::new();
+    let mut all_cells: Vec<mrp_bench::Cell> = Vec::new();
 
     for scaling in [Scaling::Uniform, Scaling::Maximal] {
         for &w in &WORDLENGTHS {
@@ -69,6 +70,7 @@ fn main() {
                     adders_per_tap_w16.push(c.report.mrp as f64 / c.coeffs.len() as f64);
                 }
             }
+            all_cells.extend(cells);
         }
     }
 
@@ -106,4 +108,5 @@ fn main() {
         "CLA-model area, MRPF+CSE vs CSE            {:>8.1} %      ~16 %",
         pct(&area_mrpcse_vs_cse)
     );
+    println!("{}", mrp_bench::rung_banner(&all_cells));
 }

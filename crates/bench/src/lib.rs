@@ -12,6 +12,7 @@ pub mod timing;
 use mrp_core::{adder_report, AdderReport, MrpConfig};
 use mrp_filters::{example_filters, ExampleFilter};
 use mrp_numrep::{quantize, Scaling};
+use mrp_resilience::{synthesize, Rung, SynthConfig};
 
 /// Lints a generated adder graph and panics on any finding: the bench
 /// binaries report numbers straight out of the pipeline, so a netlist that
@@ -47,6 +48,10 @@ pub struct Cell {
     pub coeffs: Vec<i64>,
     /// Adder counts under every scheme.
     pub report: AdderReport,
+    /// Fallback-ladder rung the supervised driver landed on for this
+    /// coefficient set (`"mrp+cse"` when nothing degraded, `"failed"` if
+    /// even the ladder could not synthesize it).
+    pub rung: &'static str,
 }
 
 impl Cell {
@@ -102,6 +107,14 @@ pub fn evaluate_suite(wordlength: u32, scaling: Scaling, config: &MrpConfig) -> 
             let coeffs = quantized_example(ex, wordlength, scaling);
             let report = adder_report(&coeffs, config)
                 .unwrap_or_else(|e| panic!("example {} failed to optimize: {e}", ex.index));
+            let synth_cfg = SynthConfig {
+                base: *config,
+                ..SynthConfig::default()
+            };
+            let rung = match synthesize(&coeffs, &synth_cfg) {
+                Ok(outcome) => outcome.rung.name(),
+                Err(_) => "failed",
+            };
             Cell {
                 example: ex.index,
                 label: ex.label(),
@@ -109,9 +122,40 @@ pub fn evaluate_suite(wordlength: u32, scaling: Scaling, config: &MrpConfig) -> 
                 scaling,
                 coeffs,
                 report,
+                rung,
             }
         })
         .collect()
+}
+
+/// One-line (or multi-line on degradation) report of the fallback rungs
+/// behind a set of evaluated cells. Every figure/table binary prints this
+/// so numbers produced by a degraded rung are never silently mixed into
+/// the paper tables.
+pub fn rung_banner<'a>(cells: impl IntoIterator<Item = &'a Cell>) -> String {
+    let best = Rung::MrpCse.name();
+    let mut total = 0usize;
+    let mut degraded: Vec<&Cell> = Vec::new();
+    for cell in cells {
+        total += 1;
+        if cell.rung != best {
+            degraded.push(cell);
+        }
+    }
+    if degraded.is_empty() {
+        return format!("rungs: all {total} cells synthesized at {best} (no fallback)");
+    }
+    let mut out = format!(
+        "WARNING: {}/{total} cells fell back below {best} — exclude them before citing averages:",
+        degraded.len()
+    );
+    for c in &degraded {
+        out.push_str(&format!(
+            "\n  ex {} W={} {:?}: rung {}",
+            c.example, c.wordlength, c.scaling, c.rung
+        ));
+    }
+    out
 }
 
 /// Geometric-mean-free average of a slice (plain arithmetic mean).
@@ -153,6 +197,32 @@ mod tests {
         let q = quantized_example(ex, 10, Scaling::Uniform);
         assert_eq!(q.len(), ex.order + 1);
         assert!(q.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn rung_banner_reports_clean_and_degraded_sets() {
+        let cell = |rung: &'static str| Cell {
+            example: 1,
+            label: "PM LP".into(),
+            wordlength: 12,
+            scaling: Scaling::Uniform,
+            coeffs: vec![7, 9],
+            report: AdderReport {
+                simple: 4,
+                cse: 3,
+                mrp: 2,
+                mrp_cse: 2,
+                seed: (1, 1),
+                primaries: 2,
+            },
+            rung,
+        };
+        let clean = [cell("mrp+cse"), cell("mrp+cse")];
+        assert!(rung_banner(&clean).contains("no fallback"));
+        let mixed = [cell("mrp+cse"), cell("spt")];
+        let banner = rung_banner(&mixed);
+        assert!(banner.contains("WARNING"), "{banner}");
+        assert!(banner.contains("rung spt"), "{banner}");
     }
 
     #[test]

@@ -62,12 +62,11 @@ impl Args {
         };
         while let Some(tok) = tokens.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                match tokens.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        let value = tokens.next().expect("peeked");
+                match tokens.next_if(|next| !next.starts_with("--")) {
+                    Some(value) => {
                         args.options.insert(name.to_string(), value);
                     }
-                    _ => args.flags.push(name.to_string()),
+                    None => args.flags.push(name.to_string()),
                 }
             } else {
                 args.positional.push(tok);

@@ -7,6 +7,7 @@ use mrp_core::{adder_report, MrpConfig, MrpOptimizer, SeedOptimizer};
 use mrp_filters::{butterworth_fir, least_squares, remez, FilterSpec};
 use mrp_lint::{lint_graph, lint_verilog, LintConfig};
 use mrp_numrep::{quantize, Repr, Scaling};
+use mrp_resilience::{synthesize, FaultPlan, Rung, StageBudget, SynthConfig};
 
 use crate::args::{Args, ParseArgsError};
 
@@ -46,6 +47,12 @@ USAGE:
   mrpf compare  C0,C1,...
   mrpf respond  C0,C1,...  [--points N] (magnitude response table)
   mrpf lint     C0,C1,...  [--width BITS] [--fanout N] [--json] [--seed ...]
+  mrpf synth    C0,C1,...  [--deadline-ms MS] [--min-quality RUNG]
+                [--start RUNG] [--faults SPEC] [--exact-nodes N]
+                [--width BITS] [--json] [--repr ...] [--beta B] [--depth D]
+                (supervised synthesis with fallback ladder
+                 mrp+cse > mrp > cse > spt; RUNG is one of those names;
+                 SPEC e.g. panic@mrp+cse,timeout@mrp,seed=7)
   mrpf help
 ";
 
@@ -62,6 +69,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "compare" => compare(args),
         "respond" => respond(args),
         "lint" => lint(args),
+        "synth" => synth(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail!("unknown subcommand `{other}`\n\n{USAGE}"),
     }
@@ -101,6 +109,7 @@ fn parse_config(args: &Args) -> Result<MrpConfig, CliError> {
         max_depth: if depth == 0 { None } else { Some(depth as u32) },
         seed_optimizer,
         exact_cover: args.flag("exact"),
+        ..MrpConfig::default()
     })
 }
 
@@ -230,6 +239,63 @@ fn lint(args: &Args) -> Result<String, CliError> {
     Ok(rendered)
 }
 
+fn parse_rung(args: &Args, option: &str, default: &str) -> Result<Rung, CliError> {
+    let raw = args.get_str(option, default);
+    match Rung::parse(&raw) {
+        Some(r) => Ok(r),
+        None => bail!("unknown rung `{raw}` for --{option} (use mrp+cse|mrp|cse|spt)"),
+    }
+}
+
+fn synth(args: &Args) -> Result<String, CliError> {
+    let coeffs = parse_coeffs(args)?;
+    let base = parse_config(args)?;
+    let width = args.get_usize("width", 16)? as u32;
+    if width == 0 || width > 48 {
+        bail!("--width must be within 1..=48");
+    }
+    let deadline_ms = match args.get("deadline-ms") {
+        None => None,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| {
+            CliError(format!(
+                "--deadline-ms expects a millisecond count, got {v}"
+            ))
+        })?),
+    };
+    let exact_nodes = args.get_usize("exact-nodes", mrp_core::DEFAULT_NODE_BUDGET)?;
+    if exact_nodes == 0 {
+        bail!("--exact-nodes must be at least 1");
+    }
+    let faults = FaultPlan::parse(&args.get_str("faults", "")).map_err(CliError)?;
+    let cfg = SynthConfig {
+        base,
+        budget: StageBudget {
+            deadline_ms,
+            exact_nodes,
+        },
+        start_rung: parse_rung(args, "start", "mrp+cse")?,
+        min_rung: parse_rung(args, "min-quality", "spt")?,
+        lint: LintConfig {
+            input_width: width,
+            ..LintConfig::default()
+        },
+        faults,
+    };
+    // The driver catches stage panics at rung boundaries; silence the
+    // default hook while it runs so an isolated (recovered) panic does
+    // not spray a backtrace over the report.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = synthesize(&coeffs, &cfg);
+    std::panic::set_hook(previous_hook);
+    let outcome = result.map_err(|e| CliError(format!("synthesis failed: {e}")))?;
+    Ok(if args.flag("json") {
+        outcome.render_json()
+    } else {
+        outcome.render_pretty()
+    })
+}
+
 fn respond(args: &Args) -> Result<String, CliError> {
     let coeffs = parse_coeffs(args)?;
     let points = args.get_usize("points", 16)?;
@@ -336,6 +402,59 @@ mod tests {
     #[test]
     fn lint_validates_width() {
         assert!(run_line("lint 7,9 --width 99").is_err());
+    }
+
+    #[test]
+    fn synth_healthy_run_reports_best_rung() {
+        let out = run_line("synth 70,66,17,9,27,41,56,11").unwrap();
+        assert!(out.contains("rung used: mrp+cse"), "unexpected: {out}");
+        assert!(!out.contains("degraded"), "unexpected: {out}");
+        assert!(out.contains("lint: clean"), "unexpected: {out}");
+    }
+
+    #[test]
+    fn synth_json_output() {
+        let out = run_line("synth 70,66,17,9,27,41,56,11 --json").unwrap();
+        assert!(out.contains("\"rung\":\"mrp+cse\""), "unexpected: {out}");
+        assert!(out.contains("\"degraded\":false"), "unexpected: {out}");
+    }
+
+    #[test]
+    fn synth_reports_degradations_from_injected_faults() {
+        let out = run_line("synth 70,66,17,9 --faults panic@mrp+cse,seed=3").unwrap();
+        assert!(
+            out.contains("rung used: mrp (degraded)"),
+            "unexpected: {out}"
+        );
+        assert!(out.contains("panic"), "unexpected: {out}");
+    }
+
+    #[test]
+    fn synth_zero_deadline_lands_on_spt() {
+        let out = run_line("synth 70,66,17,9 --deadline-ms 0").unwrap();
+        assert!(
+            out.contains("rung used: spt (degraded)"),
+            "unexpected: {out}"
+        );
+    }
+
+    #[test]
+    fn synth_quality_floor_turns_fault_into_failure() {
+        let err = run_line("synth 70,66,17,9 --faults panic@* --min-quality mrp").unwrap_err();
+        assert!(
+            err.0.contains("every fallback rung failed"),
+            "unexpected: {err}"
+        );
+    }
+
+    #[test]
+    fn synth_rejects_bad_inputs() {
+        assert!(run_line("synth 70,66 --faults explode@mrp").is_err());
+        assert!(run_line("synth 70,66 --min-quality orbit").is_err());
+        assert!(run_line("synth 70,66 --deadline-ms soon").is_err());
+        assert!(run_line("synth 70,66 --exact-nodes 0").is_err());
+        assert!(run_line("synth 70,66 --width 99").is_err());
+        assert!(run_line("synth").is_err());
     }
 
     #[test]

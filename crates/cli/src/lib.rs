@@ -8,6 +8,8 @@
 //! mrpf emit     <c0,c1,...>   [--name module] [--width W] (Verilog to stdout)
 //! mrpf compare  <c0,c1,...>   (adder counts under every scheme)
 //! mrpf lint     <c0,c1,...>   [--width W] [--json] (static analysis report)
+//! mrpf synth    <c0,c1,...>   [--deadline-ms MS] [--min-quality RUNG] [--faults SPEC]
+//!                             (supervised synthesis with the fallback ladder)
 //! ```
 //!
 //! All subcommands are implemented as library functions returning strings,

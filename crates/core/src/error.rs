@@ -16,6 +16,11 @@ pub enum MrpError {
     Arch(ArchError),
     /// Configuration rejected (e.g. β outside `[0, 1]`).
     BadConfig(String),
+    /// A cover/forest invariant was violated while realizing the network
+    /// (missing SEED value, uncounted edge color, non-topological tree
+    /// order, unrealized vertex). These indicate a malformed intermediate
+    /// solution and are recoverable by falling back to a simpler scheme.
+    MalformedCover(String),
 }
 
 impl fmt::Display for MrpError {
@@ -27,6 +32,7 @@ impl fmt::Display for MrpError {
             }
             MrpError::Arch(e) => write!(f, "architecture construction failed: {e}"),
             MrpError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MrpError::MalformedCover(msg) => write!(f, "malformed cover solution: {msg}"),
         }
     }
 }
@@ -59,6 +65,13 @@ mod tests {
         assert!(MrpError::from(ArchError::ValueOverflow)
             .to_string()
             .contains("overflow"));
+    }
+
+    #[test]
+    fn malformed_cover_is_recoverable_text() {
+        let e = MrpError::MalformedCover("vertex 3 never realized".into());
+        assert!(e.to_string().contains("malformed cover"));
+        assert!(e.to_string().contains("vertex 3"));
     }
 
     #[test]

@@ -10,8 +10,22 @@
 use crate::color::ColorGraph;
 use crate::cover::{select_colors, CoverSolution};
 
-/// Node-expansion budget before the search falls back to greedy.
-const NODE_BUDGET: usize = 200_000;
+/// Default node-expansion budget for [`select_colors_exact`].
+pub const DEFAULT_NODE_BUDGET: usize = 200_000;
+
+/// Result of a budgeted exact cover search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactCoverOutcome {
+    /// Best cover found — never worse (by total color cost) than the
+    /// greedy one, which seeds the incumbent.
+    pub solution: CoverSolution,
+    /// `true` when the node budget ran out before the search space was
+    /// exhausted; `solution` is then the best-so-far, not a proven
+    /// optimum.
+    pub budget_exhausted: bool,
+    /// Search nodes actually expanded.
+    pub nodes_expanded: usize,
+}
 
 /// Finds a minimum-total-cost color cover by branch and bound, or the
 /// greedy cover when the instance is infeasible within the node budget.
@@ -39,6 +53,24 @@ const NODE_BUDGET: usize = 200_000;
 /// # Ok::<(), mrp_core::MrpError>(())
 /// ```
 pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSolution {
+    select_colors_exact_budgeted(graph, primaries, DEFAULT_NODE_BUDGET).solution
+}
+
+/// Budgeted variant of [`select_colors_exact`]: expands at most
+/// `node_budget` search nodes and reports whether the budget ran out. On
+/// exhaustion the best-so-far cover (at worst the greedy incumbent) is
+/// returned instead of discarding partial progress, so callers under a
+/// [`StageBudget`-style](MrpConfig::exact_node_budget) cap still get the
+/// strongest answer the budget bought.
+///
+/// # Panics
+///
+/// Panics if `primaries.len()` disagrees with the graph.
+pub fn select_colors_exact_budgeted(
+    graph: &ColorGraph,
+    primaries: &[i64],
+    node_budget: usize,
+) -> ExactCoverOutcome {
     assert_eq!(
         primaries.len(),
         graph.vertex_count(),
@@ -47,7 +79,11 @@ pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSoluti
     let n = graph.vertex_count();
     let greedy = select_colors(graph, primaries, 0.5);
     if n == 0 || graph.color_count() == 0 {
-        return greedy;
+        return ExactCoverOutcome {
+            solution: greedy,
+            budget_exhausted: false,
+            nodes_expanded: 0,
+        };
     }
     let color_sets: Vec<Vec<usize>> = (0..graph.color_count())
         .map(|ci| graph.color_set(ci))
@@ -62,7 +98,11 @@ pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSoluti
     if covering.iter().any(Vec::is_empty) {
         // Some vertex has no incoming color at all (single-vertex graphs);
         // the greedy path (roots) handles it.
-        return greedy;
+        return ExactCoverOutcome {
+            solution: greedy,
+            budget_exhausted: false,
+            nodes_expanded: 0,
+        };
     }
     let greedy_cost: u32 = greedy.class_indices.iter().map(|&ci| graph.cost(ci)).sum();
 
@@ -73,11 +113,12 @@ pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSoluti
         best_cost: u32,
         best: Option<Vec<usize>>,
         nodes: usize,
+        node_budget: usize,
     }
 
     impl Search<'_> {
         fn go(&mut self, covered: &mut Vec<bool>, chosen: &mut Vec<usize>, cost: u32) {
-            if self.nodes >= NODE_BUDGET {
+            if self.nodes >= self.node_budget {
                 return;
             }
             self.nodes += 1;
@@ -129,11 +170,15 @@ pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSoluti
         best_cost: greedy_cost + 1, // accept equal-cost greedy as incumbent
         best: None,
         nodes: 0,
+        node_budget: node_budget.max(1),
     };
     search.go(&mut vec![false; n], &mut Vec::new(), 0);
 
-    match search.best {
-        Some(class_indices) if search.nodes < NODE_BUDGET => {
+    let budget_exhausted = search.nodes >= search.node_budget;
+    // Best-so-far semantics: a cover found before the budget ran out is
+    // still a valid, greedy-or-better cover — keep it even on exhaustion.
+    let solution = match search.best {
+        Some(class_indices) => {
             let colors: Vec<i64> = class_indices.iter().map(|&ci| graph.colors()[ci]).collect();
             let free_vertices: Vec<usize> =
                 (0..n).filter(|&v| colors.contains(&primaries[v])).collect();
@@ -143,7 +188,12 @@ pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSoluti
                 free_vertices,
             }
         }
-        _ => greedy,
+        None => greedy,
+    };
+    ExactCoverOutcome {
+        solution,
+        budget_exhausted,
+        nodes_expanded: search.nodes,
     }
 }
 
@@ -206,6 +256,32 @@ mod tests {
         for &v in &exact.free_vertices {
             assert!(exact.colors.contains(&primaries[v]));
         }
+    }
+
+    #[test]
+    fn tiny_budget_reports_exhaustion_with_valid_best_so_far() {
+        let set = CoeffSet::new(&[70, 66, 17, 9, 27, 41, 56, 11]).unwrap();
+        let primaries = set.primaries().to_vec();
+        let graph = ColorGraph::build(&primaries, 6, Repr::Spt);
+        let greedy = select_colors(&graph, &primaries, 0.5);
+        let out = select_colors_exact_budgeted(&graph, &primaries, 3);
+        assert!(out.budget_exhausted, "3 nodes cannot finish this search");
+        assert!(out.nodes_expanded <= 3);
+        assert!(
+            covers(&graph, &out.solution),
+            "best-so-far must still cover"
+        );
+        assert!(cost(&graph, &out.solution) <= cost(&graph, &greedy));
+    }
+
+    #[test]
+    fn ample_budget_is_not_exhausted() {
+        let set = CoeffSet::new(&[70, 66, 17, 9, 27, 41, 56, 11]).unwrap();
+        let primaries = set.primaries().to_vec();
+        let graph = ColorGraph::build(&primaries, 6, Repr::Spt);
+        let out = select_colors_exact_budgeted(&graph, &primaries, DEFAULT_NODE_BUDGET);
+        assert!(!out.budget_exhausted);
+        assert!(out.nodes_expanded > 0);
     }
 
     #[test]

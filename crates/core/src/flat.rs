@@ -1,0 +1,178 @@
+//! Flat (non-MRP) realizations of a coefficient vector.
+//!
+//! The MRP decomposition is the interesting path, but a resilient driver
+//! needs realizations that cannot fail for any in-range coefficient set:
+//!
+//! * [`realize_simple`] — one independent digit-recoded multiplier per
+//!   primary (the paper's "simple" baseline). Always constructible; the
+//!   guaranteed last rung of a fallback ladder.
+//! * [`realize_cse`] — Hartley CSE over the primaries (the paper's CSE
+//!   baseline), still far simpler than the full MRP pipeline.
+//!
+//! Both register one labeled output per original coefficient (`c0, c1, …`)
+//! exactly like [`MrpOptimizer::optimize`](crate::MrpOptimizer::optimize),
+//! so downstream lint/emit/verify tooling sees the same shape regardless
+//! of which scheme produced the netlist. An empty coefficient vector
+//! yields an empty graph (input only, no outputs) rather than an error —
+//! "nothing to multiply" is a valid degenerate block.
+
+use mrp_arch::{AdderGraph, Term};
+use mrp_cse::hartley_cse;
+use mrp_numrep::Repr;
+
+use crate::coeff::{CoeffMapping, CoeffSet};
+use crate::error::MrpError;
+
+/// Registers one output per original coefficient of `set`, given one
+/// realized term per primary. Returns the output terms in coefficient
+/// order.
+pub(crate) fn attach_outputs(
+    graph: &mut AdderGraph,
+    set: &CoeffSet,
+    primary_terms: &[Term],
+) -> Vec<Term> {
+    let x = graph.input();
+    let coeffs = set.original();
+    let mut outputs = Vec::with_capacity(coeffs.len());
+    for (idx, m) in set.mapping().iter().enumerate() {
+        let term = match *m {
+            CoeffMapping::Zero => Term::of(x),
+            CoeffMapping::PowerOfTwo { shift, negate } => Term {
+                node: x,
+                shift,
+                negate,
+            },
+            CoeffMapping::Primary {
+                index,
+                shift,
+                negate,
+            } => {
+                let base = primary_terms[index];
+                Term {
+                    node: base.node,
+                    shift: base.shift + shift,
+                    negate: base.negate != negate,
+                }
+            }
+        };
+        graph.push_output(format!("c{idx}"), term, coeffs[idx]);
+        outputs.push(term);
+    }
+    outputs
+}
+
+/// Realizes `coeffs` with one independent digit-recoded multiplier per
+/// primary (no sharing between taps beyond free shifts). This is the
+/// "simple" scheme of the paper's figures and the only realization that is
+/// guaranteed constructible for every supported coefficient set, which
+/// makes it the terminal rung of a fallback ladder.
+///
+/// # Errors
+///
+/// [`MrpError::CoefficientTooLarge`] for out-of-range magnitudes and
+/// [`MrpError::Arch`] on (practically unreachable) overflow.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_core::realize_simple;
+/// use mrp_numrep::Repr;
+///
+/// let g = realize_simple(&[70, 66, 17, 9], Repr::Spt)?;
+/// assert_eq!(g.verify_outputs(&[-5, 0, 3, 64]), None);
+/// # Ok::<(), mrp_core::MrpError>(())
+/// ```
+pub fn realize_simple(coeffs: &[i64], repr: Repr) -> Result<AdderGraph, MrpError> {
+    let mut graph = AdderGraph::new();
+    if coeffs.is_empty() {
+        return Ok(graph);
+    }
+    let set = CoeffSet::new(coeffs)?;
+    let terms = set
+        .primaries()
+        .iter()
+        .map(|&v| graph.build_constant(v, repr).map_err(MrpError::from))
+        .collect::<Result<Vec<Term>, MrpError>>()?;
+    attach_outputs(&mut graph, &set, &terms);
+    Ok(graph)
+}
+
+/// Realizes `coeffs` by Hartley common-subexpression elimination over the
+/// primaries (the paper's CSE baseline, without any MRP decomposition).
+///
+/// # Errors
+///
+/// [`MrpError::CoefficientTooLarge`] for out-of-range magnitudes and
+/// [`MrpError::Arch`] on construction overflow.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_core::realize_cse;
+///
+/// let g = realize_cse(&[23, 39, 46])?;
+/// assert_eq!(g.verify_outputs(&[-1, 0, 1, 7]), None);
+/// # Ok::<(), mrp_core::MrpError>(())
+/// ```
+pub fn realize_cse(coeffs: &[i64]) -> Result<AdderGraph, MrpError> {
+    let mut graph = AdderGraph::new();
+    if coeffs.is_empty() {
+        return Ok(graph);
+    }
+    let set = CoeffSet::new(coeffs)?;
+    let terms = hartley_cse(set.primaries())
+        .build_into(&mut graph)
+        .map_err(MrpError::from)?;
+    attach_outputs(&mut graph, &set, &terms);
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: [i64; 8] = [70, 66, 17, 9, 27, 41, 56, 11];
+
+    #[test]
+    fn simple_is_bit_exact() {
+        let g = realize_simple(&PAPER, Repr::Spt).unwrap();
+        assert_eq!(g.verify_outputs(&[-9, -1, 0, 1, 5, 333]), None);
+        assert_eq!(g.outputs().len(), PAPER.len());
+    }
+
+    #[test]
+    fn cse_is_bit_exact_and_no_worse_than_simple() {
+        let g_cse = realize_cse(&PAPER).unwrap();
+        let g_simple = realize_simple(&PAPER, Repr::Csd).unwrap();
+        assert_eq!(g_cse.verify_outputs(&[-9, -1, 0, 1, 5, 333]), None);
+        assert!(g_cse.adder_count() <= g_simple.adder_count());
+    }
+
+    #[test]
+    fn empty_vector_is_an_empty_block() {
+        let g = realize_simple(&[], Repr::Spt).unwrap();
+        assert_eq!(g.adder_count(), 0);
+        assert!(g.outputs().is_empty());
+        assert!(realize_cse(&[]).unwrap().outputs().is_empty());
+    }
+
+    #[test]
+    fn zeros_shifts_and_negatives_are_free() {
+        for realize in [
+            realize_cse as fn(&[i64]) -> Result<AdderGraph, MrpError>,
+            |c: &[i64]| realize_simple(c, Repr::Spt),
+        ] {
+            let g = realize(&[0, 8, -70, 66, 17, 34, 9, -9]).unwrap();
+            assert_eq!(g.verify_outputs(&[-3, 0, 2, 11]), None);
+            assert_eq!(g.outputs().len(), 8);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            realize_simple(&[1 << 50], Repr::Spt),
+            Err(MrpError::CoefficientTooLarge(_))
+        ));
+    }
+}

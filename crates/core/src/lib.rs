@@ -41,6 +41,7 @@ mod color;
 mod cover;
 mod error;
 mod exact;
+mod flat;
 mod mst_diff;
 mod optimizer;
 mod report;
@@ -50,7 +51,10 @@ pub use coeff::CoeffSet;
 pub use color::{ColorGraph, SidEdge};
 pub use cover::{select_colors, CoverSolution};
 pub use error::MrpError;
-pub use exact::select_colors_exact;
+pub use exact::{
+    select_colors_exact, select_colors_exact_budgeted, ExactCoverOutcome, DEFAULT_NODE_BUDGET,
+};
+pub use flat::{realize_cse, realize_simple};
 pub use mst_diff::{mst_differential, MstDiffResult};
 pub use optimizer::{MrpConfig, MrpOptimizer, MrpResult, MrpStats, SeedOptimizer};
 pub use report::{adder_report, simple_cost, AdderReport};

@@ -7,7 +7,7 @@ use mrp_arch::{AdderGraph, Term};
 use mrp_cse::hartley_cse;
 use mrp_numrep::{nonzero_digits, Repr};
 
-use crate::coeff::{CoeffMapping, CoeffSet};
+use crate::coeff::CoeffSet;
 use crate::color::{ColorGraph, SidEdge};
 use crate::cover::select_colors;
 use crate::error::MrpError;
@@ -51,6 +51,10 @@ pub struct MrpConfig {
     /// count is at most 24; otherwise — and by default — use the paper's
     /// greedy heuristic.
     pub exact_cover: bool,
+    /// Node-expansion cap for the exact cover search; on exhaustion the
+    /// best cover found so far (at worst the greedy one) is used. Lets a
+    /// supervising driver bound worst-case synthesis latency.
+    pub exact_node_budget: usize,
 }
 
 impl Default for MrpConfig {
@@ -62,6 +66,7 @@ impl Default for MrpConfig {
             max_depth: None,
             seed_optimizer: SeedOptimizer::Direct,
             exact_cover: false,
+            exact_node_budget: crate::exact::DEFAULT_NODE_BUDGET,
         }
     }
 }
@@ -166,32 +171,7 @@ impl MrpOptimizer {
         };
         let built = realize_vector(&mut graph, set.primaries(), &self.config, recursion)?;
         // Map original coefficients onto the primary terms.
-        let x = graph.input();
-        let mut outputs = Vec::with_capacity(coeffs.len());
-        for (idx, m) in set.mapping().iter().enumerate() {
-            let term = match *m {
-                CoeffMapping::Zero => Term::of(x),
-                CoeffMapping::PowerOfTwo { shift, negate } => Term {
-                    node: x,
-                    shift,
-                    negate,
-                },
-                CoeffMapping::Primary {
-                    index,
-                    shift,
-                    negate,
-                } => {
-                    let base = built.terms[index];
-                    Term {
-                        node: base.node,
-                        shift: base.shift + shift,
-                        negate: base.negate != negate,
-                    }
-                }
-            };
-            graph.push_output(format!("c{idx}"), term, coeffs[idx]);
-            outputs.push(term);
-        }
+        let outputs = crate::flat::attach_outputs(&mut graph, &set, &built.terms);
         debug_assert_eq!(
             graph.verify_outputs(&[-3, -1, 0, 1, 2, 7, 100]),
             None,
@@ -265,7 +245,8 @@ fn realize_vector(
     });
     let color_graph = ColorGraph::build(values, max_shift, config.repr);
     let cover = if config.exact_cover && values.len() <= 24 {
-        crate::exact::select_colors_exact(&color_graph, values)
+        crate::exact::select_colors_exact_budgeted(&color_graph, values, config.exact_node_budget)
+            .solution
     } else {
         select_colors(&color_graph, values, config.beta)
     };
@@ -352,19 +333,23 @@ fn realize_vector(
         _ => realize_direct(graph, &seed_values, config)?,
     };
     let seed_adders = graph.adder_count() - before_seed;
-    let seed_term_of = |value: i64| -> Term {
+    let seed_term_of = |value: i64| -> Result<Term, MrpError> {
         let idx = seed_values
             .iter()
             .position(|&v| v == value)
-            .expect("SEED value present");
-        seed_terms[idx]
+            .ok_or_else(|| {
+                MrpError::MalformedCover(format!(
+                    "SEED value {value} missing from the realized SEED vector {seed_values:?}"
+                ))
+            })?;
+        Ok(seed_terms[idx])
     };
 
     // Overhead add network, in topological (BFS) order.
     let before_overhead = graph.adder_count();
     let mut vertex_terms: Vec<Option<Term>> = vec![None; values.len()];
     for &r in &forest.roots {
-        vertex_terms[r] = Some(seed_term_of(values[r]));
+        vertex_terms[r] = Some(seed_term_of(values[r])?);
     }
     // An edge's vertex value can already exist in the graph (as a SEED
     // chain partial, or a shift of another realized value); reusing the
@@ -380,15 +365,21 @@ fn realize_vector(
     for &v in &forest.free_vertices {
         if vertex_terms[v].is_none() {
             // values[v] equals a used color (odd = odd), shift 0.
-            vertex_terms[v] = Some(seed_term_of(values[v]));
+            vertex_terms[v] = Some(seed_term_of(values[v])?);
             color_live.insert(values[v]);
         }
     }
     let input = graph.input();
     for te in &forest.edges {
         let e = te.edge;
-        let color_term = seed_term_of(e.color);
-        *color_pending.get_mut(&e.color).expect("edge color counted") -= 1;
+        let color_term = seed_term_of(e.color)?;
+        let pending = color_pending.get_mut(&e.color).ok_or_else(|| {
+            MrpError::MalformedCover(format!(
+                "tree edge uses color {} that was never counted in the cover",
+                e.color
+            ))
+        })?;
+        *pending -= 1;
         let color_safe = color_term.node == input
             || color_live.contains(&e.color)
             || color_pending[&e.color] > 0;
@@ -399,7 +390,13 @@ fn realize_vector(
             }
         }
         color_live.insert(e.color);
-        let parent = vertex_terms[e.from].expect("topological order");
+        let parent = vertex_terms[e.from].ok_or_else(|| {
+            MrpError::MalformedCover(format!(
+                "tree edge {} -> {} visited before its parent was realized \
+                 (forest not in topological order)",
+                e.from, te.vertex
+            ))
+        })?;
         let lhs = Term {
             node: parent.node,
             shift: parent.shift + e.base_shift,
@@ -419,8 +416,16 @@ fn realize_vector(
     Ok(BuiltVector {
         terms: vertex_terms
             .into_iter()
-            .map(|t| t.expect("every vertex realized"))
-            .collect(),
+            .enumerate()
+            .map(|(v, t)| {
+                t.ok_or_else(|| {
+                    MrpError::MalformedCover(format!(
+                        "primary vertex {v} (value {}) was never realized by the forest",
+                        values[v]
+                    ))
+                })
+            })
+            .collect::<Result<Vec<Term>, MrpError>>()?,
         seed_roots: seed_root_values,
         seed_colors: used_colors.clone(),
         stats: MrpStats {

@@ -1,0 +1,456 @@
+//! The supervised synthesis driver.
+//!
+//! [`synthesize`] walks the fallback ladder from the configured start rung
+//! downward. Each rung attempt is isolated: it runs under
+//! [`catch_unwind`] (a panic degrades the ladder instead of crashing the
+//! caller), under the shared wall-clock [`Deadline`] (a rung that cannot
+//! start before the deadline is skipped; a rung that runs past it is
+//! abandoned on a worker thread), and with the exact-cover node cap from
+//! the [`StageBudget`]. Whatever a rung produces must pass the `mrp-lint`
+//! gate and a coefficient-equivalence check before it is accepted; a
+//! netlist that fails either is treated exactly like a rung failure.
+//!
+//! The terminal `spt` rung runs with no deadline: per-coefficient SPT
+//! recoding is always constructible, so a supervised run ends with *some*
+//! valid multiplier block unless the input itself is out of range or the
+//! caller set a quality floor above the rungs that survived.
+//!
+//! In debug builds the MRP optimizer additionally lint-checks its own
+//! output and panics on internal errors (`debug_assert`); under this
+//! driver such a panic is caught at the rung boundary and degrades the
+//! ladder like any other fault — the debug hook and the supervisor
+//! compose.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use mrp_arch::{AdderGraph, Term};
+use mrp_core::{realize_cse, realize_simple, MrpConfig, MrpOptimizer, SeedOptimizer};
+use mrp_lint::{lint_graph, LintConfig, Severity};
+use mrp_numrep::Repr;
+
+use crate::budget::{Deadline, StageBudget};
+use crate::error::{Degradation, PipelineError};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::ladder::Rung;
+
+/// Input samples used for the coefficient-equivalence gate.
+const VERIFY_SAMPLES: [i64; 7] = [-3, -1, 0, 1, 2, 7, 100];
+
+/// Configuration of one supervised synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Base MRP configuration shared by the MRP rungs.
+    pub base: MrpConfig,
+    /// Wall-clock and node budgets.
+    pub budget: StageBudget,
+    /// Rung to start from (default: the best, `mrp+cse`).
+    pub start_rung: Rung,
+    /// Quality floor: the driver refuses to degrade below this rung and
+    /// reports [`PipelineError::LadderExhausted`] instead (default: `spt`,
+    /// i.e. no floor).
+    pub min_rung: Rung,
+    /// Lint gate configuration.
+    pub lint: LintConfig,
+    /// Deterministic faults to inject (default: none).
+    pub faults: FaultPlan,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            base: MrpConfig::default(),
+            budget: StageBudget::default(),
+            start_rung: Rung::MrpCse,
+            min_rung: Rung::Spt,
+            lint: LintConfig::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// The result of a supervised synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthOutcome {
+    /// The accepted multiplier block (lint-clean, coefficient-equivalent).
+    pub graph: AdderGraph,
+    /// The rung that produced it.
+    pub rung: Rung,
+    /// Every rung failure recorded on the way down, best rung first.
+    pub degradations: Vec<Degradation>,
+    /// Warning-severity lint findings on the accepted netlist.
+    pub lint_warnings: usize,
+    /// Wall-clock time of the whole run, milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl SynthOutcome {
+    /// Whether the run landed below its starting rung.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
+    /// Adders in the accepted block.
+    pub fn adders(&self) -> usize {
+        self.graph.adder_count()
+    }
+
+    /// Human-readable report: rung, size, and each degradation reason.
+    pub fn render_pretty(&self) -> String {
+        let mut out = format!(
+            "rung used: {}{}\nadders: {}\ncritical path: {}\nlint: clean ({} warning(s))\nelapsed: {} ms\n",
+            self.rung,
+            if self.degraded() { " (degraded)" } else { "" },
+            self.adders(),
+            self.graph.max_depth(),
+            self.lint_warnings,
+            self.elapsed_ms,
+        );
+        if self.degraded() {
+            out.push_str("degradations:\n");
+            for d in &self.degradations {
+                out.push_str(&format!("  - {d}\n"));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable report mirroring [`SynthOutcome::render_pretty`].
+    pub fn render_json(&self) -> String {
+        let degradations: Vec<String> = self
+            .degradations
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"rung\":\"{}\",\"kind\":\"{}\",\"reason\":\"{}\"}}",
+                    d.rung,
+                    d.error.kind(),
+                    json_escape(&d.error.to_string())
+                )
+            })
+            .collect();
+        format!(
+            "{{\"rung\":\"{}\",\"degraded\":{},\"adders\":{},\"critical_path\":{},\"lint_warnings\":{},\"elapsed_ms\":{},\"degradations\":[{}]}}",
+            self.rung,
+            self.degraded(),
+            self.adders(),
+            self.graph.max_depth(),
+            self.lint_warnings,
+            self.elapsed_ms,
+            degradations.join(",")
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Synthesizes `coeffs` under supervision, degrading down the fallback
+/// ladder until a rung produces a lint-clean, coefficient-equivalent
+/// netlist.
+///
+/// # Errors
+///
+/// * [`PipelineError::BadConfig`] when `start_rung < min_rung`;
+/// * [`PipelineError::LadderExhausted`] when every admissible rung failed
+///   (out-of-range coefficients, a quality floor above the surviving
+///   rungs, or faults injected into the terminal rung).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_resilience::{synthesize, Rung, SynthConfig};
+///
+/// let out = synthesize(&[70, 66, 17, 9, 27, 41, 56, 11], &SynthConfig::default())?;
+/// assert_eq!(out.rung, Rung::MrpCse);
+/// assert!(!out.degraded());
+/// # Ok::<(), mrp_resilience::PipelineError>(())
+/// ```
+pub fn synthesize(coeffs: &[i64], config: &SynthConfig) -> Result<SynthOutcome, PipelineError> {
+    if config.start_rung < config.min_rung {
+        return Err(PipelineError::BadConfig(format!(
+            "start rung `{}` is below the quality floor `{}`",
+            config.start_rung, config.min_rung
+        )));
+    }
+    let deadline = Deadline::start(config.budget.deadline_ms);
+    let mut degradations = Vec::new();
+    let mut rung = config.start_rung;
+    loop {
+        match attempt_rung(coeffs, rung, config, &deadline) {
+            Ok((graph, lint_warnings)) => {
+                return Ok(SynthOutcome {
+                    graph,
+                    rung,
+                    degradations,
+                    lint_warnings,
+                    elapsed_ms: deadline.elapsed_ms(),
+                });
+            }
+            Err(error) => degradations.push(Degradation { rung, error }),
+        }
+        match rung.next_lower() {
+            Some(lower) if lower >= config.min_rung => rung = lower,
+            _ => return Err(PipelineError::LadderExhausted(degradations)),
+        }
+    }
+}
+
+/// Attempts one rung end to end: fault checks, budgeted + isolated build,
+/// injected corruption, lint gate, equivalence gate.
+fn attempt_rung(
+    coeffs: &[i64],
+    rung: Rung,
+    config: &SynthConfig,
+    deadline: &Deadline,
+) -> Result<(AdderGraph, usize), PipelineError> {
+    let stage = format!("synth[{rung}]");
+    if config.faults.armed(FaultKind::Timeout, rung) {
+        return Err(PipelineError::Timeout {
+            stage,
+            budget_ms: deadline.limit_ms().unwrap_or(0),
+            injected: true,
+        });
+    }
+    // The terminal rung ignores the deadline: it is the guaranteed floor,
+    // and SPT recoding is cheap enough that running it late beats
+    // returning nothing.
+    let remaining = if rung == Rung::Spt {
+        None
+    } else {
+        deadline.remaining()
+    };
+    if remaining == Some(Duration::ZERO) {
+        return Err(PipelineError::Timeout {
+            stage,
+            budget_ms: deadline.limit_ms().unwrap_or(0),
+            injected: false,
+        });
+    }
+    let mut rung_cfg = config.base;
+    rung_cfg.exact_node_budget = config.budget.exact_nodes;
+    rung_cfg.seed_optimizer = match rung {
+        Rung::MrpCse => SeedOptimizer::Cse,
+        _ => SeedOptimizer::Direct,
+    };
+    let inject_panic = config.faults.armed(FaultKind::Panic, rung);
+    let inject_overflow = config.faults.armed(FaultKind::Overflow, rung);
+    let owned = coeffs.to_vec();
+    let build = move || -> Result<AdderGraph, PipelineError> {
+        if inject_panic {
+            panic!("injected fault: panic at rung {}", rung.name());
+        }
+        let mut graph = match rung {
+            Rung::MrpCse | Rung::Mrp => MrpOptimizer::new(rung_cfg).optimize(&owned)?.graph,
+            Rung::CseOnly => realize_cse(&owned)?,
+            Rung::Spt => realize_simple(&owned, Repr::Spt)?,
+        };
+        if inject_overflow {
+            // A real overflow path: 2^62·x + 2^62·x exceeds the i64 value
+            // tracking range, so `add` reports `ArchError::ValueOverflow`.
+            let x = graph.input();
+            graph
+                .add(Term::shifted(x, 62), Term::shifted(x, 62))
+                .map_err(PipelineError::Arch)?;
+        }
+        Ok(graph)
+    };
+    let mut graph = run_isolated(&stage, remaining, deadline.limit_ms(), build)??;
+    if config.faults.armed(FaultKind::Corrupt, rung) {
+        config.faults.corrupt_netlist(&mut graph, rung);
+    }
+    accept(&stage, &graph, config)
+}
+
+/// Runs `f` with panic isolation, and — when a deadline remains — on a
+/// worker thread so a stage that overruns can be abandoned. An abandoned
+/// worker keeps running detached until it finishes on its own; its result
+/// is discarded.
+fn run_isolated<T: Send + 'static>(
+    stage: &str,
+    remaining: Option<Duration>,
+    budget_ms: Option<u64>,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, PipelineError> {
+    let Some(remaining) = remaining else {
+        // No deadline: isolate panics in-thread.
+        return catch_unwind(AssertUnwindSafe(f)).map_err(|payload| PipelineError::Panic {
+            stage: stage.to_string(),
+            message: panic_message(payload.as_ref()),
+        });
+    };
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(p.as_ref()));
+        // The receiver may have given up; a dead channel is fine.
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(remaining) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(message)) => Err(PipelineError::Panic {
+            stage: stage.to_string(),
+            message,
+        }),
+        Err(_) => Err(PipelineError::Timeout {
+            stage: stage.to_string(),
+            budget_ms: budget_ms.unwrap_or(0),
+            injected: false,
+        }),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The lint configuration actually used for `graph`: the configured one,
+/// with `input_width` clamped so that the widest constant in the graph
+/// still fits the linter's 63-bit analysis range. Without the clamp a
+/// maximum-magnitude coefficient set (|c| near 2^48) would be rejected as
+/// unanalyzable at the default 16-bit input width even though the netlist
+/// is perfectly valid at a narrower one.
+fn effective_lint(graph: &AdderGraph, lint: &LintConfig) -> LintConfig {
+    let mut widest: u32 = 0;
+    for idx in 0..graph.len() {
+        let v = graph.value(mrp_arch::NodeId::from_index(idx));
+        widest = widest.max(64 - v.unsigned_abs().leading_zeros());
+    }
+    for o in graph.outputs() {
+        widest = widest.max(64 - o.expected.unsigned_abs().leading_zeros());
+    }
+    let available = 63u32.saturating_sub(widest).max(1);
+    LintConfig {
+        input_width: lint.input_width.min(available),
+        ..*lint
+    }
+}
+
+/// The acceptance gate: the netlist must be lint-error-free and
+/// coefficient-equivalent on the verification samples.
+fn accept(
+    stage: &str,
+    graph: &AdderGraph,
+    config: &SynthConfig,
+) -> Result<(AdderGraph, usize), PipelineError> {
+    let report = lint_graph(graph, &effective_lint(graph, &config.lint));
+    if report.has_errors() {
+        let first = report
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map(|d| d.to_string())
+            .unwrap_or_default();
+        return Err(PipelineError::LintRejected {
+            stage: stage.to_string(),
+            errors: report.error_count(),
+            first,
+        });
+    }
+    if let Some((label, input)) = graph.verify_outputs(&VERIFY_SAMPLES) {
+        return Err(PipelineError::NotEquivalent { label, input });
+    }
+    Ok((graph.clone(), report.warning_count()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: [i64; 8] = [70, 66, 17, 9, 27, 41, 56, 11];
+
+    #[test]
+    fn healthy_run_uses_best_rung() {
+        let out = synthesize(&PAPER, &SynthConfig::default()).unwrap();
+        assert_eq!(out.rung, Rung::MrpCse);
+        assert!(!out.degraded());
+        assert!(out.adders() > 0);
+        assert_eq!(out.graph.verify_outputs(&VERIFY_SAMPLES), None);
+    }
+
+    #[test]
+    fn quality_floor_above_start_is_rejected() {
+        let cfg = SynthConfig {
+            start_rung: Rung::CseOnly,
+            min_rung: Rung::MrpCse,
+            ..SynthConfig::default()
+        };
+        assert!(matches!(
+            synthesize(&PAPER, &cfg),
+            Err(PipelineError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn injected_panic_degrades_one_rung() {
+        let cfg = SynthConfig {
+            faults: FaultPlan::parse("panic@mrp+cse").unwrap(),
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&PAPER, &cfg).unwrap();
+        assert_eq!(out.rung, Rung::Mrp);
+        assert_eq!(out.degradations.len(), 1);
+        assert!(matches!(
+            out.degradations[0].error,
+            PipelineError::Panic { .. }
+        ));
+    }
+
+    #[test]
+    fn floor_turns_degradation_into_exhaustion() {
+        let cfg = SynthConfig {
+            faults: FaultPlan::parse("panic@mrp+cse").unwrap(),
+            min_rung: Rung::MrpCse,
+            ..SynthConfig::default()
+        };
+        match synthesize(&PAPER, &cfg) {
+            Err(PipelineError::LadderExhausted(ds)) => {
+                assert_eq!(ds.len(), 1);
+                assert_eq!(ds[0].rung, Rung::MrpCse);
+            }
+            other => panic!("expected LadderExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renders_are_well_formed() {
+        let cfg = SynthConfig {
+            faults: FaultPlan::parse("corrupt@mrp+cse").unwrap(),
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&PAPER, &cfg).unwrap();
+        let pretty = out.render_pretty();
+        assert!(pretty.contains("rung used: mrp (degraded)"), "{pretty}");
+        assert!(
+            pretty.contains("lint-rejected") || pretty.contains("lint gate"),
+            "{pretty}"
+        );
+        let json = out.render_json();
+        assert!(json.contains("\"rung\":\"mrp\""), "{json}");
+        assert!(json.contains("\"kind\":\"lint-rejected\""), "{json}");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

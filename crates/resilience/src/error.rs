@@ -1,0 +1,257 @@
+//! The [`PipelineError`] taxonomy.
+//!
+//! Every way a synthesis stage can fail — including ways that would
+//! normally abort the process — is folded into one recoverable error type
+//! so the supervising driver can record *why* a rung failed and descend
+//! the fallback ladder instead of propagating a crash.
+
+use std::fmt;
+
+use mrp_arch::ArchError;
+use mrp_core::MrpError;
+use mrp_filters::DesignError;
+use mrp_numrep::QuantizeError;
+
+use crate::ladder::Rung;
+
+/// One recorded rung failure: which rung was attempted and why it was
+/// rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// The rung that failed.
+    pub rung: Rung,
+    /// Why it failed.
+    pub error: PipelineError,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.rung.name(), self.error)
+    }
+}
+
+/// Everything that can go wrong in a supervised synthesis pipeline.
+///
+/// The first four variants are produced by the supervision machinery
+/// itself (budgets, panic isolation, the lint gate, output verification);
+/// the wrapped variants carry errors surfaced by the underlying stages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A stage exceeded its wall-clock budget (or a fault injector
+    /// simulated that it did).
+    Timeout {
+        /// Stage that timed out (e.g. `synth[mrp+cse]`).
+        stage: String,
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+        /// `true` when forced by deterministic fault injection.
+        injected: bool,
+    },
+    /// A stage panicked; the panic was caught at the stage boundary.
+    Panic {
+        /// Stage that panicked.
+        stage: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A stage's iteration/node budget ran out without a usable result.
+    BudgetExhausted {
+        /// Stage whose budget ran out.
+        stage: String,
+        /// What was being counted.
+        detail: String,
+    },
+    /// The produced netlist failed the `mrp-lint` gate.
+    LintRejected {
+        /// Stage whose output was rejected.
+        stage: String,
+        /// Error-severity finding count.
+        errors: usize,
+        /// The first error finding, verbatim.
+        first: String,
+    },
+    /// The produced netlist is not coefficient-equivalent to the spec.
+    NotEquivalent {
+        /// Label of the first mismatching output.
+        label: String,
+        /// Input sample that exposed the mismatch.
+        input: i64,
+    },
+    /// MRP optimization failed.
+    Mrp(MrpError),
+    /// Adder-graph construction failed (e.g. value overflow).
+    Arch(ArchError),
+    /// Coefficient quantization failed.
+    Quantize(QuantizeError),
+    /// Filter design failed.
+    Design(DesignError),
+    /// Driver configuration rejected.
+    BadConfig(String),
+    /// Every admissible rung of the fallback ladder failed; the record of
+    /// each failure is attached.
+    LadderExhausted(Vec<Degradation>),
+}
+
+impl PipelineError {
+    /// Stable lowercase tag naming the variant, for JSON output and
+    /// degradation summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PipelineError::Timeout { .. } => "timeout",
+            PipelineError::Panic { .. } => "panic",
+            PipelineError::BudgetExhausted { .. } => "budget-exhausted",
+            PipelineError::LintRejected { .. } => "lint-rejected",
+            PipelineError::NotEquivalent { .. } => "not-equivalent",
+            PipelineError::Mrp(_) => "mrp",
+            PipelineError::Arch(_) => "arch",
+            PipelineError::Quantize(_) => "quantize",
+            PipelineError::Design(_) => "design",
+            PipelineError::BadConfig(_) => "bad-config",
+            PipelineError::LadderExhausted(_) => "ladder-exhausted",
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Timeout {
+                stage,
+                budget_ms,
+                injected,
+            } => {
+                let how = if *injected { "injected" } else { "exceeded" };
+                write!(f, "{stage}: {how} wall-clock budget of {budget_ms} ms")
+            }
+            PipelineError::Panic { stage, message } => {
+                write!(f, "{stage}: panicked: {message}")
+            }
+            PipelineError::BudgetExhausted { stage, detail } => {
+                write!(f, "{stage}: budget exhausted ({detail})")
+            }
+            PipelineError::LintRejected {
+                stage,
+                errors,
+                first,
+            } => {
+                write!(
+                    f,
+                    "{stage}: lint gate rejected netlist ({errors} error(s); first: {first})"
+                )
+            }
+            PipelineError::NotEquivalent { label, input } => {
+                write!(
+                    f,
+                    "output `{label}` is not coefficient-equivalent (mismatch at x = {input})"
+                )
+            }
+            PipelineError::Mrp(e) => write!(f, "mrp optimization failed: {e}"),
+            PipelineError::Arch(e) => write!(f, "netlist construction failed: {e}"),
+            PipelineError::Quantize(e) => write!(f, "quantization failed: {e}"),
+            PipelineError::Design(e) => write!(f, "filter design failed: {e}"),
+            PipelineError::BadConfig(msg) => write!(f, "invalid driver configuration: {msg}"),
+            PipelineError::LadderExhausted(degradations) => {
+                write!(f, "every fallback rung failed:")?;
+                for d in degradations {
+                    write!(f, "\n  - {d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Mrp(e) => Some(e),
+            PipelineError::Arch(e) => Some(e),
+            PipelineError::Quantize(e) => Some(e),
+            PipelineError::Design(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MrpError> for PipelineError {
+    fn from(e: MrpError) -> Self {
+        // Unwrap the architecture layer so the taxonomy stays flat.
+        match e {
+            MrpError::Arch(a) => PipelineError::Arch(a),
+            other => PipelineError::Mrp(other),
+        }
+    }
+}
+
+impl From<ArchError> for PipelineError {
+    fn from(e: ArchError) -> Self {
+        PipelineError::Arch(e)
+    }
+}
+
+impl From<QuantizeError> for PipelineError {
+    fn from(e: QuantizeError) -> Self {
+        PipelineError::Quantize(e)
+    }
+}
+
+impl From<DesignError> for PipelineError {
+    fn from(e: DesignError) -> Self {
+        PipelineError::Design(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_supervision_variants() {
+        let t = PipelineError::Timeout {
+            stage: "synth[mrp]".into(),
+            budget_ms: 50,
+            injected: true,
+        };
+        assert!(t.to_string().contains("injected"));
+        assert!(t.to_string().contains("50 ms"));
+        let p = PipelineError::Panic {
+            stage: "synth[mrp+cse]".into(),
+            message: "index out of bounds".into(),
+        };
+        assert!(p.to_string().contains("panicked"));
+        assert_eq!(p.kind(), "panic");
+    }
+
+    #[test]
+    fn mrp_arch_errors_are_flattened() {
+        let e = PipelineError::from(MrpError::Arch(ArchError::ValueOverflow));
+        assert_eq!(e, PipelineError::Arch(ArchError::ValueOverflow));
+        assert_eq!(e.kind(), "arch");
+    }
+
+    #[test]
+    fn ladder_exhausted_lists_rungs() {
+        let e = PipelineError::LadderExhausted(vec![
+            Degradation {
+                rung: Rung::MrpCse,
+                error: PipelineError::Mrp(MrpError::Empty),
+            },
+            Degradation {
+                rung: Rung::Mrp,
+                error: PipelineError::Mrp(MrpError::Empty),
+            },
+        ]);
+        let text = e.to_string();
+        assert!(text.contains("mrp+cse:"));
+        assert!(text.contains("every fallback rung failed"));
+    }
+
+    #[test]
+    fn source_chains_to_wrapped_errors() {
+        use std::error::Error as _;
+        assert!(PipelineError::Arch(ArchError::ValueOverflow)
+            .source()
+            .is_some());
+        assert!(PipelineError::BadConfig("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes faults to force into a supervised synthesis
+//! run: stage timeouts, simulated panics, corrupted intermediate netlists
+//! (which the lint gate must catch), and overflow-path triggers. Plans are
+//! parsed from a compact spec string, are fully seeded, and never depend
+//! on wall-clock time, so every injected failure replays exactly.
+//!
+//! # Spec format
+//!
+//! Comma-separated entries:
+//!
+//! ```text
+//! <kind>@<rung>   inject <kind> when <rung> is attempted
+//! <kind>@*        inject <kind> at every rung except the last (spt)
+//! seed=<N>        seed for corruption details (default 0)
+//! ```
+//!
+//! Kinds: `timeout`, `panic`, `corrupt`, `overflow`. Rungs: `mrp+cse`,
+//! `mrp`, `cse`, `spt` (see [`Rung::parse`] for aliases). Example:
+//! `timeout@mrp+cse,corrupt@mrp,seed=7`.
+//!
+//! The `*` wildcard deliberately excludes the terminal `spt` rung so a
+//! wildcard plan still lets the ladder land somewhere; target `spt`
+//! explicitly to test ladder exhaustion.
+
+use mrp_arch::{AdderGraph, Term};
+use mrp_ptest::Rng;
+
+use crate::ladder::Rung;
+
+/// The injectable fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Force the stage to report a wall-clock timeout without running.
+    Timeout,
+    /// Panic inside the stage (exercises `catch_unwind` isolation).
+    Panic,
+    /// Corrupt the produced netlist (the lint gate must reject it).
+    Corrupt,
+    /// Drive a real overflow path in netlist construction.
+    Overflow,
+}
+
+impl FaultKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Timeout => "timeout",
+            FaultKind::Panic => "panic",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Overflow => "overflow",
+        }
+    }
+
+    /// All kinds, for exhaustive test sweeps.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Timeout,
+        FaultKind::Panic,
+        FaultKind::Corrupt,
+        FaultKind::Overflow,
+    ];
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "timeout" => Some(FaultKind::Timeout),
+            "panic" => Some(FaultKind::Panic),
+            "corrupt" => Some(FaultKind::Corrupt),
+            "overflow" => Some(FaultKind::Overflow),
+            _ => None,
+        }
+    }
+}
+
+/// One armed fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Which rung to inject at; `None` = every rung except the terminal
+    /// `spt` rung.
+    pub rung: Option<Rung>,
+}
+
+/// A parsed, seeded set of faults to inject into one driver run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    /// Seed for deterministic corruption details.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from explicit faults.
+    pub fn new(faults: Vec<Fault>, seed: u64) -> FaultPlan {
+        FaultPlan { faults, seed }
+    }
+
+    /// Parses the spec format described in the [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            if let Some(seed) = entry.strip_prefix("seed=") {
+                plan.seed = seed
+                    .parse()
+                    .map_err(|_| format!("`{seed}` is not a valid fault seed"))?;
+                continue;
+            }
+            let (kind_str, rung_str) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry `{entry}` is not of the form kind@rung"))?;
+            let kind = FaultKind::parse(kind_str).ok_or_else(|| {
+                format!("unknown fault kind `{kind_str}` (use timeout|panic|corrupt|overflow)")
+            })?;
+            let rung = if rung_str == "*" {
+                None
+            } else {
+                Some(Rung::parse(rung_str).ok_or_else(|| {
+                    format!("unknown rung `{rung_str}` (use mrp+cse|mrp|cse|spt|*)")
+                })?)
+            };
+            plan.faults.push(Fault { kind, rung });
+        }
+        Ok(plan)
+    }
+
+    /// Whether no faults are armed.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The armed faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether `kind` fires when `rung` is attempted.
+    pub fn armed(&self, kind: FaultKind, rung: Rung) -> bool {
+        self.faults.iter().any(|f| {
+            f.kind == kind
+                && match f.rung {
+                    Some(r) => r == rung,
+                    None => rung != Rung::Spt,
+                }
+        })
+    }
+
+    /// Corrupts `graph` deterministically: registers an output whose
+    /// expected coefficient disagrees with the value its term computes.
+    /// The lint equivalence pass (`MRP020`) is required to catch this.
+    ///
+    /// Corruption details (shift, bogus coefficient) derive from the plan
+    /// seed and the rung, so the same plan corrupts the same way every
+    /// run.
+    pub fn corrupt_netlist(&self, graph: &mut AdderGraph, rung: Rung) {
+        let mut rng = Rng::new(self.seed ^ ((rung as u64 + 1) << 32));
+        let x = graph.input();
+        let shift = rng.u32_in(0, 8);
+        // 2^shift is what the term computes; expect something it cannot be.
+        let bogus = (1i64 << shift) + 1 + rng.i64_in(0, 1000) * 2;
+        graph.push_output(
+            format!("injected_corruption_{}", rung.name()),
+            Term::shifted(x, shift),
+            bogus,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let plan = FaultPlan::parse("timeout@mrp+cse, panic@mrp ,corrupt@cse,seed=42").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.faults().len(), 3);
+        assert!(plan.armed(FaultKind::Timeout, Rung::MrpCse));
+        assert!(plan.armed(FaultKind::Panic, Rung::Mrp));
+        assert!(plan.armed(FaultKind::Corrupt, Rung::CseOnly));
+        assert!(!plan.armed(FaultKind::Corrupt, Rung::Mrp));
+        assert!(!plan.armed(FaultKind::Overflow, Rung::MrpCse));
+    }
+
+    #[test]
+    fn wildcard_spares_the_terminal_rung() {
+        let plan = FaultPlan::parse("panic@*").unwrap();
+        assert!(plan.armed(FaultKind::Panic, Rung::MrpCse));
+        assert!(plan.armed(FaultKind::Panic, Rung::Mrp));
+        assert!(plan.armed(FaultKind::Panic, Rung::CseOnly));
+        assert!(!plan.armed(FaultKind::Panic, Rung::Spt));
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        assert!(FaultPlan::parse("explode@mrp").is_err());
+        assert!(FaultPlan::parse("panic@orbit").is_err());
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("seed=banana").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::none());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_wrong() {
+        let plan = FaultPlan::parse("corrupt@mrp,seed=7").unwrap();
+        let mut a = AdderGraph::new();
+        let mut b = AdderGraph::new();
+        plan.corrupt_netlist(&mut a, Rung::Mrp);
+        plan.corrupt_netlist(&mut b, Rung::Mrp);
+        assert_eq!(a.outputs(), b.outputs(), "same seed, same corruption");
+        let out = &a.outputs()[0];
+        assert_ne!(
+            a.term_value(out.term),
+            out.expected,
+            "must be a real corruption"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! The fallback ladder: an ordered list of synthesis schemes from the
+//! paper's best combination down to the always-constructible baseline.
+
+use std::fmt;
+
+/// One rung of the fallback ladder, ordered by quality: `Spt` is the
+/// guaranteed last resort, `MrpCse` the paper's headline combination.
+///
+/// `Ord` follows quality: `Rung::Spt < Rung::CseOnly < Rung::Mrp <
+/// Rung::MrpCse`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rung {
+    /// Per-coefficient SPT digit recoding (the paper's "simple" scheme).
+    /// Always constructible for in-range coefficients.
+    Spt,
+    /// Hartley CSE over the primaries, no MRP decomposition.
+    CseOnly,
+    /// MRP with a direct SEED network.
+    Mrp,
+    /// MRP with CSE on the SEED network (the paper's best combination).
+    MrpCse,
+}
+
+impl Rung {
+    /// The full ladder, best rung first.
+    pub const LADDER: [Rung; 4] = [Rung::MrpCse, Rung::Mrp, Rung::CseOnly, Rung::Spt];
+
+    /// Short stable name, as accepted by [`Rung::parse`] and printed in
+    /// reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::MrpCse => "mrp+cse",
+            Rung::Mrp => "mrp",
+            Rung::CseOnly => "cse",
+            Rung::Spt => "spt",
+        }
+    }
+
+    /// The next rung down the ladder, or `None` from the last rung.
+    pub fn next_lower(self) -> Option<Rung> {
+        match self {
+            Rung::MrpCse => Some(Rung::Mrp),
+            Rung::Mrp => Some(Rung::CseOnly),
+            Rung::CseOnly => Some(Rung::Spt),
+            Rung::Spt => None,
+        }
+    }
+
+    /// Parses a rung name (`mrp+cse`/`mrpcse`, `mrp`, `cse`, `spt`/`simple`).
+    pub fn parse(s: &str) -> Option<Rung> {
+        match s.to_ascii_lowercase().as_str() {
+            "mrp+cse" | "mrpcse" | "mrp-cse" => Some(Rung::MrpCse),
+            "mrp" => Some(Rung::Mrp),
+            "cse" => Some(Rung::CseOnly),
+            "spt" | "simple" => Some(Rung::Spt),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_descends_by_quality() {
+        let mut prev: Option<Rung> = None;
+        for r in Rung::LADDER {
+            if let Some(p) = prev {
+                assert!(r < p, "{r} not below {p}");
+                assert_eq!(p.next_lower(), Some(r));
+            }
+            prev = Some(r);
+        }
+        assert_eq!(Rung::Spt.next_lower(), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for r in Rung::LADDER {
+            assert_eq!(Rung::parse(r.name()), Some(r));
+        }
+        assert_eq!(Rung::parse("simple"), Some(Rung::Spt));
+        assert_eq!(Rung::parse("MRPCSE"), Some(Rung::MrpCse));
+        assert_eq!(Rung::parse("nope"), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! Seeded fault-injection suite over the example filters.
+//!
+//! Every injected fault — stage timeout, simulated panic, corrupted
+//! netlist, overflow trigger — must still yield a lint-clean,
+//! coefficient-equivalent netlist from a lower rung, with the degradation
+//! recorded. No scenario depends on wall-clock time: timeouts are forced
+//! by the injector, so the suite replays identically everywhere.
+
+use mrp_filters::example_filters;
+use mrp_lint::{lint_graph, LintConfig};
+use mrp_numrep::{quantize, Scaling};
+use mrp_resilience::{synthesize, FaultKind, FaultPlan, PipelineError, Rung, SynthConfig};
+
+/// The paper's worked example plus two designed/quantized example
+/// filters — enough diversity to hit MRP, CSE, and free-shift paths
+/// while keeping the sweep fast.
+fn example_coefficient_sets() -> Vec<Vec<i64>> {
+    let mut sets = vec![vec![70, 66, 17, 9, 27, 41, 56, 11]];
+    for ex in example_filters().iter().take(2) {
+        let taps = ex.design().expect("example designs");
+        let q = quantize(&taps, 12, Scaling::Uniform).expect("example quantizes");
+        sets.push(q.values);
+    }
+    sets
+}
+
+fn assert_valid(coeffs: &[i64], out: &mrp_resilience::SynthOutcome, context: &str) {
+    // Lint-clean (no error-severity findings).
+    let report = lint_graph(&out.graph, &LintConfig::default());
+    assert!(
+        !report.has_errors(),
+        "{context}: accepted netlist fails lint:\n{}",
+        report.render_pretty()
+    );
+    // Coefficient-equivalent to the spec on a spread of inputs.
+    assert_eq!(
+        out.graph.verify_outputs(&[-9, -1, 0, 1, 5, 333]),
+        None,
+        "{context}: accepted netlist is not coefficient-equivalent"
+    );
+    assert_eq!(out.graph.outputs().len(), coeffs.len(), "{context}");
+    for (i, o) in out.graph.outputs().iter().enumerate() {
+        assert_eq!(
+            o.expected, coeffs[i],
+            "{context}: output {i} expected value"
+        );
+    }
+}
+
+#[test]
+fn every_fault_kind_on_every_rung_still_synthesizes() {
+    for coeffs in example_coefficient_sets() {
+        for kind in FaultKind::ALL {
+            for target in [Rung::MrpCse, Rung::Mrp, Rung::CseOnly] {
+                let spec = format!("{}@{},seed=11", kind.name(), target.name());
+                let cfg = SynthConfig {
+                    faults: FaultPlan::parse(&spec).unwrap(),
+                    ..SynthConfig::default()
+                };
+                let context = format!("fault `{spec}` on {} taps", coeffs.len());
+                let out = synthesize(&coeffs, &cfg)
+                    .unwrap_or_else(|e| panic!("{context}: ladder failed: {e}"));
+                assert_valid(&coeffs, &out, &context);
+                assert!(
+                    out.rung < target || out.degradations.is_empty(),
+                    "{context}: landed on {} without degrading below the faulted rung",
+                    out.rung
+                );
+                // The degradation reason for the faulted rung is recorded.
+                if let Some(d) = out.degradations.iter().find(|d| d.rung == target) {
+                    let expected_kind = match kind {
+                        FaultKind::Timeout => "timeout",
+                        FaultKind::Panic => "panic",
+                        FaultKind::Corrupt => "lint-rejected",
+                        FaultKind::Overflow => "arch",
+                    };
+                    assert_eq!(
+                        d.error.kind(),
+                        expected_kind,
+                        "{context}: wrong degradation reason: {}",
+                        d.error
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn wildcard_faults_land_on_spt() {
+    let coeffs = example_coefficient_sets().remove(1);
+    for kind in FaultKind::ALL {
+        let spec = format!("{}@*,seed=3", kind.name());
+        let cfg = SynthConfig {
+            faults: FaultPlan::parse(&spec).unwrap(),
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&coeffs, &cfg)
+            .unwrap_or_else(|e| panic!("wildcard `{spec}` exhausted the ladder: {e}"));
+        assert_eq!(out.rung, Rung::Spt, "`{spec}` must fall through to spt");
+        assert_eq!(out.degradations.len(), 3, "one degradation per upper rung");
+        assert_valid(&coeffs, &out, &spec);
+    }
+}
+
+#[test]
+fn fault_outcomes_are_deterministic() {
+    let coeffs = example_coefficient_sets().remove(0);
+    let run = || {
+        let cfg = SynthConfig {
+            faults: FaultPlan::parse("corrupt@mrp+cse,panic@mrp,seed=99").unwrap(),
+            ..SynthConfig::default()
+        };
+        synthesize(&coeffs, &cfg).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.rung, b.rung);
+    assert_eq!(a.adders(), b.adders());
+    assert_eq!(a.degradations.len(), b.degradations.len());
+    for (da, db) in a.degradations.iter().zip(&b.degradations) {
+        assert_eq!(
+            da.error, db.error,
+            "degradation reasons must replay exactly"
+        );
+    }
+}
+
+#[test]
+fn corruption_is_caught_by_the_lint_gate_not_shipped() {
+    let coeffs = example_coefficient_sets().remove(0);
+    let cfg = SynthConfig {
+        faults: FaultPlan::parse("corrupt@mrp+cse,corrupt@mrp,seed=5").unwrap(),
+        ..SynthConfig::default()
+    };
+    let out = synthesize(&coeffs, &cfg).unwrap();
+    assert_eq!(out.rung, Rung::CseOnly);
+    for d in &out.degradations {
+        assert!(
+            matches!(d.error, PipelineError::LintRejected { .. }),
+            "corruption must surface as a lint rejection, got {}",
+            d.error
+        );
+    }
+    // The accepted netlist carries no trace of the injected outputs.
+    assert!(out
+        .graph
+        .outputs()
+        .iter()
+        .all(|o| !o.label.starts_with("injected_corruption")));
+}
+
+#[test]
+fn faulting_the_terminal_rung_exhausts_the_ladder_with_full_history() {
+    let coeffs = example_coefficient_sets().remove(0);
+    let cfg = SynthConfig {
+        faults: FaultPlan::parse("panic@*,panic@spt").unwrap(),
+        ..SynthConfig::default()
+    };
+    match synthesize(&coeffs, &cfg) {
+        Err(PipelineError::LadderExhausted(ds)) => {
+            assert_eq!(ds.len(), 4, "every rung's failure is recorded");
+            let rungs: Vec<Rung> = ds.iter().map(|d| d.rung).collect();
+            assert_eq!(
+                rungs,
+                vec![Rung::MrpCse, Rung::Mrp, Rung::CseOnly, Rung::Spt]
+            );
+        }
+        other => panic!("expected LadderExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn aggressive_deadline_degrades_to_spt() {
+    // A zero deadline is already expired when the first rung starts; the
+    // three upper rungs time out without running and the terminal SPT
+    // rung (which ignores the deadline) must still deliver.
+    for coeffs in example_coefficient_sets() {
+        let cfg = SynthConfig {
+            budget: mrp_resilience::StageBudget {
+                deadline_ms: Some(0),
+                ..Default::default()
+            },
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&coeffs, &cfg).unwrap();
+        assert_eq!(out.rung, Rung::Spt);
+        assert_eq!(out.degradations.len(), 3);
+        for d in &out.degradations {
+            assert!(
+                matches!(
+                    d.error,
+                    PipelineError::Timeout {
+                        injected: false,
+                        ..
+                    }
+                ),
+                "expected a real deadline timeout, got {}",
+                d.error
+            );
+        }
+        assert_valid(&coeffs, &out, "deadline_ms=0");
+    }
+}
+
+#[test]
+fn generous_deadline_changes_nothing() {
+    let coeffs = example_coefficient_sets().remove(0);
+    let cfg = SynthConfig {
+        budget: mrp_resilience::StageBudget {
+            deadline_ms: Some(600_000),
+            ..Default::default()
+        },
+        ..SynthConfig::default()
+    };
+    let out = synthesize(&coeffs, &cfg).unwrap();
+    assert_eq!(out.rung, Rung::MrpCse);
+    assert!(!out.degraded());
+    assert_valid(&coeffs, &out, "deadline_ms=600000");
+}

@@ -1,0 +1,94 @@
+//! Pathological coefficient sets: the supervised driver must synthesize
+//! each (possibly via fallback) into a lint-clean, coefficient-equivalent
+//! netlist instead of panicking or returning nothing.
+
+use mrp_lint::{lint_graph, LintConfig};
+use mrp_resilience::{synthesize, PipelineError, SynthConfig};
+
+fn synth_and_check(coeffs: &[i64], context: &str) -> mrp_resilience::SynthOutcome {
+    let out = synthesize(coeffs, &SynthConfig::default())
+        .unwrap_or_else(|e| panic!("{context}: failed to synthesize: {e}"));
+    // Lint at an input width the coefficient magnitudes leave room for
+    // within the linter's 63-bit analysis range (the driver's own gate
+    // clamps the same way).
+    let widest = coeffs
+        .iter()
+        .map(|c| 64 - c.unsigned_abs().leading_zeros())
+        .max()
+        .unwrap_or(0);
+    let lint_cfg = LintConfig {
+        input_width: 16.min(63u32.saturating_sub(widest + 2).max(1)),
+        ..LintConfig::default()
+    };
+    let report = lint_graph(&out.graph, &lint_cfg);
+    assert!(
+        !report.has_errors(),
+        "{context}: lint errors:\n{}",
+        report.render_pretty()
+    );
+    assert_eq!(
+        out.graph.verify_outputs(&[-7, -1, 0, 1, 2, 63]),
+        None,
+        "{context}: not coefficient-equivalent"
+    );
+    assert_eq!(out.graph.outputs().len(), coeffs.len(), "{context}");
+    out
+}
+
+#[test]
+fn empty_vector_yields_an_empty_block() {
+    let out = synth_and_check(&[], "empty");
+    assert_eq!(out.adders(), 0);
+    assert!(out.graph.outputs().is_empty());
+    // The MRP rungs reject an empty vector; the ladder records why.
+    assert!(out.degraded());
+}
+
+#[test]
+fn all_zero_coefficients() {
+    let out = synth_and_check(&[0, 0, 0, 0], "all-zero");
+    assert_eq!(out.adders(), 0, "zeros are free");
+}
+
+#[test]
+fn single_coefficient() {
+    for c in [1i64, 7, -255, 1024] {
+        synth_and_check(&[c], &format!("single [{c}]"));
+    }
+}
+
+#[test]
+fn duplicated_coefficients() {
+    synth_and_check(&[45, 45, 45, 45, 45, 45], "duplicated");
+    synth_and_check(&[7, -7, 14, -14, 28, -28], "shift/sign duplicates");
+}
+
+#[test]
+fn maximum_width_values_near_overflow() {
+    // The supported magnitude ceiling is 2^48; widths this close to the
+    // tracking limit stress shift/width handling in every rung.
+    let near = (1i64 << 48) - 1;
+    let out = synth_and_check(&[near, near - 2, (1 << 48) - 5], "near-overflow");
+    assert!(out.adders() > 0);
+    synth_and_check(&[1 << 48], "exactly 2^48 (a free shift)");
+}
+
+#[test]
+fn out_of_range_coefficients_exhaust_the_ladder_cleanly() {
+    // Beyond the supported range even SPT cannot realize the value; the
+    // driver must report a structured ladder exhaustion, not panic.
+    match synthesize(&[1 << 50], &SynthConfig::default()) {
+        Err(PipelineError::LadderExhausted(ds)) => {
+            assert_eq!(ds.len(), 4);
+            assert!(ds.iter().all(|d| matches!(d.error, PipelineError::Mrp(_))));
+        }
+        other => panic!("expected LadderExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn mixed_pathologies_at_once() {
+    // Zeros, duplicates, signs, powers of two, and a wide value together.
+    let coeffs = [0, 1, -1, 2, -2, 4096, 45, 45, -90, (1 << 40) + 1, 0];
+    synth_and_check(&coeffs, "mixed");
+}

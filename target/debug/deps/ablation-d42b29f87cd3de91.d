@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d42b29f87cd3de91.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-d42b29f87cd3de91: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-2667a2683d1d87cb.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/baselines-2667a2683d1d87cb: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-b19ed2ac326cb3a4.d: crates/bench/src/bin/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-b19ed2ac326cb3a4.rmeta: crates/bench/src/bin/baselines.rs Cargo.toml
+
+crates/bench/src/bin/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-b7a2e2d34f6b2c9f.d: crates/bench/src/bin/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-b7a2e2d34f6b2c9f.rmeta: crates/bench/src/bin/baselines.rs Cargo.toml
+
+crates/bench/src/bin/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-4d7697e1e9206b71.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-4d7697e1e9206b71: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cse-149a08f6dc5e5045.d: crates/bench/benches/cse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcse-149a08f6dc5e5045.rmeta: crates/bench/benches/cse.rs Cargo.toml
+
+crates/bench/benches/cse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design-a0f107c053c7e295.d: crates/bench/benches/design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign-a0f107c053c7e295.rmeta: crates/bench/benches/design.rs Cargo.toml
+
+crates/bench/benches/design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

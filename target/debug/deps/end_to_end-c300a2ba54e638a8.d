@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c300a2ba54e638a8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c300a2ba54e638a8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

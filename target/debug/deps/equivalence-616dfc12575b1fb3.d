@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-616dfc12575b1fb3.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-616dfc12575b1fb3: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eval-8f2de5d6f6725ef8.d: crates/bench/benches/eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval-8f2de5d6f6725ef8.rmeta: crates/bench/benches/eval.rs Cargo.toml
+
+crates/bench/benches/eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_suite-9f850be28359a1dd.d: crates/resilience/tests/fault_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_suite-9f850be28359a1dd.rmeta: crates/resilience/tests/fault_suite.rs Cargo.toml
+
+crates/resilience/tests/fault_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_suite-da49d619faa3da4d.d: crates/resilience/tests/fault_suite.rs
+
+/root/repo/target/debug/deps/fault_suite-da49d619faa3da4d: crates/resilience/tests/fault_suite.rs
+
+crates/resilience/tests/fault_suite.rs:

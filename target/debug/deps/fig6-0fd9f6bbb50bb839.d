@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-0fd9f6bbb50bb839.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-0fd9f6bbb50bb839: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

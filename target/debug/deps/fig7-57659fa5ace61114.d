@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-57659fa5ace61114.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-57659fa5ace61114: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

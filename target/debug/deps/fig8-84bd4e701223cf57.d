@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-84bd4e701223cf57.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-84bd4e701223cf57: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

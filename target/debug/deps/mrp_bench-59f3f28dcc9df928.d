@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mrp_bench-59f3f28dcc9df928.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/mrp_bench-59f3f28dcc9df928: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mrp_bench-6481980a62eb78ff.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libmrp_bench-6481980a62eb78ff.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libmrp_bench-6481980a62eb78ff.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

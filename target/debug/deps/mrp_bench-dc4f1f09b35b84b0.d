@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mrp_bench-dc4f1f09b35b84b0.d: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_bench-dc4f1f09b35b84b0.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

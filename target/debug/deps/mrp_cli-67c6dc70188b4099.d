@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mrp_cli-67c6dc70188b4099.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/mrp_cli-67c6dc70188b4099: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

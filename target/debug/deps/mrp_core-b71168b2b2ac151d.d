@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/mrp_core-b71168b2b2ac151d.d: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs Cargo.toml
+/root/repo/target/debug/deps/mrp_core-b71168b2b2ac151d.d: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/flat.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmrp_core-b71168b2b2ac151d.rmeta: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs Cargo.toml
+/root/repo/target/debug/deps/libmrp_core-b71168b2b2ac151d.rmeta: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/flat.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/coeff.rs:
@@ -8,6 +8,7 @@ crates/core/src/color.rs:
 crates/core/src/cover.rs:
 crates/core/src/error.rs:
 crates/core/src/exact.rs:
+crates/core/src/flat.rs:
 crates/core/src/mst_diff.rs:
 crates/core/src/optimizer.rs:
 crates/core/src/report.rs:

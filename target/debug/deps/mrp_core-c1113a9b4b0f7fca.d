@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/mrp_core-c1113a9b4b0f7fca.d: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+/root/repo/target/debug/deps/mrp_core-c1113a9b4b0f7fca.d: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/flat.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
 
-/root/repo/target/debug/deps/libmrp_core-c1113a9b4b0f7fca.rlib: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+/root/repo/target/debug/deps/libmrp_core-c1113a9b4b0f7fca.rlib: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/flat.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
 
-/root/repo/target/debug/deps/libmrp_core-c1113a9b4b0f7fca.rmeta: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+/root/repo/target/debug/deps/libmrp_core-c1113a9b4b0f7fca.rmeta: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/flat.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
 
 crates/core/src/lib.rs:
 crates/core/src/coeff.rs:
@@ -10,6 +10,7 @@ crates/core/src/color.rs:
 crates/core/src/cover.rs:
 crates/core/src/error.rs:
 crates/core/src/exact.rs:
+crates/core/src/flat.rs:
 crates/core/src/mst_diff.rs:
 crates/core/src/optimizer.rs:
 crates/core/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mrp_resilience-7e3f79ae997cfda2.d: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs
+
+/root/repo/target/debug/deps/libmrp_resilience-7e3f79ae997cfda2.rlib: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs
+
+/root/repo/target/debug/deps/libmrp_resilience-7e3f79ae997cfda2.rmeta: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/budget.rs:
+crates/resilience/src/driver.rs:
+crates/resilience/src/error.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/ladder.rs:

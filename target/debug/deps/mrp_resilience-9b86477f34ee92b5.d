@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mrp_resilience-9b86477f34ee92b5.d: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs
+
+/root/repo/target/debug/deps/mrp_resilience-9b86477f34ee92b5: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/budget.rs:
+crates/resilience/src/driver.rs:
+crates/resilience/src/error.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/ladder.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mrp_resilience-c099a1a61b23f366.d: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrp_resilience-c099a1a61b23f366.rmeta: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs Cargo.toml
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/budget.rs:
+crates/resilience/src/driver.rs:
+crates/resilience/src/error.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/ladder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mrpf-0f546a04f4eb1eae.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrpf-0f546a04f4eb1eae.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mrpf-1e9ca1d35ff0af11.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mrpf-1e9ca1d35ff0af11: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

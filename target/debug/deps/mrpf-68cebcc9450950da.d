@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mrpf-68cebcc9450950da.d: src/lib.rs
+
+/root/repo/target/debug/deps/mrpf-68cebcc9450950da: src/lib.rs
+
+src/lib.rs:

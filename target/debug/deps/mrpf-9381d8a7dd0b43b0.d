@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mrpf-9381d8a7dd0b43b0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmrpf-9381d8a7dd0b43b0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmrpf-9381d8a7dd0b43b0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mrpf-99624456d546a019.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmrpf-99624456d546a019.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

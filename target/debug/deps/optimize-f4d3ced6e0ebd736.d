@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimize-f4d3ced6e0ebd736.d: crates/bench/benches/optimize.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimize-f4d3ced6e0ebd736.rmeta: crates/bench/benches/optimize.rs Cargo.toml
+
+crates/bench/benches/optimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-ee4bc2765f834c62.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-ee4bc2765f834c62: tests/paper_claims.rs
+
+tests/paper_claims.rs:

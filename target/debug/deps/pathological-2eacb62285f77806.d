@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pathological-2eacb62285f77806.d: crates/resilience/tests/pathological.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpathological-2eacb62285f77806.rmeta: crates/resilience/tests/pathological.rs Cargo.toml
+
+crates/resilience/tests/pathological.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pathological-c009f064ae91d454.d: crates/resilience/tests/pathological.rs
+
+/root/repo/target/debug/deps/pathological-c009f064ae91d454: crates/resilience/tests/pathological.rs
+
+crates/resilience/tests/pathological.rs:

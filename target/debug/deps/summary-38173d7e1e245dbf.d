@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary-38173d7e1e245dbf.d: crates/bench/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary-38173d7e1e245dbf.rmeta: crates/bench/src/bin/summary.rs Cargo.toml
+
+crates/bench/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-a1b95168c86aea92.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-a1b95168c86aea92: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e50dfdd3f2783adc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e50dfdd3f2783adc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

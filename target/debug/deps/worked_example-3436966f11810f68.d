@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/worked_example-3436966f11810f68.d: tests/worked_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworked_example-3436966f11810f68.rmeta: tests/worked_example.rs Cargo.toml
+
+tests/worked_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

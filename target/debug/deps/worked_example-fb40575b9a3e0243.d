@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/worked_example-fb40575b9a3e0243.d: tests/worked_example.rs
+
+/root/repo/target/debug/deps/worked_example-fb40575b9a3e0243: tests/worked_example.rs
+
+tests/worked_example.rs:

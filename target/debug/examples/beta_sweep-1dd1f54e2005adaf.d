@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/beta_sweep-1dd1f54e2005adaf.d: examples/beta_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbeta_sweep-1dd1f54e2005adaf.rmeta: examples/beta_sweep.rs Cargo.toml
+
+examples/beta_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/beta_sweep-fb13543d038c5dbb.d: examples/beta_sweep.rs
+
+/root/repo/target/debug/examples/beta_sweep-fb13543d038c5dbb: examples/beta_sweep.rs
+
+examples/beta_sweep.rs:

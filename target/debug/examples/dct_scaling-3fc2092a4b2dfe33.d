@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dct_scaling-3fc2092a4b2dfe33.d: examples/dct_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdct_scaling-3fc2092a4b2dfe33.rmeta: examples/dct_scaling.rs Cargo.toml
+
+examples/dct_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

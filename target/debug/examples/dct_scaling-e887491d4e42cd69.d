@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dct_scaling-e887491d4e42cd69.d: examples/dct_scaling.rs
+
+/root/repo/target/debug/examples/dct_scaling-e887491d4e42cd69: examples/dct_scaling.rs
+
+examples/dct_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/debug_lint-47ca929a7ea7c268.d: examples/debug_lint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdebug_lint-47ca929a7ea7c268.rmeta: examples/debug_lint.rs Cargo.toml
+
+examples/debug_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

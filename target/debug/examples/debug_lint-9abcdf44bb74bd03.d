@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debug_lint-9abcdf44bb74bd03.d: examples/debug_lint.rs
+
+/root/repo/target/debug/examples/debug_lint-9abcdf44bb74bd03: examples/debug_lint.rs
+
+examples/debug_lint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/filter_bank-02893c30c139cee6.d: examples/filter_bank.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfilter_bank-02893c30c139cee6.rmeta: examples/filter_bank.rs Cargo.toml
+
+examples/filter_bank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

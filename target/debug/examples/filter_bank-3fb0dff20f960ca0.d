@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filter_bank-3fb0dff20f960ca0.d: examples/filter_bank.rs
+
+/root/repo/target/debug/examples/filter_bank-3fb0dff20f960ca0: examples/filter_bank.rs
+
+examples/filter_bank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iir_lowpass-6e6638561d8002f3.d: examples/iir_lowpass.rs
+
+/root/repo/target/debug/examples/iir_lowpass-6e6638561d8002f3: examples/iir_lowpass.rs
+
+examples/iir_lowpass.rs:

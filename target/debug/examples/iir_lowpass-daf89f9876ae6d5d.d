@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/iir_lowpass-daf89f9876ae6d5d.d: examples/iir_lowpass.rs Cargo.toml
+
+/root/repo/target/debug/examples/libiir_lowpass-daf89f9876ae6d5d.rmeta: examples/iir_lowpass.rs Cargo.toml
+
+examples/iir_lowpass.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lowpass_design-b9332080a13d1571.d: examples/lowpass_design.rs
+
+/root/repo/target/debug/examples/lowpass_design-b9332080a13d1571: examples/lowpass_design.rs
+
+examples/lowpass_design.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lowpass_design-eb4913b108696adc.d: examples/lowpass_design.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblowpass_design-eb4913b108696adc.rmeta: examples/lowpass_design.rs Cargo.toml
+
+examples/lowpass_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quantization_noise-7b6dc4cc56bd6ea9.d: examples/quantization_noise.rs
+
+/root/repo/target/debug/examples/quantization_noise-7b6dc4cc56bd6ea9: examples/quantization_noise.rs
+
+examples/quantization_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-18ce8ace70c212fe.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-18ce8ace70c212fe: examples/quickstart.rs
+
+examples/quickstart.rs:

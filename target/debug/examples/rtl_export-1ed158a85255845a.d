@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rtl_export-1ed158a85255845a.d: examples/rtl_export.rs
+
+/root/repo/target/debug/examples/rtl_export-1ed158a85255845a: examples/rtl_export.rs
+
+examples/rtl_export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rtl_export-d0aab824763a6dd3.d: examples/rtl_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/librtl_export-d0aab824763a6dd3.rmeta: examples/rtl_export.rs Cargo.toml
+
+examples/rtl_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-535011e2bccef460.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-535011e2bccef460: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

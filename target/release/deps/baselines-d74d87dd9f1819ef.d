@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-d74d87dd9f1819ef.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/release/deps/baselines-d74d87dd9f1819ef: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-1d0ebe4e2b59d9bf.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-1d0ebe4e2b59d9bf: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-8e9dd00f7db4f4b5.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-8e9dd00f7db4f4b5: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-960dcb70ac0d67dc.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-960dcb70ac0d67dc: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

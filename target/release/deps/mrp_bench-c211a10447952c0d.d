@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mrp_bench-c211a10447952c0d.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libmrp_bench-c211a10447952c0d.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libmrp_bench-c211a10447952c0d.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

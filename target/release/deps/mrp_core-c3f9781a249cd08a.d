@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/mrp_core-c3f9781a249cd08a.d: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+/root/repo/target/release/deps/mrp_core-c3f9781a249cd08a.d: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/flat.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
 
-/root/repo/target/release/deps/libmrp_core-c3f9781a249cd08a.rlib: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+/root/repo/target/release/deps/libmrp_core-c3f9781a249cd08a.rlib: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/flat.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
 
-/root/repo/target/release/deps/libmrp_core-c3f9781a249cd08a.rmeta: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
+/root/repo/target/release/deps/libmrp_core-c3f9781a249cd08a.rmeta: crates/core/src/lib.rs crates/core/src/coeff.rs crates/core/src/color.rs crates/core/src/cover.rs crates/core/src/error.rs crates/core/src/exact.rs crates/core/src/flat.rs crates/core/src/mst_diff.rs crates/core/src/optimizer.rs crates/core/src/report.rs crates/core/src/tree.rs
 
 crates/core/src/lib.rs:
 crates/core/src/coeff.rs:
@@ -10,6 +10,7 @@ crates/core/src/color.rs:
 crates/core/src/cover.rs:
 crates/core/src/error.rs:
 crates/core/src/exact.rs:
+crates/core/src/flat.rs:
 crates/core/src/mst_diff.rs:
 crates/core/src/optimizer.rs:
 crates/core/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mrp_resilience-dd58565b3070f11d.d: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs
+
+/root/repo/target/release/deps/libmrp_resilience-dd58565b3070f11d.rlib: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs
+
+/root/repo/target/release/deps/libmrp_resilience-dd58565b3070f11d.rmeta: crates/resilience/src/lib.rs crates/resilience/src/budget.rs crates/resilience/src/driver.rs crates/resilience/src/error.rs crates/resilience/src/fault.rs crates/resilience/src/ladder.rs
+
+crates/resilience/src/lib.rs:
+crates/resilience/src/budget.rs:
+crates/resilience/src/driver.rs:
+crates/resilience/src/error.rs:
+crates/resilience/src/fault.rs:
+crates/resilience/src/ladder.rs:

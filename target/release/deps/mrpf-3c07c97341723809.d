@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mrpf-3c07c97341723809.d: src/lib.rs
+
+/root/repo/target/release/deps/libmrpf-3c07c97341723809.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmrpf-3c07c97341723809.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mrpf-a58294bd411070b3.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mrpf-a58294bd411070b3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-7e4268657aeb06d1.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-7e4268657aeb06d1: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-49506fa185ae4517.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-49506fa185ae4517: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

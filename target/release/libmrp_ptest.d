@@ -1,0 +1,1 @@
+/root/repo/target/release/libmrp_ptest.rlib: /root/repo/crates/ptest/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libmrp_vsim.rlib: /root/repo/crates/vsim/src/expr.rs /root/repo/crates/vsim/src/lexer.rs /root/repo/crates/vsim/src/lib.rs /root/repo/crates/vsim/src/module.rs
