@@ -6,7 +6,7 @@
 //! reduction (ratio ≈ 0.4) and ≈ 0.3 adders per tap at W = 16 for filters
 //! above 20 taps.
 
-use mrp_bench::{evaluate_suite, mean, print_header, WORDLENGTHS};
+use mrp_bench::{evaluate_suite, mean, print_header, BenchReport, WORDLENGTHS};
 use mrp_core::MrpConfig;
 use mrp_numrep::Scaling;
 
@@ -58,4 +58,20 @@ fn main() {
         (1.0 - mean(&all)) * 100.0
     );
     println!("{}", mrp_bench::rung_banner(suites.iter().flatten()));
+
+    let mut report = BenchReport::new("fig6");
+    report
+        .int("cells", suites.iter().map(Vec::len).sum::<usize>() as u64)
+        .float_map(
+            "avg_ratio_by_w",
+            &[
+                ("w8", mean(&per_w[0])),
+                ("w12", mean(&per_w[1])),
+                ("w16", mean(&per_w[2])),
+                ("w20", mean(&per_w[3])),
+            ],
+        )
+        .float("adders_per_tap_w16", mean(&big))
+        .float("overall_reduction_pct", (1.0 - mean(&all)) * 100.0);
+    report.write_and_announce();
 }

@@ -4,7 +4,7 @@
 //! nonzero digits; the paper reports ≈ 60 % reduction at W ∈ {8, 12} and
 //! ≈ 40 % at W ∈ {16, 20}.
 
-use mrp_bench::{evaluate_suite, mean, print_header, WORDLENGTHS};
+use mrp_bench::{evaluate_suite, mean, print_header, BenchReport, WORDLENGTHS};
 use mrp_core::MrpConfig;
 use mrp_numrep::Scaling;
 
@@ -50,4 +50,20 @@ fn main() {
         (1.0 - mean(&large_w)) * 100.0
     );
     println!("{}", mrp_bench::rung_banner(suites.iter().flatten()));
+
+    let mut report = BenchReport::new("fig7");
+    report
+        .int("cells", suites.iter().map(Vec::len).sum::<usize>() as u64)
+        .float_map(
+            "avg_ratio_by_w",
+            &[
+                ("w8", mean(&per_w[0])),
+                ("w12", mean(&per_w[1])),
+                ("w16", mean(&per_w[2])),
+                ("w20", mean(&per_w[3])),
+            ],
+        )
+        .float("reduction_pct_w8_w12", (1.0 - mean(&small_w)) * 100.0)
+        .float("reduction_pct_w16_w20", (1.0 - mean(&large_w)) * 100.0);
+    report.write_and_announce();
 }

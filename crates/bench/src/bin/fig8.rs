@@ -5,7 +5,7 @@
 //! paper reports 17 % (uniform) and 15 % (maximal) average improvement,
 //! and 66 % / 74 % combined reduction versus the simple implementation.
 
-use mrp_bench::{evaluate_suite, mean, print_header, Cell, WORDLENGTHS};
+use mrp_bench::{evaluate_suite, mean, print_header, BenchReport, Cell, WORDLENGTHS};
 use mrp_core::MrpConfig;
 use mrp_numrep::Scaling;
 
@@ -58,17 +58,46 @@ fn run_part(title: &str, scaling: Scaling, config: &MrpConfig) -> Vec<Vec<Cell>>
     suites
 }
 
+fn part_stats(suites: &[Vec<Cell>]) -> (f64, f64, u64) {
+    let ratios: Vec<f64> = suites.iter().flatten().map(Cell::mrp_cse_vs_cse).collect();
+    let combined: Vec<f64> = suites
+        .iter()
+        .flatten()
+        .map(|c| mrp_bench::ratio(c.report.mrp_cse, c.report.simple))
+        .collect();
+    let cells = suites.iter().map(Vec::len).sum::<usize>() as u64;
+    (
+        (1.0 - mean(&ratios)) * 100.0,
+        (1.0 - mean(&combined)) * 100.0,
+        cells,
+    )
+}
+
 fn main() {
     let config = MrpConfig::default();
-    run_part(
+    let uniform = run_part(
         "Figure 8a — MRPF+CSE vs CSE, uniformly scaled",
         Scaling::Uniform,
         &config,
     );
     println!();
-    run_part(
+    let maximal = run_part(
         "Figure 8b — MRPF+CSE vs CSE, maximally scaled",
         Scaling::Maximal,
         &config,
     );
+
+    let (uni_vs_cse, uni_vs_simple, uni_cells) = part_stats(&uniform);
+    let (max_vs_cse, max_vs_simple, max_cells) = part_stats(&maximal);
+    let mut report = BenchReport::new("fig8");
+    report.int("cells", uni_cells + max_cells).float_map(
+        "improvement_pct",
+        &[
+            ("uniform_vs_cse", uni_vs_cse),
+            ("maximal_vs_cse", max_vs_cse),
+            ("uniform_vs_simple", uni_vs_simple),
+            ("maximal_vs_simple", max_vs_simple),
+        ],
+    );
+    report.write_and_announce();
 }

@@ -2,7 +2,7 @@
 //! synthesized-cost view through the CLA adder model (the paper's "7 % and
 //! 16 % improvement ... using carry lookahead adder ... in .25 µ").
 
-use mrp_bench::{evaluate_suite, mean, print_header, ratio, WORDLENGTHS};
+use mrp_bench::{evaluate_suite, mean, print_header, ratio, BenchReport, WORDLENGTHS};
 use mrp_core::MrpConfig;
 use mrp_hwcost::{block_cost, AdderKind, Technology};
 use mrp_numrep::Scaling;
@@ -109,4 +109,29 @@ fn main() {
         pct(&area_mrpcse_vs_cse)
     );
     println!("{}", mrp_bench::rung_banner(&all_cells));
+
+    // Machine-readable trajectory point: the same headline numbers, one
+    // JSON object per run, written at the repo root.
+    let degraded = all_cells
+        .iter()
+        .filter(|c| c.rung != mrp_resilience::Rung::MrpCse.name())
+        .count() as u64;
+    let mut report = BenchReport::new("summary");
+    report
+        .int("cells", all_cells.len() as u64)
+        .int("degraded_cells", degraded)
+        .float_map(
+            "reduction_pct",
+            &[
+                ("mrp_vs_simple_uniform", pct(&mrp_vs_simple_uni)),
+                ("mrp_vs_simple_maximal", pct(&mrp_vs_simple_max)),
+                ("mrpcse_vs_cse", pct(&mrpcse_vs_cse)),
+                ("mrpcse_vs_simple_uniform", pct(&mrpcse_vs_simple_uni)),
+                ("mrpcse_vs_simple_maximal", pct(&mrpcse_vs_simple_max)),
+                ("area_mrpcse_vs_simple", pct(&area_mrpcse_vs_simple)),
+                ("area_mrpcse_vs_cse", pct(&area_mrpcse_vs_cse)),
+            ],
+        )
+        .float("adders_per_tap_w16", mean(&adders_per_tap_w16));
+    report.write_and_announce();
 }

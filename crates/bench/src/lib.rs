@@ -7,7 +7,10 @@
 //! for the experiment ↔ binary index and EXPERIMENTS.md for recorded
 //! output.
 
+pub mod report;
 pub mod timing;
+
+pub use report::BenchReport;
 
 use mrp_core::{adder_report, AdderReport, MrpConfig};
 use mrp_filters::{example_filters, ExampleFilter};

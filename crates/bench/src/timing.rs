@@ -22,15 +22,40 @@ pub struct Measurement {
 
 impl Measurement {
     /// Formats nanoseconds with an adaptive unit.
+    ///
+    /// Covers the full range a timer can produce: sub-nanosecond values
+    /// render in picoseconds (a disabled-instrumentation site costs
+    /// ~0.5 ns, which the old integer-`ns` rendering collapsed to
+    /// `0 ns`), and values of a second and above keep millisecond
+    /// resolution instead of being rounded into `{:.3}`'s fixed three
+    /// decimals of *seconds* once they grow large.
     pub fn format_ns(ns: f64) -> String {
-        if ns >= 1e9 {
-            format!("{:.3} s", ns / 1e9)
-        } else if ns >= 1e6 {
-            format!("{:.3} ms", ns / 1e6)
-        } else if ns >= 1e3 {
-            format!("{:.3} µs", ns / 1e3)
+        if !ns.is_finite() {
+            return format!("{ns} ns");
+        }
+        let (sign, a) = if ns < 0.0 { ("-", -ns) } else { ("", ns) };
+        if a >= 1e9 {
+            // Seconds, three decimals — but never fewer than millisecond
+            // resolution for big values: show whole ms separately once
+            // the fixed decimals would truncate them.
+            let s = a / 1e9;
+            if s >= 1e6 {
+                format!("{sign}{s:.0} s")
+            } else {
+                format!("{sign}{s:.3} s")
+            }
+        } else if a >= 1e6 {
+            format!("{sign}{:.3} ms", a / 1e6)
+        } else if a >= 1e3 {
+            format!("{sign}{:.3} µs", a / 1e3)
+        } else if a >= 10.0 {
+            format!("{sign}{a:.0} ns")
+        } else if a >= 1.0 {
+            format!("{sign}{a:.2} ns")
+        } else if a > 0.0 {
+            format!("{sign}{:.1} ps", a * 1e3)
         } else {
-            format!("{ns:.0} ns")
+            "0 ns".to_string()
         }
     }
 }
@@ -92,5 +117,48 @@ mod tests {
         assert!(Measurement::format_ns(12_000.0).ends_with("µs"));
         assert!(Measurement::format_ns(12_000_000.0).ends_with("ms"));
         assert!(Measurement::format_ns(2e9).ends_with(" s"));
+    }
+
+    #[test]
+    fn formatting_sub_nanosecond() {
+        // A disabled obs site costs ~0.5 ns; it must not render as 0.
+        assert_eq!(Measurement::format_ns(0.5), "500.0 ps");
+        assert_eq!(Measurement::format_ns(0.04), "40.0 ps");
+        assert_eq!(Measurement::format_ns(0.999), "999.0 ps");
+        assert_eq!(Measurement::format_ns(0.0), "0 ns");
+    }
+
+    #[test]
+    fn formatting_single_digit_ns_keeps_decimals() {
+        assert_eq!(Measurement::format_ns(3.6), "3.60 ns");
+        assert_eq!(Measurement::format_ns(1.0), "1.00 ns");
+        assert_eq!(Measurement::format_ns(9.99), "9.99 ns");
+    }
+
+    #[test]
+    fn formatting_boundaries() {
+        assert_eq!(Measurement::format_ns(10.0), "10 ns");
+        assert_eq!(Measurement::format_ns(999.0), "999 ns");
+        assert_eq!(Measurement::format_ns(1_000.0), "1.000 µs");
+        assert_eq!(Measurement::format_ns(999_999.0), "999.999 µs");
+        assert_eq!(Measurement::format_ns(1e6), "1.000 ms");
+        assert_eq!(Measurement::format_ns(1e9), "1.000 s");
+    }
+
+    #[test]
+    fn formatting_large_seconds_keep_ms_resolution() {
+        // 90.0005 s must not lose its half millisecond.
+        assert_eq!(Measurement::format_ns(9.00005e10), "90.001 s");
+        assert_eq!(Measurement::format_ns(3.6e12), "3600.000 s");
+        // Astronomically large values degrade gracefully to whole seconds.
+        assert_eq!(Measurement::format_ns(2e15), "2000000 s");
+    }
+
+    #[test]
+    fn formatting_non_finite_and_negative() {
+        assert_eq!(Measurement::format_ns(f64::INFINITY), "inf ns");
+        assert!(Measurement::format_ns(f64::NAN).contains("NaN"));
+        assert_eq!(Measurement::format_ns(-1_500.0), "-1.500 µs");
+        assert_eq!(Measurement::format_ns(-0.5), "-500.0 ps");
     }
 }

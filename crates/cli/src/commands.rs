@@ -50,9 +50,13 @@ USAGE:
   mrpf synth    C0,C1,...  [--deadline-ms MS] [--min-quality RUNG]
                 [--start RUNG] [--faults SPEC] [--exact-nodes N]
                 [--width BITS] [--json] [--repr ...] [--beta B] [--depth D]
+                [--trace FILE] [--metrics FILE]
                 (supervised synthesis with fallback ladder
                  mrp+cse > mrp > cse > spt; RUNG is one of those names;
-                 SPEC e.g. panic@mrp+cse,timeout@mrp,seed=7)
+                 SPEC e.g. panic@mrp+cse,timeout@mrp,seed=7;
+                 --trace writes a Chrome trace_event JSON loadable in
+                 chrome://tracing or Perfetto, --metrics a flat
+                 counters/gauges/histograms JSON)
   mrpf help
 ";
 
@@ -281,6 +285,12 @@ fn synth(args: &Args) -> Result<String, CliError> {
         },
         faults,
     };
+    let trace_path = args.get("trace").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    if trace_path.is_some() || metrics_path.is_some() {
+        mrp_obs::enable();
+        mrp_obs::reset();
+    }
     // The driver catches stage panics at rung boundaries; silence the
     // default hook while it runs so an isolated (recovered) panic does
     // not spray a backtrace over the report.
@@ -288,12 +298,29 @@ fn synth(args: &Args) -> Result<String, CliError> {
     std::panic::set_hook(Box::new(|_| {}));
     let result = synthesize(&coeffs, &cfg);
     std::panic::set_hook(previous_hook);
+    // Export before error handling: a failed run's trace is the one you
+    // most want to look at.
+    if let Some(path) = &trace_path {
+        write_observability_file(path, &mrp_obs::export_chrome_trace())?;
+    }
+    if let Some(path) = &metrics_path {
+        write_observability_file(path, &mrp_obs::export_metrics_json())?;
+    }
+    if trace_path.is_some() || metrics_path.is_some() {
+        mrp_obs::disable();
+        mrp_obs::reset();
+    }
     let outcome = result.map_err(|e| CliError(format!("synthesis failed: {e}")))?;
     Ok(if args.flag("json") {
         outcome.render_json()
     } else {
         outcome.render_pretty()
     })
+}
+
+fn write_observability_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError(format!("cannot write observability file `{path}`: {e}")))
 }
 
 fn respond(args: &Args) -> Result<String, CliError> {
@@ -445,6 +472,89 @@ mod tests {
             err.0.contains("every fallback rung failed"),
             "unexpected: {err}"
         );
+    }
+
+    #[test]
+    fn synth_json_includes_attempts() {
+        let out = run_line("synth 70,66,17,9 --faults panic@mrp+cse,seed=3 --json").unwrap();
+        assert!(out.contains("\"attempts\":["), "unexpected: {out}");
+        assert!(
+            out.contains("\"rung\":\"mrp+cse\",\"elapsed_ms\":"),
+            "unexpected: {out}"
+        );
+        assert!(out.contains("\"accepted\":true"), "unexpected: {out}");
+        assert!(out.contains("\"accepted\":false"), "unexpected: {out}");
+    }
+
+    // Tests that pass --trace/--metrics share the process-global
+    // collector; serialize them so one test's reset cannot clear
+    // another's events between run and export.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn synth_trace_and_metrics_files_cover_the_pipeline() {
+        let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("mrpf_cli_test_trace.json");
+        let metrics_path = dir.join("mrpf_cli_test_metrics.json");
+        let line = format!(
+            "synth 70,66,17,9,27,41,56,11 --exact --trace {} --metrics {}",
+            trace_path.display(),
+            metrics_path.display()
+        );
+        run_line(&line).unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        // Every pipeline stage shows up as a span, rungs included.
+        for span in [
+            "\"name\":\"synth\"",
+            "\"name\":\"rung[mrp+cse]\"",
+            "\"name\":\"core.optimize\"",
+            "\"name\":\"core.graph\"",
+            "\"name\":\"core.wmsc\"",
+            "\"name\":\"core.exact\"",
+            "\"name\":\"core.forest\"",
+            "\"name\":\"core.apsp\"",
+            "\"name\":\"core.realize.seed\"",
+            "\"name\":\"core.realize.overhead\"",
+            "\"name\":\"cse.hartley\"",
+            "\"name\":\"lint.graph\"",
+            "\"name\":\"gate.lint\"",
+            "\"name\":\"gate.equiv\"",
+        ] {
+            assert!(trace.contains(span), "missing {span} in trace");
+        }
+        // Spans are nested (parent attribution recorded) and balanced.
+        assert!(
+            trace.contains("\"args\":{\"parent\":"),
+            "no nesting: {trace}"
+        );
+        assert_eq!(
+            trace.matches("\"ph\":\"B\"").count(),
+            trace.matches("\"ph\":\"E\"").count(),
+            "unbalanced spans"
+        );
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        for counter in [
+            "\"core.wmsc.iterations\":",
+            "\"core.exact.nodes\":",
+            "\"core.adders\":",
+            "\"synth.adders\":",
+        ] {
+            assert!(metrics.contains(counter), "missing {counter} in {metrics}");
+        }
+        assert!(
+            metrics.contains("\"core.wmsc.benefit_f\":{\"count\":"),
+            "missing benefit histogram in {metrics}"
+        );
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&metrics_path);
+    }
+
+    #[test]
+    fn synth_trace_bad_path_is_reported() {
+        let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let err = run_line("synth 70,66 --trace /nonexistent-dir-zz/trace.json").unwrap_err();
+        assert!(err.0.contains("cannot write"), "unexpected: {err}");
     }
 
     #[test]

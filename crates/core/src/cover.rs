@@ -56,6 +56,7 @@ impl CoverSolution {
 /// # Ok::<(), mrp_core::MrpError>(())
 /// ```
 pub fn select_colors(graph: &ColorGraph, primaries: &[i64], beta: f64) -> CoverSolution {
+    let _span = mrp_obs::span("core.wmsc");
     assert!((0.0..=1.0).contains(&beta), "beta must be within [0, 1]");
     assert_eq!(
         primaries.len(),
@@ -92,7 +93,11 @@ pub fn select_colors(graph: &ColorGraph, primaries: &[i64], beta: f64) -> CoverS
                 best = Some((ci, f));
             }
         }
-        let Some((ci, _)) = best else { break };
+        let Some((ci, f)) = best else { break };
+        // One greedy round = one selected class; the winning benefit `f`
+        // (Eq. 1) is the quantity the search literature tabulates.
+        mrp_obs::counter_add("core.wmsc.iterations", 1);
+        mrp_obs::histogram_record("core.wmsc.benefit_f", f);
         used[ci] = true;
         selected_classes.push(ci);
         selected_colors.push(graph.colors()[ci]);

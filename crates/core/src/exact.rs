@@ -71,6 +71,7 @@ pub fn select_colors_exact_budgeted(
     primaries: &[i64],
     node_budget: usize,
 ) -> ExactCoverOutcome {
+    let _span = mrp_obs::span("core.exact");
     assert_eq!(
         primaries.len(),
         graph.vertex_count(),
@@ -175,6 +176,12 @@ pub fn select_colors_exact_budgeted(
     search.go(&mut vec![false; n], &mut Vec::new(), 0);
 
     let budget_exhausted = search.nodes >= search.node_budget;
+    // The nodes-explored counter is the exact-search statistic the
+    // `budget_exhausted` flag summarizes; export both.
+    mrp_obs::counter_add("core.exact.nodes", search.nodes as u64);
+    if budget_exhausted {
+        mrp_obs::instant("core.exact.budget_exhausted");
+    }
     // Best-so-far semantics: a cover found before the budget ran out is
     // still a valid, greedy-or-better cover — keep it even on exhaustion.
     let solution = match search.best {

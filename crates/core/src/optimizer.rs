@@ -157,6 +157,7 @@ impl MrpOptimizer {
     /// * [`MrpError::BadConfig`] for β outside `[0, 1]`;
     /// * [`MrpError::Arch`] on (practically unreachable) overflow.
     pub fn optimize(&self, coeffs: &[i64]) -> Result<MrpResult, MrpError> {
+        let _span = mrp_obs::span("core.optimize");
         if !(0.0..=1.0).contains(&self.config.beta) {
             return Err(MrpError::BadConfig(format!(
                 "beta {} outside [0, 1]",
@@ -192,6 +193,10 @@ impl MrpOptimizer {
         }
         let mut stats = built.stats;
         stats.critical_path = graph.max_depth();
+        mrp_obs::counter_add("core.adders", graph.adder_count() as u64);
+        mrp_obs::gauge_set("core.seed.roots", stats.roots as f64);
+        mrp_obs::gauge_set("core.seed.colors", stats.colors as f64);
+        mrp_obs::gauge_set("core.critical_path", stats.critical_path as f64);
         Ok(MrpResult {
             graph,
             outputs,
@@ -243,7 +248,10 @@ fn realize_vector(
         let max = values.iter().copied().max().unwrap_or(1);
         (64 - (max as u64).leading_zeros() + 1).clamp(4, 26)
     });
-    let color_graph = ColorGraph::build(values, max_shift, config.repr);
+    let color_graph = {
+        let _span = mrp_obs::span("core.graph");
+        ColorGraph::build(values, max_shift, config.repr)
+    };
     let cover = if config.exact_cover && values.len() <= 24 {
         crate::exact::select_colors_exact_budgeted(&color_graph, values, config.exact_node_budget)
             .solution
@@ -321,6 +329,7 @@ fn realize_vector(
 
     // Realize the SEED multiplication network.
     let before_seed = graph.adder_count();
+    let seed_span = mrp_obs::span("core.realize.seed");
     let seed_terms: Vec<Term> = match (config.seed_optimizer, recursion) {
         (SeedOptimizer::Cse, _) => {
             let cse = hartley_cse(&seed_values);
@@ -332,6 +341,7 @@ fn realize_vector(
         }
         _ => realize_direct(graph, &seed_values, config)?,
     };
+    drop(seed_span);
     let seed_adders = graph.adder_count() - before_seed;
     let seed_term_of = |value: i64| -> Result<Term, MrpError> {
         let idx = seed_values
@@ -346,6 +356,7 @@ fn realize_vector(
     };
 
     // Overhead add network, in topological (BFS) order.
+    let overhead_span = mrp_obs::span("core.realize.overhead");
     let before_overhead = graph.adder_count();
     let mut vertex_terms: Vec<Option<Term>> = vec![None; values.len()];
     for &r in &forest.roots {
@@ -412,6 +423,7 @@ fn realize_vector(
         vertex_terms[te.vertex] = Some(Term::of(node));
     }
     let overhead_adders = graph.adder_count() - before_overhead;
+    drop(overhead_span);
 
     Ok(BuiltVector {
         terms: vertex_terms

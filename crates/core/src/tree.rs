@@ -94,6 +94,7 @@ pub fn build_forest(
     max_depth: u32,
     direct_cost: impl Fn(usize) -> u32,
 ) -> Forest {
+    let _span = mrp_obs::span("core.forest");
     for e in cover_edges {
         assert!(e.from < n && e.to < n, "edge out of range");
     }
@@ -125,6 +126,7 @@ pub fn build_forest(
     let mut roots: Vec<usize> = Vec::new();
 
     // Per weakly connected component without a source, pick the APSP root.
+    let apsp_span = mrp_obs::span("core.apsp");
     let dist = floyd_warshall(
         n,
         &pairs.iter().map(|&(u, v)| (u, v, 1u64)).collect::<Vec<_>>(),
@@ -159,6 +161,8 @@ pub fn build_forest(
             }
         }
     }
+
+    drop(apsp_span);
 
     // Multi-source depth-bounded BFS with promotion of unreached vertices.
     let mut parent: Vec<Option<usize>> = vec![None; n];

@@ -1,0 +1,38 @@
+//! The observability counters must agree with the values the algorithms
+//! report through their own return types — otherwise a trace would tell a
+//! different story than the API.
+//!
+//! This lives in its own integration-test binary because the collector is
+//! process-global; keeping the file to a single test avoids serializing
+//! against unrelated suites.
+
+use mrp_core::{select_colors_exact_budgeted, CoeffSet, ColorGraph};
+use mrp_numrep::Repr;
+
+/// On a budget-capped exact-cover run, the `core.exact.nodes` counter must
+/// equal the `nodes_expanded` count returned in [`mrp_core::ExactCoverOutcome`].
+#[test]
+fn exact_cover_counter_matches_outcome_when_budget_is_hit() {
+    // Paper fixture (Table 1-style taps); rich enough that branch and
+    // bound needs far more than 3 nodes.
+    let set = CoeffSet::new(&[70, 66, 17, 9, 27, 41, 56, 11]).expect("valid coefficients");
+    let graph = ColorGraph::build(set.primaries(), 8, Repr::Spt);
+
+    mrp_obs::enable();
+    mrp_obs::reset();
+    let outcome = select_colors_exact_budgeted(&graph, set.primaries(), 3);
+    let counted = mrp_obs::counter_value("core.exact.nodes");
+    mrp_obs::disable();
+    mrp_obs::reset();
+
+    assert!(
+        outcome.budget_exhausted,
+        "fixture was expected to exhaust a 3-node budget (expanded {})",
+        outcome.nodes_expanded
+    );
+    assert_eq!(
+        counted,
+        Some(outcome.nodes_expanded as u64),
+        "core.exact.nodes counter disagrees with ExactCoverOutcome::nodes_expanded"
+    );
+}

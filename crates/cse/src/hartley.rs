@@ -207,6 +207,7 @@ fn normalize(terms: &mut Vec<CseTerm>) {
 /// assert!(r.adders() <= 5);
 /// ```
 pub fn hartley_cse(coeffs: &[i64]) -> CseResult {
+    let _span = mrp_obs::span("cse.hartley");
     let mut coeff_terms: Vec<Vec<CseTerm>> = coeffs
         .iter()
         .map(|&c| {
@@ -297,6 +298,7 @@ pub fn hartley_cse(coeffs: &[i64]) -> CseResult {
         }
     }
 
+    mrp_obs::counter_add("cse.subexpressions", subexpressions.len() as u64);
     let result = CseResult {
         subexpressions,
         coeff_terms,

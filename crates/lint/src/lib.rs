@@ -80,6 +80,7 @@ impl Default for LintConfig {
 /// Panics if `config.input_width` is outside `1..=63` (wider inputs leave
 /// the `i64` analysis range).
 pub fn lint_graph(graph: &AdderGraph, config: &LintConfig) -> LintReport {
+    let _span = mrp_obs::span("lint.graph");
     assert!(
         (1..=63).contains(&config.input_width),
         "input width {} outside 1..=63",
@@ -104,6 +105,7 @@ pub fn lint_graph(graph: &AdderGraph, config: &LintConfig) -> LintReport {
 ///
 /// Panics if `config.input_width` is outside `1..=63`.
 pub fn lint_verilog(graph: &AdderGraph, source: &str, config: &LintConfig) -> LintReport {
+    let _span = mrp_obs::span("lint.verilog");
     assert!(
         (1..=63).contains(&config.input_width),
         "input width {} outside 1..=63",

@@ -1,0 +1,288 @@
+//! The global collector: an enabled flag, an event buffer, and thread
+//! bookkeeping.
+//!
+//! Everything funnels through one process-wide [`Collector`] so that a
+//! synthesis run spread over several crates (and, under the resilient
+//! driver, several threads) lands in one coherent trace. The cardinal
+//! design rule is *cheap when off*: every instrumentation site begins
+//! with a single relaxed atomic load, and a disabled site allocates
+//! nothing, locks nothing, and reads no clock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+
+/// Whether the global collector records anything. Relaxed is sufficient:
+/// the flag gates best-effort telemetry, not synchronization.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread stack of open span names (for parent attribution).
+    /// RAII guards drop in LIFO order, which keeps it consistent.
+    static SPAN_STACK: std::cell::RefCell<Vec<&'static str>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Event {
+    /// Event name (span or instant label).
+    pub name: String,
+    /// Phase: span begin, span end, or instant.
+    pub phase: Phase,
+    /// Nanoseconds since the collector epoch.
+    pub ts_ns: u64,
+    /// Small sequential thread id.
+    pub tid: u64,
+    /// Parent span name at emission time (begin/instant events only).
+    pub parent: Option<&'static str>,
+}
+
+/// Chrome-trace phase of an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Instant event (`"i"`).
+    Instant,
+}
+
+/// The process-wide trace/metrics collector.
+pub(crate) struct Collector {
+    epoch: Instant,
+    events: Mutex<Vec<Event>>,
+    pub(crate) metrics: MetricsRegistry,
+    tids: Mutex<HashMap<ThreadId, u64>>,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::new(),
+            tids: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Small stable id for the calling thread (0, 1, 2, … in first-seen
+    /// order).
+    fn tid(&self) -> u64 {
+        let id = std::thread::current().id();
+        let mut map = self.tids.lock().unwrap_or_else(|e| e.into_inner());
+        let next = map.len() as u64;
+        *map.entry(id).or_insert(next)
+    }
+
+    pub(crate) fn record(&self, name: String, phase: Phase, parent: Option<&'static str>) -> u64 {
+        let ts_ns = self.now_ns();
+        let event = Event {
+            name,
+            phase,
+            ts_ns,
+            tid: self.tid(),
+            parent,
+        };
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+        ts_ns
+    }
+
+    pub(crate) fn events_snapshot(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.metrics.clear();
+    }
+}
+
+pub(crate) fn collector() -> &'static Collector {
+    COLLECTOR.get_or_init(Collector::new)
+}
+
+/// Turns recording on. Instrumentation sites in every crate start
+/// contributing spans, events, and metric updates.
+pub fn enable() {
+    // Materialize the collector (and its epoch) up front so the first
+    // recorded timestamp is not also paying initialization.
+    let _ = collector();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off. Already-recorded data is kept; instrumentation
+/// sites go back to a single atomic load.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the collector is currently recording.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded events and metrics (the enabled flag is left
+/// unchanged). Intended for tests and for reusing one process for
+/// several traced runs.
+pub fn reset() {
+    if let Some(c) = COLLECTOR.get() {
+        c.clear();
+    }
+}
+
+/// RAII span guard: records a begin event on creation and the matching
+/// end event on drop. Obtained from [`span`](crate::span) /
+/// [`span_dyn`](crate::span_dyn); a guard created while the collector is
+/// disabled is inert and costs one branch to drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// Static name pushed on the thread-local parent stack (`None` for
+    /// dynamic names, which never become parents).
+    stacked: Option<&'static str>,
+    /// Name to emit on the end event; `None` marks an inert guard.
+    name: Option<String>,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    pub(crate) const INERT: SpanGuard = SpanGuard {
+        stacked: None,
+        name: None,
+        start_ns: 0,
+    };
+
+    pub(crate) fn begin(name: String, stacked: Option<&'static str>) -> SpanGuard {
+        let parent = current_parent();
+        if let Some(s) = stacked {
+            SPAN_STACK.with(|st| st.borrow_mut().push(s));
+        }
+        let start_ns = collector().record(name.clone(), Phase::Begin, parent);
+        SpanGuard {
+            stacked,
+            name: Some(name),
+            start_ns,
+        }
+    }
+
+    /// Whether the guard is actually recording.
+    pub fn is_active(&self) -> bool {
+        self.name.is_some()
+    }
+
+    /// Nanoseconds since the span began, or `None` for an inert guard.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.name
+            .as_ref()
+            .map(|_| collector().now_ns().saturating_sub(self.start_ns))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else {
+            return;
+        };
+        if self.stacked.is_some() {
+            SPAN_STACK.with(|st| {
+                st.borrow_mut().pop();
+            });
+        }
+        collector().record(name, Phase::End, None);
+    }
+}
+
+/// The innermost open static-named span on this thread, if any.
+pub(crate) fn current_parent() -> Option<&'static str> {
+    SPAN_STACK.with(|st| st.borrow().last().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global; serialize tests touching it.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disable();
+        reset();
+        let g = crate::span("should.not.record");
+        assert!(!g.is_active());
+        assert_eq!(g.elapsed_ns(), None);
+        drop(g);
+        assert!(collector().events_snapshot().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        enable();
+        reset();
+        {
+            let _a = crate::span("outer");
+            {
+                let _b = crate::span("inner");
+                crate::instant("tick");
+            }
+        }
+        disable();
+        let events = collector().events_snapshot();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].phase, Phase::Begin);
+        assert_eq!(events[1].name, "inner");
+        assert_eq!(events[1].parent, Some("outer"));
+        assert_eq!(events[2].name, "tick");
+        assert_eq!(events[2].parent, Some("inner"));
+        // Ends come back in LIFO order.
+        assert_eq!(events[3].name, "inner");
+        assert_eq!(events[3].phase, Phase::End);
+        assert_eq!(events[4].name, "outer");
+        // Timestamps are monotonic.
+        for w in events.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+        reset();
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        enable();
+        reset();
+        let _a = crate::span("main.side");
+        std::thread::spawn(|| {
+            let _b = crate::span("worker.side");
+        })
+        .join()
+        .unwrap();
+        disable();
+        let events = collector().events_snapshot();
+        let tids: std::collections::HashSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 2, "expected two distinct thread ids");
+        reset();
+    }
+}

@@ -1,0 +1,215 @@
+//! Counter / gauge / histogram registry.
+//!
+//! Metrics are flat, named aggregates — the complement of the event
+//! trace. A counter accumulates, a gauge holds the last value, and a
+//! histogram keeps count/min/max/sum (enough for mean and range without
+//! storing samples). Export is a single flat JSON document, designed to
+//! be trivially diffable across runs (`BENCH_*.json` style).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregated histogram state: no samples, just the running summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Sum of all recorded values.
+    pub sum: f64,
+}
+
+impl HistogramSummary {
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+    }
+
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Thread-safe registry behind the global collector. `BTreeMap` keeps the
+/// export deterministically ordered.
+pub(crate) struct MetricsRegistry {
+    inner: Mutex<MetricsInner>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn new() -> Self {
+        MetricsRegistry {
+            inner: Mutex::new(MetricsInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn counter_add(&self, name: &str, delta: u64) {
+        let mut m = self.lock();
+        match m.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                m.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    pub(crate) fn gauge_set(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    pub(crate) fn histogram_record(&self, name: &str, value: f64) {
+        let mut m = self.lock();
+        match m.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                m.histograms.insert(
+                    name.to_string(),
+                    HistogramSummary {
+                        count: 1,
+                        min: value,
+                        max: value,
+                        sum: value,
+                    },
+                );
+            }
+        }
+    }
+
+    pub(crate) fn counter_value(&self, name: &str) -> Option<u64> {
+        self.lock().counters.get(name).copied()
+    }
+
+    pub(crate) fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    pub(crate) fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        self.lock().histograms.get(name).copied()
+    }
+
+    pub(crate) fn clear(&self) {
+        let mut m = self.lock();
+        m.counters.clear();
+        m.gauges.clear();
+        m.histograms.clear();
+    }
+
+    /// Flat machine-readable export: `{"counters":{…},"gauges":{…},
+    /// "histograms":{name:{count,min,max,sum,mean}}}`.
+    pub(crate) fn export_json(&self) -> String {
+        let m = self.lock();
+        let mut out = String::from("{\"counters\":{");
+        let counters: Vec<String> = m
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", crate::chrome::json_escape(k)))
+            .collect();
+        out.push_str(&counters.join(","));
+        out.push_str("},\"gauges\":{");
+        let gauges: Vec<String> = m
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", crate::chrome::json_escape(k), json_number(*v)))
+            .collect();
+        out.push_str(&gauges.join(","));
+        out.push_str("},\"histograms\":{");
+        let hists: Vec<String> = m
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"mean\":{}}}",
+                    crate::chrome::json_escape(k),
+                    h.count,
+                    json_number(h.min),
+                    json_number(h.max),
+                    json_number(h.sum),
+                    json_number(h.mean())
+                )
+            })
+            .collect();
+        out.push_str(&hists.join(","));
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Renders an `f64` as valid JSON (JSON has no NaN/Infinity literals).
+pub(crate) fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        assert_eq!(r.counter_value("a"), Some(5));
+        r.counter_add("a", u64::MAX);
+        assert_eq!(r.counter_value("a"), Some(u64::MAX));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", -2.0);
+        assert_eq!(r.gauge_value("g"), Some(-2.0));
+    }
+
+    #[test]
+    fn histogram_summarizes() {
+        let r = MetricsRegistry::new();
+        for v in [2.0, 4.0, 6.0] {
+            r.histogram_record("h", v);
+        }
+        let h = r.histogram_summary("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 6.0);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn export_is_valid_shaped_json() {
+        let r = MetricsRegistry::new();
+        r.counter_add("c\"x", 1);
+        r.gauge_set("g", f64::NAN);
+        r.histogram_record("h", 3.0);
+        let json = r.export_json();
+        assert!(json.starts_with("{\"counters\":{"), "{json}");
+        assert!(json.contains("\"c\\\"x\":1"), "{json}");
+        assert!(json.contains("\"g\":null"), "{json}");
+        assert!(json.contains("\"mean\":3"), "{json}");
+    }
+}

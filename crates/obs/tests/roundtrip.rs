@@ -1,0 +1,71 @@
+//! End-to-end collector round trips: trace in, JSON out.
+//!
+//! The collector is process-global, so everything lives in one `#[test]`
+//! (integration tests in one file may run threaded; a single test keeps
+//! the global state deterministic).
+
+#[test]
+fn full_roundtrip() {
+    mrp_obs::enable();
+    mrp_obs::reset();
+
+    {
+        let run = mrp_obs::span("test.run");
+        assert!(run.is_active());
+        {
+            let _inner = mrp_obs::span("test.stage");
+            mrp_obs::counter_add("test.items", 7);
+            mrp_obs::counter_add("test.items", 5);
+            mrp_obs::gauge_set("test.level", 2.5);
+            for v in [1.0, 3.0] {
+                mrp_obs::histogram_record("test.benefit", v);
+            }
+            mrp_obs::instant("test.mark");
+        }
+        let _dynamic = mrp_obs::span_dyn("rung[mrp+cse]".to_string());
+        assert!(run.elapsed_ns().is_some());
+    }
+
+    let trace = mrp_obs::export_chrome_trace();
+    // Spans appear as balanced B/E pairs, the instant as "i", and the
+    // dynamic name verbatim.
+    for needle in [
+        "\"traceEvents\":[",
+        "\"name\":\"test.run\"",
+        "\"name\":\"test.stage\"",
+        "\"name\":\"rung[mrp+cse]\"",
+        "\"ph\":\"B\"",
+        "\"ph\":\"E\"",
+        "\"ph\":\"i\"",
+        "\"args\":{\"parent\":\"test.run\"}",
+    ] {
+        assert!(trace.contains(needle), "missing {needle} in {trace}");
+    }
+    assert_eq!(trace.matches("\"ph\":\"B\"").count(), 3);
+    assert_eq!(trace.matches("\"ph\":\"E\"").count(), 3);
+
+    let metrics = mrp_obs::export_metrics_json();
+    assert!(metrics.contains("\"test.items\":12"), "{metrics}");
+    assert!(metrics.contains("\"test.level\":2.5"), "{metrics}");
+    assert!(metrics.contains("\"count\":2"), "{metrics}");
+    assert_eq!(mrp_obs::counter_value("test.items"), Some(12));
+    assert_eq!(mrp_obs::gauge_value("test.level"), Some(2.5));
+    let h = mrp_obs::histogram_summary("test.benefit").unwrap();
+    assert_eq!(h.mean(), 2.0);
+
+    // Disabled sites record nothing, but reads still see old data.
+    mrp_obs::disable();
+    let before = mrp_obs::event_count();
+    let g = mrp_obs::span("test.ignored");
+    assert!(!g.is_active());
+    drop(g);
+    mrp_obs::counter_add("test.items", 100);
+    assert_eq!(mrp_obs::event_count(), before);
+    assert_eq!(mrp_obs::counter_value("test.items"), Some(12));
+
+    // Reset clears both stores.
+    mrp_obs::reset();
+    assert_eq!(mrp_obs::event_count(), 0);
+    assert_eq!(mrp_obs::counter_value("test.items"), None);
+    assert!(mrp_obs::export_chrome_trace().contains("\"traceEvents\":[]"));
+}

@@ -24,7 +24,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mrp_arch::{AdderGraph, Term};
 use mrp_core::{realize_cse, realize_simple, MrpConfig, MrpOptimizer, SeedOptimizer};
@@ -71,6 +71,19 @@ impl Default for SynthConfig {
     }
 }
 
+/// Wall-clock accounting of one attempted rung, whether it was accepted
+/// or degraded past. Mirrors the per-rung trace spans (`rung[<name>]`)
+/// the driver emits through `mrp-obs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RungAttempt {
+    /// The rung that was attempted.
+    pub rung: Rung,
+    /// Wall-clock time the attempt took, milliseconds.
+    pub elapsed_ms: u64,
+    /// Whether this attempt produced the accepted netlist.
+    pub accepted: bool,
+}
+
 /// The result of a supervised synthesis run.
 #[derive(Debug, Clone)]
 pub struct SynthOutcome {
@@ -80,6 +93,9 @@ pub struct SynthOutcome {
     pub rung: Rung,
     /// Every rung failure recorded on the way down, best rung first.
     pub degradations: Vec<Degradation>,
+    /// Per-rung wall-clock accounting, in attempt order (the last entry
+    /// is the accepted rung).
+    pub attempts: Vec<RungAttempt>,
     /// Warning-severity lint findings on the accepted netlist.
     pub lint_warnings: usize,
     /// Wall-clock time of the whole run, milliseconds.
@@ -108,6 +124,17 @@ impl SynthOutcome {
             self.lint_warnings,
             self.elapsed_ms,
         );
+        if !self.attempts.is_empty() {
+            out.push_str("attempts:\n");
+            for a in &self.attempts {
+                out.push_str(&format!(
+                    "  - {}: {} ms ({})\n",
+                    a.rung,
+                    a.elapsed_ms,
+                    if a.accepted { "accepted" } else { "failed" }
+                ));
+            }
+        }
         if self.degraded() {
             out.push_str("degradations:\n");
             for d in &self.degradations {
@@ -131,14 +158,25 @@ impl SynthOutcome {
                 )
             })
             .collect();
+        let attempts: Vec<String> = self
+            .attempts
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"rung\":\"{}\",\"elapsed_ms\":{},\"accepted\":{}}}",
+                    a.rung, a.elapsed_ms, a.accepted
+                )
+            })
+            .collect();
         format!(
-            "{{\"rung\":\"{}\",\"degraded\":{},\"adders\":{},\"critical_path\":{},\"lint_warnings\":{},\"elapsed_ms\":{},\"degradations\":[{}]}}",
+            "{{\"rung\":\"{}\",\"degraded\":{},\"adders\":{},\"critical_path\":{},\"lint_warnings\":{},\"elapsed_ms\":{},\"attempts\":[{}],\"degradations\":[{}]}}",
             self.rung,
             self.degraded(),
             self.adders(),
             self.graph.max_depth(),
             self.lint_warnings,
             self.elapsed_ms,
+            attempts.join(","),
             degradations.join(",")
         )
     }
@@ -187,21 +225,48 @@ pub fn synthesize(coeffs: &[i64], config: &SynthConfig) -> Result<SynthOutcome, 
             config.start_rung, config.min_rung
         )));
     }
+    let _span = mrp_obs::span("synth");
     let deadline = Deadline::start(config.budget.deadline_ms);
     let mut degradations = Vec::new();
+    let mut attempts: Vec<RungAttempt> = Vec::new();
     let mut rung = config.start_rung;
     loop {
-        match attempt_rung(coeffs, rung, config, &deadline) {
+        // The rung span brackets the attempt on the supervisor thread;
+        // stage spans from an isolated worker land on that worker's
+        // track but share the same trace clock.
+        let rung_span = mrp_obs::span_dyn(format!("rung[{rung}]"));
+        let attempt_start = Instant::now();
+        let result = attempt_rung(coeffs, rung, config, &deadline);
+        let elapsed_ms = rung_span
+            .elapsed_ns()
+            .map(|ns| ns / 1_000_000)
+            .unwrap_or_else(|| attempt_start.elapsed().as_millis() as u64);
+        drop(rung_span);
+        match result {
             Ok((graph, lint_warnings)) => {
+                attempts.push(RungAttempt {
+                    rung,
+                    elapsed_ms,
+                    accepted: true,
+                });
                 return Ok(SynthOutcome {
                     graph,
                     rung,
                     degradations,
+                    attempts,
                     lint_warnings,
                     elapsed_ms: deadline.elapsed_ms(),
                 });
             }
-            Err(error) => degradations.push(Degradation { rung, error }),
+            Err(error) => {
+                attempts.push(RungAttempt {
+                    rung,
+                    elapsed_ms,
+                    accepted: false,
+                });
+                mrp_obs::instant_dyn(format!("degrade[{rung}]: {}", error.kind()));
+                degradations.push(Degradation { rung, error });
+            }
         }
         match rung.next_lower() {
             Some(lower) if lower >= config.min_rung => rung = lower,
@@ -352,7 +417,9 @@ fn accept(
     graph: &AdderGraph,
     config: &SynthConfig,
 ) -> Result<(AdderGraph, usize), PipelineError> {
+    let lint_span = mrp_obs::span("gate.lint");
     let report = lint_graph(graph, &effective_lint(graph, &config.lint));
+    drop(lint_span);
     if report.has_errors() {
         let first = report
             .diagnostics
@@ -366,9 +433,13 @@ fn accept(
             first,
         });
     }
-    if let Some((label, input)) = graph.verify_outputs(&VERIFY_SAMPLES) {
+    let equiv_span = mrp_obs::span("gate.equiv");
+    let verdict = graph.verify_outputs(&VERIFY_SAMPLES);
+    drop(equiv_span);
+    if let Some((label, input)) = verdict {
         return Err(PipelineError::NotEquivalent { label, input });
     }
+    mrp_obs::counter_add("synth.adders", graph.adder_count() as u64);
     Ok((graph.clone(), report.warning_count()))
 }
 
@@ -385,6 +456,40 @@ mod tests {
         assert!(!out.degraded());
         assert!(out.adders() > 0);
         assert_eq!(out.graph.verify_outputs(&VERIFY_SAMPLES), None);
+        assert_eq!(out.attempts.len(), 1);
+        assert!(out.attempts[0].accepted);
+        assert_eq!(out.attempts[0].rung, Rung::MrpCse);
+    }
+
+    #[test]
+    fn attempts_record_every_rung_tried() {
+        let cfg = SynthConfig {
+            faults: FaultPlan::parse("panic@mrp+cse,panic@mrp").unwrap(),
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&PAPER, &cfg).unwrap();
+        assert_eq!(out.rung, Rung::CseOnly);
+        let rungs: Vec<Rung> = out.attempts.iter().map(|a| a.rung).collect();
+        assert_eq!(rungs, vec![Rung::MrpCse, Rung::Mrp, Rung::CseOnly]);
+        assert_eq!(
+            out.attempts.iter().filter(|a| a.accepted).count(),
+            1,
+            "exactly the last attempt is accepted"
+        );
+        assert!(out.attempts.last().unwrap().accepted);
+        // Per-attempt elapsed never exceeds the whole run.
+        for a in &out.attempts {
+            assert!(a.elapsed_ms <= out.elapsed_ms + 1, "{a:?}");
+        }
+        let json = out.render_json();
+        assert!(
+            json.contains("\"attempts\":[{\"rung\":\"mrp+cse\""),
+            "{json}"
+        );
+        assert!(json.contains("\"accepted\":true"), "{json}");
+        let pretty = out.render_pretty();
+        assert!(pretty.contains("attempts:"), "{pretty}");
+        assert!(pretty.contains("(accepted)"), "{pretty}");
     }
 
     #[test]
