@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the bench trajectory.
+
+Compares a freshly generated ``BENCH_summary.json`` against the committed
+baseline ``ci/bench_baseline.json`` and fails (exit 1) when the synthesis
+quality regressed:
+
+* any ``reduction_pct`` entry DROPS by more than 0.5 percentage points
+  (these are "how much smaller than the reference" numbers — bigger is
+  better), or
+* ``adders_per_tap_w16`` RISES by more than 2 % relative (smaller is
+  better).
+
+Wall-clock fields (``jobs``, ``elapsed_ms``) are ignored: the gate guards
+quality, not machine speed.
+
+To accept an intentional quality change, refresh the baseline in the same
+commit and say why:
+
+    cp BENCH_summary.json ci/bench_baseline.json
+
+Usage: check_bench_regression.py <fresh.json> [<baseline.json>]
+"""
+
+import json
+import sys
+
+REDUCTION_DROP_PP = 0.5     # max tolerated drop, percentage points
+ADDERS_PER_TAP_RISE = 0.02  # max tolerated relative rise
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    fresh_path = argv[1]
+    baseline_path = argv[2] if len(argv) > 2 else "ci/bench_baseline.json"
+    fresh = load(fresh_path)
+    baseline = load(baseline_path)
+
+    failures = []
+    checked = 0
+
+    base_red = baseline.get("reduction_pct", {})
+    fresh_red = fresh.get("reduction_pct", {})
+    missing = sorted(set(base_red) - set(fresh_red))
+    if missing:
+        failures.append(f"reduction_pct keys vanished from the fresh report: {missing}")
+    for key in sorted(set(base_red) & set(fresh_red)):
+        old, new = base_red[key], fresh_red[key]
+        checked += 1
+        delta = new - old
+        status = "ok"
+        if delta < -REDUCTION_DROP_PP:
+            status = "REGRESSED"
+            failures.append(
+                f"reduction_pct.{key}: {old:.3f} -> {new:.3f} "
+                f"({delta:+.3f} pp, tolerance -{REDUCTION_DROP_PP} pp)"
+            )
+        print(f"  reduction_pct.{key:<28} {old:9.3f} -> {new:9.3f}  ({delta:+.3f} pp) {status}")
+
+    if "adders_per_tap_w16" in baseline:
+        old = baseline["adders_per_tap_w16"]
+        new = fresh.get("adders_per_tap_w16")
+        checked += 1
+        if new is None:
+            failures.append("adders_per_tap_w16 vanished from the fresh report")
+        else:
+            rise = (new - old) / old if old else 0.0
+            status = "ok"
+            if rise > ADDERS_PER_TAP_RISE:
+                status = "REGRESSED"
+                failures.append(
+                    f"adders_per_tap_w16: {old:.6f} -> {new:.6f} "
+                    f"({rise:+.2%}, tolerance +{ADDERS_PER_TAP_RISE:.0%})"
+                )
+            print(f"  adders_per_tap_w16{'':>13} {old:9.6f} -> {new:9.6f}  ({rise:+.2%}) {status}")
+
+    if checked == 0:
+        print("gate checked nothing — baseline or fresh report is malformed")
+        return 1
+    if failures:
+        print(f"\nPERF GATE FAILED — {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  - {f}")
+        print(
+            "\nIf this change is intentional, refresh the baseline in the same commit:\n"
+            "    cp BENCH_summary.json ci/bench_baseline.json"
+        )
+        return 1
+    print(f"\nperf gate passed: {checked} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

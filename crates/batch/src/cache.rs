@@ -1,0 +1,69 @@
+//! Coefficient-set normalization for the batch memo cache.
+//!
+//! In the MRP cost model shifts and a global sign are free: the
+//! multiplier block for `[2, 4, 6]` is the block for `[1, 2, 3]` with
+//! shifted outputs, and `[-1, -2, -3]` is the same block with negated
+//! outputs — identical adder count, identical depth, identical fallback
+//! behavior. The batch engine therefore keys its memo cache on the
+//! *normalized* coefficient vector: the common power of two divided out
+//! and the leading sign canonicalized to positive. Per-coefficient
+//! structure (order, zeros, relative signs) is preserved — those change
+//! the synthesized block and must not be conflated.
+
+/// Canonical cache key of a coefficient vector: divides out the largest
+/// power of two common to every coefficient and flips the global sign so
+/// the first nonzero entry is positive. An all-zero vector is its own
+/// key.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_batch::normalize_coeffs;
+///
+/// assert_eq!(normalize_coeffs(&[2, 4, 6]), vec![1, 2, 3]);
+/// assert_eq!(normalize_coeffs(&[-1, -2, -3]), vec![1, 2, 3]);
+/// assert_eq!(normalize_coeffs(&[0, -8, 12]), vec![0, 2, -3]);
+/// assert_eq!(normalize_coeffs(&[1, -2, 3]), vec![1, -2, 3]);
+/// ```
+pub fn normalize_coeffs(coeffs: &[i64]) -> Vec<i64> {
+    let Some(&first_nonzero) = coeffs.iter().find(|&&c| c != 0) else {
+        return coeffs.to_vec();
+    };
+    let shift = coeffs
+        .iter()
+        .filter(|&&c| c != 0)
+        .map(|c| c.trailing_zeros())
+        .min()
+        .unwrap_or(0);
+    let sign = if first_nonzero < 0 { -1 } else { 1 };
+    coeffs.iter().map(|&c| (c >> shift) * sign).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_and_sign_invariant() {
+        let base = normalize_coeffs(&[70, 66, 17, 9]);
+        assert_eq!(normalize_coeffs(&[140, 132, 34, 18]), base);
+        assert_eq!(normalize_coeffs(&[-70, -66, -17, -9]), base);
+        assert_eq!(normalize_coeffs(&[-280, -264, -68, -36]), base);
+    }
+
+    #[test]
+    fn structure_is_preserved() {
+        // Relative signs, zeros, and order all distinguish keys.
+        assert_ne!(normalize_coeffs(&[1, -2, 3]), normalize_coeffs(&[1, 2, 3]));
+        assert_ne!(normalize_coeffs(&[1, 0, 3]), normalize_coeffs(&[1, 3]));
+        assert_ne!(normalize_coeffs(&[3, 1]), normalize_coeffs(&[1, 3]));
+    }
+
+    #[test]
+    fn zeros_and_min_values() {
+        assert_eq!(normalize_coeffs(&[0, 0]), vec![0, 0]);
+        assert_eq!(normalize_coeffs(&[0, 4]), vec![0, 1]);
+        // i64::MIN has 63 trailing zeros; `>>` keeps the division exact.
+        assert_eq!(normalize_coeffs(&[i64::MIN, 0]), vec![1, 0]);
+    }
+}

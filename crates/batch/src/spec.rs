@@ -1,0 +1,120 @@
+//! Batch spec files: the input format of `mrpf batch`.
+//!
+//! A spec file is JSON — either an object with a `"filters"` array or a
+//! bare array. Each entry is an object with an integer-array `"coeffs"`
+//! (required) and an optional `"name"` (defaults to `job<index>`):
+//!
+//! ```json
+//! {
+//!   "filters": [
+//!     {"name": "worked-example", "coeffs": [70, 66, 17, 9, 27, 41, 56, 11]},
+//!     {"coeffs": [23, 45, 77, 101, 173]}
+//!   ]
+//! }
+//! ```
+
+use crate::json::{parse_json, JsonValue};
+
+/// One filter to synthesize: a display name plus its quantized taps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSpec {
+    /// Display name used in the consolidated report.
+    pub name: String,
+    /// Integer coefficient vector (full, unfolded taps).
+    pub coeffs: Vec<i64>,
+}
+
+/// Parses a spec file (see the module docs for the format).
+///
+/// # Errors
+///
+/// Returns a user-facing message for syntax errors, missing/ill-typed
+/// fields, or an empty filter list.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_batch::parse_specs;
+///
+/// let specs = parse_specs(r#"[{"name": "a", "coeffs": [7, 9]}]"#)?;
+/// assert_eq!(specs[0].name, "a");
+/// assert_eq!(specs[0].coeffs, vec![7, 9]);
+/// # Ok::<(), String>(())
+/// ```
+pub fn parse_specs(text: &str) -> Result<Vec<BatchSpec>, String> {
+    let doc = parse_json(text).map_err(|e| format!("spec file is not valid JSON: {e}"))?;
+    let entries = match &doc {
+        JsonValue::Array(items) => items.as_slice(),
+        JsonValue::Object(map) => map
+            .get("filters")
+            .and_then(JsonValue::as_array)
+            .ok_or("spec object must have a `filters` array")?,
+        _ => return Err("spec file must be an array or an object with `filters`".to_string()),
+    };
+    if entries.is_empty() {
+        return Err("spec file lists no filters".to_string());
+    }
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let obj = entry
+                .as_object()
+                .ok_or_else(|| format!("filter {i} is not an object"))?;
+            let name = match obj.get("name") {
+                None => format!("job{i}"),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| format!("filter {i}: `name` must be a string"))?
+                    .to_string(),
+            };
+            let coeffs = obj
+                .get("coeffs")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("filter {i} (`{name}`): missing `coeffs` array"))?;
+            if coeffs.is_empty() {
+                return Err(format!("filter {i} (`{name}`): `coeffs` is empty"));
+            }
+            let coeffs = coeffs
+                .iter()
+                .map(|c| {
+                    c.as_i64().ok_or_else(|| {
+                        format!("filter {i} (`{name}`): coefficients must be integers")
+                    })
+                })
+                .collect::<Result<Vec<i64>, String>>()?;
+            Ok(BatchSpec { name, coeffs })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_and_array_forms_parse() {
+        let a = parse_specs(r#"{"filters": [{"coeffs": [1, 2]}]}"#).unwrap();
+        assert_eq!(a[0].name, "job0");
+        let b = parse_specs(r#"[{"name": "x", "coeffs": [3]}]"#).unwrap();
+        assert_eq!(b[0].name, "x");
+        assert_eq!(b[0].coeffs, vec![3]);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        for (text, needle) in [
+            ("{}", "`filters`"),
+            ("[]", "no filters"),
+            ("[1]", "not an object"),
+            (r#"[{"name": "a"}]"#, "missing `coeffs`"),
+            (r#"[{"coeffs": []}]"#, "empty"),
+            (r#"[{"coeffs": [1.5]}]"#, "integers"),
+            (r#"[{"name": 3, "coeffs": [1]}]"#, "string"),
+            ("nonsense", "JSON"),
+        ] {
+            let err = parse_specs(text).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+}

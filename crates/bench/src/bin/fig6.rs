@@ -6,11 +6,14 @@
 //! reduction (ratio ≈ 0.4) and ≈ 0.3 adders per tap at W = 16 for filters
 //! above 20 taps.
 
-use mrp_bench::{evaluate_suite, mean, print_header, BenchReport, WORDLENGTHS};
+use mrp_bench::{evaluate_suite_on, jobs_from_args, mean, print_header, BenchReport, WORDLENGTHS};
 use mrp_core::MrpConfig;
 use mrp_numrep::Scaling;
 
 fn main() {
+    let start = std::time::Instant::now();
+    let jobs = jobs_from_args();
+    let pool = mrp_batch::ThreadPool::new(jobs);
     print_header(
         "Figure 6 — MRPF vs Simple (SPT), uniformly scaled",
         "rows: example filters; columns: adder ratio MRPF/simple per wordlength",
@@ -23,7 +26,7 @@ fn main() {
     );
     let suites: Vec<_> = WORDLENGTHS
         .iter()
-        .map(|&w| evaluate_suite(w, Scaling::Uniform, &config))
+        .map(|&w| evaluate_suite_on(&pool, w, Scaling::Uniform, &config))
         .collect();
     for row in 0..suites[0].len() {
         let cell0 = &suites[0][row];
@@ -72,6 +75,8 @@ fn main() {
             ],
         )
         .float("adders_per_tap_w16", mean(&big))
-        .float("overall_reduction_pct", (1.0 - mean(&all)) * 100.0);
+        .float("overall_reduction_pct", (1.0 - mean(&all)) * 100.0)
+        .int("jobs", jobs as u64)
+        .int("elapsed_ms", start.elapsed().as_millis() as u64);
     report.write_and_announce();
 }

@@ -4,11 +4,14 @@
 //! nonzero digits; the paper reports ≈ 60 % reduction at W ∈ {8, 12} and
 //! ≈ 40 % at W ∈ {16, 20}.
 
-use mrp_bench::{evaluate_suite, mean, print_header, BenchReport, WORDLENGTHS};
+use mrp_bench::{evaluate_suite_on, jobs_from_args, mean, print_header, BenchReport, WORDLENGTHS};
 use mrp_core::MrpConfig;
 use mrp_numrep::Scaling;
 
 fn main() {
+    let start = std::time::Instant::now();
+    let jobs = jobs_from_args();
+    let pool = mrp_batch::ThreadPool::new(jobs);
     print_header(
         "Figure 7 — MRPF vs Simple (SPT), maximally scaled",
         "rows: example filters; columns: adder ratio MRPF/simple per wordlength",
@@ -16,7 +19,7 @@ fn main() {
     let config = MrpConfig::default();
     let suites: Vec<_> = WORDLENGTHS
         .iter()
-        .map(|&w| evaluate_suite(w, Scaling::Maximal, &config))
+        .map(|&w| evaluate_suite_on(&pool, w, Scaling::Maximal, &config))
         .collect();
     let mut per_w: Vec<Vec<f64>> = vec![Vec::new(); WORDLENGTHS.len()];
     println!(
@@ -64,6 +67,8 @@ fn main() {
             ],
         )
         .float("reduction_pct_w8_w12", (1.0 - mean(&small_w)) * 100.0)
-        .float("reduction_pct_w16_w20", (1.0 - mean(&large_w)) * 100.0);
+        .float("reduction_pct_w16_w20", (1.0 - mean(&large_w)) * 100.0)
+        .int("jobs", jobs as u64)
+        .int("elapsed_ms", start.elapsed().as_millis() as u64);
     report.write_and_announce();
 }

@@ -5,18 +5,26 @@
 //! paper reports 17 % (uniform) and 15 % (maximal) average improvement,
 //! and 66 % / 74 % combined reduction versus the simple implementation.
 
-use mrp_bench::{evaluate_suite, mean, print_header, BenchReport, Cell, WORDLENGTHS};
+use mrp_batch::ThreadPool;
+use mrp_bench::{
+    evaluate_suite_on, jobs_from_args, mean, print_header, BenchReport, Cell, WORDLENGTHS,
+};
 use mrp_core::MrpConfig;
 use mrp_numrep::Scaling;
 
-fn run_part(title: &str, scaling: Scaling, config: &MrpConfig) -> Vec<Vec<Cell>> {
+fn run_part(
+    title: &str,
+    scaling: Scaling,
+    config: &MrpConfig,
+    pool: &ThreadPool,
+) -> Vec<Vec<Cell>> {
     print_header(
         title,
         "rows: example filters; columns: MRPF+CSE / CSE per wordlength",
     );
     let suites: Vec<Vec<Cell>> = WORDLENGTHS
         .iter()
-        .map(|&w| evaluate_suite(w, scaling, config))
+        .map(|&w| evaluate_suite_on(pool, w, scaling, config))
         .collect();
     let mut per_w: Vec<Vec<f64>> = vec![Vec::new(); WORDLENGTHS.len()];
     println!(
@@ -74,17 +82,22 @@ fn part_stats(suites: &[Vec<Cell>]) -> (f64, f64, u64) {
 }
 
 fn main() {
+    let start = std::time::Instant::now();
+    let jobs = jobs_from_args();
+    let pool = ThreadPool::new(jobs);
     let config = MrpConfig::default();
     let uniform = run_part(
         "Figure 8a — MRPF+CSE vs CSE, uniformly scaled",
         Scaling::Uniform,
         &config,
+        &pool,
     );
     println!();
     let maximal = run_part(
         "Figure 8b — MRPF+CSE vs CSE, maximally scaled",
         Scaling::Maximal,
         &config,
+        &pool,
     );
 
     let (uni_vs_cse, uni_vs_simple, uni_cells) = part_stats(&uniform);
@@ -99,5 +112,8 @@ fn main() {
             ("maximal_vs_simple", max_vs_simple),
         ],
     );
+    report
+        .int("jobs", jobs as u64)
+        .int("elapsed_ms", start.elapsed().as_millis() as u64);
     report.write_and_announce();
 }

@@ -2,17 +2,24 @@
 //! synthesized-cost view through the CLA adder model (the paper's "7 % and
 //! 16 % improvement ... using carry lookahead adder ... in .25 µ").
 
-use mrp_bench::{evaluate_suite, mean, print_header, ratio, BenchReport, WORDLENGTHS};
+use mrp_bench::{
+    evaluate_suite_on, jobs_from_args, mean, print_header, ratio, BenchReport, WORDLENGTHS,
+};
 use mrp_core::MrpConfig;
 use mrp_hwcost::{block_cost, AdderKind, Technology};
 use mrp_numrep::Scaling;
 
 fn main() {
+    let start = std::time::Instant::now();
+    let jobs = jobs_from_args();
+    let pool = mrp_batch::ThreadPool::new(jobs);
     let config = MrpConfig::default();
     let tech = Technology::cmos025();
     print_header(
         "Summary — every headline claim of the MRPF paper",
-        "12 example filters x W in {8,12,16,20} x {uniform, maximal} scaling",
+        &format!(
+            "12 example filters x W in {{8,12,16,20}} x {{uniform, maximal}} scaling (--jobs {jobs})"
+        ),
     );
 
     let mut mrp_vs_simple_uni = Vec::new();
@@ -27,7 +34,7 @@ fn main() {
 
     for scaling in [Scaling::Uniform, Scaling::Maximal] {
         for &w in &WORDLENGTHS {
-            let cells = evaluate_suite(w, scaling, &config);
+            let cells = evaluate_suite_on(&pool, w, scaling, &config);
             for c in &cells {
                 let r_simple = ratio(c.report.mrp, c.report.simple);
                 let r_cse = ratio(c.report.mrp_cse, c.report.cse);
@@ -132,6 +139,8 @@ fn main() {
                 ("area_mrpcse_vs_cse", pct(&area_mrpcse_vs_cse)),
             ],
         )
-        .float("adders_per_tap_w16", mean(&adders_per_tap_w16));
+        .float("adders_per_tap_w16", mean(&adders_per_tap_w16))
+        .int("jobs", jobs as u64)
+        .int("elapsed_ms", start.elapsed().as_millis() as u64);
     report.write_and_announce();
 }

@@ -97,6 +97,36 @@ pub fn quantized_example(example: &ExampleFilter, wordlength: u32, scaling: Scal
         .values
 }
 
+/// Evaluates one example at one wordlength/scaling: quantize, run every
+/// scheme, and record the supervised driver's rung.
+fn evaluate_example(
+    ex: &ExampleFilter,
+    wordlength: u32,
+    scaling: Scaling,
+    config: &MrpConfig,
+) -> Cell {
+    let coeffs = quantized_example(ex, wordlength, scaling);
+    let report = adder_report(&coeffs, config)
+        .unwrap_or_else(|e| panic!("example {} failed to optimize: {e}", ex.index));
+    let synth_cfg = SynthConfig {
+        base: *config,
+        ..SynthConfig::default()
+    };
+    let rung = match synthesize(&coeffs, &synth_cfg) {
+        Ok(outcome) => outcome.rung.name(),
+        Err(_) => "failed",
+    };
+    Cell {
+        example: ex.index,
+        label: ex.label(),
+        wordlength,
+        scaling,
+        coeffs,
+        report,
+        rung,
+    }
+}
+
 /// Evaluates the full example suite at one wordlength/scaling.
 ///
 /// # Panics
@@ -106,29 +136,59 @@ pub fn quantized_example(example: &ExampleFilter, wordlength: u32, scaling: Scal
 pub fn evaluate_suite(wordlength: u32, scaling: Scaling, config: &MrpConfig) -> Vec<Cell> {
     example_filters()
         .iter()
-        .map(|ex| {
-            let coeffs = quantized_example(ex, wordlength, scaling);
-            let report = adder_report(&coeffs, config)
-                .unwrap_or_else(|e| panic!("example {} failed to optimize: {e}", ex.index));
-            let synth_cfg = SynthConfig {
-                base: *config,
-                ..SynthConfig::default()
-            };
-            let rung = match synthesize(&coeffs, &synth_cfg) {
-                Ok(outcome) => outcome.rung.name(),
-                Err(_) => "failed",
-            };
-            Cell {
-                example: ex.index,
-                label: ex.label(),
-                wordlength,
-                scaling,
-                coeffs,
-                report,
-                rung,
-            }
+        .map(|ex| evaluate_example(ex, wordlength, scaling, config))
+        .collect()
+}
+
+/// [`evaluate_suite`] with the per-example work fanned out on `pool`.
+///
+/// Every cell is a pure function of its example and parameters, so the
+/// result is identical to the sequential suite for any worker count —
+/// the `--jobs` axis in the bench binaries changes wall-clock only,
+/// never the published numbers.
+///
+/// # Panics
+///
+/// Panics if any per-example job fails (same contract as
+/// [`evaluate_suite`]).
+pub fn evaluate_suite_on(
+    pool: &mrp_batch::ThreadPool,
+    wordlength: u32,
+    scaling: Scaling,
+    config: &MrpConfig,
+) -> Vec<Cell> {
+    let config = *config;
+    let jobs: Vec<_> = example_filters()
+        .into_iter()
+        .map(|ex| move || evaluate_example(&ex, wordlength, scaling, &config))
+        .collect();
+    pool.run_indexed(jobs)
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| panic!("bench evaluation of example {} panicked", i + 1))
         })
         .collect()
+}
+
+/// Parses the `--jobs N` axis from the binary's command line (default 1,
+/// clamped to `1..=256`). Every figure binary accepts it so parallel
+/// speedup lands in the `BENCH_*.json` trajectory alongside the quality
+/// numbers.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            if let Some(v) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return v.clamp(1, 256);
+            }
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            if let Ok(v) = v.parse::<usize>() {
+                return v.clamp(1, 256);
+            }
+        }
+    }
+    1
 }
 
 /// One-line (or multi-line on degradation) report of the fallback rungs
@@ -226,6 +286,21 @@ mod tests {
         let banner = rung_banner(&mixed);
         assert!(banner.contains("WARNING"), "{banner}");
         assert!(banner.contains("rung spt"), "{banner}");
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential() {
+        let config = MrpConfig::default();
+        let pool = mrp_batch::ThreadPool::new(3);
+        let seq = evaluate_suite(8, Scaling::Uniform, &config);
+        let par = evaluate_suite_on(&pool, 8, Scaling::Uniform, &config);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.example, p.example);
+            assert_eq!(s.coeffs, p.coeffs);
+            assert_eq!(s.report, p.report);
+            assert_eq!(s.rung, p.rung);
+        }
     }
 
     #[test]

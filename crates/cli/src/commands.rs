@@ -3,6 +3,7 @@
 use std::fmt;
 
 use mrp_arch::emit_verilog;
+use mrp_batch::{parse_specs, run_batch, BatchOptions};
 use mrp_core::{adder_report, MrpConfig, MrpOptimizer, SeedOptimizer};
 use mrp_filters::{butterworth_fir, least_squares, remez, FilterSpec};
 use mrp_lint::{lint_graph, lint_verilog, LintConfig};
@@ -57,6 +58,14 @@ USAGE:
                  --trace writes a Chrome trace_event JSON loadable in
                  chrome://tracing or Perfetto, --metrics a flat
                  counters/gauges/histograms JSON)
+  mrpf batch    SPECS.json [--jobs N] [--racing] [--json] [--out FILE]
+                [--deadline-ms MS] [--min-quality RUNG] [--start RUNG]
+                [--faults SPEC] [--exact-nodes N] [--width BITS]
+                [--trace FILE] [--metrics FILE]
+                (synthesize every filter in a JSON spec file on a
+                 work-stealing pool; identical normalized coefficient
+                 vectors share one synthesis, and the report bytes are
+                 identical for any --jobs value; see docs/batch.md)
   mrpf help
 ";
 
@@ -74,6 +83,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "respond" => respond(args),
         "lint" => lint(args),
         "synth" => synth(args),
+        "batch" => batch(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail!("unknown subcommand `{other}`\n\n{USAGE}"),
     }
@@ -251,8 +261,9 @@ fn parse_rung(args: &Args, option: &str, default: &str) -> Result<Rung, CliError
     }
 }
 
-fn synth(args: &Args) -> Result<String, CliError> {
-    let coeffs = parse_coeffs(args)?;
+/// Builds the supervised-synthesis configuration shared by `synth` and
+/// `batch` from the common option set.
+fn parse_synth_config(args: &Args) -> Result<SynthConfig, CliError> {
     let base = parse_config(args)?;
     let width = args.get_usize("width", 16)? as u32;
     if width == 0 || width > 48 {
@@ -271,7 +282,7 @@ fn synth(args: &Args) -> Result<String, CliError> {
         bail!("--exact-nodes must be at least 1");
     }
     let faults = FaultPlan::parse(&args.get_str("faults", "")).map_err(CliError)?;
-    let cfg = SynthConfig {
+    Ok(SynthConfig {
         base,
         budget: StageBudget {
             deadline_ms,
@@ -284,7 +295,12 @@ fn synth(args: &Args) -> Result<String, CliError> {
             ..LintConfig::default()
         },
         faults,
-    };
+    })
+}
+
+fn synth(args: &Args) -> Result<String, CliError> {
+    let coeffs = parse_coeffs(args)?;
+    let cfg = parse_synth_config(args)?;
     let trace_path = args.get("trace").map(str::to_string);
     let metrics_path = args.get("metrics").map(str::to_string);
     if trace_path.is_some() || metrics_path.is_some() {
@@ -316,6 +332,66 @@ fn synth(args: &Args) -> Result<String, CliError> {
     } else {
         outcome.render_pretty()
     })
+}
+
+fn batch(args: &Args) -> Result<String, CliError> {
+    let Some(path) = args.positional.first() else {
+        bail!("expected a spec file, e.g. mrpf batch specs.json --jobs 4");
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read spec file `{path}`: {e}")))?;
+    let specs = parse_specs(&text).map_err(CliError)?;
+    let jobs = args.get_usize("jobs", 1)?;
+    if jobs == 0 || jobs > 256 {
+        bail!("--jobs must be within 1..=256");
+    }
+    let options = BatchOptions {
+        jobs,
+        racing: args.flag("racing"),
+        synth: parse_synth_config(args)?,
+    };
+    let trace_path = args.get("trace").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    if trace_path.is_some() || metrics_path.is_some() {
+        mrp_obs::enable();
+        mrp_obs::reset();
+    }
+    // Same panic-hook discipline as `synth`: failed rungs are isolated
+    // and reported as degradations, not backtraces.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_batch(&specs, &options);
+    std::panic::set_hook(previous_hook);
+    if let Some(path) = &trace_path {
+        write_observability_file(path, &mrp_obs::export_chrome_trace())?;
+    }
+    if let Some(path) = &metrics_path {
+        write_observability_file(path, &mrp_obs::export_metrics_json())?;
+    }
+    if trace_path.is_some() || metrics_path.is_some() {
+        mrp_obs::disable();
+        mrp_obs::reset();
+    }
+    let rendered = if args.flag("json") {
+        report.render_json()
+    } else {
+        report.render_pretty()
+    };
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, &rendered)
+            .map_err(|e| CliError(format!("cannot write report `{out}`: {e}")))?;
+        return Ok(format!(
+            "wrote {} result(s) ({} unique, {} cache hit(s), {} failed) to {out}",
+            report.rows.len(),
+            report.unique,
+            report.cache_hits(),
+            report.failed()
+        ));
+    }
+    if report.failed() == report.rows.len() {
+        return Err(CliError(rendered));
+    }
+    Ok(rendered)
 }
 
 fn write_observability_file(path: &str, contents: &str) -> Result<(), CliError> {
@@ -565,6 +641,67 @@ mod tests {
         assert!(run_line("synth 70,66 --exact-nodes 0").is_err());
         assert!(run_line("synth 70,66 --width 99").is_err());
         assert!(run_line("synth").is_err());
+    }
+
+    fn write_temp_specs(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(
+            &path,
+            r#"{"filters": [
+                {"name": "a", "coeffs": [70, 66, 17, 9]},
+                {"name": "a2x", "coeffs": [140, 132, 34, 18]},
+                {"name": "b", "coeffs": [23, 45, 77]}
+            ]}"#,
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn batch_runs_spec_file_with_cache_hits() {
+        let path = write_temp_specs("mrpf_cli_test_batch.json");
+        let out = run_line(&format!("batch {}", path.display())).unwrap();
+        assert!(out.contains("3 spec(s), 2 unique, 1 cache hit(s)"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_json_identical_across_jobs_and_racing() {
+        let path = write_temp_specs("mrpf_cli_test_batch_jobs.json");
+        let base = run_line(&format!("batch {} --json --jobs 1", path.display())).unwrap();
+        assert!(base.contains("\"cache_hits\":1"), "{base}");
+        for extra in ["--jobs 4", "--jobs 2 --racing"] {
+            let other = run_line(&format!("batch {} --json {extra}", path.display())).unwrap();
+            assert_eq!(base, other, "{extra} changed the report bytes");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_writes_report_file() {
+        let spec = write_temp_specs("mrpf_cli_test_batch_out.json");
+        let out_path = std::env::temp_dir().join("mrpf_cli_test_batch_report.json");
+        let msg = run_line(&format!(
+            "batch {} --json --out {}",
+            spec.display(),
+            out_path.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote 3 result(s)"), "{msg}");
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        assert!(written.contains("\"batch\":{\"specs\":3"), "{written}");
+        let _ = std::fs::remove_file(&spec);
+        let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn batch_rejects_bad_inputs() {
+        assert!(run_line("batch").is_err());
+        assert!(run_line("batch /nonexistent-dir-zz/specs.json").is_err());
+        let path = write_temp_specs("mrpf_cli_test_batch_badjobs.json");
+        assert!(run_line(&format!("batch {} --jobs 0", path.display())).is_err());
+        assert!(run_line(&format!("batch {} --jobs 999", path.display())).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -7,11 +7,20 @@
 //! uncovered vertex, prunes on the incumbent cost, and gives up
 //! deterministically after a node budget (falling back to the greedy).
 
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use crate::color::ColorGraph;
 use crate::cover::{select_colors, CoverSolution};
 
 /// Default node-expansion budget for [`select_colors_exact`].
 pub const DEFAULT_NODE_BUDGET: usize = 200_000;
+
+/// Shards dispatched between two reads of the shared best-so-far bound in
+/// [`select_colors_exact_sharded`]. Fixed (worker-count-independent) so
+/// the bound every shard starts from — and therefore the whole search —
+/// is deterministic for any number of workers.
+const SHARD_ROUND: usize = 4;
 
 /// Result of a budgeted exact cover search.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,7 +69,7 @@ pub fn select_colors_exact(graph: &ColorGraph, primaries: &[i64]) -> CoverSoluti
 /// `node_budget` search nodes and reports whether the budget ran out. On
 /// exhaustion the best-so-far cover (at worst the greedy incumbent) is
 /// returned instead of discarding partial progress, so callers under a
-/// [`StageBudget`-style](MrpConfig::exact_node_budget) cap still get the
+/// stage-budget-style cap still get the
 /// strongest answer the budget bought.
 ///
 /// # Panics
@@ -72,103 +81,20 @@ pub fn select_colors_exact_budgeted(
     node_budget: usize,
 ) -> ExactCoverOutcome {
     let _span = mrp_obs::span("core.exact");
-    assert_eq!(
-        primaries.len(),
-        graph.vertex_count(),
-        "primaries/graph mismatch"
-    );
+    let Some(prep) = Prepared::build(graph, primaries) else {
+        return ExactCoverOutcome {
+            solution: select_colors(graph, primaries, 0.5),
+            budget_exhausted: false,
+            nodes_expanded: 0,
+        };
+    };
     let n = graph.vertex_count();
-    let greedy = select_colors(graph, primaries, 0.5);
-    if n == 0 || graph.color_count() == 0 {
-        return ExactCoverOutcome {
-            solution: greedy,
-            budget_exhausted: false,
-            nodes_expanded: 0,
-        };
-    }
-    let color_sets: Vec<Vec<usize>> = (0..graph.color_count())
-        .map(|ci| graph.color_set(ci))
-        .collect();
-    // Per-vertex candidate classes.
-    let mut covering: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (ci, set) in color_sets.iter().enumerate() {
-        for &v in set {
-            covering[v].push(ci);
-        }
-    }
-    if covering.iter().any(Vec::is_empty) {
-        // Some vertex has no incoming color at all (single-vertex graphs);
-        // the greedy path (roots) handles it.
-        return ExactCoverOutcome {
-            solution: greedy,
-            budget_exhausted: false,
-            nodes_expanded: 0,
-        };
-    }
-    let greedy_cost: u32 = greedy.class_indices.iter().map(|&ci| graph.cost(ci)).sum();
-
-    struct Search<'a> {
-        graph: &'a ColorGraph,
-        color_sets: &'a [Vec<usize>],
-        covering: &'a [Vec<usize>],
-        best_cost: u32,
-        best: Option<Vec<usize>>,
-        nodes: usize,
-        node_budget: usize,
-    }
-
-    impl Search<'_> {
-        fn go(&mut self, covered: &mut Vec<bool>, chosen: &mut Vec<usize>, cost: u32) {
-            if self.nodes >= self.node_budget {
-                return;
-            }
-            self.nodes += 1;
-            if cost >= self.best_cost {
-                return;
-            }
-            // Most-constrained uncovered vertex.
-            let pick = (0..covered.len())
-                .filter(|&v| !covered[v])
-                .min_by_key(|&v| self.covering[v].len());
-            let Some(v) = pick else {
-                // Full cover, strictly better than incumbent.
-                self.best_cost = cost;
-                self.best = Some(chosen.clone());
-                return;
-            };
-            // Branch on each class covering v, cheapest first.
-            let mut candidates = self.covering[v].clone();
-            candidates.sort_by_key(|&ci| self.graph.cost(ci));
-            for ci in candidates {
-                if chosen.contains(&ci) {
-                    continue;
-                }
-                let newly: Vec<usize> = self.color_sets[ci]
-                    .iter()
-                    .copied()
-                    .filter(|&u| !covered[u])
-                    .collect();
-                if newly.is_empty() {
-                    continue;
-                }
-                for &u in &newly {
-                    covered[u] = true;
-                }
-                chosen.push(ci);
-                self.go(covered, chosen, cost + self.graph.cost(ci));
-                chosen.pop();
-                for &u in &newly {
-                    covered[u] = false;
-                }
-            }
-        }
-    }
 
     let mut search = Search {
         graph,
-        color_sets: &color_sets,
-        covering: &covering,
-        best_cost: greedy_cost + 1, // accept equal-cost greedy as incumbent
+        color_sets: &prep.color_sets,
+        covering: &prep.covering,
+        best_cost: prep.greedy_cost + 1, // accept equal-cost greedy as incumbent
         best: None,
         nodes: 0,
         node_budget: node_budget.max(1),
@@ -182,9 +108,135 @@ pub fn select_colors_exact_budgeted(
     if budget_exhausted {
         mrp_obs::instant("core.exact.budget_exhausted");
     }
+    finish(
+        graph,
+        primaries,
+        search.best,
+        prep.greedy,
+        budget_exhausted,
+        search.nodes,
+    )
+}
+
+/// Shared preprocessing of both exact searches: greedy incumbent,
+/// per-color vertex sets, per-vertex candidate lists. `None` means the
+/// instance is degenerate (no vertices/colors, or an uncoverable vertex)
+/// and the greedy cover is the answer.
+struct Prepared {
+    greedy: CoverSolution,
+    greedy_cost: u32,
+    color_sets: Vec<Vec<usize>>,
+    covering: Vec<Vec<usize>>,
+}
+
+impl Prepared {
+    fn build(graph: &ColorGraph, primaries: &[i64]) -> Option<Prepared> {
+        assert_eq!(
+            primaries.len(),
+            graph.vertex_count(),
+            "primaries/graph mismatch"
+        );
+        let n = graph.vertex_count();
+        let greedy = select_colors(graph, primaries, 0.5);
+        if n == 0 || graph.color_count() == 0 {
+            return None;
+        }
+        let color_sets: Vec<Vec<usize>> = (0..graph.color_count())
+            .map(|ci| graph.color_set(ci))
+            .collect();
+        // Per-vertex candidate classes.
+        let mut covering: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, set) in color_sets.iter().enumerate() {
+            for &v in set {
+                covering[v].push(ci);
+            }
+        }
+        if covering.iter().any(Vec::is_empty) {
+            // Some vertex has no incoming color at all (single-vertex
+            // graphs); the greedy path (roots) handles it.
+            return None;
+        }
+        let greedy_cost: u32 = greedy.class_indices.iter().map(|&ci| graph.cost(ci)).sum();
+        Some(Prepared {
+            greedy,
+            greedy_cost,
+            color_sets,
+            covering,
+        })
+    }
+}
+
+struct Search<'a> {
+    graph: &'a ColorGraph,
+    color_sets: &'a [Vec<usize>],
+    covering: &'a [Vec<usize>],
+    best_cost: u32,
+    best: Option<Vec<usize>>,
+    nodes: usize,
+    node_budget: usize,
+}
+
+impl Search<'_> {
+    fn go(&mut self, covered: &mut Vec<bool>, chosen: &mut Vec<usize>, cost: u32) {
+        if self.nodes >= self.node_budget {
+            return;
+        }
+        self.nodes += 1;
+        if cost >= self.best_cost {
+            return;
+        }
+        // Most-constrained uncovered vertex.
+        let pick = (0..covered.len())
+            .filter(|&v| !covered[v])
+            .min_by_key(|&v| self.covering[v].len());
+        let Some(v) = pick else {
+            // Full cover, strictly better than incumbent.
+            self.best_cost = cost;
+            self.best = Some(chosen.clone());
+            return;
+        };
+        // Branch on each class covering v, cheapest first.
+        let mut candidates = self.covering[v].clone();
+        candidates.sort_by_key(|&ci| self.graph.cost(ci));
+        for ci in candidates {
+            if chosen.contains(&ci) {
+                continue;
+            }
+            let newly: Vec<usize> = self.color_sets[ci]
+                .iter()
+                .copied()
+                .filter(|&u| !covered[u])
+                .collect();
+            if newly.is_empty() {
+                continue;
+            }
+            for &u in &newly {
+                covered[u] = true;
+            }
+            chosen.push(ci);
+            self.go(covered, chosen, cost + self.graph.cost(ci));
+            chosen.pop();
+            for &u in &newly {
+                covered[u] = false;
+            }
+        }
+    }
+}
+
+/// Materializes the outcome from a finished search (`best` = improving
+/// class set, else fall back to the greedy incumbent).
+fn finish(
+    graph: &ColorGraph,
+    primaries: &[i64],
+    best: Option<Vec<usize>>,
+    greedy: CoverSolution,
+    budget_exhausted: bool,
+    nodes_expanded: usize,
+) -> ExactCoverOutcome {
+    let n = graph.vertex_count();
     // Best-so-far semantics: a cover found before the budget ran out is
     // still a valid, greedy-or-better cover — keep it even on exhaustion.
-    let solution = match search.best {
+    let solution = match best {
         Some(class_indices) => {
             let colors: Vec<i64> = class_indices.iter().map(|&ci| graph.colors()[ci]).collect();
             let free_vertices: Vec<usize> =
@@ -200,7 +252,187 @@ pub fn select_colors_exact_budgeted(
     ExactCoverOutcome {
         solution,
         budget_exhausted,
-        nodes_expanded: search.nodes,
+        nodes_expanded,
+    }
+}
+
+/// Result of one shard of the sharded search: the subtree under one
+/// forced root-level class choice, explored with a deterministic node
+/// quota and a bound frozen at the shard's round start.
+struct ShardResult {
+    best: Option<(u32, Vec<usize>)>,
+    nodes: usize,
+    exhausted: bool,
+}
+
+/// Deterministic parallel variant of [`select_colors_exact_budgeted`]:
+/// the root-level branches (candidate classes covering the
+/// most-constrained vertex, cheapest first) become independent shards
+/// executed by up to `workers` threads. A shared atomic best-so-far
+/// bound is tightened by every finished shard with `fetch_min`, but
+/// shards read it only at fixed round boundaries (`SHARD_ROUND` shards
+/// per round), so each shard's exploration is a pure function of
+/// worker-count-independent inputs — the returned [`ExactCoverOutcome`]
+/// (cost, cover, `budget_exhausted`, and `nodes_expanded`) is *identical
+/// for any `workers`*, including 1.
+///
+/// The node budget is enforced globally: shards receive deterministic
+/// quotas carved out of the remaining budget at each round start
+/// (`remaining / shards_not_yet_run`), unused quota flows back into the
+/// pool for later rounds, and the total nodes expanded never exceed
+/// `node_budget`. `budget_exhausted` is `true` when any shard hit its
+/// quota with its subtree unfinished.
+///
+/// Ties between shards are broken by shard order (the sequential
+/// search's cheapest-first branch order), so the sharded search agrees
+/// with [`select_colors_exact_budgeted`] on the optimal cost whenever
+/// neither is budget-limited.
+///
+/// # Panics
+///
+/// Panics if `primaries.len()` disagrees with the graph.
+pub fn select_colors_exact_sharded(
+    graph: &ColorGraph,
+    primaries: &[i64],
+    node_budget: usize,
+    workers: usize,
+) -> ExactCoverOutcome {
+    let _span = mrp_obs::span("core.exact");
+    let workers = workers.max(1);
+    let Some(prep) = Prepared::build(graph, primaries) else {
+        return ExactCoverOutcome {
+            solution: select_colors(graph, primaries, 0.5),
+            budget_exhausted: false,
+            nodes_expanded: 0,
+        };
+    };
+    let n = graph.vertex_count();
+    let node_budget = node_budget.max(1);
+
+    // Root expansion (one node, mirroring the sequential search): pick
+    // the most-constrained vertex and branch on its candidate classes,
+    // cheapest first. Each branch is one shard.
+    let v0 = (0..n)
+        .min_by_key(|&v| prep.covering[v].len())
+        .expect("n > 0");
+    let mut shard_classes = prep.covering[v0].clone();
+    shard_classes.sort_by_key(|&ci| graph.cost(ci));
+    mrp_obs::counter_add("core.exact.shards", shard_classes.len() as u64);
+
+    // Shared best-so-far bound (exclusive: shards prune `cost >= bound`).
+    // Seeded by the greedy incumbent; `fetch_min` after every shard, read
+    // at round starts only.
+    let bound = AtomicU32::new(prep.greedy_cost + 1);
+    let mut results: Vec<Option<ShardResult>> = Vec::new();
+    results.resize_with(shard_classes.len(), || None);
+    let mut remaining = node_budget - 1; // root node spent
+    let mut next = 0usize;
+    while next < shard_classes.len() {
+        let round: Vec<usize> = (next..shard_classes.len().min(next + SHARD_ROUND)).collect();
+        let shards_left = shard_classes.len() - next;
+        let quota = remaining / shards_left;
+        let round_bound = bound.load(Ordering::SeqCst);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ShardResult>>> =
+            round.iter().map(|_| Mutex::new(None)).collect();
+        let run_shard = |pos: usize| {
+            let shard_idx = round[pos];
+            let ci = shard_classes[shard_idx];
+            let result = explore_shard(graph, &prep, ci, round_bound, quota);
+            if let Some((cost, _)) = &result.best {
+                bound.fetch_min(*cost, Ordering::SeqCst);
+            }
+            *slots[pos].lock().unwrap() = Some(result);
+        };
+        let threads = workers.min(round.len());
+        if threads <= 1 {
+            for pos in 0..round.len() {
+                run_shard(pos);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let pos = cursor.fetch_add(1, Ordering::SeqCst);
+                        if pos >= round.len() {
+                            break;
+                        }
+                        run_shard(pos);
+                    });
+                }
+            });
+        }
+        for (pos, &shard_idx) in round.iter().enumerate() {
+            let result = slots[pos]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("every shard in the round ran");
+            remaining = remaining.saturating_sub(result.nodes);
+            results[shard_idx] = Some(result);
+        }
+        next += round.len();
+    }
+
+    // Deterministic reduction: first shard (in branch order) holding the
+    // minimum cost wins; ties with earlier rounds were already pruned by
+    // the published bound, ties within a round resolve by shard index.
+    let mut best: Option<(u32, Vec<usize>)> = None;
+    let mut nodes = 1usize; // root
+    let mut exhausted = false;
+    for result in results.into_iter().flatten() {
+        nodes += result.nodes;
+        exhausted |= result.exhausted;
+        if let Some((cost, chosen)) = result.best {
+            if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                best = Some((cost, chosen));
+            }
+        }
+    }
+    mrp_obs::counter_add("core.exact.nodes", nodes as u64);
+    if exhausted {
+        mrp_obs::instant("core.exact.budget_exhausted");
+    }
+    finish(
+        graph,
+        primaries,
+        best.map(|(_, chosen)| chosen),
+        prep.greedy,
+        exhausted,
+        nodes,
+    )
+}
+
+/// Runs the branch-and-bound subtree under the forced first choice `ci`
+/// with a node quota and a frozen initial bound. Pure: the result depends
+/// only on the arguments.
+fn explore_shard(
+    graph: &ColorGraph,
+    prep: &Prepared,
+    ci: usize,
+    round_bound: u32,
+    quota: usize,
+) -> ShardResult {
+    let n = graph.vertex_count();
+    let mut covered = vec![false; n];
+    for &u in &prep.color_sets[ci] {
+        covered[u] = true;
+    }
+    let mut chosen = vec![ci];
+    let mut search = Search {
+        graph,
+        color_sets: &prep.color_sets,
+        covering: &prep.covering,
+        best_cost: round_bound,
+        best: None,
+        nodes: 0,
+        node_budget: quota,
+    };
+    search.go(&mut covered, &mut chosen, graph.cost(ci));
+    ShardResult {
+        best: search.best.map(|b| (search.best_cost, b)),
+        nodes: search.nodes,
+        exhausted: search.nodes >= search.node_budget,
     }
 }
 
@@ -296,5 +528,98 @@ mod tests {
         // Single primary: no colors at all.
         let (_, greedy, exact, _) = run(&[7, 14]);
         assert_eq!(greedy, exact);
+    }
+
+    const SWEEP_SETS: [&[i64]; 4] = [
+        &[70, 66, 17, 9, 27, 41, 56, 11],
+        &[23, 45, 77, 101, 173],
+        &[341, 173, 219, 85, 49, 33, 129],
+        &[13, 57, 99, 201, 255, 300],
+    ];
+
+    fn graph_of(coeffs: &[i64]) -> (ColorGraph, Vec<i64>) {
+        let set = CoeffSet::new(coeffs).unwrap();
+        let primaries = set.primaries().to_vec();
+        let graph = ColorGraph::build(&primaries, 6, Repr::Spt);
+        (graph, primaries)
+    }
+
+    #[test]
+    fn sharded_outcome_identical_for_every_worker_count() {
+        for coeffs in SWEEP_SETS {
+            let (graph, primaries) = graph_of(coeffs);
+            let base = select_colors_exact_sharded(&graph, &primaries, DEFAULT_NODE_BUDGET, 1);
+            for workers in [2, 8] {
+                let other =
+                    select_colors_exact_sharded(&graph, &primaries, DEFAULT_NODE_BUDGET, workers);
+                assert_eq!(base, other, "workers={workers} diverged on {coeffs:?}");
+            }
+            assert!(covers(&graph, &base.solution), "incomplete: {coeffs:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_optimum_cost() {
+        for coeffs in SWEEP_SETS {
+            let (graph, primaries) = graph_of(coeffs);
+            let sequential = select_colors_exact_budgeted(&graph, &primaries, DEFAULT_NODE_BUDGET);
+            let sharded = select_colors_exact_sharded(&graph, &primaries, DEFAULT_NODE_BUDGET, 4);
+            assert!(!sequential.budget_exhausted && !sharded.budget_exhausted);
+            assert_eq!(
+                cost(&graph, &sequential.solution),
+                cost(&graph, &sharded.solution),
+                "optimal cost disagreement on {coeffs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_budget_enforced_globally_across_shards() {
+        let (graph, primaries) = graph_of(&[70, 66, 17, 9, 27, 41, 56, 11]);
+        let greedy = select_colors(&graph, &primaries, 0.5);
+        for budget in [1usize, 3, 10, 25] {
+            let base = select_colors_exact_sharded(&graph, &primaries, budget, 1);
+            assert!(
+                base.nodes_expanded <= budget,
+                "budget {budget} exceeded: {} nodes",
+                base.nodes_expanded
+            );
+            assert!(base.budget_exhausted, "budget {budget} cannot finish");
+            assert!(covers(&graph, &base.solution));
+            assert!(cost(&graph, &base.solution) <= cost(&graph, &greedy));
+            // The cap — and the exhausted search's whole outcome — is
+            // deterministic no matter how many workers share the budget.
+            for workers in [2, 8] {
+                let other = select_colors_exact_sharded(&graph, &primaries, budget, workers);
+                assert_eq!(base, other, "budget {budget}, workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_degenerate_instances_fall_back() {
+        let (graph, primaries) = graph_of(&[7, 14]);
+        let greedy = select_colors(&graph, &primaries, 0.5);
+        let sharded = select_colors_exact_sharded(&graph, &primaries, DEFAULT_NODE_BUDGET, 4);
+        assert_eq!(sharded.solution, greedy);
+        assert!(!sharded.budget_exhausted);
+    }
+
+    #[test]
+    fn sharded_via_optimizer_config() {
+        use crate::{MrpConfig, MrpOptimizer};
+        let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+        let mut results = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let cfg = MrpConfig {
+                exact_cover: true,
+                exact_workers: workers,
+                ..MrpConfig::default()
+            };
+            let r = MrpOptimizer::new(cfg).optimize(&coeffs).unwrap();
+            results.push((r.total_adders(), r.seed_roots, r.seed_colors));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
     }
 }

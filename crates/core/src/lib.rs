@@ -52,7 +52,8 @@ pub use color::{ColorGraph, SidEdge};
 pub use cover::{select_colors, CoverSolution};
 pub use error::MrpError;
 pub use exact::{
-    select_colors_exact, select_colors_exact_budgeted, ExactCoverOutcome, DEFAULT_NODE_BUDGET,
+    select_colors_exact, select_colors_exact_budgeted, select_colors_exact_sharded,
+    ExactCoverOutcome, DEFAULT_NODE_BUDGET,
 };
 pub use flat::{realize_cse, realize_simple};
 pub use mst_diff::{mst_differential, MstDiffResult};

@@ -55,6 +55,11 @@ pub struct MrpConfig {
     /// best cover found so far (at worst the greedy one) is used. Lets a
     /// supervising driver bound worst-case synthesis latency.
     pub exact_node_budget: usize,
+    /// Worker threads for the exact cover search. `0` or `1` runs the
+    /// sequential search; larger values shard the branch-and-bound via
+    /// [`select_colors_exact_sharded`](crate::select_colors_exact_sharded),
+    /// whose outcome is identical for every worker count.
+    pub exact_workers: usize,
 }
 
 impl Default for MrpConfig {
@@ -67,6 +72,7 @@ impl Default for MrpConfig {
             seed_optimizer: SeedOptimizer::Direct,
             exact_cover: false,
             exact_node_budget: crate::exact::DEFAULT_NODE_BUDGET,
+            exact_workers: 1,
         }
     }
 }
@@ -253,8 +259,22 @@ fn realize_vector(
         ColorGraph::build(values, max_shift, config.repr)
     };
     let cover = if config.exact_cover && values.len() <= 24 {
-        crate::exact::select_colors_exact_budgeted(&color_graph, values, config.exact_node_budget)
+        if config.exact_workers > 1 {
+            crate::exact::select_colors_exact_sharded(
+                &color_graph,
+                values,
+                config.exact_node_budget,
+                config.exact_workers,
+            )
             .solution
+        } else {
+            crate::exact::select_colors_exact_budgeted(
+                &color_graph,
+                values,
+                config.exact_node_budget,
+            )
+            .solution
+        }
     } else {
         select_colors(&color_graph, values, config.beta)
     };

@@ -275,6 +275,38 @@ pub fn synthesize(coeffs: &[i64], config: &SynthConfig) -> Result<SynthOutcome, 
     }
 }
 
+/// Result of one successful rung attempt made through [`try_rung`].
+#[derive(Debug, Clone)]
+pub struct RungOutcome {
+    /// The lint-clean, coefficient-equivalent netlist the rung produced.
+    pub graph: AdderGraph,
+    /// Warning-severity lint findings on the accepted netlist.
+    pub lint_warnings: usize,
+}
+
+/// Attempts a single rung of the fallback ladder end to end — budgeted,
+/// panic-isolated build, then the lint and coefficient-equivalence gates
+/// — without walking the ladder on failure. This is the building block
+/// concurrent drivers (e.g. `mrp-batch`'s racing mode) use to run
+/// independent rung attempts in parallel under the same per-stage
+/// budgets the sequential [`synthesize`] driver enforces.
+///
+/// # Errors
+///
+/// Returns the same [`PipelineError`] taxonomy as [`synthesize`]; the
+/// caller decides whether to degrade, retry, or fail.
+pub fn try_rung(
+    coeffs: &[i64],
+    rung: Rung,
+    config: &SynthConfig,
+    deadline: &Deadline,
+) -> Result<RungOutcome, PipelineError> {
+    attempt_rung(coeffs, rung, config, deadline).map(|(graph, lint_warnings)| RungOutcome {
+        graph,
+        lint_warnings,
+    })
+}
+
 /// Attempts one rung end to end: fault checks, budgeted + isolated build,
 /// injected corruption, lint gate, equivalence gate.
 fn attempt_rung(

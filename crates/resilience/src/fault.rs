@@ -101,7 +101,8 @@ impl FaultPlan {
         FaultPlan { faults, seed }
     }
 
-    /// Parses the spec format described in the [module docs](self).
+    /// Parses the spec format described in the module docs
+    /// (`kind@rung` entries plus an optional `seed=N`, comma-separated).
     ///
     /// # Errors
     ///
