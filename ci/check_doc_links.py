@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Check every relative link and anchor in the repo's markdown docs.
+
+Usage:
+    python3 ci/check_doc_links.py [FILE.md ...]
+
+With no arguments, checks README.md and docs/*.md (the documented set).
+For each markdown link or image `[text](target)`:
+
+  * absolute URLs (http/https/mailto) are skipped — CI must not depend
+    on the network;
+  * a relative path must exist on disk (resolved from the linking file);
+  * a `#fragment` must match a GitHub-style heading slug in the target
+    file (or in the linking file for bare `#fragment` links).
+
+Exit status is the number of broken links.
+"""
+
+from __future__ import annotations
+
+import glob
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code spans."""
+    lines, out, fenced = text.splitlines(), [], False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(re.sub(r"`[^`]*`", "``", line))
+    return "\n".join(out)
+
+
+def github_slugs(path: Path) -> set[str]:
+    """GitHub-style anchor slugs for every heading in `path`."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in strip_code(path.read_text(encoding="utf-8")).splitlines():
+        m = re.match(r"^(#{1,6})\s+(.*?)\s*#*\s*$", line)
+        if not m:
+            continue
+        title = re.sub(r"[*_`]", "", m.group(2))
+        # Markdown links in headings contribute their text only.
+        title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)
+        slug = re.sub(r"[^\w\- ]", "", title.lower(), flags=re.UNICODE)
+        slug = slug.replace(" ", "-")
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def rel(path: Path, repo: Path) -> str:
+    try:
+        return str(path.relative_to(repo))
+    except ValueError:
+        return str(path)
+
+
+def check_file(path: Path, repo: Path) -> list[str]:
+    errors: list[str] = []
+    text = strip_code(path.read_text(encoding="utf-8"))
+    for target in LINK_RE.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        raw_path, _, fragment = target.partition("#")
+        if raw_path:
+            dest = (path.parent / raw_path).resolve()
+            if not dest.exists():
+                errors.append(f"{rel(path, repo)}: broken link `{target}` "
+                              f"(no such file {raw_path})")
+                continue
+        else:
+            dest = path.resolve()
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                errors.append(f"{rel(path, repo)}: anchor on non-markdown "
+                              f"target `{target}`")
+            elif fragment not in github_slugs(dest):
+                errors.append(f"{rel(path, repo)}: broken anchor `{target}` "
+                              f"(no heading slug `{fragment}` in "
+                              f"{rel(dest, repo)})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    repo = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = [repo / "README.md"] + sorted(
+            Path(p).resolve() for p in glob.glob(str(repo / "docs" / "*.md"))
+        )
+    errors: list[str] = []
+    checked = 0
+    for f in files:
+        if not f.exists():
+            errors.append(f"{f}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(f, repo))
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    print(f"doc-links: {checked} file(s) checked, {len(errors)} broken link(s)")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -34,6 +34,26 @@ use crate::netlist::AdderGraph;
 /// assert_eq!(filter.filter(&x), direct_fir(&coeffs, &x));
 /// # Ok::<(), mrp_arch::ArchError>(())
 /// ```
+///
+/// The paper's 8-tap worked example: whatever multiplier block realizes
+/// the taps, the impulse response of the full TDF filter reproduces the
+/// coefficient vector.
+///
+/// ```
+/// use mrp_arch::{simple_multiplier_block, FirFilter};
+/// use mrp_numrep::Repr;
+///
+/// let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+/// let (mut g, outs) = simple_multiplier_block(&coeffs, Repr::Csd)?;
+/// for (i, (&t, &c)) in outs.iter().zip(&coeffs).enumerate() {
+///     g.push_output(format!("c{i}"), t, c);
+/// }
+/// let filter = FirFilter::new(g);
+/// let mut impulse = vec![0i64; coeffs.len()];
+/// impulse[0] = 1;
+/// assert_eq!(filter.filter(&impulse), coeffs);
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct FirFilter {
     block: AdderGraph,

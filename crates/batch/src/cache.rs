@@ -1,4 +1,4 @@
-//! Coefficient-set normalization for the batch memo cache.
+//! Coefficient-set normalization and the shareable memo cache.
 //!
 //! In the MRP cost model shifts and a global sign are free: the
 //! multiplier block for `[2, 4, 6]` is the block for `[1, 2, 3]` with
@@ -9,6 +9,21 @@
 //! and the leading sign canonicalized to positive. Per-coefficient
 //! structure (order, zeros, relative signs) is preserved — those change
 //! the synthesized block and must not be conflated.
+//!
+//! [`MemoCache`] is the cross-run form of that cache: a lock-guarded map
+//! from normalized vector to the deterministic [`BatchCell`] slice of a
+//! synthesis, with hit/miss counters. One batch run dedups internally
+//! either way; a long-running process (`mrpf serve`) additionally shares
+//! one `MemoCache` across every request so repeat filters cost a lookup
+//! instead of a synthesis. Because synthesis is deterministic for a fixed
+//! configuration, serving a cached cell is byte-identical to recomputing
+//! it — the cache changes *when* work happens, never what a report says.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::BatchCell;
 
 /// Canonical cache key of a coefficient vector: divides out the largest
 /// power of two common to every coefficient and flips the global sign so
@@ -39,9 +54,113 @@ pub fn normalize_coeffs(coeffs: &[i64]) -> Vec<i64> {
     coeffs.iter().map(|&c| (c >> shift) * sign).collect()
 }
 
+/// A thread-safe memo cache of synthesis results keyed by
+/// [`normalize_coeffs`] vectors.
+///
+/// Values are the deterministic [`BatchCell`] slice of an outcome (or its
+/// rendered error) — never wall-clock data — so a cached entry is
+/// indistinguishable from a fresh synthesis under the same configuration.
+/// Entries are only valid for one synthesis configuration; callers that
+/// vary the configuration must use one cache per configuration (the
+/// server does: its configuration is fixed at startup).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_batch::MemoCache;
+///
+/// let cache = MemoCache::new();
+/// assert!(cache.lookup(&[1, 2, 3]).is_none());
+/// cache.store(vec![1, 2, 3], Err("demo".into()));
+/// assert!(cache.lookup(&[1, 2, 3]).is_some());
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    entries: Mutex<HashMap<Vec<i64>, Result<BatchCell, String>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// An empty cache with zeroed counters.
+    pub fn new() -> MemoCache {
+        MemoCache::default()
+    }
+
+    /// Looks up a normalized key, counting a hit or a miss.
+    pub fn lookup(&self, key: &[i64]) -> Option<Result<BatchCell, String>> {
+        let found = self
+            .entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            mrp_obs::counter_add("batch.memo.hit", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            mrp_obs::counter_add("batch.memo.miss", 1);
+        }
+        found
+    }
+
+    /// Stores the result of one synthesis. Last write wins; with a
+    /// deterministic pipeline concurrent writers store equal values.
+    pub fn store(&self, key: Vec<i64>, value: Result<BatchCell, String>) {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, value);
+    }
+
+    /// Number of cached normalized vectors.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn memo_cache_counts_and_stores() {
+        let cache = MemoCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&[7, 9]).is_none());
+        cache.store(
+            vec![7, 9],
+            Ok(BatchCell {
+                rung: "mrp+cse".into(),
+                adders: 3,
+                critical_path: 2,
+                degradations: 0,
+                lint_warnings: 0,
+            }),
+        );
+        let cell = cache.lookup(&[7, 9]).unwrap().unwrap();
+        assert_eq!(cell.adders, 3);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
 
     #[test]
     fn shift_and_sign_invariant() {

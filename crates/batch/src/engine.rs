@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use mrp_resilience::{synthesize, PipelineError, SynthConfig, SynthOutcome};
 
-use crate::cache::normalize_coeffs;
+use crate::cache::{normalize_coeffs, MemoCache};
 use crate::pool::ThreadPool;
 use crate::racing::synthesize_racing;
 use crate::spec::BatchSpec;
@@ -210,11 +210,31 @@ fn escape(s: &str) -> String {
 /// assert_eq!(report.cache_hits(), 1);
 /// ```
 pub fn run_batch(specs: &[BatchSpec], options: &BatchOptions) -> BatchReport {
-    let _span = mrp_obs::span("batch.run");
     let pool = Arc::new(ThreadPool::new(options.jobs));
+    run_batch_on(specs, options, &pool, &MemoCache::new())
+}
 
-    // Memo cache: first spec with a given normalized vector owns the
-    // synthesis; later ones are hits.
+/// [`run_batch`] on a caller-owned pool and memo cache.
+///
+/// This is the entry point for long-running callers (`mrpf serve`): the
+/// pool is shared across requests instead of being rebuilt per run, and
+/// the [`MemoCache`] short-circuits synthesis of normalized coefficient
+/// vectors seen by *any* earlier run on the same cache. The report is
+/// unaffected by either sharing: its `cache` column records within-run
+/// deduplication only, and a memo-cache hit returns the same
+/// deterministic [`BatchCell`] a fresh synthesis would produce — so the
+/// rendered bytes stay identical to a cold offline `run_batch` of the
+/// same specs under the same configuration.
+pub fn run_batch_on(
+    specs: &[BatchSpec],
+    options: &BatchOptions,
+    pool: &Arc<ThreadPool>,
+    memo: &MemoCache,
+) -> BatchReport {
+    let _span = mrp_obs::span("batch.run");
+
+    // Within-run dedup: first spec with a given normalized vector owns
+    // the synthesis; later ones are hits.
     let mut key_of_spec: Vec<usize> = Vec::with_capacity(specs.len());
     let mut first_seen: HashMap<Vec<i64>, usize> = HashMap::new();
     let mut unique: Vec<Vec<i64>> = Vec::new();
@@ -231,14 +251,18 @@ pub fn run_batch(specs: &[BatchSpec], options: &BatchOptions) -> BatchReport {
         key_of_spec.push(idx);
     }
 
-    let jobs: Vec<_> = unique
+    // Cross-run memo: cached keys skip the pool entirely.
+    let mut cells: Vec<Option<Result<BatchCell, String>>> =
+        unique.iter().map(|key| memo.lookup(key)).collect();
+
+    let pending: Vec<usize> = (0..unique.len()).filter(|&i| cells[i].is_none()).collect();
+    let jobs: Vec<_> = pending
         .iter()
-        .enumerate()
-        .map(|(i, coeffs)| {
-            let coeffs = coeffs.clone();
+        .map(|&i| {
+            let coeffs = unique[i].clone();
             let config = options.synth.clone();
             let racing = options.racing;
-            let pool = Arc::clone(&pool);
+            let pool = Arc::clone(pool);
             move || {
                 let _span = mrp_obs::span_dyn(format!("batch.synth[{i}]"));
                 if racing {
@@ -250,15 +274,16 @@ pub fn run_batch(specs: &[BatchSpec], options: &BatchOptions) -> BatchReport {
         })
         .collect();
     let outcomes = pool.run_indexed(jobs);
-
-    let cells: Vec<Result<BatchCell, String>> = outcomes
-        .into_iter()
-        .map(|slot| match slot {
+    for (&i, slot) in pending.iter().zip(outcomes) {
+        let cell = match slot {
             Some(Ok(outcome)) => Ok(BatchCell::from_outcome(&outcome)),
             Some(Err(error)) => Err(render_error(&error)),
             None => Err("synthesis job panicked".to_string()),
-        })
-        .collect();
+        };
+        memo.store(unique[i].clone(), cell.clone());
+        cells[i] = Some(cell);
+    }
+    let cells: Vec<Result<BatchCell, String>> = cells.into_iter().map(Option::unwrap).collect();
 
     let rows = specs
         .iter()
@@ -371,6 +396,30 @@ mod tests {
         )
         .render_json();
         assert_eq!(sequential, raced);
+    }
+
+    #[test]
+    fn shared_memo_cache_preserves_report_bytes_across_runs() {
+        let specs = example_specs();
+        let pool = Arc::new(ThreadPool::new(2));
+        let memo = MemoCache::new();
+        let options = BatchOptions::default();
+        let cold = run_batch_on(&specs, &options, &pool, &memo).render_json();
+        let entries = memo.len();
+        assert!(entries > 0);
+        let misses_after_cold = memo.misses();
+        // A warm run resolves every unique key from the cache...
+        let warm = run_batch_on(&specs, &options, &pool, &memo).render_json();
+        assert_eq!(memo.misses(), misses_after_cold, "warm run re-synthesized");
+        assert_eq!(memo.len(), entries);
+        assert!(memo.hits() >= entries as u64);
+        // ...and the bytes — including the within-run `cache` column —
+        // are identical to the cold run and to a fresh offline run.
+        assert_eq!(cold, warm);
+        assert_eq!(
+            cold,
+            run_batch(&specs, &BatchOptions::default()).render_json()
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   sign-normalized coefficient vectors share one synthesis) and
 //!   rendering a consolidated report whose bytes are identical for any
 //!   worker count.
+//! * [`run_batch_on`] / [`MemoCache`] — the same engine on a
+//!   caller-owned pool and a cross-run memo cache, for long-running
+//!   callers like `mrpf serve` that keep one pool and one cache alive
+//!   across many requests.
 //! * [`parse_specs`] / [`parse_json`] — a strict, dependency-free reader
 //!   for the JSON spec-file format.
 //!
@@ -34,8 +38,8 @@ mod pool;
 mod racing;
 mod spec;
 
-pub use cache::normalize_coeffs;
-pub use engine::{run_batch, BatchCell, BatchOptions, BatchReport, BatchRow};
+pub use cache::{normalize_coeffs, MemoCache};
+pub use engine::{run_batch, run_batch_on, BatchCell, BatchOptions, BatchReport, BatchRow};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use pool::ThreadPool;
 pub use racing::synthesize_racing;

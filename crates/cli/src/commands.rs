@@ -9,6 +9,7 @@ use mrp_filters::{butterworth_fir, least_squares, remez, FilterSpec};
 use mrp_lint::{lint_graph, lint_verilog, LintConfig};
 use mrp_numrep::{quantize, Repr, Scaling};
 use mrp_resilience::{synthesize, FaultPlan, Rung, StageBudget, SynthConfig};
+use mrp_serve::{ServeOptions, Server};
 
 use crate::args::{Args, ParseArgsError};
 
@@ -66,6 +67,15 @@ USAGE:
                  work-stealing pool; identical normalized coefficient
                  vectors share one synthesis, and the report bytes are
                  identical for any --jobs value; see docs/batch.md)
+  mrpf serve    [--addr HOST:PORT] [--jobs N] [--queue N] [--racing]
+                [--deadline-ms MS] [--min-quality RUNG] [--start RUNG]
+                [--exact-nodes N] [--width BITS] [--repr ...] [--beta B]
+                [--trace FILE] [--metrics FILE]
+                (long-running HTTP service over the batch engine:
+                 POST /synth, POST /batch, GET /healthz, GET /metricsz;
+                 a bounded queue answers 503 + Retry-After when full,
+                 every request runs under --deadline-ms, and ctrl-c
+                 drains in-flight work before exiting; see docs/serve.md)
   mrpf help
 ";
 
@@ -84,6 +94,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "lint" => lint(args),
         "synth" => synth(args),
         "batch" => batch(args),
+        "serve" => serve(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail!("unknown subcommand `{other}`\n\n{USAGE}"),
     }
@@ -394,6 +405,72 @@ fn batch(args: &Args) -> Result<String, CliError> {
     Ok(rendered)
 }
 
+fn serve(args: &Args) -> Result<String, CliError> {
+    let addr = args.get_str("addr", "127.0.0.1:7878");
+    let jobs = args.get_usize("jobs", 2)?;
+    if jobs == 0 || jobs > 256 {
+        bail!("--jobs must be within 1..=256");
+    }
+    let queue = args.get_usize("queue", (jobs * 8).max(8))?;
+    if queue == 0 || queue > 4096 {
+        bail!("--queue must be within 1..=4096");
+    }
+    let options = ServeOptions {
+        addr: addr.clone(),
+        jobs,
+        queue,
+        racing: args.flag("racing"),
+        synth: parse_synth_config(args)?,
+    };
+    let trace_path = args.get("trace").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let server =
+        Server::bind(options).map_err(|e| CliError(format!("cannot bind `{addr}`: {e}")))?;
+    // A server runs indefinitely: keep the bounded metrics registry live
+    // for /metricsz, but leave the unbounded event buffer off unless the
+    // operator explicitly asked for a trace file.
+    if trace_path.is_some() {
+        mrp_obs::enable();
+    } else {
+        mrp_obs::enable_metrics_only();
+    }
+    mrp_obs::reset();
+    println!(
+        "mrpf serve: listening on http://{} (jobs {jobs}, queue {queue}); ctrl-c drains and exits",
+        server.local_addr()
+    );
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    mrp_serve::install_interrupt_handler();
+    // Same panic-hook discipline as `synth`/`batch`: failed rungs are
+    // isolated and reported as degradations, not backtraces.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let summary = server.run();
+    std::panic::set_hook(previous_hook);
+    if let Some(path) = &trace_path {
+        write_observability_file(path, &mrp_obs::export_chrome_trace())?;
+    }
+    if let Some(path) = &metrics_path {
+        write_observability_file(path, &mrp_obs::export_metrics_json())?;
+    }
+    mrp_obs::disable();
+    mrp_obs::reset();
+    Ok(format!(
+        "drained: served {} request(s), rejected {} under backpressure; \
+         memo cache: {} entr{} ({} hit(s), {} miss(es))",
+        summary.served,
+        summary.rejected,
+        summary.cache_entries,
+        if summary.cache_entries == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        summary.cache_hits,
+        summary.cache_misses
+    ))
+}
+
 fn write_observability_file(path: &str, contents: &str) -> Result<(), CliError> {
     std::fs::write(path, contents)
         .map_err(|e| CliError(format!("cannot write observability file `{path}`: {e}")))
@@ -702,6 +779,30 @@ mod tests {
         assert!(run_line(&format!("batch {} --jobs 0", path.display())).is_err());
         assert!(run_line(&format!("batch {} --jobs 999", path.display())).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    // A *valid* serve invocation blocks on the accept loop, so only the
+    // argument-validation paths are reachable from unit tests; the live
+    // server is exercised by crates/serve/tests/http.rs and the CI
+    // serve-smoke job.
+    #[test]
+    fn serve_rejects_bad_inputs() {
+        assert!(run_line("serve --jobs 0").is_err());
+        assert!(run_line("serve --jobs 999").is_err());
+        assert!(run_line("serve --queue 0").is_err());
+        assert!(run_line("serve --queue 9999").is_err());
+        assert!(run_line("serve --width 99").is_err());
+        let err = run_line("serve --addr not-an-address").unwrap_err();
+        assert!(err.0.contains("cannot bind"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn usage_covers_every_subcommand() {
+        for name in [
+            "design", "optimize", "emit", "compare", "respond", "lint", "synth", "batch", "serve",
+        ] {
+            assert!(USAGE.contains(&format!("mrpf {name}")), "missing {name}");
+        }
     }
 
     #[test]

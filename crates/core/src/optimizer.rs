@@ -128,14 +128,27 @@ impl MrpResult {
 ///
 /// # Examples
 ///
+/// The paper's worked 8-tap example, end to end: optimize the
+/// coefficient vector with the Table 1 settings (depth ≤ 3, CSE over the
+/// SEED network), wrap the resulting multiplier block in the
+/// transposed-direct-form filter, and check that a unit impulse through
+/// the realized hardware model replays the coefficients exactly.
+///
 /// ```
+/// use mrp_arch::FirFilter;
 /// use mrp_core::{MrpConfig, MrpOptimizer, SeedOptimizer};
 ///
+/// let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
 /// let mut cfg = MrpConfig::default();
 /// cfg.max_depth = Some(3);
 /// cfg.seed_optimizer = SeedOptimizer::Cse;
-/// let result = MrpOptimizer::new(cfg).optimize(&[70, 66, 17, 9, 27, 41, 56, 11])?;
+/// let result = MrpOptimizer::new(cfg).optimize(&coeffs)?;
 /// assert!(result.total_adders() > 0);
+///
+/// let filter = FirFilter::new(result.graph);
+/// let mut impulse = vec![0i64; coeffs.len()];
+/// impulse[0] = 1;
+/// assert_eq!(filter.filter(&impulse), coeffs);
 /// # Ok::<(), mrp_core::MrpError>(())
 /// ```
 #[derive(Debug, Clone)]

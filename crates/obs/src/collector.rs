@@ -20,6 +20,13 @@ use crate::metrics::MetricsRegistry;
 /// the flag gates best-effort telemetry, not synchronization.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Whether trace *events* (spans and instants) are recorded. Metrics are
+/// gated by [`ENABLED`] alone; events additionally require this flag, so
+/// a long-running process (e.g. `mrpf serve`) can keep the bounded
+/// counter/gauge/histogram registry live without the unbounded event
+/// buffer growing for the lifetime of the process.
+static EVENTS: AtomicBool = AtomicBool::new(false);
+
 static COLLECTOR: OnceLock<Collector> = OnceLock::new();
 
 thread_local! {
@@ -128,6 +135,20 @@ pub fn enable() {
     // Materialize the collector (and its epoch) up front so the first
     // recorded timestamp is not also paying initialization.
     let _ = collector();
+    EVENTS.store(true, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns on the metrics registry only: counters, gauges, and histograms
+/// record, but spans and instants stay inert. This is the mode for
+/// processes that run indefinitely (e.g. `mrpf serve`): the metrics
+/// registry is bounded by the number of distinct metric names, while the
+/// event buffer grows with every span and would otherwise leak for the
+/// lifetime of the process. Call [`enable`] instead when a full trace is
+/// wanted (and bounded by the run).
+pub fn enable_metrics_only() {
+    let _ = collector();
+    EVENTS.store(false, Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
 }
 
@@ -135,12 +156,20 @@ pub fn enable() {
 /// sites go back to a single atomic load.
 pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
+    EVENTS.store(false, Ordering::Relaxed);
 }
 
-/// Whether the collector is currently recording.
+/// Whether the collector is currently recording (metrics at minimum).
 #[inline(always)]
 pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether spans and instants are currently recorded (full [`enable`]
+/// mode, as opposed to [`enable_metrics_only`]).
+#[inline(always)]
+pub fn events_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) && EVENTS.load(Ordering::Relaxed)
 }
 
 /// Clears all recorded events and metrics (the enabled flag is left
@@ -265,6 +294,39 @@ mod tests {
         for w in events.windows(2) {
             assert!(w[0].ts_ns <= w[1].ts_ns);
         }
+        reset();
+    }
+
+    #[test]
+    fn metrics_only_mode_records_no_events() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        enable_metrics_only();
+        reset();
+        assert!(is_enabled());
+        assert!(!events_enabled());
+        {
+            let g = crate::span("serve.request");
+            assert!(!g.is_active());
+            crate::instant("serve.tick");
+            crate::counter_add("serve.requests", 2);
+            crate::gauge_set("serve.inflight", 1.0);
+            crate::histogram_record("serve.latency_ms", 3.0);
+        }
+        assert!(collector().events_snapshot().is_empty());
+        assert_eq!(crate::counter_value("serve.requests"), Some(2));
+        assert_eq!(crate::gauge_value("serve.inflight"), Some(1.0));
+        assert_eq!(
+            crate::histogram_summary("serve.latency_ms").unwrap().count,
+            1
+        );
+        // Full enable() restores event recording.
+        enable();
+        {
+            let g = crate::span("traced.again");
+            assert!(g.is_active());
+        }
+        assert_eq!(collector().events_snapshot().len(), 2);
+        disable();
         reset();
     }
 

@@ -27,6 +27,15 @@
 //! lock, no clock read. `benches/overhead.rs` measures the disabled
 //! cost per site (the budget is ≤ 5 ns).
 //!
+//! # Bounded when serving
+//!
+//! [`enable`] records everything, which is right for a run that ends
+//! (the event buffer is bounded by the run). A process that runs
+//! indefinitely — `mrpf serve` — calls [`enable_metrics_only`] instead:
+//! the bounded metrics registry stays live and exportable on demand
+//! ([`export_metrics_json`]), while spans and instants stay inert so the
+//! event buffer cannot grow without bound.
+//!
 //! # Span naming convention
 //!
 //! Dotted lowercase paths, crate first: `core.optimize`, `core.wmsc`,
@@ -57,7 +66,9 @@ mod chrome;
 mod collector;
 mod metrics;
 
-pub use collector::{disable, enable, is_enabled, reset, SpanGuard};
+pub use collector::{
+    disable, enable, enable_metrics_only, events_enabled, is_enabled, reset, SpanGuard,
+};
 pub use metrics::HistogramSummary;
 
 use collector::{collector, Phase};
@@ -68,7 +79,7 @@ use collector::{collector, Phase};
 /// collector is disabled.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !is_enabled() {
+    if !events_enabled() {
         return SpanGuard::INERT;
     }
     SpanGuard::begin(name.to_string(), Some(name))
@@ -79,7 +90,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// parent stack (their name has no `'static` lifetime).
 #[inline]
 pub fn span_dyn(name: String) -> SpanGuard {
-    if !is_enabled() {
+    if !events_enabled() {
         return SpanGuard::INERT;
     }
     SpanGuard::begin(name, None)
@@ -88,7 +99,7 @@ pub fn span_dyn(name: String) -> SpanGuard {
 /// Records an instant event with a static name.
 #[inline]
 pub fn instant(name: &'static str) {
-    if !is_enabled() {
+    if !events_enabled() {
         return;
     }
     collector().record(
@@ -101,7 +112,7 @@ pub fn instant(name: &'static str) {
 /// Records an instant event with a runtime-built name.
 #[inline]
 pub fn instant_dyn(name: String) {
-    if !is_enabled() {
+    if !events_enabled() {
         return;
     }
     collector().record(name, Phase::Instant, collector::current_parent());

@@ -219,6 +219,26 @@ fn json_escape(s: &str) -> String {
 /// # Ok::<(), mrp_resilience::PipelineError>(())
 /// ```
 pub fn synthesize(coeffs: &[i64], config: &SynthConfig) -> Result<SynthOutcome, PipelineError> {
+    synthesize_under(coeffs, config, Deadline::start(config.budget.deadline_ms))
+}
+
+/// [`synthesize`] with a caller-owned [`Deadline`].
+///
+/// The plain driver starts its clock when it is called; a long-running
+/// front end (e.g. `mrpf serve`) instead starts the deadline the moment
+/// a request is *admitted*, so time spent queued behind other work counts
+/// against the request's budget rather than silently extending it. The
+/// outcome's `elapsed_ms` is measured on the same clock, so it includes
+/// any such queue wait.
+///
+/// # Errors
+///
+/// Same taxonomy as [`synthesize`].
+pub fn synthesize_under(
+    coeffs: &[i64],
+    config: &SynthConfig,
+    deadline: Deadline,
+) -> Result<SynthOutcome, PipelineError> {
     if config.start_rung < config.min_rung {
         return Err(PipelineError::BadConfig(format!(
             "start rung `{}` is below the quality floor `{}`",
@@ -226,7 +246,6 @@ pub fn synthesize(coeffs: &[i64], config: &SynthConfig) -> Result<SynthOutcome, 
         )));
     }
     let _span = mrp_obs::span("synth");
-    let deadline = Deadline::start(config.budget.deadline_ms);
     let mut degradations = Vec::new();
     let mut attempts: Vec<RungAttempt> = Vec::new();
     let mut rung = config.start_rung;
@@ -522,6 +541,27 @@ mod tests {
         let pretty = out.render_pretty();
         assert!(pretty.contains("attempts:"), "{pretty}");
         assert!(pretty.contains("(accepted)"), "{pretty}");
+    }
+
+    #[test]
+    fn caller_owned_deadline_counts_queue_wait() {
+        // A deadline that expired before the driver even starts models a
+        // request that burned its whole budget waiting in a queue: every
+        // deadline-bound rung is skipped and the spt floor still delivers.
+        let cfg = SynthConfig {
+            budget: StageBudget {
+                deadline_ms: Some(0),
+                ..StageBudget::default()
+            },
+            ..SynthConfig::default()
+        };
+        let out = synthesize_under(&PAPER, &cfg, Deadline::start(Some(0))).unwrap();
+        assert_eq!(out.rung, Rung::Spt);
+        assert!(out.degraded());
+        assert!(out
+            .degradations
+            .iter()
+            .all(|d| matches!(d.error, PipelineError::Timeout { .. })));
     }
 
     #[test]

@@ -58,7 +58,9 @@ mod fault;
 mod ladder;
 
 pub use budget::{Deadline, StageBudget};
-pub use driver::{synthesize, try_rung, RungAttempt, RungOutcome, SynthConfig, SynthOutcome};
+pub use driver::{
+    synthesize, synthesize_under, try_rung, RungAttempt, RungOutcome, SynthConfig, SynthOutcome,
+};
 pub use error::{Degradation, PipelineError};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use ladder::Rung;

@@ -1,0 +1,286 @@
+//! A deliberately small HTTP/1.1 layer over blocking streams.
+//!
+//! The service speaks exactly the subset its endpoints need: one request
+//! per connection (`Connection: close`), a request line plus headers, an
+//! optional `Content-Length` body, and JSON responses. No keep-alive, no
+//! chunked transfer, no TLS — matching the in-tree, dependency-free style
+//! of `mrp-batch`'s JSON reader. Head and body sizes are capped so a
+//! misbehaving client cannot balloon server memory.
+
+use std::io::{Read, Write};
+
+/// Cap on the request line + headers (bytes).
+pub(crate) const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on the request body (bytes). Generous for spec files: a thousand
+/// 100-tap filters fit comfortably.
+pub(crate) const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request: method, path (query stripped), and decoded body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+}
+
+/// A request that could not be read; carries the HTTP status to answer
+/// with and a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct HttpError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn too_large(what: &str, cap: usize) -> HttpError {
+        HttpError {
+            status: 413,
+            message: format!("{what} exceeds the {cap}-byte limit"),
+        }
+    }
+}
+
+/// Reads one request from `stream`. Blocks until the head (and any
+/// declared body) has arrived, the peer closes, or the stream's read
+/// timeout fires.
+pub(crate) fn read_request<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::too_large("request head", MAX_HEAD_BYTES));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::bad(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::bad("connection closed before a full request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::bad("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad(format!(
+            "malformed request line `{request_line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad(format!("unsupported version `{version}`")));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::bad(format!("invalid Content-Length `{}`", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::too_large("request body", MAX_BODY_BYTES));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::bad(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| HttpError::bad("body is not UTF-8"))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one JSON response and flushes. `extra_headers` lets the
+/// backpressure path attach `Retry-After`.
+pub(crate) fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes the JSON error response for a request that could not be read.
+pub(crate) fn respond_read_error(
+    stream: &mut impl Write,
+    error: &HttpError,
+) -> std::io::Result<()> {
+    respond(stream, error.status, &[], &error_body(&error.message))
+}
+
+/// `{"error":"…"}` with proper escaping.
+pub(crate) fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}\n", json_escape(message))
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = read("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.body, "");
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let body = r#"{"coeffs":[7,9]}"#;
+        let raw = format!(
+            "POST /synth?x=1 HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let r = read(&raw).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/synth");
+        assert_eq!(r.body, body);
+    }
+
+    #[test]
+    fn body_may_arrive_in_pieces() {
+        // Cursor delivers everything at once; simulate a split with a
+        // reader that returns one byte at a time.
+        struct OneByte(Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let take = 1.min(buf.len());
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let raw = "POST /b HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let r = read_request(&mut OneByte(Cursor::new(raw.as_bytes().to_vec()))).unwrap();
+        assert_eq!(r.body, "abcd");
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert_eq!(read("GARBAGE\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(read("GET / SPDY/3\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            read("GET / HTTP/1.1\r\nContent-Length: many\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Declared body larger than the cap.
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert_eq!(read(&raw).unwrap_err().status, 413);
+        // Truncated body.
+        assert_eq!(
+            read("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nab")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Closed before the head completes.
+        assert_eq!(read("GET / HTTP/1.1\r\n").unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        respond(
+            &mut out,
+            503,
+            &[("Retry-After", "1".to_string())],
+            &error_body("busy"),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":\"busy\"}\n"), "{text}");
+        let len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(len, "{\"error\":\"busy\"}\n".len());
+    }
+
+    #[test]
+    fn escape_covers_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

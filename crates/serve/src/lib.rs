@@ -1,0 +1,55 @@
+//! `mrp-serve` — a long-running synthesis service over the batch engine.
+//!
+//! The offline pipeline already has everything a service needs: a
+//! work-stealing pool (`mrp-batch`), a supervised driver with deadlines
+//! and a fallback ladder (`mrp-resilience`), and a metrics registry
+//! (`mrp-obs`). This crate adds the missing 300 lines of plumbing — a
+//! dependency-free HTTP/1.1 front end — rather than another engine.
+//!
+//! # Endpoints
+//!
+//! | Route | Method | Purpose |
+//! |-------|--------|---------|
+//! | `/synth` | POST | one coefficient vector through the supervised driver |
+//! | `/batch` | POST | a spec document through the batch engine |
+//! | `/healthz` | GET | liveness + queue occupancy |
+//! | `/metricsz` | GET | server counters, cache stats, `mrp-obs` registry |
+//!
+//! # Invariants
+//!
+//! * **Determinism** — `/batch` responses are byte-identical to the
+//!   offline `mrpf batch --json` report for the same specs and
+//!   configuration, regardless of `--jobs` or what the shared memo
+//!   cache already holds.
+//! * **Backpressure** — at most `queue` requests are in flight; beyond
+//!   that, connections get an immediate `503` with `Retry-After`
+//!   instead of unbounded queueing.
+//! * **Deadlines** — each request's [`Deadline`](mrp_resilience::Deadline)
+//!   starts at admission, so time spent waiting for a pool worker counts
+//!   against the request's budget, not in addition to it.
+//! * **Graceful drain** — SIGINT/SIGTERM (or [`ServeHandle::shutdown`])
+//!   stops the accept loop; admitted requests finish and are answered
+//!   before [`Server::run`] returns its [`ServeSummary`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mrp_serve::{ServeOptions, Server};
+//!
+//! let server = Server::bind(ServeOptions::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! let handle = server.handle(); // move to another thread to stop later
+//! let summary = server.run();
+//! let _ = (handle, summary);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+mod http;
+mod routes;
+mod server;
+pub mod signal;
+
+pub use server::{ServeHandle, ServeOptions, ServeSummary, Server};
+pub use signal::{clear_interrupt, install_interrupt_handler, interrupted};

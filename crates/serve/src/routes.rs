@@ -1,0 +1,150 @@
+//! Request routing: four endpoints over the batch engine.
+//!
+//! * `GET /healthz` — liveness plus queue occupancy.
+//! * `GET /metricsz` — server counters, memo-cache stats, and the full
+//!   `mrp-obs` registry snapshot, exported on demand.
+//! * `POST /synth` — one coefficient vector through the supervised
+//!   driver, under the request's deadline.
+//! * `POST /batch` — a whole spec document through [`run_batch_on`] on
+//!   the server's pool and shared memo cache; the response bytes are
+//!   identical to the offline `mrpf batch --json` report for the same
+//!   specs and configuration, whatever the job count or cache state.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use mrp_batch::{
+    parse_json, parse_specs, run_batch_on, BatchOptions, JsonValue, MemoCache, ThreadPool,
+};
+use mrp_resilience::{synthesize_under, Deadline};
+
+use crate::http::{error_body, Request};
+use crate::server::{ServeOptions, ServeState};
+
+/// Everything one request handler needs.
+pub(crate) struct RouteContext<'a> {
+    pub state: &'a ServeState,
+    pub pool: &'a Arc<ThreadPool>,
+    pub memo: &'a MemoCache,
+    pub options: &'a ServeOptions,
+    /// Started at request admission, so queue wait counts against it.
+    pub deadline: Deadline,
+}
+
+/// Routes one request to `(status, body)`.
+pub(crate) fn route(request: &Request, ctx: &RouteContext<'_>) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, health_body(ctx)),
+        ("GET", "/metricsz") => (200, metrics_body(ctx)),
+        ("POST", "/synth") => synth(request, ctx),
+        ("POST", "/batch") => batch(request, ctx),
+        (_, "/healthz" | "/metricsz" | "/synth" | "/batch") => (
+            405,
+            error_body(&format!(
+                "method {} not allowed for {}",
+                request.method, request.path
+            )),
+        ),
+        _ => (404, error_body(&format!("no route for {}", request.path))),
+    }
+}
+
+/// Liveness report. `inflight` counts admitted-but-unfinished requests
+/// and therefore includes the health check itself.
+fn health_body(ctx: &RouteContext<'_>) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"inflight\":{},\"queue\":{},\"served\":{},\"rejected\":{}}}\n",
+        ctx.state.inflight.load(Ordering::SeqCst),
+        ctx.state.queue,
+        ctx.state.served.load(Ordering::SeqCst),
+        ctx.state.rejected.load(Ordering::SeqCst),
+    )
+}
+
+fn metrics_body(ctx: &RouteContext<'_>) -> String {
+    format!(
+        "{{\"server\":{{\"inflight\":{},\"queue\":{},\"served\":{},\"rejected\":{},\
+         \"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}}},\"metrics\":{}}}\n",
+        ctx.state.inflight.load(Ordering::SeqCst),
+        ctx.state.queue,
+        ctx.state.served.load(Ordering::SeqCst),
+        ctx.state.rejected.load(Ordering::SeqCst),
+        ctx.memo.len(),
+        ctx.memo.hits(),
+        ctx.memo.misses(),
+        mrp_obs::export_metrics_json(),
+    )
+}
+
+fn synth(request: &Request, ctx: &RouteContext<'_>) -> (u16, String) {
+    let coeffs = match parse_synth_body(&request.body) {
+        Ok(coeffs) => coeffs,
+        Err(message) => return (422, error_body(&message)),
+    };
+    match synthesize_under(&coeffs, &ctx.options.synth, ctx.deadline) {
+        Ok(outcome) => (200, format!("{}\n", outcome.render_json())),
+        Err(error) => (422, error_body(&format!("synthesis failed: {error}"))),
+    }
+}
+
+fn batch(request: &Request, ctx: &RouteContext<'_>) -> (u16, String) {
+    let specs = match parse_specs(&request.body) {
+        Ok(specs) => specs,
+        Err(message) => return (422, error_body(&message)),
+    };
+    let options = BatchOptions {
+        jobs: ctx.options.jobs,
+        racing: ctx.options.racing,
+        synth: ctx.options.synth.clone(),
+    };
+    let report = run_batch_on(&specs, &options, ctx.pool, ctx.memo);
+    (200, report.render_json())
+}
+
+/// Accepts `{"coeffs":[…]}` (extra fields like `name` are ignored) or a
+/// bare integer array.
+fn parse_synth_body(body: &str) -> Result<Vec<i64>, String> {
+    let doc = parse_json(body).map_err(|e| format!("request body is not valid JSON: {e}"))?;
+    let coeffs = match &doc {
+        JsonValue::Array(_) => &doc,
+        JsonValue::Object(map) => map
+            .get("coeffs")
+            .ok_or("object body must have a `coeffs` array")?,
+        _ => return Err("body must be a coefficient array or an object with `coeffs`".to_string()),
+    };
+    let items = coeffs.as_array().ok_or("`coeffs` must be an array")?;
+    if items.is_empty() {
+        return Err("`coeffs` is empty".to_string());
+    }
+    items
+        .iter()
+        .map(|c| {
+            c.as_i64()
+                .ok_or_else(|| "coefficients must be integers".to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_body_forms() {
+        assert_eq!(parse_synth_body("[7, 9]").unwrap(), vec![7, 9]);
+        assert_eq!(
+            parse_synth_body(r#"{"name": "a", "coeffs": [70, -66]}"#).unwrap(),
+            vec![70, -66]
+        );
+        for (body, needle) in [
+            ("{}", "`coeffs`"),
+            ("[]", "empty"),
+            ("[1.5]", "integers"),
+            ("3", "coefficient array"),
+            ("oops", "JSON"),
+        ] {
+            let err = parse_synth_body(body).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+}

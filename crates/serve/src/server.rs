@@ -1,0 +1,282 @@
+//! The accept loop, admission control, and graceful drain.
+//!
+//! One [`Server`] owns the listener, a work-stealing [`ThreadPool`]
+//! (reused from `mrp-batch` — the same pool that runs batch shards), and
+//! the cross-request [`MemoCache`]. Every connection is either admitted
+//! onto the pool — with its deadline already running, so queue wait
+//! counts against the request's budget — or refused immediately with
+//! `503` + `Retry-After` when the bounded queue is full.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mrp_batch::{MemoCache, ThreadPool};
+use mrp_resilience::{Deadline, SynthConfig};
+
+use crate::http;
+use crate::routes::{self, RouteContext};
+use crate::signal;
+
+/// How long a connection may sit idle in a read or write before the
+/// handler gives up on it.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind, e.g. `127.0.0.1:7878` (port `0` picks one).
+    pub addr: String,
+    /// Worker threads in the shared pool (also the `jobs` axis `/batch`
+    /// requests are sharded over).
+    pub jobs: usize,
+    /// Admission cap: requests in flight (queued + executing) beyond
+    /// which new connections are refused with `503`.
+    pub queue: usize,
+    /// Whether `/batch` runs the dual-config racing mode.
+    pub racing: bool,
+    /// Synthesis configuration applied to every request; its
+    /// `budget.deadline_ms` is the per-request deadline.
+    pub synth: SynthConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            jobs: 2,
+            queue: 16,
+            racing: false,
+            synth: SynthConfig::default(),
+        }
+    }
+}
+
+/// Counters shared between the accept loop, handlers, and handles.
+pub(crate) struct ServeState {
+    pub shutdown: AtomicBool,
+    pub inflight: AtomicUsize,
+    pub served: AtomicU64,
+    pub rejected: AtomicU64,
+    pub queue: usize,
+}
+
+/// A clonable remote control for a running [`Server`]: request shutdown
+/// and observe progress from another thread (or a test).
+#[derive(Clone)]
+pub struct ServeHandle {
+    state: Arc<ServeState>,
+}
+
+impl ServeHandle {
+    /// Asks the accept loop to stop; in-flight requests still drain.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Requests admitted but not yet finished.
+    pub fn inflight(&self) -> usize {
+        self.state.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered (any status except the 503 refusal path).
+    pub fn served(&self) -> u64 {
+        self.state.served.load(Ordering::SeqCst)
+    }
+
+    /// Connections refused with `503` because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.state.rejected.load(Ordering::SeqCst)
+    }
+}
+
+/// What a serve run did, reported after the graceful drain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered.
+    pub served: u64,
+    /// Connections refused under backpressure.
+    pub rejected: u64,
+    /// Distinct normalized coefficient sets in the memo cache at exit.
+    pub cache_entries: usize,
+    /// Memo-cache hits across the run.
+    pub cache_hits: u64,
+    /// Memo-cache misses across the run.
+    pub cache_misses: u64,
+}
+
+/// A bound but not-yet-running synthesis service.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    pool: Arc<ThreadPool>,
+    memo: Arc<MemoCache>,
+    state: Arc<ServeState>,
+    options: ServeOptions,
+}
+
+impl Server {
+    /// Binds the listener and spins up the worker pool. The listener is
+    /// nonblocking so the accept loop can poll the shutdown flag.
+    pub fn bind(options: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let jobs = options.jobs.max(1);
+        Ok(Server {
+            listener,
+            addr,
+            pool: Arc::new(ThreadPool::new(jobs)),
+            memo: Arc::new(MemoCache::new()),
+            state: Arc::new(ServeState {
+                shutdown: AtomicBool::new(false),
+                inflight: AtomicUsize::new(0),
+                served: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                queue: options.queue.max(1),
+            }),
+            options,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for stopping and observing the server from elsewhere.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs the accept loop until [`ServeHandle::shutdown`] or
+    /// SIGINT/SIGTERM, then drains: admitted requests finish and are
+    /// answered, the pool joins, and the listener closes (dropped with
+    /// `self`), so new connections are refused by the OS.
+    pub fn run(self) -> ServeSummary {
+        loop {
+            if self.state.shutdown.load(Ordering::SeqCst) || signal::interrupted() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.dispatch(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                // Transient accept errors (ECONNABORTED and friends):
+                // back off briefly and keep serving.
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+        }
+        while self.state.inflight.load(Ordering::SeqCst) > 0 {
+            thread::sleep(ACCEPT_POLL);
+        }
+        self.pool.join();
+        ServeSummary {
+            served: self.state.served.load(Ordering::SeqCst),
+            rejected: self.state.rejected.load(Ordering::SeqCst),
+            cache_entries: self.memo.len(),
+            cache_hits: self.memo.hits(),
+            cache_misses: self.memo.misses(),
+        }
+    }
+
+    fn dispatch(&self, stream: TcpStream) {
+        // Accepted sockets do not reliably inherit the listener's
+        // nonblocking flag across platforms; handlers want blocking
+        // reads bounded by a timeout.
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let admitted = self
+            .state
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.state.queue).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            self.state.rejected.fetch_add(1, Ordering::SeqCst);
+            mrp_obs::counter_add("serve.rejected", 1);
+            // The refusal cannot go through the pool — the pool being
+            // saturated is exactly why we're refusing — and must not
+            // block the acceptor on a slow client, so it gets a short
+            // detached thread.
+            thread::spawn(move || reply_busy(stream));
+            return;
+        }
+        mrp_obs::gauge_set(
+            "serve.inflight",
+            self.state.inflight.load(Ordering::SeqCst) as f64,
+        );
+        let deadline = Deadline::start(self.options.synth.budget.deadline_ms);
+        let state = Arc::clone(&self.state);
+        let pool = Arc::clone(&self.pool);
+        let memo = Arc::clone(&self.memo);
+        let options = self.options.clone();
+        self.pool.execute(move || {
+            let _guard = InflightGuard(Arc::clone(&state));
+            handle_connection(stream, &state, &pool, &memo, &options, deadline);
+            state.served.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+}
+
+/// Decrements `inflight` when the handler exits — including by panic, so
+/// a poisoned request cannot leak an admission slot and shrink capacity.
+struct InflightGuard(Arc<ServeState>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let now = self.0.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        mrp_obs::gauge_set("serve.inflight", now as f64);
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &ServeState,
+    pool: &Arc<ThreadPool>,
+    memo: &MemoCache,
+    options: &ServeOptions,
+    deadline: Deadline,
+) {
+    let start = Instant::now();
+    mrp_obs::counter_add("serve.requests", 1);
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(error) => {
+            let _ = http::respond_read_error(&mut stream, &error);
+            return;
+        }
+    };
+    let ctx = RouteContext {
+        state,
+        pool,
+        memo,
+        options,
+        deadline,
+    };
+    let (status, body) = routes::route(&request, &ctx);
+    let _ = http::respond(&mut stream, status, &[], &body);
+    mrp_obs::counter_add(&format!("serve.status.{status}"), 1);
+    mrp_obs::histogram_record("serve.request_ms", start.elapsed().as_millis() as f64);
+}
+
+fn reply_busy(mut stream: TcpStream) {
+    // Drain the request first so the client does not see a reset while
+    // still writing, then answer with a retry hint.
+    let _ = http::read_request(&mut stream);
+    let _ = http::respond(
+        &mut stream,
+        503,
+        &[("Retry-After", "1".to_string())],
+        &http::error_body("server busy: request queue is full"),
+    );
+}

@@ -1,0 +1,73 @@
+//! SIGINT/SIGTERM hookup without external crates.
+//!
+//! `std` exposes no signal API, but on Unix it links libc, so the classic
+//! `signal(2)` entry point is available by declaration alone. The handler
+//! does the only async-signal-safe thing worth doing — it sets a flag —
+//! and the server's accept loop polls that flag between accepts, which is
+//! what turns ctrl-c into a *graceful* drain instead of process death.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT/SIGTERM has been received since
+/// [`install_interrupt_handler`] was called.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Clears the interrupt flag (used when one process hosts several serve
+/// runs, e.g. in tests).
+pub fn clear_interrupt() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM handler. Idempotent; a no-op on
+/// non-Unix targets (where the accept loop can still be stopped through
+/// a [`ServeHandle`](crate::ServeHandle)).
+pub fn install_interrupt_handler() {
+    clear_interrupt();
+    #[cfg(unix)]
+    imp::install();
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the POSIX entry point std's runtime already
+        // links; the handler only performs an atomic store, which is
+        // async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        install_interrupt_handler();
+        assert!(!interrupted());
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        assert!(interrupted());
+        clear_interrupt();
+        assert!(!interrupted());
+    }
+}
