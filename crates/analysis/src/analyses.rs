@@ -1,0 +1,510 @@
+//! The built-in analyses.
+//!
+//! Each is a pure function of the graph (plus the
+//! [`AnalysisContext`](crate::AnalysisContext) for width-sensitive ones),
+//! total on malformed graphs: an operand reference that is out of range
+//! or not strictly earlier is treated as absent, so analyses never panic
+//! on the broken netlists the lint passes exist to diagnose.
+
+use mrp_arch::{Node, Term};
+
+use crate::manager::{Analysis, Analyzer};
+use crate::width;
+
+/// Is `t`'s operand reference usable from node `i` (strictly earlier)?
+fn valid_ref(t: &Term, i: usize) -> bool {
+    t.node.index() < i
+}
+
+/// Per-node fanout: how many adder operands and nonzero outputs read each
+/// node. Matches [`mrp_arch::AdderGraph::fanouts`] on well-formed graphs
+/// but stays total when a reference is out of range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fanout {
+    /// Reader count per node, index = node index.
+    pub counts: Vec<usize>,
+    /// Largest fanout in the graph.
+    pub max: usize,
+}
+
+impl Analysis for Fanout {
+    const NAME: &'static str = "fanout";
+
+    fn compute(az: &Analyzer<'_>) -> Self {
+        let g = az.graph();
+        let n = g.len();
+        let mut counts = vec![0usize; n];
+        for node in g.nodes() {
+            if let Node::Add { lhs, rhs } = node {
+                for t in [lhs, rhs] {
+                    if t.node.index() < n {
+                        counts[t.node.index()] += 1;
+                    }
+                }
+            }
+        }
+        for o in g.outputs() {
+            if o.expected != 0 && o.term.node.index() < n {
+                counts[o.term.node.index()] += 1;
+            }
+        }
+        let max = counts.iter().copied().max().unwrap_or(0);
+        Fanout { counts, max }
+    }
+}
+
+/// Structurally recomputed adder depth of every node (never the graph's
+/// own cached depths — comparing the two is the `MRP030` lint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Depth {
+    /// Adder depth per node, index = node index.
+    pub depths: Vec<u32>,
+    /// The critical path length (max over nodes).
+    pub max: u32,
+}
+
+impl Analysis for Depth {
+    const NAME: &'static str = "depth";
+
+    fn compute(az: &Analyzer<'_>) -> Self {
+        let depths = recompute_depths(az.graph());
+        let max = depths.iter().copied().max().unwrap_or(0);
+        Depth { depths, max }
+    }
+}
+
+/// Recomputed adder depth of every node, index = node index. Operand
+/// references that are not strictly earlier are treated as depth 0 so the
+/// recompute stays total on malformed graphs. This is the one-shot form
+/// of the [`Depth`] analysis (which callers with an [`Analyzer`] should
+/// prefer — it is cached).
+pub fn recompute_depths(graph: &mrp_arch::AdderGraph) -> Vec<u32> {
+    let mut d = vec![0u32; graph.len()];
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if let Node::Add { lhs, rhs } = node {
+            let of = |j: usize| if j < i { d[j] } else { 0 };
+            d[i] = 1 + of(lhs.node.index()).max(of(rhs.node.index()));
+        }
+    }
+    d
+}
+
+/// The deepest adder chain in the graph, as a concrete node path from the
+/// input to a deepest node. Builds on [`Depth`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Number of adder stages on the path.
+    pub length: u32,
+    /// Node indices along the path, input first, deepest node last.
+    pub path: Vec<usize>,
+}
+
+impl Analysis for CriticalPath {
+    const NAME: &'static str = "critical-path";
+
+    fn compute(az: &Analyzer<'_>) -> Self {
+        let depth = az.get_analysis::<Depth>();
+        let g = az.graph();
+        let Some((mut at, _)) = depth
+            .depths
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &d)| (d, std::cmp::Reverse(i)))
+        else {
+            return CriticalPath {
+                length: 0,
+                path: Vec::new(),
+            };
+        };
+        let mut rev = vec![at];
+        while let Node::Add { lhs, rhs } = &g.nodes()[at] {
+            // Walk back through the deeper (valid) operand.
+            let score = |t: &Term| {
+                if valid_ref(t, at) {
+                    Some(depth.depths[t.node.index()])
+                } else {
+                    None
+                }
+            };
+            let next = match (score(lhs), score(rhs)) {
+                (Some(a), Some(b)) => {
+                    if a >= b {
+                        lhs.node.index()
+                    } else {
+                        rhs.node.index()
+                    }
+                }
+                (Some(_), None) => lhs.node.index(),
+                (None, Some(_)) => rhs.node.index(),
+                (None, None) => break,
+            };
+            rev.push(next);
+            at = next;
+        }
+        rev.reverse();
+        CriticalPath {
+            length: depth.max,
+            path: rev,
+        }
+    }
+}
+
+/// Per-node minimal signed widths at the context's input width, plus the
+/// minimal internal wordlength for the whole block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidthMap {
+    /// Minimal signed width per node, index = node index.
+    pub widths: Vec<u32>,
+    /// Minimal wordlength holding every node and output value.
+    pub min_safe: u32,
+}
+
+impl Analysis for WidthMap {
+    const NAME: &'static str = "width";
+
+    fn compute(az: &Analyzer<'_>) -> Self {
+        let w = az.ctx().input_width;
+        WidthMap {
+            widths: width::node_widths(az.graph(), w),
+            min_safe: width::min_safe_width(az.graph(), w),
+        }
+    }
+}
+
+/// Transitive fan-in of every node (which nodes can influence its value),
+/// stored as one bitset row per node. A node is not in its own cone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeOfInfluence {
+    len: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl ConeOfInfluence {
+    /// Whether `src` can influence `dst` (i.e. `src` is in `dst`'s cone).
+    pub fn influences(&self, src: usize, dst: usize) -> bool {
+        if src >= self.len || dst >= self.len {
+            return false;
+        }
+        self.bits[dst * self.words + src / 64] >> (src % 64) & 1 == 1
+    }
+
+    /// The cone of `node` as sorted node indices.
+    pub fn cone(&self, node: usize) -> Vec<usize> {
+        (0..self.len)
+            .filter(|&j| self.influences(j, node))
+            .collect()
+    }
+
+    /// How many nodes are in `node`'s cone.
+    pub fn cone_size(&self, node: usize) -> usize {
+        if node >= self.len {
+            return 0;
+        }
+        self.bits[node * self.words..(node + 1) * self.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+impl Analysis for ConeOfInfluence {
+    const NAME: &'static str = "cone";
+
+    fn compute(az: &Analyzer<'_>) -> Self {
+        let g = az.graph();
+        let n = g.len();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        for (i, node) in g.nodes().iter().enumerate() {
+            if let Node::Add { lhs, rhs } = node {
+                for t in [lhs, rhs] {
+                    if !valid_ref(t, i) {
+                        continue;
+                    }
+                    let j = t.node.index();
+                    // cone(i) |= cone(j) ∪ {j}
+                    for w in 0..words {
+                        let src = bits[j * words + w];
+                        bits[i * words + w] |= src;
+                    }
+                    bits[i * words + j / 64] |= 1 << (j % 64);
+                }
+            }
+        }
+        ConeOfInfluence {
+            len: n,
+            words,
+            bits,
+        }
+    }
+}
+
+/// Dominator tree of the DAG viewed from the input: node `d` dominates
+/// node `n` when every structural path from the input to `n` passes
+/// through `d`. A node all of whose outputs funnel through one dominator
+/// is a natural cut point for pipelining and for sharing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// Immediate dominator per node (`None` for the input node and for
+    /// nodes with no valid path from the input).
+    pub idom: Vec<Option<usize>>,
+}
+
+impl Dominators {
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut at = b;
+        loop {
+            if at == a {
+                return true;
+            }
+            match self.idom.get(at).copied().flatten() {
+                Some(up) => at = up,
+                None => return false,
+            }
+        }
+    }
+}
+
+impl Analysis for Dominators {
+    const NAME: &'static str = "dominators";
+
+    fn compute(az: &Analyzer<'_>) -> Self {
+        let g = az.graph();
+        let n = g.len();
+        let words = n.div_ceil(64);
+        // dom[i] as a bitset; nodes are topologically indexed, so one
+        // forward sweep settles everything.
+        let mut dom = vec![0u64; n * words];
+        let mut reachable = vec![false; n];
+        if n > 0 {
+            dom[0] |= 1; // the input dominates itself
+            reachable[0] = true;
+        }
+        for (i, node) in g.nodes().iter().enumerate().skip(1) {
+            if let Node::Add { lhs, rhs } = node {
+                let ops: Vec<usize> = [lhs, rhs]
+                    .iter()
+                    .filter(|t| valid_ref(t, i) && reachable[t.node.index()])
+                    .map(|t| t.node.index())
+                    .collect();
+                if ops.is_empty() {
+                    continue; // unreachable from the input
+                }
+                reachable[i] = true;
+                for w in 0..words {
+                    let mut meet = !0u64;
+                    for &j in &ops {
+                        meet &= dom[j * words + w];
+                    }
+                    dom[i * words + w] = meet;
+                }
+                dom[i * words + i / 64] |= 1 << (i % 64);
+            }
+        }
+        // The strict dominators of a node form a chain; the immediate one
+        // is the chain's deepest element, i.e. the strict dominator with
+        // the largest dominator set.
+        let popcount = |i: usize| -> usize {
+            dom[i * words..(i + 1) * words]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum()
+        };
+        let idom = (0..n)
+            .map(|i| {
+                if !reachable[i] || i == 0 {
+                    return None;
+                }
+                (0..i)
+                    .filter(|&d| dom[i * words + d / 64] >> (d % 64) & 1 == 1)
+                    .max_by_key(|&d| popcount(d))
+            })
+            .collect();
+        Dominators { idom }
+    }
+}
+
+/// Backward reachability from the nonzero outputs: which nodes actually
+/// contribute to a registered output (the complement is the `MRP001`
+/// dead-node set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Liveness {
+    /// `true` when the node reaches some nonzero output.
+    pub live: Vec<bool>,
+}
+
+impl Analysis for Liveness {
+    const NAME: &'static str = "liveness";
+
+    fn compute(az: &Analyzer<'_>) -> Self {
+        let g = az.graph();
+        let n = g.len();
+        let mut live = vec![false; n];
+        let mut stack: Vec<usize> = g
+            .outputs()
+            .iter()
+            .filter(|o| o.expected != 0 && o.term.node.index() < n)
+            .map(|o| o.term.node.index())
+            .collect();
+        while let Some(i) = stack.pop() {
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            if let Node::Add { lhs, rhs } = g.nodes()[i] {
+                for t in [lhs, rhs] {
+                    if valid_ref(&t, i) {
+                        stack.push(t.node.index());
+                    }
+                }
+            }
+        }
+        Liveness { live }
+    }
+}
+
+/// Symbolic re-derivation of every node's constant from the wiring alone,
+/// never consulting the graph's tracked value cache (comparing the two is
+/// the `MRP021` lint). `Err(i)` marks the first node whose derivation
+/// leaves the `i64` tracking range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedValues {
+    /// Derived constants per node, or the index of the first overflow.
+    pub values: Result<Vec<i64>, usize>,
+}
+
+impl Analysis for DerivedValues {
+    const NAME: &'static str = "derived-values";
+
+    fn compute(az: &Analyzer<'_>) -> Self {
+        let g = az.graph();
+        let mut vals = vec![0i64; g.len()];
+        for (i, node) in g.nodes().iter().enumerate() {
+            vals[i] = match node {
+                Node::Input => 1,
+                Node::Add { lhs, rhs } => {
+                    let term = |t: &Term| -> Option<i128> {
+                        if !valid_ref(t, i) {
+                            return None; // the structure lint reports this
+                        }
+                        let v = (vals[t.node.index()] as i128).checked_shl(t.shift)?;
+                        Some(if t.negate { -v } else { v })
+                    };
+                    let sum = term(lhs).and_then(|a| term(rhs).map(|b| a + b));
+                    match sum.and_then(|v| i64::try_from(v).ok()) {
+                        Some(v) => v,
+                        None => {
+                            return DerivedValues { values: Err(i) };
+                        }
+                    }
+                }
+            };
+        }
+        DerivedValues { values: Ok(vals) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::AnalysisContext;
+    use mrp_arch::{AdderGraph, NodeId};
+
+    fn diamond() -> AdderGraph {
+        // x -> a=3x, b=7x; c = a+b = 10x (dominated only by x);
+        // d = 4a+a = 5a = 15x (dominated by a).
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 1), Term::of(x)).unwrap(); // 3
+        let b = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+        let c = g.add(Term::of(a), Term::of(b)).unwrap(); // 10
+        let d = g.add(Term::shifted(a, 2), Term::of(a)).unwrap(); // 15
+        g.push_output("c0", Term::of(c), 10);
+        g.push_output("c1", Term::of(d), 15);
+        g
+    }
+
+    fn az(g: &AdderGraph) -> Analyzer<'_> {
+        Analyzer::new(g, AnalysisContext::default())
+    }
+
+    #[test]
+    fn fanout_matches_graph_fanouts() {
+        let g = diamond();
+        assert_eq!(az(&g).get_analysis::<Fanout>().counts, g.fanouts());
+    }
+
+    #[test]
+    fn depth_matches_cached_depths_on_well_formed_graphs() {
+        let g = diamond();
+        let d = az(&g).get_analysis::<Depth>();
+        assert_eq!(d.depths, vec![0, 1, 1, 2, 2]);
+        assert_eq!(d.max, g.max_depth());
+    }
+
+    #[test]
+    fn critical_path_is_a_real_input_to_deepest_chain() {
+        let g = diamond();
+        let a = az(&g);
+        let cp = a.get_analysis::<CriticalPath>();
+        assert_eq!(cp.length, 2);
+        assert_eq!(cp.path.first(), Some(&0));
+        assert_eq!(cp.path.len() as u32, cp.length + 1);
+        // Consecutive path nodes are wired.
+        for pair in cp.path.windows(2) {
+            let Node::Add { lhs, rhs } = g.nodes()[pair[1]] else {
+                panic!("non-adder on path");
+            };
+            assert!(lhs.node.index() == pair[0] || rhs.node.index() == pair[0]);
+        }
+    }
+
+    #[test]
+    fn cone_and_dominators_agree_on_the_diamond() {
+        let g = diamond();
+        let a = az(&g);
+        let cone = a.get_analysis::<ConeOfInfluence>();
+        assert_eq!(cone.cone(3), vec![0, 1, 2]); // c sees x, a, b
+        assert_eq!(cone.cone(4), vec![0, 1]); // d sees x, a
+        assert!(cone.influences(0, 4));
+        assert!(!cone.influences(2, 4));
+        assert_eq!(cone.cone_size(0), 0);
+
+        let dom = a.get_analysis::<Dominators>();
+        assert_eq!(dom.idom[0], None);
+        assert_eq!(dom.idom[1], Some(0));
+        assert_eq!(dom.idom[3], Some(0)); // both a and b paths: only x dominates
+        assert_eq!(dom.idom[4], Some(1)); // every path to d goes through a
+        assert!(dom.dominates(1, 4));
+        assert!(!dom.dominates(2, 4));
+        assert!(dom.dominates(0, 3));
+    }
+
+    #[test]
+    fn liveness_and_derived_values() {
+        let mut g = diamond();
+        let dead = g
+            .add(
+                Term::shifted(NodeId::from_index(0), 4),
+                Term::of(NodeId::from_index(0)),
+            )
+            .unwrap(); // 17x, never used
+        let a = az(&g);
+        let live = a.get_analysis::<Liveness>();
+        assert!(!live.live[dead.index()]);
+        assert!(live.live[3] && live.live[4] && live.live[0]);
+        let derived = a.get_analysis::<DerivedValues>();
+        assert_eq!(derived.values.as_ref().unwrap(), &vec![1, 3, 7, 10, 15, 17]);
+    }
+
+    #[test]
+    fn width_map_matches_pure_formulas() {
+        let g = diamond();
+        let a = az(&g);
+        let wm = a.get_analysis::<WidthMap>();
+        assert_eq!(wm.widths, width::node_widths(&g, 16));
+        assert_eq!(wm.min_safe, width::min_safe_width(&g, 16));
+    }
+}

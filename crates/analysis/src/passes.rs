@@ -1,0 +1,159 @@
+//! The pass manager: ordered read-only passes over one [`Analyzer`].
+//!
+//! A [`Pass`] inspects the graph through the analyzer (sharing its
+//! memoized analyses with every other pass in the pipeline) and reports
+//! into a caller-supplied sink. The manager only sequences them; passes
+//! never mutate the graph, so the analysis cache stays valid across the
+//! whole run — this is what makes "each analysis computed at most once
+//! per netlist" hold for a full lint pipeline.
+
+use crate::manager::Analyzer;
+
+/// One read-only diagnostic or reporting pass.
+///
+/// `C` is the shared configuration type, `S` the report sink the pass
+/// writes into (e.g. `mrp-lint`'s `LintReport`).
+pub trait Pass<C, S> {
+    /// Stable pass name, used for `pass[<name>]` obs spans.
+    fn name(&self) -> &'static str;
+
+    /// Names of the analyses this pass reads (manifest for docs/debug;
+    /// the analyzer memoizes regardless).
+    fn analyses(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Runs the pass against the analyzer, reporting into `sink`.
+    fn run(&self, az: &Analyzer<'_>, config: &C, sink: &mut S);
+}
+
+/// Runs a fixed sequence of passes over one analyzer.
+///
+/// The lifetime parameter lets passes borrow from the caller (e.g. an
+/// RTL-checking pass holding `&'p str` source) without cloning.
+pub struct PassManager<'p, C, S> {
+    passes: Vec<Box<dyn Pass<C, S> + 'p>>,
+}
+
+impl<'p, C, S> Default for PassManager<'p, C, S> {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+impl<'p, C, S> PassManager<'p, C, S> {
+    /// An empty manager.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Appends a pass; passes run in insertion order.
+    pub fn add(&mut self, pass: impl Pass<C, S> + 'p) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Number of registered passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether no passes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Registered pass names, in run order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass in order against `az`, reporting into `sink`.
+    /// Each pass runs under a `pass[<name>]` obs span.
+    pub fn run(&self, az: &Analyzer<'_>, config: &C, sink: &mut S) {
+        for pass in &self.passes {
+            let _span = mrp_obs::span_dyn(format!("pass[{}]", pass.name()));
+            pass.run(az, config, sink);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyses::{Depth, Fanout};
+    use crate::manager::AnalysisContext;
+    use mrp_arch::{AdderGraph, Term};
+
+    struct DepthPass;
+    impl Pass<u32, Vec<String>> for DepthPass {
+        fn name(&self) -> &'static str {
+            "depth"
+        }
+        fn analyses(&self) -> &'static [&'static str] {
+            &[Depth::NAME]
+        }
+        fn run(&self, az: &Analyzer<'_>, limit: &u32, sink: &mut Vec<String>) {
+            let d = az.get_analysis::<Depth>();
+            if d.max > *limit {
+                sink.push(format!("depth {} over {}", d.max, limit));
+            }
+        }
+    }
+
+    struct FanoutPass;
+    impl Pass<u32, Vec<String>> for FanoutPass {
+        fn name(&self) -> &'static str {
+            "fanout"
+        }
+        fn run(&self, az: &Analyzer<'_>, _c: &u32, sink: &mut Vec<String>) {
+            // Reads Depth too: must hit DepthPass's cached value.
+            az.get_analysis::<Depth>();
+            sink.push(format!("max fanout {}", az.get_analysis::<Fanout>().max));
+        }
+    }
+
+    use crate::manager::Analysis;
+
+    #[test]
+    fn passes_share_the_analysis_cache() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap();
+        let b = g.add(Term::shifted(a, 2), Term::of(x)).unwrap();
+        g.push_output("c0", Term::of(b), 29);
+
+        let az = Analyzer::new(&g, AnalysisContext::default());
+        let mut pm: PassManager<'_, u32, Vec<String>> = PassManager::new();
+        pm.add(DepthPass).add(FanoutPass);
+        assert_eq!(pm.names(), vec!["depth", "fanout"]);
+
+        let mut sink = Vec::new();
+        pm.run(&az, &1, &mut sink);
+        assert_eq!(sink, vec!["depth 2 over 1", "max fanout 3"]);
+        // Depth was requested by both passes but computed once.
+        assert_eq!(az.computed_names(), vec!["depth", "fanout"]);
+    }
+
+    #[test]
+    fn borrowed_pass_state_needs_no_clone() {
+        struct SourcePass<'a> {
+            source: &'a str,
+        }
+        impl<C, S> Pass<C, S> for SourcePass<'_> {
+            fn name(&self) -> &'static str {
+                "source"
+            }
+            fn run(&self, _az: &Analyzer<'_>, _c: &C, _s: &mut S) {
+                assert!(!self.source.is_empty());
+            }
+        }
+        let source = String::from("module m; endmodule");
+        let g = AdderGraph::new();
+        let az = Analyzer::new(&g, AnalysisContext::default());
+        let mut pm: PassManager<'_, (), ()> = PassManager::new();
+        pm.add(SourcePass { source: &source });
+        pm.run(&az, &(), &mut ());
+        assert_eq!(pm.len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Bit-width arithmetic for shift-add networks.
+//!
+//! Every node of an adder graph computes an exact constant multiple
+//! `c · x` of the input, so its worst-case settled value is determined by
+//! `c` and the input wordlength `W`: with two's-complement inputs
+//! `x ∈ [-2^(W-1), 2^(W-1)-1]`, the node needs the minimal signed width
+//! that holds both `c · x_min` and `c · x_max`.
+//!
+//! Intermediate operand terms (`±(c << k) · x`) may transiently exceed a
+//! wire's width without corrupting the result: two's-complement addition
+//! is arithmetic modulo `2^w`, a ring homomorphism, so the settled wire
+//! value is exact whenever the wire's *own* value fits. Width analysis
+//! therefore scores each signal's settled value, not its operands.
+//!
+//! These are the pure formulas; the cached per-graph table is the
+//! [`WidthMap`](crate::WidthMap) analysis, and `mrp-lint` re-exports the
+//! formulas for its public width API.
+
+use mrp_arch::{AdderGraph, NodeId, Term};
+
+/// Minimal signed two's-complement width holding `v`.
+///
+/// `0` and `-1` need 1 bit; `2^(n-1)-1` and `-2^(n-1)` need `n`.
+pub fn signed_width(v: i128) -> u32 {
+    if v >= 0 {
+        (128 - v.leading_zeros()) + 1
+    } else {
+        128 - (!v).leading_zeros() + 1
+    }
+}
+
+/// Minimal signed width of `constant · x` over all `W`-bit signed `x`.
+pub fn product_width(constant: i64, input_width: u32) -> u32 {
+    let c = constant as i128;
+    let x_min = -(1i128 << (input_width - 1));
+    let x_max = (1i128 << (input_width - 1)) - 1;
+    let (a, b) = (c * x_min, c * x_max);
+    signed_width(a).max(signed_width(b))
+}
+
+/// Minimal signed width of a term's settled value at `input_width`.
+pub fn term_width(graph: &AdderGraph, term: Term, input_width: u32) -> u32 {
+    let c = (graph.value(term.node) as i128) << term.shift;
+    let c = if term.negate { -c } else { c };
+    // The term constant fits i128 easily (|value| < 2^63, shift < 64).
+    let x_min = -(1i128 << (input_width - 1));
+    let x_max = (1i128 << (input_width - 1)) - 1;
+    signed_width(c.saturating_mul(x_min)).max(signed_width(c.saturating_mul(x_max)))
+}
+
+/// Per-node minimal widths at `input_width`, index = node index.
+pub fn node_widths(graph: &AdderGraph, input_width: u32) -> Vec<u32> {
+    (0..graph.len())
+        .map(|i| product_width(graph.value(NodeId::from_index(i)), input_width))
+        .collect()
+}
+
+/// The minimal internal wordlength that holds every node's settled value
+/// and every output's settled value at `input_width`.
+pub fn min_safe_width(graph: &AdderGraph, input_width: u32) -> u32 {
+    let nodes = node_widths(graph, input_width)
+        .into_iter()
+        .max()
+        .unwrap_or(input_width);
+    let outs = graph
+        .outputs()
+        .iter()
+        .filter(|o| o.expected != 0)
+        .map(|o| product_width(o.expected, input_width))
+        .max()
+        .unwrap_or(1);
+    nodes.max(outs).max(input_width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrp_arch::Term;
+
+    #[test]
+    fn signed_width_basics() {
+        assert_eq!(signed_width(0), 1);
+        assert_eq!(signed_width(-1), 1);
+        assert_eq!(signed_width(1), 2);
+        assert_eq!(signed_width(-2), 2);
+        assert_eq!(signed_width(127), 8);
+        assert_eq!(signed_width(128), 9);
+        assert_eq!(signed_width(-128), 8);
+        assert_eq!(signed_width(-129), 9);
+    }
+
+    #[test]
+    fn min_safe_width_grows_with_constants() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let n = g.add(Term::shifted(x, 6), Term::negated(x)).unwrap(); // 63
+        g.push_output("o", Term::of(n), 63);
+        let w8 = min_safe_width(&g, 8);
+        // 63 * -128 = -8064 → 14 bits.
+        assert_eq!(w8, 14);
+        assert!(min_safe_width(&g, 16) > w8);
+    }
+}

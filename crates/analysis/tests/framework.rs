@@ -1,0 +1,110 @@
+//! End-to-end checks of the analysis framework's memoization contract,
+//! asserted through the `mrp-obs` counters — the same evidence a CI run
+//! uses to prove "each analysis computed at most once per netlist".
+//!
+//! Obs state is process-global, so this file holds a single test.
+
+use mrp_analysis::{
+    pipeline_and_retime, Analysis, AnalysisContext, Analyzer, ConeOfInfluence, CriticalPath, Depth,
+    DerivedValues, Dominators, Fanout, Liveness, Pass, PassManager, WidthMap,
+};
+use mrp_arch::{AdderGraph, Term};
+
+/// A 12-tap-ish block: three chained constants sharing subexpressions.
+fn block() -> AdderGraph {
+    let mut g = AdderGraph::new();
+    let x = g.input();
+    let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+    let b = g.add(Term::shifted(a, 2), Term::of(x)).unwrap(); // 29
+    let c = g.add(Term::shifted(b, 1), Term::of(a)).unwrap(); // 65
+    let d = g.add(Term::shifted(c, 1), Term::negated(a)).unwrap(); // 123
+    g.push_output("c0", Term::of(b), 29);
+    g.push_output("c1", Term::of(d), 123);
+    g
+}
+
+struct Wants(&'static [&'static str]);
+
+impl Pass<(), Vec<&'static str>> for Wants {
+    fn name(&self) -> &'static str {
+        "wants"
+    }
+    fn analyses(&self) -> &'static [&'static str] {
+        self.0
+    }
+    fn run(&self, az: &Analyzer<'_>, _c: &(), sink: &mut Vec<&'static str>) {
+        for &name in self.0 {
+            // Request by name — every analysis the framework ships.
+            match name {
+                "fanout" => drop(az.get_analysis::<Fanout>()),
+                "depth" => drop(az.get_analysis::<Depth>()),
+                "width" => drop(az.get_analysis::<WidthMap>()),
+                "critical-path" => drop(az.get_analysis::<CriticalPath>()),
+                "cone" => drop(az.get_analysis::<ConeOfInfluence>()),
+                "dominators" => drop(az.get_analysis::<Dominators>()),
+                "liveness" => drop(az.get_analysis::<Liveness>()),
+                "derived-values" => drop(az.get_analysis::<DerivedValues>()),
+                other => panic!("unknown analysis {other}"),
+            }
+            sink.push(name);
+        }
+    }
+}
+
+#[test]
+fn each_analysis_computes_at_most_once_per_netlist() {
+    mrp_obs::enable();
+    mrp_obs::reset();
+
+    let g = block();
+    let az = Analyzer::new(&g, AnalysisContext::default());
+
+    // Overlapping passes: every analysis is requested at least twice
+    // across the pipeline (critical-path itself re-requests depth).
+    let mut pm: PassManager<'_, (), Vec<&'static str>> = PassManager::new();
+    pm.add(Wants(&["depth", "fanout", "width", "liveness"]))
+        .add(Wants(&["critical-path", "depth", "cone", "derived-values"]))
+        .add(Wants(&[
+            "dominators",
+            "fanout",
+            "width",
+            "cone",
+            "liveness",
+        ]));
+    let mut sink = Vec::new();
+    pm.run(&az, &(), &mut sink);
+    assert_eq!(sink.len(), 13);
+
+    for a in [
+        Fanout::NAME,
+        Depth::NAME,
+        WidthMap::NAME,
+        CriticalPath::NAME,
+        ConeOfInfluence::NAME,
+        Dominators::NAME,
+        Liveness::NAME,
+        DerivedValues::NAME,
+    ] {
+        assert_eq!(
+            mrp_obs::counter_value(&format!("analysis.compute.{a}")),
+            Some(1),
+            "analysis {a} computed more than once"
+        );
+    }
+    assert_eq!(mrp_obs::counter_value("analysis.compute"), Some(8));
+    assert_eq!(az.computed_count(), 8);
+
+    // The transforms share the same cache: pipelining reads Depth, which
+    // is already computed, so the counters do not move.
+    let (net, delta) = pipeline_and_retime(&az, 1);
+    assert_eq!(mrp_obs::counter_value("analysis.compute"), Some(8));
+    assert_eq!(delta.combinational_depth, 4);
+    assert!(delta.stage_depth <= 1);
+    assert_eq!(
+        net.verify_outputs_latency_adjusted(&[-3, -1, 0, 1, 2, 7, 100]),
+        None
+    );
+
+    mrp_obs::disable();
+    mrp_obs::reset();
+}

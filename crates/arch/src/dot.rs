@@ -3,11 +3,49 @@
 //! Multiplier-block structure is easiest to review visually — the paper's
 //! own Figures 2-4 are graph drawings. `to_dot` renders the shift-add DAG
 //! with node constants, edge shifts/signs, and output taps, ready for
-//! `dot -Tsvg`.
+//! `dot -Tsvg`; [`to_dot_labeled`] additionally overlays one caller-chosen
+//! annotation per node (depth, fanout, stage, ... — anything an analysis
+//! computes).
+//!
+//! Emission order is the graph's own storage order (nodes by index,
+//! outputs by registration), so the same graph always renders to the same
+//! bytes. Labels pass through [`escape`]d DOT strings: quotes,
+//! backslashes, and newlines in output labels cannot break the syntax.
 
 use std::fmt::Write as _;
 
 use crate::netlist::{AdderGraph, Node, NodeId, Term};
+
+/// Escapes arbitrary text for use inside a double-quoted DOT string:
+/// backslashes and quotes are backslash-escaped, and literal newlines
+/// become DOT's `\n` line-break escape.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => {}
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// A graph name usable after `digraph`: DOT identifiers pass through,
+/// anything else is quoted and escaped.
+fn graph_id(name: &str) -> String {
+    let mut chars = name.chars();
+    let id_start = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if id_start && chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        name.to_string()
+    } else {
+        format!("\"{}\"", escape(name))
+    }
+}
 
 /// Renders the graph in Graphviz DOT syntax. Nodes are labeled with their
 /// constant multiple of `x`; edges carry `<<k` / `neg` annotations; outputs
@@ -28,20 +66,49 @@ use crate::netlist::{AdderGraph, Node, NodeId, Term};
 /// # Ok::<(), mrp_arch::ArchError>(())
 /// ```
 pub fn to_dot(graph: &AdderGraph, name: &str) -> String {
+    to_dot_labeled(graph, name, |_| None)
+}
+
+/// [`to_dot`] with a per-node annotation overlay: whatever `annotate`
+/// returns for a node is appended to its label on an extra line (escaped,
+/// so any text is safe). Used by `mrpf analyze --dot` to project analysis
+/// results — depths, fanouts, widths, pipeline stages — onto the drawing.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{to_dot_labeled, AdderGraph, Term};
+///
+/// let mut g = AdderGraph::new();
+/// let x = g.input();
+/// let n = g.add(Term::shifted(x, 3), Term::negated(x))?;
+/// g.push_output("c0", Term::of(n), 7);
+/// let dot = to_dot_labeled(&g, "block", |id| Some(format!("f{}", id.index())));
+/// assert!(dot.contains("f1"));
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+pub fn to_dot_labeled(
+    graph: &AdderGraph,
+    name: &str,
+    annotate: impl Fn(NodeId) -> Option<String>,
+) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "digraph {} {{", graph_id(name));
     let _ = writeln!(s, "    rankdir=LR;");
     let _ = writeln!(s, "    node [fontname=\"monospace\"];");
     for (i, node) in graph.nodes().iter().enumerate() {
         let id = NodeId::from_index(i);
+        let extra = annotate(id)
+            .map(|a| format!("\\n{}", escape(&a)))
+            .unwrap_or_default();
         match node {
             Node::Input => {
-                let _ = writeln!(s, "    n{i} [label=\"x\", shape=circle];");
+                let _ = writeln!(s, "    n{i} [label=\"x{extra}\", shape=circle];");
             }
             Node::Add { .. } => {
                 let _ = writeln!(
                     s,
-                    "    n{i} [label=\"{}x\\nd{}\", shape=ellipse];",
+                    "    n{i} [label=\"{}x\\nd{}{extra}\", shape=ellipse];",
                     graph.value(id),
                     graph.depth(id)
                 );
@@ -77,7 +144,8 @@ pub fn to_dot(graph: &AdderGraph, name: &str) -> String {
         let _ = writeln!(
             s,
             "    o{k} [label=\"{} = {}x\", shape=box];",
-            o.label, o.expected
+            escape(&o.label),
+            o.expected
         );
         let _ = writeln!(
             s,
@@ -134,5 +202,41 @@ mod tests {
         let dot = to_dot(&sample(), "g");
         assert!(dot.contains("<<"));
         assert!(dot.contains("neg"));
+    }
+
+    #[test]
+    fn hostile_labels_and_names_are_escaped() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        let n = g.add(Term::shifted(x, 1), Term::of(x)).unwrap();
+        g.push_output("tap \"zero\"\\first\nline", Term::of(n), 3);
+        let dot = to_dot(&g, "my graph");
+        assert!(dot.starts_with("digraph \"my graph\" {"));
+        assert!(dot.contains("tap \\\"zero\\\"\\\\first\\nline"));
+        // No raw newline survives inside any label.
+        for line in dot.lines() {
+            let quotes = line.matches('"').count() - line.matches("\\\"").count() * 2;
+            assert_eq!(quotes % 2, 0, "unbalanced quotes in {line:?}");
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let g = sample();
+        assert_eq!(to_dot(&g, "g"), to_dot(&g, "g"));
+    }
+
+    #[test]
+    fn annotations_appear_on_their_nodes() {
+        let g = sample();
+        let dot = to_dot_labeled(&g, "g", |id| {
+            if id.index() == 0 {
+                Some("stage 0".to_string())
+            } else {
+                None
+            }
+        });
+        assert!(dot.contains("x\\nstage 0"));
+        assert_eq!(dot.lines().filter(|l| l.contains("stage 0")).count(), 1);
     }
 }

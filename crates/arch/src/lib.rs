@@ -43,7 +43,7 @@ mod pipeline;
 mod verilog;
 mod verilog_pipelined;
 
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_labeled};
 pub use eval::evaluate_all;
 pub use filter_structure::{direct_fir, FirFilter};
 pub use iir::{quantize_iir, IirFixedPoint};

@@ -98,6 +98,7 @@ pub fn synthesize_racing(
             Ok(RungOutcome {
                 graph,
                 lint_warnings,
+                pipeline,
             }) => {
                 attempts.push(RungAttempt {
                     rung,
@@ -110,6 +111,7 @@ pub fn synthesize_racing(
                     degradations,
                     attempts,
                     lint_warnings,
+                    pipeline,
                     elapsed_ms: deadline.elapsed_ms(),
                 });
             }

@@ -2,7 +2,11 @@
 
 use std::fmt;
 
-use mrp_arch::emit_verilog;
+use mrp_analysis::{
+    pipeline_and_retime, AnalysisContext, Analyzer, ConeOfInfluence, CriticalPath, Depth,
+    Dominators, Fanout, PipelinedNetlist, TransformDelta, WidthMap,
+};
+use mrp_arch::{emit_verilog, to_dot_labeled, NodeId};
 use mrp_batch::{parse_specs, run_batch, BatchOptions};
 use mrp_core::{adder_report, MrpConfig, MrpOptimizer, SeedOptimizer};
 use mrp_filters::{butterworth_fir, least_squares, remez, FilterSpec};
@@ -48,11 +52,18 @@ USAGE:
   mrpf emit     C0,C1,...  [--name MODULE] [--width BITS] [--seed ...]
   mrpf compare  C0,C1,...
   mrpf respond  C0,C1,...  [--points N] (magnitude response table)
-  mrpf lint     C0,C1,...  [--width BITS] [--fanout N] [--json] [--seed ...]
+  mrpf lint     C0,C1,...  [--width BITS] [--fanout N] [--growth-bound BITS]
+                [--json] [--seed ...]
+  mrpf analyze  C0,C1,...  [--width BITS] [--json] [--pipeline-depth N]
+                [--dot depth|fanout|width|cone|dom|stage] [--seed ...]
+                (cached netlist analyses over the synthesized block:
+                 depth, fanout, widths, critical path, cones, dominators;
+                 --pipeline-depth pipelines + retimes and reports the
+                 delta; --dot prints Graphviz with the chosen overlay)
   mrpf synth    C0,C1,...  [--deadline-ms MS] [--min-quality RUNG]
                 [--start RUNG] [--faults SPEC] [--exact-nodes N]
                 [--width BITS] [--json] [--repr ...] [--beta B] [--depth D]
-                [--trace FILE] [--metrics FILE]
+                [--pipeline-depth N] [--trace FILE] [--metrics FILE]
                 (supervised synthesis with fallback ladder
                  mrp+cse > mrp > cse > spt; RUNG is one of those names;
                  SPEC e.g. panic@mrp+cse,timeout@mrp,seed=7;
@@ -77,6 +88,9 @@ USAGE:
                  every request runs under --deadline-ms, and ctrl-c
                  drains in-flight work before exiting; see docs/serve.md)
   mrpf help
+
+Anywhere a C0,C1,... coefficient list is expected, suite:N (N in 1..=12)
+substitutes the Nth paper example filter quantized to 12 bits.
 ";
 
 /// Runs one parsed command line, returning the text to print.
@@ -92,6 +106,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "compare" => compare(args),
         "respond" => respond(args),
         "lint" => lint(args),
+        "analyze" => analyze(args),
         "synth" => synth(args),
         "batch" => batch(args),
         "serve" => serve(args),
@@ -102,8 +117,28 @@ pub fn run(args: &Args) -> Result<String, CliError> {
 
 fn parse_coeffs(args: &Args) -> Result<Vec<i64>, CliError> {
     let Some(raw) = args.positional.first() else {
-        bail!("expected a comma-separated coefficient list, e.g. 70,66,17,9");
+        bail!("expected a comma-separated coefficient list (e.g. 70,66,17,9) or suite:N");
     };
+    // `suite:N` resolves to the Nth paper example filter, designed and
+    // uniformly quantized to 12 bits — the same inputs the benchmark and
+    // the CI analysis gate sweep.
+    if let Some(n) = raw.strip_prefix("suite:") {
+        let suite = mrp_filters::example_filters();
+        let index: usize = n.parse().map_err(|_| {
+            CliError(format!(
+                "`{n}` is not a suite index (use suite:1..={})",
+                suite.len()
+            ))
+        })?;
+        if index == 0 || index > suite.len() {
+            bail!("suite index {index} out of range 1..={}", suite.len());
+        }
+        let taps = suite[index - 1]
+            .design()
+            .map_err(|e| CliError(format!("suite filter design failed: {e}")))?;
+        let q = quantize(&taps, 12, Scaling::Uniform).map_err(|e| CliError(e.to_string()))?;
+        return Ok(q.values);
+    }
     raw.split(',')
         .map(|tok| {
             tok.trim()
@@ -243,10 +278,16 @@ fn lint(args: &Args) -> Result<String, CliError> {
         bail!("--width must be within 1..=48");
     }
     let fanout = args.get_usize("fanout", 0)?;
+    let growth = args.get_usize("growth-bound", 0)?;
     let lint_cfg = LintConfig {
         input_width: width,
         expected_depth: None,
         fanout_warn: if fanout == 0 { None } else { Some(fanout) },
+        width_growth_bound: if growth == 0 {
+            None
+        } else {
+            Some(growth as u32)
+        },
     };
     let mut report = lint_graph(&result.graph, &lint_cfg);
     if result.graph.outputs().iter().any(|o| o.expected != 0) {
@@ -262,6 +303,165 @@ fn lint(args: &Args) -> Result<String, CliError> {
         return Err(CliError(rendered));
     }
     Ok(rendered)
+}
+
+fn analyze(args: &Args) -> Result<String, CliError> {
+    let coeffs = parse_coeffs(args)?;
+    let cfg = parse_config(args)?;
+    let result = MrpOptimizer::new(cfg)
+        .optimize(&coeffs)
+        .map_err(|e| CliError(e.to_string()))?;
+    let width = args.get_usize("width", 16)? as u32;
+    if width == 0 || width > 48 {
+        bail!("--width must be within 1..=48");
+    }
+    let pipeline_depth = args.get_usize("pipeline-depth", 0)? as u32;
+    if pipeline_depth > 64 {
+        bail!("--pipeline-depth must be within 1..=64 (0/absent disables pipelining)");
+    }
+    let graph = result.graph;
+    let az = Analyzer::new(&graph, AnalysisContext { input_width: width });
+    let pipelined = if pipeline_depth > 0 {
+        Some(pipeline_and_retime(&az, pipeline_depth))
+    } else {
+        None
+    };
+    if let Some(overlay) = args.get("dot") {
+        return analyze_dot(&az, overlay, pipelined.as_ref());
+    }
+
+    let depth = az.get_analysis::<Depth>();
+    let fanout = az.get_analysis::<Fanout>();
+    let wm = az.get_analysis::<WidthMap>();
+    let cp = az.get_analysis::<CriticalPath>();
+    let cone = az.get_analysis::<ConeOfInfluence>();
+    let dom = az.get_analysis::<Dominators>();
+
+    let n = graph.len();
+    let outputs = graph.outputs().iter().filter(|o| o.expected != 0).count();
+    let widest_cone = (0..n).map(|i| cone.cone_size(i)).max().unwrap_or(0);
+    let input_dominated = dom.idom.iter().filter(|d| **d == Some(0)).count();
+    let path_nodes: Vec<String> = cp.path.iter().map(|&i| format!("n{i}")).collect();
+    let path_values: Vec<String> = cp
+        .path
+        .iter()
+        .map(|&i| format!("{}·x", graph.value(NodeId::from_index(i))))
+        .collect();
+
+    if args.flag("json") {
+        let path_json: Vec<String> = cp.path.iter().map(usize::to_string).collect();
+        let pipeline_json = match &pipelined {
+            None => String::new(),
+            Some((net, delta)) => format!(
+                ",\"pipeline\":{{\"latency\":{},\"stage_depth\":{},\
+                 \"combinational_depth\":{},\"registers\":{},\"retime_moves\":{}}}",
+                delta.latency,
+                delta.stage_depth,
+                delta.combinational_depth,
+                net.register_count(),
+                delta.retime_moves
+            ),
+        };
+        let computed: Vec<String> = az
+            .computed_names()
+            .iter()
+            .map(|name| format!("\"{name}\""))
+            .collect();
+        return Ok(format!(
+            "{{\"nodes\":{n},\"adders\":{},\"outputs\":{outputs},\
+             \"depth\":{},\"critical_path\":[{}],\"max_fanout\":{},\
+             \"input_width\":{width},\"min_safe_width\":{},\
+             \"largest_cone\":{widest_cone},\"input_dominated\":{input_dominated}\
+             {pipeline_json},\"analyses\":[{}]}}",
+            graph.adder_count(),
+            depth.max,
+            path_json.join(","),
+            fanout.max,
+            wm.min_safe,
+            computed.join(",")
+        ));
+    }
+
+    let mut out = format!(
+        "nodes: {n} ({} adder(s)), {outputs} output(s)\n\
+         combinational depth: {}\n\
+         critical path: {} ({})\n\
+         max fanout: {}\n\
+         min safe width: {} bit(s) at input width {width}\n\
+         largest input cone: {widest_cone} node(s)\n\
+         immediately input-dominated: {input_dominated} node(s)\n",
+        graph.adder_count(),
+        depth.max,
+        path_nodes.join(" → "),
+        path_values.join(" → "),
+        fanout.max,
+        wm.min_safe,
+    );
+    if let Some((net, delta)) = &pipelined {
+        out.push_str(&format!(
+            "pipeline (≤{pipeline_depth} adder(s)/stage): latency {} cycle(s), \
+             stage depth {} (from {}), {} register(s), {} retime move(s)\n",
+            delta.latency,
+            delta.stage_depth,
+            delta.combinational_depth,
+            net.register_count(),
+            delta.retime_moves,
+        ));
+    }
+    out.push_str(&format!("analyses: {}\n", az.computed_names().join(", ")));
+    Ok(out)
+}
+
+/// Renders the analyzed graph as Graphviz DOT with one analysis overlaid
+/// on the node labels.
+fn analyze_dot(
+    az: &Analyzer<'_>,
+    overlay: &str,
+    pipelined: Option<&(PipelinedNetlist, TransformDelta)>,
+) -> Result<String, CliError> {
+    let graph = az.graph();
+    let name = "mrpf_analyze";
+    match overlay {
+        "depth" => {
+            let d = az.get_analysis::<Depth>();
+            Ok(to_dot_labeled(graph, name, |n| {
+                Some(format!("depth {}", d.depths[n.index()]))
+            }))
+        }
+        "fanout" => {
+            let f = az.get_analysis::<Fanout>();
+            Ok(to_dot_labeled(graph, name, |n| {
+                Some(format!("fanout {}", f.counts[n.index()]))
+            }))
+        }
+        "width" => {
+            let w = az.get_analysis::<WidthMap>();
+            Ok(to_dot_labeled(graph, name, |n| {
+                Some(format!("{} bit(s)", w.widths[n.index()]))
+            }))
+        }
+        "cone" => {
+            let c = az.get_analysis::<ConeOfInfluence>();
+            Ok(to_dot_labeled(graph, name, |n| {
+                Some(format!("cone {}", c.cone_size(n.index())))
+            }))
+        }
+        "dom" => {
+            let d = az.get_analysis::<Dominators>();
+            Ok(to_dot_labeled(graph, name, |n| {
+                d.idom[n.index()].map(|j| format!("idom n{j}"))
+            }))
+        }
+        "stage" => {
+            let Some((net, _)) = pipelined else {
+                bail!("--dot stage requires --pipeline-depth N");
+            };
+            Ok(to_dot_labeled(graph, name, |n| {
+                Some(format!("stage {}", net.stages[n.index()]))
+            }))
+        }
+        other => bail!("unknown overlay `{other}` (use depth|fanout|width|cone|dom|stage)"),
+    }
 }
 
 fn parse_rung(args: &Args, option: &str, default: &str) -> Result<Rung, CliError> {
@@ -293,6 +493,10 @@ fn parse_synth_config(args: &Args) -> Result<SynthConfig, CliError> {
         bail!("--exact-nodes must be at least 1");
     }
     let faults = FaultPlan::parse(&args.get_str("faults", "")).map_err(CliError)?;
+    let pipeline_depth = args.get_usize("pipeline-depth", 0)?;
+    if pipeline_depth > 64 {
+        bail!("--pipeline-depth must be within 1..=64 (0/absent disables pipelining)");
+    }
     Ok(SynthConfig {
         base,
         budget: StageBudget {
@@ -306,6 +510,11 @@ fn parse_synth_config(args: &Args) -> Result<SynthConfig, CliError> {
             ..LintConfig::default()
         },
         faults,
+        pipeline_depth: if pipeline_depth == 0 {
+            None
+        } else {
+            Some(pipeline_depth as u32)
+        },
     })
 }
 
@@ -585,6 +794,72 @@ mod tests {
     }
 
     #[test]
+    fn lint_growth_bound_flags_wide_adders() {
+        let clean = run_line("lint 7,9,45").unwrap();
+        assert!(!clean.contains("MRP042"), "unexpected: {clean}");
+        let out = run_line("lint 7,9,45 --growth-bound 1").unwrap();
+        assert!(out.contains("MRP042"), "unexpected: {out}");
+    }
+
+    #[test]
+    fn suite_coefficients_resolve_to_a_paper_filter() {
+        let out = run_line("lint suite:1").unwrap();
+        assert!(out.contains("0 error(s)"), "unexpected: {out}");
+        assert!(run_line("lint suite:0").is_err());
+        assert!(run_line("lint suite:99").is_err());
+        assert!(run_line("lint suite:x").is_err());
+    }
+
+    #[test]
+    fn analyze_reports_the_critical_path() {
+        let out = run_line("analyze 7,23,0,105").unwrap();
+        assert!(out.contains("combinational depth:"), "unexpected: {out}");
+        assert!(out.contains("critical path: n0"), "unexpected: {out}");
+        assert!(out.contains("min safe width:"), "unexpected: {out}");
+    }
+
+    #[test]
+    fn analyze_json_includes_pipeline_delta() {
+        let out = run_line("analyze 7,23,0,105 --json --pipeline-depth 1").unwrap();
+        assert!(out.contains("\"critical_path\":["), "unexpected: {out}");
+        assert!(
+            out.contains("\"pipeline\":{\"latency\":"),
+            "unexpected: {out}"
+        );
+        assert!(out.contains("\"analyses\":["), "unexpected: {out}");
+    }
+
+    #[test]
+    fn analyze_dot_overlays_render() {
+        for overlay in ["depth", "fanout", "width", "cone", "dom"] {
+            let out = run_line(&format!("analyze 7,23 --dot {overlay}")).unwrap();
+            assert!(out.starts_with("digraph"), "{overlay}: {out}");
+        }
+        let out = run_line("analyze 7,23 --dot stage --pipeline-depth 1").unwrap();
+        assert!(out.contains("stage "), "unexpected: {out}");
+    }
+
+    #[test]
+    fn analyze_rejects_bad_inputs() {
+        assert!(run_line("analyze 7,23 --dot stage").is_err());
+        assert!(run_line("analyze 7,23 --dot nonsense").is_err());
+        assert!(run_line("analyze 7,23 --width 99").is_err());
+        assert!(run_line("analyze 7,23 --pipeline-depth 65").is_err());
+    }
+
+    #[test]
+    fn synth_pipeline_depth_reports_the_summary() {
+        let out = run_line("synth 70,66,17,9,27,41,56,11 --pipeline-depth 1").unwrap();
+        assert!(out.contains("pipeline: latency"), "unexpected: {out}");
+        let json = run_line("synth 70,66,17,9,27,41,56,11 --pipeline-depth 1 --json").unwrap();
+        assert!(
+            json.contains("\"pipeline\":{\"latency\":"),
+            "unexpected: {json}"
+        );
+        assert!(run_line("synth 7,9 --pipeline-depth 0").is_ok());
+    }
+
+    #[test]
     fn synth_healthy_run_reports_best_rung() {
         let out = run_line("synth 70,66,17,9,27,41,56,11").unwrap();
         assert!(out.contains("rung used: mrp+cse"), "unexpected: {out}");
@@ -799,7 +1074,8 @@ mod tests {
     #[test]
     fn usage_covers_every_subcommand() {
         for name in [
-            "design", "optimize", "emit", "compare", "respond", "lint", "synth", "batch", "serve",
+            "design", "optimize", "emit", "compare", "respond", "lint", "analyze", "synth",
+            "batch", "serve",
         ] {
             assert!(USAGE.contains(&format!("mrpf {name}")), "missing {name}");
         }

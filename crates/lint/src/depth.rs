@@ -1,12 +1,13 @@
 //! Depth / critical-path analysis.
 //!
-//! Recomputes every node's adder depth from the structure and checks it
-//! against the graph's cached depths and, when provided, against the
-//! critical path the optimizer reported (the paper's depth constraint is a
-//! hard design parameter, so a silent mismatch would invalidate Table 1
-//! style accounting).
+//! Checks the cached [`Depth`] analysis (a structural recompute) against
+//! the graph's own depth cache and, when provided, against the critical
+//! path the optimizer reported (the paper's depth constraint is a hard
+//! design parameter, so a silent mismatch would invalidate Table 1 style
+//! accounting).
 
-use mrp_arch::{AdderGraph, Node, NodeId};
+use mrp_analysis::{Analysis, Analyzer, Depth, Pass};
+use mrp_arch::{AdderGraph, NodeId};
 
 use crate::diag::{Diagnostic, LintCode, LintReport};
 use crate::LintConfig;
@@ -16,22 +17,32 @@ use crate::LintConfig;
 /// recompute stays total on malformed graphs (the structure pass reports
 /// those separately).
 pub fn recompute_depths(graph: &AdderGraph) -> Vec<u32> {
-    let mut d = vec![0u32; graph.len()];
-    for (i, node) in graph.nodes().iter().enumerate() {
-        if let Node::Add { lhs, rhs } = node {
-            let of = |j: usize| if j < i { d[j] } else { 0 };
-            d[i] = 1 + of(lhs.node.index()).max(of(rhs.node.index()));
-        }
-    }
-    d
+    mrp_analysis::recompute_depths(graph)
 }
 
-pub(crate) fn run(graph: &AdderGraph, config: &LintConfig, report: &mut LintReport) {
-    let depths = recompute_depths(graph);
-    let max = depths.iter().copied().max().unwrap_or(0);
-    report.stats.max_depth = max;
+/// The `MRP03x` pass. Reads the [`Depth`] analysis.
+pub(crate) struct DepthPass;
 
-    for (i, &d) in depths.iter().enumerate() {
+impl Pass<LintConfig, LintReport> for DepthPass {
+    fn name(&self) -> &'static str {
+        "depth"
+    }
+
+    fn analyses(&self) -> &'static [&'static str] {
+        &[Depth::NAME]
+    }
+
+    fn run(&self, az: &Analyzer<'_>, config: &LintConfig, report: &mut LintReport) {
+        run(az, config, report);
+    }
+}
+
+fn run(az: &Analyzer<'_>, config: &LintConfig, report: &mut LintReport) {
+    let graph = az.graph();
+    let depth = az.get_analysis::<Depth>();
+    report.stats.max_depth = depth.max;
+
+    for (i, &d) in depth.depths.iter().enumerate() {
         let cached = graph.depth(NodeId::from_index(i));
         if d != cached {
             report.push(
@@ -45,12 +56,13 @@ pub(crate) fn run(graph: &AdderGraph, config: &LintConfig, report: &mut LintRepo
     }
 
     if let Some(expected) = config.expected_depth {
-        if max != expected {
+        if depth.max != expected {
             report.push(Diagnostic::new(
                 LintCode::DepthMismatch,
                 format!(
                     "optimizer reported a critical path of {expected} adder stage(s) \
-                     but the netlist has {max}"
+                     but the netlist has {}",
+                    depth.max
                 ),
             ));
         }
@@ -60,7 +72,15 @@ pub(crate) fn run(graph: &AdderGraph, config: &LintConfig, report: &mut LintRepo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrp_analysis::AnalysisContext;
     use mrp_arch::Term;
+
+    fn lint(graph: &AdderGraph, config: &LintConfig) -> LintReport {
+        let az = Analyzer::new(graph, AnalysisContext::default());
+        let mut r = LintReport::default();
+        run(&az, config, &mut r);
+        r
+    }
 
     fn two_level() -> AdderGraph {
         let mut g = AdderGraph::new();
@@ -75,8 +95,7 @@ mod tests {
     fn recompute_matches_cache() {
         let g = two_level();
         assert_eq!(recompute_depths(&g), vec![0, 1, 2]);
-        let mut r = LintReport::default();
-        run(&g, &LintConfig::default(), &mut r);
+        let r = lint(&g, &LintConfig::default());
         assert!(r.is_clean(), "{}", r.render_pretty());
         assert_eq!(r.stats.max_depth, 2);
     }
@@ -88,8 +107,7 @@ mod tests {
             expected_depth: Some(3),
             ..LintConfig::default()
         };
-        let mut r = LintReport::default();
-        run(&g, &cfg, &mut r);
+        let r = lint(&g, &cfg);
         assert_eq!(r.with_code(LintCode::DepthMismatch).len(), 1);
     }
 
@@ -100,8 +118,7 @@ mod tests {
             expected_depth: Some(2),
             ..LintConfig::default()
         };
-        let mut r = LintReport::default();
-        run(&g, &cfg, &mut r);
+        let r = lint(&g, &cfg);
         assert!(r.is_clean());
     }
 }

@@ -27,102 +27,121 @@ impl fmt::Display for Severity {
     }
 }
 
-/// Stable diagnostic codes.
-///
-/// Codes are grouped by pass: `MRP00x` structural invariants, `MRP01x`
-/// width inference, `MRP02x` equivalence, `MRP03x` depth/critical path.
-/// Codes are append-only: a released code never changes meaning, so CI
-/// filters and suppression lists stay valid across versions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum LintCode {
-    /// `MRP001` — an adder node is not reachable from any output.
-    DeadNode,
-    /// `MRP002` — a term references a node id outside the graph.
-    UnknownNodeRef,
-    /// `MRP003` — an operand references the node itself or a later node
-    /// (the node list is not in topological order / contains a cycle).
-    NotTopological,
-    /// `MRP004` — an adder computes zero or a pure shift/negation of one
-    /// of its own operands; the adder is free wiring in disguise.
-    RedundantAdder,
-    /// `MRP005` — two adder nodes compute the same constant (missed CSE).
-    DuplicateNode,
-    /// `MRP006` — a node's fanout exceeds the configured threshold.
-    HighFanout,
-    /// `MRP007` — the graph registers no outputs.
-    NoOutputs,
-    /// `MRP010` — a declared wire/port width cannot hold the signal's
-    /// worst-case settled value.
-    WidthTruncation,
-    /// `MRP011` — the RTL's input port width disagrees with the width the
-    /// netlist was analyzed at.
-    InputWidthMismatch,
-    /// `MRP012` — a required width exceeds the 63-bit analysis range
-    /// (`i64` value tracking, `mrp-vsim` simulation).
-    WidthOverflow,
-    /// `MRP013` — the RTL does not structurally match the netlist
-    /// (parse failure, missing node wire, output count mismatch).
-    RtlShapeMismatch,
-    /// `MRP020` — an output's symbolically evaluated constant differs from
-    /// its registered expected coefficient.
-    CoeffMismatch,
-    /// `MRP021` — a node's structurally recomputed constant differs from
-    /// the tracked value cache.
-    TrackedValueMismatch,
-    /// `MRP022` — simulating the emitted RTL produced a wrong product.
-    RtlValueMismatch,
-    /// `MRP030` — a node's cached adder depth differs from the recomputed
-    /// depth.
-    DepthCacheMismatch,
-    /// `MRP031` — the recomputed critical path differs from the depth the
-    /// optimizer reported.
-    DepthMismatch,
+/// Defines [`LintCode`] from one table: variant, `MRPnnn` string, default
+/// severity, and one-line description. The single source keeps the code
+/// string, severity map, description map, and [`LintCode::ALL`] listing
+/// from drifting apart as codes are appended.
+macro_rules! lint_codes {
+    ($(
+        $(#[$doc:meta])*
+        $variant:ident = $code:literal, $severity:ident, $desc:literal;
+    )+) => {
+        /// Stable diagnostic codes.
+        ///
+        /// Codes are grouped by pass: `MRP00x` structural invariants,
+        /// `MRP01x` width inference, `MRP02x` equivalence, `MRP03x`
+        /// depth/critical path, `MRP04x` pipeline/retiming. Codes are
+        /// append-only: a released code never changes meaning, so CI
+        /// filters and suppression lists stay valid across versions.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum LintCode {
+            $( $(#[$doc])* $variant, )+
+        }
+
+        impl LintCode {
+            /// Every code, in `MRPnnn` order (append-only).
+            pub const ALL: &'static [LintCode] = &[ $( LintCode::$variant, )+ ];
+
+            /// The stable `MRPnnn` code string.
+            pub fn as_str(self) -> &'static str {
+                match self { $( LintCode::$variant => $code, )+ }
+            }
+
+            /// The default severity of this code.
+            pub fn severity(self) -> Severity {
+                match self { $( LintCode::$variant => Severity::$severity, )+ }
+            }
+
+            /// One-line description of what the code flags.
+            pub fn description(self) -> &'static str {
+                match self { $( LintCode::$variant => $desc, )+ }
+            }
+        }
+    };
 }
 
-impl LintCode {
-    /// The stable `MRPnnn` code string.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            LintCode::DeadNode => "MRP001",
-            LintCode::UnknownNodeRef => "MRP002",
-            LintCode::NotTopological => "MRP003",
-            LintCode::RedundantAdder => "MRP004",
-            LintCode::DuplicateNode => "MRP005",
-            LintCode::HighFanout => "MRP006",
-            LintCode::NoOutputs => "MRP007",
-            LintCode::WidthTruncation => "MRP010",
-            LintCode::InputWidthMismatch => "MRP011",
-            LintCode::WidthOverflow => "MRP012",
-            LintCode::RtlShapeMismatch => "MRP013",
-            LintCode::CoeffMismatch => "MRP020",
-            LintCode::TrackedValueMismatch => "MRP021",
-            LintCode::RtlValueMismatch => "MRP022",
-            LintCode::DepthCacheMismatch => "MRP030",
-            LintCode::DepthMismatch => "MRP031",
-        }
-    }
-
-    /// The default severity of this code.
-    pub fn severity(self) -> Severity {
-        match self {
-            LintCode::DeadNode
-            | LintCode::RedundantAdder
-            | LintCode::DuplicateNode
-            | LintCode::NoOutputs => Severity::Warning,
-            LintCode::HighFanout => Severity::Info,
-            LintCode::UnknownNodeRef
-            | LintCode::NotTopological
-            | LintCode::WidthTruncation
-            | LintCode::InputWidthMismatch
-            | LintCode::WidthOverflow
-            | LintCode::RtlShapeMismatch
-            | LintCode::CoeffMismatch
-            | LintCode::TrackedValueMismatch
-            | LintCode::RtlValueMismatch
-            | LintCode::DepthCacheMismatch
-            | LintCode::DepthMismatch => Severity::Error,
-        }
-    }
+lint_codes! {
+    /// `MRP001` — an adder node is not reachable from any output.
+    DeadNode = "MRP001", Warning,
+        "adder node not reachable from any nonzero output";
+    /// `MRP002` — a term references a node id outside the graph.
+    UnknownNodeRef = "MRP002", Error,
+        "operand or output references a node outside the graph";
+    /// `MRP003` — an operand references the node itself or a later node
+    /// (the node list is not in topological order / contains a cycle).
+    NotTopological = "MRP003", Error,
+        "operand reads the node itself or a later node";
+    /// `MRP004` — an adder computes zero or a pure shift/negation of one
+    /// of its own operands; the adder is free wiring in disguise.
+    RedundantAdder = "MRP004", Warning,
+        "adder computes zero or a free shift/negation of an operand";
+    /// `MRP005` — two adder nodes compute the same constant (missed CSE).
+    DuplicateNode = "MRP005", Warning,
+        "two adders compute the same constant (missed CSE)";
+    /// `MRP006` — a node's fanout exceeds the configured threshold.
+    HighFanout = "MRP006", Info,
+        "node fanout exceeds the configured threshold";
+    /// `MRP007` — the graph registers no outputs.
+    NoOutputs = "MRP007", Warning,
+        "graph has adders but registers no nonzero outputs";
+    /// `MRP010` — a declared wire/port width cannot hold the signal's
+    /// worst-case settled value.
+    WidthTruncation = "MRP010", Error,
+        "declared width cannot hold the worst-case settled value";
+    /// `MRP011` — the RTL's input port width disagrees with the width the
+    /// netlist was analyzed at.
+    InputWidthMismatch = "MRP011", Error,
+        "RTL input width disagrees with the analyzed width";
+    /// `MRP012` — a required width exceeds the 63-bit analysis range
+    /// (`i64` value tracking, `mrp-vsim` simulation).
+    WidthOverflow = "MRP012", Error,
+        "required width exceeds the 63-bit analysis range";
+    /// `MRP013` — the RTL does not structurally match the netlist
+    /// (parse failure, missing node wire, output count mismatch).
+    RtlShapeMismatch = "MRP013", Error,
+        "RTL does not structurally match the netlist";
+    /// `MRP020` — an output's symbolically evaluated constant differs from
+    /// its registered expected coefficient.
+    CoeffMismatch = "MRP020", Error,
+        "output reconstructs a different constant than registered";
+    /// `MRP021` — a node's structurally recomputed constant differs from
+    /// the tracked value cache.
+    TrackedValueMismatch = "MRP021", Error,
+        "tracked value cache disagrees with the adder structure";
+    /// `MRP022` — simulating the emitted RTL produced a wrong product.
+    RtlValueMismatch = "MRP022", Error,
+        "RTL simulation produced a wrong product";
+    /// `MRP030` — a node's cached adder depth differs from the recomputed
+    /// depth.
+    DepthCacheMismatch = "MRP030", Error,
+        "cached adder depth disagrees with the structure";
+    /// `MRP031` — the recomputed critical path differs from the depth the
+    /// optimizer reported.
+    DepthMismatch = "MRP031", Error,
+        "recomputed critical path disagrees with the reported depth";
+    /// `MRP040` — a signal crosses a pipeline stage boundary without a
+    /// register, so consumers would see the wrong cycle's value.
+    UnregisteredCrossing = "MRP040", Error,
+        "signal crosses a pipeline boundary without a register";
+    /// `MRP041` — a stage assignment is illegal: an adder consumes a value
+    /// from a later stage (needed before it exists), the input is off
+    /// stage 0, or a stage lies beyond the latency.
+    RetimingIllegal = "MRP041", Error,
+        "stage assignment needs a value before it is produced";
+    /// `MRP042` — a node's inferred width exceeds the declared growth
+    /// bound (legal, but the datapath is wider than the design budgeted).
+    WidthGrowthExceeded = "MRP042", Warning,
+        "inferred width grows past the declared bound";
 }
 
 impl fmt::Display for LintCode {
@@ -352,6 +371,31 @@ mod tests {
         assert_eq!(LintCode::WidthTruncation.as_str(), "MRP010");
         assert_eq!(LintCode::CoeffMismatch.as_str(), "MRP020");
         assert_eq!(LintCode::DepthMismatch.as_str(), "MRP031");
+        assert_eq!(LintCode::UnregisteredCrossing.as_str(), "MRP040");
+        assert_eq!(LintCode::RetimingIllegal.as_str(), "MRP041");
+        assert_eq!(LintCode::WidthGrowthExceeded.as_str(), "MRP042");
+    }
+
+    #[test]
+    fn code_table_is_consistent() {
+        // ALL is sorted by code string, strings are unique and MRPnnn.
+        let strs: Vec<&str> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(strs, sorted, "codes must be unique and in MRPnnn order");
+        for c in LintCode::ALL {
+            assert!(c.as_str().starts_with("MRP") && c.as_str().len() == 6);
+            assert!(!c.description().is_empty());
+        }
+        assert_eq!(LintCode::ALL.len(), 19);
+    }
+
+    #[test]
+    fn new_codes_have_expected_severities() {
+        assert_eq!(LintCode::UnregisteredCrossing.severity(), Severity::Error);
+        assert_eq!(LintCode::RetimingIllegal.severity(), Severity::Error);
+        assert_eq!(LintCode::WidthGrowthExceeded.severity(), Severity::Warning);
     }
 
     #[test]

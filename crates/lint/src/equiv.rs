@@ -5,43 +5,37 @@
 //! verifies the cache and every registered output coefficient against the
 //! derivation. A mismatch pinpoints which node or output edge breaks the
 //! reconstruction — the failure mode of a buggy SEED/overhead edge in the
-//! MRP decomposition.
+//! MRP decomposition. The derivation itself is the cached
+//! [`DerivedValues`] analysis.
 
-use mrp_arch::{AdderGraph, Node, NodeId, Term};
+use mrp_analysis::{Analysis, Analyzer, DerivedValues, Pass};
+use mrp_arch::NodeId;
 use mrp_numrep::odd_part;
 
 use crate::diag::{Diagnostic, LintCode, LintReport};
 use crate::LintConfig;
 
-/// Symbolically derived constants, index = node index; `None` past the
-/// first node whose derivation leaves the `i64` tracking range.
-fn derive_values(graph: &AdderGraph) -> Result<Vec<i64>, usize> {
-    let mut vals = vec![0i64; graph.len()];
-    for (i, node) in graph.nodes().iter().enumerate() {
-        vals[i] = match node {
-            Node::Input => 1,
-            Node::Add { lhs, rhs } => {
-                let term = |t: &Term| -> Option<i128> {
-                    let j = t.node.index();
-                    if j >= i {
-                        return None; // structure pass reports this
-                    }
-                    let v = (vals[j] as i128).checked_shl(t.shift)?;
-                    Some(if t.negate { -v } else { v })
-                };
-                let sum = term(lhs).and_then(|a| term(rhs).map(|b| a + b));
-                match sum.and_then(|v| i64::try_from(v).ok()) {
-                    Some(v) => v,
-                    None => return Err(i),
-                }
-            }
-        };
+/// The `MRP02x` pass. Reads the [`DerivedValues`] analysis.
+pub(crate) struct EquivPass;
+
+impl Pass<LintConfig, LintReport> for EquivPass {
+    fn name(&self) -> &'static str {
+        "equiv"
     }
-    Ok(vals)
+
+    fn analyses(&self) -> &'static [&'static str] {
+        &[DerivedValues::NAME]
+    }
+
+    fn run(&self, az: &Analyzer<'_>, config: &LintConfig, report: &mut LintReport) {
+        run(az, config, report);
+    }
 }
 
-pub(crate) fn run(graph: &AdderGraph, _config: &LintConfig, report: &mut LintReport) {
-    let vals = match derive_values(graph) {
+fn run(az: &Analyzer<'_>, _config: &LintConfig, report: &mut LintReport) {
+    let graph = az.graph();
+    let derived = az.get_analysis::<DerivedValues>();
+    let vals = match &derived.values {
         Ok(v) => v,
         Err(i) => {
             report.push(
@@ -49,7 +43,7 @@ pub(crate) fn run(graph: &AdderGraph, _config: &LintConfig, report: &mut LintRep
                     LintCode::WidthOverflow,
                     "symbolic derivation leaves the 63-bit tracking range",
                 )
-                .at_node(i),
+                .at_node(*i),
             );
             return;
         }
@@ -125,11 +119,13 @@ pub(crate) fn run(graph: &AdderGraph, _config: &LintConfig, report: &mut LintRep
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrp_arch::Term;
+    use mrp_analysis::AnalysisContext;
+    use mrp_arch::{AdderGraph, Term};
 
     fn lint(graph: &AdderGraph) -> LintReport {
+        let az = Analyzer::new(graph, AnalysisContext::default());
         let mut r = LintReport::default();
-        run(graph, &LintConfig::default(), &mut r);
+        run(&az, &LintConfig::default(), &mut r);
         r
     }
 

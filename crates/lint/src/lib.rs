@@ -16,7 +16,17 @@
 //!   from the adder structure, verified against the tracked values, the
 //!   registered output coefficients, and a simulation of the RTL;
 //! * **depth** (`MRP03x`) — recomputed critical path, checked against the
-//!   graph's depth cache and the optimizer's reported depth.
+//!   graph's depth cache and the optimizer's reported depth;
+//! * **pipeline** (`MRP04x`) — stage-assignment legality and register
+//!   coverage of a [`mrp_analysis::PipelinedNetlist`], plus an optional
+//!   width-growth bound (`MRP042`) on the plain graph lint.
+//!
+//! Every check is a [`mrp_analysis::Pass`] over a shared
+//! [`mrp_analysis::Analyzer`], so expensive walks (fanout, depth, widths,
+//! liveness, symbolic values) are each computed at most once per netlist
+//! no matter how many passes read them. [`lint_graph`] owns the analyzer
+//! internally; [`lint_graph_with`] lints through a caller-owned analyzer
+//! so a surrounding tool (e.g. `mrpf analyze`) can keep reusing the cache.
 //!
 //! # Examples
 //!
@@ -40,6 +50,7 @@
 mod depth;
 mod diag;
 mod equiv;
+mod pipelined;
 mod rtl;
 mod structure;
 pub mod width;
@@ -47,6 +58,7 @@ pub mod width;
 pub use depth::recompute_depths;
 pub use diag::{Diagnostic, LintCode, LintReport, LintStats, Severity};
 
+use mrp_analysis::{AnalysisContext, Analyzer, PassManager, PipelinedNetlist};
 use mrp_arch::AdderGraph;
 
 /// Lint configuration.
@@ -60,6 +72,10 @@ pub struct LintConfig {
     /// Fanout threshold above which `MRP006` fires; `None` disables the
     /// check (fanout still lands in the stats).
     pub fanout_warn: Option<usize>,
+    /// Internal wordlength budget in bits; when set, any node whose
+    /// settled value outgrows it raises `MRP042`. `None` disables the
+    /// check (the minimum safe width still lands in the stats).
+    pub width_growth_bound: Option<u32>,
 }
 
 impl Default for LintConfig {
@@ -68,8 +84,28 @@ impl Default for LintConfig {
             input_width: 16,
             expected_depth: None,
             fanout_warn: None,
+            width_growth_bound: None,
         }
     }
+}
+
+fn assert_width(config: &LintConfig) {
+    assert!(
+        (1..=63).contains(&config.input_width),
+        "input width {} outside 1..=63",
+        config.input_width
+    );
+}
+
+/// The standard graph lint pipeline: structure, widths, coefficient
+/// equivalence, and depth, in that order.
+fn graph_passes<'p>() -> PassManager<'p, LintConfig, LintReport> {
+    let mut pm = PassManager::new();
+    pm.add(structure::StructurePass)
+        .add(width::WidthPass)
+        .add(equiv::EquivPass)
+        .add(depth::DepthPass);
+    pm
 }
 
 /// Lints an adder-graph netlist: structure, widths, coefficient
@@ -81,16 +117,39 @@ impl Default for LintConfig {
 /// the `i64` analysis range).
 pub fn lint_graph(graph: &AdderGraph, config: &LintConfig) -> LintReport {
     let _span = mrp_obs::span("lint.graph");
-    assert!(
-        (1..=63).contains(&config.input_width),
-        "input width {} outside 1..=63",
-        config.input_width
+    assert_width(config);
+    let az = Analyzer::new(
+        graph,
+        AnalysisContext {
+            input_width: config.input_width,
+        },
     );
+    lint_graph_passes(&az, config)
+}
+
+/// Lints through a caller-owned [`Analyzer`], sharing its memoized
+/// analyses with whatever the caller computes before or after — the
+/// analyzer's context width must match `config.input_width` so the cached
+/// width table means the same thing to both sides.
+///
+/// # Panics
+///
+/// Panics if `config.input_width` is outside `1..=63` or disagrees with
+/// the analyzer's context.
+pub fn lint_graph_with(az: &Analyzer<'_>, config: &LintConfig) -> LintReport {
+    let _span = mrp_obs::span("lint.graph");
+    assert_width(config);
+    assert_eq!(
+        az.ctx().input_width,
+        config.input_width,
+        "analyzer context width disagrees with the lint config"
+    );
+    lint_graph_passes(az, config)
+}
+
+fn lint_graph_passes(az: &Analyzer<'_>, config: &LintConfig) -> LintReport {
     let mut report = LintReport::default();
-    structure::run(graph, config, &mut report);
-    width::run(graph, config, &mut report);
-    equiv::run(graph, config, &mut report);
-    depth::run(graph, config, &mut report);
+    graph_passes().run(az, config, &mut report);
     report
 }
 
@@ -106,12 +165,52 @@ pub fn lint_graph(graph: &AdderGraph, config: &LintConfig) -> LintReport {
 /// Panics if `config.input_width` is outside `1..=63`.
 pub fn lint_verilog(graph: &AdderGraph, source: &str, config: &LintConfig) -> LintReport {
     let _span = mrp_obs::span("lint.verilog");
-    assert!(
-        (1..=63).contains(&config.input_width),
-        "input width {} outside 1..=63",
-        config.input_width
+    assert_width(config);
+    let az = Analyzer::new(
+        graph,
+        AnalysisContext {
+            input_width: config.input_width,
+        },
     );
+    lint_verilog_passes(&az, source, config)
+}
+
+/// [`lint_verilog`] through a caller-owned [`Analyzer`] (see
+/// [`lint_graph_with`] for the sharing contract).
+///
+/// # Panics
+///
+/// Panics if `config.input_width` is outside `1..=63` or disagrees with
+/// the analyzer's context.
+pub fn lint_verilog_with(az: &Analyzer<'_>, source: &str, config: &LintConfig) -> LintReport {
+    let _span = mrp_obs::span("lint.verilog");
+    assert_width(config);
+    assert_eq!(
+        az.ctx().input_width,
+        config.input_width,
+        "analyzer context width disagrees with the lint config"
+    );
+    lint_verilog_passes(az, source, config)
+}
+
+fn lint_verilog_passes(az: &Analyzer<'_>, source: &str, config: &LintConfig) -> LintReport {
     let mut report = LintReport::default();
-    rtl::run(graph, source, config, &mut report);
+    let mut pm = PassManager::new();
+    pm.add(rtl::RtlPass { source });
+    pm.run(az, config, &mut report);
+    report
+}
+
+/// Lints a pipelined netlist: stage-assignment legality (`MRP041`) and
+/// register coverage of every boundary crossing (`MRP040`). The stats
+/// report the *within-stage* critical path, which is what the pipeline
+/// buys down.
+///
+/// This is the static half of the pipeline acceptance gate; the dynamic
+/// half is [`PipelinedNetlist::verify_outputs_latency_adjusted`].
+pub fn lint_pipelined(net: &PipelinedNetlist, config: &LintConfig) -> LintReport {
+    let _span = mrp_obs::span("lint.pipelined");
+    let mut report = LintReport::default();
+    pipelined::run(net, config, &mut report);
     report
 }

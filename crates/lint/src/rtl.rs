@@ -8,12 +8,30 @@
 
 use std::collections::HashMap;
 
+use mrp_analysis::{Analyzer, Pass};
 use mrp_arch::{AdderGraph, Node, NodeId};
 use mrp_vsim::Module;
 
 use crate::diag::{Diagnostic, LintCode, LintReport};
 use crate::width::{node_widths, product_width};
 use crate::LintConfig;
+
+/// The RTL cross-check pass. Borrows the Verilog source being checked;
+/// width requirements are recomputed at the RTL-declared input width (not
+/// the analyzer context width), so this pass reads no cached analyses.
+pub(crate) struct RtlPass<'a> {
+    pub source: &'a str,
+}
+
+impl Pass<LintConfig, LintReport> for RtlPass<'_> {
+    fn name(&self) -> &'static str {
+        "rtl"
+    }
+
+    fn run(&self, az: &Analyzer<'_>, config: &LintConfig, report: &mut LintReport) {
+        run(az.graph(), self.source, config, report);
+    }
+}
 
 pub(crate) fn run(graph: &AdderGraph, source: &str, config: &LintConfig, report: &mut LintReport) {
     let module = match Module::parse(source) {
@@ -159,12 +177,10 @@ pub(crate) fn run(graph: &AdderGraph, source: &str, config: &LintConfig, report:
     probes.dedup();
     for &x in &probes {
         let simulated = if module.is_sequential() {
-            // Two steps of constant input reach steady state for the
-            // one-cut pipeline; sample the second.
-            let mut state = module.new_state();
-            module
-                .step(&mut state, x)
-                .and_then(|_| module.step(&mut state, x))
+            // Constant input for one cycle per register plus one reaches
+            // steady state regardless of how many cut boundaries the
+            // emitter placed; sample the last cycle.
+            module.settle(x, module.regs.len() as u32 + 1)
         } else {
             module.evaluate(x)
         };

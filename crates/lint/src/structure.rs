@@ -1,12 +1,32 @@
 //! Structural invariants: reachability, topology, redundancy, fanout.
 
-use mrp_arch::{AdderGraph, Node, NodeId};
+use mrp_analysis::{Analyzer, Fanout, Liveness, Pass};
+use mrp_arch::{Node, NodeId};
 use mrp_numrep::odd_part;
 
 use crate::diag::{Diagnostic, LintCode, LintReport};
 use crate::LintConfig;
 
-pub(crate) fn run(graph: &AdderGraph, config: &LintConfig, report: &mut LintReport) {
+/// The `MRP00x` pass. Reads the [`Liveness`] and [`Fanout`] analyses.
+pub(crate) struct StructurePass;
+
+impl Pass<LintConfig, LintReport> for StructurePass {
+    fn name(&self) -> &'static str {
+        "structure"
+    }
+
+    fn analyses(&self) -> &'static [&'static str] {
+        use mrp_analysis::Analysis;
+        &[Liveness::NAME, Fanout::NAME]
+    }
+
+    fn run(&self, az: &Analyzer<'_>, config: &LintConfig, report: &mut LintReport) {
+        run(az, config, report);
+    }
+}
+
+fn run(az: &Analyzer<'_>, config: &LintConfig, report: &mut LintReport) {
+    let graph = az.graph();
     let n = graph.len();
     report.stats.nodes = n;
     report.stats.adders = graph.adder_count();
@@ -68,24 +88,14 @@ pub(crate) fn run(graph: &AdderGraph, config: &LintConfig, report: &mut LintRepo
         }
     }
     if !refs_ok {
-        // Reachability and redundancy would index out of bounds.
+        // Value lookups below would be meaningless on broken references.
         return;
     }
 
-    // Dead nodes: adders not reachable from any nonzero output.
-    let mut live = vec![false; n];
-    let mut stack: Vec<usize> = live_outputs.iter().map(|o| o.term.node.index()).collect();
-    while let Some(i) = stack.pop() {
-        if live[i] {
-            continue;
-        }
-        live[i] = true;
-        if let Node::Add { lhs, rhs } = graph.nodes()[i] {
-            stack.push(lhs.node.index());
-            stack.push(rhs.node.index());
-        }
-    }
-    for (i, &alive) in live.iter().enumerate().skip(1) {
+    // Dead nodes: adders not reachable from any nonzero output
+    // (backward reachability is the cached `liveness` analysis).
+    let live = az.get_analysis::<Liveness>();
+    for (i, &alive) in live.live.iter().enumerate().skip(1) {
         if !alive {
             report.push(
                 Diagnostic::new(
@@ -150,11 +160,12 @@ pub(crate) fn run(graph: &AdderGraph, config: &LintConfig, report: &mut LintRepo
         }
     }
 
-    // Fanout.
-    let fanouts = graph.fanouts();
-    report.stats.max_fanout = fanouts.iter().copied().max().unwrap_or(0);
+    // Fanout (the cached `fanout` analysis; matches `AdderGraph::fanouts`
+    // on reference-valid graphs, which the guard above established).
+    let fanouts = az.get_analysis::<Fanout>();
+    report.stats.max_fanout = fanouts.max;
     if let Some(limit) = config.fanout_warn {
-        for (i, &f) in fanouts.iter().enumerate() {
+        for (i, &f) in fanouts.counts.iter().enumerate() {
             if f > limit {
                 report.push(
                     Diagnostic::new(
@@ -171,11 +182,18 @@ pub(crate) fn run(graph: &AdderGraph, config: &LintConfig, report: &mut LintRepo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrp_arch::Term;
+    use mrp_analysis::AnalysisContext;
+    use mrp_arch::{AdderGraph, Term};
 
     fn lint(graph: &AdderGraph, config: &LintConfig) -> LintReport {
+        let az = Analyzer::new(
+            graph,
+            AnalysisContext {
+                input_width: config.input_width,
+            },
+        );
         let mut r = LintReport::default();
-        run(graph, config, &mut r);
+        run(&az, config, &mut r);
         r
     }
 

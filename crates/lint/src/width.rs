@@ -1,80 +1,47 @@
 //! Bit-width inference through shifts and adds.
 //!
-//! Every node of an adder graph computes an exact constant multiple
-//! `c · x` of the input, so its worst-case settled value is determined by
-//! `c` and the input wordlength `W`: with two's-complement inputs
-//! `x ∈ [-2^(W-1), 2^(W-1)-1]`, the node needs the minimal signed width
-//! that holds both `c · x_min` and `c · x_max`.
-//!
-//! Intermediate operand terms (`±(c << k) · x`) may transiently exceed a
-//! wire's width without corrupting the result: two's-complement addition
-//! is arithmetic modulo `2^w`, a ring homomorphism, so the settled wire
-//! value is exact whenever the wire's *own* value fits. Width lint
-//! therefore checks each signal's settled value, not its operands.
+//! The pure width formulas live in [`mrp_analysis::width`] (they are
+//! shared with the cached [`WidthMap`] analysis); this module re-exports
+//! them unchanged for the crate's public API and implements the `MRP01x`
+//! lint pass on top of the cached per-graph table.
 
-use mrp_arch::{AdderGraph, NodeId, Term};
+use mrp_analysis::{Analysis, Analyzer, Pass, WidthMap};
+use mrp_arch::NodeId;
 
-/// Minimal signed two's-complement width holding `v`.
-///
-/// `0` and `-1` need 1 bit; `2^(n-1)-1` and `-2^(n-1)` need `n`.
-pub fn signed_width(v: i128) -> u32 {
-    if v >= 0 {
-        (128 - v.leading_zeros()) + 1
-    } else {
-        128 - (!v).leading_zeros() + 1
+pub use mrp_analysis::width::{
+    min_safe_width, node_widths, product_width, signed_width, term_width,
+};
+
+use crate::diag::{Diagnostic, LintCode, LintReport};
+use crate::LintConfig;
+
+/// The graph-side `MRP01x` pass (`MRP012` overflow, `MRP042` growth
+/// bound). Reads the [`WidthMap`] analysis.
+pub(crate) struct WidthPass;
+
+impl Pass<LintConfig, LintReport> for WidthPass {
+    fn name(&self) -> &'static str {
+        "width"
+    }
+
+    fn analyses(&self) -> &'static [&'static str] {
+        &[WidthMap::NAME]
+    }
+
+    fn run(&self, az: &Analyzer<'_>, config: &LintConfig, report: &mut LintReport) {
+        run(az, config, report);
     }
 }
 
-/// Minimal signed width of `constant · x` over all `W`-bit signed `x`.
-pub fn product_width(constant: i64, input_width: u32) -> u32 {
-    let c = constant as i128;
-    let x_min = -(1i128 << (input_width - 1));
-    let x_max = (1i128 << (input_width - 1)) - 1;
-    let (a, b) = (c * x_min, c * x_max);
-    signed_width(a).max(signed_width(b))
-}
-
-/// Minimal signed width of a term's settled value at `input_width`.
-pub fn term_width(graph: &AdderGraph, term: Term, input_width: u32) -> u32 {
-    let c = (graph.value(term.node) as i128) << term.shift;
-    let c = if term.negate { -c } else { c };
-    // The term constant fits i128 easily (|value| < 2^63, shift < 64).
-    let x_min = -(1i128 << (input_width - 1));
-    let x_max = (1i128 << (input_width - 1)) - 1;
-    signed_width(c.saturating_mul(x_min)).max(signed_width(c.saturating_mul(x_max)))
-}
-
-/// Per-node minimal widths at `input_width`, index = node index.
-pub fn node_widths(graph: &AdderGraph, input_width: u32) -> Vec<u32> {
-    (0..graph.len())
-        .map(|i| product_width(graph.value(NodeId::from_index(i)), input_width))
-        .collect()
-}
-
-/// The minimal internal wordlength that holds every node's settled value
-/// and every output's settled value at `input_width`.
-pub fn min_safe_width(graph: &AdderGraph, input_width: u32) -> u32 {
-    let nodes = node_widths(graph, input_width)
-        .into_iter()
-        .max()
-        .unwrap_or(input_width);
-    let outs = graph
-        .outputs()
-        .iter()
-        .filter(|o| o.expected != 0)
-        .map(|o| product_width(o.expected, input_width))
-        .max()
-        .unwrap_or(1);
-    nodes.max(outs).max(input_width)
-}
-
-pub(crate) fn run(graph: &AdderGraph, config: &crate::LintConfig, report: &mut crate::LintReport) {
-    let widths = node_widths(graph, config.input_width);
-    for (i, &w) in widths.iter().enumerate() {
+fn run(az: &Analyzer<'_>, config: &LintConfig, report: &mut LintReport) {
+    debug_assert_eq!(az.ctx().input_width, config.input_width);
+    let graph = az.graph();
+    let wm = az.get_analysis::<WidthMap>();
+    for (i, &w) in wm.widths.iter().enumerate() {
         if w > 63 {
             report.push(
-                crate::Diagnostic::new(
-                    crate::LintCode::WidthOverflow,
+                Diagnostic::new(
+                    LintCode::WidthOverflow,
                     format!(
                         "{}·x needs {w} bit(s) at input width {}, beyond the 63-bit \
                          analysis range",
@@ -86,13 +53,44 @@ pub(crate) fn run(graph: &AdderGraph, config: &crate::LintConfig, report: &mut c
             );
         }
     }
-    report.stats.min_safe_width = min_safe_width(graph, config.input_width);
+    if let Some(bound) = config.width_growth_bound {
+        for (i, &w) in wm.widths.iter().enumerate() {
+            if w > bound {
+                report.push(
+                    Diagnostic::new(
+                        LintCode::WidthGrowthExceeded,
+                        format!(
+                            "{}·x needs {w} bit(s) at input width {}, past the declared \
+                             growth bound of {bound}",
+                            graph.value(NodeId::from_index(i)),
+                            config.input_width
+                        ),
+                    )
+                    .at_node(i),
+                );
+            }
+        }
+    }
+    report.stats.min_safe_width = wm.min_safe;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrp_arch::Term;
+    use mrp_analysis::AnalysisContext;
+    use mrp_arch::{AdderGraph, Term};
+
+    fn lint(graph: &AdderGraph, config: &LintConfig) -> LintReport {
+        let az = Analyzer::new(
+            graph,
+            AnalysisContext {
+                input_width: config.input_width,
+            },
+        );
+        let mut r = LintReport::default();
+        run(&az, config, &mut r);
+        r
+    }
 
     #[test]
     fn signed_width_basics() {
@@ -143,5 +141,34 @@ mod tests {
         // 63 * -128 = -8064 → 14 bits.
         assert_eq!(w8, 14);
         assert!(min_safe_width(&g, 16) > w8);
+    }
+
+    #[test]
+    fn growth_bound_fires_only_when_configured() {
+        let mut g = AdderGraph::new();
+        let x = g.input();
+        // 255·x at width 16 needs 24 bits.
+        let n = g.add(Term::shifted(x, 8), Term::negated(x)).unwrap();
+        g.push_output("o", Term::of(n), 255);
+        let silent = lint(&g, &LintConfig::default());
+        assert!(silent.with_code(LintCode::WidthGrowthExceeded).is_empty());
+
+        let cfg = LintConfig {
+            width_growth_bound: Some(20),
+            ..LintConfig::default()
+        };
+        let r = lint(&g, &cfg);
+        let hits = r.with_code(LintCode::WidthGrowthExceeded);
+        assert_eq!(hits.len(), 1, "{}", r.render_pretty());
+        assert_eq!(hits[0].node, Some(n.index()));
+        assert_eq!(hits[0].severity, crate::Severity::Warning);
+
+        let loose = LintConfig {
+            width_growth_bound: Some(24),
+            ..LintConfig::default()
+        };
+        assert!(lint(&g, &loose)
+            .with_code(LintCode::WidthGrowthExceeded)
+            .is_empty());
     }
 }

@@ -1,0 +1,53 @@
+//! The memoization guarantee, observed from the outside: one full
+//! `lint_graph` run computes each underlying analysis exactly once, and a
+//! caller-owned analyzer reused across `lint_graph_with` calls recomputes
+//! nothing at all. Uses the `mrp-obs` `analysis.compute` counters, so the
+//! whole check lives in one test (the registry is process-global).
+
+use mrp_analysis::{AnalysisContext, Analyzer};
+use mrp_arch::{AdderGraph, Term};
+use mrp_lint::{lint_graph, lint_graph_with, LintConfig};
+
+fn fixture() -> AdderGraph {
+    let mut g = AdderGraph::new();
+    let x = g.input();
+    let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+    let b = g.add(Term::shifted(a, 2), Term::of(x)).unwrap(); // 29
+    g.push_output("c0", Term::of(b), 29);
+    g
+}
+
+#[test]
+fn lint_computes_each_analysis_at_most_once() {
+    mrp_obs::reset();
+    mrp_obs::enable_metrics_only();
+
+    let g = fixture();
+    let config = LintConfig::default();
+    let report = lint_graph(&g, &config);
+    assert!(report.is_clean(), "{}", report.render_pretty());
+
+    // The four graph passes read five analyses between them; each was
+    // computed exactly once despite structure + width + equiv + depth all
+    // going through the same cache.
+    for name in ["liveness", "fanout", "width", "derived-values", "depth"] {
+        assert_eq!(
+            mrp_obs::counter_value(&format!("analysis.compute.{name}")),
+            Some(1),
+            "analysis `{name}` not computed exactly once"
+        );
+    }
+    assert_eq!(mrp_obs::counter_value("analysis.compute"), Some(5));
+
+    // A caller-owned analyzer makes repeat lints free: the second run
+    // moves no compute counters.
+    let az = Analyzer::new(&g, AnalysisContext::default());
+    let first = lint_graph_with(&az, &config);
+    let after_first = mrp_obs::counter_value("analysis.compute");
+    let second = lint_graph_with(&az, &config);
+    assert_eq!(mrp_obs::counter_value("analysis.compute"), after_first);
+    assert_eq!(first.render_json(), second.render_json());
+
+    mrp_obs::disable();
+    mrp_obs::reset();
+}

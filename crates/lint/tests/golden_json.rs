@@ -1,0 +1,43 @@
+//! Golden-byte stability of the machine-readable report.
+//!
+//! Downstream tooling (the CI analysis gate, `mrp-serve` clients) parses
+//! `render_json` output and diffs `render_pretty` output; both must stay
+//! byte-identical across refactors of the pass internals. These literals
+//! are the contract — if a change trips them, the schema moved and every
+//! consumer needs to know.
+
+use mrp_arch::{AdderGraph, Term};
+use mrp_lint::{lint_graph, LintConfig};
+
+/// 7·x with a dead 5·x rider: one warning, stable stats.
+fn fixture() -> AdderGraph {
+    let mut g = AdderGraph::new();
+    let x = g.input();
+    let a = g.add(Term::shifted(x, 3), Term::negated(x)).unwrap(); // 7
+    let _dead = g.add(Term::shifted(x, 2), Term::of(x)).unwrap(); // 5, unused
+    g.push_output("c0", Term::of(a), 7);
+    g
+}
+
+#[test]
+fn json_bytes_are_stable() {
+    let report = lint_graph(&fixture(), &LintConfig::default());
+    assert_eq!(
+        report.render_json(),
+        "{\"diagnostics\":[{\"code\":\"MRP001\",\"severity\":\"warning\",\
+         \"message\":\"adder computing 5·x drives no output\",\"node\":2}],\
+         \"stats\":{\"nodes\":3,\"adders\":2,\"outputs\":1,\"max_depth\":1,\
+         \"max_fanout\":4,\"min_safe_width\":19},\"errors\":0,\"warnings\":1}"
+    );
+}
+
+#[test]
+fn pretty_bytes_are_stable() {
+    let report = lint_graph(&fixture(), &LintConfig::default());
+    assert_eq!(
+        report.render_pretty(),
+        "warning [MRP001] adder computing 5·x drives no output (node 2)\n\
+         lint: 0 error(s), 1 warning(s) — 3 nodes (2 adders), 1 outputs, \
+         depth 1, max fanout 4, min safe width 19\n"
+    );
+}

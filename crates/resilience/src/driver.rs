@@ -26,9 +26,10 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use mrp_analysis::{pipeline_and_retime, AnalysisContext, Analyzer};
 use mrp_arch::{AdderGraph, Term};
 use mrp_core::{realize_cse, realize_simple, MrpConfig, MrpOptimizer, SeedOptimizer};
-use mrp_lint::{lint_graph, LintConfig, Severity};
+use mrp_lint::{lint_graph, lint_pipelined, LintConfig, Severity};
 use mrp_numrep::Repr;
 
 use crate::budget::{Deadline, StageBudget};
@@ -56,6 +57,12 @@ pub struct SynthConfig {
     pub lint: LintConfig,
     /// Deterministic faults to inject (default: none).
     pub faults: FaultPlan,
+    /// When set, every accepted netlist is additionally pipelined into
+    /// stages of at most this many adders (then retimed), and must pass
+    /// the pipelined lint plus the latency-adjusted equivalence gate; a
+    /// gate failure degrades the ladder like any other rung fault.
+    /// `None` keeps the driver purely combinational (default).
+    pub pipeline_depth: Option<u32>,
 }
 
 impl Default for SynthConfig {
@@ -67,7 +74,36 @@ impl Default for SynthConfig {
             min_rung: Rung::Spt,
             lint: LintConfig::default(),
             faults: FaultPlan::none(),
+            pipeline_depth: None,
         }
+    }
+}
+
+/// What the pipeline gate measured on the accepted netlist, reported
+/// alongside the combinational outcome when
+/// [`SynthConfig::pipeline_depth`] is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSummary {
+    /// Combinational critical path before pipelining (adder stages).
+    pub combinational_depth: u32,
+    /// Deepest within-stage adder chain after pipelining + retiming.
+    pub stage_depth: u32,
+    /// Pipeline latency in cycles.
+    pub latency: u32,
+    /// Pipeline registers after retiming.
+    pub registers: usize,
+    /// Retiming moves that were accepted.
+    pub retime_moves: usize,
+}
+
+impl PipelineSummary {
+    /// Critical-path reduction the pipeline bought, in percent.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.combinational_depth == 0 {
+            return 0.0;
+        }
+        100.0 * (self.combinational_depth - self.stage_depth) as f64
+            / self.combinational_depth as f64
     }
 }
 
@@ -100,6 +136,8 @@ pub struct SynthOutcome {
     pub lint_warnings: usize,
     /// Wall-clock time of the whole run, milliseconds.
     pub elapsed_ms: u64,
+    /// Pipeline gate measurements, when a pipeline depth was requested.
+    pub pipeline: Option<PipelineSummary>,
 }
 
 impl SynthOutcome {
@@ -124,6 +162,13 @@ impl SynthOutcome {
             self.lint_warnings,
             self.elapsed_ms,
         );
+        if let Some(p) = &self.pipeline {
+            out.push_str(&format!(
+                "pipeline: latency {} cycle(s), stage depth {} (from {}), \
+                 {} register(s), {} retime move(s)\n",
+                p.latency, p.stage_depth, p.combinational_depth, p.registers, p.retime_moves,
+            ));
+        }
         if !self.attempts.is_empty() {
             out.push_str("attempts:\n");
             for a in &self.attempts {
@@ -168,14 +213,23 @@ impl SynthOutcome {
                 )
             })
             .collect();
+        let pipeline = match &self.pipeline {
+            None => String::new(),
+            Some(p) => format!(
+                ",\"pipeline\":{{\"latency\":{},\"stage_depth\":{},\
+                 \"combinational_depth\":{},\"registers\":{},\"retime_moves\":{}}}",
+                p.latency, p.stage_depth, p.combinational_depth, p.registers, p.retime_moves
+            ),
+        };
         format!(
-            "{{\"rung\":\"{}\",\"degraded\":{},\"adders\":{},\"critical_path\":{},\"lint_warnings\":{},\"elapsed_ms\":{},\"attempts\":[{}],\"degradations\":[{}]}}",
+            "{{\"rung\":\"{}\",\"degraded\":{},\"adders\":{},\"critical_path\":{},\"lint_warnings\":{},\"elapsed_ms\":{}{},\"attempts\":[{}],\"degradations\":[{}]}}",
             self.rung,
             self.degraded(),
             self.adders(),
             self.graph.max_depth(),
             self.lint_warnings,
             self.elapsed_ms,
+            pipeline,
             attempts.join(","),
             degradations.join(",")
         )
@@ -245,6 +299,11 @@ pub fn synthesize_under(
             config.start_rung, config.min_rung
         )));
     }
+    if config.pipeline_depth == Some(0) {
+        return Err(PipelineError::BadConfig(
+            "pipeline depth must be at least 1 adder per stage".to_string(),
+        ));
+    }
     let _span = mrp_obs::span("synth");
     let mut degradations = Vec::new();
     let mut attempts: Vec<RungAttempt> = Vec::new();
@@ -262,7 +321,7 @@ pub fn synthesize_under(
             .unwrap_or_else(|| attempt_start.elapsed().as_millis() as u64);
         drop(rung_span);
         match result {
-            Ok((graph, lint_warnings)) => {
+            Ok((graph, lint_warnings, pipeline)) => {
                 attempts.push(RungAttempt {
                     rung,
                     elapsed_ms,
@@ -275,6 +334,7 @@ pub fn synthesize_under(
                     attempts,
                     lint_warnings,
                     elapsed_ms: deadline.elapsed_ms(),
+                    pipeline,
                 });
             }
             Err(error) => {
@@ -301,6 +361,8 @@ pub struct RungOutcome {
     pub graph: AdderGraph,
     /// Warning-severity lint findings on the accepted netlist.
     pub lint_warnings: usize,
+    /// Pipeline gate measurements, when a pipeline depth was requested.
+    pub pipeline: Option<PipelineSummary>,
 }
 
 /// Attempts a single rung of the fallback ladder end to end — budgeted,
@@ -320,9 +382,12 @@ pub fn try_rung(
     config: &SynthConfig,
     deadline: &Deadline,
 ) -> Result<RungOutcome, PipelineError> {
-    attempt_rung(coeffs, rung, config, deadline).map(|(graph, lint_warnings)| RungOutcome {
-        graph,
-        lint_warnings,
+    attempt_rung(coeffs, rung, config, deadline).map(|(graph, lint_warnings, pipeline)| {
+        RungOutcome {
+            graph,
+            lint_warnings,
+            pipeline,
+        }
     })
 }
 
@@ -333,7 +398,7 @@ fn attempt_rung(
     rung: Rung,
     config: &SynthConfig,
     deadline: &Deadline,
-) -> Result<(AdderGraph, usize), PipelineError> {
+) -> Result<(AdderGraph, usize, Option<PipelineSummary>), PipelineError> {
     let stage = format!("synth[{rung}]");
     if config.faults.armed(FaultKind::Timeout, rung) {
         return Err(PipelineError::Timeout {
@@ -462,12 +527,13 @@ fn effective_lint(graph: &AdderGraph, lint: &LintConfig) -> LintConfig {
 }
 
 /// The acceptance gate: the netlist must be lint-error-free and
-/// coefficient-equivalent on the verification samples.
+/// coefficient-equivalent on the verification samples; with a pipeline
+/// depth configured it must additionally survive the pipeline gate.
 fn accept(
     stage: &str,
     graph: &AdderGraph,
     config: &SynthConfig,
-) -> Result<(AdderGraph, usize), PipelineError> {
+) -> Result<(AdderGraph, usize, Option<PipelineSummary>), PipelineError> {
     let lint_span = mrp_obs::span("gate.lint");
     let report = lint_graph(graph, &effective_lint(graph, &config.lint));
     drop(lint_span);
@@ -490,8 +556,57 @@ fn accept(
     if let Some((label, input)) = verdict {
         return Err(PipelineError::NotEquivalent { label, input });
     }
+    let pipeline = match config.pipeline_depth {
+        None => None,
+        Some(m) => Some(pipeline_gate(stage, graph, config, m)?),
+    };
     mrp_obs::counter_add("synth.adders", graph.adder_count() as u64);
-    Ok((graph.clone(), report.warning_count()))
+    Ok((graph.clone(), report.warning_count(), pipeline))
+}
+
+/// The pipeline gate: slice the accepted netlist into stages of at most
+/// `max_stage_depth` adders, retime, and require the result to pass both
+/// the static `MRP04x` lint and the dynamic latency-adjusted equivalence
+/// check. A failure is reported like a rung fault so the ladder degrades.
+fn pipeline_gate(
+    stage: &str,
+    graph: &AdderGraph,
+    config: &SynthConfig,
+    max_stage_depth: u32,
+) -> Result<PipelineSummary, PipelineError> {
+    let _span = mrp_obs::span("gate.pipeline");
+    let lint_cfg = effective_lint(graph, &config.lint);
+    let az = Analyzer::new(
+        graph,
+        AnalysisContext {
+            input_width: lint_cfg.input_width,
+        },
+    );
+    let (net, delta) = pipeline_and_retime(&az, max_stage_depth);
+    let report = lint_pipelined(&net, &lint_cfg);
+    if report.has_errors() {
+        let first = report
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map(|d| d.to_string())
+            .unwrap_or_default();
+        return Err(PipelineError::LintRejected {
+            stage: format!("{stage}/pipeline"),
+            errors: report.error_count(),
+            first,
+        });
+    }
+    if let Some((label, input)) = net.verify_outputs_latency_adjusted(&VERIFY_SAMPLES) {
+        return Err(PipelineError::NotEquivalent { label, input });
+    }
+    Ok(PipelineSummary {
+        combinational_depth: delta.combinational_depth,
+        stage_depth: delta.stage_depth,
+        latency: delta.latency,
+        registers: delta.registers_after,
+        retime_moves: delta.retime_moves,
+    })
 }
 
 #[cfg(test)]
@@ -629,5 +744,60 @@ mod tests {
     #[test]
     fn json_escape_handles_quotes_and_newlines() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn pipeline_gate_reports_a_summary_and_reduces_the_path() {
+        let cfg = SynthConfig {
+            pipeline_depth: Some(1),
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&PAPER, &cfg).unwrap();
+        assert!(!out.degraded());
+        let p = out.pipeline.expect("pipeline summary");
+        assert_eq!(p.combinational_depth, out.graph.max_depth());
+        assert!(p.stage_depth <= 1);
+        assert_eq!(p.latency, p.combinational_depth.saturating_sub(1));
+        assert!(p.reduction_pct() > 0.0);
+        let pretty = out.render_pretty();
+        assert!(pretty.contains("pipeline: latency"), "{pretty}");
+        let json = out.render_json();
+        assert!(json.contains("\"pipeline\":{\"latency\":"), "{json}");
+    }
+
+    #[test]
+    fn unpipelined_reports_are_unchanged() {
+        let out = synthesize(&PAPER, &SynthConfig::default()).unwrap();
+        assert!(out.pipeline.is_none());
+        assert!(!out.render_pretty().contains("pipeline:"));
+        assert!(!out.render_json().contains("\"pipeline\""));
+    }
+
+    #[test]
+    fn zero_pipeline_depth_is_rejected() {
+        let cfg = SynthConfig {
+            pipeline_depth: Some(0),
+            ..SynthConfig::default()
+        };
+        assert!(matches!(
+            synthesize(&PAPER, &cfg),
+            Err(PipelineError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn corruption_still_degrades_with_the_pipeline_gate_on() {
+        // The combinational gates run before the pipeline gate, so a
+        // corrupted netlist degrades exactly as without pipelining, and
+        // the accepted lower rung still carries a pipeline summary.
+        let cfg = SynthConfig {
+            faults: FaultPlan::parse("corrupt@mrp+cse").unwrap(),
+            pipeline_depth: Some(2),
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&PAPER, &cfg).unwrap();
+        assert!(out.degraded());
+        let p = out.pipeline.expect("pipeline summary");
+        assert!(p.stage_depth <= 2);
     }
 }

@@ -59,7 +59,8 @@ mod ladder;
 
 pub use budget::{Deadline, StageBudget};
 pub use driver::{
-    synthesize, synthesize_under, try_rung, RungAttempt, RungOutcome, SynthConfig, SynthOutcome,
+    synthesize, synthesize_under, try_rung, PipelineSummary, RungAttempt, RungOutcome, SynthConfig,
+    SynthOutcome,
 };
 pub use error::{Degradation, PipelineError};
 pub use fault::{Fault, FaultKind, FaultPlan};

@@ -35,4 +35,4 @@ mod stream;
 
 pub use goertzel::{goertzel, goertzel_db};
 pub use snr::{snr_db, SnrReport};
-pub use stream::{OverflowMode, StreamingFir};
+pub use stream::{equal_with_latency, OverflowMode, StreamingFir};

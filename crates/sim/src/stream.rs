@@ -3,6 +3,35 @@
 
 use mrp_arch::FirFilter;
 
+/// `true` when `delayed` is exactly `reference` shifted `latency` samples
+/// later: zeros while the pipeline fills, then the reference values.
+/// Positions past the end of `reference` compare against 0 (a drained
+/// pipe fed zero-padded input), and trailing reference samples without a
+/// delayed counterpart are not checked — the comparison covers
+/// `delayed`'s length.
+///
+/// This is the stream-level form of the latency-adjusted equivalence gate
+/// pipelined netlists must pass: a pipelined block is correct iff its
+/// output stream `equal_with_latency`s the combinational one.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_sim::equal_with_latency;
+///
+/// assert!(equal_with_latency(&[3, 1, 4], &[0, 0, 3, 1, 4], 2));
+/// assert!(!equal_with_latency(&[3, 1, 4], &[3, 1, 4], 2));
+/// ```
+pub fn equal_with_latency(reference: &[i64], delayed: &[i64], latency: usize) -> bool {
+    delayed
+        .iter()
+        .enumerate()
+        .all(|(t, &y)| match t.checked_sub(latency) {
+            None => y == 0,
+            Some(k) => reference.get(k).copied().unwrap_or(0) == y,
+        })
+}
+
 /// What happens when an output exceeds the configured output width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OverflowMode {
@@ -120,6 +149,26 @@ mod tests {
             g.push_output(format!("c{i}"), t, c);
         }
         FirFilter::new(g)
+    }
+
+    #[test]
+    fn latency_equivalence_matches_a_real_delay() {
+        let coeffs = [5i64, -2, 7];
+        let input: Vec<i64> = (0..20).map(|i| (i * 11 % 17) - 8).collect();
+        let reference = direct_fir(&coeffs, &input);
+        for latency in 0..3usize {
+            let mut delayed = vec![0i64; latency];
+            delayed.extend_from_slice(&reference);
+            assert!(
+                equal_with_latency(&reference, &delayed, latency),
+                "latency {latency}"
+            );
+            if latency > 0 {
+                assert!(!equal_with_latency(&reference, &delayed, latency - 1));
+            }
+        }
+        // A corrupted fill sample is caught too.
+        assert!(!equal_with_latency(&[1, 2], &[9, 1, 2], 1));
     }
 
     #[test]

@@ -461,6 +461,23 @@ impl Module {
         Ok(outputs)
     }
 
+    /// Drives a sequential module with a constant input for `cycles`
+    /// clock edges from reset state and returns the outputs sampled on the
+    /// last cycle — the steady-state response once the pipeline has
+    /// flushed. `cycles` must be at least 1.
+    ///
+    /// # Errors
+    ///
+    /// [`VerilogError`] on the same conditions as [`Module::step`].
+    pub fn settle(&self, x: i64, cycles: u32) -> Result<Vec<i64>, VerilogError> {
+        let mut state = self.new_state();
+        let mut out = self.step(&mut state, x)?;
+        for _ in 1..cycles {
+            out = self.step(&mut state, x)?;
+        }
+        Ok(out)
+    }
+
     /// Simulates a *combinational* module for one input value, returning
     /// the outputs in declaration order with width-exact two's-complement
     /// arithmetic.

@@ -11,6 +11,7 @@
 //! * [`graph`] — MST, all-pairs shortest paths, weighted set cover.
 //! * [`filters`] — Parks-McClellan / least-squares / Butterworth FIR design.
 //! * [`arch`] — shift-add adder-graph IR, bit-exact evaluation, Verilog.
+//! * [`analysis`] — cached netlist analyses, pipelining and retiming.
 //! * [`hwcost`] — adder area/delay/power models.
 //! * [`cse`] — common subexpression elimination and MCM baselines.
 //! * [`core`] — the MRP optimization itself.
@@ -30,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub use mrp_analysis as analysis;
 pub use mrp_arch as arch;
 pub use mrp_core as core;
 pub use mrp_cse as cse;
