@@ -54,6 +54,38 @@ pub fn normalize_coeffs(coeffs: &[i64]) -> Vec<i64> {
     coeffs.iter().map(|&c| (c >> shift) * sign).collect()
 }
 
+/// Aggregate statistics of a cache tier, for `/metricsz` and the serve
+/// summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Distinct normalized vectors held.
+    pub entries: usize,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+/// What the batch engine requires of a synthesis cache.
+///
+/// The engine is tier-agnostic: [`MemoCache`] is the in-memory
+/// implementation, and `mrp-store`'s tiered cache layers a crash-safe
+/// persistent log under the same interface. Implementations must be
+/// usable from many pool workers at once, and `lookup`/`store` must
+/// never fail — a tier that loses its backing storage degrades to
+/// whatever it can still serve rather than erroring.
+pub trait SynthCache: Send + Sync {
+    /// Looks up a normalized key, counting a hit or a miss.
+    fn lookup(&self, key: &[i64]) -> Option<Result<BatchCell, String>>;
+
+    /// Stores the result of one synthesis. Last write wins; with a
+    /// deterministic pipeline concurrent writers store equal values.
+    fn store(&self, key: Vec<i64>, value: Result<BatchCell, String>);
+
+    /// Entry count and hit/miss counters.
+    fn stats(&self) -> CacheStats;
+}
+
 /// A thread-safe memo cache of synthesis results keyed by
 /// [`normalize_coeffs`] vectors.
 ///
@@ -133,6 +165,24 @@ impl MemoCache {
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl SynthCache for MemoCache {
+    fn lookup(&self, key: &[i64]) -> Option<Result<BatchCell, String>> {
+        MemoCache::lookup(self, key)
+    }
+
+    fn store(&self, key: Vec<i64>, value: Result<BatchCell, String>) {
+        MemoCache::store(self, key, value)
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            hits: self.hits(),
+            misses: self.misses(),
+        }
     }
 }
 

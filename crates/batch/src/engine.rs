@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use mrp_resilience::{synthesize, PipelineError, SynthConfig, SynthOutcome};
 
-use crate::cache::{normalize_coeffs, MemoCache};
+use crate::cache::{normalize_coeffs, MemoCache, SynthCache};
 use crate::pool::ThreadPool;
 use crate::racing::synthesize_racing;
 use crate::spec::BatchSpec;
@@ -214,22 +214,23 @@ pub fn run_batch(specs: &[BatchSpec], options: &BatchOptions) -> BatchReport {
     run_batch_on(specs, options, &pool, &MemoCache::new())
 }
 
-/// [`run_batch`] on a caller-owned pool and memo cache.
+/// [`run_batch`] on a caller-owned pool and cache tier.
 ///
 /// This is the entry point for long-running callers (`mrpf serve`): the
 /// pool is shared across requests instead of being rebuilt per run, and
-/// the [`MemoCache`] short-circuits synthesis of normalized coefficient
-/// vectors seen by *any* earlier run on the same cache. The report is
-/// unaffected by either sharing: its `cache` column records within-run
-/// deduplication only, and a memo-cache hit returns the same
-/// deterministic [`BatchCell`] a fresh synthesis would produce — so the
-/// rendered bytes stay identical to a cold offline `run_batch` of the
-/// same specs under the same configuration.
+/// the [`SynthCache`] short-circuits synthesis of normalized coefficient
+/// vectors seen by *any* earlier run on the same cache — whether that
+/// cache is the in-memory [`MemoCache`] or `mrp-store`'s persistent
+/// tier. The report is unaffected by either sharing: its `cache` column
+/// records within-run deduplication only, and a cache hit returns the
+/// same deterministic [`BatchCell`] a fresh synthesis would produce — so
+/// the rendered bytes stay identical to a cold offline `run_batch` of
+/// the same specs under the same configuration.
 pub fn run_batch_on(
     specs: &[BatchSpec],
     options: &BatchOptions,
     pool: &Arc<ThreadPool>,
-    memo: &MemoCache,
+    memo: &dyn SynthCache,
 ) -> BatchReport {
     let _span = mrp_obs::span("batch.run");
 

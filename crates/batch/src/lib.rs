@@ -38,7 +38,7 @@ mod pool;
 mod racing;
 mod spec;
 
-pub use cache::{normalize_coeffs, MemoCache};
+pub use cache::{normalize_coeffs, CacheStats, MemoCache, SynthCache};
 pub use engine::{run_batch, run_batch_on, BatchCell, BatchOptions, BatchReport, BatchRow};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use pool::ThreadPool;

@@ -29,6 +29,54 @@ use mrp_ptest::Rng;
 
 use crate::ladder::Rung;
 
+/// One raw `kind@target` entry of a fault-spec string, before any
+/// domain-specific validation of the kind or the target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecEntry {
+    /// Text left of the `@`.
+    pub kind: String,
+    /// Text right of the `@` (`*` conventionally means "everywhere").
+    pub target: String,
+}
+
+/// Splits the shared fault-spec grammar — comma-separated `kind@target`
+/// entries plus an optional `seed=N` — without interpreting kinds or
+/// targets.
+///
+/// This is the vocabulary every fault plan in the workspace speaks:
+/// [`FaultPlan::parse`] validates the entries against pipeline rungs,
+/// and `mrp-store`'s disk fault plan validates them against I/O
+/// operations, so `timeout@mrp+cse,seed=7` and `enospc@append,seed=7`
+/// read the same way.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed entry or seed.
+pub fn parse_spec_entries(spec: &str) -> Result<(Vec<SpecEntry>, u64), String> {
+    let mut entries = Vec::new();
+    let mut seed = 0u64;
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if let Some(raw) = entry.strip_prefix("seed=") {
+            seed = raw
+                .parse()
+                .map_err(|_| format!("`{raw}` is not a valid fault seed"))?;
+            continue;
+        }
+        let (kind, target) = entry
+            .split_once('@')
+            .ok_or_else(|| format!("fault entry `{entry}` is not of the form kind@target"))?;
+        entries.push(SpecEntry {
+            kind: kind.to_string(),
+            target: target.to_string(),
+        });
+    }
+    Ok((entries, seed))
+}
+
 /// The injectable fault kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -108,29 +156,26 @@ impl FaultPlan {
     ///
     /// Returns a message naming the malformed entry.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        let mut plan = FaultPlan::default();
-        for entry in spec.split(',') {
-            let entry = entry.trim();
-            if entry.is_empty() {
-                continue;
-            }
-            if let Some(seed) = entry.strip_prefix("seed=") {
-                plan.seed = seed
-                    .parse()
-                    .map_err(|_| format!("`{seed}` is not a valid fault seed"))?;
-                continue;
-            }
-            let (kind_str, rung_str) = entry
-                .split_once('@')
-                .ok_or_else(|| format!("fault entry `{entry}` is not of the form kind@rung"))?;
-            let kind = FaultKind::parse(kind_str).ok_or_else(|| {
-                format!("unknown fault kind `{kind_str}` (use timeout|panic|corrupt|overflow)")
+        let (entries, seed) = parse_spec_entries(spec)?;
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        for entry in entries {
+            let kind = FaultKind::parse(&entry.kind).ok_or_else(|| {
+                format!(
+                    "unknown fault kind `{}` (use timeout|panic|corrupt|overflow)",
+                    entry.kind
+                )
             })?;
-            let rung = if rung_str == "*" {
+            let rung = if entry.target == "*" {
                 None
             } else {
-                Some(Rung::parse(rung_str).ok_or_else(|| {
-                    format!("unknown rung `{rung_str}` (use mrp+cse|mrp|cse|spt|*)")
+                Some(Rung::parse(&entry.target).ok_or_else(|| {
+                    format!(
+                        "unknown rung `{}` (use mrp+cse|mrp|cse|spt|*)",
+                        entry.target
+                    )
                 })?)
             };
             plan.faults.push(Fault { kind, rung });
@@ -211,6 +256,21 @@ mod tests {
         assert!(FaultPlan::parse("panic@orbit").is_err());
         assert!(FaultPlan::parse("panic").is_err());
         assert!(FaultPlan::parse("seed=banana").is_err());
+    }
+
+    #[test]
+    fn shared_spec_vocabulary_splits_entries() {
+        // The same grammar mrp-store's disk fault plan consumes: kinds
+        // and targets are opaque at this layer.
+        let (entries, seed) = parse_spec_entries("enospc@append, eio@read ,seed=9").unwrap();
+        assert_eq!(seed, 9);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, "enospc");
+        assert_eq!(entries[0].target, "append");
+        assert_eq!(entries[1].kind, "eio");
+        assert_eq!(entries[1].target, "read");
+        assert!(parse_spec_entries("lonely").is_err());
+        assert!(parse_spec_entries("seed=banana").is_err());
     }
 
     #[test]

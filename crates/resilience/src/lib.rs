@@ -63,5 +63,5 @@ pub use driver::{
     SynthOutcome,
 };
 pub use error::{Degradation, PipelineError};
-pub use fault::{Fault, FaultKind, FaultPlan};
+pub use fault::{parse_spec_entries, Fault, FaultKind, FaultPlan, SpecEntry};
 pub use ladder::Rung;

@@ -1,0 +1,211 @@
+//! In-flight request coalescing: identical concurrent requests
+//! synthesize once.
+//!
+//! When several clients POST the same body to the same path at the same
+//! time — a fleet warming up on the same filter bank is the motivating
+//! case — only the first (**leader**) runs the pipeline. The rest
+//! (**followers**) block on the leader's slot and are answered with the
+//! exact bytes the leader computed, which is sound because responses to
+//! `/synth` and `/batch` are deterministic functions of the request
+//! under a fixed server configuration.
+//!
+//! Followers can only exist while their leader is actively executing,
+//! and the leader is bounded by the request deadline, so waits are
+//! finite. Followers block on their own connection threads — never on a
+//! pool worker, where a blocked wait could starve the compute the leader
+//! is waiting for. A leader that panics publishes a 500 through its drop
+//! guard rather than stranding followers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// The shared response a leader publishes: status and body.
+type Outcome = Arc<(u16, String)>;
+
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<Outcome>>,
+    ready: Condvar,
+}
+
+/// The coalescing table. One per server.
+#[derive(Default)]
+pub(crate) struct Coalescer {
+    slots: Mutex<HashMap<String, Arc<Slot>>>,
+}
+
+/// What `claim` decided for this request.
+pub(crate) enum Claim {
+    /// Run the work, then `publish` (or drop, which publishes a 500).
+    Leader(LeaderGuard),
+    /// Wait for the leader's outcome.
+    Follower(FollowerTicket),
+}
+
+impl Coalescer {
+    pub(crate) fn new() -> Coalescer {
+        Coalescer::default()
+    }
+
+    /// Claims `key`: the first claimant becomes the leader; concurrent
+    /// claimants of the same key become followers of its slot.
+    pub(crate) fn claim(self: &Arc<Self>, key: String) -> Claim {
+        let mut slots = self.lock();
+        if let Some(slot) = slots.get(&key) {
+            return Claim::Follower(FollowerTicket {
+                slot: Arc::clone(slot),
+            });
+        }
+        let slot = Arc::new(Slot::default());
+        slots.insert(key.clone(), Arc::clone(&slot));
+        Claim::Leader(LeaderGuard {
+            coalescer: Arc::clone(self),
+            key,
+            slot,
+            published: false,
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Slot>>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Leadership of one coalesced key. Publishing wakes every follower and
+/// retires the key so later identical requests start fresh.
+pub(crate) struct LeaderGuard {
+    coalescer: Arc<Coalescer>,
+    key: String,
+    slot: Arc<Slot>,
+    published: bool,
+}
+
+impl LeaderGuard {
+    /// Publishes the computed response to all followers.
+    pub(crate) fn publish(mut self, status: u16, body: String) {
+        self.publish_inner(Arc::new((status, body)));
+    }
+
+    fn publish_inner(&mut self, outcome: Outcome) {
+        // Retire the key first: requests arriving from here on compute
+        // fresh (the published value may describe transient state).
+        self.coalescer.lock().remove(&self.key);
+        let mut result = self.slot.result.lock().unwrap_or_else(|e| e.into_inner());
+        *result = Some(outcome);
+        self.slot.ready.notify_all();
+        self.published = true;
+    }
+}
+
+impl Drop for LeaderGuard {
+    fn drop(&mut self) {
+        if !self.published {
+            // The leader panicked mid-route: followers get an error
+            // instead of waiting out their timeout.
+            self.publish_inner(Arc::new((
+                500,
+                crate::http::error_body("coalesced leader failed"),
+            )));
+        }
+    }
+}
+
+/// A follower's wait handle.
+pub(crate) struct FollowerTicket {
+    slot: Arc<Slot>,
+}
+
+impl FollowerTicket {
+    /// Blocks until the leader publishes or `timeout` passes.
+    pub(crate) fn wait(self, timeout: Duration) -> Option<(u16, String)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut result = self.slot.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = result.as_ref() {
+                return Some((outcome.0, outcome.1.clone()));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, wait) = self
+                .slot
+                .ready
+                .wait_timeout(result, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            result = guard;
+            if wait.timed_out() && result.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn leader_computes_once_followers_share_bytes() {
+        let coalescer = Arc::new(Coalescer::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let Claim::Leader(leader) = coalescer.claim("k".to_string()) else {
+            panic!("first claim must lead");
+        };
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let Claim::Follower(ticket) = coalescer.claim("k".to_string()) else {
+                    panic!("second claim must follow");
+                };
+                thread::spawn(move || ticket.wait(Duration::from_secs(5)).expect("published"))
+            })
+            .collect();
+        computed.fetch_add(1, Ordering::SeqCst);
+        leader.publish(200, "shared".to_string());
+        for follower in followers {
+            let (status, body) = follower.join().unwrap();
+            assert_eq!((status, body.as_str()), (200, "shared"));
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1);
+        // The key retired with the publish: next claim leads again.
+        assert!(matches!(coalescer.claim("k".to_string()), Claim::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let coalescer = Arc::new(Coalescer::new());
+        let _a = coalescer.claim("a".to_string());
+        assert!(matches!(coalescer.claim("b".to_string()), Claim::Leader(_)));
+    }
+
+    #[test]
+    fn dropped_leader_publishes_an_error() {
+        let coalescer = Arc::new(Coalescer::new());
+        let Claim::Leader(leader) = coalescer.claim("k".to_string()) else {
+            panic!("first claim must lead");
+        };
+        let Claim::Follower(ticket) = coalescer.claim("k".to_string()) else {
+            panic!("second claim must follow");
+        };
+        drop(leader); // simulates a panicking route handler
+        let (status, body) = ticket.wait(Duration::from_secs(5)).expect("drop publishes");
+        assert_eq!(status, 500);
+        assert!(body.contains("leader failed"), "{body}");
+    }
+
+    #[test]
+    fn follower_wait_times_out_cleanly() {
+        let coalescer = Arc::new(Coalescer::new());
+        let Claim::Leader(leader) = coalescer.claim("k".to_string()) else {
+            panic!("first claim must lead");
+        };
+        let Claim::Follower(ticket) = coalescer.claim("k".to_string()) else {
+            panic!("second claim must follow");
+        };
+        assert!(ticket.wait(Duration::from_millis(20)).is_none());
+        leader.publish(200, "late".to_string()); // no waiter left; harmless
+    }
+}

@@ -19,11 +19,18 @@
 //!
 //! * **Determinism** — `/batch` responses are byte-identical to the
 //!   offline `mrpf batch --json` report for the same specs and
-//!   configuration, regardless of `--jobs` or what the shared memo
-//!   cache already holds.
+//!   configuration, regardless of `--jobs` or what the shared synthesis
+//!   cache already holds — including a persistent cache recovered after
+//!   a crash.
 //! * **Backpressure** — at most `queue` requests are in flight; beyond
-//!   that, connections get an immediate `503` with `Retry-After`
-//!   instead of unbounded queueing.
+//!   that, connections get an immediate `503` whose `Retry-After` is
+//!   derived from queue depth and observed request latency.
+//! * **Coalescing** — identical concurrent POSTs synthesize once; the
+//!   followers receive the leader's bytes (`serve.coalesced` counts
+//!   them).
+//! * **Graceful degradation** — with `store_dir` set, losing the disk
+//!   tier flips `/healthz` to `degraded` and continues memory-only; it
+//!   never takes the service down.
 //! * **Deadlines** — each request's [`Deadline`](mrp_resilience::Deadline)
 //!   starts at admission, so time spent waiting for a pool worker counts
 //!   against the request's budget, not in addition to it.
@@ -46,10 +53,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 
+pub mod chaos;
+mod coalesce;
 mod http;
 mod routes;
 mod server;
 pub mod signal;
 
+pub use chaos::{run_chaos, ChaosOptions, ChaosReport};
 pub use server::{ServeHandle, ServeOptions, ServeSummary, Server};
 pub use signal::{clear_interrupt, install_interrupt_handler, interrupted};

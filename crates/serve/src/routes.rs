@@ -14,9 +14,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use mrp_batch::{
-    parse_json, parse_specs, run_batch_on, BatchOptions, JsonValue, MemoCache, ThreadPool,
+    parse_json, parse_specs, run_batch_on, BatchOptions, JsonValue, SynthCache, ThreadPool,
 };
 use mrp_resilience::{synthesize_under, Deadline};
+use mrp_store::PersistentStore;
 
 use crate::http::{error_body, Request};
 use crate::server::{ServeOptions, ServeState};
@@ -25,10 +26,22 @@ use crate::server::{ServeOptions, ServeState};
 pub(crate) struct RouteContext<'a> {
     pub state: &'a ServeState,
     pub pool: &'a Arc<ThreadPool>,
-    pub memo: &'a MemoCache,
+    pub memo: &'a dyn SynthCache,
+    /// The persistent tier, when one is configured — only consulted for
+    /// its health (lookups go through `memo`, which *is* the store).
+    pub store: Option<&'a PersistentStore>,
     pub options: &'a ServeOptions,
     /// Started at request admission, so queue wait counts against it.
     pub deadline: Deadline,
+}
+
+/// `(overall status, store mode)` for `/healthz` and `/metricsz`.
+fn store_health(ctx: &RouteContext<'_>) -> (&'static str, &'static str) {
+    match ctx.store {
+        None => ("ok", "memory"),
+        Some(store) if store.degraded() => ("degraded", "degraded"),
+        Some(_) => ("ok", "persistent"),
+    }
 }
 
 /// Routes one request to `(status, body)`.
@@ -50,10 +63,14 @@ pub(crate) fn route(request: &Request, ctx: &RouteContext<'_>) -> (u16, String) 
 }
 
 /// Liveness report. `inflight` counts admitted-but-unfinished requests
-/// and therefore includes the health check itself.
+/// and therefore includes the health check itself. `status` stays `ok`
+/// unless the persistent tier has been lost (`degraded`) — the server
+/// still answers, which is the point of degrading.
 fn health_body(ctx: &RouteContext<'_>) -> String {
+    let (status, store) = store_health(ctx);
     format!(
-        "{{\"status\":\"ok\",\"inflight\":{},\"queue\":{},\"served\":{},\"rejected\":{}}}\n",
+        "{{\"status\":\"{status}\",\"store\":\"{store}\",\"inflight\":{},\"queue\":{},\
+         \"served\":{},\"rejected\":{}}}\n",
         ctx.state.inflight.load(Ordering::SeqCst),
         ctx.state.queue,
         ctx.state.served.load(Ordering::SeqCst),
@@ -62,16 +79,20 @@ fn health_body(ctx: &RouteContext<'_>) -> String {
 }
 
 fn metrics_body(ctx: &RouteContext<'_>) -> String {
+    let cache = ctx.memo.stats();
+    let (_, store) = store_health(ctx);
     format!(
         "{{\"server\":{{\"inflight\":{},\"queue\":{},\"served\":{},\"rejected\":{},\
+         \"coalesced\":{},\"store\":\"{store}\",\
          \"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}}},\"metrics\":{}}}\n",
         ctx.state.inflight.load(Ordering::SeqCst),
         ctx.state.queue,
         ctx.state.served.load(Ordering::SeqCst),
         ctx.state.rejected.load(Ordering::SeqCst),
-        ctx.memo.len(),
-        ctx.memo.hits(),
-        ctx.memo.misses(),
+        ctx.state.coalesced.load(Ordering::SeqCst),
+        cache.entries,
+        cache.hits,
+        cache.misses,
         mrp_obs::export_metrics_json(),
     )
 }
@@ -81,9 +102,19 @@ fn synth(request: &Request, ctx: &RouteContext<'_>) -> (u16, String) {
         Ok(coeffs) => coeffs,
         Err(message) => return (422, error_body(&message)),
     };
-    match synthesize_under(&coeffs, &ctx.options.synth, ctx.deadline) {
-        Ok(outcome) => (200, format!("{}\n", outcome.render_json())),
-        Err(error) => (422, error_body(&format!("synthesis failed: {error}"))),
+    // Handlers run on per-connection threads; the compute goes through
+    // the shared pool so synthesis concurrency stays bounded by `jobs`.
+    let config = ctx.options.synth.clone();
+    let deadline = ctx.deadline;
+    let outcome = ctx
+        .pool
+        .run_indexed(vec![move || synthesize_under(&coeffs, &config, deadline)])
+        .pop()
+        .flatten();
+    match outcome {
+        Some(Ok(outcome)) => (200, format!("{}\n", outcome.render_json())),
+        Some(Err(error)) => (422, error_body(&format!("synthesis failed: {error}"))),
+        None => (500, error_body("synthesis job panicked")),
     }
 }
 

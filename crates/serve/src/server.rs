@@ -2,10 +2,25 @@
 //!
 //! One [`Server`] owns the listener, a work-stealing [`ThreadPool`]
 //! (reused from `mrp-batch` — the same pool that runs batch shards), and
-//! the cross-request [`MemoCache`]. Every connection is either admitted
-//! onto the pool — with its deadline already running, so queue wait
-//! counts against the request's budget — or refused immediately with
-//! `503` + `Retry-After` when the bounded queue is full.
+//! the cross-request synthesis cache. Every connection is either admitted
+//! — with its deadline already running, so any wait counts against the
+//! request's budget — or refused immediately with `503` + `Retry-After`
+//! when the bounded queue is full. The retry hint is derived from live
+//! load (queue depth × observed request latency ÷ workers), not a
+//! constant.
+//!
+//! Admitted connections get their own handler thread (bounded by the
+//! admission cap) and only *compute* goes through the pool. Handlers
+//! block on things the pool must never absorb — slow client sockets and
+//! coalescing followers waiting on a leader — and the pool's
+//! help-while-waiting discipline would otherwise let a worker stuck
+//! inside a batch fan-out pick up a connection job and block on it: a
+//! follower of its *own* coalescing key is a deadlock.
+//!
+//! With `store_dir` set, the cache is `mrp-store`'s crash-safe
+//! [`PersistentStore`]; losing the disk mid-run degrades the tier to
+//! memory-only and flips `/healthz` to `degraded` — it never takes the
+//! service down.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -14,9 +29,11 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mrp_batch::{MemoCache, ThreadPool};
+use mrp_batch::{MemoCache, SynthCache, ThreadPool};
 use mrp_resilience::{Deadline, SynthConfig};
+use mrp_store::{PersistentStore, RealVfs, StoreOptions};
 
+use crate::coalesce::{Claim, Coalescer};
 use crate::http;
 use crate::routes::{self, RouteContext};
 use crate::signal;
@@ -41,6 +58,9 @@ pub struct ServeOptions {
     pub queue: usize,
     /// Whether `/batch` runs the dual-config racing mode.
     pub racing: bool,
+    /// Directory for the persistent synthesis cache; `None` serves from
+    /// memory only.
+    pub store_dir: Option<String>,
     /// Synthesis configuration applied to every request; its
     /// `budget.deadline_ms` is the per-request deadline.
     pub synth: SynthConfig,
@@ -53,6 +73,7 @@ impl Default for ServeOptions {
             jobs: 2,
             queue: 16,
             racing: false,
+            store_dir: None,
             synth: SynthConfig::default(),
         }
     }
@@ -64,6 +85,11 @@ pub(crate) struct ServeState {
     pub inflight: AtomicUsize,
     pub served: AtomicU64,
     pub rejected: AtomicU64,
+    pub coalesced: AtomicU64,
+    /// Sum and count of completed-request latencies, feeding the
+    /// queue-depth-derived `Retry-After`.
+    pub latency_ms_sum: AtomicU64,
+    pub latency_count: AtomicU64,
     pub queue: usize,
 }
 
@@ -94,6 +120,11 @@ impl ServeHandle {
     pub fn rejected(&self) -> u64 {
         self.state.rejected.load(Ordering::SeqCst)
     }
+
+    /// Requests answered from a concurrent identical request's result.
+    pub fn coalesced(&self) -> u64 {
+        self.state.coalesced.load(Ordering::SeqCst)
+    }
 }
 
 /// What a serve run did, reported after the graceful drain.
@@ -103,12 +134,18 @@ pub struct ServeSummary {
     pub served: u64,
     /// Connections refused under backpressure.
     pub rejected: u64,
-    /// Distinct normalized coefficient sets in the memo cache at exit.
+    /// Requests answered by coalescing onto an identical in-flight one.
+    pub coalesced: u64,
+    /// Distinct normalized coefficient sets in the synthesis cache at
+    /// exit.
     pub cache_entries: usize,
-    /// Memo-cache hits across the run.
+    /// Cache hits across the run.
     pub cache_hits: u64,
-    /// Memo-cache misses across the run.
+    /// Cache misses across the run.
     pub cache_misses: u64,
+    /// Whether the persistent tier was lost and the server finished in
+    /// memory-only mode (always `false` without `store_dir`).
+    pub store_degraded: bool,
 }
 
 /// A bound but not-yet-running synthesis service.
@@ -116,7 +153,9 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     pool: Arc<ThreadPool>,
-    memo: Arc<MemoCache>,
+    memo: Arc<dyn SynthCache>,
+    store: Option<Arc<PersistentStore>>,
+    coalescer: Arc<Coalescer>,
     state: Arc<ServeState>,
     options: ServeOptions,
 }
@@ -124,21 +163,42 @@ pub struct Server {
 impl Server {
     /// Binds the listener and spins up the worker pool. The listener is
     /// nonblocking so the accept loop can poll the shutdown flag.
+    ///
+    /// With `store_dir` set, the persistent cache is opened (and its
+    /// log recovered) here; an unusable directory degrades the store to
+    /// memory-only mode rather than failing the bind.
     pub fn bind(options: ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(&options.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let jobs = options.jobs.max(1);
+        let (memo, store): (Arc<dyn SynthCache>, Option<Arc<PersistentStore>>) =
+            match &options.store_dir {
+                Some(dir) => {
+                    let store = Arc::new(PersistentStore::open(
+                        Arc::new(RealVfs),
+                        dir,
+                        StoreOptions::default(),
+                    ));
+                    (Arc::clone(&store) as Arc<dyn SynthCache>, Some(store))
+                }
+                None => (Arc::new(MemoCache::new()), None),
+            };
         Ok(Server {
             listener,
             addr,
             pool: Arc::new(ThreadPool::new(jobs)),
-            memo: Arc::new(MemoCache::new()),
+            memo,
+            store,
+            coalescer: Arc::new(Coalescer::new()),
             state: Arc::new(ServeState {
                 shutdown: AtomicBool::new(false),
                 inflight: AtomicUsize::new(0),
                 served: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                latency_ms_sum: AtomicU64::new(0),
+                latency_count: AtomicU64::new(0),
                 queue: options.queue.max(1),
             }),
             options,
@@ -155,6 +215,12 @@ impl Server {
         ServeHandle {
             state: Arc::clone(&self.state),
         }
+    }
+
+    /// What recovery found when the persistent store opened, if one is
+    /// configured.
+    pub fn store_recovery(&self) -> Option<mrp_store::RecoveryStats> {
+        self.store.as_ref().map(|s| s.recovery())
     }
 
     /// Runs the accept loop until [`ServeHandle::shutdown`] or
@@ -178,12 +244,15 @@ impl Server {
             thread::sleep(ACCEPT_POLL);
         }
         self.pool.join();
+        let cache = self.memo.stats();
         ServeSummary {
             served: self.state.served.load(Ordering::SeqCst),
             rejected: self.state.rejected.load(Ordering::SeqCst),
-            cache_entries: self.memo.len(),
-            cache_hits: self.memo.hits(),
-            cache_misses: self.memo.misses(),
+            coalesced: self.state.coalesced.load(Ordering::SeqCst),
+            cache_entries: cache.entries,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            store_degraded: self.store.as_ref().is_some_and(|s| s.degraded()),
         }
     }
 
@@ -204,11 +273,12 @@ impl Server {
         if !admitted {
             self.state.rejected.fetch_add(1, Ordering::SeqCst);
             mrp_obs::counter_add("serve.rejected", 1);
+            let retry_after = retry_after_secs(&self.state, self.options.jobs.max(1));
             // The refusal cannot go through the pool — the pool being
             // saturated is exactly why we're refusing — and must not
             // block the acceptor on a slow client, so it gets a short
             // detached thread.
-            thread::spawn(move || reply_busy(stream));
+            thread::spawn(move || reply_busy(stream, retry_after));
             return;
         }
         mrp_obs::gauge_set(
@@ -219,13 +289,51 @@ impl Server {
         let state = Arc::clone(&self.state);
         let pool = Arc::clone(&self.pool);
         let memo = Arc::clone(&self.memo);
+        let store = self.store.clone();
+        let coalescer = Arc::clone(&self.coalescer);
         let options = self.options.clone();
-        self.pool.execute(move || {
-            let _guard = InflightGuard(Arc::clone(&state));
-            handle_connection(stream, &state, &pool, &memo, &options, deadline);
-            state.served.fetch_add(1, Ordering::SeqCst);
-        });
+        // One thread per admitted connection, bounded by the admission
+        // cap. Handlers block on sockets and coalescing waits; only
+        // compute goes through the pool (see the module docs).
+        let spawned = thread::Builder::new()
+            .name("mrp-serve-conn".to_string())
+            .spawn(move || {
+                let _guard = InflightGuard(Arc::clone(&state));
+                handle_connection(
+                    stream,
+                    &state,
+                    &pool,
+                    memo.as_ref(),
+                    store.as_deref(),
+                    &coalescer,
+                    &options,
+                    deadline,
+                );
+                state.served.fetch_add(1, Ordering::SeqCst);
+            });
+        if let Err(error) = spawned {
+            // Spawn failure (resource exhaustion) is a refusal, not a
+            // crash: the guard never ran, so release the slot here.
+            self.state.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.state.rejected.fetch_add(1, Ordering::SeqCst);
+            mrp_obs::counter_add("serve.rejected", 1);
+            let _ = error;
+        }
     }
+}
+
+/// The `Retry-After` a refused client should honor: how long the
+/// current backlog will take to clear at the observed per-request
+/// latency, spread over the worker count. Before any request has
+/// completed there is no latency signal and the hint is the minimum.
+fn retry_after_secs(state: &ServeState, jobs: usize) -> u64 {
+    let completed = state.latency_count.load(Ordering::SeqCst);
+    if completed == 0 {
+        return 1;
+    }
+    let avg_ms = state.latency_ms_sum.load(Ordering::SeqCst) / completed;
+    let backlog = state.inflight.load(Ordering::SeqCst) as u64;
+    (backlog * avg_ms).div_ceil(jobs as u64 * 1000).clamp(1, 60)
 }
 
 /// Decrements `inflight` when the handler exits — including by panic, so
@@ -239,11 +347,14 @@ impl Drop for InflightGuard {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     mut stream: TcpStream,
     state: &ServeState,
     pool: &Arc<ThreadPool>,
-    memo: &MemoCache,
+    memo: &dyn SynthCache,
+    store: Option<&PersistentStore>,
+    coalescer: &Arc<Coalescer>,
     options: &ServeOptions,
     deadline: Deadline,
 ) {
@@ -260,23 +371,87 @@ fn handle_connection(
         state,
         pool,
         memo,
+        store,
         options,
         deadline,
     };
-    let (status, body) = routes::route(&request, &ctx);
+    // Identical concurrent POSTs synthesize once: the response is a
+    // deterministic function of (path, body) under a fixed server
+    // configuration, so followers may reuse the leader's bytes. GETs
+    // are cheap and report live state, so they always compute.
+    let (status, body) = if request.method == "POST" {
+        let key = format!("{}\n{}", request.path, request.body);
+        match coalescer.claim(key) {
+            Claim::Leader(leader) => {
+                let (status, body) = routes::route(&request, &ctx);
+                leader.publish(status, body.clone());
+                (status, body)
+            }
+            Claim::Follower(ticket) => {
+                state.coalesced.fetch_add(1, Ordering::SeqCst);
+                mrp_obs::counter_add("serve.coalesced", 1);
+                // The leader is bounded by its own deadline; wait that
+                // long plus slack before giving up.
+                let timeout = deadline.remaining().unwrap_or(Duration::from_secs(60))
+                    + Duration::from_secs(2);
+                match ticket.wait(timeout) {
+                    Some((status, body)) => (status, body),
+                    None => (
+                        503,
+                        http::error_body("coalesced request timed out waiting for its leader"),
+                    ),
+                }
+            }
+        }
+    } else {
+        routes::route(&request, &ctx)
+    };
     let _ = http::respond(&mut stream, status, &[], &body);
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+    state.latency_ms_sum.fetch_add(elapsed_ms, Ordering::SeqCst);
+    state.latency_count.fetch_add(1, Ordering::SeqCst);
     mrp_obs::counter_add(&format!("serve.status.{status}"), 1);
-    mrp_obs::histogram_record("serve.request_ms", start.elapsed().as_millis() as f64);
+    mrp_obs::histogram_record("serve.request_ms", elapsed_ms as f64);
 }
 
-fn reply_busy(mut stream: TcpStream) {
+fn reply_busy(mut stream: TcpStream, retry_after: u64) {
     // Drain the request first so the client does not see a reset while
     // still writing, then answer with a retry hint.
     let _ = http::read_request(&mut stream);
     let _ = http::respond(
         &mut stream,
         503,
-        &[("Retry-After", "1".to_string())],
+        &[("Retry-After", retry_after.to_string())],
         &http::error_body("server busy: request queue is full"),
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(inflight: usize, sum_ms: u64, count: u64) -> ServeState {
+        ServeState {
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(inflight),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            latency_ms_sum: AtomicU64::new(sum_ms),
+            latency_count: AtomicU64::new(count),
+            queue: 16,
+        }
+    }
+
+    #[test]
+    fn retry_after_scales_with_backlog_and_latency() {
+        // No completions yet: minimum hint.
+        assert_eq!(retry_after_secs(&state(9, 0, 0), 2), 1);
+        // 8 in flight × 500ms avg ÷ 2 workers = 2s.
+        assert_eq!(retry_after_secs(&state(8, 5_000, 10), 2), 2);
+        // Fast requests round up to the 1s floor.
+        assert_eq!(retry_after_secs(&state(3, 40, 10), 4), 1);
+        // A pathological backlog is capped at 60s.
+        assert_eq!(retry_after_secs(&state(1000, 900_000, 10), 1), 60);
+    }
 }

@@ -29,8 +29,7 @@ fn spawn_server(jobs: usize, queue: usize) -> (SocketAddr, ServeHandle, ServerTh
         addr: "127.0.0.1:0".to_string(),
         jobs,
         queue,
-        racing: false,
-        synth: SynthConfig::default(),
+        ..ServeOptions::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr();

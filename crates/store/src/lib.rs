@@ -1,0 +1,39 @@
+//! mrp-store: the crash-safe persistent tier of the synthesis cache.
+//!
+//! `mrpf serve` and `mrpf batch` memoize synthesis results in
+//! [`mrp_batch::MemoCache`], which dies with the process. This crate
+//! adds the disk tier underneath the same [`SynthCache`] interface:
+//!
+//! * [`PersistentStore`] — a bounded-LRU memory front over an
+//!   append-only log of checksummed records (see [`record`] for the
+//!   byte format), keyed on `normalize_coeffs` vectors like every
+//!   other cache tier.
+//! * **Crash safety** — recovery truncates torn tails, resyncs past
+//!   corrupt records, and compacts damage away; an interrupted
+//!   compaction is harmless because publishing is a temp-file +
+//!   fsync + atomic-rename. Opening a store never fails: unusable
+//!   storage degrades it to memory-only mode instead.
+//! * [`Vfs`] — the tiny fallible filesystem trait all store I/O flows
+//!   through, with a production [`RealVfs`], a deterministic
+//!   [`MemVfs`] whose [`MemVfs::crash`] models power loss mid-write,
+//!   and a [`FaultVfs`] decorator that injects `ENOSPC`, `EIO`, short
+//!   writes, lying fsyncs, and crashes on a seeded
+//!   [`DiskFaultPlan`] schedule (the same `kind@target,seed=N`
+//!   vocabulary as `mrp-resilience` fault plans).
+//!
+//! Everything is observable through `mrp-obs`: `store.recover.*`
+//! counters for what startup repaired, `store.hit.{lru,disk}` /
+//! `store.miss` for traffic, and `store.degraded` for tier loss.
+
+#![warn(missing_docs)]
+
+mod lru;
+pub mod record;
+mod store;
+mod vfs;
+
+pub use lru::LruMap;
+pub use store::{PersistentStore, RecoveryStats, StoreOptions, LOG_FILE, TMP_FILE};
+pub use vfs::{DiskFaultKind, DiskFaultPlan, FaultVfs, MemVfs, RealVfs, Vfs};
+
+pub use mrp_batch::SynthCache;

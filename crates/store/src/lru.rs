@@ -1,0 +1,169 @@
+//! A bounded LRU map used as the in-memory front of the persistent
+//! store (and as the whole store when running degraded).
+//!
+//! Std-only, so no intrusive linked list: recency is a lazy queue of
+//! `(key, tick)` pairs next to a `HashMap` that records each key's
+//! latest tick. Touching a key pushes a fresh pair and bumps the tick;
+//! eviction pops pairs until one's tick matches the map (stale pairs —
+//! earlier touches of a since-promoted key — are skipped). Every queue
+//! entry is pushed once and popped once, so operations stay O(1)
+//! amortized, at the cost of the queue briefly holding more entries than
+//! the map.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A bounded least-recently-used map.
+#[derive(Debug)]
+pub struct LruMap<K, V> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<K, (V, u64)>,
+    recency: VecDeque<(K, u64)>,
+}
+
+impl<K: Clone + Eq + Hash, V> LruMap<K, V> {
+    /// Creates a map that holds at most `capacity` entries. A capacity
+    /// of zero disables the map (every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruMap {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            recency: VecDeque::new(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn touch(&mut self, key: &K) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, t)) = self.entries.get_mut(key) {
+            *t = tick;
+        }
+        self.recency.push_back((key.clone(), tick));
+        // Keep the lazy queue from growing without bound under a
+        // hit-heavy workload: once it is far larger than the map, sweep
+        // out every stale pair. The sweep is O(queue) but runs only
+        // after a proportional number of pushes, so it amortizes away.
+        if self.recency.len() > self.entries.len().saturating_mul(2) + 8 {
+            let entries = &self.entries;
+            self.recency
+                .retain(|(k, t)| matches!(entries.get(k), Some((_, live)) if live == t));
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.entries.contains_key(key) {
+            self.touch(key);
+            self.entries.get(key).map(|(v, _)| v)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts or replaces `key`, evicting the least-recently-used
+    /// entry if the map is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.insert(key.clone(), (value, tick));
+        self.recency.push_back((key, tick));
+    }
+
+    /// Removes `key` if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key).map(|(v, _)| v)
+    }
+
+    fn evict_one(&mut self) {
+        while let Some((key, tick)) = self.recency.pop_front() {
+            match self.entries.get(&key) {
+                Some((_, live)) if *live == tick => {
+                    self.entries.remove(&key);
+                    return;
+                }
+                _ => {} // stale pair for a promoted or removed key
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(&1)); // promote a
+        lru.insert("c", 3); // evicts b, not a
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.get(&"c"), Some(&3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("a", 10);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&"a"), Some(&10));
+        assert_eq!(lru.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut lru = LruMap::new(0);
+        lru.insert("a", 1);
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&"a"), None);
+    }
+
+    #[test]
+    fn heavy_promotion_stays_bounded_and_correct() {
+        let mut lru = LruMap::new(4);
+        for i in 0..4 {
+            lru.insert(i, i);
+        }
+        for _ in 0..10_000 {
+            assert!(lru.get(&0).is_some());
+        }
+        // The lazy queue must not have grown without bound.
+        assert!(lru.recency.len() <= lru.entries.len() * 2 + 8 + 1);
+        lru.insert(100, 100); // evicts 1 (oldest untouched)
+        assert_eq!(lru.get(&1), None);
+        assert_eq!(lru.get(&0), Some(&0));
+    }
+
+    #[test]
+    fn remove_then_insert_round_trip() {
+        let mut lru = LruMap::new(2);
+        lru.insert("a", 1);
+        assert_eq!(lru.remove(&"a"), Some(1));
+        assert_eq!(lru.get(&"a"), None);
+        lru.insert("a", 2);
+        assert_eq!(lru.get(&"a"), Some(&2));
+    }
+}

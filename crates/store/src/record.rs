@@ -1,0 +1,301 @@
+//! The on-disk record format: one checksummed entry of the append-only
+//! log.
+//!
+//! ```text
+//! offset  size       field
+//! 0       4          magic "MRS1"
+//! 4       4          key_len   (i64 count, LE; ≤ MAX_KEY_LEN)
+//! 8       4          value_len (bytes, LE; ≤ MAX_VALUE_LEN)
+//! 12      key_len*8  key: normalized coefficients, i64 LE each
+//! …       value_len  value: serialized synthesis result (see below)
+//! …       8          FNV-1a 64 checksum of everything above, LE
+//! ```
+//!
+//! The value is a `US`-separated (0x1F) text encoding of the
+//! deterministic [`BatchCell`] slice — `ok␟rung␟adders␟depth␟degr␟warn`
+//! — or `err␟message` for a failed synthesis. Text keeps records
+//! greppable in a hexdump; the checksum covers the whole record, so any
+//! bit flip in header, key, or value is detected.
+//!
+//! Decoding distinguishes **torn** (the buffer ends mid-record: a crash
+//! cut an append short — recover by truncating) from **corrupt** (magic,
+//! length bounds, checksum, or value syntax violated: bytes were damaged
+//! — recover by resyncing to the next magic marker).
+
+use mrp_batch::BatchCell;
+
+/// Record magic, doubling as the format version.
+pub const MAGIC: [u8; 4] = *b"MRS1";
+
+/// Header bytes before the key (magic + two length fields).
+pub const HEADER_LEN: usize = 12;
+
+/// Trailing checksum bytes.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Cap on key length (coefficient count). Real filters are ≤ a few
+/// hundred taps; anything larger in a length field is corruption.
+pub const MAX_KEY_LEN: u32 = 1 << 16;
+
+/// Cap on encoded value bytes.
+pub const MAX_VALUE_LEN: u32 = 1 << 20;
+
+const US: char = '\u{1f}';
+
+/// One decoded log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Normalized coefficient vector (the cache key).
+    pub key: Vec<i64>,
+    /// The deterministic synthesis result for that key.
+    pub value: Result<BatchCell, String>,
+}
+
+/// What [`decode_at`] found at an offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// A whole valid record; `len` is its encoded size in bytes.
+    Ok {
+        /// The decoded record.
+        record: Record,
+        /// Encoded length, for advancing the scan offset.
+        len: usize,
+    },
+    /// The buffer ends before this record completes (torn tail).
+    Torn,
+    /// The bytes at this offset are not a valid record.
+    Corrupt,
+}
+
+/// FNV-1a 64-bit over `data` (the same hash family `mrp-ptest` seeds
+/// with — cheap, dependency-free, and plenty for torn/flipped-bit
+/// detection; this is a cache, not a cryptosystem).
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn encode_value(value: &Result<BatchCell, String>) -> String {
+    match value {
+        Ok(cell) => format!(
+            "ok{US}{}{US}{}{US}{}{US}{}{US}{}",
+            cell.rung, cell.adders, cell.critical_path, cell.degradations, cell.lint_warnings
+        ),
+        Err(message) => format!("err{US}{message}"),
+    }
+}
+
+fn decode_value(bytes: &[u8]) -> Option<Result<BatchCell, String>> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let (tag, rest) = text.split_once(US)?;
+    match tag {
+        // The error message is arbitrary text: everything after the
+        // tag belongs to it, embedded separators included.
+        "err" => Some(Err(rest.to_string())),
+        "ok" => {
+            let mut fields = rest.split(US);
+            let rung = fields.next()?.to_string();
+            let adders = fields.next()?.parse().ok()?;
+            let critical_path = fields.next()?.parse().ok()?;
+            let degradations = fields.next()?.parse().ok()?;
+            let lint_warnings = fields.next()?.parse().ok()?;
+            if fields.next().is_some() {
+                return None;
+            }
+            Some(Ok(BatchCell {
+                rung,
+                adders,
+                critical_path,
+                degradations,
+                lint_warnings,
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// Encodes one record (always succeeds; lengths are caller-bounded by
+/// the coefficient parser upstream).
+pub fn encode(key: &[i64], value: &Result<BatchCell, String>) -> Vec<u8> {
+    let value_bytes = encode_value(value).into_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + key.len() * 8 + value_bytes.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(value_bytes.len() as u32).to_le_bytes());
+    for &coefficient in key {
+        out.extend_from_slice(&coefficient.to_le_bytes());
+    }
+    out.extend_from_slice(&value_bytes);
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+/// Attempts to decode one record at `offset` of `buf`.
+pub fn decode_at(buf: &[u8], offset: usize) -> Decoded {
+    let rest = &buf[offset..];
+    if rest.len() < HEADER_LEN {
+        return if rest.starts_with(&MAGIC[..rest.len().min(4)]) {
+            Decoded::Torn
+        } else {
+            Decoded::Corrupt
+        };
+    }
+    if rest[..4] != MAGIC {
+        return Decoded::Corrupt;
+    }
+    let key_len = read_u32(rest, 4);
+    let value_len = read_u32(rest, 8);
+    if key_len > MAX_KEY_LEN || value_len > MAX_VALUE_LEN {
+        return Decoded::Corrupt;
+    }
+    let total = HEADER_LEN + key_len as usize * 8 + value_len as usize + CHECKSUM_LEN;
+    if rest.len() < total {
+        return Decoded::Torn;
+    }
+    let body = &rest[..total - CHECKSUM_LEN];
+    let stored = u64::from_le_bytes(
+        rest[total - CHECKSUM_LEN..total]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    if fnv1a(body) != stored {
+        return Decoded::Corrupt;
+    }
+    let mut key = Vec::with_capacity(key_len as usize);
+    for i in 0..key_len as usize {
+        let at = HEADER_LEN + i * 8;
+        key.push(i64::from_le_bytes(
+            rest[at..at + 8].try_into().expect("8 bytes"),
+        ));
+    }
+    let value_start = HEADER_LEN + key_len as usize * 8;
+    match decode_value(&rest[value_start..value_start + value_len as usize]) {
+        Some(value) => Decoded::Ok {
+            record: Record { key, value },
+            len: total,
+        },
+        // Checksum passed but the value grammar is wrong: only possible
+        // if a buggy writer produced it; refuse rather than guess.
+        None => Decoded::Corrupt,
+    }
+}
+
+/// Finds the next possible record start at or after `offset`: the next
+/// occurrence of [`MAGIC`]. Used to resync the scan past a corrupt
+/// record.
+pub fn next_magic(buf: &[u8], offset: usize) -> Option<usize> {
+    if offset >= buf.len() {
+        return None;
+    }
+    buf[offset..]
+        .windows(MAGIC.len())
+        .position(|w| w == MAGIC)
+        .map(|p| offset + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(adders: usize) -> Result<BatchCell, String> {
+        Ok(BatchCell {
+            rung: "mrp+cse".to_string(),
+            adders,
+            critical_path: 3,
+            degradations: 0,
+            lint_warnings: 1,
+        })
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for value in [cell(12), Err("ladder exhausted (mrp:panic)".to_string())] {
+            let key = vec![35, 33, 17, 9, -27, 0, 1];
+            let bytes = encode(&key, &value);
+            match decode_at(&bytes, 0) {
+                Decoded::Ok { record, len } => {
+                    assert_eq!(record.key, key);
+                    assert_eq!(record.value, value);
+                    assert_eq!(len, bytes.len());
+                }
+                other => panic!("expected record, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn value_with_separator_in_error_text_survives() {
+        // Error messages are arbitrary; embedded separators must not
+        // split the message.
+        let value: Result<BatchCell, String> = Err(format!("weird{US}message"));
+        let bytes = encode(&[1], &value);
+        match decode_at(&bytes, 0) {
+            Decoded::Ok { record, .. } => match record.value {
+                Err(m) => assert_eq!(m, format!("weird{US}message")),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_torn_not_corrupt() {
+        let bytes = encode(&[7, 9], &cell(3));
+        for cut in 1..bytes.len() {
+            let outcome = decode_at(&bytes[..cut], 0);
+            assert_eq!(outcome, Decoded::Torn, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let bytes = encode(&[70, 66, 17, 9], &cell(12));
+        for position in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut damaged = bytes.clone();
+                damaged[position] ^= 1 << bit;
+                match decode_at(&damaged, 0) {
+                    Decoded::Corrupt | Decoded::Torn => {}
+                    Decoded::Ok { record, .. } => {
+                        panic!("flip at {position}.{bit} went undetected: {record:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resync_finds_the_next_record() {
+        let a = encode(&[1], &cell(1));
+        let b = encode(&[2], &cell(2));
+        let mut log = vec![0xFFu8; 13]; // garbage prefix
+        let b_at = 13 + a.len();
+        log.extend_from_slice(&a);
+        log.extend_from_slice(&b);
+        assert_eq!(decode_at(&log, 0), Decoded::Corrupt);
+        assert_eq!(next_magic(&log, 1), Some(13));
+        match decode_at(&log, 13) {
+            Decoded::Ok { len, .. } => assert_eq!(13 + len, b_at),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(decode_at(&log, b_at), Decoded::Ok { .. }));
+        assert_eq!(next_magic(&log, log.len()), None);
+    }
+
+    #[test]
+    fn bogus_length_fields_are_corrupt_not_allocated() {
+        let mut bytes = encode(&[1], &cell(1));
+        // Blow up the key_len field to an absurd value.
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_at(&bytes, 0), Decoded::Corrupt);
+    }
+}

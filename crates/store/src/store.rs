@@ -1,0 +1,678 @@
+//! The persistent synthesis cache: a bounded LRU front over a
+//! checksummed append-only log.
+//!
+//! # Crash safety
+//!
+//! Every mutation is an append of one self-checking record;
+//! [`PersistentStore::open`] replays the log and repairs whatever a
+//! crash left behind:
+//!
+//! * a **torn tail** (the log ends mid-record) is truncated away — the
+//!   interrupted append never happened;
+//! * a **corrupt record** (bad magic, absurd lengths, checksum
+//!   mismatch) is skipped by resyncing to the next record magic, and
+//!   the log is compacted so the damage does not persist;
+//! * a log that cannot be read at all leaves the store in **degraded**
+//!   memory-only mode rather than failing startup.
+//!
+//! Compaction rewrites the live records to `cache.log.tmp`, fsyncs,
+//! and atomically renames over `cache.log` — a crash at any point
+//! leaves either the old log or the new one, never a mix.
+//!
+//! # Degraded mode
+//!
+//! No I/O error is ever surfaced to the synthesis path. The first disk
+//! error flips the store into degraded mode: lookups and stores keep
+//! working against the bounded LRU alone, `store.degraded` ticks once,
+//! and [`PersistentStore::degraded`] lets `/healthz` report the state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use mrp_batch::{BatchCell, CacheStats, SynthCache};
+
+use crate::lru::LruMap;
+use crate::record::{self, Decoded};
+use crate::vfs::Vfs;
+
+/// File name of the append-only log inside the store directory.
+pub const LOG_FILE: &str = "cache.log";
+
+/// File name of the compaction temp file.
+pub const TMP_FILE: &str = "cache.log.tmp";
+
+/// Tuning knobs for [`PersistentStore::open`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Entries held by the in-memory LRU front (and the entire
+    /// capacity when degraded).
+    pub lru_capacity: usize,
+    /// Compaction trigger: once the log exceeds this many bytes *and*
+    /// less than half of it is live, it is rewritten.
+    pub compact_bytes: u64,
+    /// Fsync after every append. Off by default: the log is a cache,
+    /// so losing the unsynced tail on power loss costs recomputation,
+    /// not correctness. Tests turn it on to pin down durability.
+    pub fsync_each: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            lru_capacity: 1024,
+            compact_bytes: 1 << 20,
+            fsync_each: false,
+        }
+    }
+}
+
+/// What [`PersistentStore::open`] found and fixed while replaying the
+/// log. Also exported as `store.recover.*` observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Valid records replayed (including superseded duplicates).
+    pub records: u64,
+    /// Corrupt records skipped by resyncing.
+    pub corrupt: u64,
+    /// Whether a torn tail was truncated away.
+    pub torn_tail: bool,
+    /// Whether recovery compacted the log (it does whenever corruption
+    /// was found, so damage is not replayed forever).
+    pub compacted: bool,
+}
+
+/// Byte position and length of a live record in the log.
+type IndexEntry = (u64, usize);
+
+struct Inner {
+    lru: LruMap<Vec<i64>, Result<BatchCell, String>>,
+    /// Latest on-disk record per key.
+    index: HashMap<Vec<i64>, IndexEntry>,
+    /// Total log length in bytes.
+    log_len: u64,
+    /// Bytes of the log occupied by latest-version records.
+    live_bytes: u64,
+}
+
+/// A crash-safe disk-backed synthesis cache implementing
+/// [`SynthCache`].
+///
+/// Construction never fails: whatever goes wrong with the disk, the
+/// caller gets a working (possibly memory-only) cache. All I/O flows
+/// through the [`Vfs`] the store was opened with, which is how the
+/// fault-injection tests drive every error path deterministically.
+pub struct PersistentStore {
+    vfs: Arc<dyn Vfs>,
+    log_path: String,
+    tmp_path: String,
+    options: StoreOptions,
+    inner: Mutex<Inner>,
+    degraded: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compactions: AtomicU64,
+    recovery: RecoveryStats,
+}
+
+impl PersistentStore {
+    /// Opens (or creates) the store in `dir`, replaying and repairing
+    /// the log. Never fails: unreadable storage yields a degraded
+    /// memory-only store.
+    pub fn open(vfs: Arc<dyn Vfs>, dir: &str, options: StoreOptions) -> PersistentStore {
+        let sep = if dir.ends_with('/') || dir.is_empty() {
+            ""
+        } else {
+            "/"
+        };
+        let store = PersistentStore {
+            log_path: format!("{dir}{sep}{LOG_FILE}"),
+            tmp_path: format!("{dir}{sep}{TMP_FILE}"),
+            inner: Mutex::new(Inner {
+                lru: LruMap::new(options.lru_capacity),
+                index: HashMap::new(),
+                log_len: 0,
+                live_bytes: 0,
+            }),
+            degraded: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            recovery: RecoveryStats::default(),
+            options,
+            vfs,
+        };
+        let mut store = store;
+        store.recover(dir);
+        store
+    }
+
+    /// Replays the log into the index, truncating torn tails and
+    /// compacting past corrupt records. Any unrepairable error
+    /// degrades the store instead of failing.
+    fn recover(&mut self, dir: &str) {
+        if self.vfs.create_dir_all(dir).is_err() {
+            self.degrade("create_dir");
+            return;
+        }
+        // A leftover temp file is an interrupted compaction that never
+        // published; the old log is still authoritative.
+        let _ = self.vfs.remove(&self.tmp_path);
+
+        let buf = match self.vfs.read(&self.log_path) {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(_) => {
+                self.degrade("read_log");
+                return;
+            }
+        };
+
+        let mut stats = RecoveryStats::default();
+        // Scan order matters: later records supersede earlier ones.
+        let mut live: Vec<(Vec<i64>, Result<BatchCell, String>, IndexEntry)> = Vec::new();
+        let mut offset = 0usize;
+        while offset < buf.len() {
+            match record::decode_at(&buf, offset) {
+                Decoded::Ok { record, len } => {
+                    stats.records += 1;
+                    live.push((record.key, record.value, (offset as u64, len)));
+                    offset += len;
+                }
+                Decoded::Torn => {
+                    stats.torn_tail = true;
+                    if self.vfs.truncate(&self.log_path, offset as u64).is_err() {
+                        self.degrade("truncate_torn");
+                        self.recovery = stats;
+                        return;
+                    }
+                    break;
+                }
+                Decoded::Corrupt => {
+                    stats.corrupt += 1;
+                    match record::next_magic(&buf, offset + 1) {
+                        Some(next) => offset = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        // Deduplicate: last occurrence of each key wins, but the
+        // first-seen order is kept so compaction output is stable.
+        let mut latest: HashMap<Vec<i64>, usize> = HashMap::new();
+        for (i, (key, _, _)) in live.iter().enumerate() {
+            latest.insert(key.clone(), i);
+        }
+
+        {
+            let mut inner = self.lock();
+            inner.log_len = offset as u64;
+            inner.index.clear();
+            inner.live_bytes = 0;
+            for (i, (key, value, entry)) in live.iter().enumerate() {
+                if latest[key] != i {
+                    continue;
+                }
+                inner.index.insert(key.clone(), *entry);
+                inner.live_bytes += entry.1 as u64;
+                // Warm the LRU in log order: recently written records
+                // end up most-recently-used.
+                inner.lru.insert(key.clone(), value.clone());
+            }
+        }
+
+        if stats.corrupt > 0 && !self.degraded() {
+            // Rewrite now so damaged bytes are not rescanned forever.
+            stats.compacted = self.compact_locked(&mut self.lock());
+        }
+
+        mrp_obs::counter_add("store.recover.records", stats.records);
+        mrp_obs::counter_add("store.recover.corrupt", stats.corrupt);
+        if stats.torn_tail {
+            mrp_obs::counter_add("store.recover.torn_tail", 1);
+        }
+        self.recovery = stats;
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether the disk tier has been lost and the store is running
+    /// memory-only.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// What recovery found when the store was opened.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Completed log compactions (including the recovery one).
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::SeqCst)
+    }
+
+    fn degrade(&self, cause: &str) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            mrp_obs::counter_add("store.degraded", 1);
+            mrp_obs::counter_add(&format!("store.degraded.{cause}"), 1);
+        }
+    }
+
+    /// Looks up `key`: LRU first, then the log through the index. Disk
+    /// trouble degrades to a miss — never an error.
+    pub fn lookup(&self, key: &[i64]) -> Option<Result<BatchCell, String>> {
+        let mut inner = self.lock();
+        if let Some(value) = inner.lru.get(&key.to_vec()) {
+            let value = value.clone();
+            drop(inner);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            mrp_obs::counter_add("store.hit.lru", 1);
+            return Some(value);
+        }
+        if self.degraded() {
+            drop(inner);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            mrp_obs::counter_add("store.miss", 1);
+            return None;
+        }
+        let Some(&(offset, len)) = inner.index.get(key) else {
+            drop(inner);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            mrp_obs::counter_add("store.miss", 1);
+            return None;
+        };
+        match self.vfs.read_range(&self.log_path, offset, len) {
+            Ok(bytes) => match record::decode_at(&bytes, 0) {
+                Decoded::Ok { record, .. } if record.key == key => {
+                    inner.lru.insert(record.key, record.value.clone());
+                    drop(inner);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    mrp_obs::counter_add("store.hit.disk", 1);
+                    Some(record.value)
+                }
+                _ => {
+                    // The indexed bytes no longer decode (or decode to
+                    // the wrong key): drop the entry and miss. The
+                    // value will be recomputed and re-appended.
+                    inner.live_bytes = inner.live_bytes.saturating_sub(len as u64);
+                    inner.index.remove(key);
+                    drop(inner);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    mrp_obs::counter_add("store.lookup.corrupt", 1);
+                    None
+                }
+            },
+            Err(_) => {
+                drop(inner);
+                self.degrade("read_range");
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                mrp_obs::counter_add("store.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores one synthesis result: into the LRU always, and appended
+    /// to the log unless degraded. Append failures repair the log
+    /// where possible and degrade otherwise.
+    pub fn store(&self, key: Vec<i64>, value: Result<BatchCell, String>) {
+        let mut inner = self.lock();
+        inner.lru.insert(key.clone(), value.clone());
+        if self.degraded() {
+            return;
+        }
+        let bytes = record::encode(&key, &value);
+        let at = inner.log_len;
+        match self.vfs.append(&self.log_path, &bytes) {
+            Ok(n) if n == bytes.len() => {
+                if self.options.fsync_each && self.vfs.fsync(&self.log_path).is_err() {
+                    // The bytes are on disk but not provably durable;
+                    // the record is still valid, so keep it and only
+                    // flag the tier.
+                    drop(inner);
+                    self.degrade("fsync");
+                    return;
+                }
+                inner.log_len = at + bytes.len() as u64;
+                if let Some((_, old_len)) = inner.index.insert(key, (at, bytes.len())) {
+                    inner.live_bytes = inner.live_bytes.saturating_sub(old_len as u64);
+                }
+                inner.live_bytes += bytes.len() as u64;
+                self.maybe_compact(&mut inner);
+            }
+            Ok(_) => {
+                // Short write: a torn record now ends the log. Cut it
+                // back to the last good byte; recovery would do the
+                // same, but repairing now keeps the log readable.
+                mrp_obs::counter_add("store.append.short", 1);
+                if self.vfs.truncate(&self.log_path, at).is_err() {
+                    drop(inner);
+                    self.degrade("truncate_short");
+                }
+                // Not indexed: the value lives on in the LRU only.
+            }
+            Err(_) => {
+                drop(inner);
+                self.degrade("append");
+            }
+        }
+    }
+
+    fn maybe_compact(&self, inner: &mut MutexGuard<'_, Inner>) {
+        if inner.log_len > self.options.compact_bytes && inner.live_bytes * 2 < inner.log_len {
+            self.compact_locked(inner);
+        }
+    }
+
+    /// Rewrites the log to contain exactly the live records: encode →
+    /// temp file → fsync → atomic rename. Returns whether the rewrite
+    /// published. Errors degrade the store.
+    fn compact_locked(&self, inner: &mut MutexGuard<'_, Inner>) -> bool {
+        // Read back the live values through the index (the LRU may
+        // have evicted some), in ascending offset order so compaction
+        // preserves the append order of surviving records.
+        let mut entries: Vec<(Vec<i64>, IndexEntry)> =
+            inner.index.iter().map(|(k, &e)| (k.clone(), e)).collect();
+        entries.sort_by_key(|&(_, (offset, _))| offset);
+
+        let mut new_log = Vec::new();
+        let mut new_index: HashMap<Vec<i64>, IndexEntry> = HashMap::new();
+        for (key, (offset, len)) in entries {
+            let value = match inner.lru.get(&key).cloned() {
+                Some(v) => v,
+                None => match self.vfs.read_range(&self.log_path, offset, len) {
+                    Ok(bytes) => match record::decode_at(&bytes, 0) {
+                        Decoded::Ok { record, .. } if record.key == key => record.value,
+                        _ => {
+                            mrp_obs::counter_add("store.lookup.corrupt", 1);
+                            continue; // drop the damaged record
+                        }
+                    },
+                    Err(_) => {
+                        self.degrade("compact_read");
+                        return false;
+                    }
+                },
+            };
+            let bytes = record::encode(&key, &value);
+            new_index.insert(key, (new_log.len() as u64, bytes.len()));
+            new_log.extend_from_slice(&bytes);
+        }
+
+        if self.vfs.write_file(&self.tmp_path, &new_log).is_err()
+            || self.vfs.fsync(&self.tmp_path).is_err()
+            || self.vfs.rename(&self.tmp_path, &self.log_path).is_err()
+        {
+            let _ = self.vfs.remove(&self.tmp_path);
+            self.degrade("compact_publish");
+            return false;
+        }
+        inner.log_len = new_log.len() as u64;
+        inner.live_bytes = new_log.len() as u64;
+        inner.index = new_index;
+        self.compactions.fetch_add(1, Ordering::SeqCst);
+        mrp_obs::counter_add("store.compactions", 1);
+        true
+    }
+
+    /// Forces a compaction now (testing and `mrpf`-tool hook).
+    pub fn compact(&self) -> bool {
+        if self.degraded() {
+            return false;
+        }
+        self.compact_locked(&mut self.lock())
+    }
+
+    /// Entry count, counting both tiers (disk index and, when entries
+    /// exist only in memory, the LRU).
+    pub fn len(&self) -> usize {
+        let inner = self.lock();
+        inner.index.len().max(inner.lru.len())
+    }
+
+    /// Whether the store holds no entries in either tier.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SynthCache for PersistentStore {
+    fn lookup(&self, key: &[i64]) -> Option<Result<BatchCell, String>> {
+        PersistentStore::lookup(self, key)
+    }
+
+    fn store(&self, key: Vec<i64>, value: Result<BatchCell, String>) {
+        PersistentStore::store(self, key, value)
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for PersistentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("PersistentStore")
+            .field("log_path", &self.log_path)
+            .field("entries", &inner.index.len())
+            .field("log_len", &inner.log_len)
+            .field("live_bytes", &inner.live_bytes)
+            .field("degraded", &self.degraded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{DiskFaultPlan, FaultVfs, MemVfs};
+
+    fn cell(adders: usize) -> Result<BatchCell, String> {
+        Ok(BatchCell {
+            rung: "mrp+cse".to_string(),
+            adders,
+            critical_path: 2,
+            degradations: 0,
+            lint_warnings: 0,
+        })
+    }
+
+    fn open(vfs: Arc<dyn Vfs>) -> PersistentStore {
+        PersistentStore::open(vfs, "store", StoreOptions::default())
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let vfs = Arc::new(MemVfs::new());
+        let store = open(vfs.clone());
+        store.store(vec![7, 9], cell(3));
+        store.store(vec![1, 2, 3], Err("no ladder".to_string()));
+        assert_eq!(store.lookup(&[7, 9]), Some(cell(3)));
+        drop(store);
+
+        let store = open(vfs);
+        assert!(!store.degraded());
+        assert_eq!(store.recovery().records, 2);
+        assert_eq!(store.lookup(&[7, 9]), Some(cell(3)));
+        assert_eq!(store.lookup(&[1, 2, 3]), Some(Err("no ladder".to_string())));
+        assert_eq!(store.lookup(&[9, 9]), None);
+    }
+
+    #[test]
+    fn later_records_supersede_earlier_ones() {
+        let vfs = Arc::new(MemVfs::new());
+        let store = open(vfs.clone());
+        store.store(vec![5], cell(1));
+        store.store(vec![5], cell(2));
+        drop(store);
+        let store = open(vfs);
+        assert_eq!(store.lookup(&[5]), Some(cell(2)));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_recovery() {
+        let vfs = Arc::new(MemVfs::new());
+        let store = open(vfs.clone());
+        store.store(vec![7, 9], cell(3));
+        let good = vfs.len(&store.log_path);
+        store.store(vec![4, 4], cell(4));
+        drop(store);
+        // Tear the second record in half.
+        let torn = good + (vfs.len("store/cache.log") - good) / 2;
+        vfs.truncate("store/cache.log", torn as u64).unwrap();
+
+        let store = open(vfs.clone());
+        assert!(store.recovery().torn_tail);
+        assert_eq!(store.recovery().records, 1);
+        assert_eq!(vfs.len("store/cache.log"), good, "tail not cut");
+        assert_eq!(store.lookup(&[7, 9]), Some(cell(3)));
+        assert_eq!(store.lookup(&[4, 4]), None);
+        // The repaired log appends cleanly again.
+        store.store(vec![4, 4], cell(4));
+        drop(store);
+        let store = open(vfs);
+        assert_eq!(store.lookup(&[4, 4]), Some(cell(4)));
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_and_compacted_away() {
+        let vfs = Arc::new(MemVfs::new());
+        let store = open(vfs.clone());
+        store.store(vec![1], cell(1));
+        let first_len = vfs.len("store/cache.log");
+        store.store(vec![2], cell(2));
+        store.store(vec![3], cell(3));
+        drop(store);
+        vfs.corrupt_byte("store/cache.log", first_len + 6);
+
+        let store = open(vfs.clone());
+        assert!(!store.degraded());
+        assert_eq!(store.recovery().corrupt, 1);
+        assert!(store.recovery().compacted);
+        assert_eq!(store.lookup(&[1]), Some(cell(1)));
+        assert_eq!(store.lookup(&[2]), None, "damaged record must miss");
+        assert_eq!(store.lookup(&[3]), Some(cell(3)));
+        drop(store);
+
+        // After compaction the damage is gone for good.
+        let store = open(vfs);
+        assert_eq!(store.recovery().corrupt, 0);
+        assert_eq!(store.recovery().records, 2);
+    }
+
+    #[test]
+    fn unreadable_log_degrades_instead_of_failing() {
+        let plan = DiskFaultPlan::parse("eio@*").unwrap();
+        let vfs = Arc::new(FaultVfs::new(MemVfs::new(), plan));
+        vfs.inner().append("store/cache.log", b"whatever").unwrap();
+        let store = open(vfs);
+        assert!(store.degraded());
+        // Memory-only service continues.
+        store.store(vec![1], cell(1));
+        assert_eq!(store.lookup(&[1]), Some(cell(1)));
+        assert_eq!(store.lookup(&[2]), None);
+    }
+
+    // Write-operation ordinals in these plans count *every* mutating
+    // vfs call: open() consumes write #1 removing any stale temp file,
+    // so the first append is write #2.
+
+    #[test]
+    fn enospc_mid_run_degrades_but_keeps_serving() {
+        let plan = DiskFaultPlan::parse("enospc@3").unwrap();
+        let vfs = Arc::new(FaultVfs::new(MemVfs::new(), plan));
+        let store = open(vfs);
+        store.store(vec![1], cell(1)); // write #1 lands
+        assert!(!store.degraded());
+        store.store(vec![2], cell(2)); // write #2: disk full
+        assert!(store.degraded());
+        // Both values still served from memory.
+        assert_eq!(store.lookup(&[1]), Some(cell(1)));
+        assert_eq!(store.lookup(&[2]), Some(cell(2)));
+    }
+
+    #[test]
+    fn short_write_repairs_the_tail() {
+        let plan = DiskFaultPlan::parse("shortwrite@3,seed=3").unwrap();
+        let vfs = Arc::new(FaultVfs::new(MemVfs::new(), plan));
+        let store = open(vfs.clone());
+        store.store(vec![1], cell(1));
+        let good = vfs.inner().len("store/cache.log");
+        store.store(vec![2], cell(2)); // torn, then repaired
+        assert_eq!(vfs.inner().len("store/cache.log"), good);
+        assert!(!store.degraded());
+        assert_eq!(store.lookup(&[2]), Some(cell(2))); // from LRU
+        drop(store);
+        let store = open(vfs);
+        assert_eq!(store.recovery().records, 1);
+        assert!(!store.recovery().torn_tail);
+    }
+
+    #[test]
+    fn compaction_shrinks_a_churned_log() {
+        let vfs = Arc::new(MemVfs::new());
+        let store = PersistentStore::open(
+            vfs.clone(),
+            "store",
+            StoreOptions {
+                compact_bytes: 256,
+                ..StoreOptions::default()
+            },
+        );
+        for round in 0..40 {
+            store.store(vec![1, 2], cell(round)); // same key over and over
+        }
+        assert!(store.compactions() > 0, "no compaction happened");
+        assert_eq!(store.lookup(&[1, 2]), Some(cell(39)));
+        drop(store);
+        let store = open(vfs.clone());
+        assert_eq!(store.lookup(&[1, 2]), Some(cell(39)));
+        assert!(vfs.len("store/cache.log") < 256);
+        assert_eq!(vfs.len("store/cache.log.tmp"), 0, "tmp file left behind");
+    }
+
+    #[test]
+    fn interrupted_compaction_leaves_old_log_authoritative() {
+        let vfs = Arc::new(MemVfs::new());
+        let store = open(vfs.clone());
+        store.store(vec![1], cell(1));
+        drop(store);
+        // Simulate a compaction that wrote its temp file but crashed
+        // before the rename.
+        vfs.write_file("store/cache.log.tmp", b"half-written garbage")
+            .unwrap();
+        let store = open(vfs.clone());
+        assert_eq!(store.lookup(&[1]), Some(cell(1)));
+        assert_eq!(vfs.len("store/cache.log.tmp"), 0, "stale tmp kept");
+    }
+
+    #[test]
+    fn disk_value_survives_lru_eviction() {
+        let vfs = Arc::new(MemVfs::new());
+        let store = PersistentStore::open(
+            vfs,
+            "store",
+            StoreOptions {
+                lru_capacity: 1,
+                ..StoreOptions::default()
+            },
+        );
+        store.store(vec![1], cell(1));
+        store.store(vec![2], cell(2)); // evicts [1] from the LRU
+        assert_eq!(store.lookup(&[1]), Some(cell(1))); // from disk
+        assert_eq!(store.lookup(&[2]), Some(cell(2)));
+        let stats = SynthCache::stats(&store);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 2);
+    }
+}

@@ -1,0 +1,642 @@
+//! The fallible virtual filesystem the store runs on.
+//!
+//! Every byte the persistent tier reads or writes goes through the
+//! [`Vfs`] trait, so the exact same store code runs over the real
+//! filesystem in production ([`RealVfs`]) and over a deterministic
+//! in-memory filesystem in tests ([`MemVfs`]), where crashes, torn
+//! writes, and I/O errors can be injected on schedule ([`FaultVfs`]).
+//!
+//! The trait is deliberately tiny: whole-file read, ranged read, append,
+//! whole-file write, truncate, fsync, atomic rename, remove. That is the
+//! entire I/O vocabulary of an append-only log with temp-file+rename
+//! compaction — anything the store cannot express through it, the store
+//! does not do.
+//!
+//! # Durability model
+//!
+//! [`MemVfs`] models the write path of a journaling filesystem: appended
+//! and written bytes are *volatile* until [`Vfs::fsync`] commits them,
+//! and [`MemVfs::crash`] throws away a seeded portion of each file's
+//! unsynced tail — optionally corrupting a byte near the cut, the way a
+//! torn sector write would. Renames are atomic. This is what lets the
+//! recovery tests enumerate realistic crash states instead of guessing.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mrp_ptest::Rng;
+
+/// The file operations the store is allowed to perform.
+///
+/// Paths are opaque strings; the store only ever joins its directory
+/// with fixed file names. Every method may fail — the store must treat
+/// any error as "this tier is unreliable" and degrade, never panic.
+pub trait Vfs: Send + Sync {
+    /// Reads a whole file. `NotFound` means "no log yet" to the store.
+    fn read(&self, path: &str) -> io::Result<Vec<u8>>;
+
+    /// Reads `len` bytes at `offset`. Short data (EOF inside the range)
+    /// is an error: the store asks only for ranges its index recorded.
+    fn read_range(&self, path: &str, offset: u64, len: usize) -> io::Result<Vec<u8>>;
+
+    /// Appends to a file, creating it if missing. Returns the number of
+    /// bytes actually written — implementations may short-write, and the
+    /// store must detect and repair the torn tail.
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<usize>;
+
+    /// Creates or replaces a whole file (the compaction temp file).
+    fn write_file(&self, path: &str, data: &[u8]) -> io::Result<()>;
+
+    /// Truncates a file to `len` bytes (torn-tail repair).
+    fn truncate(&self, path: &str, len: u64) -> io::Result<()>;
+
+    /// Commits a file's bytes to durable storage.
+    fn fsync(&self, path: &str) -> io::Result<()>;
+
+    /// Atomically replaces `to` with `from` (compaction publish).
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+
+    /// Removes a file; missing files are not an error.
+    fn remove(&self, path: &str) -> io::Result<()>;
+
+    /// Creates the directory path (and parents) if missing.
+    fn create_dir_all(&self, path: &str) -> io::Result<()>;
+}
+
+/// The production implementation over `std::fs`.
+///
+/// `append` loops until every byte is written (a real short write
+/// surfaces as the underlying error instead), `rename` fsyncs the
+/// parent directory best-effort so the publish survives power loss.
+#[derive(Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = std::fs::File::open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<usize> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        file.write_all(data)?;
+        Ok(data.len())
+    }
+
+    fn write_file(&self, path: &str, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)
+    }
+
+    fn fsync(&self, path: &str) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        std::fs::rename(from, to)?;
+        // Make the publish durable: fsync the parent directory. Failure
+        // here is not fatal — the rename itself succeeded.
+        if let Some(dir) = std::path::Path::new(to).parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn create_dir_all(&self, path: &str) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+/// One in-memory file: full contents plus the durable prefix length.
+#[derive(Debug, Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (committed by `fsync`).
+    durable_len: usize,
+}
+
+/// Deterministic in-memory filesystem with an explicit durability model.
+///
+/// Appends and writes land in volatile state; [`Vfs::fsync`] commits
+/// them. [`MemVfs::crash`] simulates process death + power loss: every
+/// file keeps its durable prefix plus a seeded *partial* slice of its
+/// unsynced tail, and with the same seed the same crash replays exactly.
+#[derive(Debug, Default)]
+pub struct MemVfs {
+    files: Mutex<HashMap<String, MemFile>>,
+}
+
+impl MemVfs {
+    /// An empty filesystem.
+    pub fn new() -> MemVfs {
+        MemVfs::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, MemFile>> {
+        self.files.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Simulates a crash: each file is cut back to its durable length
+    /// plus a seeded fraction of the unsynced tail; with probability
+    /// ~1/4 one byte inside the surviving unsynced slice is flipped,
+    /// modeling a torn sector. Deterministic for a given `seed`.
+    pub fn crash(&self, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let mut files = self.lock();
+        let mut names: Vec<String> = files.keys().cloned().collect();
+        names.sort(); // deterministic iteration order
+        for name in names {
+            let file = files.get_mut(&name).expect("file exists");
+            let tail = file.data.len() - file.durable_len;
+            if tail == 0 {
+                continue;
+            }
+            let kept = rng.usize_in(0, tail + 1);
+            file.data.truncate(file.durable_len + kept);
+            if kept > 0 && rng.u64_below(4) == 0 {
+                let victim = file.durable_len + rng.usize_in(0, kept);
+                file.data[victim] ^= 1 << rng.u32_in(0, 8);
+            }
+        }
+    }
+
+    /// Current length of a file (testing hook).
+    pub fn len(&self, path: &str) -> usize {
+        self.lock().get(path).map_or(0, |f| f.data.len())
+    }
+
+    /// Whether the filesystem holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Flips one bit at `offset` of `path` (direct corruption hook for
+    /// targeted recovery tests).
+    pub fn corrupt_byte(&self, path: &str, offset: usize) {
+        let mut files = self.lock();
+        if let Some(file) = files.get_mut(path) {
+            if offset < file.data.len() {
+                file.data[offset] ^= 0x01;
+            }
+        }
+    }
+}
+
+fn not_found(path: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, format!("no such file `{path}`"))
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        self.lock()
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let files = self.lock();
+        let file = files.get(path).ok_or_else(|| not_found(path))?;
+        let start = offset as usize;
+        let end = start.checked_add(len).filter(|&e| e <= file.data.len());
+        match end {
+            Some(end) => Ok(file.data[start..end].to_vec()),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("range {offset}+{len} past end of `{path}`"),
+            )),
+        }
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<usize> {
+        let mut files = self.lock();
+        let file = files.entry(path.to_string()).or_default();
+        file.data.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn write_file(&self, path: &str, data: &[u8]) -> io::Result<()> {
+        let mut files = self.lock();
+        let file = files.entry(path.to_string()).or_default();
+        file.data = data.to_vec();
+        file.durable_len = 0;
+        Ok(())
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> io::Result<()> {
+        let mut files = self.lock();
+        let file = files.get_mut(path).ok_or_else(|| not_found(path))?;
+        file.data.truncate(len as usize);
+        file.durable_len = file.durable_len.min(file.data.len());
+        Ok(())
+    }
+
+    fn fsync(&self, path: &str) -> io::Result<()> {
+        let mut files = self.lock();
+        let file = files.get_mut(path).ok_or_else(|| not_found(path))?;
+        file.durable_len = file.data.len();
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut files = self.lock();
+        let file = files.remove(from).ok_or_else(|| not_found(from))?;
+        files.insert(to.to_string(), file);
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.lock().remove(path);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, _path: &str) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The injectable disk-fault kinds, mirroring `mrp-resilience`'s
+/// pipeline fault kinds at the storage layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskFaultKind {
+    /// The nth write operation (append or whole-file write) fails with
+    /// `ENOSPC`-style `StorageFull`.
+    Enospc,
+    /// The nth read operation fails with an I/O error.
+    Eio,
+    /// The nth append persists only a seeded prefix of its bytes, then
+    /// reports the shortfall.
+    ShortWrite,
+    /// The nth fsync silently does nothing: it reports success but
+    /// commits no bytes (lying disk).
+    FsyncDrop,
+    /// Every operation after the nth write fails (`crash@N`): the
+    /// process is as good as dead to the store from that point on.
+    Crash,
+}
+
+impl DiskFaultKind {
+    /// Stable lowercase name, as written in spec strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskFaultKind::Enospc => "enospc",
+            DiskFaultKind::Eio => "eio",
+            DiskFaultKind::ShortWrite => "shortwrite",
+            DiskFaultKind::FsyncDrop => "fsyncdrop",
+            DiskFaultKind::Crash => "crash",
+        }
+    }
+
+    /// All kinds, for exhaustive matrix sweeps.
+    pub const ALL: [DiskFaultKind; 5] = [
+        DiskFaultKind::Enospc,
+        DiskFaultKind::Eio,
+        DiskFaultKind::ShortWrite,
+        DiskFaultKind::FsyncDrop,
+        DiskFaultKind::Crash,
+    ];
+
+    fn parse(s: &str) -> Option<DiskFaultKind> {
+        DiskFaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// A parsed, seeded schedule of disk faults.
+///
+/// Uses the same `kind@target,seed=N` vocabulary as
+/// [`mrp_resilience::FaultPlan`](mrp_resilience::FaultPlan), with
+/// operation ordinals as targets: `enospc@3` fails the third write,
+/// `eio@1` the first read, `shortwrite@2` tears the second append,
+/// `fsyncdrop@1` swallows the first fsync, `crash@4` kills everything
+/// after the fourth write. `*` arms a kind at every ordinal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DiskFaultPlan {
+    faults: Vec<(DiskFaultKind, Option<u64>)>,
+    /// Seed for short-write lengths.
+    pub seed: u64,
+}
+
+impl DiskFaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> DiskFaultPlan {
+        DiskFaultPlan::default()
+    }
+
+    /// Parses a spec string (see the type docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed entry.
+    pub fn parse(spec: &str) -> Result<DiskFaultPlan, String> {
+        let (entries, seed) = mrp_resilience::parse_spec_entries(spec)?;
+        let mut plan = DiskFaultPlan {
+            seed,
+            ..DiskFaultPlan::default()
+        };
+        for entry in entries {
+            let kind = DiskFaultKind::parse(&entry.kind).ok_or_else(|| {
+                format!(
+                    "unknown disk fault kind `{}` (use enospc|eio|shortwrite|fsyncdrop|crash)",
+                    entry.kind
+                )
+            })?;
+            let ordinal = if entry.target == "*" {
+                None
+            } else {
+                Some(entry.target.parse::<u64>().map_err(|_| {
+                    format!(
+                        "disk fault target `{}` is not an operation ordinal (1-based) or `*`",
+                        entry.target
+                    )
+                })?)
+            };
+            plan.faults.push((kind, ordinal));
+        }
+        Ok(plan)
+    }
+
+    /// Whether `kind` fires at 1-based operation ordinal `n`.
+    pub fn armed(&self, kind: DiskFaultKind, n: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|&(k, ord)| k == kind && ord.is_none_or(|o| o == n))
+    }
+
+    /// Whether no faults are armed.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// A [`Vfs`] decorator that injects the faults of a [`DiskFaultPlan`]
+/// into an inner filesystem, counting operations per category.
+pub struct FaultVfs<V: Vfs> {
+    inner: V,
+    plan: DiskFaultPlan,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    fsyncs: AtomicU64,
+    crashed: std::sync::atomic::AtomicBool,
+}
+
+impl<V: Vfs> FaultVfs<V> {
+    /// Wraps `inner` with a fault schedule.
+    pub fn new(inner: V, plan: DiskFaultPlan) -> FaultVfs<V> {
+        FaultVfs {
+            inner,
+            plan,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            crashed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// The wrapped filesystem (to inspect state after a fault run).
+    pub fn inner(&self) -> &V {
+        &self.inner
+    }
+
+    /// Whether a `crash@N` fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn check_crashed(&self) -> io::Result<()> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(io::Error::other("simulated crash: process is dead"));
+        }
+        Ok(())
+    }
+
+    fn next_write(&self) -> io::Result<u64> {
+        self.check_crashed()?;
+        let n = self.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.armed(DiskFaultKind::Crash, n) {
+            self.crashed.store(true, Ordering::SeqCst);
+        }
+        if self.plan.armed(DiskFaultKind::Enospc, n) {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                format!("injected ENOSPC at write #{n}"),
+            ));
+        }
+        Ok(n)
+    }
+}
+
+impl<V: Vfs> Vfs for FaultVfs<V> {
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        self.check_crashed()?;
+        let n = self.reads.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.armed(DiskFaultKind::Eio, n) {
+            return Err(io::Error::other(format!("injected EIO at read #{n}")));
+        }
+        self.inner.read(path)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.check_crashed()?;
+        let n = self.reads.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.armed(DiskFaultKind::Eio, n) {
+            return Err(io::Error::other(format!("injected EIO at read #{n}")));
+        }
+        self.inner.read_range(path, offset, len)
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<usize> {
+        let n = self.next_write()?;
+        if self.plan.armed(DiskFaultKind::ShortWrite, n) && !data.is_empty() {
+            // Persist a seeded strict prefix, then report the shortfall.
+            let mut rng = Rng::new(self.plan.seed ^ n);
+            let kept = rng.usize_in(0, data.len());
+            self.inner.append(path, &data[..kept])?;
+            return Ok(kept);
+        }
+        self.inner.append(path, data)
+    }
+
+    fn write_file(&self, path: &str, data: &[u8]) -> io::Result<()> {
+        let n = self.next_write()?;
+        if self.plan.armed(DiskFaultKind::ShortWrite, n) && !data.is_empty() {
+            let mut rng = Rng::new(self.plan.seed ^ n);
+            let kept = rng.usize_in(0, data.len());
+            self.inner.write_file(path, &data[..kept])?;
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("injected short write at write #{n}"),
+            ));
+        }
+        self.inner.write_file(path, data)
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> io::Result<()> {
+        self.next_write()?;
+        self.inner.truncate(path, len)
+    }
+
+    fn fsync(&self, path: &str) -> io::Result<()> {
+        self.check_crashed()?;
+        let n = self.fsyncs.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.armed(DiskFaultKind::FsyncDrop, n) {
+            // Lying disk: report success, commit nothing.
+            return Ok(());
+        }
+        self.inner.fsync(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.next_write()?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.next_write()?;
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&self, path: &str) -> io::Result<()> {
+        self.check_crashed()?;
+        self.inner.create_dir_all(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_round_trips() {
+        let fs = MemVfs::new();
+        assert!(fs.read("a").is_err());
+        assert_eq!(fs.append("a", b"hello ").unwrap(), 6);
+        assert_eq!(fs.append("a", b"world").unwrap(), 5);
+        assert_eq!(fs.read("a").unwrap(), b"hello world");
+        assert_eq!(fs.read_range("a", 6, 5).unwrap(), b"world");
+        assert!(fs.read_range("a", 6, 6).is_err());
+        fs.truncate("a", 5).unwrap();
+        assert_eq!(fs.read("a").unwrap(), b"hello");
+        fs.write_file("b", b"tmp").unwrap();
+        fs.rename("b", "a").unwrap();
+        assert_eq!(fs.read("a").unwrap(), b"tmp");
+        fs.remove("a").unwrap();
+        assert!(fs.read("a").is_err());
+    }
+
+    #[test]
+    fn crash_keeps_durable_prefix_and_cuts_volatile_tail() {
+        for seed in 0..32 {
+            let fs = MemVfs::new();
+            fs.append("log", b"durable-part").unwrap();
+            fs.fsync("log").unwrap();
+            fs.append("log", b"volatile-tail").unwrap();
+            fs.crash(seed);
+            let data = fs.read("log").unwrap();
+            assert!(data.len() >= b"durable-part".len(), "lost durable bytes");
+            assert_eq!(&data[..12], b"durable-part", "durable bytes corrupted");
+            assert!(data.len() <= b"durable-partvolatile-tail".len());
+        }
+    }
+
+    #[test]
+    fn crash_is_deterministic_per_seed() {
+        let build = || {
+            let fs = MemVfs::new();
+            fs.append("log", b"0123456789").unwrap();
+            fs.fsync("log").unwrap();
+            fs.append("log", b"abcdefghij").unwrap();
+            fs
+        };
+        let a = build();
+        let b = build();
+        a.crash(7);
+        b.crash(7);
+        assert_eq!(a.read("log").unwrap(), b.read("log").unwrap());
+    }
+
+    #[test]
+    fn fault_plan_parses_shared_vocabulary() {
+        let plan = DiskFaultPlan::parse("enospc@3, eio@1, shortwrite@*, seed=9").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert!(plan.armed(DiskFaultKind::Enospc, 3));
+        assert!(!plan.armed(DiskFaultKind::Enospc, 2));
+        assert!(plan.armed(DiskFaultKind::Eio, 1));
+        assert!(plan.armed(DiskFaultKind::ShortWrite, 1));
+        assert!(plan.armed(DiskFaultKind::ShortWrite, 99));
+        assert!(DiskFaultPlan::parse("explode@1").is_err());
+        assert!(DiskFaultPlan::parse("enospc@soon").is_err());
+        assert!(DiskFaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_faults_fire_on_schedule() {
+        let plan = DiskFaultPlan::parse("enospc@2,eio@1,seed=1").unwrap();
+        let fs = FaultVfs::new(MemVfs::new(), plan);
+        assert_eq!(fs.append("a", b"ok").unwrap(), 2); // write #1 clean
+        let err = fs.append("a", b"no").unwrap_err(); // write #2 ENOSPC
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(fs.read("a").is_err()); // read #1 EIO
+        assert_eq!(fs.read("a").unwrap(), b"ok"); // read #2 clean
+    }
+
+    #[test]
+    fn short_write_persists_a_strict_prefix() {
+        let plan = DiskFaultPlan::parse("shortwrite@1,seed=5").unwrap();
+        let fs = FaultVfs::new(MemVfs::new(), plan);
+        let n = fs.append("a", b"0123456789").unwrap();
+        assert!(n < 10, "short write reported {n} bytes");
+        assert_eq!(fs.inner().len("a"), n);
+    }
+
+    #[test]
+    fn crash_fault_kills_every_later_operation() {
+        let plan = DiskFaultPlan::parse("crash@1").unwrap();
+        let fs = FaultVfs::new(MemVfs::new(), plan);
+        // The crashing write itself still lands (death is *after* it).
+        assert_eq!(fs.append("a", b"x").unwrap(), 1);
+        assert!(fs.crashed());
+        assert!(fs.append("a", b"y").is_err());
+        assert!(fs.read("a").is_err());
+        assert!(fs.fsync("a").is_err());
+    }
+
+    #[test]
+    fn fsync_drop_leaves_bytes_volatile() {
+        let plan = DiskFaultPlan::parse("fsyncdrop@1").unwrap();
+        let fs = FaultVfs::new(MemVfs::new(), plan);
+        fs.append("a", b"data").unwrap();
+        fs.fsync("a").unwrap(); // lies
+        fs.inner().crash(3);
+        // With the fsync dropped, the crash may take any part of the
+        // tail — all we know is the durable prefix is empty.
+        assert!(fs.inner().len("a") <= 4);
+    }
+}

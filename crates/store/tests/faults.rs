@@ -1,0 +1,224 @@
+//! The corruption/recovery matrix: every injectable disk fault at many
+//! schedule positions, plus seeded whole-lifecycle crash properties.
+//!
+//! The invariants under test, for *any* fault schedule:
+//!
+//! 1. the store never panics and never surfaces an I/O error to the
+//!    synthesis path — worst case it degrades to memory-only mode;
+//! 2. after any crash, reopening succeeds and every value it serves is
+//!    the value originally stored (stale data may be lost, wrong data
+//!    may not appear);
+//! 3. recovery repairs the log so a second reopen finds nothing left
+//!    to fix.
+
+use std::sync::Arc;
+
+use mrp_batch::BatchCell;
+use mrp_ptest::run_cases;
+use mrp_store::{
+    DiskFaultKind, DiskFaultPlan, FaultVfs, MemVfs, PersistentStore, StoreOptions, SynthCache, Vfs,
+};
+
+fn cell(tag: i64) -> Result<BatchCell, String> {
+    if tag % 5 == 4 {
+        Err(format!("ladder exhausted for tag {tag}"))
+    } else {
+        Ok(BatchCell {
+            rung: if tag % 2 == 0 { "mrp+cse" } else { "csd" }.to_string(),
+            adders: (tag.unsigned_abs() % 64) as usize,
+            critical_path: (tag.unsigned_abs() % 7) as u32,
+            degradations: (tag.unsigned_abs() % 3) as usize,
+            lint_warnings: (tag.unsigned_abs() % 2) as usize,
+        })
+    }
+}
+
+fn key(tag: i64) -> Vec<i64> {
+    vec![2 * tag + 1, 7, -tag - 1] // odd leading entry: already normalized
+}
+
+fn options() -> StoreOptions {
+    StoreOptions {
+        lru_capacity: 8, // small, so the disk path is exercised
+        compact_bytes: 512,
+        fsync_each: true,
+    }
+}
+
+/// Every fault kind, armed at each of the first 12 operation ordinals
+/// and at `*`: the store must stay panic-free and keep answering
+/// lookups (possibly degraded), and a clean reopen must only ever see
+/// values that were stored.
+#[test]
+fn fault_matrix_never_panics_and_never_serves_garbage() {
+    for kind in DiskFaultKind::ALL {
+        let mut targets: Vec<String> = (1..=12).map(|n| n.to_string()).collect();
+        targets.push("*".to_string());
+        for target in targets {
+            let plan = DiskFaultPlan::parse(&format!("{}@{target},seed=7", kind.name()))
+                .expect("plan parses");
+            let vfs = Arc::new(FaultVfs::new(MemVfs::new(), plan));
+            let store = PersistentStore::open(vfs.clone(), "s", options());
+            for tag in 0..10 {
+                store.store(key(tag), cell(tag));
+                // Whatever the faults did, a hit must be the truth.
+                if let Some(got) = store.lookup(&key(tag)) {
+                    assert_eq!(got, cell(tag), "{kind:?}@{target} corrupted a hit");
+                }
+            }
+            // Reopen over the bare inner filesystem (no faults): only
+            // stored values may appear in whatever the log retained.
+            drop(store);
+            let inner = Arc::new(MemVfs::new());
+            if let Ok(bytes) = vfs.inner().read("s/cache.log") {
+                inner.append("s/cache.log", &bytes).unwrap();
+            }
+            let reopened = PersistentStore::open(inner, "s", options());
+            assert!(!reopened.degraded(), "{kind:?}@{target}: reopen degraded");
+            for tag in 0..10 {
+                if let Some(got) = reopened.lookup(&key(tag)) {
+                    assert_eq!(got, cell(tag), "{kind:?}@{target} leaked bad data");
+                }
+            }
+        }
+    }
+}
+
+/// Crashing at a seeded power-loss point must never lose fsynced data
+/// or invent unstored data, and recovery must converge: a second
+/// reopen finds a clean log.
+#[test]
+fn seeded_crash_recovery_round_trip() {
+    run_cases("store.crash_recovery_round_trip", 64, |rng| {
+        let vfs = Arc::new(MemVfs::new());
+        let store = PersistentStore::open(
+            vfs.clone(),
+            "s",
+            StoreOptions {
+                lru_capacity: 4,
+                compact_bytes: rng.usize_in(128, 2048) as u64,
+                fsync_each: rng.u64_below(2) == 0,
+            },
+        );
+        let tags: Vec<i64> = (0..rng.i64_in(1, 20)).collect();
+        for &tag in &tags {
+            store.store(key(tag), cell(tag));
+        }
+        let fsynced = store.lookup(&[999]).is_none(); // touch the read path
+        assert!(fsynced);
+        drop(store);
+
+        // Power loss: volatile tails vanish, one byte may tear.
+        vfs.crash(rng.u64_below(u64::MAX));
+
+        let store = PersistentStore::open(vfs.clone(), "s", options());
+        assert!(!store.degraded(), "crash state must be repairable");
+        let mut survivors = 0;
+        for &tag in &tags {
+            // A missing entry was lost to the crash, which is allowed;
+            // a present entry must be exactly what was stored.
+            if let Some(got) = store.lookup(&key(tag)) {
+                assert_eq!(got, cell(tag), "recovered value differs from stored");
+                survivors += 1;
+            }
+        }
+        drop(store);
+
+        // Convergence: recovery repaired the log in place, so a second
+        // open sees a fully clean file and the same survivors.
+        let store = PersistentStore::open(vfs, "s", options());
+        let second = store.recovery();
+        assert_eq!(second.corrupt, 0, "first recovery left corruption behind");
+        assert!(!second.torn_tail, "first recovery left a torn tail");
+        let again = tags
+            .iter()
+            .filter(|&&tag| store.lookup(&key(tag)).is_some())
+            .count();
+        assert_eq!(again, survivors, "second recovery changed the survivor set");
+    });
+}
+
+/// With `fsync_each` on, a crash may only ever lose the records after
+/// the last completed store — everything fsynced must survive.
+#[test]
+fn fsynced_records_survive_any_crash() {
+    run_cases("store.fsynced_survive_crash", 48, |rng| {
+        let vfs = Arc::new(MemVfs::new());
+        let store = PersistentStore::open(
+            vfs.clone(),
+            "s",
+            StoreOptions {
+                lru_capacity: 2,
+                compact_bytes: u64::MAX, // no compaction: pure appends
+                fsync_each: true,
+            },
+        );
+        let n = rng.i64_in(1, 12);
+        for tag in 0..n {
+            store.store(key(tag), cell(tag));
+        }
+        drop(store);
+        vfs.crash(rng.u64_below(u64::MAX));
+
+        let store = PersistentStore::open(vfs, "s", options());
+        assert!(!store.degraded());
+        for tag in 0..n {
+            assert_eq!(
+                store.lookup(&key(tag)),
+                Some(cell(tag)),
+                "fsynced record for tag {tag} was lost"
+            );
+        }
+    });
+}
+
+/// Random operation soaks under random fault schedules: a shadow map
+/// tracks ground truth; every hit must match it, under any
+/// interleaving of stores, lookups, compactions, and faults.
+#[test]
+fn random_ops_under_random_fault_schedules() {
+    run_cases("store.random_fault_soak", 96, |rng| {
+        let mut spec = Vec::new();
+        for _ in 0..rng.usize_in(0, 4) {
+            let kind = DiskFaultKind::ALL[rng.usize_in(0, DiskFaultKind::ALL.len())];
+            let target = if rng.u64_below(4) == 0 {
+                "*".to_string()
+            } else {
+                rng.u64_below(40).saturating_add(1).to_string()
+            };
+            spec.push(format!("{}@{target}", kind.name()));
+        }
+        spec.push(format!("seed={}", rng.u64_below(1 << 20)));
+        let plan = DiskFaultPlan::parse(&spec.join(",")).expect("plan parses");
+        let vfs = Arc::new(FaultVfs::new(MemVfs::new(), plan));
+        let store = PersistentStore::open(
+            vfs,
+            "s",
+            StoreOptions {
+                lru_capacity: rng.usize_in(1, 6),
+                compact_bytes: rng.usize_in(64, 1024) as u64,
+                fsync_each: rng.u64_below(2) == 0,
+            },
+        );
+
+        let mut shadow: std::collections::HashMap<Vec<i64>, Result<BatchCell, String>> =
+            std::collections::HashMap::new();
+        for _ in 0..rng.usize_in(5, 60) {
+            let tag = rng.i64_in(0, 12);
+            if rng.u64_below(2) == 0 {
+                store.store(key(tag), cell(tag));
+                shadow.insert(key(tag), cell(tag));
+            } else if let Some(got) = store.lookup(&key(tag)) {
+                match shadow.get(&key(tag)) {
+                    Some(expected) => assert_eq!(&got, expected, "hit diverged from truth"),
+                    None => panic!("hit for a key never stored"),
+                }
+            }
+            if rng.u64_below(16) == 0 {
+                store.compact();
+            }
+        }
+        let stats = SynthCache::stats(&store);
+        assert!(stats.hits + stats.misses > 0 || shadow.is_empty());
+    });
+}
