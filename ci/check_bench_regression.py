@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the bench trajectory.
 
-Compares a freshly generated ``BENCH_summary.json`` against the committed
-baseline ``ci/bench_baseline.json`` and fails (exit 1) when the synthesis
-quality regressed:
+Dispatches on the fresh report's ``bench`` field.
+
+``bench == "summary"`` (the default) compares a freshly generated
+``BENCH_summary.json`` against the committed baseline
+``ci/bench_baseline.json`` and fails (exit 1) when the synthesis quality
+regressed:
 
 * any ``reduction_pct`` entry DROPS by more than 0.5 percentage points
   (these are "how much smaller than the reference" numbers — bigger is
@@ -14,10 +17,27 @@ quality regressed:
 Wall-clock fields (``jobs``, ``elapsed_ms``) are ignored: the gate guards
 quality, not machine speed.
 
-To accept an intentional quality change, refresh the baseline in the same
-commit and say why:
+``bench == "serve"`` gates a fresh ``BENCH_serve.json`` (from ``mrpf
+load``) against the baseline's ``serve`` section — absolute latency
+ceilings and a throughput floor, generous enough for noisy CI runners:
 
-    cp BENCH_summary.json ci/bench_baseline.json
+* every exercised route's p50/p99/p999 stays under its ceiling,
+* achieved throughput is at least ``min_throughput_fraction`` of the
+  target arrival rate,
+* errors and missing ``X-Request-Id`` counts stay at their bounds
+  (normally zero), and the report says ``passed``.
+
+To accept an intentional quality change, refresh the summary metrics in
+the baseline in the same commit and say why; the ``serve`` section is
+hand-maintained ceilings, so carry it over rather than plain-``cp``-ing:
+
+    python3 -c "
+    import json
+    with open('ci/bench_baseline.json') as f: old = json.load(f)
+    with open('BENCH_summary.json') as f: new = json.load(f)
+    new['serve'] = old['serve']
+    with open('ci/bench_baseline.json', 'w') as f: json.dump(new, f)
+    "
 
 Usage: check_bench_regression.py <fresh.json> [<baseline.json>]
 """
@@ -34,6 +54,71 @@ def load(path):
         return json.load(f)
 
 
+def check_serve(fresh, baseline):
+    """Gates a BENCH_serve.json against baseline["serve"] ceilings."""
+    limits = baseline.get("serve")
+    if not limits:
+        print("baseline has no `serve` section — cannot gate a serve report")
+        return 1
+
+    failures = []
+    checked = 0
+
+    for route, stats in sorted(fresh.get("routes", {}).items()):
+        if stats.get("requests", 0) == 0:
+            print(f"  route {route}: not exercised, skipped")
+            continue
+        lat = stats.get("latency_ms", {})
+        for q in ("p50", "p99", "p999"):
+            ceiling = limits[f"max_route_{q}_ms"]
+            value = lat.get(q)
+            checked += 1
+            status = "ok"
+            if value is None or value <= 0.0 or value > ceiling:
+                status = "REGRESSED"
+                failures.append(
+                    f"routes.{route}.latency_ms.{q}: {value} "
+                    f"(must be in (0, {ceiling}] ms)"
+                )
+            print(f"  {route}.{q:<5} {value!s:>12} ms  (ceiling {ceiling}) {status}")
+
+    floor = limits["min_throughput_fraction"] * fresh.get("rate_rps", 0.0)
+    achieved = fresh.get("throughput_rps", 0.0)
+    checked += 1
+    status = "ok"
+    if achieved < floor:
+        status = "REGRESSED"
+        failures.append(f"throughput_rps: {achieved:.2f} (floor {floor:.2f})")
+    print(f"  throughput_rps {achieved:10.2f}     (floor {floor:.2f}) {status}")
+
+    for field, bound_key in [
+        ("errors", "max_errors"),
+        ("missing_request_id", "max_missing_request_id"),
+    ]:
+        value = fresh.get(field, 1)
+        bound = limits[bound_key]
+        checked += 1
+        status = "ok"
+        if value > bound:
+            status = "REGRESSED"
+            failures.append(f"{field}: {value} (bound {bound})")
+        print(f"  {field:<20} {value:>6}     (bound {bound}) {status}")
+
+    if not fresh.get("passed", False):
+        failures.append("report's own verdict is passed=false")
+
+    if checked <= 1:
+        print("serve gate checked no route latencies — report is malformed")
+        return 1
+    if failures:
+        print(f"\nSERVE PERF GATE FAILED — {len(failures)} problem(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nserve perf gate passed: {checked} metric(s) within ceilings")
+    return 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
@@ -42,6 +127,9 @@ def main(argv):
     baseline_path = argv[2] if len(argv) > 2 else "ci/bench_baseline.json"
     fresh = load(fresh_path)
     baseline = load(baseline_path)
+
+    if fresh.get("bench") == "serve":
+        return check_serve(fresh, baseline)
 
     failures = []
     checked = 0

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Schema validation for ``BENCH_serve.json`` (the ``mrpf load`` report).
+
+Structural checks only — no performance judgment (that is
+``check_bench_regression.py``'s job). Fails (exit 1) when:
+
+* a required top-level or per-route key is missing or has the wrong type,
+* the per-route counts do not add up (``ok + rejected + errors ==
+  requests``, route requests sum to ``completed``),
+* an exercised route's latency histogram is empty, has a non-positive
+  quantile, or its quantiles are not monotone (p50 <= p90 <= p99 <= p999
+  and min <= p50, p999 <= max).
+
+Usage: check_serve_schema.py <BENCH_serve.json>
+"""
+
+import json
+import sys
+
+TOP_LEVEL = {
+    "bench": str,
+    "jobs": int,
+    "rate_rps": (int, float),
+    "duration_ms": int,
+    "sent": int,
+    "completed": int,
+    "throughput_rps": (int, float),
+    "rejected": int,
+    "errors": int,
+    "missing_request_id": int,
+    "passed": bool,
+    "routes": dict,
+}
+
+ROUTE = {"requests": int, "ok": int, "rejected": int, "errors": int, "latency_ms": dict}
+
+LATENCY = ["count", "min", "max", "mean", "p50", "p90", "p99", "p999"]
+
+
+def fail(message):
+    print(f"SCHEMA ERROR: {message}")
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        report = json.load(f)
+
+    for key, kind in TOP_LEVEL.items():
+        if key not in report:
+            fail(f"missing top-level key `{key}`")
+        if not isinstance(report[key], kind) or isinstance(report[key], bool) != (kind is bool):
+            fail(f"`{key}` is {type(report[key]).__name__}, wanted {kind}")
+    if report["bench"] != "serve":
+        fail(f"bench is {report['bench']!r}, wanted 'serve'")
+    if set(report["routes"]) != {"synth", "batch"}:
+        fail(f"routes are {sorted(report['routes'])}, wanted ['batch', 'synth']")
+
+    completed = 0
+    for name, stats in sorted(report["routes"].items()):
+        for key, kind in ROUTE.items():
+            if key not in stats:
+                fail(f"route {name}: missing `{key}`")
+            if not isinstance(stats[key], kind):
+                fail(f"route {name}: `{key}` is {type(stats[key]).__name__}")
+        if stats["ok"] + stats["rejected"] + stats["errors"] != stats["requests"]:
+            fail(f"route {name}: outcome counts do not sum to requests: {stats}")
+        completed += stats["requests"]
+
+        lat = stats["latency_ms"]
+        for key in LATENCY:
+            if key not in lat:
+                fail(f"route {name}: latency_ms missing `{key}`")
+        if stats["requests"] == 0:
+            print(f"  route {name}: not exercised")
+            continue
+        if lat["count"] != stats["requests"]:
+            fail(f"route {name}: histogram count {lat['count']} != requests")
+        quantiles = [lat[q] for q in ("p50", "p90", "p99", "p999")]
+        if any(not isinstance(q, (int, float)) or q <= 0.0 for q in quantiles):
+            fail(f"route {name}: non-positive quantile in {lat}")
+        ordered = [lat["min"]] + quantiles + [lat["max"]]
+        if any(a > b for a, b in zip(ordered, ordered[1:])):
+            fail(f"route {name}: quantiles not monotone: {ordered}")
+        print(
+            f"  route {name}: {stats['requests']} req, "
+            f"p50 {lat['p50']:.3f} ms .. p999 {lat['p999']:.3f} ms"
+        )
+
+    if completed != report["completed"]:
+        fail(f"route requests sum to {completed}, report says {report['completed']}")
+    if report["sent"] < report["completed"]:
+        fail(f"sent {report['sent']} < completed {report['completed']}")
+
+    print(f"schema OK: {report['completed']} completed request(s) across 2 routes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

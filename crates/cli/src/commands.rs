@@ -13,7 +13,7 @@ use mrp_filters::{butterworth_fir, least_squares, remez, FilterSpec};
 use mrp_lint::{lint_graph, lint_verilog, LintConfig};
 use mrp_numrep::{quantize, Repr, Scaling};
 use mrp_resilience::{synthesize, FaultPlan, Rung, StageBudget, SynthConfig};
-use mrp_serve::{run_chaos, ChaosOptions, ServeOptions, Server};
+use mrp_serve::{run_chaos, run_load, ChaosOptions, LoadOptions, ServeOptions, Server};
 
 use crate::args::{Args, ParseArgsError};
 
@@ -98,6 +98,17 @@ USAGE:
                  well-formed probes; fails, with nonzero exit, if any
                  probe's bytes diverge from the pre-storm baseline or
                  the server is unhealthy afterwards)
+  mrpf load     [--addr HOST:PORT] [--rate RPS] [--duration-ms MS]
+                [--synth-pct P] [--seed N] [--jobs N] [--json]
+                [--out FILE]
+                (open-loop load generator against a running mrpf serve:
+                 requests depart on a fixed arrival schedule so measured
+                 latency includes any server-induced delay — no
+                 coordinated omission; mixes POST /synth and POST /batch
+                 per --synth-pct, reports throughput and p50/p90/p99/
+                 p999 per route, and verifies every response carries an
+                 X-Request-Id; --out writes the BENCH_serve.json report;
+                 nonzero exit on any error or missing request ID)
   mrpf help
 
 Anywhere a C0,C1,... coefficient list is expected, suite:N (N in 1..=12)
@@ -122,6 +133,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "batch" => batch(args),
         "serve" => serve(args),
         "chaos" => chaos(args),
+        "load" => load(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => bail!("unknown subcommand `{other}`\n\n{USAGE}"),
     }
@@ -695,9 +707,17 @@ fn serve(args: &Args) -> Result<String, CliError> {
     }
     mrp_obs::disable();
     mrp_obs::reset();
+    let latency = if summary.served == 0 {
+        String::new()
+    } else {
+        format!(
+            "; latency ms: p50 {:.3} p90 {:.3} p99 {:.3} p999 {:.3}",
+            summary.latency.p50, summary.latency.p90, summary.latency.p99, summary.latency.p999
+        )
+    };
     Ok(format!(
         "drained: served {} request(s) ({} coalesced), rejected {} under backpressure; \
-         cache: {} entr{} ({} hit(s), {} miss(es)){}",
+         cache: {} entr{} ({} hit(s), {} miss(es)){}{latency}",
         summary.served,
         summary.coalesced,
         summary.rejected,
@@ -734,6 +754,49 @@ fn chaos(args: &Args) -> Result<String, CliError> {
         report.render_pretty()
     };
     // A failed soak is a nonzero exit: CI can gate on `mrpf chaos`.
+    if report.passed() {
+        Ok(rendered)
+    } else {
+        Err(CliError(rendered))
+    }
+}
+
+fn load(args: &Args) -> Result<String, CliError> {
+    let rate = args.get_f64("rate", 20.0)?;
+    if !(rate.is_finite() && rate > 0.0 && rate <= 10_000.0) {
+        bail!("--rate must be within (0, 10000] requests/second");
+    }
+    let duration_ms = args.get_usize("duration-ms", 2000)? as u64;
+    if duration_ms == 0 || duration_ms > 600_000 {
+        bail!("--duration-ms must be within 1..=600000");
+    }
+    let synth_pct = args.get_usize("synth-pct", 70)? as u32;
+    if synth_pct > 100 {
+        bail!("--synth-pct must be within 0..=100");
+    }
+    let jobs = args.get_usize("jobs", 2)?;
+    if jobs == 0 || jobs > 256 {
+        bail!("--jobs must be within 1..=256");
+    }
+    let options = LoadOptions {
+        addr: args.get_str("addr", "127.0.0.1:7878"),
+        rate,
+        duration_ms,
+        synth_pct,
+        seed: args.get_usize("seed", 1)? as u64,
+        jobs,
+    };
+    let report = run_load(&options).map_err(CliError)?;
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, report.render_json())
+            .map_err(|e| CliError(format!("cannot write report `{out}`: {e}")))?;
+    }
+    let rendered = if args.flag("json") {
+        report.render_json()
+    } else {
+        report.render_pretty()
+    };
+    // Like `chaos`, a failed run is a nonzero exit so CI can gate on it.
     if report.passed() {
         Ok(rendered)
     } else {
@@ -1146,11 +1209,24 @@ mod tests {
         assert!(err.0.contains("baseline probe failed"), "unexpected: {err}");
     }
 
+    // Like `chaos`, a load run needs a live server; unit tests reach
+    // only validation and the health-probe setup error.
+    #[test]
+    fn load_rejects_bad_inputs_and_reports_dead_targets() {
+        assert!(run_line("load --rate 0").is_err());
+        assert!(run_line("load --rate 99999").is_err());
+        assert!(run_line("load --duration-ms 0").is_err());
+        assert!(run_line("load --synth-pct 101").is_err());
+        assert!(run_line("load --jobs 0").is_err());
+        let err = run_line("load --addr 127.0.0.1:1 --duration-ms 100").unwrap_err();
+        assert!(err.0.contains("health probe"), "unexpected: {err}");
+    }
+
     #[test]
     fn usage_covers_every_subcommand() {
         for name in [
             "design", "optimize", "emit", "compare", "respond", "lint", "analyze", "synth",
-            "batch", "serve", "chaos",
+            "batch", "serve", "chaos", "load",
         ] {
             assert!(USAGE.contains(&format!("mrpf {name}")), "missing {name}");
         }

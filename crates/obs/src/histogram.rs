@@ -1,0 +1,332 @@
+//! Mergeable log-bucketed (HDR-style) histograms with deterministic
+//! quantiles at bounded relative error.
+//!
+//! The old summary histogram kept only count/min/max/sum — enough for a
+//! mean, useless for a tail. This histogram additionally sorts every
+//! sample into a *log-linear bucket*: the bucket index is derived
+//! directly from the IEEE-754 bit pattern (exponent plus the top
+//! [`SUB_BUCKET_BITS`] mantissa bits), which makes bucketing exact,
+//! platform-independent, and free of any floating-point log call. Each
+//! octave `[2^e, 2^(e+1))` is split into [`SUB_BUCKETS`] equal-width
+//! sub-buckets, so a bucket's width is at most `1/32` of its lower edge
+//! and the mid-bucket representative returned by [`Histogram::quantile`]
+//! is within [`RELATIVE_ERROR_BOUND`] (= 1/64 ≈ 1.6 %) of the true
+//! sample at that rank.
+//!
+//! Buckets are globally aligned (the key is a pure function of the
+//! value), so two histograms over disjoint sample sets can be
+//! [`merge`](Histogram::merge)d by adding counts — the result is
+//! identical whatever the interleaving of records and merges, which is
+//! what lets per-thread histograms collapse into one deterministic
+//! summary.
+
+use std::collections::BTreeMap;
+
+/// Mantissa bits used for the sub-bucket index.
+const SUB_BUCKET_BITS: u32 = 5;
+/// Sub-buckets per octave (`2^SUB_BUCKET_BITS`).
+const SUB_BUCKETS: i32 = 1 << SUB_BUCKET_BITS;
+/// Bucket key for values ≤ 0 (and NaN): latencies and sizes are
+/// non-negative, so everything non-positive collapses into one bucket
+/// whose representative is 0.
+const FLOOR_KEY: i32 = i32::MIN;
+
+/// Worst-case relative error of a quantile estimate against the exact
+/// sample at the same rank: half of one sub-bucket's relative width.
+pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / (2 * SUB_BUCKETS) as f64;
+
+/// The standard quantile set exported everywhere: p50/p90/p99/p999.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quantiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+/// A mergeable log-bucketed histogram.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 100.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// let p50 = h.quantile(0.5);
+/// assert!((p50 - 2.0).abs() <= 2.0 * mrp_obs::RELATIVE_ERROR_BOUND);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+    /// Sparse bucket-key → count. `BTreeMap` keeps buckets in value
+    /// order, which is what makes quantile walks and JSON export
+    /// deterministic.
+    buckets: BTreeMap<i32, u64>,
+}
+
+/// Bucket key for a value: `exponent * SUB_BUCKETS + sub_bucket`,
+/// taken straight from the IEEE-754 representation so the mapping is
+/// exact and identical on every platform.
+fn bucket_key(value: f64) -> i32 {
+    if value == f64::INFINITY {
+        return i32::MAX;
+    }
+    // ≤ 0 and NaN (which fails `is_finite`) collapse into the floor
+    // bucket.
+    if value <= 0.0 || !value.is_finite() {
+        return FLOOR_KEY;
+    }
+    let bits = value.to_bits();
+    let exponent = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    let sub = ((bits >> (52 - SUB_BUCKET_BITS)) & (SUB_BUCKETS as u64 - 1)) as i32;
+    exponent * SUB_BUCKETS + sub
+}
+
+/// Mid-bucket representative value for a key.
+fn representative(key: i32) -> f64 {
+    if key == FLOOR_KEY {
+        return 0.0;
+    }
+    if key == i32::MAX {
+        return f64::MAX;
+    }
+    let exponent = key.div_euclid(SUB_BUCKETS);
+    let sub = key.rem_euclid(SUB_BUCKETS);
+    let base = 2f64.powi(exponent);
+    base * (1.0 + (sub as f64 + 0.5) / SUB_BUCKETS as f64)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        *self.buckets.entry(bucket_key(value)).or_insert(0) += 1;
+    }
+
+    /// Folds `other`'s samples into `self`. Buckets are globally
+    /// aligned, so merging is pure count addition: any partition of a
+    /// sample set across histograms, merged in any order, yields
+    /// identical buckets and therefore identical quantiles.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (key, n) in &other.buckets {
+            *self.buckets.entry(*key).or_insert(0) += n;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the mid-bucket
+    /// representative of the bucket holding the sample of rank
+    /// `ceil(q·count)`, clamped into `[min, max]`. Returns 0 when
+    /// empty. The estimate is within [`RELATIVE_ERROR_BOUND`] relative
+    /// error of the exact sorted-sample value at the same rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (key, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return representative(*key).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard p50/p90/p99/p999 set.
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(7.25);
+        // Clamping to [min, max] collapses a one-sample histogram onto
+        // the sample itself at every quantile.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7.25, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        let q = h.quantiles();
+        assert!(
+            (q.p50 - 500.0).abs() / 500.0 <= RELATIVE_ERROR_BOUND,
+            "{q:?}"
+        );
+        assert!(
+            (q.p90 - 900.0).abs() / 900.0 <= RELATIVE_ERROR_BOUND,
+            "{q:?}"
+        );
+        assert!(
+            (q.p99 - 990.0).abs() / 990.0 <= RELATIVE_ERROR_BOUND,
+            "{q:?}"
+        );
+        assert!(
+            (q.p999 - 999.0).abs() / 999.0 <= RELATIVE_ERROR_BOUND,
+            "{q:?}"
+        );
+        assert!(q.p50 <= q.p90 && q.p90 <= q.p99 && q.p99 <= q.p999, "{q:?}");
+    }
+
+    #[test]
+    fn non_positive_and_non_finite_samples_are_bounded() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(5.0);
+        assert_eq!(h.count(), 5);
+        // Everything lands in a bucket; the floor bucket clamps to min.
+        let p50 = h.quantile(0.5);
+        assert!(p50.is_finite(), "{p50}");
+    }
+
+    #[test]
+    fn merge_equals_recording_directly() {
+        let samples: Vec<f64> = (0..200).map(|i| ((i * 37) % 997) as f64 + 1.0).collect();
+        let mut whole = Histogram::new();
+        for v in &samples {
+            whole.record(*v);
+        }
+        let (a_half, b_half) = samples.split_at(61);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in a_half {
+            a.record(*v);
+        }
+        for v in b_half {
+            b.record(*v);
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        let mut reversed = Histogram::new();
+        reversed.merge(&b);
+        reversed.merge(&a);
+        assert_eq!(reversed, whole);
+    }
+
+    #[test]
+    fn bucket_keys_are_monotone_in_value() {
+        let mut last = i32::MIN;
+        for i in 1..100_000u64 {
+            let key = bucket_key(i as f64 / 16.0);
+            assert!(key >= last, "key regressed at {i}");
+            last = key;
+        }
+    }
+
+    #[test]
+    fn representative_stays_inside_its_bucket() {
+        for v in [0.001, 0.5, 1.0, 1.4, 7.0, 1000.0, 1.7e9] {
+            let key = bucket_key(v);
+            let rep = representative(key);
+            assert!(
+                (rep - v).abs() <= v / SUB_BUCKETS as f64,
+                "rep {rep} too far from {v}"
+            );
+        }
+    }
+}

@@ -13,8 +13,11 @@
 //! * **instants** — point events ([`instant`] / [`instant_dyn`]) for
 //!   things that happen rather than last (a degradation, a budget
 //!   exhaustion);
-//! * **metrics** — named counters, gauges, and summary histograms
-//!   ([`counter_add`], [`gauge_set`], [`histogram_record`]);
+//! * **metrics** — named counters, gauges, and mergeable log-bucketed
+//!   histograms with deterministic p50/p90/p99/p999 at bounded relative
+//!   error ([`counter_add`], [`gauge_set`], [`histogram_record`],
+//!   [`histogram_quantiles`]; see [`Histogram`] and
+//!   [`RELATIVE_ERROR_BOUND`]);
 //! * **exporters** — [`export_chrome_trace`] (loadable in
 //!   `chrome://tracing` / Perfetto) and [`export_metrics_json`] (flat
 //!   machine-readable JSON).
@@ -64,11 +67,13 @@
 
 mod chrome;
 mod collector;
+mod histogram;
 mod metrics;
 
 pub use collector::{
     disable, enable, enable_metrics_only, events_enabled, is_enabled, reset, SpanGuard,
 };
+pub use histogram::{Histogram, Quantiles, RELATIVE_ERROR_BOUND};
 pub use metrics::HistogramSummary;
 
 use collector::{collector, Phase};
@@ -157,9 +162,35 @@ pub fn gauge_value(name: &str) -> Option<f64> {
     collector().metrics.gauge_value(name)
 }
 
+/// Folds a locally-accumulated [`Histogram`] into the named registry
+/// histogram — the bulk path for code that records on a local histogram
+/// (no global lock per sample) and publishes periodically. Merging is
+/// deterministic: any partition of samples, merged in any order, yields
+/// the same buckets and quantiles.
+#[inline]
+pub fn histogram_merge(name: &str, other: &Histogram) {
+    if !is_enabled() {
+        return;
+    }
+    collector().metrics.histogram_merge(name, other);
+}
+
 /// Summary of a histogram, if it exists.
 pub fn histogram_summary(name: &str) -> Option<HistogramSummary> {
     collector().metrics.histogram_summary(name)
+}
+
+/// Deterministic p50/p90/p99/p999 of a histogram, if it exists. Each
+/// estimate is within [`RELATIVE_ERROR_BOUND`] relative error of the
+/// exact sorted-sample value at the same rank.
+pub fn histogram_quantiles(name: &str) -> Option<Quantiles> {
+    collector().metrics.histogram_quantiles(name)
+}
+
+/// Full snapshot (clone) of a named histogram, if it exists — for
+/// callers that want to merge registry state into their own aggregates.
+pub fn histogram_snapshot(name: &str) -> Option<Histogram> {
+    collector().metrics.histogram_snapshot(name)
 }
 
 /// Exports every recorded event as a Chrome `trace_event` JSON document

@@ -2,14 +2,22 @@
 //!
 //! Metrics are flat, named aggregates — the complement of the event
 //! trace. A counter accumulates, a gauge holds the last value, and a
-//! histogram keeps count/min/max/sum (enough for mean and range without
-//! storing samples). Export is a single flat JSON document, designed to
-//! be trivially diffable across runs (`BENCH_*.json` style).
+//! histogram is a mergeable log-bucketed [`Histogram`] keeping
+//! count/min/max/sum plus deterministic p50/p90/p99/p999 at bounded
+//! relative error (see `histogram.rs`). Export is a single flat JSON
+//! document, designed to be trivially diffable across runs
+//! (`BENCH_*.json` style).
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-/// Aggregated histogram state: no samples, just the running summary.
+use crate::histogram::{Histogram, Quantiles};
+
+/// Aggregated histogram state, as reported by
+/// [`histogram_summary`](crate::histogram_summary): no samples, just the
+/// running summary. Quantiles are read separately via
+/// [`histogram_quantiles`](crate::histogram_quantiles) or the full
+/// [`histogram_snapshot`](crate::histogram_snapshot).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     /// Number of recorded values.
@@ -23,13 +31,6 @@ pub struct HistogramSummary {
 }
 
 impl HistogramSummary {
-    fn record(&mut self, value: f64) {
-        self.count += 1;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-        self.sum += value;
-    }
-
     /// Arithmetic mean of the recorded values (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -44,7 +45,7 @@ impl HistogramSummary {
 struct MetricsInner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, HistogramSummary>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 /// Thread-safe registry behind the global collector. `BTreeMap` keeps the
@@ -83,15 +84,23 @@ impl MetricsRegistry {
         match m.histograms.get_mut(name) {
             Some(h) => h.record(value),
             None => {
-                m.histograms.insert(
-                    name.to_string(),
-                    HistogramSummary {
-                        count: 1,
-                        min: value,
-                        max: value,
-                        sum: value,
-                    },
-                );
+                let mut h = Histogram::new();
+                h.record(value);
+                m.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Folds a locally-accumulated histogram into the named registry
+    /// entry — the bulk path for code that records on its own
+    /// [`Histogram`] (no registry lock per sample) and publishes
+    /// periodically.
+    pub(crate) fn histogram_merge(&self, name: &str, other: &Histogram) {
+        let mut m = self.lock();
+        match m.histograms.get_mut(name) {
+            Some(h) => h.merge(other),
+            None => {
+                m.histograms.insert(name.to_string(), other.clone());
             }
         }
     }
@@ -105,7 +114,20 @@ impl MetricsRegistry {
     }
 
     pub(crate) fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
-        self.lock().histograms.get(name).copied()
+        self.lock().histograms.get(name).map(|h| HistogramSummary {
+            count: h.count(),
+            min: h.min(),
+            max: h.max(),
+            sum: h.sum(),
+        })
+    }
+
+    pub(crate) fn histogram_quantiles(&self, name: &str) -> Option<Quantiles> {
+        self.lock().histograms.get(name).map(Histogram::quantiles)
+    }
+
+    pub(crate) fn histogram_snapshot(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
     }
 
     pub(crate) fn clear(&self) {
@@ -116,7 +138,8 @@ impl MetricsRegistry {
     }
 
     /// Flat machine-readable export: `{"counters":{…},"gauges":{…},
-    /// "histograms":{name:{count,min,max,sum,mean}}}`.
+    /// "histograms":{name:{count,min,max,sum,mean,quantiles:{p50,p90,
+    /// p99,p999}}}}`.
     pub(crate) fn export_json(&self) -> String {
         let m = self.lock();
         let mut out = String::from("{\"counters\":{");
@@ -138,14 +161,20 @@ impl MetricsRegistry {
             .histograms
             .iter()
             .map(|(k, h)| {
+                let q = h.quantiles();
                 format!(
-                    "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"mean\":{}}}",
+                    "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"mean\":{},\
+                     \"quantiles\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}}}",
                     crate::chrome::json_escape(k),
-                    h.count,
-                    json_number(h.min),
-                    json_number(h.max),
-                    json_number(h.sum),
-                    json_number(h.mean())
+                    h.count(),
+                    json_number(h.min()),
+                    json_number(h.max()),
+                    json_number(h.sum()),
+                    json_number(h.mean()),
+                    json_number(q.p50),
+                    json_number(q.p90),
+                    json_number(q.p99),
+                    json_number(q.p999),
                 )
             })
             .collect();
@@ -198,6 +227,29 @@ mod tests {
         assert_eq!(h.min, 2.0);
         assert_eq!(h.max, 6.0);
         assert_eq!(h.mean(), 4.0);
+        let q = r.histogram_quantiles("h").unwrap();
+        assert!((q.p50 - 4.0).abs() <= 4.0 / 32.0, "{q:?}");
+        assert!(q.p999 <= 6.0, "{q:?}");
+        assert_eq!(r.histogram_quantiles("missing"), None);
+    }
+
+    #[test]
+    fn histogram_merge_matches_direct_records() {
+        let r = MetricsRegistry::new();
+        let mut local = Histogram::new();
+        for v in [1.0, 10.0, 100.0] {
+            r.histogram_record("m", v);
+            local.record(v);
+        }
+        r.histogram_merge("m", &local);
+        let h = r.histogram_summary("m").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        // Merging into an absent name clones the source.
+        r.histogram_merge("fresh", &local);
+        assert_eq!(r.histogram_summary("fresh").unwrap().count, 3);
+        assert_eq!(r.histogram_snapshot("fresh").unwrap(), local);
     }
 
     #[test]
@@ -211,5 +263,6 @@ mod tests {
         assert!(json.contains("\"c\\\"x\":1"), "{json}");
         assert!(json.contains("\"g\":null"), "{json}");
         assert!(json.contains("\"mean\":3"), "{json}");
+        assert!(json.contains("\"quantiles\":{\"p50\":3"), "{json}");
     }
 }

@@ -1,0 +1,117 @@
+//! Property tests for the log-bucketed histogram: quantile accuracy
+//! against exact sorted-sample quantiles, and merge determinism across
+//! arbitrary partitions and merge orders (the cross-thread collapse
+//! path).
+
+use mrp_obs::{Histogram, RELATIVE_ERROR_BOUND};
+use mrp_ptest::{run_cases, Rng};
+
+/// Exact quantile under the histogram's rank definition: the sample of
+/// rank `ceil(q·count)` in sorted order (1-based).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let n = sorted.len() as f64;
+    let rank = ((q.clamp(0.0, 1.0) * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn sample_values(rng: &mut Rng) -> Vec<f64> {
+    // Mix of scales: sub-millisecond to multi-second latencies, plus
+    // occasional exact powers of two (bucket edges).
+    let len = rng.usize_in(1, 400);
+    (0..len)
+        .map(|_| match rng.u32_in(0, 9) {
+            0 => 2f64.powi(rng.i64_in(-10, 10) as i32),
+            1..=4 => rng.f64_in(0.05, 10.0),
+            _ => rng.f64_in(10.0, 5000.0),
+        })
+        .collect()
+}
+
+#[test]
+fn recorded_quantiles_match_exact_within_error_bound() {
+    run_cases("obs.quantiles.accuracy", 200, |rng| {
+        let values = sample_values(rng);
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let est = h.quantile(q);
+            let exact = exact_quantile(&sorted, q);
+            let err = (est - exact).abs() / exact;
+            assert!(
+                err <= RELATIVE_ERROR_BOUND + 1e-12,
+                "q={q}: est {est} vs exact {exact} (rel err {err}) over {} samples",
+                values.len()
+            );
+        }
+    });
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    run_cases("obs.quantiles.monotone", 100, |rng| {
+        let values = sample_values(rng);
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let mut last = f64::NEG_INFINITY;
+        for q in qs {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q})={v} < previous {last}");
+            last = v;
+        }
+        assert!(h.quantile(0.0) >= h.min());
+        assert!(h.quantile(1.0) <= h.max());
+    });
+}
+
+#[test]
+fn merge_is_deterministic_across_partitions_and_orders() {
+    run_cases("obs.quantiles.merge_determinism", 150, |rng| {
+        // Integer-valued samples: f64 addition over integers below 2^53
+        // is exact under any order, so `sum` (and everything else) must
+        // be bit-identical regardless of partition or merge order.
+        let values: Vec<f64> = rng
+            .vec_i64(1, 300, 1, 1_000_000)
+            .into_iter()
+            .map(|v| v as f64)
+            .collect();
+
+        let mut whole = Histogram::new();
+        for v in &values {
+            whole.record(*v);
+        }
+
+        // Partition into k "threads".
+        let k = rng.usize_in(1, 8);
+        let mut parts: Vec<Histogram> = (0..k).map(|_| Histogram::new()).collect();
+        for v in &values {
+            parts[rng.usize_in(0, k)].record(*v);
+        }
+
+        // Merge in forward order…
+        let mut forward = Histogram::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        // …and in reverse order.
+        let mut reverse = Histogram::new();
+        for p in parts.iter().rev() {
+            reverse.merge(p);
+        }
+
+        assert_eq!(forward.count(), whole.count());
+        assert_eq!(forward.min(), whole.min());
+        assert_eq!(forward.max(), whole.max());
+        assert_eq!(forward.sum(), whole.sum());
+        assert_eq!(forward.quantiles(), whole.quantiles());
+        assert_eq!(forward.quantiles(), reverse.quantiles());
+        assert_eq!(forward, reverse);
+    });
+}

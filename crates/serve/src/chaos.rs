@@ -7,7 +7,9 @@
 //! invariant of the serve layer:
 //!
 //! 1. no attack changes the bytes a valid request receives (every probe
-//!    is compared against a baseline response captured first), and
+//!    is compared against a baseline response captured first, modulo
+//!    the per-request `X-Request-Id` header, which is unique by
+//!    design), and
 //! 2. the server is still healthy when the storm stops.
 //!
 //! Everything is deterministic per seed, so a failing soak replays
@@ -16,9 +18,12 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use mrp_obs::Histogram;
 use mrp_ptest::Rng;
+
+use crate::trace::{jnum, ms};
 
 /// How long the chaos client waits on any one socket operation. Attacks
 /// abandon their connections long before this.
@@ -81,7 +86,7 @@ impl Attack {
 }
 
 /// What a chaos soak did and found.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ChaosReport {
     /// Hostile connections per attack kind, in repertoire order.
     pub attacks: Vec<(&'static str, u64)>,
@@ -94,6 +99,10 @@ pub struct ChaosReport {
     pub probe_errors: u64,
     /// Whether `/healthz` answered 200 after the storm.
     pub healthy: bool,
+    /// End-to-end latency (ms, including 503 retries) of each
+    /// successful probe — the soak doubles as a tail-latency smoke
+    /// under hostile load.
+    pub probe_ms: Histogram,
 }
 
 impl ChaosReport {
@@ -111,6 +120,18 @@ impl ChaosReport {
         );
         for (name, count) in &self.attacks {
             out.push_str(&format!("  {name:<16} {count}\n"));
+        }
+        if self.probe_ms.count() > 0 {
+            let q = self.probe_ms.quantiles();
+            out.push_str(&format!(
+                "probe latency ms: p50 {:.2}  p90 {:.2}  p99 {:.2}  p999 {:.2} \
+                 ({} sample(s))\n",
+                q.p50,
+                q.p90,
+                q.p99,
+                q.p999,
+                self.probe_ms.count()
+            ));
         }
         out.push_str(&format!(
             "probe mismatches: {}  probe errors: {}  healthy after storm: {}\nverdict: {}\n",
@@ -130,13 +151,21 @@ impl ChaosReport {
             .map(|(name, count)| format!("\"{name}\":{count}"))
             .collect::<Vec<_>>()
             .join(",");
+        let q = self.probe_ms.quantiles();
         format!(
             "{{\"chaos\":{{\"attacks\":{{{attacks}}},\"probes\":{},\"mismatches\":{},\
-             \"probe_errors\":{},\"healthy\":{},\"passed\":{}}}}}\n",
+             \"probe_errors\":{},\"healthy\":{},\
+             \"probe_latency_ms\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\
+             \"p999\":{}}},\"passed\":{}}}}}\n",
             self.probes,
             self.mismatches,
             self.probe_errors,
             self.healthy,
+            self.probe_ms.count(),
+            jnum(q.p50),
+            jnum(q.p90),
+            jnum(q.p99),
+            jnum(q.p999),
             self.passed()
         )
     }
@@ -156,6 +185,7 @@ pub fn run_chaos(options: &ChaosOptions) -> Result<ChaosReport, String> {
     // from the baseline is a real finding, not timing noise.
     let probe_body = r#"{"filters": [{"name": "probe", "coeffs": [70, 66, 17, 9]}]}"#;
     let baseline = probe_with_retry(&options.addr, probe_body)
+        .map(|r| comparable(&r))
         .map_err(|e| format!("baseline probe failed (is the server up?): {e}"))?;
 
     let mut report = ChaosReport {
@@ -175,15 +205,34 @@ pub fn run_chaos(options: &ChaosOptions) -> Result<ChaosReport, String> {
         // designed, not a finding — honor it briefly and retry.
         if i % 5 == 4 {
             report.probes += 1;
+            let probe_start = Instant::now();
             match probe_with_retry(&options.addr, probe_body) {
-                Ok(response) if response == baseline => {}
-                Ok(_) => report.mismatches += 1,
+                Ok(response) => {
+                    // Latency of the whole exchange, retries included —
+                    // what a well-behaved client experienced under the
+                    // storm. Failed probes are counted, not timed.
+                    report.probe_ms.record(ms(probe_start.elapsed()));
+                    if comparable(&response) != baseline {
+                        report.mismatches += 1;
+                    }
+                }
                 Err(_) => report.probe_errors += 1,
             }
         }
     }
     report.healthy = matches!(health(&options.addr), Ok(200));
     Ok(report)
+}
+
+/// A response with its `X-Request-Id` header dropped: the ID is unique
+/// per request by design, so the byte-exactness invariant applies to
+/// everything else — status line, remaining headers, body.
+fn comparable(response: &str) -> String {
+    response
+        .split("\r\n")
+        .filter(|line| !line.to_ascii_lowercase().starts_with("x-request-id:"))
+        .collect::<Vec<_>>()
+        .join("\r\n")
 }
 
 fn connect(addr: &str) -> Result<TcpStream, String> {
@@ -315,11 +364,23 @@ mod tests {
             mismatches: 0,
             probe_errors: 0,
             healthy: true,
+            probe_ms: Histogram::new(),
         };
+        report.probe_ms.record(4.0);
+        report.probe_ms.record(12.0);
         assert!(report.passed());
         let json = report.render_json();
         assert!(json.contains("\"garbage\":3"), "{json}");
         assert!(json.contains("\"passed\":true"), "{json}");
+        assert!(
+            json.contains("\"probe_latency_ms\":{\"count\":2,\"p50\":"),
+            "{json}"
+        );
+        assert!(
+            report.render_pretty().contains("probe latency ms: p50"),
+            "{}",
+            report.render_pretty()
+        );
         report.mismatches = 1;
         assert!(!report.passed());
         report.mismatches = 0;

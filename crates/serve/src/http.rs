@@ -188,14 +188,6 @@ pub(crate) fn respond(
     stream.flush()
 }
 
-/// Writes the JSON error response for a request that could not be read.
-pub(crate) fn respond_read_error(
-    stream: &mut impl Write,
-    error: &HttpError,
-) -> std::io::Result<()> {
-    respond(stream, error.status, &[], &error_body(&error.message))
-}
-
 /// `{"error":"…"}` with proper escaping.
 pub(crate) fn error_body(message: &str) -> String {
     format!("{{\"error\":\"{}\"}}\n", json_escape(message))

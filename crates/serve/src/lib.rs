@@ -13,7 +13,16 @@
 //! | `/synth` | POST | one coefficient vector through the supervised driver |
 //! | `/batch` | POST | a spec document through the batch engine |
 //! | `/healthz` | GET | liveness + queue occupancy |
-//! | `/metricsz` | GET | server counters, cache stats, `mrp-obs` registry |
+//! | `/metricsz` | GET | server counters, latency quantiles, cache stats, `mrp-obs` registry |
+//! | `/statusz` | GET | last-N request records + live quantile table |
+//!
+//! Every response — including `503` refusals and read-error replies —
+//! carries an `X-Request-Id` header from a deterministic per-server
+//! counter. Completed requests record per-phase timings (admission,
+//! read, pool queue wait, synthesis, coalesce wait, response write)
+//! into `mrp-obs` log-bucketed histograms; `mrpf load` (the [`load`]
+//! module) drives an open-loop request mix against a live server and
+//! writes the `BENCH_serve.json` latency/throughput trajectory.
 //!
 //! # Invariants
 //!
@@ -24,7 +33,7 @@
 //!   a crash.
 //! * **Backpressure** — at most `queue` requests are in flight; beyond
 //!   that, connections get an immediate `503` whose `Retry-After` is
-//!   derived from queue depth and observed request latency.
+//!   derived from queue depth and the observed p90 request latency.
 //! * **Coalescing** — identical concurrent POSTs synthesize once; the
 //!   followers receive the leader's bytes (`serve.coalesced` counts
 //!   them).
@@ -56,10 +65,13 @@
 pub mod chaos;
 mod coalesce;
 mod http;
+pub mod load;
 mod routes;
 mod server;
 pub mod signal;
+mod trace;
 
 pub use chaos::{run_chaos, ChaosOptions, ChaosReport};
+pub use load::{run_load, LoadOptions, LoadReport, RouteStats};
 pub use server::{ServeHandle, ServeOptions, ServeSummary, Server};
 pub use signal::{clear_interrupt, install_interrupt_handler, interrupted};

@@ -1,0 +1,500 @@
+//! `mrpf load` — an in-tree, std-only, open-loop load generator for a
+//! live `mrpf serve`.
+//!
+//! # Open loop, not closed loop
+//!
+//! A closed-loop client (send, wait, send again) suffers *coordinated
+//! omission*: when the server stalls, the client stops sending, so the
+//! stall is sampled once instead of once per request that would have
+//! arrived. This generator is open-loop: request `i` of a run at `rate`
+//! requests/second is *scheduled* at `t_i = i / rate` from the start of
+//! the run, the dispatcher sleeps until each scheduled instant and fires
+//! the request on its own thread, and **latency is measured from the
+//! scheduled send time**, not the actual one. A server stall therefore
+//! penalizes every request scheduled during it — the tail the user
+//! would have seen, not the tail the client happened to sample.
+//!
+//! The request mix (`/synth` vs `/batch`, and which coefficient set)
+//! is drawn up front from a seeded generator, so a run is reproducible
+//! per seed. Latencies land in the same `mrp-obs` log-bucketed
+//! [`Histogram`]s the server uses, and the report renders the
+//! `BENCH_serve.json` document CI gates on: throughput, p50/p90/p99/
+//! p999 per route, 503/error counts, and the `jobs` axis.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mrp_obs::Histogram;
+use mrp_ptest::Rng;
+
+use crate::trace::{jnum, ms};
+
+/// How long one load request may take end-to-end before counting as an
+/// error.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Hard cap on scheduled requests per run — a sanity bound on thread
+/// count, far above smoke scale.
+const MAX_REQUESTS: u64 = 100_000;
+
+/// The rotation of `/synth` coefficient sets. Several distinct vectors
+/// so the server's memo cache sees both hits and misses.
+const SYNTH_BODIES: [&str; 4] = [
+    r#"{"coeffs": [70, 66, 17, 9]}"#,
+    r#"{"coeffs": [7, 9, 45]}"#,
+    r#"{"coeffs": [23, 45, 77]}"#,
+    r#"{"coeffs": [70, 66, 17, 9, 27, 41, 56, 11]}"#,
+];
+
+/// The `/batch` spec every batch request posts.
+const BATCH_BODY: &str = r#"{"filters": [{"name": "a", "coeffs": [70, 66, 17, 9]}, {"name": "b", "coeffs": [23, 45, 77]}]}"#;
+
+/// Configuration for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Target arrival rate, requests per second.
+    pub rate: f64,
+    /// Run length in milliseconds.
+    pub duration_ms: u64,
+    /// Percentage of requests that hit `/synth` (the rest hit
+    /// `/batch`), `0..=100`.
+    pub synth_pct: u32,
+    /// Seed for the request mix (same seed → same schedule).
+    pub seed: u64,
+    /// The server's `--jobs` setting, recorded as the report's jobs
+    /// axis (informational — the client cannot observe it).
+    pub jobs: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            rate: 20.0,
+            duration_ms: 2_000,
+            synth_pct: 70,
+            seed: 1,
+            jobs: 2,
+        }
+    }
+}
+
+/// Per-route outcome counts and the latency histogram.
+#[derive(Debug, Clone, Default)]
+pub struct RouteStats {
+    /// Requests scheduled for this route.
+    pub requests: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 503 responses (backpressure working, not an error).
+    pub rejected: u64,
+    /// Transport failures and non-2xx/non-503 statuses.
+    pub errors: u64,
+    /// Scheduled-send-to-response latency, milliseconds.
+    pub latency: Histogram,
+}
+
+impl RouteStats {
+    fn record(&mut self, outcome: &Outcome) {
+        self.requests += 1;
+        match outcome.status {
+            Some(s) if (200..300).contains(&s) => self.ok += 1,
+            Some(503) => self.rejected += 1,
+            _ => self.errors += 1,
+        }
+        self.latency.record(outcome.latency_ms);
+    }
+
+    fn render_json(&self) -> String {
+        let q = self.latency.quantiles();
+        format!(
+            "{{\"requests\":{},\"ok\":{},\"rejected\":{},\"errors\":{},\
+             \"latency_ms\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}}}",
+            self.requests,
+            self.ok,
+            self.rejected,
+            self.errors,
+            self.latency.count(),
+            jnum(self.latency.min()),
+            jnum(self.latency.max()),
+            jnum(self.latency.mean()),
+            jnum(q.p50),
+            jnum(q.p90),
+            jnum(q.p99),
+            jnum(q.p999),
+        )
+    }
+}
+
+/// What a load run observed — rendered as `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The target arrival rate the schedule was built from.
+    pub rate_rps: f64,
+    /// The configured run length.
+    pub duration_ms: u64,
+    /// The server's jobs axis, as passed in [`LoadOptions`].
+    pub jobs: usize,
+    /// Requests scheduled (= sent; the dispatcher never skips).
+    pub sent: u64,
+    /// Requests that received any response.
+    pub completed: u64,
+    /// Completed requests ÷ actual wall-clock of the run.
+    pub throughput_rps: f64,
+    /// Responses missing the `X-Request-Id` header (must be 0).
+    pub missing_request_id: u64,
+    /// `/synth` outcomes.
+    pub synth: RouteStats,
+    /// `/batch` outcomes.
+    pub batch: RouteStats,
+}
+
+impl LoadReport {
+    /// Total transport errors + unexpected statuses across routes.
+    pub fn errors(&self) -> u64 {
+        self.synth.errors + self.batch.errors
+    }
+
+    /// Total 503 refusals across routes.
+    pub fn rejected(&self) -> u64 {
+        self.synth.rejected + self.batch.rejected
+    }
+
+    /// True when the run is usable as a benchmark: something completed,
+    /// nothing errored, and every response carried its request ID.
+    pub fn passed(&self) -> bool {
+        self.completed > 0 && self.errors() == 0 && self.missing_request_id == 0
+    }
+
+    /// The `BENCH_serve.json` document.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"serve\",\"jobs\":{},\"rate_rps\":{},\"duration_ms\":{},\
+             \"sent\":{},\"completed\":{},\"throughput_rps\":{},\"rejected\":{},\
+             \"errors\":{},\"missing_request_id\":{},\"passed\":{},\
+             \"routes\":{{\"synth\":{},\"batch\":{}}}}}\n",
+            self.jobs,
+            jnum(self.rate_rps),
+            self.duration_ms,
+            self.sent,
+            self.completed,
+            jnum(self.throughput_rps),
+            self.rejected(),
+            self.errors(),
+            self.missing_request_id,
+            self.passed(),
+            self.synth.render_json(),
+            self.batch.render_json(),
+        )
+    }
+
+    /// Human-readable report mirroring [`LoadReport::render_json`].
+    pub fn render_pretty(&self) -> String {
+        let mut out = format!(
+            "load: {} request(s) at {:.1} rps over {} ms (jobs {}) — \
+             {} completed, {:.1} rps achieved\n",
+            self.sent,
+            self.rate_rps,
+            self.duration_ms,
+            self.jobs,
+            self.completed,
+            self.throughput_rps
+        );
+        for (name, stats) in [("synth", &self.synth), ("batch", &self.batch)] {
+            if stats.requests == 0 {
+                continue;
+            }
+            let q = stats.latency.quantiles();
+            out.push_str(&format!(
+                "  {name:<6} {:>5} req  ok {:<5} 503 {:<4} err {:<4} \
+                 p50 {:.2}ms  p90 {:.2}ms  p99 {:.2}ms  p999 {:.2}ms\n",
+                stats.requests, stats.ok, stats.rejected, stats.errors, q.p50, q.p90, q.p99, q.p999
+            ));
+        }
+        out.push_str(&format!(
+            "  missing X-Request-Id: {}\nverdict: {}\n",
+            self.missing_request_id,
+            if self.passed() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+/// One scheduled request, decided up front so the mix is reproducible.
+#[derive(Debug, Clone, Copy)]
+struct Planned {
+    /// Offset of the scheduled send instant from the run start.
+    at: Duration,
+    /// `/synth` (with a body index) or `/batch`.
+    synth_body: Option<usize>,
+}
+
+/// One finished request, reported back to the aggregator.
+struct Outcome {
+    synth: bool,
+    /// `None` on transport failure.
+    status: Option<u16>,
+    had_request_id: bool,
+    /// Measured from the *scheduled* send time.
+    latency_ms: f64,
+}
+
+/// Runs the open-loop schedule against a live server.
+///
+/// # Errors
+///
+/// Fails if the options are out of range or the server does not answer
+/// a pre-run health probe — a dead server is a setup error, not a
+/// finding.
+pub fn run_load(options: &LoadOptions) -> Result<LoadReport, String> {
+    if !options.rate.is_finite() || options.rate <= 0.0 {
+        return Err(format!("rate must be positive, got {}", options.rate));
+    }
+    if options.duration_ms == 0 {
+        return Err("duration must be nonzero".to_string());
+    }
+    if options.synth_pct > 100 {
+        return Err(format!(
+            "synth-pct must be 0..=100, got {}",
+            options.synth_pct
+        ));
+    }
+    let total = ((options.rate * options.duration_ms as f64 / 1000.0).ceil() as u64).max(1);
+    if total > MAX_REQUESTS {
+        return Err(format!(
+            "rate × duration schedules {total} requests (cap {MAX_REQUESTS})"
+        ));
+    }
+    health_probe(&options.addr)?;
+
+    // Draw the whole schedule before the clock starts.
+    let mut rng = Rng::new(options.seed);
+    let plan: Vec<Planned> = (0..total)
+        .map(|i| Planned {
+            at: Duration::from_secs_f64(i as f64 / options.rate),
+            synth_body: (rng.u32_in(0, 100) < options.synth_pct)
+                .then(|| rng.usize_in(0, SYNTH_BODIES.len())),
+        })
+        .collect();
+
+    let (tx, rx) = mpsc::channel::<Outcome>();
+    let start = Instant::now();
+    let mut workers = Vec::with_capacity(plan.len());
+    for planned in &plan {
+        // Open loop: sleep to the *scheduled* instant; if the previous
+        // dispatch overran, fire immediately — never skip, never
+        // re-time. Latency is charged from the scheduled instant either
+        // way, so dispatch lag counts against the measurement instead
+        // of hiding in it.
+        let planned = *planned;
+        if let Some(wait) = planned.at.checked_sub(start.elapsed()) {
+            thread::sleep(wait);
+        }
+        let addr = options.addr.clone();
+        let tx = tx.clone();
+        let scheduled = start + planned.at;
+        workers.push(thread::spawn(move || {
+            let (path, body) = match planned.synth_body {
+                Some(i) => ("/synth", SYNTH_BODIES[i]),
+                None => ("/batch", BATCH_BODY),
+            };
+            let exchanged = exchange(&addr, path, body);
+            let latency_ms = ms(scheduled.elapsed());
+            let outcome = match exchanged {
+                Ok((status, had_request_id)) => Outcome {
+                    synth: planned.synth_body.is_some(),
+                    status: Some(status),
+                    had_request_id,
+                    latency_ms,
+                },
+                Err(_) => Outcome {
+                    synth: planned.synth_body.is_some(),
+                    status: None,
+                    had_request_id: false,
+                    latency_ms,
+                },
+            };
+            let _ = tx.send(outcome);
+        }));
+    }
+    drop(tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let elapsed = start.elapsed();
+
+    let mut report = LoadReport {
+        rate_rps: options.rate,
+        duration_ms: options.duration_ms,
+        jobs: options.jobs,
+        sent: total,
+        completed: 0,
+        throughput_rps: 0.0,
+        missing_request_id: 0,
+        synth: RouteStats::default(),
+        batch: RouteStats::default(),
+    };
+    for outcome in rx {
+        if outcome.status.is_some() {
+            report.completed += 1;
+            if !outcome.had_request_id {
+                report.missing_request_id += 1;
+            }
+        }
+        if outcome.synth {
+            report.synth.record(&outcome);
+        } else {
+            report.batch.record(&outcome);
+        }
+    }
+    report.throughput_rps = report.completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(report)
+}
+
+/// `GET /healthz` must answer before the run starts.
+fn health_probe(addr: &str) -> Result<(), String> {
+    let (status, _) = exchange(addr, "/healthz", "")
+        .map_err(|e| format!("pre-run health probe failed (is the server up?): {e}"))?;
+    if status != 200 {
+        return Err(format!("pre-run health probe answered {status}"));
+    }
+    Ok(())
+}
+
+/// One HTTP exchange; returns `(status, response had X-Request-Id)`.
+fn exchange(addr: &str, path: &str, body: &str) -> Result<(u16, bool), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(CLIENT_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(CLIENT_TIMEOUT)))
+        .map_err(|e| format!("socket options: {e}"))?;
+    let mut stream = stream;
+    let raw = if body.is_empty() {
+        format!("GET {path} HTTP/1.1\r\nHost: load\r\n\r\n")
+    } else {
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: load\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    stream
+        .write_all(raw.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line in {:?}", response.lines().next()))?;
+    let had_request_id = response
+        .lines()
+        .take_while(|l| !l.is_empty())
+        .any(|l| l.to_ascii_lowercase().starts_with("x-request-id:"));
+    Ok((status, had_request_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(synth: bool, status: Option<u16>, latency_ms: f64) -> Outcome {
+        Outcome {
+            synth,
+            status,
+            had_request_id: true,
+            latency_ms,
+        }
+    }
+
+    #[test]
+    fn route_stats_classify_statuses() {
+        let mut stats = RouteStats::default();
+        stats.record(&outcome(true, Some(200), 5.0));
+        stats.record(&outcome(true, Some(503), 1.0));
+        stats.record(&outcome(true, Some(422), 2.0));
+        stats.record(&outcome(true, None, 30_000.0));
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.latency.count(), 4);
+    }
+
+    #[test]
+    fn report_json_has_the_bench_shape() {
+        let mut report = LoadReport {
+            rate_rps: 10.0,
+            duration_ms: 1000,
+            jobs: 2,
+            sent: 10,
+            completed: 10,
+            throughput_rps: 9.5,
+            missing_request_id: 0,
+            synth: RouteStats::default(),
+            batch: RouteStats::default(),
+        };
+        for i in 0..7 {
+            report
+                .synth
+                .record(&outcome(true, Some(200), 2.0 + i as f64));
+        }
+        for i in 0..3 {
+            report
+                .batch
+                .record(&outcome(false, Some(200), 8.0 + i as f64));
+        }
+        assert!(report.passed());
+        let json = report.render_json();
+        for needle in [
+            "\"bench\":\"serve\"",
+            "\"jobs\":2",
+            "\"rate_rps\":10",
+            "\"throughput_rps\":9.5",
+            "\"routes\":{\"synth\":{\"requests\":7",
+            "\"batch\":{\"requests\":3",
+            "\"p999\":",
+            "\"passed\":true",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let pretty = report.render_pretty();
+        assert!(pretty.contains("verdict: PASS"), "{pretty}");
+        report.synth.errors += 1;
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn run_load_rejects_bad_options() {
+        let bad_rate = LoadOptions {
+            rate: 0.0,
+            ..LoadOptions::default()
+        };
+        assert!(run_load(&bad_rate).unwrap_err().contains("rate"));
+        let bad_pct = LoadOptions {
+            synth_pct: 101,
+            ..LoadOptions::default()
+        };
+        assert!(run_load(&bad_pct).unwrap_err().contains("synth-pct"));
+        let too_many = LoadOptions {
+            rate: 1e6,
+            duration_ms: 600_000,
+            ..LoadOptions::default()
+        };
+        assert!(run_load(&too_many).unwrap_err().contains("cap"));
+        // A dead server is a setup error.
+        let dead = LoadOptions {
+            addr: "127.0.0.1:1".to_string(),
+            ..LoadOptions::default()
+        };
+        assert!(run_load(&dead).unwrap_err().contains("health probe"));
+    }
+}

@@ -1,8 +1,12 @@
-//! Request routing: four endpoints over the batch engine.
+//! Request routing: five endpoints over the batch engine.
 //!
 //! * `GET /healthz` — liveness plus queue occupancy.
-//! * `GET /metricsz` — server counters, memo-cache stats, and the full
-//!   `mrp-obs` registry snapshot, exported on demand.
+//! * `GET /metricsz` — server counters, live latency quantiles,
+//!   memo-cache stats, and the full `mrp-obs` registry snapshot,
+//!   exported on demand.
+//! * `GET /statusz` — the last-N completed requests (ID, route, status,
+//!   per-phase timings) plus the live quantile table: total latency,
+//!   per-route, per-phase.
 //! * `POST /synth` — one coefficient vector through the supervised
 //!   driver, under the request's deadline.
 //! * `POST /batch` — a whole spec document through [`run_batch_on`] on
@@ -12,6 +16,7 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use mrp_batch::{
     parse_json, parse_specs, run_batch_on, BatchOptions, JsonValue, SynthCache, ThreadPool,
@@ -21,6 +26,7 @@ use mrp_store::PersistentStore;
 
 use crate::http::{error_body, Request};
 use crate::server::{ServeOptions, ServeState};
+use crate::trace::{ms, PhaseCell};
 
 /// Everything one request handler needs.
 pub(crate) struct RouteContext<'a> {
@@ -33,6 +39,8 @@ pub(crate) struct RouteContext<'a> {
     pub options: &'a ServeOptions,
     /// Started at request admission, so queue wait counts against it.
     pub deadline: Deadline,
+    /// Pool-side phase timings flow back to the handler through here.
+    pub phases: &'a PhaseCell,
 }
 
 /// `(overall status, store mode)` for `/healthz` and `/metricsz`.
@@ -49,9 +57,10 @@ pub(crate) fn route(request: &Request, ctx: &RouteContext<'_>) -> (u16, String) 
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, health_body(ctx)),
         ("GET", "/metricsz") => (200, metrics_body(ctx)),
+        ("GET", "/statusz") => (200, status_body(ctx)),
         ("POST", "/synth") => synth(request, ctx),
         ("POST", "/batch") => batch(request, ctx),
-        (_, "/healthz" | "/metricsz" | "/synth" | "/batch") => (
+        (_, "/healthz" | "/metricsz" | "/statusz" | "/synth" | "/batch") => (
             405,
             error_body(&format!(
                 "method {} not allowed for {}",
@@ -81,19 +90,41 @@ fn health_body(ctx: &RouteContext<'_>) -> String {
 fn metrics_body(ctx: &RouteContext<'_>) -> String {
     let cache = ctx.memo.stats();
     let (_, store) = store_health(ctx);
+    // `latency` comes from the server's own telemetry, not the global
+    // obs registry, so it is live even when the collector is off — and
+    // both sides see the same samples through the same histogram, so
+    // `/metricsz` and `/statusz` always agree.
     format!(
         "{{\"server\":{{\"inflight\":{},\"queue\":{},\"served\":{},\"rejected\":{},\
-         \"coalesced\":{},\"store\":\"{store}\",\
+         \"coalesced\":{},\"store\":\"{store}\",\"latency_ms\":{},\
          \"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}}},\"metrics\":{}}}\n",
         ctx.state.inflight.load(Ordering::SeqCst),
         ctx.state.queue,
         ctx.state.served.load(Ordering::SeqCst),
         ctx.state.rejected.load(Ordering::SeqCst),
         ctx.state.coalesced.load(Ordering::SeqCst),
+        ctx.state.telemetry.latency_json(),
         cache.entries,
         cache.hits,
         cache.misses,
         mrp_obs::export_metrics_json(),
+    )
+}
+
+/// The `/statusz` body: request counters, the live quantile table
+/// (total, per-route, per-phase), and the recent-request ring.
+fn status_body(ctx: &RouteContext<'_>) -> String {
+    format!(
+        "{{\"requests\":{{\"inflight\":{},\"queue\":{},\"served\":{},\"rejected\":{},\
+         \"coalesced\":{},\"next_id\":{}}},\"quantiles\":{},\"recent\":{}}}\n",
+        ctx.state.inflight.load(Ordering::SeqCst),
+        ctx.state.queue,
+        ctx.state.served.load(Ordering::SeqCst),
+        ctx.state.rejected.load(Ordering::SeqCst),
+        ctx.state.coalesced.load(Ordering::SeqCst),
+        ctx.state.next_request_id.load(Ordering::SeqCst),
+        ctx.state.telemetry.quantile_table_json(),
+        ctx.state.telemetry.recent_json(),
     )
 }
 
@@ -104,16 +135,30 @@ fn synth(request: &Request, ctx: &RouteContext<'_>) -> (u16, String) {
     };
     // Handlers run on per-connection threads; the compute goes through
     // the shared pool so synthesis concurrency stays bounded by `jobs`.
+    // The closure measures its own queue wait (submission to start on a
+    // worker) and rung time, and hands them back with the outcome.
     let config = ctx.options.synth.clone();
     let deadline = ctx.deadline;
+    let submitted = Instant::now();
     let outcome = ctx
         .pool
-        .run_indexed(vec![move || synthesize_under(&coeffs, &config, deadline)])
+        .run_indexed(vec![move || {
+            let queued = submitted.elapsed();
+            let compute_start = Instant::now();
+            let result = synthesize_under(&coeffs, &config, deadline);
+            (queued, compute_start.elapsed(), result)
+        }])
         .pop()
         .flatten();
     match outcome {
-        Some(Ok(outcome)) => (200, format!("{}\n", outcome.render_json())),
-        Some(Err(error)) => (422, error_body(&format!("synthesis failed: {error}"))),
+        Some((queued, compute, result)) => {
+            ctx.phases.queue_ms.set(ms(queued));
+            ctx.phases.synth_ms.set(ms(compute));
+            match result {
+                Ok(outcome) => (200, format!("{}\n", outcome.render_json())),
+                Err(error) => (422, error_body(&format!("synthesis failed: {error}"))),
+            }
+        }
         None => (500, error_body("synthesis job panicked")),
     }
 }
@@ -128,7 +173,11 @@ fn batch(request: &Request, ctx: &RouteContext<'_>) -> (u16, String) {
         racing: ctx.options.racing,
         synth: ctx.options.synth.clone(),
     };
+    // The whole sharded run counts as the synthesis phase; per-shard
+    // queue waits are internal to the pool.
+    let compute_start = Instant::now();
     let report = run_batch_on(&specs, &options, ctx.pool, ctx.memo);
+    ctx.phases.synth_ms.set(ms(compute_start.elapsed()));
     (200, report.render_json())
 }
 

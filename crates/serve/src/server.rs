@@ -37,6 +37,7 @@ use crate::coalesce::{Claim, Coalescer};
 use crate::http;
 use crate::routes::{self, RouteContext};
 use crate::signal;
+use crate::trace::{ms, PhaseCell, PhaseTimings, RequestRecord, Telemetry};
 
 /// How long a connection may sit idle in a read or write before the
 /// handler gives up on it.
@@ -86,11 +87,13 @@ pub(crate) struct ServeState {
     pub served: AtomicU64,
     pub rejected: AtomicU64,
     pub coalesced: AtomicU64,
-    /// Sum and count of completed-request latencies, feeding the
-    /// queue-depth-derived `Retry-After`.
-    pub latency_ms_sum: AtomicU64,
-    pub latency_count: AtomicU64,
+    /// Deterministic request-ID counter; every connection — admitted or
+    /// refused — takes the next ID and echoes it as `X-Request-Id`.
+    pub next_request_id: AtomicU64,
     pub queue: usize,
+    /// Latency and phase histograms plus the `/statusz` ring; also the
+    /// p90 signal behind `Retry-After`.
+    pub telemetry: Telemetry,
 }
 
 /// A clonable remote control for a running [`Server`]: request shutdown
@@ -128,7 +131,7 @@ impl ServeHandle {
 }
 
 /// What a serve run did, reported after the graceful drain.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeSummary {
     /// Requests answered.
     pub served: u64,
@@ -146,6 +149,10 @@ pub struct ServeSummary {
     /// Whether the persistent tier was lost and the server finished in
     /// memory-only mode (always `false` without `store_dir`).
     pub store_degraded: bool,
+    /// Latency quantiles (milliseconds, admission to response flushed)
+    /// over every completed request — the same numbers `/statusz` and
+    /// `/metricsz` served live, all zero when nothing completed.
+    pub latency: mrp_obs::Quantiles,
 }
 
 /// A bound but not-yet-running synthesis service.
@@ -197,9 +204,9 @@ impl Server {
                 served: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 coalesced: AtomicU64::new(0),
-                latency_ms_sum: AtomicU64::new(0),
-                latency_count: AtomicU64::new(0),
+                next_request_id: AtomicU64::new(0),
                 queue: options.queue.max(1),
+                telemetry: Telemetry::new(),
             }),
             options,
         })
@@ -245,6 +252,7 @@ impl Server {
         }
         self.pool.join();
         let cache = self.memo.stats();
+        let (_, latency) = self.state.telemetry.latency_quantiles();
         ServeSummary {
             served: self.state.served.load(Ordering::SeqCst),
             rejected: self.state.rejected.load(Ordering::SeqCst),
@@ -253,6 +261,7 @@ impl Server {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             store_degraded: self.store.as_ref().is_some_and(|s| s.degraded()),
+            latency,
         }
     }
 
@@ -263,6 +272,9 @@ impl Server {
         let _ = stream.set_nonblocking(false);
         let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let accepted_at = Instant::now();
+        // Refusals take an ID too: EVERY response carries X-Request-Id.
+        let request_id = self.state.next_request_id.fetch_add(1, Ordering::SeqCst) + 1;
         let admitted = self
             .state
             .inflight
@@ -278,7 +290,7 @@ impl Server {
             // saturated is exactly why we're refusing — and must not
             // block the acceptor on a slow client, so it gets a short
             // detached thread.
-            thread::spawn(move || reply_busy(stream, retry_after));
+            thread::spawn(move || reply_busy(stream, retry_after, request_id));
             return;
         }
         mrp_obs::gauge_set(
@@ -308,6 +320,8 @@ impl Server {
                     &coalescer,
                     &options,
                     deadline,
+                    request_id,
+                    accepted_at,
                 );
                 state.served.fetch_add(1, Ordering::SeqCst);
             });
@@ -323,17 +337,19 @@ impl Server {
 }
 
 /// The `Retry-After` a refused client should honor: how long the
-/// current backlog will take to clear at the observed per-request
-/// latency, spread over the worker count. Before any request has
-/// completed there is no latency signal and the hint is the minimum.
+/// current backlog will take to clear at the observed p90 request
+/// latency, spread over the worker count. p90, not the mean: a single
+/// pathological outlier inflates a mean indefinitely, while p90 tracks
+/// what a near-worst-case queued request actually costs. Before any
+/// request has completed there is no latency signal and the hint is the
+/// minimum.
 fn retry_after_secs(state: &ServeState, jobs: usize) -> u64 {
-    let completed = state.latency_count.load(Ordering::SeqCst);
-    if completed == 0 {
+    let Some(p90_ms) = state.telemetry.p90_ms() else {
         return 1;
-    }
-    let avg_ms = state.latency_ms_sum.load(Ordering::SeqCst) / completed;
-    let backlog = state.inflight.load(Ordering::SeqCst) as u64;
-    (backlog * avg_ms).div_ceil(jobs as u64 * 1000).clamp(1, 60)
+    };
+    let backlog = state.inflight.load(Ordering::SeqCst) as f64;
+    let secs = (backlog * p90_ms / (jobs as f64 * 1000.0)).ceil();
+    (secs as u64).clamp(1, 60)
 }
 
 /// Decrements `inflight` when the handler exits — including by panic, so
@@ -357,16 +373,45 @@ fn handle_connection(
     coalescer: &Arc<Coalescer>,
     options: &ServeOptions,
     deadline: Deadline,
+    request_id: u64,
+    accepted_at: Instant,
 ) {
-    let start = Instant::now();
+    let mut phases = PhaseTimings {
+        admission_ms: ms(accepted_at.elapsed()),
+        ..PhaseTimings::default()
+    };
+    let id_header = [("X-Request-Id", request_id.to_string())];
     mrp_obs::counter_add("serve.requests", 1);
+    let read_start = Instant::now();
     let request = match http::read_request(&mut stream) {
         Ok(request) => request,
         Err(error) => {
-            let _ = http::respond_read_error(&mut stream, &error);
+            phases.read_ms = ms(read_start.elapsed());
+            let write_start = Instant::now();
+            let _ = http::respond(
+                &mut stream,
+                error.status,
+                &id_header,
+                &http::error_body(&error.message),
+            );
+            phases.write_ms = ms(write_start.elapsed());
+            mrp_obs::counter_add(&format!("serve.status.{}", error.status), 1);
+            state.telemetry.record(RequestRecord {
+                id: request_id,
+                method: "-".to_string(),
+                path: "-".to_string(),
+                status: error.status,
+                coalesced: false,
+                total_ms: ms(accepted_at.elapsed()),
+                phases,
+            });
             return;
         }
     };
+    phases.read_ms = ms(read_start.elapsed());
+    // Queue wait and compute time inside the pool flow back through
+    // this cell (the route sets it from inside its pool closure).
+    let phase_cell = PhaseCell::default();
     let ctx = RouteContext {
         state,
         pool,
@@ -374,11 +419,13 @@ fn handle_connection(
         store,
         options,
         deadline,
+        phases: &phase_cell,
     };
     // Identical concurrent POSTs synthesize once: the response is a
     // deterministic function of (path, body) under a fixed server
     // configuration, so followers may reuse the leader's bytes. GETs
     // are cheap and report live state, so they always compute.
+    let mut coalesced = false;
     let (status, body) = if request.method == "POST" {
         let key = format!("{}\n{}", request.path, request.body);
         match coalescer.claim(key) {
@@ -388,13 +435,17 @@ fn handle_connection(
                 (status, body)
             }
             Claim::Follower(ticket) => {
+                coalesced = true;
                 state.coalesced.fetch_add(1, Ordering::SeqCst);
                 mrp_obs::counter_add("serve.coalesced", 1);
                 // The leader is bounded by its own deadline; wait that
                 // long plus slack before giving up.
                 let timeout = deadline.remaining().unwrap_or(Duration::from_secs(60))
                     + Duration::from_secs(2);
-                match ticket.wait(timeout) {
+                let wait_start = Instant::now();
+                let reply = ticket.wait(timeout);
+                phases.coalesce_ms = ms(wait_start.elapsed());
+                match reply {
                     Some((status, body)) => (status, body),
                     None => (
                         503,
@@ -406,22 +457,34 @@ fn handle_connection(
     } else {
         routes::route(&request, &ctx)
     };
-    let _ = http::respond(&mut stream, status, &[], &body);
-    let elapsed_ms = start.elapsed().as_millis() as u64;
-    state.latency_ms_sum.fetch_add(elapsed_ms, Ordering::SeqCst);
-    state.latency_count.fetch_add(1, Ordering::SeqCst);
+    phases.queue_ms = phase_cell.queue_ms.get();
+    phases.synth_ms = phase_cell.synth_ms.get();
+    let write_start = Instant::now();
+    let _ = http::respond(&mut stream, status, &id_header, &body);
+    phases.write_ms = ms(write_start.elapsed());
     mrp_obs::counter_add(&format!("serve.status.{status}"), 1);
-    mrp_obs::histogram_record("serve.request_ms", elapsed_ms as f64);
+    state.telemetry.record(RequestRecord {
+        id: request_id,
+        method: request.method,
+        path: request.path,
+        status,
+        coalesced,
+        total_ms: ms(accepted_at.elapsed()),
+        phases,
+    });
 }
 
-fn reply_busy(mut stream: TcpStream, retry_after: u64) {
+fn reply_busy(mut stream: TcpStream, retry_after: u64, request_id: u64) {
     // Drain the request first so the client does not see a reset while
     // still writing, then answer with a retry hint.
     let _ = http::read_request(&mut stream);
     let _ = http::respond(
         &mut stream,
         503,
-        &[("Retry-After", retry_after.to_string())],
+        &[
+            ("Retry-After", retry_after.to_string()),
+            ("X-Request-Id", request_id.to_string()),
+        ],
         &http::error_body("server busy: request queue is full"),
     );
 }
@@ -430,28 +493,45 @@ fn reply_busy(mut stream: TcpStream, retry_after: u64) {
 mod tests {
     use super::*;
 
-    fn state(inflight: usize, sum_ms: u64, count: u64) -> ServeState {
-        ServeState {
+    /// A state whose latency histogram has seen `latencies_ms`.
+    fn state(inflight: usize, latencies_ms: &[f64]) -> ServeState {
+        let state = ServeState {
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(inflight),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
-            latency_ms_sum: AtomicU64::new(sum_ms),
-            latency_count: AtomicU64::new(count),
+            next_request_id: AtomicU64::new(0),
             queue: 16,
+            telemetry: Telemetry::new(),
+        };
+        for (i, latency) in latencies_ms.iter().enumerate() {
+            state.telemetry.record(RequestRecord {
+                id: i as u64 + 1,
+                method: "POST".to_string(),
+                path: "/synth".to_string(),
+                status: 200,
+                coalesced: false,
+                total_ms: *latency,
+                phases: PhaseTimings::default(),
+            });
         }
+        state
     }
 
     #[test]
-    fn retry_after_scales_with_backlog_and_latency() {
+    fn retry_after_scales_with_backlog_and_p90_latency() {
         // No completions yet: minimum hint.
-        assert_eq!(retry_after_secs(&state(9, 0, 0), 2), 1);
-        // 8 in flight × 500ms avg ÷ 2 workers = 2s.
-        assert_eq!(retry_after_secs(&state(8, 5_000, 10), 2), 2);
+        assert_eq!(retry_after_secs(&state(9, &[]), 2), 1);
+        // p90 of a 9×500ms + 1×10s mix is 500ms (the sample sits exactly
+        // mid-bucket), where the old mean would have been ~1.45s: one
+        // outlier no longer inflates everyone's backoff.
+        // 8 in flight × 500ms p90 ÷ 2 workers = 2s.
+        let mixed: Vec<f64> = (0..9).map(|_| 500.0).chain([10_000.0]).collect();
+        assert_eq!(retry_after_secs(&state(8, &mixed), 2), 2);
         // Fast requests round up to the 1s floor.
-        assert_eq!(retry_after_secs(&state(3, 40, 10), 4), 1);
+        assert_eq!(retry_after_secs(&state(3, &[4.0; 10]), 4), 1);
         // A pathological backlog is capped at 60s.
-        assert_eq!(retry_after_secs(&state(1000, 900_000, 10), 1), 60);
+        assert_eq!(retry_after_secs(&state(1000, &[90_000.0; 10]), 1), 60);
     }
 }

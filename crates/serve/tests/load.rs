@@ -1,0 +1,69 @@
+//! End-to-end test of the open-loop load generator against a live
+//! server: the report must be well-formed, carry nonzero latency
+//! quantiles for every exercised route, and observe an `X-Request-Id`
+//! on every response.
+
+use std::thread;
+
+use mrp_serve::{run_load, LoadOptions, ServeOptions, Server};
+
+#[test]
+fn load_run_against_live_server_yields_valid_report() {
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        queue: 32,
+        ..ServeOptions::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+
+    let options = LoadOptions {
+        addr,
+        rate: 40.0,
+        duration_ms: 1500,
+        synth_pct: 70,
+        seed: 7,
+        jobs: 2,
+    };
+    let report = run_load(&options).expect("load run");
+    handle.shutdown();
+    let summary = join.join().expect("server thread panicked");
+
+    assert!(report.completed > 0, "{report:?}");
+    assert_eq!(report.sent, report.completed, "{report:?}");
+    assert!(report.throughput_rps > 0.0, "{report:?}");
+    assert_eq!(report.missing_request_id, 0, "{report:?}");
+    assert!(report.passed(), "{report:?}");
+
+    // Both routes were exercised (seed 7 at 70% over ~60 requests is
+    // statistically certain to draw both) and have real quantiles.
+    for (name, route) in [("synth", &report.synth), ("batch", &report.batch)] {
+        assert!(route.requests > 0, "{name} never exercised: {report:?}");
+        assert_eq!(route.ok, route.requests, "{name} had failures: {report:?}");
+        let q = route.latency.quantiles();
+        assert!(q.p50 > 0.0, "{name} p50 not positive: {q:?}");
+        assert!(q.p99 >= q.p50, "{name} quantiles not monotone: {q:?}");
+        assert!(q.p999 >= q.p99, "{name} quantiles not monotone: {q:?}");
+    }
+
+    // The JSON report round-trips the same numbers CI will gate on.
+    let json = report.render_json();
+    for key in [
+        "\"bench\":\"serve\"",
+        "\"jobs\":2",
+        "\"throughput_rps\":",
+        "\"missing_request_id\":0",
+        "\"passed\":true",
+        "\"synth\":{",
+        "\"batch\":{",
+        "\"p999\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    // The server saw every request the client completed.
+    assert!(summary.served >= report.completed, "{summary:?}");
+}
