@@ -27,15 +27,28 @@ ceilings and a throughput floor, generous enough for noisy CI runners:
 * errors and missing ``X-Request-Id`` counts stay at their bounds
   (normally zero), and the report says ``passed``.
 
+``bench == "sim"`` gates a fresh ``BENCH_sim.json`` (from ``bench_sim``)
+against the baseline's ``sim`` section:
+
+* ``speedup_compiled_vs_tree`` stays at or above
+  ``min_speedup_compiled_vs_tree`` (a floor well under the committed
+  number, to absorb CI-runner noise),
+* ``speedup_compiled_vs_vsim`` stays at or above
+  ``min_speedup_compiled_vs_vsim``, and
+* at least ``min_equivalence_checks`` bit-exactness cross-checks backed
+  the published rates.
+
 To accept an intentional quality change, refresh the summary metrics in
-the baseline in the same commit and say why; the ``serve`` section is
-hand-maintained ceilings, so carry it over rather than plain-``cp``-ing:
+the baseline in the same commit and say why; the ``serve`` and ``sim``
+sections are hand-maintained ceilings/floors, so carry them over rather
+than plain-``cp``-ing:
 
     python3 -c "
     import json
     with open('ci/bench_baseline.json') as f: old = json.load(f)
     with open('BENCH_summary.json') as f: new = json.load(f)
     new['serve'] = old['serve']
+    new['sim'] = old['sim']
     with open('ci/bench_baseline.json', 'w') as f: json.dump(new, f)
     "
 
@@ -119,6 +132,42 @@ def check_serve(fresh, baseline):
     return 0
 
 
+def check_sim(fresh, baseline):
+    """Gates a BENCH_sim.json against baseline["sim"] speedup floors."""
+    limits = baseline.get("sim")
+    if not limits:
+        print("baseline has no `sim` section — cannot gate a sim report")
+        return 1
+
+    failures = []
+    checked = 0
+
+    for field, floor_key in [
+        ("speedup_compiled_vs_tree", "min_speedup_compiled_vs_tree"),
+        ("speedup_compiled_vs_vsim", "min_speedup_compiled_vs_vsim"),
+        ("equivalence_checks", "min_equivalence_checks"),
+    ]:
+        floor = limits[floor_key]
+        value = fresh.get(field, 0)
+        checked += 1
+        status = "ok"
+        if not isinstance(value, (int, float)) or value < floor:
+            status = "REGRESSED"
+            failures.append(f"{field}: {value} (floor {floor})")
+        print(f"  {field:<28} {value:>12} (floor {floor}) {status}")
+
+    if checked == 0:
+        print("sim gate checked nothing — baseline or fresh report is malformed")
+        return 1
+    if failures:
+        print(f"\nSIM PERF GATE FAILED — {len(failures)} problem(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nsim perf gate passed: {checked} metric(s) above floors")
+    return 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
@@ -130,6 +179,8 @@ def main(argv):
 
     if fresh.get("bench") == "serve":
         return check_serve(fresh, baseline)
+    if fresh.get("bench") == "sim":
+        return check_sim(fresh, baseline)
 
     failures = []
     checked = 0

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Schema validation for ``BENCH_sim.json`` (the ``bench_sim`` report).
+
+Structural checks only — no performance judgment (that is
+``check_bench_regression.py``'s job). Fails (exit 1) when:
+
+* a required top-level key is missing or has the wrong type,
+* a throughput entry (``samples_per_sec`` scheme or ``compiled_by_lanes``
+  lane) is missing, non-numeric, or non-positive,
+* the lane axis is not exactly ``lanes_8/16/32/64``, or the headline
+  ``compiled`` rate is not the best lane rate,
+* a reported speedup disagrees with the rates it is derived from by more
+  than 1 % relative,
+* the report claims zero equivalence cross-checks — a rate published
+  without a bit-exactness check behind it is worthless.
+
+Usage: check_sim_schema.py <BENCH_sim.json>
+"""
+
+import json
+import sys
+
+TOP_LEVEL = {
+    "bench": str,
+    "filters": int,
+    "wordlength": int,
+    "tree_samples": int,
+    "vsim_samples": int,
+    "compiled_samples": int,
+    "program_insts_total": int,
+    "samples_per_sec": dict,
+    "compiled_by_lanes": dict,
+    "speedup_compiled_vs_tree": (int, float),
+    "speedup_compiled_vs_vsim": (int, float),
+    "equivalence_checks": int,
+    "elapsed_ms": int,
+}
+
+SCHEMES = ["tree_walk", "vsim", "compiled"]
+LANES = ["lanes_8", "lanes_16", "lanes_32", "lanes_64"]
+SPEEDUP_TOLERANCE = 0.01  # relative disagreement with the quoted rates
+
+
+def fail(message):
+    print(f"SCHEMA ERROR: {message}")
+    sys.exit(1)
+
+
+def positive(mapping, name, key):
+    value = mapping.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0.0:
+        fail(f"{name}.{key} is {value!r}, wanted a positive number")
+    return value
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        report = json.load(f)
+
+    for key, kind in TOP_LEVEL.items():
+        if key not in report:
+            fail(f"missing top-level key `{key}`")
+        if not isinstance(report[key], kind) or isinstance(report[key], bool):
+            fail(f"`{key}` is {type(report[key]).__name__}, wanted {kind}")
+    if report["bench"] != "sim":
+        fail(f"bench is {report['bench']!r}, wanted 'sim'")
+    for key in ("filters", "tree_samples", "vsim_samples", "compiled_samples",
+                "program_insts_total", "equivalence_checks"):
+        if report[key] <= 0:
+            fail(f"`{key}` is {report[key]}, wanted positive")
+
+    rates = report["samples_per_sec"]
+    if sorted(rates) != sorted(SCHEMES):
+        fail(f"samples_per_sec schemes are {sorted(rates)}, wanted {sorted(SCHEMES)}")
+    for scheme in SCHEMES:
+        positive(rates, "samples_per_sec", scheme)
+
+    lanes = report["compiled_by_lanes"]
+    if sorted(lanes) != sorted(LANES):
+        fail(f"compiled_by_lanes axis is {sorted(lanes)}, wanted {sorted(LANES)}")
+    best = max(positive(lanes, "compiled_by_lanes", lane) for lane in LANES)
+    if abs(rates["compiled"] - best) > SPEEDUP_TOLERANCE * best:
+        fail(
+            f"samples_per_sec.compiled {rates['compiled']:.0f} is not the best "
+            f"lane rate {best:.0f}"
+        )
+
+    for speedup_key, denom_key in [
+        ("speedup_compiled_vs_tree", "tree_walk"),
+        ("speedup_compiled_vs_vsim", "vsim"),
+    ]:
+        quoted = report[speedup_key]
+        derived = rates["compiled"] / rates[denom_key]
+        if quoted <= 0.0 or abs(quoted - derived) > SPEEDUP_TOLERANCE * derived:
+            fail(
+                f"{speedup_key} {quoted:.3f} disagrees with "
+                f"compiled/{denom_key} = {derived:.3f}"
+            )
+        print(f"  {speedup_key}: {quoted:.2f}x (consistent with quoted rates)")
+
+    print(
+        f"schema OK: {report['filters']} filters, "
+        f"{report['equivalence_checks']} equivalence check(s), "
+        f"compiled {rates['compiled']:.0f} samples/sec"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

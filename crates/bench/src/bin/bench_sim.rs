@@ -1,0 +1,209 @@
+//! Simulation throughput: tree-walk vs compiled linear IR vs emitted-RTL
+//! re-simulation, over the 12-filter paper suite at W=12 uniform.
+//!
+//! Three legs per filter, every leg cross-checked for bit equality on a
+//! shared prefix before its rate is reported (a fast-but-wrong simulator
+//! must never publish a number):
+//!
+//! * **tree-walk** — [`mrp_arch::FirFilter::filter`]: per-sample
+//!   structural evaluation of the adder network, the differential oracle.
+//! * **compiled** — [`mrp_exec::compile_fir`] + [`mrp_exec::Machine`]:
+//!   the linear-IR interpreter, swept over the lane-width axis.
+//! * **vsim** — the emitted Verilog re-parsed by `mrp-vsim` and evaluated
+//!   per sample with a software TDF fold, the slowest-but-closest-to-RTL
+//!   reference.
+//!
+//! Writes `BENCH_sim.json` (see `ci/check_sim_schema.py`); the sim-perf CI
+//! job gates `speedup_compiled_vs_tree` against `ci/bench_baseline.json`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use mrp_bench::{print_header, quantized_example, BenchReport};
+use mrp_core::{MrpConfig, MrpOptimizer};
+use mrp_numrep::Scaling;
+
+const WORDLENGTH: u32 = 12;
+const TREE_SAMPLES: usize = 50_000;
+const VSIM_SAMPLES: usize = 4_000;
+const COMPILED_SAMPLES: usize = 500_000;
+const LANES: [usize; 4] = [8, 16, 32, 64];
+/// Input amplitude: products stay within the 40-bit RTL datapath and far
+/// from the tree-walk's checked-overflow panics.
+const AMP: i64 = 1 << 10;
+
+fn main() {
+    let start = Instant::now();
+    print_header(
+        "sim — tree-walk vs compiled linear IR vs emitted-RTL simulation",
+        &format!(
+            "12 example filters at W={WORDLENGTH} uniform; {TREE_SAMPLES} tree / \
+             {VSIM_SAMPLES} vsim / {COMPILED_SAMPLES} compiled samples, lanes {LANES:?}"
+        ),
+    );
+
+    let config = MrpConfig::default();
+    let mut tree_elapsed = Duration::ZERO;
+    let mut tree_samples = 0u64;
+    let mut vsim_elapsed = Duration::ZERO;
+    let mut vsim_samples = 0u64;
+    let mut lane_elapsed = [Duration::ZERO; LANES.len()];
+    let mut lane_samples = [0u64; LANES.len()];
+    let mut checks = 0u64;
+    let mut insts_total = 0u64;
+
+    println!(
+        "{:<10} {:>5} {:>6} {:>14} {:>14} {:>14}",
+        "filter", "taps", "insts", "tree smp/s", "vsim smp/s", "compiled smp/s"
+    );
+    for ex in mrp_filters::example_filters() {
+        let coeffs = quantized_example(&ex, WORDLENGTH, Scaling::Uniform);
+        let graph = MrpOptimizer::new(config)
+            .optimize(&coeffs)
+            .unwrap_or_else(|e| panic!("example {} failed to optimize: {e}", ex.index))
+            .graph;
+        let filter = mrp_arch::FirFilter::new(graph);
+        let program = mrp_exec::compile_fir(&filter);
+        insts_total += program.insts.len() as u64;
+        let input = mrp_sim::signal::white_noise(COMPILED_SAMPLES, AMP, ex.index as u64);
+
+        // Tree-walk oracle leg.
+        let t = Instant::now();
+        let want = black_box(filter.filter(&input[..TREE_SAMPLES]));
+        let ex_tree = t.elapsed();
+        tree_elapsed += ex_tree;
+        tree_samples += TREE_SAMPLES as u64;
+
+        // Emitted-RTL leg: parse the generated Verilog back and evaluate
+        // it per sample, folding the tap products through a software TDF
+        // chain exactly like the tree-walk does.
+        let src = mrp_arch::emit_verilog(filter.block(), &format!("ex{}", ex.index), 40);
+        let module = mrp_vsim::Module::parse(&src)
+            .unwrap_or_else(|e| panic!("example {} emitted unparseable RTL: {e}", ex.index));
+        let taps = filter.tap_count();
+        let mut state = vec![0i64; taps + 1];
+        let mut vsim_out = Vec::with_capacity(VSIM_SAMPLES);
+        let t = Instant::now();
+        for &x in &input[..VSIM_SAMPLES] {
+            let products = module
+                .evaluate(x)
+                .unwrap_or_else(|e| panic!("example {} RTL evaluation failed: {e}", ex.index));
+            // Ascending k: slot k is overwritten before slot k+1 is read,
+            // so state[k+1] still holds the previous cycle's value.
+            for k in 0..taps {
+                state[k] = products[k] + state[k + 1];
+            }
+            vsim_out.push(state[0]);
+        }
+        let ex_vsim = t.elapsed();
+        vsim_elapsed += ex_vsim;
+        vsim_samples += VSIM_SAMPLES as u64;
+        assert_eq!(
+            vsim_out,
+            want[..VSIM_SAMPLES],
+            "example {}: emitted-RTL simulation diverged from the tree-walk",
+            ex.index
+        );
+        checks += 1;
+
+        // Compiled leg, across the lane axis.
+        let mut ex_best = 0.0f64;
+        for (li, &lanes) in LANES.iter().enumerate() {
+            let mut machine = mrp_exec::Machine::with_lanes(program.clone(), lanes);
+            let t = Instant::now();
+            let y = machine.run_single(black_box(&input));
+            let dt = t.elapsed();
+            lane_elapsed[li] += dt;
+            lane_samples[li] += COMPILED_SAMPLES as u64;
+            assert_eq!(
+                y[..TREE_SAMPLES],
+                want,
+                "example {}: compiled execution diverged from the tree-walk at {lanes} lanes",
+                ex.index
+            );
+            checks += 1;
+            ex_best = ex_best.max(rate(COMPILED_SAMPLES as u64, dt));
+            black_box(y);
+        }
+        println!(
+            "{:<10} {:>5} {:>6} {:>14.0} {:>14.0} {:>14.0}",
+            format!("ex{} {}", ex.index, ex.label()),
+            taps,
+            program.insts.len(),
+            rate(TREE_SAMPLES as u64, ex_tree),
+            rate(VSIM_SAMPLES as u64, ex_vsim),
+            ex_best,
+        );
+    }
+
+    let tree_rate = rate(tree_samples, tree_elapsed);
+    let vsim_rate = rate(vsim_samples, vsim_elapsed);
+    let lane_rates: Vec<f64> = LANES
+        .iter()
+        .enumerate()
+        .map(|(li, _)| rate(lane_samples[li], lane_elapsed[li]))
+        .collect();
+    let compiled_rate = lane_rates.iter().cloned().fold(0.0f64, f64::max);
+    let speedup_tree = compiled_rate / tree_rate.max(1e-9);
+    let speedup_vsim = compiled_rate / vsim_rate.max(1e-9);
+
+    println!("\nscheme        samples/sec      speedup vs tree-walk");
+    println!("tree-walk   {tree_rate:>13.0}      1.00x");
+    println!(
+        "vsim        {vsim_rate:>13.0}      {:.2}x",
+        vsim_rate / tree_rate.max(1e-9)
+    );
+    for (li, &lanes) in LANES.iter().enumerate() {
+        println!(
+            "compiled/{lanes:<2} {:>13.0}      {:.2}x",
+            lane_rates[li],
+            lane_rates[li] / tree_rate.max(1e-9)
+        );
+    }
+    println!("\ncompiled vs tree-walk: {speedup_tree:.1}x   compiled vs vsim: {speedup_vsim:.1}x");
+    println!("equivalence: {checks} cross-check(s), all bit-exact");
+
+    let mut report = BenchReport::new("sim");
+    report
+        .int("filters", 12)
+        .int("wordlength", u64::from(WORDLENGTH))
+        .int("tree_samples", tree_samples)
+        .int("vsim_samples", vsim_samples)
+        .int("compiled_samples", lane_samples.iter().sum())
+        .int("program_insts_total", insts_total)
+        .float_map(
+            "samples_per_sec",
+            &[
+                ("tree_walk", tree_rate),
+                ("vsim", vsim_rate),
+                ("compiled", compiled_rate),
+            ],
+        )
+        .float_map(
+            "compiled_by_lanes",
+            &LANES
+                .iter()
+                .enumerate()
+                .map(|(li, &lanes)| (lane_name(lanes), lane_rates[li]))
+                .collect::<Vec<_>>(),
+        )
+        .float("speedup_compiled_vs_tree", speedup_tree)
+        .float("speedup_compiled_vs_vsim", speedup_vsim)
+        .int("equivalence_checks", checks)
+        .int("elapsed_ms", start.elapsed().as_millis() as u64);
+    report.write_and_announce();
+}
+
+fn rate(samples: u64, elapsed: Duration) -> f64 {
+    samples as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn lane_name(lanes: usize) -> &'static str {
+    match lanes {
+        8 => "lanes_8",
+        16 => "lanes_16",
+        32 => "lanes_32",
+        64 => "lanes_64",
+        _ => unreachable!("LANES axis is fixed"),
+    }
+}

@@ -60,6 +60,16 @@ USAGE:
                  depth, fanout, widths, critical path, cones, dominators;
                  --pipeline-depth pipelines + retimes and reports the
                  delta; --dot prints Graphviz with the chosen overlay)
+  mrpf sim      C0,C1,...  [--samples N] [--compiled] [--lanes N]
+                [--pipeline-depth N] [--noise-seed N] [--amp A] [--json]
+                [--repr ...] [--beta B] [--depth D] [--seed ...]
+                (simulate the synthesized netlist over N deterministic
+                 noise samples: compiles it to the mrp-exec linear IR and
+                 executes in SIMD-batched lanes, cross-checked against
+                 the tree-walk oracle; --compiled restricts the oracle to
+                 a prefix so million-sample runs stay fast;
+                 --pipeline-depth simulates the pipelined netlist with
+                 latency-adjusted equivalence; reports samples/sec)
   mrpf synth    C0,C1,...  [--deadline-ms MS] [--min-quality RUNG]
                 [--start RUNG] [--faults SPEC] [--exact-nodes N]
                 [--width BITS] [--json] [--repr ...] [--beta B] [--depth D]
@@ -129,6 +139,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "respond" => respond(args),
         "lint" => lint(args),
         "analyze" => analyze(args),
+        "sim" => sim(args),
         "synth" => synth(args),
         "batch" => batch(args),
         "serve" => serve(args),
@@ -486,6 +497,127 @@ fn analyze_dot(
         }
         other => bail!("unknown overlay `{other}` (use depth|fanout|width|cone|dom|stage)"),
     }
+}
+
+/// Simulates the synthesized netlist through the compiled linear-IR path
+/// (`mrp-exec`), cross-checked against the tree-walk oracle, and reports
+/// throughput for both (`docs/sim.md`).
+fn sim(args: &Args) -> Result<String, CliError> {
+    let coeffs = parse_coeffs(args)?;
+    let cfg = parse_config(args)?;
+    let result = MrpOptimizer::new(cfg)
+        .optimize(&coeffs)
+        .map_err(|e| CliError(e.to_string()))?;
+    let samples = args.get_usize("samples", 100_000)?;
+    if samples == 0 {
+        bail!("--samples must be at least 1");
+    }
+    let lanes = args.get_usize("lanes", mrp_exec::DEFAULT_LANES)?;
+    if !(mrp_exec::MIN_LANES..=mrp_exec::MAX_LANES).contains(&lanes) {
+        bail!(
+            "--lanes must be within {}..={}",
+            mrp_exec::MIN_LANES,
+            mrp_exec::MAX_LANES
+        );
+    }
+    let pipeline_depth = args.get_usize("pipeline-depth", 0)? as u32;
+    if pipeline_depth > 64 {
+        bail!("--pipeline-depth must be within 1..=64 (0/absent disables pipelining)");
+    }
+    let amp = args.get_usize("amp", 1 << 10)? as i64;
+    if amp == 0 || amp > 1 << 20 {
+        bail!("--amp must be within 1..=1048576 (keeps the oracle overflow-free)");
+    }
+    let noise_seed = args.get_usize("noise-seed", 1)? as u64;
+    let input = mrp_sim::signal::white_noise(samples, amp, noise_seed);
+    // With --compiled the tree-walk oracle only re-checks a prefix, so
+    // million-sample throughput runs are not bounded by the slow path.
+    let oracle_len = if args.flag("compiled") {
+        samples.min(65_536)
+    } else {
+        samples
+    };
+    let graph = result.graph;
+
+    let (mode, latency, program, compiled, tree, elapsed_compiled, elapsed_tree);
+    if pipeline_depth > 0 {
+        let az = Analyzer::new(&graph, AnalysisContext::default());
+        let (net, _) = pipeline_and_retime(&az, pipeline_depth);
+        program = mrp_exec::compile_pipelined(&net);
+        let mut machine = mrp_exec::Machine::with_lanes(program.clone(), lanes);
+        let t0 = std::time::Instant::now();
+        let outs = machine.run(&input);
+        elapsed_compiled = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let mut state = vec![0i64; net.graph.len() * (net.latency as usize + 1)];
+        let want: Vec<Vec<i64>> = input[..oracle_len]
+            .iter()
+            .map(|&x| net.step(&mut state, x))
+            .collect();
+        elapsed_tree = t0.elapsed();
+        // Transpose the per-cycle oracle rows into per-output streams so
+        // both sides compare in the machine's layout.
+        let mut tree_outs = vec![Vec::with_capacity(oracle_len); program.outputs.len()];
+        for row in &want {
+            for (k, &v) in row.iter().enumerate() {
+                tree_outs[k].push(v);
+            }
+        }
+        let got: Vec<Vec<i64>> = outs.iter().map(|o| o[..oracle_len].to_vec()).collect();
+        mode = "pipelined";
+        latency = net.latency;
+        compiled = got;
+        tree = tree_outs;
+    } else {
+        let f = mrp_arch::FirFilter::new(graph);
+        program = mrp_exec::compile_fir(&f);
+        let mut machine = mrp_exec::Machine::with_lanes(program.clone(), lanes);
+        let t0 = std::time::Instant::now();
+        let y = machine.run_single(&input);
+        elapsed_compiled = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let want = f.filter(&input[..oracle_len]);
+        elapsed_tree = t0.elapsed();
+        mode = "combinational";
+        latency = 0;
+        compiled = vec![y[..oracle_len].to_vec()];
+        tree = vec![want];
+    }
+
+    if compiled != tree {
+        bail!(
+            "compiled execution diverged from the tree-walk oracle \
+             (taps {coeffs:?}, mode {mode}, lanes {lanes})"
+        );
+    }
+    let rate = |n: usize, d: std::time::Duration| n as f64 / d.as_secs_f64().max(1e-9);
+    let compiled_rate = rate(samples, elapsed_compiled);
+    let tree_rate = rate(oracle_len, elapsed_tree);
+    let speedup = compiled_rate / tree_rate.max(1e-9);
+
+    if args.flag("json") {
+        return Ok(format!(
+            "{{\"taps\":{},\"mode\":\"{mode}\",\"samples\":{samples},\
+             \"oracle_samples\":{oracle_len},\"lanes\":{lanes},\
+             \"latency\":{latency},\"insts\":{},\
+             \"compiled_samples_per_sec\":{compiled_rate:.1},\
+             \"tree_samples_per_sec\":{tree_rate:.1},\
+             \"speedup\":{speedup:.2},\"equivalent\":true}}",
+            coeffs.len(),
+            program.insts.len(),
+        ));
+    }
+    Ok(format!(
+        "taps: {} ({mode}, latency {latency} cycle(s))\n\
+         program: {} instruction(s) ({} add(s), {} delay(s)), {lanes} lane(s)\n\
+         compiled: {samples} sample(s) at {compiled_rate:.0} samples/sec\n\
+         tree-walk: {oracle_len} sample(s) at {tree_rate:.0} samples/sec\n\
+         speedup: {speedup:.2}x\nequivalent: bit-exact over {oracle_len} sample(s)",
+        coeffs.len(),
+        program.insts.len(),
+        program.adds(),
+        program.delays(),
+    ))
 }
 
 fn parse_rung(args: &Args, option: &str, default: &str) -> Result<Rung, CliError> {
@@ -1072,6 +1204,9 @@ mod tests {
             "\"name\":\"lint.graph\"",
             "\"name\":\"gate.lint\"",
             "\"name\":\"gate.equiv\"",
+            "\"name\":\"gate.equiv.compiled\"",
+            "\"name\":\"exec.lower\"",
+            "\"name\":\"exec.run\"",
         ] {
             assert!(trace.contains(span), "missing {span} in trace");
         }
@@ -1091,6 +1226,9 @@ mod tests {
             "\"core.exact.nodes\":",
             "\"core.adders\":",
             "\"synth.adders\":",
+            "\"exec.lower.insts\":",
+            "\"exec.run.lanes\":",
+            "\"gate.equiv.compiled_samples\":",
         ] {
             assert!(metrics.contains(counter), "missing {counter} in {metrics}");
         }
@@ -1225,11 +1363,66 @@ mod tests {
     #[test]
     fn usage_covers_every_subcommand() {
         for name in [
-            "design", "optimize", "emit", "compare", "respond", "lint", "analyze", "synth",
+            "design", "optimize", "emit", "compare", "respond", "lint", "analyze", "sim", "synth",
             "batch", "serve", "chaos", "load",
         ] {
             assert!(USAGE.contains(&format!("mrpf {name}")), "missing {name}");
         }
+    }
+
+    #[test]
+    fn sim_reports_bit_exact_equivalence() {
+        let out = run_line("sim 70,66,17,9 --samples 2000").unwrap();
+        assert!(
+            out.contains("equivalent: bit-exact over 2000 sample(s)"),
+            "{out}"
+        );
+        assert!(out.contains("speedup:"), "{out}");
+    }
+
+    #[test]
+    fn sim_json_compiled_checks_a_prefix_oracle() {
+        let out =
+            run_line("sim 70,66,17,9,27,41,56,11 --compiled --samples 200000 --json").unwrap();
+        assert!(out.contains("\"equivalent\":true"), "{out}");
+        assert!(out.contains("\"samples\":200000"), "{out}");
+        assert!(out.contains("\"oracle_samples\":65536"), "{out}");
+        assert!(out.contains("\"mode\":\"combinational\""), "{out}");
+    }
+
+    #[test]
+    fn sim_pipelined_matches_the_cycle_oracle() {
+        let out = run_line("sim suite:3 --pipeline-depth 2 --samples 3000 --json").unwrap();
+        assert!(out.contains("\"mode\":\"pipelined\""), "{out}");
+        assert!(out.contains("\"equivalent\":true"), "{out}");
+        let latency: u64 = out
+            .split("\"latency\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(latency >= 1, "{out}");
+    }
+
+    #[test]
+    fn sim_respects_lanes_and_noise_seed() {
+        let a = run_line("sim 70,66,17,9 --samples 1500 --lanes 8 --noise-seed 7 --json").unwrap();
+        let b = run_line("sim 70,66,17,9 --samples 1500 --lanes 64 --noise-seed 7 --json").unwrap();
+        for out in [&a, &b] {
+            assert!(out.contains("\"equivalent\":true"), "{out}");
+        }
+        assert!(a.contains("\"lanes\":8"), "{a}");
+        assert!(b.contains("\"lanes\":64"), "{b}");
+    }
+
+    #[test]
+    fn sim_rejects_bad_inputs() {
+        assert!(run_line("sim 70,66 --samples 0").is_err());
+        assert!(run_line("sim 70,66 --lanes 4").is_err());
+        assert!(run_line("sim 70,66 --lanes 128").is_err());
+        assert!(run_line("sim 70,66 --pipeline-depth 65").is_err());
+        assert!(run_line("sim 70,66 --amp 0").is_err());
+        assert!(run_line("sim").is_err());
     }
 
     #[test]

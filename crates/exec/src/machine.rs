@@ -1,0 +1,801 @@
+//! The SIMD-batched interpreter.
+//!
+//! A [`Machine`] executes a [`Program`] over *lanes* of samples: the
+//! register file is a flat `i64` array of `regs × lanes` slots, and each
+//! instruction runs as a tight loop over one lane-sized chunk of the
+//! input. The loops are plain slice iteration over disjoint `split_at_mut`
+//! halves — no indices LLVM cannot prove in-bounds, no intrinsics — so
+//! release builds auto-vectorize them. Delay state (`carry` slots)
+//! persists across chunks and across [`Machine::run`] calls, making the
+//! machine a streaming evaluator: feeding one long input or many short
+//! blocks produces identical output.
+
+use crate::ir::{Inst, Program};
+
+/// Smallest permitted lane width.
+pub const MIN_LANES: usize = 8;
+/// Largest permitted lane width.
+pub const MAX_LANES: usize = 64;
+/// Default lane width: wide enough to fill 512-bit vectors with room for
+/// unrolling, small enough that a block's register file stays in L1.
+pub const DEFAULT_LANES: usize = 32;
+
+/// An operand resolved to a physical register row.
+#[derive(Debug, Clone, Copy)]
+struct PhysOperand {
+    row: u32,
+    shift: u32,
+    negate: bool,
+}
+
+impl PhysOperand {
+    #[inline]
+    fn apply(&self, v: i64) -> i64 {
+        let s = v.wrapping_shl(self.shift);
+        if self.negate {
+            s.wrapping_neg()
+        } else {
+            s
+        }
+    }
+}
+
+/// A [`Program`] instruction with virtual registers renamed onto reused
+/// physical rows.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add {
+        dst: u32,
+        a: PhysOperand,
+        b: PhysOperand,
+    },
+    /// `dst = a + z⁻¹(b)`: an [`Inst::Delay`] fused into its sole
+    /// consuming [`Inst::Add`]. The delayed operand reads lane `i-1` of
+    /// `b`'s row (lane 0 comes from `carry`, which holds the previous
+    /// chunk's last raw sample of the row), so the intermediate delay row
+    /// is never materialized. `b`'s transform is the delay transform and
+    /// the add-operand transform composed.
+    AddZ {
+        dst: u32,
+        a: PhysOperand,
+        b: PhysOperand,
+        carry: u32,
+    },
+    Delay {
+        dst: u32,
+        src: PhysOperand,
+        carry: u32,
+    },
+}
+
+/// Renames the program's SSA virtual registers onto a small set of reused
+/// physical rows by linear scan over last uses.
+///
+/// The IR gives every instruction its own destination register, so a big
+/// filter's register file would stream through L2 once per chunk. Most
+/// values die within a few instructions; reusing dead rows shrinks the
+/// working set to the program's maximum live width, which fits in L1.
+///
+/// Row 0 is always the input (virtual register 0). A destination row is
+/// allocated *before* this instruction's dying operands are released, so
+/// an instruction never writes a row it is reading — the kernels rely on
+/// that disjointness for their split borrows (and a `Delay` reading its
+/// own freshly written row would be corrupt anyway).
+fn assign_rows(program: &Program) -> (Vec<Op>, Vec<Option<PhysOperand>>, usize) {
+    let n = program.insts.len();
+    let nregs = program.regs as usize;
+
+    // Fusion plan: a Delay whose result is consumed exactly once, by an
+    // Add, folds into that Add as an [`Op::AddZ`] — the dominant pattern
+    // in a transposed FIR tap chain (`y_k = p_k + z⁻¹(y_{k+1})`), where it
+    // removes almost half of all executed ops and their register traffic.
+    let mut uses = vec![0u32; nregs];
+    let mut sole = vec![usize::MAX; nregs];
+    for (i, inst) in program.insts.iter().enumerate() {
+        match inst {
+            Inst::Add { lhs, rhs, .. } => {
+                for t in [lhs, rhs] {
+                    uses[t.reg as usize] += 1;
+                    sole[t.reg as usize] = i;
+                }
+            }
+            Inst::Delay { src, .. } => {
+                uses[src.reg as usize] += 1;
+                sole[src.reg as usize] = i;
+            }
+        }
+    }
+    for o in &program.outputs {
+        if let Some(t) = &o.term {
+            uses[t.reg as usize] += 1;
+            sole[t.reg as usize] = usize::MAX;
+        }
+    }
+    // fused_at[j] = index of the Delay fused into the Add at j;
+    // delay_gone[i] marks that Delay as emitted nowhere.
+    let mut fused_at: Vec<Option<usize>> = vec![None; n];
+    let mut delay_gone = vec![false; n];
+    for (i, inst) in program.insts.iter().enumerate() {
+        if let Inst::Delay { src, .. } = inst {
+            let d = inst.dst() as usize;
+            if uses[d] != 1 || sole[d] == usize::MAX {
+                continue;
+            }
+            let j = sole[d];
+            if fused_at[j].is_some() {
+                continue; // one delayed operand per Add
+            }
+            if let Inst::Add { lhs, rhs, .. } = &program.insts[j] {
+                let t = if rhs.reg as usize == d { rhs } else { lhs };
+                // Composed shifts only commute with the 2^64 wrap while
+                // the sum stays in range; larger sums keep the real Delay.
+                if u64::from(src.shift) + u64::from(t.shift) < 64 {
+                    fused_at[j] = Some(i);
+                    delay_gone[i] = true;
+                }
+            }
+        }
+    }
+
+    let delay_src = |i: usize| match &program.insts[i] {
+        Inst::Delay { src, carry, .. } => (src, *carry),
+        Inst::Add { .. } => unreachable!("fusion plan only points at delays"),
+    };
+    let mut last_use: Vec<Option<usize>> = vec![None; nregs];
+    for (i, inst) in program.insts.iter().enumerate() {
+        if delay_gone[i] {
+            continue; // its src read happens at the consuming Add instead
+        }
+        match inst {
+            Inst::Add { lhs, rhs, .. } => {
+                let fused_reg = fused_at[i].map(|di| program.insts[di].dst());
+                for t in [lhs, rhs] {
+                    if Some(t.reg) == fused_reg {
+                        last_use[delay_src(fused_at[i].expect("fused")).0.reg as usize] = Some(i);
+                    } else {
+                        last_use[t.reg as usize] = Some(i);
+                    }
+                }
+            }
+            Inst::Delay { src, .. } => last_use[src.reg as usize] = Some(i),
+        }
+    }
+    for o in &program.outputs {
+        if let Some(t) = &o.term {
+            last_use[t.reg as usize] = Some(n);
+        }
+    }
+
+    let mut phys = vec![u32::MAX; nregs];
+    let mut free: Vec<u32> = Vec::new();
+    let mut rows = 0u32;
+    let take = |free: &mut Vec<u32>, rows: &mut u32| {
+        free.pop().unwrap_or_else(|| {
+            let p = *rows;
+            *rows += 1;
+            p
+        })
+    };
+    phys[0] = take(&mut free, &mut rows);
+    if last_use[0].is_none() {
+        // Input never read (constant-zero program): row 0 still exists so
+        // chunk loading stays unconditional, it is just never reused.
+        debug_assert_eq!(phys[0], 0);
+    }
+    let mut ops = Vec::with_capacity(n);
+    for (i, inst) in program.insts.iter().enumerate() {
+        if delay_gone[i] {
+            continue;
+        }
+        let resolve = |t: &crate::ir::Operand| PhysOperand {
+            row: phys[t.reg as usize],
+            shift: t.shift,
+            negate: t.negate,
+        };
+        let (op, reads) = match inst {
+            Inst::Add { dst: _, lhs, rhs } => {
+                if let Some(di) = fused_at[i] {
+                    let (src, carry) = delay_src(di);
+                    let dreg = program.insts[di].dst();
+                    // Normalize the delayed operand into slot `b`; Add is
+                    // commutative, so swapping is transform-safe.
+                    let plain = if rhs.reg == dreg { lhs } else { rhs };
+                    let fused = if rhs.reg == dreg { rhs } else { lhs };
+                    let a = resolve(plain);
+                    let b = PhysOperand {
+                        row: phys[src.reg as usize],
+                        shift: src.shift + fused.shift,
+                        negate: src.negate ^ fused.negate,
+                    };
+                    let d = take(&mut free, &mut rows);
+                    phys[inst.dst() as usize] = d;
+                    (
+                        Op::AddZ {
+                            dst: d,
+                            a,
+                            b,
+                            carry,
+                        },
+                        [Some(plain.reg), Some(src.reg)],
+                    )
+                } else {
+                    let (a, b) = (resolve(lhs), resolve(rhs));
+                    let d = take(&mut free, &mut rows);
+                    phys[inst.dst() as usize] = d;
+                    (Op::Add { dst: d, a, b }, [Some(lhs.reg), Some(rhs.reg)])
+                }
+            }
+            Inst::Delay { dst: _, src, carry } => {
+                let s = resolve(src);
+                let d = take(&mut free, &mut rows);
+                phys[inst.dst() as usize] = d;
+                (
+                    Op::Delay {
+                        dst: d,
+                        src: s,
+                        carry: *carry,
+                    },
+                    [Some(src.reg), None],
+                )
+            }
+        };
+        ops.push(op);
+        let mut released = [u32::MAX; 2];
+        for (slot, v) in reads.iter().flatten().enumerate() {
+            let row = phys[*v as usize];
+            // An Add reading the same register twice must free it once.
+            if last_use[*v as usize] == Some(i) && !released[..slot].contains(&row) {
+                released[slot] = row;
+                free.push(row);
+            }
+        }
+        if last_use[inst.dst() as usize].is_none() {
+            free.push(phys[inst.dst() as usize]);
+        }
+    }
+    let out_terms = program
+        .outputs
+        .iter()
+        .map(|o| {
+            o.term.as_ref().map(|t| PhysOperand {
+                row: phys[t.reg as usize],
+                shift: t.shift,
+                negate: t.negate,
+            })
+        })
+        .collect();
+    (ops, out_terms, rows.max(1) as usize)
+}
+
+/// Shared view of physical row `r` in a register file split around
+/// destination row `dst` (`lo` = rows below `dst`, `hi` = rows above).
+#[inline]
+fn row<'a, const L: usize>(lo: &'a [i64], hi: &'a [i64], dst: usize, r: usize) -> &'a [i64; L] {
+    debug_assert_ne!(r, dst, "operand row aliases destination row");
+    let s = if r < dst {
+        &lo[r * L..][..L]
+    } else {
+        &hi[(r - dst - 1) * L..][..L]
+    };
+    s.try_into().expect("register row is L wide")
+}
+
+/// [`row`] for the dynamic-width path: `m` live samples of a
+/// `lanes`-wide row.
+#[inline]
+fn row_dyn<'a>(
+    lo: &'a [i64],
+    hi: &'a [i64],
+    dst: usize,
+    r: usize,
+    lanes: usize,
+    m: usize,
+) -> &'a [i64] {
+    debug_assert_ne!(r, dst, "operand row aliases destination row");
+    if r < dst {
+        &lo[r * lanes..][..m]
+    } else {
+        &hi[(r - dst - 1) * lanes..][..m]
+    }
+}
+
+/// An executable instance of a [`Program`]: the register file, the delay
+/// state, and the chosen lane width.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_arch::{AdderGraph, Term};
+/// use mrp_exec::{compile_block, Machine};
+///
+/// let mut g = AdderGraph::new();
+/// let x = g.input();
+/// let three = g.add(Term::shifted(x, 1), Term::of(x))?;
+/// g.push_output("c0", Term::of(three), 3);
+/// let mut m = Machine::with_lanes(compile_block(&g), 8);
+/// assert_eq!(m.run(&[1, 2, 3])[0], vec![3, 6, 9]);
+/// # Ok::<(), mrp_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    lanes: usize,
+    /// Instructions with operands renamed onto physical rows.
+    ops: Vec<Op>,
+    /// Program outputs resolved onto physical rows.
+    out_terms: Vec<Option<PhysOperand>>,
+    /// Flat register file: physical row `r` occupies
+    /// `regs[r*lanes .. (r+1)*lanes]`; row count is the program's maximum
+    /// live width, not its instruction count.
+    regs: Vec<i64>,
+    /// Persistent delay state, one slot per `Inst::Delay`.
+    carries: Vec<i64>,
+}
+
+impl Machine {
+    /// A machine with the default lane width ([`DEFAULT_LANES`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails [`Program::validate`].
+    pub fn new(program: Program) -> Self {
+        Self::with_lanes(program, DEFAULT_LANES)
+    }
+
+    /// A machine with an explicit lane width, clamped to
+    /// [`MIN_LANES`]`..=`[`MAX_LANES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails [`Program::validate`] — the execution
+    /// loops rely on its invariants for their in-bounds proofs.
+    pub fn with_lanes(program: Program, lanes: usize) -> Self {
+        if let Err(e) = program.validate() {
+            panic!("invalid program: {e}");
+        }
+        let lanes = lanes.clamp(MIN_LANES, MAX_LANES);
+        let (ops, out_terms, rows) = assign_rows(&program);
+        Machine {
+            regs: vec![0; rows * lanes],
+            carries: vec![0; program.carries as usize],
+            ops,
+            out_terms,
+            program,
+            lanes,
+        }
+    }
+
+    /// The compiled program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Samples processed per instruction pass.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Clears all delay state (back to reset: every register reads 0).
+    pub fn reset(&mut self) {
+        self.carries.fill(0);
+    }
+
+    /// Runs the program over `input`, returning one sample vector per
+    /// program output (in output order), each `input.len()` long. Delay
+    /// state carries over from any previous call; use [`Machine::reset`]
+    /// for an independent run.
+    pub fn run(&mut self, input: &[i64]) -> Vec<Vec<i64>> {
+        let mut out: Vec<Vec<i64>> = self
+            .program
+            .outputs
+            .iter()
+            .map(|_| Vec::with_capacity(input.len()))
+            .collect();
+        self.run_into(input, &mut out);
+        out
+    }
+
+    /// Like [`Machine::run`], but appends to caller-owned output vectors
+    /// (one per program output) so streaming callers can reuse buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the program's output count.
+    pub fn run_into(&mut self, input: &[i64], out: &mut [Vec<i64>]) {
+        assert_eq!(
+            out.len(),
+            self.program.outputs.len(),
+            "one output vector per program output"
+        );
+        let _span = mrp_obs::span("exec.run");
+        let lanes = self.lanes;
+        let mut chunks = 0u64;
+        for chunk in input.chunks(lanes) {
+            chunks += 1;
+            // Full chunks at a power-of-two lane width run through the
+            // const-generic kernels: with the lane count known at compile
+            // time every per-instruction loop is a fixed-size,
+            // bounds-check-free block LLVM unrolls and vectorizes whole,
+            // instead of paying loop setup per instruction per chunk.
+            match (chunk.len() == lanes, lanes) {
+                (true, 8) => self.step_chunk::<8>(chunk, out),
+                (true, 16) => self.step_chunk::<16>(chunk, out),
+                (true, 32) => self.step_chunk::<32>(chunk, out),
+                (true, 64) => self.step_chunk::<64>(chunk, out),
+                _ => self.step_chunk_dyn(chunk, out),
+            }
+        }
+        mrp_obs::counter_add("exec.run.lanes", chunks);
+        mrp_obs::counter_add("exec.run.samples", input.len() as u64);
+    }
+
+    /// One full lane-width chunk with the lane count `L` fixed at compile
+    /// time (`L == self.lanes`, `chunk.len() == L`).
+    fn step_chunk<const L: usize>(&mut self, chunk: &[i64], out: &mut [Vec<i64>]) {
+        let first: &mut [i64; L] = (&mut self.regs[..L]).try_into().expect("row 0 is L wide");
+        first.copy_from_slice(chunk);
+        for op in &self.ops {
+            // Physical rows are assigned so an instruction never reads its
+            // own destination row; splitting around the destination yields
+            // provably disjoint source/dest borrows.
+            let dst = match op {
+                Op::Add { dst, .. } | Op::AddZ { dst, .. } | Op::Delay { dst, .. } => *dst as usize,
+            };
+            let (lo, rest) = self.regs.split_at_mut(dst * L);
+            let (d, hi) = rest.split_at_mut(L);
+            let d: &mut [i64; L] = d.try_into().expect("dst row is L wide");
+            let (lo, hi) = (&*lo, &*hi);
+            match op {
+                Op::Add { a, b, .. } => {
+                    let ra = row::<L>(lo, hi, dst, a.row as usize);
+                    let rb = row::<L>(lo, hi, dst, b.row as usize);
+                    let (sa, sb) = (a.shift, b.shift);
+                    // Four sign-specialized kernels: add/sub/neg are
+                    // native 64-bit vector ops everywhere, while a
+                    // per-element multiply by ±1 is not — baseline
+                    // x86-64 has no packed 64-bit multiply, and LLVM's
+                    // scalarized expansion halves the throughput.
+                    match (a.negate, b.negate) {
+                        (false, false) => {
+                            for i in 0..L {
+                                d[i] = ra[i].wrapping_shl(sa).wrapping_add(rb[i].wrapping_shl(sb));
+                            }
+                        }
+                        (false, true) => {
+                            for i in 0..L {
+                                d[i] = ra[i].wrapping_shl(sa).wrapping_sub(rb[i].wrapping_shl(sb));
+                            }
+                        }
+                        (true, false) => {
+                            for i in 0..L {
+                                d[i] = rb[i].wrapping_shl(sb).wrapping_sub(ra[i].wrapping_shl(sa));
+                            }
+                        }
+                        (true, true) => {
+                            for i in 0..L {
+                                d[i] = ra[i]
+                                    .wrapping_shl(sa)
+                                    .wrapping_add(rb[i].wrapping_shl(sb))
+                                    .wrapping_neg();
+                            }
+                        }
+                    }
+                }
+                Op::AddZ { a, b, carry, .. } => {
+                    let ra = row::<L>(lo, hi, dst, a.row as usize);
+                    let rb = row::<L>(lo, hi, dst, b.row as usize);
+                    let c = &mut self.carries[*carry as usize];
+                    // Lane 0's delayed sample is the previous chunk's last
+                    // raw value, kept in the carry slot; the rest read one
+                    // lane behind within the chunk.
+                    d[0] = a.apply(ra[0]).wrapping_add(b.apply(*c));
+                    *c = rb[L - 1];
+                    let (sa, sb) = (a.shift, b.shift);
+                    match (a.negate, b.negate) {
+                        (false, false) => {
+                            for i in 1..L {
+                                d[i] = ra[i]
+                                    .wrapping_shl(sa)
+                                    .wrapping_add(rb[i - 1].wrapping_shl(sb));
+                            }
+                        }
+                        (false, true) => {
+                            for i in 1..L {
+                                d[i] = ra[i]
+                                    .wrapping_shl(sa)
+                                    .wrapping_sub(rb[i - 1].wrapping_shl(sb));
+                            }
+                        }
+                        (true, false) => {
+                            for i in 1..L {
+                                d[i] = rb[i - 1]
+                                    .wrapping_shl(sb)
+                                    .wrapping_sub(ra[i].wrapping_shl(sa));
+                            }
+                        }
+                        (true, true) => {
+                            for i in 1..L {
+                                d[i] = ra[i]
+                                    .wrapping_shl(sa)
+                                    .wrapping_add(rb[i - 1].wrapping_shl(sb))
+                                    .wrapping_neg();
+                            }
+                        }
+                    }
+                }
+                Op::Delay { src, carry, .. } => {
+                    let s = row::<L>(lo, hi, dst, src.row as usize);
+                    let c = &mut self.carries[*carry as usize];
+                    d[0] = *c;
+                    for i in 1..L {
+                        d[i] = src.apply(s[i - 1]);
+                    }
+                    *c = src.apply(s[L - 1]);
+                }
+            }
+        }
+        for (t, sink) in self.out_terms.iter().zip(out.iter_mut()) {
+            match t {
+                None => sink.extend(std::iter::repeat_n(0, L)),
+                Some(t) => {
+                    let s: &[i64; L] = self.regs[t.row as usize * L..][..L]
+                        .try_into()
+                        .expect("output row is L wide");
+                    sink.extend(s.iter().map(|&v| t.apply(v)));
+                }
+            }
+        }
+    }
+
+    /// One chunk of `m <= self.lanes` samples with the width only known at
+    /// run time: the tail of an input, or a non-power-of-two lane width.
+    fn step_chunk_dyn(&mut self, chunk: &[i64], out: &mut [Vec<i64>]) {
+        let lanes = self.lanes;
+        let m = chunk.len();
+        self.regs[..m].copy_from_slice(chunk);
+        for op in &self.ops {
+            // Same disjointness argument as the fixed-width path.
+            let dst = match op {
+                Op::Add { dst, .. } | Op::AddZ { dst, .. } | Op::Delay { dst, .. } => *dst as usize,
+            };
+            let (lo, rest) = self.regs.split_at_mut(dst * lanes);
+            let (drow, hi) = rest.split_at_mut(lanes);
+            let d = &mut drow[..m];
+            let (lo, hi) = (&*lo, &*hi);
+            match op {
+                Op::Add { a, b, .. } => {
+                    let ra = row_dyn(lo, hi, dst, a.row as usize, lanes, m);
+                    let rb = row_dyn(lo, hi, dst, b.row as usize, lanes, m);
+                    let (sa, sb) = (a.shift, b.shift);
+                    let zipped = d.iter_mut().zip(ra).zip(rb);
+                    match (a.negate, b.negate) {
+                        (false, false) => {
+                            for ((d, &a), &b) in zipped {
+                                *d = a.wrapping_shl(sa).wrapping_add(b.wrapping_shl(sb));
+                            }
+                        }
+                        (false, true) => {
+                            for ((d, &a), &b) in zipped {
+                                *d = a.wrapping_shl(sa).wrapping_sub(b.wrapping_shl(sb));
+                            }
+                        }
+                        (true, false) => {
+                            for ((d, &a), &b) in zipped {
+                                *d = b.wrapping_shl(sb).wrapping_sub(a.wrapping_shl(sa));
+                            }
+                        }
+                        (true, true) => {
+                            for ((d, &a), &b) in zipped {
+                                *d = a
+                                    .wrapping_shl(sa)
+                                    .wrapping_add(b.wrapping_shl(sb))
+                                    .wrapping_neg();
+                            }
+                        }
+                    }
+                }
+                Op::AddZ { a, b, carry, .. } => {
+                    let ra = row_dyn(lo, hi, dst, a.row as usize, lanes, m);
+                    let rb = row_dyn(lo, hi, dst, b.row as usize, lanes, m);
+                    let c = &mut self.carries[*carry as usize];
+                    d[0] = a.apply(ra[0]).wrapping_add(b.apply(*c));
+                    *c = rb[m - 1];
+                    let (sa, sb) = (a.shift, b.shift);
+                    let zipped = d[1..].iter_mut().zip(&ra[1..]).zip(&rb[..m - 1]);
+                    match (a.negate, b.negate) {
+                        (false, false) => {
+                            for ((d, &a), &b) in zipped {
+                                *d = a.wrapping_shl(sa).wrapping_add(b.wrapping_shl(sb));
+                            }
+                        }
+                        (false, true) => {
+                            for ((d, &a), &b) in zipped {
+                                *d = a.wrapping_shl(sa).wrapping_sub(b.wrapping_shl(sb));
+                            }
+                        }
+                        (true, false) => {
+                            for ((d, &a), &b) in zipped {
+                                *d = b.wrapping_shl(sb).wrapping_sub(a.wrapping_shl(sa));
+                            }
+                        }
+                        (true, true) => {
+                            for ((d, &a), &b) in zipped {
+                                *d = a
+                                    .wrapping_shl(sa)
+                                    .wrapping_add(b.wrapping_shl(sb))
+                                    .wrapping_neg();
+                            }
+                        }
+                    }
+                }
+                Op::Delay { src, carry, .. } => {
+                    let s = row_dyn(lo, hi, dst, src.row as usize, lanes, m);
+                    let c = &mut self.carries[*carry as usize];
+                    d[0] = *c;
+                    for i in 1..m {
+                        d[i] = src.apply(s[i - 1]);
+                    }
+                    *c = src.apply(s[m - 1]);
+                }
+            }
+        }
+        for (t, sink) in self.out_terms.iter().zip(out.iter_mut()) {
+            match t {
+                None => sink.extend(std::iter::repeat_n(0, m)),
+                Some(t) => {
+                    let s = &self.regs[t.row as usize * lanes..][..m];
+                    sink.extend(s.iter().map(|&v| t.apply(v)));
+                }
+            }
+        }
+    }
+
+    /// Convenience for single-output programs (compiled filters): the one
+    /// output stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has more than one output.
+    pub fn run_single(&mut self, input: &[i64]) -> Vec<i64> {
+        assert_eq!(
+            self.program.outputs.len(),
+            1,
+            "run_single needs a single-output program"
+        );
+        self.run(input).pop().expect("one output")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Operand, ProgramOutput};
+
+    /// y(n) = 3x(n) + x(n−1), hand-built.
+    fn toy() -> Program {
+        Program {
+            insts: vec![
+                Inst::Add {
+                    dst: 1,
+                    lhs: Operand {
+                        reg: 0,
+                        shift: 1,
+                        negate: false,
+                    },
+                    rhs: Operand::reg(0),
+                },
+                Inst::Delay {
+                    dst: 2,
+                    src: Operand::reg(0),
+                    carry: 0,
+                },
+                Inst::Add {
+                    dst: 3,
+                    lhs: Operand::reg(1),
+                    rhs: Operand::reg(2),
+                },
+            ],
+            regs: 4,
+            carries: 1,
+            outputs: vec![ProgramOutput {
+                label: "y".to_string(),
+                term: Some(Operand::reg(3)),
+                expected: 0,
+            }],
+            latency: 0,
+        }
+    }
+
+    fn reference(input: &[i64]) -> Vec<i64> {
+        let mut prev = 0;
+        input
+            .iter()
+            .map(|&x| {
+                let y = 3 * x + prev;
+                prev = x;
+                y
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delay_state_spans_chunk_boundaries() {
+        let input: Vec<i64> = (0..100).map(|i| i * 7 - 300).collect();
+        let want = reference(&input);
+        for lanes in [8, 9, 16, 33, 64] {
+            let mut m = Machine::with_lanes(toy(), lanes);
+            assert_eq!(m.run_single(&input), want, "lanes {lanes}");
+        }
+    }
+
+    #[test]
+    fn streaming_in_blocks_equals_one_shot() {
+        let input: Vec<i64> = (0..77).map(|i| (i * i) as i64 - 1000).collect();
+        let mut one = Machine::with_lanes(toy(), 16);
+        let want = one.run_single(&input);
+        let mut blocks = Machine::with_lanes(toy(), 16);
+        let mut got = Vec::new();
+        for block in input.chunks(13) {
+            got.extend(blocks.run_single(block));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut m = Machine::new(toy());
+        let a = m.run_single(&[5, 6, 7]);
+        m.reset();
+        let b = m.run_single(&[5, 6, 7]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lane_width_is_clamped() {
+        assert_eq!(Machine::with_lanes(toy(), 1).lanes(), MIN_LANES);
+        assert_eq!(Machine::with_lanes(toy(), 1024).lanes(), MAX_LANES);
+        assert_eq!(Machine::new(toy()).lanes(), DEFAULT_LANES);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut m = Machine::new(toy());
+        assert_eq!(m.run_single(&[]), Vec::<i64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid program")]
+    fn invalid_program_rejected() {
+        let mut p = toy();
+        p.regs = 99;
+        Machine::new(p);
+    }
+
+    #[test]
+    fn arithmetic_wraps_instead_of_panicking() {
+        // 2x + x at x = i64::MAX wraps exactly like truncated i128 math.
+        let p = Program {
+            insts: vec![Inst::Add {
+                dst: 1,
+                lhs: Operand {
+                    reg: 0,
+                    shift: 1,
+                    negate: false,
+                },
+                rhs: Operand::reg(0),
+            }],
+            regs: 2,
+            carries: 0,
+            outputs: vec![ProgramOutput {
+                label: "y".to_string(),
+                term: Some(Operand::reg(1)),
+                expected: 3,
+            }],
+            latency: 0,
+        };
+        let mut m = Machine::new(p);
+        let x = i64::MAX;
+        let want = ((x as i128 * 3) as i64).to_owned();
+        assert_eq!(m.run(&[x])[0], vec![want]);
+    }
+}

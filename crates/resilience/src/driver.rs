@@ -40,6 +40,20 @@ use crate::ladder::Rung;
 /// Input samples used for the coefficient-equivalence gate.
 const VERIFY_SAMPLES: [i64; 7] = [-3, -1, 0, 1, 2, 7, 100];
 
+/// Extended stream for the compiled-path re-simulation: the tree-walk
+/// witness samples followed by deterministic pseudorandom samples, long
+/// enough to exercise lane batching and chunk-boundary delay carries in
+/// `mrp-exec` while staying far from `i64` overflow for any coefficient
+/// the width gate admits.
+fn verify_stream() -> Vec<i64> {
+    let mut stream = VERIFY_SAMPLES.to_vec();
+    let mut rng = mrp_ptest::Rng::new(0x5EED_51D0);
+    while stream.len() < 256 {
+        stream.push(rng.i64_in(-1000, 1000));
+    }
+    stream
+}
+
 /// Configuration of one supervised synthesis run.
 #[derive(Debug, Clone)]
 pub struct SynthConfig {
@@ -556,6 +570,17 @@ fn accept(
     if let Some((label, input)) = verdict {
         return Err(PipelineError::NotEquivalent { label, input });
     }
+    // Compiled-path re-simulation over a longer stream: the tree walk
+    // above stays the differential oracle; the lowered program is what
+    // production verification runs at scale, so it must agree too.
+    let compiled_span = mrp_obs::span("gate.equiv.compiled");
+    let stream = verify_stream();
+    let verdict = mrp_exec::verify_block_compiled(graph, &stream);
+    mrp_obs::counter_add("gate.equiv.compiled_samples", stream.len() as u64);
+    drop(compiled_span);
+    if let Some((label, input)) = verdict {
+        return Err(PipelineError::NotEquivalent { label, input });
+    }
     let pipeline = match config.pipeline_depth {
         None => None,
         Some(m) => Some(pipeline_gate(stage, graph, config, m)?),
@@ -600,6 +625,16 @@ fn pipeline_gate(
     if let Some((label, input)) = net.verify_outputs_latency_adjusted(&VERIFY_SAMPLES) {
         return Err(PipelineError::NotEquivalent { label, input });
     }
+    // Latency-adjusted re-simulation through the compiled pipelined
+    // program (the tree-walk `step` above remains the oracle).
+    let compiled_span = mrp_obs::span("gate.equiv.compiled");
+    let stream = verify_stream();
+    let verdict = mrp_exec::verify_pipelined_compiled(&net, &stream);
+    mrp_obs::counter_add("gate.equiv.compiled_samples", stream.len() as u64);
+    drop(compiled_span);
+    if let Some((label, input)) = verdict {
+        return Err(PipelineError::NotEquivalent { label, input });
+    }
     Ok(PipelineSummary {
         combinational_depth: delta.combinational_depth,
         stage_depth: delta.stage_depth,
@@ -614,6 +649,19 @@ mod tests {
     use super::*;
 
     const PAPER: [i64; 8] = [70, 66, 17, 9, 27, 41, 56, 11];
+
+    #[test]
+    fn accept_gate_runs_the_compiled_resimulation() {
+        mrp_obs::enable();
+        let before = mrp_obs::counter_value("gate.equiv.compiled_samples").unwrap_or(0);
+        let out = synthesize(&PAPER, &SynthConfig::default()).unwrap();
+        assert!(!out.degraded());
+        let after = mrp_obs::counter_value("gate.equiv.compiled_samples").unwrap_or(0);
+        assert!(
+            after >= before + 256,
+            "compiled re-simulation should stream >= 256 samples ({before} -> {after})"
+        );
+    }
 
     #[test]
     fn healthy_run_uses_best_rung() {

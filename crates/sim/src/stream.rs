@@ -125,14 +125,21 @@ impl StreamingFir {
     }
 
     fn constrain(&self, y: i64) -> i64 {
-        let max = (1i64 << (self.output_width - 1)) - 1;
-        let min = -(1i64 << (self.output_width - 1));
-        match self.mode {
-            OverflowMode::Saturate => y.clamp(min, max),
-            OverflowMode::Wrap => {
-                let shift = 64 - self.output_width;
-                (y << shift) >> shift
-            }
+        constrain(y, self.output_width, self.mode)
+    }
+}
+
+/// Constrains `y` to `output_width` bits under `mode` — shared by the
+/// tree-walk [`StreamingFir`] and the compiled [`crate::CompiledFir`] so
+/// both paths apply identical datapath semantics.
+pub(crate) fn constrain(y: i64, output_width: u32, mode: OverflowMode) -> i64 {
+    let max = (1i64 << (output_width - 1)) - 1;
+    let min = -(1i64 << (output_width - 1));
+    match mode {
+        OverflowMode::Saturate => y.clamp(min, max),
+        OverflowMode::Wrap => {
+            let shift = 64 - output_width;
+            (y << shift) >> shift
         }
     }
 }
@@ -169,6 +176,43 @@ mod tests {
         }
         // A corrupted fill sample is caught too.
         assert!(!equal_with_latency(&[1, 2], &[9, 1, 2], 1));
+    }
+
+    #[test]
+    fn latency_equivalence_zero_length_streams() {
+        // Empty delayed stream: nothing to check, trivially equal.
+        assert!(equal_with_latency(&[], &[], 0));
+        assert!(equal_with_latency(&[1, 2, 3], &[], 5));
+        // Empty reference: the delayed stream must be all zeros (a pipe
+        // fed nothing and drained).
+        assert!(equal_with_latency(&[], &[0, 0, 0], 1));
+        assert!(!equal_with_latency(&[], &[0, 4, 0], 1));
+    }
+
+    #[test]
+    fn latency_longer_than_stream() {
+        // latency == delayed length: every position is still pipe fill.
+        assert!(equal_with_latency(&[7, 8], &[0, 0], 2));
+        // latency beyond both lengths: only zeros are acceptable.
+        assert!(equal_with_latency(&[7, 8], &[0, 0, 0, 0], 9));
+        assert!(!equal_with_latency(&[7, 8], &[0, 0, 0, 7], 9));
+        // Drained-pipe tail past the reference end must read 0.
+        assert!(equal_with_latency(&[7], &[0, 7, 0, 0], 1));
+        assert!(!equal_with_latency(&[7], &[0, 7, 7, 0], 1));
+    }
+
+    #[test]
+    fn saturate_and_wrap_diverge_exactly_at_the_width_boundary() {
+        let coeffs = [1i64];
+        let mut sat = StreamingFir::new(filter(&coeffs), 8, OverflowMode::Saturate);
+        let mut wrap = StreamingFir::new(filter(&coeffs), 8, OverflowMode::Wrap);
+        // In range: identical.
+        assert_eq!(sat.process(&[127, -128]), wrap.process(&[127, -128]));
+        // One past the rails: saturate pins, wrap flips sign.
+        assert_eq!(sat.process(&[128]), vec![127]);
+        assert_eq!(wrap.process(&[128]), vec![-128]);
+        assert_eq!(sat.process(&[-129]), vec![-128]);
+        assert_eq!(wrap.process(&[-129]), vec![127]);
     }
 
     #[test]

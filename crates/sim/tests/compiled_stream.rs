@@ -1,0 +1,76 @@
+//! Fuzzing the compiled streaming path against the tree-walk oracle.
+//!
+//! Every case builds a filter, streams deterministic noise through
+//! [`CompiledFir`] and [`StreamingFir`] in mismatched block sizes, and
+//! requires byte equality — the `mrp-sim` half of the differential-oracle
+//! policy (`docs/sim.md`).
+
+use mrp_core::{MrpConfig, MrpOptimizer};
+use mrp_ptest::run_cases;
+use mrp_sim::{
+    compiled_stream_matches, impulse_response, signal, CompiledFir, OverflowMode, StreamingFir,
+};
+
+fn simple_filter(coeffs: &[i64]) -> mrp_arch::FirFilter {
+    let (mut g, outs) = mrp_arch::simple_multiplier_block(coeffs, mrp_numrep::Repr::Csd).unwrap();
+    for (i, (&t, &c)) in outs.iter().zip(coeffs).enumerate() {
+        g.push_output(format!("c{i}"), t, c);
+    }
+    mrp_arch::FirFilter::new(g)
+}
+
+#[test]
+fn compiled_equals_tree_walk_on_random_filters() {
+    run_cases("sim_compiled_vs_tree_walk", 32, |rng| {
+        let mut coeffs = rng.vec_i64(1, 10, -2000, 2000);
+        if coeffs.iter().all(|&c| c == 0) {
+            coeffs[0] = 1;
+        }
+        let f = simple_filter(&coeffs);
+        let input = rng.vec_i64(0, 300, -30_000, 30_000);
+        let width = rng.i64_in(8, 48) as u32;
+        let mode = if rng.i64_in(0, 1) == 0 {
+            OverflowMode::Saturate
+        } else {
+            OverflowMode::Wrap
+        };
+        assert!(
+            compiled_stream_matches(&f, &input, width, mode),
+            "coeffs {coeffs:?} width {width} mode {mode:?}"
+        );
+    });
+}
+
+#[test]
+fn compiled_impulse_equivalence_on_mrpf_optimized_filters() {
+    // The MRPF-optimized netlist (not just the simple CSD block) must
+    // compile to a program whose impulse response is the tap vector.
+    let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+    let r = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .unwrap();
+    let f = mrp_arch::FirFilter::new(r.graph.clone());
+    let mut want = coeffs.to_vec();
+    want.extend([0, 0, 0, 0]);
+    assert_eq!(impulse_response(&f, 12), want);
+}
+
+#[test]
+fn compiled_streaming_mrpf_equals_batch_over_a_long_chirp() {
+    let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+    let r = MrpOptimizer::new(MrpConfig::default())
+        .optimize(&coeffs)
+        .unwrap();
+    let f = mrp_arch::FirFilter::new(r.graph.clone());
+    let x = signal::chirp(20_000, 0.01, 0.45, 5000.0);
+    let batch = f.filter(&x);
+    let mut compiled = CompiledFir::new(&f, 48, OverflowMode::Saturate);
+    let mut oracle = StreamingFir::new(f, 48, OverflowMode::Saturate);
+    let mut got = Vec::new();
+    for chunk in x.chunks(97) {
+        got.extend(compiled.process(chunk));
+    }
+    assert_eq!(got, batch);
+    // And the tree-walk streamer agrees, closing the three-way loop.
+    assert_eq!(oracle.process(&x), batch);
+}

@@ -12,6 +12,7 @@
 //! * [`filters`] — Parks-McClellan / least-squares / Butterworth FIR design.
 //! * [`arch`] — shift-add adder-graph IR, bit-exact evaluation, Verilog.
 //! * [`analysis`] — cached netlist analyses, pipelining and retiming.
+//! * [`exec`] — linear-IR compiler + lane-batched interpreter for netlists.
 //! * [`hwcost`] — adder area/delay/power models.
 //! * [`cse`] — common subexpression elimination and MCM baselines.
 //! * [`core`] — the MRP optimization itself.
@@ -35,6 +36,7 @@ pub use mrp_analysis as analysis;
 pub use mrp_arch as arch;
 pub use mrp_core as core;
 pub use mrp_cse as cse;
+pub use mrp_exec as exec;
 pub use mrp_filters as filters;
 pub use mrp_graph as graph;
 pub use mrp_hwcost as hwcost;
