@@ -38,10 +38,22 @@ against the baseline's ``sim`` section:
 * at least ``min_equivalence_checks`` bit-exactness cross-checks backed
   the published rates.
 
+The summary path additionally gates the exact-solver optimality-gap
+sweep against the baseline's ``gap`` section (hand-maintained limits):
+
+* every ``optimality_gap`` row satisfies ``exact_adders <=
+  greedy_adders`` (the branch-and-bound search is seeded with the
+  greedy incumbent, so exact can never be worse — a violation means the
+  solver or its realization is broken),
+* ``gap.mean_gap_pct`` stays at or below ``max_mean_gap_pct`` and
+  ``gap.max_gap_pct`` at or below ``max_max_gap_pct``,
+* at least ``min_proven_optimal`` filters report ``proven_optimal``,
+  over at least ``min_filters`` filters.
+
 To accept an intentional quality change, refresh the summary metrics in
-the baseline in the same commit and say why; the ``serve`` and ``sim``
-sections are hand-maintained ceilings/floors, so carry them over rather
-than plain-``cp``-ing:
+the baseline in the same commit and say why; the ``serve``, ``sim`` and
+``gap`` sections are hand-maintained ceilings/floors, so carry them over
+rather than plain-``cp``-ing:
 
     python3 -c "
     import json
@@ -49,6 +61,7 @@ than plain-``cp``-ing:
     with open('BENCH_summary.json') as f: new = json.load(f)
     new['serve'] = old['serve']
     new['sim'] = old['sim']
+    new['gap'] = old['gap']
     with open('ci/bench_baseline.json', 'w') as f: json.dump(new, f)
     "
 
@@ -168,6 +181,64 @@ def check_sim(fresh, baseline):
     return 0
 
 
+def check_gap(fresh, baseline, failures):
+    """Gates the optimality-gap sweep against baseline["gap"] limits.
+
+    Returns the number of checks performed (0 when the baseline has no
+    ``gap`` section, which keeps pre-gap baselines working).
+    """
+    limits = baseline.get("gap")
+    if not limits:
+        return 0
+
+    checked = 0
+    rows = fresh.get("optimality_gap", [])
+    stats = fresh.get("gap", {})
+
+    checked += 1
+    if len(rows) < limits["min_filters"]:
+        failures.append(
+            f"optimality_gap covers {len(rows)} filter(s), "
+            f"floor {limits['min_filters']}"
+        )
+    print(f"  gap.filters{'':>24} {len(rows):>6}  (floor {limits['min_filters']})")
+
+    for row in rows:
+        checked += 1
+        greedy, exact = row.get("greedy_adders"), row.get("exact_adders")
+        status = "ok"
+        if not isinstance(exact, int) or not isinstance(greedy, int) or exact > greedy:
+            status = "REGRESSED"
+            failures.append(
+                f"optimality_gap example {row.get('example')}: exact_adders "
+                f"{exact} exceeds greedy_adders {greedy} — the search is "
+                f"seeded with the greedy incumbent, so this cannot happen "
+                f"in a correct solver"
+            )
+        print(
+            f"  gap.example {row.get('example'):>2}  greedy {greedy:>3} "
+            f"exact {exact!s:>4}  {status}"
+        )
+
+    for field, limit_key, cmp in [
+        ("mean_gap_pct", "max_mean_gap_pct", "<="),
+        ("max_gap_pct", "max_max_gap_pct", "<="),
+        ("proven_optimal_filters", "min_proven_optimal", ">="),
+    ]:
+        bound = limits[limit_key]
+        value = stats.get(field)
+        checked += 1
+        ok = isinstance(value, (int, float)) and (
+            value <= bound if cmp == "<=" else value >= bound
+        )
+        status = "ok" if ok else "REGRESSED"
+        if not ok:
+            failures.append(f"gap.{field}: {value} ({cmp} {bound} required)")
+        print(f"  gap.{field:<30} {value!s:>8}  ({cmp} {bound}) {status}")
+
+    return checked
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
@@ -220,6 +291,8 @@ def main(argv):
                 )
             print(f"  adders_per_tap_w16{'':>13} {old:9.6f} -> {new:9.6f}  ({rise:+.2%}) {status}")
 
+    checked += check_gap(fresh, baseline, failures)
+
     if checked == 0:
         print("gate checked nothing — baseline or fresh report is malformed")
         return 1
@@ -228,8 +301,9 @@ def main(argv):
         for f in failures:
             print(f"  - {f}")
         print(
-            "\nIf this change is intentional, refresh the baseline in the same commit:\n"
-            "    cp BENCH_summary.json ci/bench_baseline.json"
+            "\nIf this change is intentional, refresh the baseline in the same\n"
+            "commit, carrying over the hand-maintained serve/sim/gap sections\n"
+            "(see the module docstring for the recipe)."
         )
         return 1
     print(f"\nperf gate passed: {checked} metric(s) within tolerance")

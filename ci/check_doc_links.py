@@ -4,7 +4,8 @@
 Usage:
     python3 ci/check_doc_links.py [FILE.md ...]
 
-With no arguments, checks README.md and docs/*.md (the documented set).
+With no arguments, checks README.md and docs/**/*.md (the documented
+set, including generated subdirectories such as docs/results/).
 For each markdown link or image `[text](target)`:
 
   * absolute URLs (http/https/mailto) are skipped — CI must not depend
@@ -97,7 +98,8 @@ def main(argv: list[str]) -> int:
         files = [Path(a).resolve() for a in argv]
     else:
         files = [repo / "README.md"] + sorted(
-            Path(p).resolve() for p in glob.glob(str(repo / "docs" / "*.md"))
+            Path(p).resolve()
+            for p in glob.glob(str(repo / "docs" / "**" / "*.md"), recursive=True)
         )
     errors: list[str] = []
     checked = 0

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Exact-rung gate: `mrpf synth --exact` over the whole 12-filter suite.
+
+For each paper example filter (``suite:1`` .. ``suite:12``) this script
+runs the supervised driver twice through the real CLI:
+
+* a default run (greedy ladder, starts at ``mrp+cse``), and
+* an exact run (``--exact --exact-node-cap N``), which seeds the
+  branch-and-bound MCM solver with the greedy incumbent.
+
+and asserts, from the ``--json`` output:
+
+* the exact run lands on the ``exact`` rung with no degradations — a
+  budget-exhausted search falls back to its greedy incumbent *inside*
+  the rung, so exhaustion must never show up as a ladder failure;
+* the accepted exact attempt carries the search fields (``nodes`` > 0,
+  ``budget_exhausted``, ``proven_optimal``, ``lower_bound``);
+* ``adders`` of the exact run is **at or below** the default run's —
+  the incumbent-seeded search can never deliver a worse graph.
+
+A small node cap keeps the job fast while still exercising the
+exhaustion path on the harder filters.
+
+Usage: check_exact_gate.py <path-to-mrpf> [<node-cap>]
+"""
+
+import json
+import subprocess
+import sys
+
+SUITE = range(1, 13)
+DEFAULT_NODE_CAP = 2000
+
+
+def synth(mrpf, spec, extra):
+    cmd = [mrpf, "synth", spec, "--json", *extra]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    mrpf = argv[1]
+    node_cap = int(argv[2]) if len(argv) > 2 else DEFAULT_NODE_CAP
+
+    failures = []
+    exhausted = 0
+    for n in SUITE:
+        spec = f"suite:{n}"
+        base = synth(mrpf, spec, [])
+        exact = synth(
+            mrpf, spec, ["--exact", "--exact-node-cap", str(node_cap)]
+        )
+
+        if exact["rung"] != "exact":
+            failures.append(f"{spec}: exact run landed on rung {exact['rung']}")
+        if exact["degradations"]:
+            failures.append(f"{spec}: exact run degraded: {exact['degradations']}")
+
+        attempt = next(
+            (a for a in exact["attempts"] if a["rung"] == "exact" and a["accepted"]),
+            None,
+        )
+        if attempt is None:
+            failures.append(f"{spec}: no accepted exact attempt in {exact['attempts']}")
+            continue
+        for field in ("nodes", "budget_exhausted", "proven_optimal", "lower_bound"):
+            if field not in attempt:
+                failures.append(f"{spec}: exact attempt lacks `{field}`")
+        if attempt.get("nodes", 0) <= 0:
+            failures.append(f"{spec}: exact attempt expanded no nodes")
+        if attempt.get("budget_exhausted"):
+            exhausted += 1
+
+        if exact["adders"] > base["adders"]:
+            failures.append(
+                f"{spec}: exact rung used {exact['adders']} adders, "
+                f"worse than the default run's {base['adders']}"
+            )
+        print(
+            f"  {spec:<9} default {base['adders']:>3} adders "
+            f"({base['rung']}) | exact {exact['adders']:>3} adders, "
+            f"{attempt.get('nodes')} nodes"
+            f"{', budget exhausted' if attempt.get('budget_exhausted') else ''}"
+            f"{', proven optimal' if attempt.get('proven_optimal') else ''}"
+        )
+
+    if failures:
+        print(f"\nEXACT GATE FAILED — {len(failures)} problem(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(
+        f"\nexact gate passed: {len(list(SUITE))} filters, node cap {node_cap}, "
+        f"{exhausted} budget-exhausted run(s) all fell back to their incumbent"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

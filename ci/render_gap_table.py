@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Render docs/results/optimality-gap.md from BENCH_summary.json.
+
+The bench summary binary (``cargo run --release -p mrp-bench --bin
+summary``) measures, for each of the 12 example filters, the greedy
+MRP+CSE adder count against the branch-and-bound exact MCM solver
+(``mrp-exact``) under a fixed node cap, and records the result in the
+``optimality_gap`` array of ``BENCH_summary.json``. This script turns
+that array into the committed markdown table so the docs never drift
+from the measured numbers by hand-editing.
+
+CI regenerates the table and diffs it against the committed file; to
+refresh after a bench change, run the summary bench and then:
+
+    python3 ci/render_gap_table.py
+
+Usage: render_gap_table.py [<BENCH_summary.json> [<output.md>]]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def render(summary: dict) -> str:
+    rows = summary.get("optimality_gap", [])
+    stats = summary.get("gap", {})
+    if not rows or not stats:
+        raise SystemExit(
+            "BENCH_summary.json has no optimality_gap/gap sections — "
+            "regenerate it with: cargo run --release -p mrp-bench --bin summary"
+        )
+
+    wordlength = int(stats.get("wordlength", 0))
+    node_cap = int(stats.get("node_cap", 0))
+
+    lines = [
+        "# Results: optimality gap of the greedy ladder",
+        "",
+        "> Part of the mrpf docs: [architecture](../architecture.md) ·"
+        " [analysis](../analysis.md) · [lint](../lint.md) ·"
+        " [robustness](../robustness.md) ·"
+        " [observability](../observability.md) · [batch](../batch.md) ·"
+        " [serve](../serve.md) · [store](../store.md) · [sim](../sim.md) ·"
+        " [optimal](../optimal.md)",
+        "",
+        "**Generated file — do not edit by hand.** Regenerate with"
+        " `cargo run --release -p mrp-bench --bin summary` followed by"
+        " `python3 ci/render_gap_table.py`; CI diffs this file against a"
+        " fresh render.",
+        "",
+        f"Per-filter adder counts at W = {wordlength} uniform quantization:"
+        " `greedy` is the mrp+cse ladder rung, `exact` is the"
+        " branch-and-bound MCM solver from"
+        " [mrp-exact](../optimal.md) seeded with the greedy incumbent and"
+        f" capped at {node_cap} search nodes. `gap` ="
+        " 100 · (greedy − exact) / greedy. `lower` is the admissible lower"
+        " bound at the root; `proven optimal` means the search closed the"
+        " gap to that bound before exhausting its budget.",
+        "",
+        "| example | filter | taps | greedy adders | exact adders |"
+        " lower bound | gap % | nodes | status |",
+        "|--:|---|--:|--:|--:|--:|--:|--:|---|",
+    ]
+    for r in rows:
+        status = "proven optimal" if r["proven_optimal"] else (
+            "budget exhausted" if r["budget_exhausted"] else "bounded"
+        )
+        lines.append(
+            f"| {r['example']} | {r['label']} | {r['taps']} |"
+            f" {r['greedy_adders']} | {r['exact_adders']} |"
+            f" {r['lower_bound']} | {r['gap_pct']:.1f} | {r['nodes']} |"
+            f" {status} |"
+        )
+    lines += [
+        "",
+        f"Mean gap **{stats['mean_gap_pct']:.2f} %**, max gap"
+        f" **{stats['max_gap_pct']:.2f} %**,"
+        f" {int(stats['proven_optimal_filters'])}/{int(stats['filters'])}"
+        " filters proven optimal.",
+        "",
+        "The `gap` section of [ci/bench_baseline.json](../../ci/bench_baseline.json)"
+        " holds the hand-maintained ceilings"
+        " (mean/max gap, proven-optimal floor) that"
+        " [ci/check_bench_regression.py](../../ci/check_bench_regression.py)"
+        " enforces on every bench run, and it independently rejects any"
+        " report where `exact` exceeds `greedy` on any filter.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv):
+    summary_path = Path(argv[1]) if len(argv) > 1 else REPO / "BENCH_summary.json"
+    out_path = (
+        Path(argv[2]) if len(argv) > 2 else REPO / "docs" / "results" / "optimality-gap.md"
+    )
+    with open(summary_path) as f:
+        summary = json.load(f)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(render(summary), encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -99,11 +99,13 @@ pub fn synthesize_racing(
                 graph,
                 lint_warnings,
                 pipeline,
+                exact,
             }) => {
                 attempts.push(RungAttempt {
                     rung,
                     elapsed_ms,
                     accepted: true,
+                    exact,
                 });
                 return Ok(SynthOutcome {
                     graph,
@@ -120,6 +122,7 @@ pub fn synthesize_racing(
                     rung,
                     elapsed_ms,
                     accepted: false,
+                    exact: None,
                 });
                 mrp_obs::instant_dyn(format!("degrade[{rung}]: {}", error.kind()));
                 degradations.push(Degradation { rung, error });

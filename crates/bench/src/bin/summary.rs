@@ -6,9 +6,78 @@ use mrp_analysis::{pipeline_and_retime, AnalysisContext, Analyzer};
 use mrp_bench::{
     evaluate_suite_on, jobs_from_args, mean, print_header, ratio, BenchReport, WORDLENGTHS,
 };
-use mrp_core::{MrpConfig, MrpOptimizer};
+use mrp_core::{MrpConfig, MrpOptimizer, SeedOptimizer};
+use mrp_exact::{solve_mcm, McmConfig, McmProblem};
 use mrp_hwcost::{block_cost, AdderKind, Technology};
 use mrp_numrep::Scaling;
+
+/// Wordlength for the optimality-gap sweep (W=12 uniform, the suite's
+/// headline quantization).
+const GAP_WORDLENGTH: u32 = 12;
+/// Node cap per filter for the gap sweep's branch-and-bound: small
+/// enough that the sweep stays a few seconds, large enough to prove
+/// optimality on the small suite filters. Budget-exhausted entries
+/// report the incumbent (greedy) count, so the gap is an upper bound.
+const GAP_NODE_CAP: usize = 4_000;
+
+/// One row of the optimality-gap table.
+struct GapRow {
+    example: usize,
+    label: String,
+    taps: usize,
+    greedy_adders: usize,
+    exact_adders: usize,
+    lower_bound: usize,
+    gap_pct: f64,
+    nodes: usize,
+    budget_exhausted: bool,
+    proven_optimal: bool,
+}
+
+/// Greedy MRP+CSE adder count vs the `mrp-exact` branch-and-bound
+/// (seeded with greedy as incumbent) for one paper filter.
+fn gap_row(filter: &mrp_filters::ExampleFilter, config: &MrpConfig) -> GapRow {
+    let taps = filter.design().expect("paper filter designs");
+    let coeffs = mrp_numrep::quantize(&taps, GAP_WORDLENGTH, Scaling::Uniform)
+        .expect("paper filter quantizes")
+        .values;
+    let greedy_cfg = MrpConfig {
+        seed_optimizer: SeedOptimizer::Cse,
+        ..*config
+    };
+    let greedy = MrpOptimizer::new(greedy_cfg)
+        .optimize(&coeffs)
+        .expect("paper filter synthesizes")
+        .graph;
+    let greedy_adders = greedy.adder_count();
+    let problem = McmProblem::from_coeffs(&coeffs).expect("quantized taps are in range");
+    let out = solve_mcm(
+        &problem,
+        &McmConfig {
+            node_cap: GAP_NODE_CAP,
+            incumbent: Some(greedy_adders),
+            ..McmConfig::default()
+        },
+    );
+    let exact_adders = out.best_cost(Some(greedy_adders)).unwrap_or(greedy_adders);
+    let gap_pct = if greedy_adders == 0 {
+        0.0
+    } else {
+        100.0 * (greedy_adders - exact_adders) as f64 / greedy_adders as f64
+    };
+    GapRow {
+        example: filter.index,
+        label: filter.label(),
+        taps: coeffs.len(),
+        greedy_adders,
+        exact_adders,
+        lower_bound: out.lower_bound,
+        gap_pct,
+        nodes: out.nodes_expanded,
+        budget_exhausted: out.budget_exhausted,
+        proven_optimal: out.proven_optimal,
+    }
+}
 
 fn main() {
     let start = std::time::Instant::now();
@@ -148,6 +217,48 @@ fn main() {
     );
     println!("{}", mrp_bench::rung_banner(&all_cells));
 
+    // Optimality-gap view: how far the greedy MRP+CSE adder counts sit
+    // from the exact branch-and-bound (mrp-exact) under a fixed node cap,
+    // over the 12-filter suite at W=12 uniform. See docs/optimal.md.
+    let gap_jobs: Vec<_> = mrp_filters::example_filters()
+        .into_iter()
+        .map(|ex| move || gap_row(&ex, &config))
+        .collect();
+    let gap_rows: Vec<GapRow> = pool.run_indexed(gap_jobs).into_iter().flatten().collect();
+    assert_eq!(gap_rows.len(), 12, "every suite filter produces a gap row");
+    println!();
+    println!(
+        "optimality gap (W={GAP_WORDLENGTH} uniform, node cap {GAP_NODE_CAP}; gap = greedy vs exact-or-incumbent)"
+    );
+    println!("ex  label   taps  greedy  exact  lower  gap%   nodes  status");
+    for r in &gap_rows {
+        println!(
+            "{:>2}  {:<6} {:>5} {:>7} {:>6} {:>6} {:>5.1} {:>7}  {}",
+            r.example,
+            r.label,
+            r.taps,
+            r.greedy_adders,
+            r.exact_adders,
+            r.lower_bound,
+            r.gap_pct,
+            r.nodes,
+            if r.proven_optimal {
+                "proven optimal"
+            } else if r.budget_exhausted {
+                "budget exhausted"
+            } else {
+                "incomplete"
+            }
+        );
+    }
+    let gap_pcts: Vec<f64> = gap_rows.iter().map(|r| r.gap_pct).collect();
+    let proven = gap_rows.iter().filter(|r| r.proven_optimal).count();
+    println!(
+        "mean gap {:.2} %, max gap {:.2} %, {proven}/12 proven optimal",
+        mean(&gap_pcts),
+        gap_pcts.iter().cloned().fold(0.0f64, f64::max),
+    );
+
     // Machine-readable trajectory point: the same headline numbers, one
     // JSON object per run, written at the repo root.
     let degraded = all_cells
@@ -179,6 +290,45 @@ fn main() {
             ],
         )
         .float("adders_per_tap_w16", mean(&adders_per_tap_w16))
+        .float_map(
+            "gap",
+            &[
+                ("mean_gap_pct", mean(&gap_pcts)),
+                (
+                    "max_gap_pct",
+                    gap_pcts.iter().cloned().fold(0.0f64, f64::max),
+                ),
+                ("proven_optimal_filters", proven as f64),
+                ("filters", gap_rows.len() as f64),
+                ("wordlength", f64::from(GAP_WORDLENGTH)),
+                ("node_cap", GAP_NODE_CAP as f64),
+            ],
+        )
+        .raw_field(
+            "optimality_gap",
+            format!(
+                "[{}]",
+                gap_rows
+                    .iter()
+                    .map(|r| format!(
+                        "{{\"example\":{},\"label\":\"{}\",\"taps\":{},\"greedy_adders\":{},\
+                         \"exact_adders\":{},\"lower_bound\":{},\"gap_pct\":{:.4},\"nodes\":{},\
+                         \"budget_exhausted\":{},\"proven_optimal\":{}}}",
+                        r.example,
+                        r.label,
+                        r.taps,
+                        r.greedy_adders,
+                        r.exact_adders,
+                        r.lower_bound,
+                        r.gap_pct,
+                        r.nodes,
+                        r.budget_exhausted,
+                        r.proven_optimal
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        )
         .int("jobs", jobs as u64)
         .int("elapsed_ms", start.elapsed().as_millis() as u64);
     report.write_and_announce();

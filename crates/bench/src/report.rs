@@ -55,6 +55,14 @@ impl BenchReport {
         self
     }
 
+    /// Adds a field whose value is pre-rendered JSON (an array or nested
+    /// object the typed helpers cannot express). The caller is
+    /// responsible for `raw` being valid JSON.
+    pub fn raw_field(&mut self, key: &str, raw: String) -> &mut Self {
+        self.push_raw(key, raw);
+        self
+    }
+
     /// Adds a nested object of float fields.
     pub fn float_map(&mut self, key: &str, entries: &[(&str, f64)]) -> &mut Self {
         let body: Vec<String> = entries
@@ -148,12 +156,14 @@ mod tests {
             .float("ratio", 0.5)
             .float("bad", f64::NAN)
             .str_field("note", "a\"b")
-            .float_map("claims", &[("x", 1.25), ("y", f64::INFINITY)]);
+            .float_map("claims", &[("x", 1.25), ("y", f64::INFINITY)])
+            .raw_field("rows", "[{\"a\":1}]".to_string());
         let json = r.render();
         assert_eq!(
             json,
             "{\"bench\":\"demo\",\"cells\":48,\"ratio\":0.5,\"bad\":null,\
-             \"note\":\"a\\\"b\",\"claims\":{\"x\":1.25,\"y\":null}}"
+             \"note\":\"a\\\"b\",\"claims\":{\"x\":1.25,\"y\":null},\
+             \"rows\":[{\"a\":1}]}"
         );
     }
 

@@ -72,11 +72,17 @@ USAGE:
                  latency-adjusted equivalence; reports samples/sec)
   mrpf synth    C0,C1,...  [--deadline-ms MS] [--min-quality RUNG]
                 [--start RUNG] [--faults SPEC] [--exact-nodes N]
+                [--exact] [--exact-node-cap N]
                 [--width BITS] [--json] [--repr ...] [--beta B] [--depth D]
                 [--pipeline-depth N] [--trace FILE] [--metrics FILE]
                 (supervised synthesis with fallback ladder
-                 mrp+cse > mrp > cse > spt; RUNG is one of those names;
-                 SPEC e.g. panic@mrp+cse,timeout@mrp,seed=7;
+                 exact > mrp+cse > mrp > cse > spt; RUNG is one of those
+                 names; the default start is mrp+cse — the exact
+                 branch-and-bound top rung is opt-in via --exact or
+                 --start exact, with --exact-node-cap bounding its
+                 search (it falls back to the greedy result, never
+                 fails, on exhaustion); SPEC e.g.
+                 panic@mrp+cse,timeout@mrp,seed=7;
                  --trace writes a Chrome trace_event JSON loadable in
                  chrome://tracing or Perfetto, --metrics a flat
                  counters/gauges/histograms JSON)
@@ -624,7 +630,7 @@ fn parse_rung(args: &Args, option: &str, default: &str) -> Result<Rung, CliError
     let raw = args.get_str(option, default);
     match Rung::parse(&raw) {
         Some(r) => Ok(r),
-        None => bail!("unknown rung `{raw}` for --{option} (use mrp+cse|mrp|cse|spt)"),
+        None => bail!("unknown rung `{raw}` for --{option} (use exact|mrp+cse|mrp|cse|spt)"),
     }
 }
 
@@ -648,6 +654,10 @@ fn parse_synth_config(args: &Args) -> Result<SynthConfig, CliError> {
     if exact_nodes == 0 {
         bail!("--exact-nodes must be at least 1");
     }
+    let mcm_nodes = args.get_usize("exact-node-cap", mrp_exact::DEFAULT_MCM_NODE_BUDGET)?;
+    if mcm_nodes == 0 {
+        bail!("--exact-node-cap must be at least 1");
+    }
     let faults = FaultPlan::parse(&args.get_str("faults", "")).map_err(CliError)?;
     let pipeline_depth = args.get_usize("pipeline-depth", 0)?;
     if pipeline_depth > 64 {
@@ -658,8 +668,20 @@ fn parse_synth_config(args: &Args) -> Result<SynthConfig, CliError> {
         budget: StageBudget {
             deadline_ms,
             exact_nodes,
+            mcm_nodes,
         },
-        start_rung: parse_rung(args, "start", "mrp+cse")?,
+        // `--exact` starts the ladder at the branch-and-bound rung (and
+        // also turns on the exact set cover inside the greedy incumbent,
+        // via `parse_config`); an explicit `--start` still wins.
+        start_rung: parse_rung(
+            args,
+            "start",
+            if args.flag("exact") {
+                "exact"
+            } else {
+                "mrp+cse"
+            },
+        )?,
         min_rung: parse_rung(args, "min-quality", "spt")?,
         lint: LintConfig {
             input_width: width,
@@ -1131,6 +1153,26 @@ mod tests {
     }
 
     #[test]
+    fn synth_exact_flag_starts_at_the_exact_rung() {
+        let out = run_line("synth 70,66,17,9,27,41,56,11 --exact --json").unwrap();
+        assert!(out.contains("\"rung\":\"exact\""), "unexpected: {out}");
+        assert!(out.contains("\"nodes\":"), "unexpected: {out}");
+        assert!(out.contains("\"budget_exhausted\":"), "unexpected: {out}");
+        assert!(out.contains("\"lower_bound\":"), "unexpected: {out}");
+        // An explicit --start still wins over --exact.
+        let out = run_line("synth 70,66,17,9 --exact --start mrp --json").unwrap();
+        assert!(out.contains("\"rung\":\"mrp\""), "unexpected: {out}");
+    }
+
+    #[test]
+    fn synth_exact_node_cap_exhaustion_still_delivers() {
+        let out = run_line("synth 70,66,17,9,27,41,56,11 --exact --exact-node-cap 1").unwrap();
+        assert!(out.contains("rung used: exact"), "unexpected: {out}");
+        assert!(!out.contains("degraded"), "unexpected: {out}");
+        assert!(run_line("synth 7,9 --exact --exact-node-cap 0").is_err());
+    }
+
+    #[test]
     fn synth_reports_degradations_from_injected_faults() {
         let out = run_line("synth 70,66,17,9 --faults panic@mrp+cse,seed=3").unwrap();
         assert!(
@@ -1191,7 +1233,8 @@ mod tests {
         // Every pipeline stage shows up as a span, rungs included.
         for span in [
             "\"name\":\"synth\"",
-            "\"name\":\"rung[mrp+cse]\"",
+            "\"name\":\"rung[exact]\"",
+            "\"name\":\"exact.mcm\"",
             "\"name\":\"core.optimize\"",
             "\"name\":\"core.graph\"",
             "\"name\":\"core.wmsc\"",
@@ -1224,6 +1267,7 @@ mod tests {
         for counter in [
             "\"core.wmsc.iterations\":",
             "\"core.exact.nodes\":",
+            "\"exact.mcm.nodes\":",
             "\"core.adders\":",
             "\"synth.adders\":",
             "\"exec.lower.insts\":",

@@ -26,11 +26,12 @@ use crate::error::MrpError;
 /// Registers one output per original coefficient of `set`, given one
 /// realized term per primary. Returns the output terms in coefficient
 /// order.
-pub(crate) fn attach_outputs(
-    graph: &mut AdderGraph,
-    set: &CoeffSet,
-    primary_terms: &[Term],
-) -> Vec<Term> {
+///
+/// Public so alternative realizers (e.g. `mrp-exact`'s recipe replay)
+/// can produce netlists with the same output shape as the built-in
+/// schemes: one `c{idx}` output per original coefficient, zeros and
+/// power-of-two taps included.
+pub fn attach_outputs(graph: &mut AdderGraph, set: &CoeffSet, primary_terms: &[Term]) -> Vec<Term> {
     let x = graph.input();
     let coeffs = set.original();
     let mut outputs = Vec::with_capacity(coeffs.len());

@@ -55,7 +55,7 @@ pub use exact::{
     select_colors_exact, select_colors_exact_budgeted, select_colors_exact_sharded,
     ExactCoverOutcome, DEFAULT_NODE_BUDGET,
 };
-pub use flat::{realize_cse, realize_simple};
+pub use flat::{attach_outputs, realize_cse, realize_simple};
 pub use mst_diff::{mst_differential, MstDiffResult};
 pub use optimizer::{MrpConfig, MrpOptimizer, MrpResult, MrpStats, SeedOptimizer};
 pub use report::{adder_report, simple_cost, AdderReport};

@@ -1,0 +1,82 @@
+//! Admissible lower bounds for the MCM search.
+
+use mrp_numrep::Repr;
+
+/// `⌈log₂ n⌉` for `n ≥ 1` (0 for `n ≤ 1`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mrp_exact::ceil_log2(1), 0);
+/// assert_eq!(mrp_exact::ceil_log2(2), 1);
+/// assert_eq!(mrp_exact::ceil_log2(5), 3);
+/// ```
+pub fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Single-coefficient adder floor from the CSD digit count: any adder
+/// network computing `c` from `x` uses at least `⌈log₂ S(c)⌉` adders,
+/// where `S(c)` is the number of nonzero CSD digits — one two-input
+/// adder can at most double the number of signed power-of-two terms a
+/// value sums, and CSD is digit-minimal. This is the classic
+/// single-constant bound used (per coefficient) by the exact MCM
+/// algorithms of Aksoy et al.
+///
+/// # Examples
+///
+/// ```
+/// use mrp_exact::csd_cost_floor;
+///
+/// assert_eq!(csd_cost_floor(3), 1);   // 2 digits
+/// assert_eq!(csd_cost_floor(45), 2);  // 101̄01̄01 → 4 digits → ⌈log₂4⌉
+/// assert_eq!(csd_cost_floor(64), 0);  // a pure shift costs nothing
+/// ```
+pub fn csd_cost_floor(c: i64) -> usize {
+    if c == 0 {
+        return 0;
+    }
+    ceil_log2(mrp_numrep::nonzero_digits(c, Repr::Csd) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_small_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn csd_floor_is_admissible_for_known_costs() {
+        // Exact single-constant costs for these are known (see
+        // `mrp_numrep::optimal_scm_cost`); the floor must never exceed
+        // them.
+        for (c, cost) in [(3i64, 1usize), (5, 1), (45, 2), (11, 2), (683, 3)] {
+            assert!(
+                csd_cost_floor(c) <= cost,
+                "floor({c}) = {} > known cost {cost}",
+                csd_cost_floor(c)
+            );
+        }
+    }
+
+    #[test]
+    fn powers_of_two_cost_nothing() {
+        for c in [1i64, 2, 4, 1024, -8] {
+            assert_eq!(csd_cost_floor(c), 0, "{c}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Replaying a recipe list into a verified `mrp-arch` netlist.
+
+use std::collections::BTreeMap;
+
+use mrp_arch::{AdderGraph, Term};
+use mrp_core::{attach_outputs, CoeffSet, MrpError};
+
+use crate::solver::Recipe;
+
+/// Builds the adder graph for `coeffs` from an exact-solver recipe list,
+/// registering one labeled output per original coefficient (`c0, c1, …`)
+/// exactly like the built-in realizations — so lint, emit, simulation,
+/// and verification tooling see the same netlist shape regardless of
+/// which rung produced it.
+///
+/// `recipes` must cover every odd primary of `coeffs` (any solution from
+/// [`solve_mcm`](crate::solve_mcm) on the same coefficients does).
+///
+/// # Errors
+///
+/// [`MrpError::CoefficientTooLarge`] for out-of-range magnitudes and
+/// [`MrpError::Arch`] on (practically unreachable) construction overflow.
+///
+/// # Panics
+///
+/// Panics if `recipes` fails to cover a primary of `coeffs` — a contract
+/// violation, not an input condition (the resilience driver runs rungs
+/// panic-isolated regardless).
+///
+/// # Examples
+///
+/// ```
+/// use mrp_exact::{realize_recipes, Recipe};
+///
+/// // 45 = 9·5: build 9 = 8+1, then 45 = 36+9.
+/// let recipes = [
+///     Recipe { value: 9, lhs: 1, shift: 3, rhs: 1, add: true },
+///     Recipe { value: 45, lhs: 9, shift: 2, rhs: 9, add: true },
+/// ];
+/// let graph = realize_recipes(&[45, 90, -9, 0], &recipes)?;
+/// assert_eq!(graph.adder_count(), 2);
+/// assert_eq!(graph.verify_outputs(&[-3, 0, 1, 7, 100]), None);
+/// # Ok::<(), mrp_core::MrpError>(())
+/// ```
+pub fn realize_recipes(coeffs: &[i64], recipes: &[Recipe]) -> Result<AdderGraph, MrpError> {
+    let mut graph = AdderGraph::new();
+    if coeffs.is_empty() {
+        return Ok(graph);
+    }
+    let set = CoeffSet::new(coeffs)?;
+    let x = graph.input();
+    let mut made: BTreeMap<i64, Term> = BTreeMap::new();
+    made.insert(1, Term::of(x));
+    for r in recipes {
+        let lhs = made
+            .get(&r.lhs)
+            .copied()
+            .expect("recipe operands are built in order");
+        let rhs = made
+            .get(&r.rhs)
+            .copied()
+            .expect("recipe operands are built in order");
+        let hi = Term {
+            node: lhs.node,
+            shift: lhs.shift + r.shift,
+            negate: lhs.negate,
+        };
+        let (a, b) = if r.add {
+            (hi, rhs)
+        } else if (r.lhs << r.shift) >= r.rhs {
+            // value = hi − rhs
+            (
+                hi,
+                Term {
+                    negate: !rhs.negate,
+                    ..rhs
+                },
+            )
+        } else {
+            // value = rhs − hi
+            (
+                Term {
+                    negate: !hi.negate,
+                    ..hi
+                },
+                rhs,
+            )
+        };
+        let node = graph.add(a, b).map_err(MrpError::from)?;
+        debug_assert_eq!(graph.value(node), r.value, "{r:?}");
+        made.insert(r.value, Term::of(node));
+    }
+    let primary_terms: Vec<Term> = set
+        .primaries()
+        .iter()
+        .map(|p| {
+            made.get(p)
+                .copied()
+                .expect("recipe set covers every primary")
+        })
+        .collect();
+    attach_outputs(&mut graph, &set, &primary_terms);
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_mcm, McmConfig, McmProblem};
+
+    #[test]
+    fn solver_output_replays_bit_exactly() {
+        let coeffs = [70i64, 66, 17, 9, 27, 41, 56, 11];
+        let problem = McmProblem::from_coeffs(&coeffs).unwrap();
+        let out = solve_mcm(&problem, &McmConfig::default());
+        let sol = out.solution.expect("unseeded run returns a solution");
+        let graph = realize_recipes(&coeffs, &sol.recipes).unwrap();
+        assert_eq!(graph.adder_count(), sol.cost);
+        assert_eq!(graph.outputs().len(), coeffs.len());
+        assert_eq!(graph.verify_outputs(&[-9, -1, 0, 1, 5, 333]), None);
+    }
+
+    #[test]
+    fn subtraction_in_both_directions_replays() {
+        let recipes = [
+            // hi ≥ rhs: 3 = 4 − 1, 13 = 16 − 3, 5 = 8 − 3.
+            Recipe {
+                value: 3,
+                lhs: 1,
+                shift: 2,
+                rhs: 1,
+                add: false,
+            },
+            Recipe {
+                value: 13,
+                lhs: 1,
+                shift: 4,
+                rhs: 3,
+                add: false,
+            },
+            Recipe {
+                value: 5,
+                lhs: 1,
+                shift: 3,
+                rhs: 3,
+                add: false,
+            },
+            // Plain addition with a shifted smaller lhs: 11 = 3·2 + 5.
+            Recipe {
+                value: 11,
+                lhs: 3,
+                shift: 1,
+                rhs: 5,
+                add: true,
+            },
+            // hi < rhs: 7 = |3·2 − 13| = 13 − 6.
+            Recipe {
+                value: 7,
+                lhs: 3,
+                shift: 1,
+                rhs: 13,
+                add: false,
+            },
+        ];
+        for r in &recipes {
+            assert_eq!(r.computed(), r.value, "{r:?}");
+        }
+        let graph = realize_recipes(&[3, 13, 5, 11, 7], &recipes).unwrap();
+        assert_eq!(graph.verify_outputs(&[-3, 0, 1, 7, 100]), None);
+    }
+
+    #[test]
+    fn zeros_shifts_and_signs_ride_for_free() {
+        let recipes = [Recipe {
+            value: 9,
+            lhs: 1,
+            shift: 3,
+            rhs: 1,
+            add: true,
+        }];
+        let graph = realize_recipes(&[0, 16, -9, 18, 9], &recipes).unwrap();
+        assert_eq!(graph.adder_count(), 1);
+        assert_eq!(graph.outputs().len(), 5);
+        assert_eq!(graph.verify_outputs(&[-3, 0, 1, 7, 100]), None);
+    }
+
+    #[test]
+    fn empty_coefficients_build_an_empty_graph() {
+        let graph = realize_recipes(&[], &[]).unwrap();
+        assert_eq!(graph.adder_count(), 0);
+        assert!(graph.outputs().is_empty());
+    }
+}

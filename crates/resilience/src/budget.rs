@@ -15,6 +15,9 @@ pub struct StageBudget {
     pub deadline_ms: Option<u64>,
     /// Node-expansion cap for the exact set-cover search.
     pub exact_nodes: usize,
+    /// Node-expansion cap for the exact branch-and-bound MCM search
+    /// (the `exact` rung, `mrp-exact`).
+    pub mcm_nodes: usize,
 }
 
 impl Default for StageBudget {
@@ -22,6 +25,7 @@ impl Default for StageBudget {
         StageBudget {
             deadline_ms: None,
             exact_nodes: mrp_core::DEFAULT_NODE_BUDGET,
+            mcm_nodes: mrp_exact::DEFAULT_MCM_NODE_BUDGET,
         }
     }
 }
@@ -99,6 +103,7 @@ mod tests {
     fn default_budget_matches_exact_default() {
         let b = StageBudget::default();
         assert_eq!(b.exact_nodes, mrp_core::DEFAULT_NODE_BUDGET);
+        assert_eq!(b.mcm_nodes, mrp_exact::DEFAULT_MCM_NODE_BUDGET);
         assert_eq!(b.deadline_ms, None);
     }
 }

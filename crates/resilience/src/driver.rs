@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 use mrp_analysis::{pipeline_and_retime, AnalysisContext, Analyzer};
 use mrp_arch::{AdderGraph, Term};
 use mrp_core::{realize_cse, realize_simple, MrpConfig, MrpOptimizer, SeedOptimizer};
+use mrp_exact::{realize_recipes, solve_mcm, McmConfig, McmProblem};
 use mrp_lint::{lint_graph, lint_pipelined, LintConfig, Severity};
 use mrp_numrep::Repr;
 
@@ -121,6 +122,24 @@ impl PipelineSummary {
     }
 }
 
+/// What the exact branch-and-bound MCM search did inside an `exact` rung
+/// attempt, reported alongside the attempt's timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactStats {
+    /// Nodes the branch-and-bound expanded (root included).
+    pub nodes: usize,
+    /// Whether the node budget (or deadline) clipped the search.
+    pub budget_exhausted: bool,
+    /// Whether the reported adder count is proved minimal over the
+    /// bounded search space.
+    pub proven_optimal: bool,
+    /// Admissible lower bound on the optimal adder count.
+    pub lower_bound: usize,
+    /// Whether the search beat the greedy MRP+CSE incumbent (when it
+    /// did not, the rung delivers the incumbent's verified netlist).
+    pub improved: bool,
+}
+
 /// Wall-clock accounting of one attempted rung, whether it was accepted
 /// or degraded past. Mirrors the per-rung trace spans (`rung[<name>]`)
 /// the driver emits through `mrp-obs`.
@@ -132,6 +151,10 @@ pub struct RungAttempt {
     pub elapsed_ms: u64,
     /// Whether this attempt produced the accepted netlist.
     pub accepted: bool,
+    /// Branch-and-bound accounting, for `exact` rung attempts that ran
+    /// the search (`None` on every other rung, and on attempts that
+    /// failed before the search finished).
+    pub exact: Option<ExactStats>,
 }
 
 /// The result of a supervised synthesis run.
@@ -186,11 +209,30 @@ impl SynthOutcome {
         if !self.attempts.is_empty() {
             out.push_str("attempts:\n");
             for a in &self.attempts {
+                let exact = match &a.exact {
+                    None => String::new(),
+                    Some(e) => format!(
+                        "; search: {} node(s), lower bound {}{}{}",
+                        e.nodes,
+                        e.lower_bound,
+                        if e.budget_exhausted {
+                            ", budget exhausted"
+                        } else {
+                            ""
+                        },
+                        if e.proven_optimal {
+                            ", proven optimal"
+                        } else {
+                            ""
+                        },
+                    ),
+                };
                 out.push_str(&format!(
-                    "  - {}: {} ms ({})\n",
+                    "  - {}: {} ms ({}{})\n",
                     a.rung,
                     a.elapsed_ms,
-                    if a.accepted { "accepted" } else { "failed" }
+                    if a.accepted { "accepted" } else { "failed" },
+                    exact
                 ));
             }
         }
@@ -221,9 +263,17 @@ impl SynthOutcome {
             .attempts
             .iter()
             .map(|a| {
+                let exact = match &a.exact {
+                    None => String::new(),
+                    Some(e) => format!(
+                        ",\"nodes\":{},\"budget_exhausted\":{},\"proven_optimal\":{},\
+                         \"lower_bound\":{},\"improved\":{}",
+                        e.nodes, e.budget_exhausted, e.proven_optimal, e.lower_bound, e.improved
+                    ),
+                };
                 format!(
-                    "{{\"rung\":\"{}\",\"elapsed_ms\":{},\"accepted\":{}}}",
-                    a.rung, a.elapsed_ms, a.accepted
+                    "{{\"rung\":\"{}\",\"elapsed_ms\":{},\"accepted\":{}{}}}",
+                    a.rung, a.elapsed_ms, a.accepted, exact
                 )
             })
             .collect();
@@ -335,11 +385,12 @@ pub fn synthesize_under(
             .unwrap_or_else(|| attempt_start.elapsed().as_millis() as u64);
         drop(rung_span);
         match result {
-            Ok((graph, lint_warnings, pipeline)) => {
+            Ok((graph, lint_warnings, pipeline, exact)) => {
                 attempts.push(RungAttempt {
                     rung,
                     elapsed_ms,
                     accepted: true,
+                    exact,
                 });
                 return Ok(SynthOutcome {
                     graph,
@@ -356,6 +407,7 @@ pub fn synthesize_under(
                     rung,
                     elapsed_ms,
                     accepted: false,
+                    exact: None,
                 });
                 mrp_obs::instant_dyn(format!("degrade[{rung}]: {}", error.kind()));
                 degradations.push(Degradation { rung, error });
@@ -377,6 +429,8 @@ pub struct RungOutcome {
     pub lint_warnings: usize,
     /// Pipeline gate measurements, when a pipeline depth was requested.
     pub pipeline: Option<PipelineSummary>,
+    /// Branch-and-bound accounting when the rung was `exact`.
+    pub exact: Option<ExactStats>,
 }
 
 /// Attempts a single rung of the fallback ladder end to end — budgeted,
@@ -396,11 +450,12 @@ pub fn try_rung(
     config: &SynthConfig,
     deadline: &Deadline,
 ) -> Result<RungOutcome, PipelineError> {
-    attempt_rung(coeffs, rung, config, deadline).map(|(graph, lint_warnings, pipeline)| {
+    attempt_rung(coeffs, rung, config, deadline).map(|(graph, lint_warnings, pipeline, exact)| {
         RungOutcome {
             graph,
             lint_warnings,
             pipeline,
+            exact,
         }
     })
 }
@@ -412,7 +467,15 @@ fn attempt_rung(
     rung: Rung,
     config: &SynthConfig,
     deadline: &Deadline,
-) -> Result<(AdderGraph, usize, Option<PipelineSummary>), PipelineError> {
+) -> Result<
+    (
+        AdderGraph,
+        usize,
+        Option<PipelineSummary>,
+        Option<ExactStats>,
+    ),
+    PipelineError,
+> {
     let stage = format!("synth[{rung}]");
     if config.faults.armed(FaultKind::Timeout, rung) {
         return Err(PipelineError::Timeout {
@@ -439,17 +502,27 @@ fn attempt_rung(
     let mut rung_cfg = config.base;
     rung_cfg.exact_node_budget = config.budget.exact_nodes;
     rung_cfg.seed_optimizer = match rung {
-        Rung::MrpCse => SeedOptimizer::Cse,
+        // The exact rung seeds its incumbent from the best greedy
+        // combination, so it shares the MRP+CSE configuration.
+        Rung::Exact | Rung::MrpCse => SeedOptimizer::Cse,
         _ => SeedOptimizer::Direct,
     };
+    let mcm_nodes = config.budget.mcm_nodes;
+    let mcm_deadline = remaining.map(|d| Instant::now() + d);
     let inject_panic = config.faults.armed(FaultKind::Panic, rung);
     let inject_overflow = config.faults.armed(FaultKind::Overflow, rung);
     let owned = coeffs.to_vec();
-    let build = move || -> Result<AdderGraph, PipelineError> {
+    let build = move || -> Result<(AdderGraph, Option<ExactStats>), PipelineError> {
         if inject_panic {
             panic!("injected fault: panic at rung {}", rung.name());
         }
+        let mut exact_stats = None;
         let mut graph = match rung {
+            Rung::Exact => {
+                let (graph, stats) = build_exact(&owned, rung_cfg, mcm_nodes, mcm_deadline)?;
+                exact_stats = Some(stats);
+                graph
+            }
             Rung::MrpCse | Rung::Mrp => MrpOptimizer::new(rung_cfg).optimize(&owned)?.graph,
             Rung::CseOnly => realize_cse(&owned)?,
             Rung::Spt => realize_simple(&owned, Repr::Spt)?,
@@ -462,13 +535,52 @@ fn attempt_rung(
                 .add(Term::shifted(x, 62), Term::shifted(x, 62))
                 .map_err(PipelineError::Arch)?;
         }
-        Ok(graph)
+        Ok((graph, exact_stats))
     };
-    let mut graph = run_isolated(&stage, remaining, deadline.limit_ms(), build)??;
+    let (mut graph, exact_stats) = run_isolated(&stage, remaining, deadline.limit_ms(), build)??;
     if config.faults.armed(FaultKind::Corrupt, rung) {
         config.faults.corrupt_netlist(&mut graph, rung);
     }
     accept(&stage, &graph, config)
+        .map(|(graph, lint_warnings, pipeline)| (graph, lint_warnings, pipeline, exact_stats))
+}
+
+/// The `exact` rung build: run the greedy MRP+CSE pipeline for an
+/// incumbent, then the `mrp-exact` branch-and-bound seeded with its adder
+/// count. A strictly better solution is replayed into a netlist; on a
+/// standing incumbent (including every budget-exhausted search that found
+/// nothing better) the greedy graph itself is delivered, so the rung
+/// never fails for budget reasons — only for the same faults that would
+/// fail `mrp+cse`.
+fn build_exact(
+    coeffs: &[i64],
+    rung_cfg: MrpConfig,
+    mcm_nodes: usize,
+    mcm_deadline: Option<Instant>,
+) -> Result<(AdderGraph, ExactStats), PipelineError> {
+    let greedy = MrpOptimizer::new(rung_cfg).optimize(coeffs)?.graph;
+    let incumbent = greedy.adder_count();
+    let problem = McmProblem::from_coeffs(coeffs)?;
+    let mcm_cfg = McmConfig {
+        node_cap: mcm_nodes,
+        workers: rung_cfg.exact_workers.max(1),
+        incumbent: Some(incumbent),
+        depth_limit: rung_cfg.max_depth,
+        deadline: mcm_deadline,
+    };
+    let out = solve_mcm(&problem, &mcm_cfg);
+    let stats = ExactStats {
+        nodes: out.nodes_expanded,
+        budget_exhausted: out.budget_exhausted,
+        proven_optimal: out.proven_optimal,
+        lower_bound: out.lower_bound,
+        improved: out.solution.is_some(),
+    };
+    let graph = match out.solution {
+        Some(sol) => realize_recipes(coeffs, &sol.recipes)?,
+        None => greedy,
+    };
+    Ok((graph, stats))
 }
 
 /// Runs `f` with panic isolation, and — when a deadline remains — on a
@@ -673,6 +785,66 @@ mod tests {
         assert_eq!(out.attempts.len(), 1);
         assert!(out.attempts[0].accepted);
         assert_eq!(out.attempts[0].rung, Rung::MrpCse);
+    }
+
+    #[test]
+    fn exact_rung_is_never_worse_than_greedy() {
+        let greedy = synthesize(&PAPER, &SynthConfig::default()).unwrap();
+        let cfg = SynthConfig {
+            start_rung: Rung::Exact,
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&PAPER, &cfg).unwrap();
+        assert_eq!(out.rung, Rung::Exact);
+        assert!(!out.degraded());
+        assert!(
+            out.adders() <= greedy.adders(),
+            "{} > {}",
+            out.adders(),
+            greedy.adders()
+        );
+        assert_eq!(out.graph.verify_outputs(&VERIFY_SAMPLES), None);
+        let stats = out.attempts[0].exact.expect("exact attempt carries stats");
+        assert!(stats.lower_bound <= out.adders());
+        let json = out.render_json();
+        assert!(json.contains("\"rung\":\"exact\""), "{json}");
+        assert!(json.contains("\"nodes\":"), "{json}");
+        assert!(json.contains("\"budget_exhausted\":"), "{json}");
+    }
+
+    #[test]
+    fn exhausted_mcm_budget_still_accepts_the_incumbent() {
+        let cfg = SynthConfig {
+            start_rung: Rung::Exact,
+            budget: StageBudget {
+                mcm_nodes: 1,
+                ..StageBudget::default()
+            },
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&PAPER, &cfg).unwrap();
+        assert_eq!(out.rung, Rung::Exact, "budget exhaustion must not degrade");
+        assert!(!out.degraded());
+        assert_eq!(out.graph.verify_outputs(&VERIFY_SAMPLES), None);
+        let stats = out.attempts[0].exact.expect("stats present");
+        assert!(stats.nodes <= 1);
+    }
+
+    #[test]
+    fn panic_at_exact_degrades_to_mrp_cse() {
+        let cfg = SynthConfig {
+            start_rung: Rung::Exact,
+            faults: FaultPlan::parse("panic@exact").unwrap(),
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&PAPER, &cfg).unwrap();
+        assert_eq!(out.rung, Rung::MrpCse);
+        assert_eq!(out.degradations.len(), 1);
+        assert_eq!(out.degradations[0].rung, Rung::Exact);
+        assert!(
+            out.attempts[0].exact.is_none(),
+            "failed attempt carries no stats"
+        );
     }
 
     #[test]

@@ -4,10 +4,11 @@
 use std::fmt;
 
 /// One rung of the fallback ladder, ordered by quality: `Spt` is the
-/// guaranteed last resort, `MrpCse` the paper's headline combination.
+/// guaranteed last resort, `MrpCse` the paper's headline combination,
+/// `Exact` the opt-in branch-and-bound top rung above it.
 ///
 /// `Ord` follows quality: `Rung::Spt < Rung::CseOnly < Rung::Mrp <
-/// Rung::MrpCse`.
+/// Rung::MrpCse < Rung::Exact`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rung {
     /// Per-coefficient SPT digit recoding (the paper's "simple" scheme).
@@ -19,16 +20,28 @@ pub enum Rung {
     Mrp,
     /// MRP with CSE on the SEED network (the paper's best combination).
     MrpCse,
+    /// Exact branch-and-bound MCM (`mrp-exact`), seeded with the MRP+CSE
+    /// result as incumbent — never worse than `MrpCse`, but bounded by a
+    /// node budget rather than guaranteed fast. Opt-in: the default
+    /// ladder still starts at `MrpCse`.
+    Exact,
 }
 
 impl Rung {
     /// The full ladder, best rung first.
-    pub const LADDER: [Rung; 4] = [Rung::MrpCse, Rung::Mrp, Rung::CseOnly, Rung::Spt];
+    pub const LADDER: [Rung; 5] = [
+        Rung::Exact,
+        Rung::MrpCse,
+        Rung::Mrp,
+        Rung::CseOnly,
+        Rung::Spt,
+    ];
 
     /// Short stable name, as accepted by [`Rung::parse`] and printed in
     /// reports.
     pub fn name(self) -> &'static str {
         match self {
+            Rung::Exact => "exact",
             Rung::MrpCse => "mrp+cse",
             Rung::Mrp => "mrp",
             Rung::CseOnly => "cse",
@@ -39,6 +52,7 @@ impl Rung {
     /// The next rung down the ladder, or `None` from the last rung.
     pub fn next_lower(self) -> Option<Rung> {
         match self {
+            Rung::Exact => Some(Rung::MrpCse),
             Rung::MrpCse => Some(Rung::Mrp),
             Rung::Mrp => Some(Rung::CseOnly),
             Rung::CseOnly => Some(Rung::Spt),
@@ -46,9 +60,11 @@ impl Rung {
         }
     }
 
-    /// Parses a rung name (`mrp+cse`/`mrpcse`, `mrp`, `cse`, `spt`/`simple`).
+    /// Parses a rung name (`exact`, `mrp+cse`/`mrpcse`, `mrp`, `cse`,
+    /// `spt`/`simple`).
     pub fn parse(s: &str) -> Option<Rung> {
         match s.to_ascii_lowercase().as_str() {
+            "exact" => Some(Rung::Exact),
             "mrp+cse" | "mrpcse" | "mrp-cse" => Some(Rung::MrpCse),
             "mrp" => Some(Rung::Mrp),
             "cse" => Some(Rung::CseOnly),

@@ -18,9 +18,11 @@
 //!   ([`MrpError`](mrp_core::MrpError), [`ArchError`](mrp_arch::ArchError),
 //!   [`QuantizeError`](mrp_numrep::QuantizeError),
 //!   [`DesignError`](mrp_filters::DesignError));
-//! * [`Rung`] — the declarative fallback ladder `mrp+cse → mrp → cse →
-//!   spt`; per-coefficient SPT recoding is always constructible, so the
-//!   ladder has a guaranteed floor;
+//! * [`Rung`] — the declarative fallback ladder `exact → mrp+cse → mrp →
+//!   cse → spt`; per-coefficient SPT recoding is always constructible, so
+//!   the ladder has a guaranteed floor, and the opt-in `exact` top rung
+//!   (the `mrp-exact` branch-and-bound, seeded with the greedy result as
+//!   incumbent) never delivers more adders than `mrp+cse` would;
 //! * [`FaultPlan`] — seeded, wall-clock-free fault injection (forced
 //!   timeouts, simulated panics, corrupted netlists the lint gate must
 //!   catch, overflow-path triggers) so every degradation path is testable
@@ -59,8 +61,8 @@ mod ladder;
 
 pub use budget::{Deadline, StageBudget};
 pub use driver::{
-    synthesize, synthesize_under, try_rung, PipelineSummary, RungAttempt, RungOutcome, SynthConfig,
-    SynthOutcome,
+    synthesize, synthesize_under, try_rung, ExactStats, PipelineSummary, RungAttempt, RungOutcome,
+    SynthConfig, SynthOutcome,
 };
 pub use error::{Degradation, PipelineError};
 pub use fault::{parse_spec_entries, Fault, FaultKind, FaultPlan, SpecEntry};
